@@ -1,0 +1,209 @@
+// The detection/localization application domain (paper §III-A Spiking-YOLO
+// [35], §IV "object detection [70]"): event-cameras are pitched for fast
+// localization of moving objects, so the laboratory includes a regression
+// workload — predict the moving shape's (cx, cy, radius) from its events.
+//
+// Dense-frame CNN vs event-graph GNN with identical MSE training protocol;
+// reported: mean centre error (pixels), radius error, and a "hit" rate
+// (centre error < ground-truth radius — the prediction lands on the
+// object).
+#include <cstdio>
+
+#include "cnn/dense_model.hpp"
+#include "cnn/representation.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "events/dataset.hpp"
+#include "gnn/gnn_model.hpp"
+#include "gnn/graph_builder.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/softmax.hpp"
+
+using namespace evd;
+
+namespace {
+
+nn::Tensor truth_of(const events::LocalizationSample& sample, float scale) {
+  nn::Tensor t({3});
+  t[0] = sample.cx / scale;
+  t[1] = sample.cy / scale;
+  t[2] = sample.radius / scale;
+  return t;
+}
+
+struct Metrics {
+  double centre_error = 0.0;
+  double radius_error = 0.0;
+  double hit_rate = 0.0;
+};
+
+Metrics score(std::span<const nn::Tensor> predictions,
+              std::span<const events::LocalizationSample> test, float scale) {
+  Metrics metrics;
+  for (size_t i = 0; i < test.size(); ++i) {
+    const double dx = predictions[i][0] * scale - test[i].cx;
+    const double dy = predictions[i][1] * scale - test[i].cy;
+    const double centre = std::sqrt(dx * dx + dy * dy);
+    metrics.centre_error += centre;
+    metrics.radius_error +=
+        std::abs(predictions[i][2] * scale - test[i].radius);
+    metrics.hit_rate += centre < test[i].radius ? 1.0 : 0.0;
+  }
+  const auto n = static_cast<double>(test.size());
+  metrics.centre_error /= n;
+  metrics.radius_error /= n;
+  metrics.hit_rate /= n;
+  return metrics;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== detection/localization domain ([35],[70]) ==\n\n");
+
+  events::ShapeDatasetConfig config;
+  config.num_classes = 4;
+  std::vector<events::LocalizationSample> train, test;
+  events::make_localization_split(config, 160, 40, train, test);
+  const float scale = 32.0f;
+
+  Table table({"model", "centre err [px]", "radius err [px]",
+               "hit rate (err < r)"});
+
+  // ---- CNN regressor ----
+  {
+    Rng rng(1);
+    auto model = cnn::make_event_cnn(
+        cnn::CnnModelConfig{2, 32, 32, /*num_classes=*/3, 8}, rng);
+    cnn::FrameOptions frame_options;
+    auto frame_of = [&](const events::EventStream& stream) {
+      return cnn::build_frame(stream.events, 32, 32,
+                              stream.events.front().t,
+                              stream.events.back().t + 1, frame_options);
+    };
+    nn::Adam optimizer(model.params(), 1e-3f);
+    for (int epoch = 0; epoch < 30; ++epoch) {
+      for (const auto& sample : train) {
+        const nn::Tensor prediction = model.forward(frame_of(sample.stream),
+                                                    true);
+        const auto loss = nn::mse_loss(prediction, truth_of(sample, scale));
+        model.backward(loss.grad);
+        optimizer.step();
+      }
+    }
+    std::vector<nn::Tensor> predictions;
+    for (const auto& sample : test) {
+      predictions.push_back(model.forward(frame_of(sample.stream), false));
+    }
+    const auto metrics = score(predictions, test, scale);
+    table.add_row({"CNN (count frame + regression head)",
+                   Table::num(metrics.centre_error, 2),
+                   Table::num(metrics.radius_error, 2),
+                   Table::num(metrics.hit_rate, 3)});
+  }
+
+  // ---- GNN regressor ----
+  // The graph features are translation-invariant by construction (only
+  // relative offsets enter the kernels), so — as real detection heads do —
+  // the GNN regresses the *residual* from an anchor (the event centroid)
+  // plus the radius; the anchor supplies the absolute position.
+  {
+    gnn::EventGnnConfig model_config;
+    model_config.num_classes = 3;  // (d_cx, d_cy, radius)
+    gnn::EventGnn model(model_config);
+    gnn::GraphBuildConfig graph_config;
+    struct Anchor {
+      double x, y, r;
+    };
+    auto anchor_of = [](const events::EventStream& stream) {
+      double sx = 0.0, sy = 0.0, sxx = 0.0, syy = 0.0;
+      for (const auto& e : stream.events) {
+        sx += e.x;
+        sy += e.y;
+        sxx += static_cast<double>(e.x) * e.x;
+        syy += static_cast<double>(e.y) * e.y;
+      }
+      const double n = std::max<double>(1.0, stream.size());
+      const double mx = sx / n;
+      const double my = sy / n;
+      const double var =
+          std::max(0.0, sxx / n - mx * mx + syy / n - my * my);
+      // Event-cloud spread as the size anchor.
+      return Anchor{mx, my, std::sqrt(var / 2.0)};
+    };
+    auto residual_truth = [&](const events::LocalizationSample& sample) {
+      const auto anchor = anchor_of(sample.stream);
+      nn::Tensor t({3});
+      t[0] = static_cast<float>((sample.cx - anchor.x) / 8.0);
+      t[1] = static_cast<float>((sample.cy - anchor.y) / 8.0);
+      t[2] = static_cast<float>((sample.radius - anchor.r) / 8.0);
+      return t;
+    };
+    std::vector<gnn::EventGraph> train_graphs, test_graphs;
+    for (const auto& sample : train) {
+      train_graphs.push_back(gnn::build_graph(sample.stream, graph_config));
+    }
+    for (const auto& sample : test) {
+      test_graphs.push_back(gnn::build_graph(sample.stream, graph_config));
+    }
+    nn::Adam optimizer(model.params(), 2e-3f);
+    for (int epoch = 0; epoch < 30; ++epoch) {
+      for (size_t i = 0; i < train.size(); ++i) {
+        const nn::Tensor prediction = model.forward(train_graphs[i], true);
+        const auto loss = nn::mse_loss(prediction, residual_truth(train[i]));
+        model.backward(loss.grad);
+        optimizer.step();
+      }
+    }
+    std::vector<nn::Tensor> predictions;
+    for (size_t i = 0; i < test.size(); ++i) {
+      const nn::Tensor raw = model.forward(test_graphs[i], false);
+      const auto anchor = anchor_of(test[i].stream);
+      nn::Tensor absolute({3});
+      absolute[0] = static_cast<float>((anchor.x + raw[0] * 8.0) / scale);
+      absolute[1] = static_cast<float>((anchor.y + raw[1] * 8.0) / scale);
+      absolute[2] = static_cast<float>((anchor.r + raw[2] * 8.0) / scale);
+      predictions.push_back(absolute);
+    }
+    const auto metrics = score(predictions, test, scale);
+    table.add_row({"event-GNN (anchor + residual head)",
+                   Table::num(metrics.centre_error, 2),
+                   Table::num(metrics.radius_error, 2),
+                   Table::num(metrics.hit_rate, 3)});
+  }
+
+  // ---- Non-learned baseline: event centroid ----
+  {
+    std::vector<nn::Tensor> predictions;
+    for (const auto& sample : test) {
+      double sx = 0.0, sy = 0.0;
+      for (const auto& e : sample.stream.events) {
+        sx += e.x;
+        sy += e.y;
+      }
+      const double n = std::max<double>(1.0, sample.stream.size());
+      nn::Tensor p({3});
+      p[0] = static_cast<float>(sx / n / scale);
+      p[1] = static_cast<float>(sy / n / scale);
+      p[2] = 7.0f / scale;  // dataset mean radius
+      predictions.push_back(p);
+    }
+    const auto metrics = score(predictions, test, scale);
+    table.add_row({"event centroid (no learning)",
+                   Table::num(metrics.centre_error, 2),
+                   Table::num(metrics.radius_error, 2),
+                   Table::num(metrics.hit_rate, 3)});
+  }
+
+  table.print();
+  std::printf(
+      "\non this single-object workload the event stream's spatial\n"
+      "concentration already localizes the target (strong centroid\n"
+      "baseline); the learned heads add the radius estimate and the\n"
+      "robustness to noise/smear that multi-object scenes require. Note\n"
+      "the GNN needs an anchor: its graph features are translation-\n"
+      "invariant by construction — absolute position must come from the\n"
+      "readout side, a design constraint event-GNN detectors like [70]\n"
+      "handle the same way.\n");
+  return 0;
+}

@@ -1,0 +1,145 @@
+// Reproduces ABL-REPR (§III-B): the event-to-frame representation ablation.
+// Simple event counting [53],[54] discards all intra-window timing; time
+// surfaces [56] keep some; combined count+surface channels [57] keep both.
+// Same CNN, same split — accuracy, preparation cost and sensitivity to
+// timestamp shuffling per representation.
+#include <cstdio>
+
+#include "cnn/dense_model.hpp"
+#include "cnn/representation.hpp"
+#include "common/table.hpp"
+#include "core/workload.hpp"
+#include "events/dataset.hpp"
+
+using namespace evd;
+
+namespace {
+
+nn::Tensor frame_of(const events::EventStream& stream,
+                    const cnn::FrameOptions& options) {
+  return cnn::build_frame(stream.events, stream.width, stream.height,
+                          stream.events.front().t,
+                          stream.events.back().t + 1, options);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== ABL-REPR: event representation ablation ==\n\n");
+
+  events::ShapeDatasetConfig dataset_config;
+  dataset_config.num_classes = 4;
+  events::ShapeDataset dataset(dataset_config);
+  std::vector<events::LabelledSample> train, test;
+  dataset.make_split(40, 10, train, test);
+
+  Table table({"representation", "channels", "test acc",
+               "acc (time shuffled)", "prep ops/frame", "prep bytes"});
+
+  for (const auto repr :
+       {cnn::Representation::CountSigned, cnn::Representation::CountTwoChannel,
+        cnn::Representation::TimeSurface, cnn::Representation::ExpTimeSurface,
+        cnn::Representation::Combined}) {
+    cnn::FrameOptions options;
+    options.repr = repr;
+
+    // Build frames (counting preparation cost on the first).
+    nn::OpCounter prep_counter;
+    std::vector<nn::Tensor> train_frames, test_frames, shuffled_frames;
+    std::vector<Index> train_labels, test_labels;
+    {
+      nn::ScopedCounter scope(prep_counter);
+      train_frames.push_back(frame_of(train[0].stream, options));
+    }
+    train_labels.push_back(train[0].label);
+    for (size_t i = 1; i < train.size(); ++i) {
+      train_frames.push_back(frame_of(train[i].stream, options));
+      train_labels.push_back(train[i].label);
+    }
+    std::uint64_t shuffle_seed = 77;
+    for (const auto& s : test) {
+      test_frames.push_back(frame_of(s.stream, options));
+      shuffled_frames.push_back(frame_of(
+          core::shuffle_timestamps(s.stream, shuffle_seed++), options));
+      test_labels.push_back(s.label);
+    }
+
+    Rng rng(3);
+    cnn::CnnModelConfig model_config;
+    model_config.in_channels = cnn::representation_channels(repr);
+    auto model = cnn::make_event_cnn(model_config, rng);
+    cnn::FitOptions fit;
+    fit.epochs = 30;
+    fit.lr = 2e-3f;
+    cnn::fit_classifier(model, train_frames, train_labels, fit);
+
+    const double accuracy =
+        cnn::evaluate_classifier(model, test_frames, test_labels);
+    const double shuffled_accuracy =
+        cnn::evaluate_classifier(model, shuffled_frames, test_labels);
+
+    table.add_row(
+        {cnn::representation_name(repr),
+         std::to_string(cnn::representation_channels(repr)),
+         Table::num(accuracy, 3), Table::num(shuffled_accuracy, 3),
+         Table::eng(static_cast<double>(prep_counter.total_ops())),
+         Table::eng(static_cast<double>(prep_counter.act_bytes_written))});
+  }
+  // HATS [56] — different tensor geometry (per-cell histograms), same
+  // classifier family, same protocol.
+  {
+    cnn::HatsOptions hats_options;
+    hats_options.cell = 4;  // 8x8 cell grid: keeps enough spatial layout at 32x32
+    nn::OpCounter prep_counter;
+    std::vector<nn::Tensor> train_frames, test_frames, shuffled_frames;
+    std::vector<Index> train_labels, test_labels;
+    {
+      nn::ScopedCounter scope(prep_counter);
+      train_frames.push_back(
+          cnn::build_hats(train[0].stream.events, 32, 32, hats_options));
+    }
+    train_labels.push_back(train[0].label);
+    for (size_t i = 1; i < train.size(); ++i) {
+      train_frames.push_back(
+          cnn::build_hats(train[i].stream.events, 32, 32, hats_options));
+      train_labels.push_back(train[i].label);
+    }
+    std::uint64_t shuffle_seed = 177;
+    for (const auto& s : test) {
+      test_frames.push_back(cnn::build_hats(s.stream.events, 32, 32, hats_options));
+      const auto shuffled = core::shuffle_timestamps(s.stream, shuffle_seed++);
+      shuffled_frames.push_back(
+          cnn::build_hats(shuffled.events, 32, 32, hats_options));
+      test_labels.push_back(s.label);
+    }
+    Rng rng(3);
+    cnn::CnnModelConfig model_config;
+    model_config.in_channels = train_frames[0].dim(0);
+    model_config.height = train_frames[0].dim(1);
+    model_config.width = train_frames[0].dim(2);
+    auto model = cnn::make_event_cnn(model_config, rng);
+    cnn::FitOptions fit;
+    fit.epochs = 30;
+    fit.lr = 2e-3f;
+    cnn::fit_classifier(model, train_frames, train_labels, fit);
+    table.add_row(
+        {"HATS [56] (4px cells, R=2)",
+         std::to_string(train_frames[0].dim(0)),
+         Table::num(cnn::evaluate_classifier(model, test_frames, test_labels),
+                    3),
+         Table::num(cnn::evaluate_classifier(model, shuffled_frames,
+                                             test_labels),
+                    3),
+         Table::eng(static_cast<double>(prep_counter.total_ops())),
+         Table::eng(static_cast<double>(prep_counter.act_bytes_written))});
+  }
+
+  table.print();
+  std::printf(
+      "\ncount representations are invariant to timestamp shuffling (they\n"
+      "'effectively discard the fine temporal resolution', SIII-B); the\n"
+      "surface-based ones degrade when time is destroyed, showing they\n"
+      "actually consume it. Preparation cost grows with channel count —\n"
+      "the CNN's 'Data - Preparation' burden in Table I.\n");
+  return 0;
+}

@@ -1,0 +1,201 @@
+// Reproduces ABL-RATE (§II): high-resolution sensors flood under ego-motion
+// [20], and the mitigation strategies the paper lists — in-sensor
+// down-sampling [21], electronically foveated pixels [22], centre-surround
+// suppression [23] and the Gen4-style event-rate controller [10].
+//
+// Workload: a textured scene with global ego-motion plus one moving object,
+// simulated at several sensor resolutions.
+#include <cstdio>
+
+#include "cnn/cnn_pipeline.hpp"
+#include "common/table.hpp"
+#include "events/dataset.hpp"
+#include "events/downsample.hpp"
+#include "events/dvs_simulator.hpp"
+#include "events/foveation.hpp"
+#include "events/rate_controller.hpp"
+#include "events/scene.hpp"
+
+using namespace evd;
+
+namespace {
+
+events::EventStream ego_motion_stream(Index size, double ego_speed) {
+  events::Scene scene(size, size, 0.4f);
+  Rng texture_rng(9);
+  scene.set_texture(0.25, texture_rng);
+  scene.set_ego_motion(ego_speed, ego_speed * 0.35);
+  events::MovingShape shape;
+  shape.kind = events::ShapeKind::Circle;
+  shape.x0 = static_cast<double>(size) / 2.0;
+  shape.y0 = static_cast<double>(size) / 2.0;
+  shape.vx = static_cast<double>(size) / 2.0;
+  shape.radius = static_cast<double>(size) / 8.0;
+  shape.luminance = 0.95f;
+  scene.add_shape(shape);
+
+  events::DvsConfig config;
+  config.background_rate_hz = 0.5;
+  events::DvsSimulator simulator(size, size, config, Rng(11));
+  return simulator.simulate(scene, 100000);
+}
+
+void resolution_sweep() {
+  std::printf("-- event rate vs resolution under ego-motion ([20]) --\n");
+  Table table({"sensor", "pixels", "events /100ms", "rate [eps]",
+               "rate/pixel [eps]"});
+  for (const Index size : {32, 64, 128, 256}) {
+    const auto stream = ego_motion_stream(size, 40.0);
+    table.add_row(
+        {std::to_string(size) + "x" + std::to_string(size),
+         Table::eng(static_cast<double>(size * size)),
+         Table::eng(static_cast<double>(stream.size())),
+         Table::eng(static_cast<double>(stream.size()) * 10.0),
+         Table::num(static_cast<double>(stream.size()) * 10.0 /
+                        static_cast<double>(size * size),
+                    1)});
+  }
+  table.print();
+  std::printf("the whole textured field generates events under ego-motion: "
+              "rate grows with pixel count, the §II scaling problem.\n\n");
+}
+
+void mitigation_table() {
+  std::printf("-- mitigation strategies on the 128x128 ego-motion stream --\n");
+  const auto stream = ego_motion_stream(128, 40.0);
+  Table table({"strategy", "events out", "kept fraction", "note"});
+  table.add_row({"none", Table::eng(static_cast<double>(stream.size())),
+                 "1.000", "baseline"});
+
+  {
+    events::SpatialDownsampleConfig config;
+    config.factor = 2;
+    config.accumulate = true;
+    config.count_threshold = 2;
+    const auto out = events::spatial_downsample(stream, config);
+    table.add_row({"in-sensor 2x2 downsample [21]",
+                   Table::eng(static_cast<double>(out.size())),
+                   Table::num(static_cast<double>(out.size()) /
+                                  static_cast<double>(stream.size()),
+                              3),
+                   "integrate-and-fire pooling"});
+  }
+  {
+    events::FoveationConfig config;
+    config.fovea_width = 48;
+    config.fovea_height = 48;
+    config.periphery_factor = 4;
+    config.activity_driven = true;
+    const auto result = events::foveate(stream, config);
+    table.add_row({"electronic foveation [22]",
+                   Table::eng(static_cast<double>(result.events.size())),
+                   Table::num(static_cast<double>(result.events.size()) /
+                                  static_cast<double>(stream.size()),
+                              3),
+                   "full res in fovea, pooled periphery"});
+  }
+  {
+    events::CentreSurroundConfig config;
+    const auto out = events::centre_surround_filter(stream, config);
+    table.add_row({"centre-surround [23]",
+                   Table::eng(static_cast<double>(out.size())),
+                   Table::num(static_cast<double>(out.size()) /
+                                  static_cast<double>(stream.size()),
+                              3),
+                   "suppresses full-field activity"});
+  }
+  for (const auto policy :
+       {events::RatePolicy::Drop, events::RatePolicy::Decimate,
+        events::RatePolicy::Suppress}) {
+    events::RateControllerConfig config;
+    config.max_rate_eps = 2e5;
+    config.policy = policy;
+    events::RateController controller(config, Rng(13));
+    const auto out = controller.process(stream.events);
+    const char* name = policy == events::RatePolicy::Drop ? "ERC drop [10]"
+                       : policy == events::RatePolicy::Decimate
+                           ? "ERC decimate [10]"
+                           : "ERC suppress [10]";
+    table.add_row({name, Table::eng(static_cast<double>(out.size())),
+                   Table::num(controller.stats().keep_fraction(), 3),
+                   "200 keps budget"});
+  }
+  table.print();
+}
+
+void foveation_detail() {
+  std::printf("\n-- foveation keeps the object, thins the background --\n");
+  const auto stream = ego_motion_stream(128, 40.0);
+  events::FoveationConfig config;
+  config.fovea_width = 48;
+  config.fovea_height = 48;
+  config.periphery_factor = 4;
+  config.activity_driven = true;
+  const auto result = events::foveate(stream, config);
+  std::printf("foveal events kept at full resolution : %lld\n",
+              (long long)result.foveal_events);
+  std::printf("peripheral events in -> out           : %lld -> %lld "
+              "(%.1fx reduction)\n",
+              (long long)result.peripheral_in,
+              (long long)result.peripheral_out,
+              static_cast<double>(result.peripheral_in) /
+                  std::max<double>(1.0,
+                                   static_cast<double>(result.peripheral_out)));
+  std::printf("fovea re-centred %zu times (activity-driven saccades)\n",
+              result.fovea_track.size());
+}
+
+void accuracy_under_budget() {
+  std::printf("\n-- task accuracy under event-rate budgets --\n");
+  // Train the CNN on unconstrained streams, then classify streams thinned
+  // by the ERC at shrinking budgets: how much rate can the link shed before
+  // the application notices?
+  events::ShapeDatasetConfig dataset_config;
+  dataset_config.num_classes = 4;
+  events::ShapeDataset dataset(dataset_config);
+  std::vector<events::LabelledSample> train, test;
+  dataset.make_split(40, 15, train, test);
+  cnn::CnnPipeline pipeline{cnn::CnnPipelineConfig{}};
+  pipeline.train(train, core::TrainOptions{0, 0.0f, 1, false});
+
+  Table table({"ERC budget [keps]", "mean kept fraction", "test accuracy"});
+  for (const double budget : {1e9, 2e4, 1e4, 5e3, 2e3, 1e3}) {
+    double kept = 0.0;
+    Index correct = 0;
+    Rng rng(77);
+    for (const auto& sample : test) {
+      events::RateControllerConfig config;
+      config.max_rate_eps = budget;
+      config.policy = events::RatePolicy::Decimate;
+      events::RateController controller(config, rng.fork());
+      events::EventStream thinned;
+      thinned.width = sample.stream.width;
+      thinned.height = sample.stream.height;
+      thinned.events = controller.process(sample.stream.events);
+      kept += controller.stats().keep_fraction();
+      correct += (pipeline.classify(thinned) == sample.label) ? 1 : 0;
+    }
+    table.add_row(
+        {budget >= 1e9 ? "unlimited" : Table::num(budget / 1000.0, 0),
+         Table::num(kept / static_cast<double>(test.size()), 3),
+         Table::num(static_cast<double>(correct) /
+                        static_cast<double>(test.size()),
+                    3)});
+  }
+  table.print();
+  std::printf("accuracy is near-baseline down to ~2/3 of the events and "
+              "degrades gracefully to ~1/3 (event redundancy is why "
+              "in-sensor rate control [10],[21] is viable), then collapses "
+              "once the thinned stream no longer covers the shape.\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== ABL-RATE: resolution side effects and mitigations (§II) ==\n\n");
+  resolution_sweep();
+  mitigation_table();
+  foveation_detail();
+  accuracy_under_budget();
+  return 0;
+}

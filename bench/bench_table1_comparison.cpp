@@ -1,0 +1,64 @@
+// Reproduces TABLE I: the twelve-axis qualitative comparison of the SNN,
+// CNN and GNN paradigms — regenerated as *measurements*.
+//
+// All three pipelines are trained on the identical ShapeDataset split, then
+// every axis is measured by the comparison harness (see
+// src/core/comparison.cpp and DESIGN.md for the axis-to-measurement map).
+// The derived {-, +, ++} grades are printed next to the paper's published
+// ratings.
+#include <cstdio>
+
+#include "cnn/cnn_pipeline.hpp"
+#include "core/comparison.hpp"
+#include "gnn/gnn_pipeline.hpp"
+#include "snn/snn_pipeline.hpp"
+
+using namespace evd;
+
+int main() {
+  std::printf("== TABLE I: SNN / CNN / GNN comparison, measured ==\n\n");
+
+  core::ComparisonConfig config;
+  config.classification.dataset.num_classes = 4;
+  config.classification.dataset.seed = 42;
+  config.classification.train_per_class = 60;
+  config.classification.test_per_class = 15;
+  // epochs/lr <= 0: every pipeline trains with its own default recipe on
+  // the identical split.
+  config.classification.training.epochs = 0;
+  config.classification.training.lr = 0.0f;
+  config.streaming.onset_us = 30000;
+  config.streaming.duration_us = 100000;
+  config.streaming.trials = 4;
+  config.probe_samples = 6;
+  config.verbose = true;
+
+  cnn::CnnPipeline cnn_pipeline{cnn::CnnPipelineConfig{}};
+  snn::SnnPipeline snn_pipeline{snn::SnnPipelineConfig{}};
+  gnn::GnnPipeline gnn_pipeline{gnn::GnnPipelineConfig{}};
+
+  core::ComparisonHarness harness(config);
+  harness.add(&snn_pipeline);
+  harness.add(&cnn_pipeline);
+  harness.add(&gnn_pipeline);
+  const core::ComparisonResult result = harness.run();
+
+  std::printf("\n-- raw measurements --\n");
+  result.measurement_table().print();
+
+  std::printf("\n-- derived grades vs the paper's Table I --\n");
+  result.rating_table().print();
+
+  std::printf(
+      "\nNotes:\n"
+      "  * 'Hardware - Maturity' is a documented constant (CNN accelerators\n"
+      "    are an industry; SNN cores exist in silicon; event-GNN hardware\n"
+      "    'does not exist today', SIV) — not measurable in software.\n"
+      "  * Grades derive from the measured columns by the rules in\n"
+      "    src/core/rating.cpp (best ++, within ~8x +, beyond that -).\n"
+      "  * Deviations from the paper and their causes are catalogued in\n"
+      "    EXPERIMENTS.md (notably: at 32x32 the dense frame is unusually\n"
+      "    cheap, compressing the CNN-vs-GNN operation/footprint gaps that\n"
+      "    the paper reports at megapixel scale).\n");
+  return 0;
+}

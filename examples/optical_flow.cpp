@@ -1,0 +1,74 @@
+// Event-based optical flow — fully event-driven motion estimation.
+//
+//   $ ./examples/optical_flow
+//
+// A shape moves with a known velocity; the plane-fitting estimator recovers
+// the flow from the raw event stream, per event, with no frames anywhere —
+// one of the application domains (optical-flow estimation [57],[72]) where
+// the paper reports event-native methods beating frame pipelines.
+#include <cmath>
+#include <cstdio>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "events/dvs_simulator.hpp"
+#include "events/optical_flow.hpp"
+#include "events/scene.hpp"
+
+using namespace evd;
+
+int main() {
+  Table table({"true velocity [px/s]", "estimated (median)", "angular err",
+               "valid fits"});
+
+  Rng rng(5);
+  for (const auto& [vx, vy] : std::vector<std::pair<double, double>>{
+           {160.0, 0.0}, {0.0, 120.0}, {110.0, 110.0}, {-140.0, 70.0}}) {
+    events::Scene scene(48, 48, 0.1f);
+    events::MovingShape shape;
+    shape.kind = events::ShapeKind::Square;
+    shape.x0 = 24.0 - vx * 0.05;  // centred mid-trajectory
+    shape.y0 = 24.0 - vy * 0.05;
+    shape.vx = vx;
+    shape.vy = vy;
+    shape.radius = 7.0;
+    shape.luminance = 0.9f;
+    scene.add_shape(shape);
+
+    events::DvsConfig config;
+    config.background_rate_hz = 0.1;
+    events::DvsSimulator simulator(48, 48, config, rng.fork());
+    const auto stream = simulator.simulate(scene, 100000);
+
+    events::FlowConfig flow_config;
+    flow_config.dt_max_us = 40000;
+    flow_config.min_points = 8;
+    const auto flows = events::estimate_flow(stream, flow_config);
+
+    Percentiles vxs, vys;
+    for (const auto& f : flows) {
+      vxs.add(f.vx);
+      vys.add(f.vy);
+    }
+    const double est_vx = flows.empty() ? 0.0 : vxs.median();
+    const double est_vy = flows.empty() ? 0.0 : vys.median();
+    const double true_angle = std::atan2(vy, vx);
+    const double est_angle = std::atan2(est_vy, est_vx);
+    double angle_err = std::fabs(true_angle - est_angle) * 180.0 / 3.14159265;
+    if (angle_err > 180.0) angle_err = 360.0 - angle_err;
+
+    char truth[48], estimate[48];
+    std::snprintf(truth, sizeof truth, "(%+.0f, %+.0f)", vx, vy);
+    std::snprintf(estimate, sizeof estimate, "(%+.0f, %+.0f)", est_vx,
+                  est_vy);
+    table.add_row({truth, estimate, Table::num(angle_err, 1) + " deg",
+                   std::to_string(flows.size())});
+  }
+  table.print();
+  std::printf(
+      "\nEach estimate is produced *at* an event from the local time-surface\n"
+      "gradient — latency is one event, not one frame. Magnitudes are\n"
+      "edge-normal flow (the aperture problem compresses speed along the\n"
+      "edge); the motion direction is what downstream consumers use.\n");
+  return 0;
+}

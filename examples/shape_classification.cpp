@@ -1,0 +1,109 @@
+// Shape classification — the full workflow on one paradigm of your choice.
+//
+//   $ ./examples/shape_classification [cnn|snn|gnn] [train_per_class]
+//
+// Walks through: dataset generation, training with progress, per-class
+// evaluation (confusion matrix), and instrumented inference cost — the
+// workload the paper's accuracy comparisons (refs [69],[70],[77]) run on.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "cnn/cnn_pipeline.hpp"
+#include "common/table.hpp"
+#include "events/dataset.hpp"
+#include "gnn/gnn_pipeline.hpp"
+#include "hw/energy_model.hpp"
+#include "hw/report.hpp"
+#include "snn/snn_pipeline.hpp"
+
+using namespace evd;
+
+int main(int argc, char** argv) {
+  const char* which = argc > 1 ? argv[1] : "gnn";
+  const Index train_per_class = argc > 2 ? std::atoi(argv[2]) : 40;
+
+  events::ShapeDatasetConfig dataset_config;
+  dataset_config.num_classes = 4;
+  events::ShapeDataset dataset(dataset_config);
+  std::vector<events::LabelledSample> train, test;
+  dataset.make_split(train_per_class, 12, train, test);
+  std::printf("dataset: %zu train / %zu test, classes:", train.size(),
+              test.size());
+  for (int c = 0; c < dataset_config.num_classes; ++c) {
+    std::printf(" %s", events::shape_kind_name(
+                           static_cast<events::ShapeKind>(c)));
+  }
+  std::printf("\n");
+
+  std::unique_ptr<core::EventPipeline> pipeline;
+  core::TrainOptions options;
+  options.lr = 2e-3f;
+  options.verbose = true;
+  if (std::strcmp(which, "cnn") == 0) {
+    pipeline = std::make_unique<cnn::CnnPipeline>(cnn::CnnPipelineConfig{});
+    options.epochs = 35;
+  } else if (std::strcmp(which, "snn") == 0) {
+    pipeline = std::make_unique<snn::SnnPipeline>(snn::SnnPipelineConfig{});
+    options.epochs = 15;
+  } else {
+    pipeline = std::make_unique<gnn::GnnPipeline>(gnn::GnnPipelineConfig{});
+    options.epochs = 30;
+  }
+
+  std::printf("\ntraining %s pipeline...\n", pipeline->name().c_str());
+  pipeline->train(train, options);
+
+  // Confusion matrix + instrumented cost.
+  std::vector<std::vector<int>> confusion(
+      static_cast<size_t>(dataset_config.num_classes),
+      std::vector<int>(static_cast<size_t>(dataset_config.num_classes), 0));
+  nn::OpCounter counter;
+  Index correct = 0;
+  {
+    nn::ScopedCounter scope(counter);
+    for (const auto& sample : test) {
+      const int predicted = pipeline->classify(sample.stream);
+      ++confusion[static_cast<size_t>(sample.label)]
+                 [static_cast<size_t>(predicted)];
+      correct += (predicted == sample.label) ? 1 : 0;
+    }
+  }
+
+  std::printf("\ntest accuracy: %.3f\n\nconfusion matrix (rows = truth):\n",
+              static_cast<double>(correct) / static_cast<double>(test.size()));
+  std::vector<std::string> header = {"truth \\ pred"};
+  for (int c = 0; c < dataset_config.num_classes; ++c) {
+    header.push_back(events::shape_kind_name(
+        static_cast<events::ShapeKind>(c)));
+  }
+  Table table(header);
+  for (int r = 0; r < dataset_config.num_classes; ++r) {
+    std::vector<std::string> row = {
+        events::shape_kind_name(static_cast<events::ShapeKind>(r))};
+    for (int c = 0; c < dataset_config.num_classes; ++c) {
+      row.push_back(std::to_string(
+          confusion[static_cast<size_t>(r)][static_cast<size_t>(c)]));
+    }
+    table.add_row(row);
+  }
+  table.print();
+
+  const auto per_inference = static_cast<double>(test.size());
+  std::printf("\ninference cost (mean over %zu samples):\n", test.size());
+  std::printf("  parameters        : %s\n",
+              Table::eng(static_cast<double>(pipeline->param_count())).c_str());
+  std::printf("  operations        : %s\n",
+              Table::eng(static_cast<double>(counter.total_ops()) /
+                         per_inference)
+                  .c_str());
+  std::printf("  bytes moved       : %s\n",
+              Table::eng(static_cast<double>(counter.total_bytes()) /
+                         per_inference)
+                  .c_str());
+  const auto energy =
+      hw::energy_of(counter, hw::EnergyTable::digital_45nm_int8());
+  std::printf("  modelled energy   : %s (int8 edge accelerator)\n",
+              hw::summary(energy).c_str());
+  return 0;
+}

@@ -1,0 +1,91 @@
+#include "cnn/dense_model.hpp"
+
+#include <cstdio>
+#include <numeric>
+#include <stdexcept>
+
+#include "nn/activations.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/pooling.hpp"
+
+namespace evd::cnn {
+
+nn::Sequential make_event_cnn(const CnnModelConfig& config, Rng& rng) {
+  if (config.height % 4 != 0 || config.width % 4 != 0) {
+    throw std::invalid_argument("make_event_cnn: geometry must be /4");
+  }
+  // Conv stem + global average pooling: the GAP head makes the classifier
+  // translation-invariant, which matters because event recordings place the
+  // object along an arbitrary trajectory.
+  nn::Sequential model;
+  model.emplace<nn::Conv2d>(
+      nn::Conv2dConfig{config.in_channels, config.base_filters, 3, 1, 1}, rng);
+  model.emplace<nn::ReLU>();
+  model.emplace<nn::MaxPool2d>(2);
+  model.emplace<nn::Conv2d>(
+      nn::Conv2dConfig{config.base_filters, config.base_filters * 2, 3, 1, 1},
+      rng);
+  model.emplace<nn::ReLU>();
+  model.emplace<nn::MaxPool2d>(2);
+  model.emplace<nn::Conv2d>(
+      nn::Conv2dConfig{config.base_filters * 2, config.base_filters * 4, 3, 1,
+                       1},
+      rng);
+  model.emplace<nn::ReLU>();
+  model.emplace<nn::GlobalAvgPool>();
+  model.emplace<nn::Linear>(config.base_filters * 4, config.num_classes, rng);
+  return model;
+}
+
+FitReport fit_classifier(nn::Sequential& model,
+                         std::span<const nn::Tensor> inputs,
+                         std::span<const Index> labels,
+                         const FitOptions& options) {
+  if (inputs.size() != labels.size()) {
+    throw std::invalid_argument("fit_classifier: inputs/labels mismatch");
+  }
+  nn::Adam optimizer(model.params(), options.lr);
+  Rng rng(options.shuffle_seed);
+  std::vector<size_t> order(inputs.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  FitReport report;
+  for (Index epoch = 0; epoch < options.epochs; ++epoch) {
+    // Fisher-Yates shuffle with our deterministic RNG.
+    for (size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.uniform_int(i)]);
+    }
+    double loss_sum = 0.0;
+    Index correct = 0;
+    for (const size_t idx : order) {
+      const auto [loss, ok] =
+          nn::train_step(model, inputs[idx], labels[idx]);
+      loss_sum += loss;
+      correct += ok ? 1 : 0;
+      optimizer.step();
+    }
+    report.epoch_loss.push_back(loss_sum / static_cast<double>(inputs.size()));
+    report.epoch_accuracy.push_back(static_cast<double>(correct) /
+                                    static_cast<double>(inputs.size()));
+    if (options.verbose) {
+      std::printf("  epoch %lld loss %.4f acc %.3f\n",
+                  static_cast<long long>(epoch), report.epoch_loss.back(),
+                  report.epoch_accuracy.back());
+    }
+  }
+  return report;
+}
+
+double evaluate_classifier(nn::Sequential& model,
+                           std::span<const nn::Tensor> inputs,
+                           std::span<const Index> labels) {
+  if (inputs.empty()) return 0.0;
+  Index correct = 0;
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    correct += (nn::predict(model, inputs[i]) == labels[i]) ? 1 : 0;
+  }
+  return static_cast<double>(correct) / static_cast<double>(inputs.size());
+}
+
+}  // namespace evd::cnn

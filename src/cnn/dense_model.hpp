@@ -1,0 +1,48 @@
+// Dense-frame CNN classifier and its training loop.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "events/dataset.hpp"
+#include "nn/sequential.hpp"
+
+namespace evd::cnn {
+
+struct CnnModelConfig {
+  Index in_channels = 2;
+  Index height = 32;
+  Index width = 32;
+  Index num_classes = 4;
+  Index base_filters = 8;  ///< Filters in the first conv block.
+};
+
+/// Two conv blocks (conv-relu-maxpool) + linear head. Sized for 32x32-ish
+/// inputs; asserts the geometry divides cleanly.
+nn::Sequential make_event_cnn(const CnnModelConfig& config, Rng& rng);
+
+struct FitOptions {
+  Index epochs = 10;
+  float lr = 1e-3f;
+  std::uint64_t shuffle_seed = 1;
+  bool verbose = false;
+};
+
+struct FitReport {
+  std::vector<double> epoch_loss;
+  std::vector<double> epoch_accuracy;
+};
+
+/// Generic classifier fit over (input tensor, label) pairs with Adam.
+FitReport fit_classifier(nn::Sequential& model,
+                         std::span<const nn::Tensor> inputs,
+                         std::span<const Index> labels,
+                         const FitOptions& options);
+
+/// Accuracy over a labelled set.
+double evaluate_classifier(nn::Sequential& model,
+                           std::span<const nn::Tensor> inputs,
+                           std::span<const Index> labels);
+
+}  // namespace evd::cnn

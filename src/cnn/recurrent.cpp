@@ -1,0 +1,194 @@
+#include "cnn/recurrent.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <stdexcept>
+
+#include "nn/activations.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/init.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/pooling.hpp"
+#include "nn/softmax.hpp"
+
+namespace evd::cnn {
+
+RecurrentCnn::RecurrentCnn(RecurrentCnnConfig config)
+    : config_(config),
+      rng_(config.seed),
+      feature_size_(config.base_filters * 2),
+      w_input_("w_input",
+               nn::he_normal({config.hidden, config.base_filters * 2},
+                             config.base_filters * 2, rng_)),
+      w_hidden_("w_hidden",
+                nn::xavier_uniform({config.hidden, config.hidden},
+                                   config.hidden, config.hidden, rng_)),
+      bias_("bias", nn::Tensor({config.hidden})),
+      head_(config.hidden, config.num_classes, rng_) {
+  stem_.emplace<nn::Conv2d>(
+      nn::Conv2dConfig{config.in_channels, config.base_filters, 3, 1, 1},
+      rng_);
+  stem_.emplace<nn::ReLU>();
+  stem_.emplace<nn::MaxPool2d>(2);
+  stem_.emplace<nn::Conv2d>(
+      nn::Conv2dConfig{config.base_filters, config.base_filters * 2, 3, 1, 1},
+      rng_);
+  stem_.emplace<nn::ReLU>();
+  stem_.emplace<nn::GlobalAvgPool>();
+}
+
+nn::Tensor RecurrentCnn::stem_forward(const nn::Tensor& frame, bool train) {
+  return stem_.forward(frame, train);
+}
+
+nn::Tensor RecurrentCnn::forward(std::span<const nn::Tensor> frames,
+                                 bool train) {
+  if (frames.empty()) {
+    throw std::invalid_argument("RecurrentCnn::forward: empty sequence");
+  }
+  const Index hidden = config_.hidden;
+  if (train) {
+    cached_frames_ = frames;
+    cached_features_.clear();
+    cached_state_.clear();
+  }
+  nn::Tensor h({hidden});
+  for (const auto& frame : frames) {
+    const nn::Tensor f = stem_forward(frame, false);
+    nn::Tensor next({hidden});
+    for (Index j = 0; j < hidden; ++j) {
+      float acc = bias_.value[j];
+      const float* wx = w_input_.value.data() + j * feature_size_;
+      for (Index i = 0; i < feature_size_; ++i) acc += wx[i] * f[i];
+      const float* wh = w_hidden_.value.data() + j * hidden;
+      for (Index i = 0; i < hidden; ++i) acc += wh[i] * h[i];
+      next[j] = std::tanh(acc);
+    }
+    if (train) {
+      cached_features_.push_back(f);
+      cached_state_.push_back(next);
+    }
+    h = std::move(next);
+  }
+  return head_.forward(h, train);
+}
+
+void RecurrentCnn::backward(const nn::Tensor& grad_logits) {
+  if (cached_state_.empty()) {
+    throw std::logic_error("RecurrentCnn::backward: no cached forward");
+  }
+  const Index hidden = config_.hidden;
+  const auto steps = static_cast<Index>(cached_state_.size());
+
+  nn::Tensor grad_h = head_.backward(grad_logits);
+  for (Index t = steps - 1; t >= 0; --t) {
+    const nn::Tensor& h_t = cached_state_[static_cast<size_t>(t)];
+    const nn::Tensor& f_t = cached_features_[static_cast<size_t>(t)];
+    // Previous state (zeros at t = 0).
+    nn::Tensor h_prev({hidden});
+    if (t > 0) h_prev = cached_state_[static_cast<size_t>(t - 1)];
+
+    // du = dh * (1 - h^2)  (tanh').
+    nn::Tensor du({hidden});
+    for (Index j = 0; j < hidden; ++j) {
+      du[j] = grad_h[j] * (1.0f - h_t[j] * h_t[j]);
+    }
+    nn::Tensor grad_h_prev({hidden});
+    nn::Tensor grad_f({feature_size_});
+    for (Index j = 0; j < hidden; ++j) {
+      const float d = du[j];
+      if (d == 0.0f) continue;
+      bias_.grad[j] += d;
+      float* dwx = w_input_.grad.data() + j * feature_size_;
+      const float* wx = w_input_.value.data() + j * feature_size_;
+      for (Index i = 0; i < feature_size_; ++i) {
+        dwx[i] += d * f_t[i];
+        grad_f[i] += d * wx[i];
+      }
+      float* dwh = w_hidden_.grad.data() + j * hidden;
+      const float* wh = w_hidden_.value.data() + j * hidden;
+      for (Index i = 0; i < hidden; ++i) {
+        dwh[i] += d * h_prev[i];
+        grad_h_prev[i] += d * wh[i];
+      }
+    }
+    // Backprop through the stem for this frame: recompute activations,
+    // then run the stem's backward with dL/df_t.
+    (void)stem_forward(cached_frames_[static_cast<size_t>(t)], true);
+    (void)stem_.backward(grad_f);
+    grad_h = std::move(grad_h_prev);
+  }
+  cached_state_.clear();
+  cached_features_.clear();
+}
+
+std::vector<nn::Param*> RecurrentCnn::params() {
+  std::vector<nn::Param*> all = stem_.params();
+  all.push_back(&w_input_);
+  all.push_back(&w_hidden_);
+  all.push_back(&bias_);
+  for (auto* p : head_.params()) all.push_back(p);
+  return all;
+}
+
+Index RecurrentCnn::param_count() {
+  Index n = 0;
+  for (auto* p : params()) n += p->value.numel();
+  return n;
+}
+
+RecurrentFitReport fit_recurrent(
+    RecurrentCnn& model, std::span<const std::vector<nn::Tensor>> sequences,
+    std::span<const Index> labels, Index epochs, float lr,
+    std::uint64_t shuffle_seed, bool verbose) {
+  if (sequences.size() != labels.size()) {
+    throw std::invalid_argument("fit_recurrent: sequences/labels mismatch");
+  }
+  nn::Adam optimizer(model.params(), lr);
+  Rng rng(shuffle_seed);
+  std::vector<size_t> order(sequences.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  RecurrentFitReport report;
+  for (Index epoch = 0; epoch < epochs; ++epoch) {
+    for (size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.uniform_int(i)]);
+    }
+    double loss_sum = 0.0;
+    Index correct = 0;
+    for (const size_t idx : order) {
+      const nn::Tensor logits = model.forward(sequences[idx], true);
+      const auto ce = nn::softmax_cross_entropy(logits, labels[idx]);
+      model.backward(ce.grad);
+      nn::clip_grad_norm(model.params(), 5.0f);
+      optimizer.step();
+      loss_sum += ce.loss;
+      correct += (logits.argmax() == labels[idx]) ? 1 : 0;
+    }
+    report.epoch_loss.push_back(loss_sum /
+                                static_cast<double>(sequences.size()));
+    report.epoch_accuracy.push_back(static_cast<double>(correct) /
+                                    static_cast<double>(sequences.size()));
+    if (verbose) {
+      std::printf("  [rcnn] epoch %lld loss %.4f acc %.3f\n",
+                  static_cast<long long>(epoch), report.epoch_loss.back(),
+                  report.epoch_accuracy.back());
+    }
+  }
+  return report;
+}
+
+double evaluate_recurrent(RecurrentCnn& model,
+                          std::span<const std::vector<nn::Tensor>> sequences,
+                          std::span<const Index> labels) {
+  if (sequences.empty()) return 0.0;
+  Index correct = 0;
+  for (size_t i = 0; i < sequences.size(); ++i) {
+    correct +=
+        (model.forward(sequences[i], false).argmax() == labels[i]) ? 1 : 0;
+  }
+  return static_cast<double>(correct) / static_cast<double>(sequences.size());
+}
+
+}  // namespace evd::cnn

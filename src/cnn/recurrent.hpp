@@ -1,0 +1,86 @@
+// Recurrent dense-frame CNN (paper §V, ref [76]).
+//
+// The paper's rebuttal to "SNNs are required for tasks relying on temporal
+// memory": feed the CNN a *sequence* of short frames and carry state across
+// them with a recurrent block. Architecture:
+//
+//   per frame:  conv stem (conv-relu-pool-conv-relu-GAP) -> feature f_t
+//   recurrence: h_t = tanh(W_x f_t + W_h h_{t-1} + b)
+//   head:       logits = W_o h_T + b_o
+//
+// Training is BPTT through the recurrence; the conv stem's activations are
+// recomputed per frame during the backward pass (activation recomputation)
+// so the stem needs no per-frame cache.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/linear.hpp"
+#include "nn/sequential.hpp"
+
+namespace evd::cnn {
+
+struct RecurrentCnnConfig {
+  Index in_channels = 2;
+  Index height = 32;
+  Index width = 32;
+  Index num_classes = 2;
+  Index base_filters = 6;
+  Index hidden = 32;  ///< Recurrent state size.
+  std::uint64_t seed = 21;
+};
+
+class RecurrentCnn {
+ public:
+  explicit RecurrentCnn(RecurrentCnnConfig config);
+
+  /// Forward over a frame sequence; returns logits. Caches for backward
+  /// when train = true (frames must stay alive until backward()).
+  nn::Tensor forward(std::span<const nn::Tensor> frames, bool train);
+
+  /// BPTT from dL/dlogits; accumulates parameter gradients.
+  void backward(const nn::Tensor& grad_logits);
+
+  std::vector<nn::Param*> params();
+  Index param_count();
+
+  Index feature_size() const noexcept { return feature_size_; }
+  const RecurrentCnnConfig& config() const noexcept { return config_; }
+
+ private:
+  /// Stem forward for one frame; returns the GAP feature vector.
+  nn::Tensor stem_forward(const nn::Tensor& frame, bool train);
+
+  RecurrentCnnConfig config_;
+  Rng rng_;
+  nn::Sequential stem_;
+  Index feature_size_;
+  nn::Param w_input_;   ///< [hidden, feature]
+  nn::Param w_hidden_;  ///< [hidden, hidden]
+  nn::Param bias_;      ///< [hidden]
+  nn::Linear head_;
+
+  // BPTT caches.
+  std::span<const nn::Tensor> cached_frames_;
+  std::vector<nn::Tensor> cached_features_;  ///< f_t
+  std::vector<nn::Tensor> cached_state_;     ///< h_t (post-tanh)
+};
+
+struct RecurrentFitReport {
+  std::vector<double> epoch_loss;
+  std::vector<double> epoch_accuracy;
+};
+
+/// Fit over (frame-sequence, label) samples with Adam.
+RecurrentFitReport fit_recurrent(
+    RecurrentCnn& model, std::span<const std::vector<nn::Tensor>> sequences,
+    std::span<const Index> labels, Index epochs, float lr,
+    std::uint64_t shuffle_seed = 1, bool verbose = false);
+
+double evaluate_recurrent(RecurrentCnn& model,
+                          std::span<const std::vector<nn::Tensor>> sequences,
+                          std::span<const Index> labels);
+
+}  // namespace evd::cnn

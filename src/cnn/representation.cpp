@@ -1,0 +1,217 @@
+#include "cnn/representation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/counters.hpp"
+
+namespace evd::cnn {
+
+const char* representation_name(Representation repr) {
+  switch (repr) {
+    case Representation::CountSigned: return "count_signed";
+    case Representation::CountTwoChannel: return "count_2ch";
+    case Representation::TimeSurface: return "time_surface";
+    case Representation::ExpTimeSurface: return "exp_time_surface";
+    case Representation::Combined: return "combined";
+  }
+  return "unknown";
+}
+
+Index representation_channels(Representation repr) {
+  switch (repr) {
+    case Representation::CountSigned: return 1;
+    case Representation::CountTwoChannel: return 2;
+    case Representation::TimeSurface: return 2;
+    case Representation::ExpTimeSurface: return 2;
+    case Representation::Combined: return 4;
+  }
+  return 0;
+}
+
+nn::Tensor build_frame(std::span<const events::Event> window, Index width,
+                       Index height, TimeUs t_begin, TimeUs t_end,
+                       const FrameOptions& options) {
+  if (width <= 0 || height <= 0 || t_end <= t_begin) {
+    throw std::invalid_argument("build_frame: bad geometry or window");
+  }
+  const Index channels = representation_channels(options.repr);
+  nn::Tensor frame({channels, height, width});
+  const double window_us = static_cast<double>(t_end - t_begin);
+  const double tau_us = options.tau_fraction * window_us;
+  const float inv_scale = 1.0f / options.count_scale;
+
+  // Last-event-timestamp maps for surface representations.
+  const bool needs_surface = options.repr == Representation::TimeSurface ||
+                             options.repr == Representation::ExpTimeSurface ||
+                             options.repr == Representation::Combined;
+  std::vector<TimeUs> last_on, last_off;
+  if (needs_surface) {
+    last_on.assign(static_cast<size_t>(width * height), t_begin - 1);
+    last_off.assign(static_cast<size_t>(width * height), t_begin - 1);
+  }
+
+  std::int64_t prep_adds = 0;
+  for (const auto& e : window) {
+    if (e.x < 0 || e.y < 0 || e.x >= width || e.y >= height) {
+      throw std::invalid_argument("build_frame: event outside geometry");
+    }
+    const auto pix = static_cast<size_t>(e.y) * static_cast<size_t>(width) +
+                     static_cast<size_t>(e.x);
+    switch (options.repr) {
+      case Representation::CountSigned:
+        frame.at3(0, e.y, e.x) +=
+            static_cast<float>(polarity_sign(e.polarity)) * inv_scale;
+        ++prep_adds;
+        break;
+      case Representation::CountTwoChannel:
+      case Representation::Combined:
+        frame.at3(polarity_channel(e.polarity), e.y, e.x) += inv_scale;
+        ++prep_adds;
+        [[fallthrough]];
+      case Representation::TimeSurface:
+      case Representation::ExpTimeSurface:
+        if (needs_surface) {
+          (e.polarity == Polarity::On ? last_on : last_off)[pix] = e.t;
+          ++prep_adds;  // timestamp store counted as one op
+        }
+        break;
+    }
+  }
+
+  if (needs_surface) {
+    const Index surface_base =
+        options.repr == Representation::Combined ? 2 : 0;
+    for (Index y = 0; y < height; ++y) {
+      for (Index x = 0; x < width; ++x) {
+        const auto pix = static_cast<size_t>(y * width + x);
+        for (int ch = 0; ch < 2; ++ch) {
+          const TimeUs last = (ch == 1 ? last_on : last_off)[pix];
+          if (last < t_begin) continue;  // pixel never fired in window
+          float v;
+          if (options.repr == Representation::TimeSurface) {
+            v = static_cast<float>(
+                static_cast<double>(last - t_begin) / window_us);
+          } else {
+            v = static_cast<float>(
+                std::exp(-static_cast<double>(t_end - last) / tau_us));
+          }
+          frame.at3(surface_base + ch, y, x) = v;
+          ++prep_adds;
+        }
+      }
+    }
+  }
+
+  // Clamp count channels into [-1, 1] (saturating accumulation).
+  const Index count_channels =
+      options.repr == Representation::CountSigned      ? 1
+      : options.repr == Representation::CountTwoChannel ? 2
+      : options.repr == Representation::Combined        ? 2
+                                                         : 0;
+  for (Index c = 0; c < count_channels; ++c) {
+    for (Index y = 0; y < height; ++y) {
+      for (Index x = 0; x < width; ++x) {
+        frame.at3(c, y, x) =
+            std::min(std::max(frame.at3(c, y, x), -1.0f), 1.0f);
+      }
+    }
+  }
+
+  nn::count_add(prep_adds);
+  nn::count_act_write(frame.numel() * 4);
+  return frame;
+}
+
+nn::Tensor build_hats(std::span<const events::Event> window, Index width,
+                      Index height, const HatsOptions& options) {
+  if (width <= 0 || height <= 0 || options.cell <= 0 || options.radius < 0 ||
+      options.tau_us <= 0.0) {
+    throw std::invalid_argument("build_hats: bad options");
+  }
+  const Index cells_x = width / options.cell;
+  const Index cells_y = height / options.cell;
+  if (cells_x <= 0 || cells_y <= 0) {
+    throw std::invalid_argument("build_hats: cell larger than sensor");
+  }
+  const Index patch = 2 * options.radius + 1;
+  const Index channels = 2 * patch * patch;
+  nn::Tensor hats({channels, cells_y, cells_x});
+
+  // Per-pixel, per-polarity last-event-time surfaces.
+  std::vector<TimeUs> last[2];
+  last[0].assign(static_cast<size_t>(width * height), -1);
+  last[1].assign(static_cast<size_t>(width * height), -1);
+  std::vector<Index> cell_counts(static_cast<size_t>(cells_x * cells_y), 0);
+
+  std::int64_t prep_ops = 0;
+  for (const auto& e : window) {
+    if (e.x < 0 || e.y < 0 || e.x >= width || e.y >= height) {
+      throw std::invalid_argument("build_hats: event outside geometry");
+    }
+    const int channel = polarity_channel(e.polarity);
+    auto& surface = last[channel];
+    surface[static_cast<size_t>(e.y) * static_cast<size_t>(width) +
+            static_cast<size_t>(e.x)] = e.t;
+
+    const Index cx = e.x / options.cell;
+    const Index cy = e.y / options.cell;
+    if (cx >= cells_x || cy >= cells_y) continue;  // ragged edge
+    ++cell_counts[static_cast<size_t>(cy * cells_x + cx)];
+
+    // Accumulate the local exponential time-surface patch.
+    for (Index dy = -options.radius; dy <= options.radius; ++dy) {
+      const Index y = e.y + dy;
+      if (y < 0 || y >= height) continue;
+      for (Index dx = -options.radius; dx <= options.radius; ++dx) {
+        const Index x = e.x + dx;
+        if (x < 0 || x >= width) continue;
+        const TimeUs t_last = surface[static_cast<size_t>(y) *
+                                          static_cast<size_t>(width) +
+                                      static_cast<size_t>(x)];
+        if (t_last < 0) continue;
+        const double value = std::exp(
+            -static_cast<double>(e.t - t_last) / options.tau_us);
+        const Index patch_index =
+            (dy + options.radius) * patch + (dx + options.radius);
+        hats.at3(channel * patch * patch + patch_index, cy, cx) +=
+            static_cast<float>(value);
+        ++prep_ops;
+      }
+    }
+  }
+
+  // Normalise each cell's histogram by its event count (the "averaged" in
+  // HATS — robustness to event-rate variation).
+  for (Index cy = 0; cy < cells_y; ++cy) {
+    for (Index cx = 0; cx < cells_x; ++cx) {
+      const Index count = cell_counts[static_cast<size_t>(cy * cells_x + cx)];
+      if (count == 0) continue;
+      const float inv = 1.0f / static_cast<float>(count);
+      for (Index c = 0; c < channels; ++c) hats.at3(c, cy, cx) *= inv;
+    }
+  }
+  nn::count_add(prep_ops);
+  nn::count_act_write(hats.numel() * 4);
+  return hats;
+}
+
+std::vector<nn::Tensor> build_frame_sequence(const events::EventStream& stream,
+                                             TimeUs frame_period_us,
+                                             const FrameOptions& options) {
+  if (frame_period_us <= 0) {
+    throw std::invalid_argument("build_frame_sequence: bad period");
+  }
+  std::vector<nn::Tensor> frames;
+  if (stream.events.empty()) return frames;
+  const TimeUs t0 = stream.events.front().t;
+  const TimeUs t_last = stream.events.back().t;
+  for (TimeUs t = t0; t <= t_last; t += frame_period_us) {
+    const auto window = events::time_slice(stream.events, t, t + frame_period_us);
+    frames.push_back(build_frame(window, stream.width, stream.height, t,
+                                 t + frame_period_us, options));
+  }
+  return frames;
+}
+
+}  // namespace evd::cnn

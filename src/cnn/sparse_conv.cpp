@@ -1,0 +1,161 @@
+#include "cnn/sparse_conv.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "nn/init.hpp"
+
+namespace evd::cnn {
+
+SubmanifoldConvNet::SubmanifoldConvNet(Index height, Index width,
+                                       std::vector<Index> channels, Rng& rng)
+    : height_(height), width_(width), channels_(std::move(channels)) {
+  if (channels_.size() < 2) {
+    throw std::invalid_argument("SubmanifoldConvNet: need >= 2 channel sizes");
+  }
+  for (size_t l = 0; l + 1 < channels_.size(); ++l) {
+    const Index ic = channels_[l];
+    const Index oc = channels_[l + 1];
+    weights_.push_back(nn::he_normal({oc, ic, 3, 3}, ic * 9, rng));
+    biases_.push_back(nn::Tensor({oc}));
+  }
+  for (const Index c : channels_) {
+    buffers_.emplace_back(std::vector<Index>{c, height_, width_});
+  }
+  active_.assign(static_cast<size_t>(height_ * width_), 0);
+}
+
+void SubmanifoldConvNet::reset() {
+  for (auto& buffer : buffers_) buffer.zero();
+  std::fill(active_.begin(), active_.end(), 0);
+  active_count_ = 0;
+}
+
+bool SubmanifoldConvNet::recompute_site(Index l, Index y, Index x,
+                                        std::int64_t& macs) {
+  const Index ic = channels_[static_cast<size_t>(l)];
+  const Index oc = channels_[static_cast<size_t>(l + 1)];
+  const auto& w = weights_[static_cast<size_t>(l)];
+  const auto& b = biases_[static_cast<size_t>(l)];
+  const auto& in = buffers_[static_cast<size_t>(l)];
+  auto& out = buffers_[static_cast<size_t>(l + 1)];
+
+  bool changed = false;
+  for (Index o = 0; o < oc; ++o) {
+    float acc = b[o];
+    for (Index dy = -1; dy <= 1; ++dy) {
+      const Index ny = y + dy;
+      if (ny < 0 || ny >= height_) continue;
+      for (Index dx = -1; dx <= 1; ++dx) {
+        const Index nx = x + dx;
+        if (nx < 0 || nx >= width_) continue;
+        // Sub-manifold property: only active sites contribute (inactive
+        // sites hold zeros, so skipping them is exact).
+        if (!active_[static_cast<size_t>(ny * width_ + nx)]) continue;
+        for (Index i = 0; i < ic; ++i) {
+          acc += w[((o * ic + i) * 3 + (dy + 1)) * 3 + (dx + 1)] *
+                 in.at3(i, ny, nx);
+          ++macs;
+        }
+      }
+    }
+    acc = acc > 0.0f ? acc : 0.0f;  // ReLU
+    if (std::fabs(acc - out.at3(o, y, x)) > kEps) {
+      out.at3(o, y, x) = acc;
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+AsyncUpdateStats SubmanifoldConvNet::update(const events::Event& event) {
+  if (event.x < 0 || event.y < 0 || event.x >= width_ || event.y >= height_) {
+    throw std::invalid_argument("SubmanifoldConvNet::update: event outside");
+  }
+  AsyncUpdateStats stats;
+  const auto site = static_cast<size_t>(event.y) * static_cast<size_t>(width_) +
+                    static_cast<size_t>(event.x);
+  const bool newly_active = active_[site] == 0;
+  if (newly_active) {
+    active_[site] = 1;
+    ++active_count_;
+  }
+  auto& input = buffers_.front();
+  const Index channel = polarity_channel(event.polarity);
+  if (channel < channels_[0]) {
+    input.at3(channel, event.y, event.x) =
+        std::min(input.at3(channel, event.y, event.x) + 0.25f, 1.0f);
+  }
+
+  // Changed sites at the input of the current layer.
+  std::vector<Index> changed = {static_cast<Index>(site)};
+  std::unordered_set<Index> affected;
+  for (Index l = 0; l < layer_count(); ++l) {
+    affected.clear();
+    for (const Index s : changed) {
+      const Index cy = s / width_;
+      const Index cx = s % width_;
+      for (Index dy = -1; dy <= 1; ++dy) {
+        const Index y = cy + dy;
+        if (y < 0 || y >= height_) continue;
+        for (Index dx = -1; dx <= 1; ++dx) {
+          const Index x = cx + dx;
+          if (x < 0 || x >= width_) continue;
+          if (active_[static_cast<size_t>(y * width_ + x)]) {
+            affected.insert(y * width_ + x);
+          }
+        }
+      }
+    }
+    // A newly activated site's whole history is zero in every layer, and the
+    // site itself is in `affected` via the loop above.
+    std::vector<Index> next_changed;
+    for (const Index s : affected) {
+      ++stats.sites_recomputed;
+      if (recompute_site(l, s / width_, s % width_, stats.macs)) {
+        next_changed.push_back(s);
+        ++stats.sites_changed;
+      }
+    }
+    if (next_changed.empty()) break;  // change absorbed; stop propagating
+    changed = std::move(next_changed);
+  }
+  return stats;
+}
+
+std::int64_t SubmanifoldConvNet::forward_full() {
+  std::int64_t macs = 0;
+  for (Index l = 0; l < layer_count(); ++l) {
+    auto& out = buffers_[static_cast<size_t>(l + 1)];
+    out.zero();
+    for (Index y = 0; y < height_; ++y) {
+      for (Index x = 0; x < width_; ++x) {
+        if (!active_[static_cast<size_t>(y * width_ + x)]) continue;
+        recompute_site(l, y, x, macs);
+      }
+    }
+  }
+  // Dense baseline cost: every output site, every tap, no skipping.
+  std::int64_t dense_macs = 0;
+  for (Index l = 0; l < layer_count(); ++l) {
+    dense_macs += channels_[static_cast<size_t>(l)] *
+                  channels_[static_cast<size_t>(l + 1)] * 9 * height_ * width_;
+  }
+  return dense_macs;
+}
+
+nn::Tensor SubmanifoldConvNet::pooled_output() const {
+  const Index oc = channels_.back();
+  nn::Tensor pooled({oc});
+  const auto& out = buffers_.back();
+  for (Index y = 0; y < height_; ++y) {
+    for (Index x = 0; x < width_; ++x) {
+      if (!active_[static_cast<size_t>(y * width_ + x)]) continue;
+      for (Index c = 0; c < oc; ++c) pooled[c] += out.at3(c, y, x);
+    }
+  }
+  return pooled;
+}
+
+}  // namespace evd::cnn

@@ -1,0 +1,86 @@
+// Sub-manifold sparse convolution with asynchronous per-event updates
+// (paper §III-B, Messikommer et al. [59]).
+//
+// A sub-manifold convolution restricts outputs to the *active sites* — the
+// pixels that have received at least one event — so activity cannot dilate
+// layer by layer, and the network's cost scales with the number of active
+// sites rather than the frame area. The asynchronous mode goes further: when
+// a single event arrives, only the sites whose receptive field contains the
+// changed pixel are recomputed, layer by layer, and only those whose value
+// actually changed propagate further.
+//
+// All convolutions here are 3x3, stride 1, padding 1 with ReLU after every
+// layer; feature buffers keep the full spatial resolution so results are
+// bit-identical to a dense convolution evaluated at the active sites (the
+// property the unit tests assert).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "events/event.hpp"
+#include "nn/tensor.hpp"
+
+namespace evd::cnn {
+
+struct AsyncUpdateStats {
+  std::int64_t macs = 0;             ///< Multiply-accumulates performed.
+  std::int64_t sites_recomputed = 0; ///< Output sites re-evaluated, all layers.
+  std::int64_t sites_changed = 0;    ///< Sites whose value actually changed.
+};
+
+class SubmanifoldConvNet {
+ public:
+  /// channels = {in, hidden..., out}; one 3x3 conv per adjacent pair.
+  SubmanifoldConvNet(Index height, Index width, std::vector<Index> channels,
+                     Rng& rng);
+
+  /// Clear all activity and feature buffers (weights retained).
+  void reset();
+
+  /// Incorporate one event (input channel = polarity, +1 saturating count)
+  /// and propagate the change through all layers incrementally.
+  AsyncUpdateStats update(const events::Event& event);
+
+  /// Recompute everything from the current input buffer (reference path and
+  /// cost baseline for the async-vs-dense benchmark). Returns total MACs
+  /// a dense conv over the full frame would perform.
+  std::int64_t forward_full();
+
+  /// Final-layer feature buffer [C_out, H, W].
+  const nn::Tensor& output() const noexcept { return buffers_.back(); }
+  /// Sum of final features over active sites: [C_out].
+  nn::Tensor pooled_output() const;
+
+  Index active_site_count() const noexcept { return active_count_; }
+  bool is_active(Index y, Index x) const noexcept {
+    return active_[static_cast<size_t>(y * width_ + x)] != 0;
+  }
+
+  Index layer_count() const noexcept {
+    return static_cast<Index>(weights_.size());
+  }
+  nn::Tensor& layer_weight(Index l) { return weights_.at(static_cast<size_t>(l)); }
+  nn::Tensor& layer_bias(Index l) { return biases_.at(static_cast<size_t>(l)); }
+
+  Index height() const noexcept { return height_; }
+  Index width() const noexcept { return width_; }
+
+ private:
+  /// Recompute the output of layer `l` at site (y, x); returns true if any
+  /// channel changed by more than kEps, and adds MACs to `macs`.
+  bool recompute_site(Index l, Index y, Index x, std::int64_t& macs);
+
+  static constexpr float kEps = 1e-6f;
+
+  Index height_, width_;
+  std::vector<Index> channels_;
+  std::vector<nn::Tensor> weights_;  ///< [OC, IC, 3, 3] per layer.
+  std::vector<nn::Tensor> biases_;   ///< [OC] per layer.
+  /// buffers_[0] is the input volume; buffers_[l+1] is the output of layer l.
+  std::vector<nn::Tensor> buffers_;
+  std::vector<char> active_;
+  Index active_count_ = 0;
+};
+
+}  // namespace evd::cnn

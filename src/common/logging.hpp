@@ -1,0 +1,56 @@
+// Minimal leveled logger. Header-only; writes to stderr. The default level
+// is Warn so library code is silent in tests and benches unless opted in.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+namespace evd {
+
+enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2, Error = 3 };
+
+namespace detail {
+inline LogLevel& log_level_ref() {
+  static LogLevel level = LogLevel::Warn;
+  return level;
+}
+}  // namespace detail
+
+inline void set_log_level(LogLevel level) { detail::log_level_ref() = level; }
+inline LogLevel log_level() { return detail::log_level_ref(); }
+
+template <typename... Args>
+void log(LogLevel level, const char* fmt, Args&&... args) {
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  static constexpr const char* names[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+  std::fprintf(stderr, "[evd %s] ", names[static_cast<int>(level)]);
+  if constexpr (sizeof...(Args) == 0) {
+    std::fputs(fmt, stderr);
+  } else {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wformat-security"
+    std::fprintf(stderr, fmt, std::forward<Args>(args)...);
+#pragma GCC diagnostic pop
+  }
+  std::fputc('\n', stderr);
+}
+
+template <typename... Args>
+void log_debug(const char* fmt, Args&&... args) {
+  log(LogLevel::Debug, fmt, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_info(const char* fmt, Args&&... args) {
+  log(LogLevel::Info, fmt, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_warn(const char* fmt, Args&&... args) {
+  log(LogLevel::Warn, fmt, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_error(const char* fmt, Args&&... args) {
+  log(LogLevel::Error, fmt, std::forward<Args>(args)...);
+}
+
+}  // namespace evd

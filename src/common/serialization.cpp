@@ -1,0 +1,92 @@
+#include "common/serialization.hpp"
+
+#include <stdexcept>
+
+namespace evd {
+
+BinaryWriter::BinaryWriter(const std::string& path)
+    : out_(path, std::ios::binary) {
+  if (!out_) throw std::runtime_error("BinaryWriter: cannot open " + path);
+}
+
+void BinaryWriter::check() const {
+  if (!out_) throw std::runtime_error("BinaryWriter: write failure");
+}
+
+void BinaryWriter::write_bytes(const void* data, std::size_t n) {
+  out_.write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
+  check();
+}
+
+void BinaryWriter::write_u32(std::uint32_t v) { write_bytes(&v, sizeof v); }
+void BinaryWriter::write_i64(std::int64_t v) { write_bytes(&v, sizeof v); }
+void BinaryWriter::write_f32(float v) { write_bytes(&v, sizeof v); }
+void BinaryWriter::write_f64(double v) { write_bytes(&v, sizeof v); }
+
+void BinaryWriter::write_string(const std::string& s) {
+  write_u32(static_cast<std::uint32_t>(s.size()));
+  write_bytes(s.data(), s.size());
+}
+
+void BinaryWriter::write_f32_vector(const std::vector<float>& v) {
+  write_u32(static_cast<std::uint32_t>(v.size()));
+  if (!v.empty()) write_bytes(v.data(), v.size() * sizeof(float));
+}
+
+BinaryReader::BinaryReader(const std::string& path)
+    : in_(path, std::ios::binary) {
+  if (!in_) throw std::runtime_error("BinaryReader: cannot open " + path);
+}
+
+void BinaryReader::check() const {
+  if (!in_) throw std::runtime_error("BinaryReader: read failure / truncated");
+}
+
+void BinaryReader::read_bytes(void* data, std::size_t n) {
+  in_.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
+  check();
+}
+
+std::uint32_t BinaryReader::read_u32() {
+  std::uint32_t v;
+  read_bytes(&v, sizeof v);
+  return v;
+}
+
+std::int64_t BinaryReader::read_i64() {
+  std::int64_t v;
+  read_bytes(&v, sizeof v);
+  return v;
+}
+
+float BinaryReader::read_f32() {
+  float v;
+  read_bytes(&v, sizeof v);
+  return v;
+}
+
+double BinaryReader::read_f64() {
+  double v;
+  read_bytes(&v, sizeof v);
+  return v;
+}
+
+std::string BinaryReader::read_string() {
+  const auto n = read_u32();
+  std::string s(n, '\0');
+  if (n > 0) read_bytes(s.data(), n);
+  return s;
+}
+
+std::vector<float> BinaryReader::read_f32_vector() {
+  const auto n = read_u32();
+  std::vector<float> v(n);
+  if (n > 0) read_bytes(v.data(), n * sizeof(float));
+  return v;
+}
+
+bool BinaryReader::at_end() {
+  return in_.peek() == std::ifstream::traits_type::eof();
+}
+
+}  // namespace evd

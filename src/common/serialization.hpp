@@ -1,0 +1,51 @@
+// Minimal little-endian binary serialization for model checkpoints and
+// recorded event streams.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace evd {
+
+/// Streaming binary writer. Throws std::runtime_error on I/O failure.
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(const std::string& path);
+
+  void write_u32(std::uint32_t v);
+  void write_i64(std::int64_t v);
+  void write_f32(float v);
+  void write_f64(double v);
+  void write_bytes(const void* data, std::size_t n);
+  void write_string(const std::string& s);
+  void write_f32_vector(const std::vector<float>& v);
+
+ private:
+  std::ofstream out_;
+  void check() const;
+};
+
+/// Streaming binary reader; the exact mirror of BinaryWriter.
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::string& path);
+
+  std::uint32_t read_u32();
+  std::int64_t read_i64();
+  float read_f32();
+  double read_f64();
+  void read_bytes(void* data, std::size_t n);
+  std::string read_string();
+  std::vector<float> read_f32_vector();
+  bool at_end();
+
+ private:
+  std::ifstream in_;
+  void check() const;
+};
+
+}  // namespace evd

@@ -1,0 +1,114 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace evd {
+
+void RunningStats::add(double x) noexcept {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, Index bins) : lo_(lo), hi_(hi) {
+  if (!(hi > lo) || bins <= 0) {
+    throw std::invalid_argument("Histogram: need hi > lo and bins > 0");
+  }
+  counts_.assign(static_cast<size_t>(bins), 0);
+}
+
+void Histogram::add(double x) noexcept {
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto bin = static_cast<Index>(t * static_cast<double>(counts_.size()));
+  bin = std::clamp<Index>(bin, 0, bins() - 1);
+  ++counts_[static_cast<size_t>(bin)];
+  ++total_;
+}
+
+Index Histogram::bin_count(Index bin) const {
+  return counts_.at(static_cast<size_t>(bin));
+}
+
+double Histogram::bin_center(Index bin) const {
+  const double width = (hi_ - lo_) / static_cast<double>(bins());
+  return lo_ + (static_cast<double>(bin) + 0.5) * width;
+}
+
+double Histogram::quantile(double q) const {
+  if (total_ == 0) return lo_;
+  const auto target = static_cast<Index>(q * static_cast<double>(total_));
+  Index cumulative = 0;
+  for (Index b = 0; b < bins(); ++b) {
+    cumulative += counts_[static_cast<size_t>(b)];
+    if (cumulative > target) return bin_center(b);
+  }
+  return hi_;
+}
+
+std::string Histogram::to_string(Index max_width) const {
+  Index peak = 1;
+  for (const auto c : counts_) peak = std::max(peak, c);
+  std::string out;
+  for (Index b = 0; b < bins(); ++b) {
+    const auto width = static_cast<Index>(
+        static_cast<double>(bin_count(b)) / static_cast<double>(peak) *
+        static_cast<double>(max_width));
+    out += std::to_string(bin_center(b)) + " | " +
+           std::string(static_cast<size_t>(width), '#') + " " +
+           std::to_string(bin_count(b)) + "\n";
+  }
+  return out;
+}
+
+double Percentiles::percentile(double p) const {
+  if (samples_.empty()) {
+    throw std::logic_error("Percentiles::percentile on empty sample set");
+  }
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  const double rank =
+      std::clamp(p, 0.0, 100.0) / 100.0 * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<size_t>(rank);
+  const auto hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double Percentiles::mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double s : samples_) sum += s;
+  return sum / static_cast<double>(samples_.size());
+}
+
+}  // namespace evd

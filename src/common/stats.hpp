@@ -1,0 +1,75 @@
+// Running statistics, histograms and percentile estimation.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace evd {
+
+/// Numerically stable running mean / variance / min / max (Welford).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+  void reset() noexcept { *this = RunningStats{}; }
+
+  Index count() const noexcept { return count_; }
+  double mean() const noexcept { return count_ > 0 ? mean_ : 0.0; }
+  double variance() const noexcept;  ///< Sample variance (n-1 denominator).
+  double stddev() const noexcept;
+  double min() const noexcept { return count_ > 0 ? min_ : 0.0; }
+  double max() const noexcept { return count_ > 0 ? max_ : 0.0; }
+  double sum() const noexcept { return mean_ * static_cast<double>(count_); }
+
+ private:
+  Index count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-bin histogram over [lo, hi); out-of-range samples clamp to edge bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, Index bins);
+
+  void add(double x) noexcept;
+  Index bin_count(Index bin) const;
+  Index bins() const noexcept { return static_cast<Index>(counts_.size()); }
+  Index total() const noexcept { return total_; }
+  double bin_center(Index bin) const;
+  /// Approximate quantile (q in [0,1]) from bin mass.
+  double quantile(double q) const;
+  std::string to_string(Index max_width = 50) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<Index> counts_;
+  Index total_ = 0;
+};
+
+/// Exact percentiles over a stored sample set (for latency distributions).
+class Percentiles {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+  void reserve(Index n) { samples_.reserve(static_cast<size_t>(n)); }
+  Index count() const noexcept { return static_cast<Index>(samples_.size()); }
+  /// Percentile p in [0,100], linear interpolation. Requires count() > 0.
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+  double mean() const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace evd

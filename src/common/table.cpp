@@ -1,0 +1,67 @@
+#include "common/table.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace evd {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("Table: empty header");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("Table: row arity mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+std::string Table::eng(double value, int precision) {
+  static constexpr const char* suffixes[] = {"", "k", "M", "G", "T", "P"};
+  double v = std::fabs(value);
+  int tier = 0;
+  while (v >= 1000.0 && tier < 5) {
+    v /= 1000.0;
+    ++tier;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%s%.*f%s", value < 0 ? "-" : "", precision, v,
+                suffixes[tier]);
+  return buf;
+}
+
+std::string Table::to_string() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      line += " " + row[c] + std::string(widths[c] - row[c].size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+  std::string sep = "+";
+  for (const auto w : widths) sep += std::string(w + 2, '-') + "+";
+  sep += "\n";
+
+  std::string out = sep + emit_row(headers_) + sep;
+  for (const auto& row : rows_) out += emit_row(row);
+  out += sep;
+  return out;
+}
+
+void Table::print() const { std::fputs(to_string().c_str(), stdout); }
+
+}  // namespace evd

@@ -1,0 +1,34 @@
+// Aligned ASCII table printer used by benches and examples to emit the
+// paper's tables/figure series in a readable, diff-friendly format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace evd {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with the given precision.
+  static std::string num(double value, int precision = 3);
+  /// Format with engineering suffix (1.2k, 3.4M, 5.6G).
+  static std::string eng(double value, int precision = 2);
+
+  std::string to_string() const;
+  void print() const;
+
+  Index rows() const { return static_cast<Index>(rows_.size()); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace evd

@@ -1,0 +1,27 @@
+// Fundamental type aliases and small value types shared across the library.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace evd {
+
+/// Signed index type used throughout (Core Guidelines ES.102: prefer signed
+/// arithmetic; conversions to size_t happen only at container boundaries).
+using Index = std::int64_t;
+
+/// Microsecond timestamp. Event cameras time-stamp with ~1 us resolution.
+using TimeUs = std::int64_t;
+
+/// Event polarity: ON (+1, luminance increase) or OFF (-1, decrease).
+enum class Polarity : std::int8_t { Off = -1, On = +1 };
+
+/// Convert polarity to a {-1,+1} integer.
+constexpr int polarity_sign(Polarity p) noexcept { return static_cast<int>(p); }
+
+/// Convert polarity to a {0,1} channel index (Off -> 0, On -> 1).
+constexpr int polarity_channel(Polarity p) noexcept {
+  return p == Polarity::On ? 1 : 0;
+}
+
+}  // namespace evd

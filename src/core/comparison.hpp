@@ -1,0 +1,51 @@
+// The comparison harness: trains every registered pipeline on the identical
+// split, measures all twelve Table I axes, and renders both the raw
+// measurements and the derived {-, +, ++} grades next to the paper's
+// published ratings.
+#pragma once
+
+#include <vector>
+
+#include "common/table.hpp"
+#include "core/metrics.hpp"
+#include "core/rating.hpp"
+#include "core/workload.hpp"
+
+namespace evd::core {
+
+struct ComparisonConfig {
+  ClassificationWorkload classification;
+  StreamingWorkload streaming;
+  Index probe_samples = 8;  ///< Test samples used for per-inference counters.
+  bool verbose = false;
+};
+
+struct ComparisonResult {
+  std::vector<MetricSet> metrics;  ///< One per registered pipeline, in order.
+
+  /// Raw measurement table (rows = axes, columns = pipelines).
+  Table measurement_table() const;
+  /// Derived grades next to the paper's Table I.
+  Table rating_table() const;
+};
+
+class ComparisonHarness {
+ public:
+  explicit ComparisonHarness(ComparisonConfig config)
+      : config_(std::move(config)) {}
+
+  /// Register a pipeline (non-owning; must outlive run()).
+  void add(EventPipeline* pipeline) { pipelines_.push_back(pipeline); }
+
+  /// Train + measure everything. Deterministic for fixed configs/seeds.
+  ComparisonResult run();
+
+ private:
+  MetricSet measure(EventPipeline& pipeline,
+                    std::span<const events::LabelledSample> test);
+
+  ComparisonConfig config_;
+  std::vector<EventPipeline*> pipelines_;
+};
+
+}  // namespace evd::core

@@ -1,0 +1,38 @@
+// The quantitative metric set behind Table I's twelve axes.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace evd::core {
+
+struct MetricSet {
+  std::string pipeline;
+
+  // Data axes.
+  double temporal_delta_accuracy = 0.0;  ///< acc - acc(time-shuffled input).
+  double data_sparsity = 0.0;            ///< 1 - consumed/dense input elements.
+  Index preparation_bytes = 0;           ///< Input-format bytes materialised.
+
+  // Computation axes.
+  double compute_sparsity = 0.0;   ///< Fraction of nominal ops avoided.
+  std::int64_t ops_per_inference = 0;
+
+  // Application.
+  double accuracy = 0.0;
+
+  // Memory axes.
+  Index param_count = 0;
+  Index memory_footprint_bytes = 0;     ///< Params + persistent state.
+  std::int64_t bandwidth_bytes = 0;     ///< Bytes moved per inference.
+
+  // System axes.
+  double energy_uj = 0.0;               ///< Per inference, hw model.
+  double memory_energy_fraction = 0.0;  ///< Memory share of that energy.
+  bool resolution_flexible = false;     ///< Retrain-free geometry change.
+  double first_decision_latency_us = 0.0;  ///< Stimulus onset -> any decision.
+  double first_correct_latency_us = 0.0;   ///< Onset -> correct decision.
+};
+
+}  // namespace evd::core

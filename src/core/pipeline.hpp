@@ -1,0 +1,90 @@
+// The EventPipeline interface — the common contract all three paradigms
+// (dense-frame CNN, SNN, event-graph GNN) implement so the comparison
+// harness can measure them on identical workloads.
+//
+// Two modes of use mirror the paper's two workload classes:
+//  * batch classification (train / classify)           -> accuracy axes
+//  * streaming, event-driven processing (StreamSession) -> latency axes
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "events/dataset.hpp"
+#include "events/event.hpp"
+#include "nn/counters.hpp"
+
+namespace evd::core {
+
+struct TrainOptions {
+  /// Epoch budget; <= 0 means "use the pipeline's own default".
+  Index epochs = 10;
+  /// Learning rate; <= 0 means "use the pipeline's own default" (each
+  /// paradigm trains best at a different rate — the harness trains every
+  /// pipeline with its own recipe on the identical split).
+  float lr = 0.0f;
+  std::uint64_t shuffle_seed = 1;
+  bool verbose = false;
+};
+
+/// A decision emitted while streaming (event-driven pipelines may emit many;
+/// frame-based pipelines emit one per frame period).
+struct Decision {
+  TimeUs t = 0;        ///< Time at which the decision became available.
+  int label = -1;      ///< Predicted class.
+  double confidence = 0.0;
+};
+
+/// Incremental processing session. feed() pushes events in time order;
+/// decisions() returns everything decided so far.
+class StreamSession {
+ public:
+  virtual ~StreamSession() = default;
+  virtual void feed(const events::Event& event) = 0;
+  /// Signal that stream time has advanced to `t` with no further events
+  /// before it (lets clocked pipelines tick on silence).
+  virtual void advance_to(TimeUs t) = 0;
+  virtual const std::vector<Decision>& decisions() const = 0;
+};
+
+class EventPipeline {
+ public:
+  virtual ~EventPipeline() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Fit on labelled samples (identical splits across pipelines).
+  virtual void train(std::span<const events::LabelledSample> samples,
+                     const TrainOptions& options) = 0;
+
+  /// Classify a complete recording.
+  virtual int classify(const events::EventStream& stream) = 0;
+
+  /// Open an event-driven session over a stream geometry.
+  virtual std::unique_ptr<StreamSession> open_session(Index width,
+                                                      Index height) = 0;
+
+  /// Learnable parameter count.
+  virtual Index param_count() const = 0;
+
+  /// Persistent state bytes required at inference time beyond parameters
+  /// (membrane potentials, graph buffers, frame accumulators...).
+  virtual Index state_bytes() const = 0;
+
+  /// Bytes of input-format data prepared per classification (dense frames,
+  /// spike tensors, graph structures) — the Table I "Data preparation" axis.
+  virtual Index input_preparation_bytes() const = 0;
+
+  /// Fraction of the dense input volume this paradigm avoids touching on
+  /// `probe` (Table I "Data - Sparsity"): 0 for anything that reads a dense
+  /// frame, close to 1 for event-driven consumers.
+  virtual double input_sparsity(const events::EventStream& probe) = 0;
+
+  /// Fraction of the paradigm's *nominal dense* compute that is skipped or
+  /// never issued on `probe` (Table I "Computation - Sparsity").
+  virtual double computation_sparsity(const events::EventStream& probe) = 0;
+};
+
+}  // namespace evd::core

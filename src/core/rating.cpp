@@ -1,0 +1,74 @@
+#include "core/rating.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace evd::core {
+
+const char* rating_symbol(Rating rating) {
+  switch (rating) {
+    case Rating::Minus: return "-";
+    case Rating::Plus: return "+";
+    case Rating::PlusPlus: return "++";
+    case Rating::Unknown: return "?";
+  }
+  return "?";
+}
+
+std::vector<Rating> grade_larger_better(const std::vector<double>& values,
+                                        double tie_factor,
+                                        double fail_factor) {
+  std::vector<Rating> grades(values.size(), Rating::Unknown);
+  double best = -1e300;
+  bool any = false;
+  for (const double v : values) {
+    if (std::isfinite(v)) {
+      best = std::max(best, v);
+      any = true;
+    }
+  }
+  if (!any) return grades;
+  for (size_t i = 0; i < values.size(); ++i) {
+    const double v = values[i];
+    if (!std::isfinite(v)) continue;
+    if (v * tie_factor >= best) {
+      grades[i] = Rating::PlusPlus;
+    } else if (v * fail_factor < best) {
+      grades[i] = Rating::Minus;
+    } else {
+      grades[i] = Rating::Plus;
+    }
+  }
+  return grades;
+}
+
+std::vector<Rating> grade_smaller_better(const std::vector<double>& values,
+                                         double tie_factor,
+                                         double fail_factor) {
+  std::vector<double> inverted(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    inverted[i] = values[i] > 0.0 ? 1.0 / values[i]
+                                  : (values[i] == 0.0 ? 1e300 : NAN);
+  }
+  return grade_larger_better(inverted, tie_factor, fail_factor);
+}
+
+const std::vector<PaperRow>& paper_table1() {
+  static const std::vector<PaperRow> rows = {
+      {"Data - Exploit temporal information", "++", "-", "++"},
+      {"Data - Sparsity", "++", "-", "++"},
+      {"Data - Preparation (v)", "++", "+", ""},
+      {"Computation - Sparsity", "++", "+", "++"},
+      {"Computation - # Operations (v)", "+", "-", "++"},
+      {"Application - Accuracy", "-", "+", "++"},
+      {"Hardware - Maturity", "+", "++", ""},
+      {"Memory - Footprint (v)", "+", "++", "?"},
+      {"Memory - Bandwidth (v)", "+", "-", "?"},
+      {"System - Energy Efficiency", "++", "+", "?"},
+      {"System - Configurability / Scalability", "-", "++", "++ (?)"},
+      {"System - Latency (v)", "++", "-", "++ (?)"},
+  };
+  return rows;
+}
+
+}  // namespace evd::core

@@ -1,0 +1,43 @@
+// Mapping measurements to the paper's qualitative {-, +, ++} scale.
+//
+// Table I is qualitative; to regenerate it from measurements we rank the
+// three pipelines per axis and assign ++/+/- by documented rules (ties share
+// a grade; order-of-magnitude gaps force a '-'). "Hardware maturity" cannot
+// be measured from software — it is the one axis kept as a documented
+// constant, with the paper's citation counts as justification.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/metrics.hpp"
+
+namespace evd::core {
+
+enum class Rating { Minus, Plus, PlusPlus, Unknown };
+
+const char* rating_symbol(Rating rating);
+
+/// Grade `values` (one per pipeline) where larger is better: best gets ++,
+/// anything within `tie_factor` of best also ++; worse than best by more
+/// than `fail_factor` gets -, else +. Non-finite values -> Unknown.
+std::vector<Rating> grade_larger_better(const std::vector<double>& values,
+                                        double tie_factor = 1.15,
+                                        double fail_factor = 8.0);
+
+/// Same with smaller-is-better semantics (the table's "(v)" axes).
+std::vector<Rating> grade_smaller_better(const std::vector<double>& values,
+                                         double tie_factor = 1.15,
+                                         double fail_factor = 8.0);
+
+/// The paper's published Table I ratings for {SNN, CNN, GNN}, by axis name —
+/// printed alongside our measured grades for comparison.
+struct PaperRow {
+  const char* axis;
+  const char* snn;
+  const char* cnn;
+  const char* gnn;
+};
+const std::vector<PaperRow>& paper_table1();
+
+}  // namespace evd::core

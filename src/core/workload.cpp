@@ -1,0 +1,22 @@
+#include "core/workload.hpp"
+
+#include "common/rng.hpp"
+
+namespace evd::core {
+
+events::EventStream shuffle_timestamps(const events::EventStream& stream,
+                                       std::uint64_t seed) {
+  events::EventStream shuffled = stream;
+  if (shuffled.events.size() < 2) return shuffled;
+  Rng rng(seed);
+  const TimeUs t0 = shuffled.events.front().t;
+  const TimeUs t1 = shuffled.events.back().t;
+  for (auto& e : shuffled.events) {
+    e.t = t0 + static_cast<TimeUs>(rng.uniform() *
+                                   static_cast<double>(t1 - t0));
+  }
+  events::sort_by_time(shuffled.events);
+  return shuffled;
+}
+
+}  // namespace evd::core

@@ -1,0 +1,33 @@
+// Workload descriptors shared by the comparison harness and the benches.
+#pragma once
+
+#include "core/pipeline.hpp"
+#include "events/dataset.hpp"
+
+namespace evd::core {
+
+/// Classification workload: the identical split every pipeline trains and
+/// tests on.
+struct ClassificationWorkload {
+  events::ShapeDatasetConfig dataset;
+  Index train_per_class = 40;
+  Index test_per_class = 15;
+  TrainOptions training;
+};
+
+/// Streaming workload for latency measurement: quiet sensor, stimulus onset
+/// at a known time.
+struct StreamingWorkload {
+  TimeUs onset_us = 30000;
+  TimeUs duration_us = 100000;
+  Index trials = 5;            ///< Distinct onset streams (different labels).
+  double confidence_gate = 0.0;  ///< Min confidence for a decision to count.
+};
+
+/// Shuffle event timestamps uniformly within each recording (destroys
+/// temporal structure while preserving spatial statistics) — the probe
+/// behind the "exploits temporal information" axis.
+events::EventStream shuffle_timestamps(const events::EventStream& stream,
+                                       std::uint64_t seed);
+
+}  // namespace evd::core

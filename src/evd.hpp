@@ -1,0 +1,88 @@
+// evd — the event-camera CNN / SNN / GNN dichotomy laboratory.
+//
+// Umbrella header: pulls in the whole public API. Prefer including the
+// individual module headers in real code; this exists for quick
+// experiments and examples.
+//
+//   events/  sensor substrate (DVS simulator, AER, filters, datasets, flow)
+//   nn/      from-scratch network stack with op/byte instrumentation
+//   cnn/     dense-frame pipeline + sub-manifold sparse conv + recurrence
+//   snn/     spiking pipeline (BPTT, e-prop, conversion, event-driven)
+//   gnn/     event-graph pipeline (incremental construction, async updates)
+//   hw/      analytical hardware cost models
+//   core/    the EventPipeline interface and the Table-I comparison harness
+#pragma once
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "common/serialization.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/types.hpp"
+
+#include "events/aer.hpp"
+#include "events/dataset.hpp"
+#include "events/downsample.hpp"
+#include "events/dvs_simulator.hpp"
+#include "events/event.hpp"
+#include "events/event_io.hpp"
+#include "events/filters.hpp"
+#include "events/foveation.hpp"
+#include "events/hybrid_sensor.hpp"
+#include "events/optical_flow.hpp"
+#include "events/rate_controller.hpp"
+#include "events/scene.hpp"
+
+#include "nn/activations.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/counters.hpp"
+#include "nn/init.hpp"
+#include "nn/layer.hpp"
+#include "nn/linear.hpp"
+#include "nn/model_io.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/pooling.hpp"
+#include "nn/pruning.hpp"
+#include "nn/quantization.hpp"
+#include "nn/sequential.hpp"
+#include "nn/softmax.hpp"
+#include "nn/tensor.hpp"
+
+#include "cnn/cnn_pipeline.hpp"
+#include "cnn/dense_model.hpp"
+#include "cnn/recurrent.hpp"
+#include "cnn/representation.hpp"
+#include "cnn/sparse_conv.hpp"
+
+#include "snn/conversion.hpp"
+#include "snn/encoding.hpp"
+#include "snn/eprop.hpp"
+#include "snn/event_driven.hpp"
+#include "snn/lif.hpp"
+#include "snn/snn_model.hpp"
+#include "snn/snn_pipeline.hpp"
+#include "snn/stdp.hpp"
+#include "snn/surrogate.hpp"
+
+#include "gnn/async_update.hpp"
+#include "gnn/gnn_model.hpp"
+#include "gnn/gnn_pipeline.hpp"
+#include "gnn/graph.hpp"
+#include "gnn/graph_builder.hpp"
+#include "gnn/graph_conv.hpp"
+#include "gnn/graph_pool.hpp"
+#include "gnn/incremental.hpp"
+#include "gnn/kdtree.hpp"
+
+#include "hw/energy_model.hpp"
+#include "hw/gnn_accel.hpp"
+#include "hw/report.hpp"
+#include "hw/snn_core.hpp"
+#include "hw/systolic.hpp"
+#include "hw/zero_skip.hpp"
+
+#include "core/comparison.hpp"
+#include "core/metrics.hpp"
+#include "core/pipeline.hpp"
+#include "core/rating.hpp"
+#include "core/workload.hpp"

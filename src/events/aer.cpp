@@ -1,0 +1,140 @@
+#include "events/aer.hpp"
+
+#include <stdexcept>
+
+namespace evd::events {
+namespace {
+
+// RAW32 address word layout: [31:18] x, [17:4] y, [3] polarity, [2:0] unused.
+constexpr std::uint32_t kXShift = 18;
+constexpr std::uint32_t kYShift = 4;
+constexpr std::uint32_t kPolBit = 1u << 3;
+constexpr std::uint32_t kAddrMask = 0x3FFF;  // 14 bits
+
+// Delta word tags (top 2 of 16 bits).
+enum class Tag : std::uint16_t {
+  TimeLow = 0b00,   ///< payload: 14-bit time increment (us)
+  TimeExt = 0b01,   ///< payload: 14-bit value, time += value << 14
+  AddrY = 0b10,     ///< payload: 14-bit row address
+  AddrX = 0b11,     ///< payload: [13] polarity, [12:0] column address
+};
+
+constexpr std::uint16_t word(Tag tag, std::uint16_t payload) {
+  return static_cast<std::uint16_t>(static_cast<std::uint16_t>(tag) << 14 |
+                                    (payload & 0x3FFF));
+}
+
+constexpr Tag tag_of(std::uint16_t w) { return static_cast<Tag>(w >> 14); }
+constexpr std::uint16_t payload_of(std::uint16_t w) {
+  return static_cast<std::uint16_t>(w & 0x3FFF);
+}
+
+}  // namespace
+
+Raw32Packet raw32_encode(std::span<const Event> events) {
+  Raw32Packet packet;
+  packet.words.reserve(events.size() * 2);
+  packet.event_count = static_cast<Index>(events.size());
+  for (const auto& e : events) {
+    std::uint32_t addr = (static_cast<std::uint32_t>(e.x) & kAddrMask)
+                             << kXShift |
+                         (static_cast<std::uint32_t>(e.y) & kAddrMask)
+                             << kYShift;
+    if (e.polarity == Polarity::On) addr |= kPolBit;
+    packet.words.push_back(addr);
+    packet.words.push_back(static_cast<std::uint32_t>(e.t));
+  }
+  return packet;
+}
+
+std::vector<Event> raw32_decode(const Raw32Packet& packet) {
+  if (packet.words.size() != static_cast<size_t>(packet.event_count) * 2) {
+    throw std::runtime_error("raw32_decode: word count mismatch");
+  }
+  std::vector<Event> events;
+  events.reserve(static_cast<size_t>(packet.event_count));
+  for (size_t i = 0; i + 1 < packet.words.size(); i += 2) {
+    const std::uint32_t addr = packet.words[i];
+    Event e;
+    e.x = static_cast<std::int16_t>((addr >> kXShift) & kAddrMask);
+    e.y = static_cast<std::int16_t>((addr >> kYShift) & kAddrMask);
+    e.polarity = (addr & kPolBit) ? Polarity::On : Polarity::Off;
+    e.t = static_cast<TimeUs>(packet.words[i + 1]);
+    events.push_back(e);
+  }
+  return events;
+}
+
+DeltaPacket delta_encode(std::span<const Event> events) {
+  if (!is_time_sorted(events)) {
+    throw std::invalid_argument("delta_encode: stream must be time-sorted");
+  }
+  DeltaPacket packet;
+  packet.event_count = static_cast<Index>(events.size());
+  if (events.empty()) return packet;
+
+  packet.base_time = events.front().t;
+  TimeUs current_time = packet.base_time;
+  std::int32_t current_y = -1;
+
+  for (const auto& e : events) {
+    TimeUs dt = e.t - current_time;
+    while (dt >> 14 != 0) {
+      const auto hi = static_cast<std::uint16_t>(
+          std::min<TimeUs>(dt >> 14, 0x3FFF));
+      packet.words.push_back(word(Tag::TimeExt, hi));
+      dt -= static_cast<TimeUs>(hi) << 14;
+    }
+    if (dt > 0) {
+      packet.words.push_back(word(Tag::TimeLow,
+                                  static_cast<std::uint16_t>(dt)));
+    }
+    current_time = e.t;
+
+    if (e.y != current_y) {
+      packet.words.push_back(
+          word(Tag::AddrY, static_cast<std::uint16_t>(e.y)));
+      current_y = e.y;
+    }
+    std::uint16_t xw = static_cast<std::uint16_t>(e.x) & 0x1FFF;
+    if (e.polarity == Polarity::On) xw |= 1u << 13;
+    packet.words.push_back(word(Tag::AddrX, xw));
+  }
+  return packet;
+}
+
+std::vector<Event> delta_decode(const DeltaPacket& packet) {
+  std::vector<Event> events;
+  events.reserve(static_cast<size_t>(packet.event_count));
+  TimeUs current_time = packet.base_time;
+  std::int16_t current_y = 0;
+  for (const std::uint16_t w : packet.words) {
+    switch (tag_of(w)) {
+      case Tag::TimeLow:
+        current_time += payload_of(w);
+        break;
+      case Tag::TimeExt:
+        current_time += static_cast<TimeUs>(payload_of(w)) << 14;
+        break;
+      case Tag::AddrY:
+        current_y = static_cast<std::int16_t>(payload_of(w));
+        break;
+      case Tag::AddrX: {
+        const std::uint16_t payload = payload_of(w);
+        Event e;
+        e.x = static_cast<std::int16_t>(payload & 0x1FFF);
+        e.y = current_y;
+        e.polarity = (payload & (1u << 13)) ? Polarity::On : Polarity::Off;
+        e.t = current_time;
+        events.push_back(e);
+        break;
+      }
+    }
+  }
+  if (static_cast<Index>(events.size()) != packet.event_count) {
+    throw std::runtime_error("delta_decode: event count mismatch");
+  }
+  return events;
+}
+
+}  // namespace evd::events

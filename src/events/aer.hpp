@@ -1,0 +1,65 @@
+// Address-Event Representation (AER) codec.
+//
+// AER is the time-multiplexed digital protocol event sensors use to ship
+// events off-chip [7]. We implement two wire formats used by real readout
+// pipelines:
+//
+//  * RAW32: one 32-bit word per event — 14-bit x, 14-bit y (enough for the
+//    1280x720 Gen4 sensor [10]), 1-bit polarity, plus a separate absolute
+//    timestamp channel. Models the uncompressed readout.
+//  * EVT-delta: variable-length compressed format in the spirit of the Gen4
+//    "compressive data-formatting pipeline" [10]: a vector-ised encoding with
+//    time-delta words inserted only when the timestamp advances, and 16-bit
+//    per-event address words relative to a row base.
+//
+// The codec is lossless; bandwidth accounting (bits/event) feeds the Table I
+// "Memory - Bandwidth" axis for the sensor interface.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "events/event.hpp"
+
+namespace evd::events {
+
+/// Fixed 32-bit word per event plus one 32-bit timestamp word per event.
+struct Raw32Packet {
+  std::vector<std::uint32_t> words;
+  Index event_count = 0;
+
+  double bits_per_event() const noexcept {
+    return event_count > 0 ? static_cast<double>(words.size()) * 32.0 /
+                                 static_cast<double>(event_count)
+                           : 0.0;
+  }
+};
+
+/// Encode a stream into RAW32 (address word + timestamp word per event).
+Raw32Packet raw32_encode(std::span<const Event> events);
+
+/// Decode RAW32; throws std::runtime_error on malformed input.
+std::vector<Event> raw32_decode(const Raw32Packet& packet);
+
+/// Variable-length compressed packet (EVT-delta).
+struct DeltaPacket {
+  std::vector<std::uint16_t> words;
+  Index event_count = 0;
+  TimeUs base_time = 0;
+
+  double bits_per_event() const noexcept {
+    return event_count > 0 ? static_cast<double>(words.size()) * 16.0 /
+                                 static_cast<double>(event_count)
+                           : 0.0;
+  }
+};
+
+/// Encode a *time-sorted* stream into the delta format.
+/// Throws std::invalid_argument if the stream is not sorted.
+DeltaPacket delta_encode(std::span<const Event> events);
+
+/// Decode a delta packet; exact inverse of delta_encode.
+std::vector<Event> delta_decode(const DeltaPacket& packet);
+
+}  // namespace evd::events

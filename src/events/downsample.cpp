@@ -1,0 +1,69 @@
+#include "events/downsample.hpp"
+
+#include <stdexcept>
+
+namespace evd::events {
+
+EventStream spatial_downsample(const EventStream& stream,
+                               const SpatialDownsampleConfig& config) {
+  if (config.factor <= 0) {
+    throw std::invalid_argument("spatial_downsample: factor must be positive");
+  }
+  EventStream out;
+  out.width = stream.width / config.factor;
+  out.height = stream.height / config.factor;
+  if (out.width <= 0 || out.height <= 0) {
+    throw std::invalid_argument("spatial_downsample: factor exceeds geometry");
+  }
+
+  if (!config.accumulate) {
+    out.events.reserve(stream.events.size());
+    for (const auto& e : stream.events) {
+      const Index sx = e.x / config.factor;
+      const Index sy = e.y / config.factor;
+      if (sx >= out.width || sy >= out.height) continue;  // ragged edge
+      out.events.push_back(Event{static_cast<std::int16_t>(sx),
+                                 static_cast<std::int16_t>(sy), e.polarity,
+                                 e.t});
+    }
+    return out;
+  }
+
+  // Integrate-and-fire pooling: per super-pixel, per polarity counters that
+  // reset on window boundaries.
+  struct Counter {
+    Index count[2] = {0, 0};
+    TimeUs window_start = 0;
+  };
+  std::vector<Counter> counters(static_cast<size_t>(out.width * out.height));
+  for (const auto& e : stream.events) {
+    const Index sx = e.x / config.factor;
+    const Index sy = e.y / config.factor;
+    if (sx >= out.width || sy >= out.height) continue;
+    auto& c = counters[static_cast<size_t>(sy * out.width + sx)];
+    if (e.t - c.window_start >= config.window_us) {
+      c.count[0] = c.count[1] = 0;
+      c.window_start = e.t - (e.t % config.window_us);
+    }
+    const int channel = polarity_channel(e.polarity);
+    if (++c.count[channel] >= config.count_threshold) {
+      c.count[channel] = 0;
+      out.events.push_back(Event{static_cast<std::int16_t>(sx),
+                                 static_cast<std::int16_t>(sy), e.polarity,
+                                 e.t});
+    }
+  }
+  return out;
+}
+
+std::vector<Event> temporal_quantize(std::span<const Event> events,
+                                     TimeUs tick_us) {
+  if (tick_us <= 0) {
+    throw std::invalid_argument("temporal_quantize: tick must be positive");
+  }
+  std::vector<Event> out(events.begin(), events.end());
+  for (auto& e : out) e.t -= e.t % tick_us;
+  return out;
+}
+
+}  // namespace evd::events

@@ -1,0 +1,38 @@
+// In-sensor event down-sampling (paper §II mitigation strategies [21]).
+//
+// Spatial pooling merges factor x factor pixel blocks into one super-pixel.
+// Two variants are modelled:
+//
+//  * Passthrough — remap every event to the super-pixel (cheap OR-pooling;
+//    the rate is reduced only by the optional refractory stage).
+//  * Accumulate  — a super-pixel emits one event per `count_threshold`
+//    same-polarity child events inside a time window (integrate-and-fire
+//    pooling, an actual rate reducer as in the NPU of [21]).
+//
+// Temporal down-sampling quantises timestamps to a coarser tick.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "events/event.hpp"
+
+namespace evd::events {
+
+struct SpatialDownsampleConfig {
+  Index factor = 2;            ///< Block side; output is width/factor.
+  bool accumulate = false;     ///< Integrate-and-fire pooling if true.
+  Index count_threshold = 2;   ///< Child events per emitted super-event.
+  TimeUs window_us = 10000;    ///< Accumulation counter reset interval.
+};
+
+/// Down-sample a stream spatially. The returned stream has the reduced
+/// geometry (floor division).
+EventStream spatial_downsample(const EventStream& stream,
+                               const SpatialDownsampleConfig& config);
+
+/// Quantise timestamps to multiples of tick_us (floor). Order is preserved.
+std::vector<Event> temporal_quantize(std::span<const Event> events,
+                                     TimeUs tick_us);
+
+}  // namespace evd::events

@@ -1,0 +1,28 @@
+#include "events/event.hpp"
+
+namespace evd::events {
+
+double active_pixel_fraction(const EventStream& stream) {
+  if (stream.width <= 0 || stream.height <= 0) return 0.0;
+  std::vector<char> touched(
+      static_cast<size_t>(stream.width * stream.height), 0);
+  for (const auto& e : stream.events) {
+    touched[static_cast<size_t>(e.y) * static_cast<size_t>(stream.width) +
+            static_cast<size_t>(e.x)] = 1;
+  }
+  Index active = 0;
+  for (const char c : touched) active += c;
+  return static_cast<double>(active) /
+         static_cast<double>(stream.width * stream.height);
+}
+
+std::vector<Event> merge_streams(std::span<const Event> a,
+                                 std::span<const Event> b) {
+  std::vector<Event> out;
+  out.reserve(a.size() + b.size());
+  std::merge(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out),
+             [](const Event& x, const Event& y) { return x.t < y.t; });
+  return out;
+}
+
+}  // namespace evd::events

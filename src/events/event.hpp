@@ -1,0 +1,93 @@
+// Core event-camera data types.
+//
+// An event-camera pixel emits an *event* when the log-luminance at that pixel
+// changes by more than a contrast threshold since the pixel's last event
+// (Lichtsteiner 2008 [6]). Each event carries the pixel address, a
+// microsecond timestamp and a polarity. A recording is a time-ordered stream
+// of such events.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace evd::events {
+
+/// A single DVS event. 16-byte POD; streams of millions are common.
+struct Event {
+  std::int16_t x = 0;       ///< Pixel column.
+  std::int16_t y = 0;       ///< Pixel row.
+  Polarity polarity = Polarity::On;
+  TimeUs t = 0;             ///< Timestamp in microseconds.
+
+  friend bool operator==(const Event&, const Event&) = default;
+};
+
+/// Time-ordered sequence of events plus the sensor geometry that produced it.
+struct EventStream {
+  Index width = 0;
+  Index height = 0;
+  std::vector<Event> events;
+
+  Index size() const noexcept { return static_cast<Index>(events.size()); }
+  bool empty() const noexcept { return events.empty(); }
+
+  /// Duration between first and last event (0 if fewer than 2 events).
+  TimeUs duration_us() const noexcept {
+    return events.size() < 2 ? 0 : events.back().t - events.front().t;
+  }
+
+  /// Mean event rate in events/second (0 for degenerate streams).
+  double rate_eps() const noexcept {
+    const auto d = duration_us();
+    return d > 0 ? static_cast<double>(size()) * 1e6 / static_cast<double>(d)
+                 : 0.0;
+  }
+};
+
+/// True if events are sorted by non-decreasing timestamp.
+inline bool is_time_sorted(std::span<const Event> events) noexcept {
+  return std::is_sorted(
+      events.begin(), events.end(),
+      [](const Event& a, const Event& b) { return a.t < b.t; });
+}
+
+/// Stable sort by timestamp (simulator output is already sorted; this is for
+/// merged or filtered streams).
+inline void sort_by_time(std::vector<Event>& events) {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) { return a.t < b.t; });
+}
+
+/// View of the events with t in [t_begin, t_end). Requires a sorted stream.
+inline std::span<const Event> time_slice(std::span<const Event> events,
+                                         TimeUs t_begin, TimeUs t_end) {
+  const auto lo = std::lower_bound(
+      events.begin(), events.end(), t_begin,
+      [](const Event& e, TimeUs t) { return e.t < t; });
+  const auto hi = std::lower_bound(
+      lo, events.end(), t_end, [](const Event& e, TimeUs t) { return e.t < t; });
+  return events.subspan(static_cast<size_t>(lo - events.begin()),
+                        static_cast<size_t>(hi - lo));
+}
+
+/// Fraction of ON-polarity events.
+inline double on_fraction(std::span<const Event> events) noexcept {
+  if (events.empty()) return 0.0;
+  Index on = 0;
+  for (const auto& e : events) on += (e.polarity == Polarity::On) ? 1 : 0;
+  return static_cast<double>(on) / static_cast<double>(events.size());
+}
+
+/// Fraction of sensor pixels that emitted at least one event — the spatial
+/// sparsity measure used throughout the comparison harness.
+double active_pixel_fraction(const EventStream& stream);
+
+/// Merge two sorted streams into one sorted stream (same geometry assumed).
+std::vector<Event> merge_streams(std::span<const Event> a,
+                                 std::span<const Event> b);
+
+}  // namespace evd::events

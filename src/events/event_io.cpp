@@ -1,0 +1,84 @@
+#include "events/event_io.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/serialization.hpp"
+
+namespace evd::events {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x31445645;  // "EVD1" little-endian
+}
+
+void write_csv(const std::string& path, const EventStream& stream) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_csv: cannot open " + path);
+  out << "# width=" << stream.width << " height=" << stream.height << "\n";
+  out << "x,y,p,t_us\n";
+  for (const auto& e : stream.events) {
+    out << e.x << ',' << e.y << ',' << polarity_sign(e.polarity) << ',' << e.t
+        << '\n';
+  }
+  if (!out) throw std::runtime_error("write_csv: write failure");
+}
+
+EventStream read_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_csv: cannot open " + path);
+  EventStream stream;
+  std::string line;
+  if (!std::getline(in, line) || line.rfind("# width=", 0) != 0) {
+    throw std::runtime_error("read_csv: missing geometry header");
+  }
+  if (std::sscanf(line.c_str(), "# width=%lld height=%lld",
+                  reinterpret_cast<long long*>(&stream.width),
+                  reinterpret_cast<long long*>(&stream.height)) != 2) {
+    throw std::runtime_error("read_csv: malformed geometry header");
+  }
+  std::getline(in, line);  // column header
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    long long x, y, p, t;
+    if (std::sscanf(line.c_str(), "%lld,%lld,%lld,%lld", &x, &y, &p, &t) !=
+        4) {
+      throw std::runtime_error("read_csv: malformed row: " + line);
+    }
+    stream.events.push_back(Event{static_cast<std::int16_t>(x),
+                                  static_cast<std::int16_t>(y),
+                                  p > 0 ? Polarity::On : Polarity::Off,
+                                  static_cast<TimeUs>(t)});
+  }
+  return stream;
+}
+
+void write_binary(const std::string& path, const EventStream& stream) {
+  BinaryWriter writer(path);
+  writer.write_u32(kMagic);
+  writer.write_i64(stream.width);
+  writer.write_i64(stream.height);
+  writer.write_i64(stream.size());
+  for (const auto& e : stream.events) {
+    writer.write_bytes(&e, sizeof(Event));
+  }
+}
+
+EventStream read_binary(const std::string& path) {
+  BinaryReader reader(path);
+  if (reader.read_u32() != kMagic) {
+    throw std::runtime_error("read_binary: bad magic in " + path);
+  }
+  EventStream stream;
+  stream.width = reader.read_i64();
+  stream.height = reader.read_i64();
+  const auto count = reader.read_i64();
+  stream.events.resize(static_cast<size_t>(count));
+  for (auto& e : stream.events) {
+    reader.read_bytes(&e, sizeof(Event));
+  }
+  return stream;
+}
+
+}  // namespace evd::events

@@ -1,0 +1,21 @@
+// Event stream file I/O: a simple CSV format (x,y,polarity,t_us) for
+// interoperability and a compact binary format for speed.
+#pragma once
+
+#include <string>
+
+#include "events/event.hpp"
+
+namespace evd::events {
+
+/// Write "x,y,p,t" lines with a header. p is -1 / +1.
+void write_csv(const std::string& path, const EventStream& stream);
+
+/// Read the CSV format written by write_csv. Throws on malformed input.
+EventStream read_csv(const std::string& path);
+
+/// Compact binary container (magic "EVD1", geometry, raw event records).
+void write_binary(const std::string& path, const EventStream& stream);
+EventStream read_binary(const std::string& path);
+
+}  // namespace evd::events

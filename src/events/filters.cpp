@@ -1,0 +1,98 @@
+#include "events/filters.hpp"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace evd::events {
+
+std::vector<Event> refractory_filter(std::span<const Event> events,
+                                     Index width, Index height,
+                                     TimeUs refractory_us) {
+  std::vector<TimeUs> last(static_cast<size_t>(width * height),
+                           -refractory_us - 1);
+  std::vector<Event> kept;
+  kept.reserve(events.size());
+  for (const auto& e : events) {
+    const auto idx = static_cast<size_t>(e.y) * static_cast<size_t>(width) +
+                     static_cast<size_t>(e.x);
+    if (e.t - last[idx] > refractory_us) {
+      kept.push_back(e);
+      last[idx] = e.t;
+    }
+  }
+  return kept;
+}
+
+std::vector<Event> background_activity_filter(std::span<const Event> events,
+                                              Index width, Index height,
+                                              TimeUs support_window_us) {
+  // Timestamp map of the most recent event per pixel (any polarity).
+  std::vector<TimeUs> last(static_cast<size_t>(width * height),
+                           -support_window_us - 1);
+  std::vector<Event> kept;
+  kept.reserve(events.size());
+  for (const auto& e : events) {
+    bool supported = false;
+    for (Index dy = -1; dy <= 1 && !supported; ++dy) {
+      for (Index dx = -1; dx <= 1; ++dx) {
+        if (dx == 0 && dy == 0) continue;
+        const Index nx = e.x + dx;
+        const Index ny = e.y + dy;
+        if (nx < 0 || ny < 0 || nx >= width || ny >= height) continue;
+        if (e.t - last[static_cast<size_t>(ny * width + nx)] <=
+            support_window_us) {
+          supported = true;
+          break;
+        }
+      }
+    }
+    last[static_cast<size_t>(e.y) * static_cast<size_t>(width) +
+         static_cast<size_t>(e.x)] = e.t;
+    if (supported) kept.push_back(e);
+  }
+  return kept;
+}
+
+std::vector<Index> detect_hot_pixels(std::span<const Event> events,
+                                     Index width, Index height, double sigma) {
+  std::vector<Index> counts(static_cast<size_t>(width * height), 0);
+  for (const auto& e : events) {
+    ++counts[static_cast<size_t>(e.y) * static_cast<size_t>(width) +
+             static_cast<size_t>(e.x)];
+  }
+  double sum = 0.0, sum2 = 0.0;
+  Index active = 0;
+  for (const auto c : counts) {
+    if (c > 0) {
+      sum += static_cast<double>(c);
+      sum2 += static_cast<double>(c) * static_cast<double>(c);
+      ++active;
+    }
+  }
+  std::vector<Index> hot;
+  if (active < 2) return hot;
+  const double mean = sum / static_cast<double>(active);
+  const double var =
+      sum2 / static_cast<double>(active) - mean * mean;
+  const double cutoff = mean + sigma * std::sqrt(std::max(var, 0.0));
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (static_cast<double>(counts[i]) > cutoff) {
+      hot.push_back(static_cast<Index>(i));
+    }
+  }
+  return hot;
+}
+
+std::vector<Event> mask_pixels(std::span<const Event> events, Index width,
+                               std::span<const Index> pixels) {
+  std::unordered_set<Index> masked(pixels.begin(), pixels.end());
+  std::vector<Event> kept;
+  kept.reserve(events.size());
+  for (const auto& e : events) {
+    const Index idx = static_cast<Index>(e.y) * width + e.x;
+    if (!masked.contains(idx)) kept.push_back(e);
+  }
+  return kept;
+}
+
+}  // namespace evd::events

@@ -1,0 +1,36 @@
+// Event-stream denoising filters used between the sensor and any processing
+// pipeline. All filters are single-pass, causal and allocation-light, as
+// they model logic that runs in (or immediately next to) the sensor readout.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "events/event.hpp"
+
+namespace evd::events {
+
+/// Suppress events from a pixel closer than `refractory_us` to that pixel's
+/// previous *kept* event. Models an output-side refractory stage.
+std::vector<Event> refractory_filter(std::span<const Event> events,
+                                     Index width, Index height,
+                                     TimeUs refractory_us);
+
+/// Background-activity filter (Delbruck-style): keep an event only if one of
+/// its 8 spatial neighbours produced an event within `support_window_us`.
+/// Isolated shot-noise events have no such support and are dropped.
+std::vector<Event> background_activity_filter(std::span<const Event> events,
+                                              Index width, Index height,
+                                              TimeUs support_window_us);
+
+/// Detect hot pixels: pixels whose event count exceeds `sigma` standard
+/// deviations above the mean count of active pixels. Returns the pixel
+/// indices (y * width + x).
+std::vector<Index> detect_hot_pixels(std::span<const Event> events,
+                                     Index width, Index height, double sigma);
+
+/// Remove all events originating from the given pixels.
+std::vector<Event> mask_pixels(std::span<const Event> events, Index width,
+                               std::span<const Index> pixels);
+
+}  // namespace evd::events

@@ -1,0 +1,144 @@
+#include "events/foveation.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+namespace evd::events {
+namespace {
+
+struct BlockCounter {
+  Index count[2] = {0, 0};
+};
+
+}  // namespace
+
+FoveationResult foveate(const EventStream& stream,
+                        const FoveationConfig& config) {
+  FoveationResult result;
+  const Index pw = std::max<Index>(stream.width / config.periphery_factor, 1);
+  const Index ph = std::max<Index>(stream.height / config.periphery_factor, 1);
+  std::vector<BlockCounter> blocks(static_cast<size_t>(pw * ph));
+
+  Index fx = stream.width / 2;   // fovea centre
+  Index fy = stream.height / 2;
+  auto clamp_fovea = [&](Index cx, Index cy) {
+    const Index hw = config.fovea_width / 2;
+    const Index hh = config.fovea_height / 2;
+    return std::pair<Index, Index>{
+        std::clamp<Index>(cx, hw, stream.width - 1 - hw),
+        std::clamp<Index>(cy, hh, stream.height - 1 - hh)};
+  };
+  std::tie(fx, fy) = clamp_fovea(fx, fy);
+  result.fovea_track.emplace_back(fx, fy);
+
+  TimeUs saccade_end =
+      stream.events.empty()
+          ? config.saccade_interval_us
+          : stream.events.front().t + config.saccade_interval_us;
+  double cx_sum = 0.0, cy_sum = 0.0;
+  Index interval_count = 0;
+
+  for (const auto& e : stream.events) {
+    if (e.t >= saccade_end) {
+      if (config.activity_driven && interval_count > 0) {
+        std::tie(fx, fy) = clamp_fovea(
+            static_cast<Index>(cx_sum / static_cast<double>(interval_count)),
+            static_cast<Index>(cy_sum / static_cast<double>(interval_count)));
+        result.fovea_track.emplace_back(fx, fy);
+      }
+      cx_sum = cy_sum = 0.0;
+      interval_count = 0;
+      while (e.t >= saccade_end) saccade_end += config.saccade_interval_us;
+      // Saccades also reset peripheral accumulators.
+      std::fill(blocks.begin(), blocks.end(), BlockCounter{});
+    }
+    cx_sum += static_cast<double>(e.x);
+    cy_sum += static_cast<double>(e.y);
+    ++interval_count;
+
+    const bool in_fovea = std::abs(e.x - fx) <= config.fovea_width / 2 &&
+                          std::abs(e.y - fy) <= config.fovea_height / 2;
+    if (in_fovea) {
+      result.events.push_back(e);
+      ++result.foveal_events;
+      continue;
+    }
+    ++result.peripheral_in;
+    const Index bx = std::min<Index>(e.x / config.periphery_factor, pw - 1);
+    const Index by = std::min<Index>(e.y / config.periphery_factor, ph - 1);
+    auto& block = blocks[static_cast<size_t>(by * pw + bx)];
+    const int channel = polarity_channel(e.polarity);
+    if (++block.count[channel] >= config.periphery_factor) {
+      block.count[channel] = 0;
+      // Emit at the block centre in full-resolution coordinates.
+      Event pooled = e;
+      pooled.x = static_cast<std::int16_t>(bx * config.periphery_factor +
+                                           config.periphery_factor / 2);
+      pooled.y = static_cast<std::int16_t>(by * config.periphery_factor +
+                                           config.periphery_factor / 2);
+      result.events.push_back(pooled);
+      ++result.peripheral_out;
+    }
+  }
+  return result;
+}
+
+std::vector<Event> centre_surround_filter(const EventStream& stream,
+                                          const CentreSurroundConfig& config) {
+  struct PixelActivity {
+    Index count = 0;
+    TimeUs window_start = 0;
+  };
+  std::vector<PixelActivity> activity(
+      static_cast<size_t>(stream.width * stream.height));
+  auto read = [&](Index x, Index y, TimeUs now) -> double {
+    const auto& a = activity[static_cast<size_t>(y * stream.width + x)];
+    return (now - a.window_start < config.window_us)
+               ? static_cast<double>(a.count)
+               : 0.0;
+  };
+
+  std::vector<Event> passed;
+  for (const auto& e : stream.events) {
+    double centre = 1.0;  // the event itself
+    double surround = 0.0;
+    Index centre_area = 0, surround_area = 0;
+    for (Index dy = -config.surround_radius; dy <= config.surround_radius;
+         ++dy) {
+      for (Index dx = -config.surround_radius; dx <= config.surround_radius;
+           ++dx) {
+        const Index nx = e.x + dx;
+        const Index ny = e.y + dy;
+        if (nx < 0 || ny < 0 || nx >= stream.width || ny >= stream.height) {
+          continue;
+        }
+        const Index chebyshev = std::max(std::abs(dx), std::abs(dy));
+        if (chebyshev <= config.centre_radius) {
+          centre += read(nx, ny, e.t);
+          ++centre_area;
+        } else {
+          surround += read(nx, ny, e.t);
+          ++surround_area;
+        }
+      }
+    }
+    const double centre_density =
+        centre / std::max<double>(static_cast<double>(centre_area), 1.0);
+    const double surround_density =
+        surround / std::max<double>(static_cast<double>(surround_area), 1.0);
+    if (centre_density > config.gain * surround_density) {
+      passed.push_back(e);
+    }
+    auto& a =
+        activity[static_cast<size_t>(e.y) * static_cast<size_t>(stream.width) +
+                 static_cast<size_t>(e.x)];
+    if (e.t - a.window_start >= config.window_us) {
+      a.count = 0;
+      a.window_start = e.t;
+    }
+    ++a.count;
+  }
+  return passed;
+}
+
+}  // namespace evd::events

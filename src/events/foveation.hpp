@@ -1,0 +1,55 @@
+// Electronically foveated readout and centre-surround suppression
+// (paper §II mitigation strategies [22], [23]).
+//
+// Foveation keeps full resolution inside a (movable) region of interest and
+// block-pools the periphery — reducing peripheral event rate while keeping
+// foveal detail. The fovea can be driven externally (e.g. by a tracker) or
+// follow event activity itself (activity-driven saccades).
+//
+// Centre-surround suppression emulates the retina-inspired readout of [23]:
+// an event passes only if its local neighbourhood (centre) is more active
+// than the surrounding annulus over a sliding window — suppressing
+// full-field flicker and ego-motion-induced background firing.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "events/event.hpp"
+
+namespace evd::events {
+
+struct FoveationConfig {
+  Index fovea_width = 16;
+  Index fovea_height = 16;
+  Index periphery_factor = 4;  ///< Block size for peripheral pooling.
+  bool activity_driven = false;
+  TimeUs saccade_interval_us = 20000;  ///< Fovea re-centre period.
+};
+
+struct FoveationResult {
+  std::vector<Event> events;  ///< Full-resolution coordinates retained.
+  Index foveal_events = 0;
+  Index peripheral_in = 0;    ///< Peripheral events before pooling.
+  Index peripheral_out = 0;   ///< Peripheral events after pooling.
+  std::vector<std::pair<Index, Index>> fovea_track;  ///< Centre per saccade.
+};
+
+/// Apply foveated readout. Fovea starts at the geometric centre; when
+/// activity-driven, it re-centres on the event centroid of the previous
+/// saccade interval.
+FoveationResult foveate(const EventStream& stream,
+                        const FoveationConfig& config);
+
+struct CentreSurroundConfig {
+  Index centre_radius = 1;     ///< Chebyshev radius of the centre block.
+  Index surround_radius = 3;   ///< Outer radius of the surround annulus.
+  TimeUs window_us = 10000;    ///< Activity integration window.
+  double gain = 1.0;           ///< Pass if centre_rate > gain * surround_rate.
+};
+
+/// Centre-surround antagonism filter; returns the passing events.
+std::vector<Event> centre_surround_filter(const EventStream& stream,
+                                          const CentreSurroundConfig& config);
+
+}  // namespace evd::events

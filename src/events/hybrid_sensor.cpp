@@ -1,0 +1,46 @@
+#include "events/hybrid_sensor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace evd::events {
+
+HybridRecording simulate_hybrid(DvsSimulator& dvs, const Scene& scene,
+                                TimeUs duration_us, const ApsConfig& aps,
+                                Rng rng) {
+  if (aps.frame_period_us <= 0 || aps.exposure_us <= 0 ||
+      aps.exposure_us > aps.frame_period_us || aps.exposure_samples <= 0) {
+    throw std::invalid_argument("simulate_hybrid: bad APS configuration");
+  }
+  HybridRecording recording;
+  recording.events = dvs.simulate(scene, duration_us);
+
+  for (TimeUs frame_end = aps.frame_period_us; frame_end <= duration_us;
+       frame_end += aps.frame_period_us) {
+    const TimeUs exposure_start = frame_end - aps.exposure_us;
+    Image frame(scene.width(), scene.height());
+    // Box-integrate the scene over the exposure window.
+    for (Index s = 0; s < aps.exposure_samples; ++s) {
+      const double t =
+          static_cast<double>(exposure_start) +
+          (static_cast<double>(s) + 0.5) /
+              static_cast<double>(aps.exposure_samples) *
+              static_cast<double>(aps.exposure_us);
+      const Image sample = scene.render(t * 1e-6);
+      for (size_t i = 0; i < frame.pixels.size(); ++i) {
+        frame.pixels[i] += sample.pixels[i];
+      }
+    }
+    const float inv = 1.0f / static_cast<float>(aps.exposure_samples);
+    for (auto& v : frame.pixels) {
+      v = std::clamp(
+          v * inv + static_cast<float>(rng.normal(0.0, aps.read_noise)),
+          0.0f, 1.0f);
+    }
+    recording.frames.push_back(std::move(frame));
+    recording.frame_times.push_back(frame_end);
+  }
+  return recording;
+}
+
+}  // namespace evd::events

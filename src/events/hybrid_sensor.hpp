@@ -1,0 +1,36 @@
+// Hybrid active-pixel + event-pixel readout (paper §II: "the dual active
+// and event pixel paradigm [13],[16] ... has recently gained momentum").
+//
+// Models a DAVIS/ATIS-class sensor: the same pixel array produces the
+// asynchronous event stream *and* conventional intensity frames at a fixed
+// frame rate (with exposure integration and read noise). Downstream, this
+// is what lets frame-based and event-based algorithms run side by side on
+// one device.
+#pragma once
+
+#include <vector>
+
+#include "events/dvs_simulator.hpp"
+#include "events/scene.hpp"
+
+namespace evd::events {
+
+struct ApsConfig {
+  TimeUs frame_period_us = 25000;  ///< 40 fps.
+  TimeUs exposure_us = 10000;
+  Index exposure_samples = 4;      ///< Scene samples averaged per exposure.
+  double read_noise = 0.01;        ///< Stddev of additive readout noise.
+};
+
+struct HybridRecording {
+  EventStream events;
+  std::vector<Image> frames;
+  std::vector<TimeUs> frame_times;  ///< End-of-exposure timestamps.
+};
+
+/// Run the DVS model and the APS readout over the same scene and interval.
+HybridRecording simulate_hybrid(DvsSimulator& dvs, const Scene& scene,
+                                TimeUs duration_us, const ApsConfig& aps,
+                                Rng rng);
+
+}  // namespace evd::events

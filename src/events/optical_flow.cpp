@@ -1,0 +1,93 @@
+#include "events/optical_flow.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace evd::events {
+
+PlaneFitFlow::PlaneFitFlow(Index width, Index height, FlowConfig config)
+    : width_(width), height_(height), config_(config) {
+  if (width <= 0 || height <= 0 || config.window_radius <= 0) {
+    throw std::invalid_argument("PlaneFitFlow: bad configuration");
+  }
+  reset();
+}
+
+void PlaneFitFlow::reset() {
+  for (auto& surface : last_) {
+    surface.assign(static_cast<size_t>(width_ * height_), -1);
+  }
+}
+
+FlowVector PlaneFitFlow::update(const Event& event) {
+  if (event.x < 0 || event.y < 0 || event.x >= width_ || event.y >= height_) {
+    throw std::invalid_argument("PlaneFitFlow: event outside geometry");
+  }
+  auto& surface = last_[polarity_channel(event.polarity)];
+  surface[static_cast<size_t>(event.y) * static_cast<size_t>(width_) +
+          static_cast<size_t>(event.x)] = event.t;
+
+  // Gather (dx, dy, dt) samples from the same-polarity surface.
+  // Least squares for t = a x + b y + c over centred coordinates.
+  double sxx = 0, sxy = 0, syy = 0, sxt = 0, syt = 0;
+  double sx = 0, sy = 0, st = 0;
+  Index n = 0;
+  for (Index dy = -config_.window_radius; dy <= config_.window_radius; ++dy) {
+    const Index y = event.y + dy;
+    if (y < 0 || y >= height_) continue;
+    for (Index dx = -config_.window_radius; dx <= config_.window_radius;
+         ++dx) {
+      const Index x = event.x + dx;
+      if (x < 0 || x >= width_) continue;
+      const TimeUs t =
+          surface[static_cast<size_t>(y) * static_cast<size_t>(width_) +
+                  static_cast<size_t>(x)];
+      if (t < 0 || event.t - t > config_.dt_max_us) continue;
+      const double fx = dx;
+      const double fy = dy;
+      const double ft = static_cast<double>(t - event.t) * 1e-6;  // seconds
+      sxx += fx * fx;
+      sxy += fx * fy;
+      syy += fy * fy;
+      sxt += fx * ft;
+      syt += fy * ft;
+      sx += fx;
+      sy += fy;
+      st += ft;
+      ++n;
+    }
+  }
+  FlowVector flow;
+  if (n < config_.min_points) return flow;
+
+  // Normal equations with the centroid removed (accounts for c).
+  const double inv_n = 1.0 / static_cast<double>(n);
+  const double cxx = sxx - sx * sx * inv_n;
+  const double cxy = sxy - sx * sy * inv_n;
+  const double cyy = syy - sy * sy * inv_n;
+  const double cxt = sxt - sx * st * inv_n;
+  const double cyt = syt - sy * st * inv_n;
+  const double det = cxx * cyy - cxy * cxy;
+  if (std::abs(det) < 1e-9) return flow;
+  const double a = (cxt * cyy - cyt * cxy) / det;  // dt/dx [s/px]
+  const double b = (cyt * cxx - cxt * cxy) / det;  // dt/dy [s/px]
+  const double g2 = a * a + b * b;
+  if (g2 < config_.min_gradient) return flow;
+  flow.vx = static_cast<float>(a / g2);
+  flow.vy = static_cast<float>(b / g2);
+  flow.valid = true;
+  return flow;
+}
+
+std::vector<FlowVector> estimate_flow(const EventStream& stream,
+                                      const FlowConfig& config) {
+  PlaneFitFlow estimator(stream.width, stream.height, config);
+  std::vector<FlowVector> flows;
+  for (const auto& e : stream.events) {
+    const FlowVector flow = estimator.update(e);
+    if (flow.valid) flows.push_back(flow);
+  }
+  return flows;
+}
+
+}  // namespace evd::events

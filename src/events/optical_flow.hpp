@@ -1,0 +1,53 @@
+// Event-based optical flow by local plane fitting.
+//
+// One of the flagship event-camera applications the paper cites ([53],[57]
+// frame-based, [72] graph-based): because events trace moving edges, the
+// per-pixel last-event-time map ("surface of active events") is locally a
+// plane whose gradient is the inverse of the edge's velocity. For each
+// incoming event we least-squares-fit t = a x + b y + c over the recent
+// neighbourhood and read the flow as v = g / |g|^2 with g = (a, b) — fully
+// event-driven, O(window) per event, no frames anywhere.
+#pragma once
+
+#include <vector>
+
+#include "events/event.hpp"
+
+namespace evd::events {
+
+struct FlowConfig {
+  Index window_radius = 3;    ///< Spatial fitting neighbourhood.
+  TimeUs dt_max_us = 30000;   ///< Ignore surface entries older than this.
+  Index min_points = 6;       ///< Minimum samples for a valid fit.
+  double min_gradient = 1e-6; ///< |g|^2 below this -> invalid (no motion).
+};
+
+struct FlowVector {
+  float vx = 0.0f;  ///< Pixels per second.
+  float vy = 0.0f;
+  bool valid = false;
+};
+
+class PlaneFitFlow {
+ public:
+  PlaneFitFlow(Index width, Index height, FlowConfig config);
+
+  /// Incorporate one event (updating the time surface) and estimate the
+  /// local flow at it.
+  FlowVector update(const Event& event);
+
+  void reset();
+
+ private:
+  Index width_, height_;
+  FlowConfig config_;
+  /// Per-pixel, per-polarity last event time (-1 = never).
+  std::vector<TimeUs> last_[2];
+};
+
+/// Convenience: run the estimator over a stream; returns the valid flow
+/// vectors (one per event that yielded a fit).
+std::vector<FlowVector> estimate_flow(const EventStream& stream,
+                                      const FlowConfig& config);
+
+}  // namespace evd::events

@@ -1,0 +1,78 @@
+#include "events/rate_controller.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace evd::events {
+
+std::vector<Event> RateController::process(std::span<const Event> events) {
+  if (!is_time_sorted(events)) {
+    throw std::invalid_argument("RateController: stream must be time-sorted");
+  }
+  std::vector<Event> out;
+  out.reserve(events.size());
+  const auto budget_per_window = static_cast<Index>(
+      config_.max_rate_eps * static_cast<double>(config_.window_us) * 1e-6);
+  if (budget_per_window <= 0) {
+    stats_.in_events += static_cast<Index>(events.size());
+    return out;
+  }
+
+  size_t i = 0;
+  while (i < events.size()) {
+    const TimeUs window_start =
+        events[i].t - (events[i].t % config_.window_us);
+    const TimeUs window_end = window_start + config_.window_us;
+    size_t j = i;
+    while (j < events.size() && events[j].t < window_end) ++j;
+    const auto in_window = static_cast<Index>(j - i);
+    ++stats_.windows;
+    stats_.in_events += in_window;
+
+    if (in_window <= budget_per_window) {
+      out.insert(out.end(), events.begin() + static_cast<std::ptrdiff_t>(i),
+                 events.begin() + static_cast<std::ptrdiff_t>(j));
+      stats_.out_events += in_window;
+    } else {
+      ++stats_.saturated_windows;
+      switch (config_.policy) {
+        case RatePolicy::Drop: {
+          const double keep_p = static_cast<double>(budget_per_window) /
+                                static_cast<double>(in_window);
+          for (size_t k = i; k < j; ++k) {
+            if (rng_.bernoulli(keep_p)) {
+              out.push_back(events[k]);
+              ++stats_.out_events;
+            }
+          }
+          break;
+        }
+        case RatePolicy::Decimate: {
+          // Keep every stride-th event: deterministic, preserves time span.
+          const double stride = static_cast<double>(in_window) /
+                                static_cast<double>(budget_per_window);
+          double next = 0.0;
+          for (Index k = 0; k < in_window; ++k) {
+            if (static_cast<double>(k) >= next) {
+              out.push_back(events[i + static_cast<size_t>(k)]);
+              ++stats_.out_events;
+              next += stride;
+            }
+          }
+          break;
+        }
+        case RatePolicy::Suppress: {
+          for (Index k = 0; k < budget_per_window; ++k) {
+            out.push_back(events[i + static_cast<size_t>(k)]);
+          }
+          stats_.out_events += budget_per_window;
+          break;
+        }
+      }
+    }
+    i = j;
+  }
+  return out;
+}
+
+}  // namespace evd::events

@@ -1,0 +1,58 @@
+// Event-Rate Controller (ERC).
+//
+// High-resolution sensors can exceed link/processor capacity under ego-motion
+// [20]; Gen4-class sensors therefore integrate a programmable event-rate
+// controller [10] that caps the output rate. We model the common policies:
+//
+//  * Drop      — random thinning to the budget within each reference window.
+//  * Decimate  — keep every k-th event (deterministic subsampling).
+//  * Suppress  — once the window budget is exhausted, drop the remainder
+//                (models FIFO back-pressure; biases against late events).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "events/event.hpp"
+
+namespace evd::events {
+
+enum class RatePolicy { Drop, Decimate, Suppress };
+
+struct RateControllerConfig {
+  double max_rate_eps = 1e6;       ///< Output budget, events/second.
+  TimeUs window_us = 1000;         ///< Reference window for budgeting.
+  RatePolicy policy = RatePolicy::Drop;
+};
+
+struct RateControllerStats {
+  Index in_events = 0;
+  Index out_events = 0;
+  Index windows = 0;
+  Index saturated_windows = 0;  ///< Windows where the budget was hit.
+
+  double keep_fraction() const noexcept {
+    return in_events > 0 ? static_cast<double>(out_events) /
+                               static_cast<double>(in_events)
+                         : 1.0;
+  }
+};
+
+class RateController {
+ public:
+  RateController(RateControllerConfig config, Rng rng)
+      : config_(config), rng_(rng) {}
+
+  /// Apply the policy to a sorted stream; returns the thinned stream.
+  std::vector<Event> process(std::span<const Event> events);
+
+  const RateControllerStats& stats() const noexcept { return stats_; }
+
+ private:
+  RateControllerConfig config_;
+  Rng rng_;
+  RateControllerStats stats_;
+};
+
+}  // namespace evd::events

@@ -1,0 +1,153 @@
+#include "events/scene.hpp"
+
+#include <cmath>
+
+namespace evd::events {
+namespace {
+
+/// Smooth step from 0 at d >= 0.5 to 1 at d <= -0.5; d is a signed distance
+/// to the shape boundary in pixels (negative inside). One-pixel-wide
+/// anti-aliasing band.
+float edge_coverage(double signed_distance) {
+  const double t = 0.5 - signed_distance;
+  if (t <= 0.0) return 0.0f;
+  if (t >= 1.0) return 1.0f;
+  return static_cast<float>(t * t * (3.0 - 2.0 * t));
+}
+
+}  // namespace
+
+const char* shape_kind_name(ShapeKind kind) {
+  switch (kind) {
+    case ShapeKind::Circle: return "circle";
+    case ShapeKind::Square: return "square";
+    case ShapeKind::Triangle: return "triangle";
+    case ShapeKind::Bar: return "bar";
+    case ShapeKind::Cross: return "cross";
+    case ShapeKind::Ring: return "ring";
+  }
+  return "unknown";
+}
+
+float MovingShape::coverage(double px, double py, double t_seconds) const {
+  if (t_seconds < t_on || t_seconds >= t_off) return 0.0f;
+  // Transform into the shape's local frame (translate then rotate back).
+  const double cx = x0 + vx * t_seconds;
+  const double cy = y0 + vy * t_seconds;
+  const double angle = angle0 + angular_velocity * t_seconds;
+  const double ca = std::cos(-angle);
+  const double sa = std::sin(-angle);
+  const double dx0 = px - cx;
+  const double dy0 = py - cy;
+  const double dx = dx0 * ca - dy0 * sa;
+  const double dy = dx0 * sa + dy0 * ca;
+
+  double d = 1e9;  // signed distance to boundary, negative inside
+  switch (kind) {
+    case ShapeKind::Circle:
+      d = std::sqrt(dx * dx + dy * dy) - radius;
+      break;
+    case ShapeKind::Square: {
+      const double qx = std::abs(dx) - radius;
+      const double qy = std::abs(dy) - radius;
+      const double ox = std::max(qx, 0.0);
+      const double oy = std::max(qy, 0.0);
+      d = std::sqrt(ox * ox + oy * oy) + std::min(std::max(qx, qy), 0.0);
+      break;
+    }
+    case ShapeKind::Triangle: {
+      // Equilateral triangle SDF (Inigo Quilez), size = radius.
+      const double k = std::sqrt(3.0);
+      double x = std::abs(dx) - radius;
+      double y = dy + radius / k;
+      if (x + k * y > 0.0) {
+        const double nx = (x - k * y) / 2.0;
+        const double ny = (-k * x - y) / 2.0;
+        x = nx;
+        y = ny;
+      }
+      x -= std::min(std::max(x, -2.0 * radius), 0.0);
+      d = -std::sqrt(x * x + y * y) * (y > 0.0 ? 1.0 : -1.0);
+      break;
+    }
+    case ShapeKind::Bar: {
+      const double qx = std::abs(dx) - radius;
+      const double qy = std::abs(dy) - radius * 0.3;
+      const double ox = std::max(qx, 0.0);
+      const double oy = std::max(qy, 0.0);
+      d = std::sqrt(ox * ox + oy * oy) + std::min(std::max(qx, qy), 0.0);
+      break;
+    }
+    case ShapeKind::Cross: {
+      auto box = [](double bx, double by, double hx, double hy) {
+        const double qx = std::abs(bx) - hx;
+        const double qy = std::abs(by) - hy;
+        const double ox = std::max(qx, 0.0);
+        const double oy = std::max(qy, 0.0);
+        return std::sqrt(ox * ox + oy * oy) +
+               std::min(std::max(qx, qy), 0.0);
+      };
+      d = std::min(box(dx, dy, radius, radius * 0.3),
+                   box(dx, dy, radius * 0.3, radius));
+      break;
+    }
+    case ShapeKind::Ring: {
+      const double r = std::sqrt(dx * dx + dy * dy);
+      d = std::abs(r - radius) - radius * 0.3;
+      break;
+    }
+  }
+  return edge_coverage(d);
+}
+
+Scene::Scene(Index width, Index height, float background_luminance)
+    : width_(width), height_(height), background_(background_luminance) {}
+
+void Scene::set_texture(double amplitude, Rng& rng) {
+  texture_.assign(static_cast<size_t>(width_ * height_), 0.0f);
+  for (auto& v : texture_) {
+    v = static_cast<float>(rng.uniform(-amplitude, amplitude));
+  }
+}
+
+float Scene::sample_background(double x, double y) const {
+  if (texture_.empty()) return background_;
+  // Bilinear sample with wrap-around so ego-motion never runs off the map.
+  auto wrap = [](Index v, Index n) { return ((v % n) + n) % n; };
+  const auto x0i = static_cast<Index>(std::floor(x));
+  const auto y0i = static_cast<Index>(std::floor(y));
+  const double fx = x - static_cast<double>(x0i);
+  const double fy = y - static_cast<double>(y0i);
+  auto tex = [&](Index xi, Index yi) {
+    return texture_[static_cast<size_t>(wrap(yi, height_) * width_ +
+                                        wrap(xi, width_))];
+  };
+  const double v =
+      (1 - fx) * (1 - fy) * tex(x0i, y0i) + fx * (1 - fy) * tex(x0i + 1, y0i) +
+      (1 - fx) * fy * tex(x0i, y0i + 1) + fx * fy * tex(x0i + 1, y0i + 1);
+  return background_ + static_cast<float>(v);
+}
+
+Image Scene::render(double t_seconds) const {
+  Image img(width_, height_);
+  const double ox = ego_vx_ * t_seconds;
+  const double oy = ego_vy_ * t_seconds;
+  for (Index y = 0; y < height_; ++y) {
+    for (Index x = 0; x < width_; ++x) {
+      // Ego-motion shifts the background sample position.
+      float lum = sample_background(static_cast<double>(x) + ox,
+                                    static_cast<double>(y) + oy);
+      for (const auto& shape : shapes_) {
+        // Shapes live in world coordinates; ego-motion shifts them too.
+        const float cov = shape.coverage(static_cast<double>(x) + ox,
+                                         static_cast<double>(y) + oy,
+                                         t_seconds);
+        lum = lum * (1.0f - cov) + shape.luminance * cov;
+      }
+      img.at(x, y) = std::min(std::max(lum, 0.0f), 1.0f);
+    }
+  }
+  return img;
+}
+
+}  // namespace evd::events

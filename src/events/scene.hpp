@@ -1,0 +1,107 @@
+// Synthetic scene renderer.
+//
+// Substitutes for physical scenes in front of a real event camera: renders a
+// grayscale luminance image of moving geometric shapes over a (optionally
+// textured) background at any time t, with sub-pixel anti-aliased edges so
+// that motion produces smooth luminance ramps — the signal a DVS pixel
+// differentiates. Ego-motion is modelled as a global translation of the
+// whole scene (camera pan), the dominant cause of event floods in
+// high-resolution sensors [20].
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace evd::events {
+
+/// Row-major grayscale image, luminance values in [0, 1].
+struct Image {
+  Index width = 0;
+  Index height = 0;
+  std::vector<float> pixels;
+
+  Image() = default;
+  Image(Index w, Index h) : width(w), height(h) {
+    pixels.assign(static_cast<size_t>(w * h), 0.0f);
+  }
+
+  float& at(Index x, Index y) {
+    return pixels[static_cast<size_t>(y * width + x)];
+  }
+  float at(Index x, Index y) const {
+    return pixels[static_cast<size_t>(y * width + x)];
+  }
+};
+
+/// Shape kinds used by the classification dataset (one class per kind).
+enum class ShapeKind : int {
+  Circle = 0,
+  Square = 1,
+  Triangle = 2,
+  Bar = 3,
+  Cross = 4,
+  Ring = 5,
+};
+
+constexpr int kShapeKindCount = 6;
+const char* shape_kind_name(ShapeKind kind);
+
+/// A moving shape: position is linear in time, with optional rotation for
+/// anisotropic shapes.
+struct MovingShape {
+  ShapeKind kind = ShapeKind::Circle;
+  double x0 = 0.0, y0 = 0.0;        ///< Centre at t = 0 (pixels).
+  double vx = 0.0, vy = 0.0;        ///< Velocity (pixels / second).
+  double radius = 5.0;              ///< Characteristic half-size (pixels).
+  double angle0 = 0.0;              ///< Orientation at t = 0 (radians).
+  double angular_velocity = 0.0;    ///< rad / second.
+  float luminance = 1.0f;           ///< Shape brightness.
+  /// Visibility window (seconds): the shape contributes only while
+  /// t_on <= t < t_off. Appearing/disappearing objects generate ON/OFF
+  /// event bursts, enabling purely temporal-order workloads.
+  double t_on = -1e30;
+  double t_off = 1e30;
+
+  /// Signed distance-like coverage of pixel (px,py) at time t_seconds,
+  /// in [0,1] with anti-aliased edges.
+  float coverage(double px, double py, double t_seconds) const;
+};
+
+/// Scene = background + shapes + optional global ego-motion pan.
+class Scene {
+ public:
+  Scene(Index width, Index height, float background_luminance = 0.1f);
+
+  void add_shape(MovingShape shape) { shapes_.push_back(shape); }
+
+  /// Add a random static texture (per-pixel luminance noise) which, combined
+  /// with ego-motion, makes the *whole frame* generate events [20].
+  void set_texture(double amplitude, Rng& rng);
+
+  /// Global camera pan in pixels/second.
+  void set_ego_motion(double vx, double vy) {
+    ego_vx_ = vx;
+    ego_vy_ = vy;
+  }
+
+  Index width() const noexcept { return width_; }
+  Index height() const noexcept { return height_; }
+  const std::vector<MovingShape>& shapes() const noexcept { return shapes_; }
+
+  /// Render luminance at absolute time t (seconds since stream start).
+  Image render(double t_seconds) const;
+
+ private:
+  float sample_background(double x, double y) const;
+
+  Index width_, height_;
+  float background_;
+  double ego_vx_ = 0.0, ego_vy_ = 0.0;
+  std::vector<MovingShape> shapes_;
+  std::vector<float> texture_;  ///< Empty when untextured.
+};
+
+}  // namespace evd::events

@@ -1,0 +1,145 @@
+#include "gnn/async_update.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace evd::gnn {
+
+AsyncEventGnn::AsyncEventGnn(EventGnn& model, bool bidirectional)
+    : model_(model), bidirectional_(bidirectional) {
+  features_.resize(static_cast<size_t>(model_.conv_count()));
+  pooled_sum_.assign(static_cast<size_t>(model_.config().hidden), 0.0);
+  pooled_max_.assign(static_cast<size_t>(model_.config().hidden), 0.0f);
+}
+
+void AsyncEventGnn::clear() {
+  nodes_.clear();
+  adj_.clear();
+  out_adj_.clear();
+  input_.clear();
+  for (auto& layer : features_) layer.clear();
+  std::fill(pooled_sum_.begin(), pooled_sum_.end(), 0.0);
+  std::fill(pooled_max_.begin(), pooled_max_.end(), 0.0f);
+}
+
+bool AsyncEventGnn::recompute(Index layer, Index v, AsyncGnnStats& stats) {
+  GraphConv& conv = model_.conv(layer);
+  const auto& neighbors = adj_[static_cast<size_t>(v)];
+  const auto& pv = nodes_[static_cast<size_t>(v)].position;
+
+  // Gather neighbour references from the previous layer's storage.
+  std::vector<GraphConv::NeighborRef> refs;
+  refs.reserve(neighbors.size());
+  for (const Index j : neighbors) {
+    const auto& pj = nodes_[static_cast<size_t>(j)].position;
+    const float* feat =
+        layer == 0 ? input_[static_cast<size_t>(j)].data()
+                   : features_[static_cast<size_t>(layer - 1)]
+                             [static_cast<size_t>(j)].data();
+    refs.push_back({feat, pj.x - pv.x, pj.y - pv.y, pj.z - pv.z});
+  }
+  const float* self =
+      layer == 0 ? input_[static_cast<size_t>(v)].data()
+                 : features_[static_cast<size_t>(layer - 1)]
+                           [static_cast<size_t>(v)].data();
+
+  std::vector<float> fresh(static_cast<size_t>(conv.out_features()));
+  conv.apply_node(self, refs, fresh.data());
+  stats.macs += conv.node_macs(static_cast<Index>(neighbors.size()));
+  ++stats.node_layer_recomputes;
+
+  auto& stored = features_[static_cast<size_t>(layer)][static_cast<size_t>(v)];
+  bool changed = false;
+  const bool last_layer = (layer + 1 == model_.conv_count());
+  for (size_t f = 0; f < fresh.size(); ++f) {
+    if (std::fabs(fresh[f] - stored[f]) > kEps) changed = true;
+  }
+  if (changed && last_layer) {
+    for (size_t f = 0; f < fresh.size(); ++f) {
+      pooled_sum_[f] += static_cast<double>(fresh[f]) - stored[f];
+      pooled_max_[f] = std::max(pooled_max_[f], fresh[f]);
+    }
+  }
+  if (changed) stored = fresh;
+  return changed;
+}
+
+AsyncGnnStats AsyncEventGnn::insert(const GraphNode& node,
+                                    std::span<const Index> neighbors) {
+  AsyncGnnStats stats;
+  const Index id = static_cast<Index>(nodes_.size());
+  nodes_.push_back(node);
+  adj_.emplace_back(neighbors.begin(), neighbors.end());
+  out_adj_.emplace_back();
+  input_.push_back(
+      {node.polarity_sign > 0 ? 1.0f : 0.0f,
+       node.polarity_sign > 0 ? 0.0f : 1.0f});
+  for (Index l = 0; l < model_.conv_count(); ++l) {
+    features_[static_cast<size_t>(l)].emplace_back(
+        static_cast<size_t>(model_.conv(l).out_features()), 0.0f);
+  }
+  for (const Index j : neighbors) {
+    if (j < 0 || j >= id) {
+      throw std::invalid_argument("AsyncEventGnn::insert: bad neighbour id");
+    }
+    out_adj_[static_cast<size_t>(j)].push_back(id);
+    if (bidirectional_) {
+      adj_[static_cast<size_t>(j)].push_back(id);
+      out_adj_[static_cast<size_t>(id)].push_back(j);
+    }
+  }
+
+  // Seed of changed nodes per layer: the new node always needs computing;
+  // in bidirectional mode its neighbours' in-sets changed too.
+  std::unordered_set<Index> dirty;
+  dirty.insert(id);
+  if (bidirectional_) {
+    for (const Index j : neighbors) dirty.insert(j);
+  }
+
+  for (Index l = 0; l < model_.conv_count(); ++l) {
+    std::unordered_set<Index> changed;
+    for (const Index v : dirty) {
+      if (recompute(l, v, stats)) changed.insert(v);
+    }
+    if (l + 1 == model_.conv_count()) break;
+    // A change at node v at layer l affects, at layer l+1, v itself and
+    // every node whose in-neighbourhood contains v.
+    std::unordered_set<Index> next;
+    for (const Index v : changed) {
+      next.insert(v);
+      for (const Index w : out_adj_[static_cast<size_t>(v)]) next.insert(w);
+    }
+    if (next.empty()) break;
+    dirty = std::move(next);
+  }
+  return stats;
+}
+
+nn::Tensor AsyncEventGnn::logits() {
+  const Index f = static_cast<Index>(pooled_sum_.size());
+  nn::Tensor pooled({2 * f});
+  const Index n = node_count();
+  if (n > 0) {
+    for (Index c = 0; c < f; ++c) {
+      pooled[c] = static_cast<float>(pooled_sum_[static_cast<size_t>(c)] /
+                                     static_cast<double>(n));
+      pooled[f + c] = pooled_max_[static_cast<size_t>(c)];
+    }
+  }
+  return model_.head().forward(pooled, false);
+}
+
+std::int64_t AsyncEventGnn::full_recompute_macs() const {
+  std::int64_t macs = 0;
+  for (Index l = 0; l < model_.conv_count(); ++l) {
+    const auto& conv = const_cast<EventGnn&>(model_).conv(l);
+    for (const auto& neighbors : adj_) {
+      macs += conv.node_macs(static_cast<Index>(neighbors.size()));
+    }
+  }
+  return macs;
+}
+
+}  // namespace evd::gnn

@@ -1,0 +1,76 @@
+// Asynchronous, per-event GNN inference (paper §IV, AEGNN [70] / HUGNet
+// [72] mechanisms).
+//
+// Two update disciplines over a trained EventGnn:
+//
+//  * Causal ("hemispherical", HUGNet-style): edges point only from earlier
+//    events to the new one, so inserting a node can never change any
+//    existing node's in-neighbourhood — only the new node's features must
+//    be computed, exactly once per layer. O(degree) work per event.
+//
+//  * Bidirectional (AEGNN-style undirected graphs): the new node also
+//    becomes an in-neighbour of its neighbours, whose features must be
+//    recomputed; changes then propagate one hop per layer. Still far
+//    cheaper than full recomputation, but strictly more work than causal.
+//
+// Both keep the running class logits available after every event — the
+// event-driven decision stream the comparison harness measures for latency.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "gnn/gnn_model.hpp"
+
+namespace evd::gnn {
+
+struct AsyncGnnStats {
+  std::int64_t macs = 0;
+  Index node_layer_recomputes = 0;  ///< (node, layer) evaluations performed.
+};
+
+class AsyncEventGnn {
+ public:
+  /// The model must outlive this object and must not be retrained while an
+  /// async session is active.
+  AsyncEventGnn(EventGnn& model, bool bidirectional);
+
+  /// Insert a node with its (earlier) neighbour ids, update features.
+  AsyncGnnStats insert(const GraphNode& node, std::span<const Index> neighbors);
+
+  /// Current logits from the running pooled representation.
+  nn::Tensor logits();
+
+  Index node_count() const noexcept {
+    return static_cast<Index>(nodes_.size());
+  }
+
+  /// MACs a from-scratch forward over the current graph would cost —
+  /// the baseline against which per-event updates are compared.
+  std::int64_t full_recompute_macs() const;
+
+  void clear();
+
+ private:
+  /// Recompute features of node v at conv layer l; returns true if changed.
+  bool recompute(Index layer, Index v, AsyncGnnStats& stats);
+
+  static constexpr float kEps = 1e-6f;
+
+  EventGnn& model_;
+  bool bidirectional_;
+  std::vector<GraphNode> nodes_;
+  std::vector<std::vector<Index>> adj_;      ///< In-neighbours per node.
+  std::vector<std::vector<Index>> out_adj_;  ///< Nodes that list v as neighbour.
+  std::vector<std::vector<float>> input_;    ///< [node] -> [2] polarity onehot.
+  /// features_[l][node] = output of conv layer l.
+  std::vector<std::vector<std::vector<float>>> features_;
+  std::vector<double> pooled_sum_;
+  /// Running max per feature. Exact under causal insertion (node features
+  /// are immutable once computed, and ReLU outputs are >= 0, the pool's
+  /// identity); in bidirectional mode a feature that *decreases* leaves a
+  /// stale envelope, so this is a monotone upper bound there.
+  std::vector<float> pooled_max_;
+};
+
+}  // namespace evd::gnn

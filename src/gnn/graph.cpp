@@ -1,0 +1,21 @@
+#include "gnn/graph.hpp"
+
+namespace evd::gnn {
+
+void EventGraph::add_node(GraphNode node, std::vector<Index> neighbor_ids) {
+  nodes_.push_back(node);
+  for (const Index id : neighbor_ids) targets_.push_back(id);
+  offsets_.push_back(static_cast<Index>(targets_.size()));
+}
+
+std::vector<float> EventGraph::input_features() const {
+  std::vector<float> features(static_cast<size_t>(node_count()) * 2, 0.0f);
+  for (Index i = 0; i < node_count(); ++i) {
+    const auto& n = nodes_[static_cast<size_t>(i)];
+    features[static_cast<size_t>(i * 2 + (n.polarity_sign > 0 ? 0 : 1))] =
+        1.0f;
+  }
+  return features;
+}
+
+}  // namespace evd::gnn

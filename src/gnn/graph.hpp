@@ -1,0 +1,72 @@
+// Event-graph data structure (paper §IV, Fig. 2 right).
+//
+// Nodes are events embedded as spatiotemporal points; directed edges connect
+// each node to (a bounded number of) earlier events within a Euclidean
+// radius in (x, y, t*time_scale) space — so the graph's edges carry the
+// precise relative timing information the convolution layers consume.
+// Storage is CSR once finalised.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "events/event.hpp"
+#include "gnn/kdtree.hpp"
+
+namespace evd::gnn {
+
+struct GraphNode {
+  Point3 position;   ///< (x, y, t * time_scale).
+  std::int8_t polarity_sign = 1;  ///< +1 / -1.
+  TimeUs t = 0;      ///< Original timestamp.
+};
+
+class EventGraph {
+ public:
+  EventGraph() = default;
+
+  Index node_count() const noexcept {
+    return static_cast<Index>(nodes_.size());
+  }
+  Index edge_count() const noexcept {
+    return static_cast<Index>(targets_.size());
+  }
+  const GraphNode& node(Index i) const {
+    return nodes_[static_cast<size_t>(i)];
+  }
+
+  /// Incoming-neighbour indices of node i (CSR row).
+  std::span<const Index> neighbors(Index i) const {
+    const auto begin = static_cast<size_t>(offsets_[static_cast<size_t>(i)]);
+    const auto end = static_cast<size_t>(offsets_[static_cast<size_t>(i) + 1]);
+    return {targets_.data() + begin, end - begin};
+  }
+
+  double mean_degree() const noexcept {
+    return node_count() > 0 ? static_cast<double>(edge_count()) /
+                                  static_cast<double>(node_count())
+                            : 0.0;
+  }
+
+  /// Memory footprint of the structure in bytes (nodes + CSR).
+  Index storage_bytes() const noexcept {
+    return static_cast<Index>(nodes_.size() * sizeof(GraphNode) +
+                              offsets_.size() * sizeof(Index) +
+                              targets_.size() * sizeof(Index));
+  }
+
+  /// Builder access: append nodes/adjacency then finalise.
+  void add_node(GraphNode node, std::vector<Index> neighbor_ids);
+
+  /// Initial per-node input features: [polarity_on, polarity_off].
+  static constexpr Index kInputFeatures = 2;
+  /// Fill `out` ([N, 2] row-major) with input features.
+  std::vector<float> input_features() const;
+
+ private:
+  std::vector<GraphNode> nodes_;
+  std::vector<Index> offsets_{0};  ///< CSR offsets, size N+1.
+  std::vector<Index> targets_;     ///< CSR neighbour ids.
+};
+
+}  // namespace evd::gnn

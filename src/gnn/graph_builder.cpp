@@ -1,0 +1,91 @@
+#include "gnn/graph_builder.hpp"
+
+#include <algorithm>
+
+namespace evd::gnn {
+
+Point3 embed(const events::Event& event, double time_scale) {
+  return Point3{static_cast<float>(event.x), static_cast<float>(event.y),
+                static_cast<float>(static_cast<double>(event.t) * time_scale)};
+}
+
+std::vector<events::Event> subsample_events(
+    std::span<const events::Event> events, Index max_nodes) {
+  std::vector<events::Event> kept;
+  const auto n = static_cast<Index>(events.size());
+  if (n <= max_nodes) {
+    kept.assign(events.begin(), events.end());
+    return kept;
+  }
+  kept.reserve(static_cast<size_t>(max_nodes));
+  const double stride = static_cast<double>(n) / static_cast<double>(max_nodes);
+  double cursor = 0.0;
+  for (Index k = 0; k < max_nodes; ++k) {
+    kept.push_back(events[static_cast<size_t>(cursor)]);
+    cursor += stride;
+  }
+  return kept;
+}
+
+EventGraph build_graph(const events::EventStream& stream,
+                       const GraphBuildConfig& config) {
+  const std::vector<events::Event> sampled =
+      subsample_events(stream.events, config.max_nodes);
+
+  std::vector<Point3> points;
+  points.reserve(sampled.size());
+  for (const auto& e : sampled) points.push_back(embed(e, config.time_scale));
+  const KdTree tree(points);
+
+  EventGraph graph;
+  for (size_t i = 0; i < sampled.size(); ++i) {
+    std::vector<Index> candidates;
+    if (config.knn > 0) {
+      // Grow the query until enough *earlier* neighbours survive the
+      // causality filter (nearest points in (x,y,z) are often later events).
+      Index k = 2 * config.knn + 1;
+      const auto total = static_cast<Index>(points.size());
+      while (true) {
+        candidates = tree.knn_query(points[i], std::min(k, total));
+        std::erase_if(candidates, [&](Index c) {
+          return static_cast<size_t>(c) >= i;
+        });
+        if (static_cast<Index>(candidates.size()) >= config.knn ||
+            k >= total) {
+          break;
+        }
+        k *= 2;
+      }
+    } else {
+      candidates = tree.radius_query(points[i], config.radius);
+      // Keep only strictly earlier events (directed, causal edges).
+      std::erase_if(candidates, [&](Index c) {
+        return static_cast<size_t>(c) >= i;
+      });
+    }
+    // Tie-break equal distances by id so the degree cap is deterministic
+    // (and identical to the incremental builder's ordering).
+    std::sort(candidates.begin(), candidates.end(), [&](Index a, Index b) {
+      const float da =
+          squared_distance(points[static_cast<size_t>(a)], points[i]);
+      const float db =
+          squared_distance(points[static_cast<size_t>(b)], points[i]);
+      return da < db || (da == db && a < b);
+    });
+    const Index degree_cap = config.knn > 0
+                                 ? std::min(config.knn, config.max_neighbors)
+                                 : config.max_neighbors;
+    if (static_cast<Index>(candidates.size()) > degree_cap) {
+      candidates.resize(static_cast<size_t>(degree_cap));
+    }
+    GraphNode node;
+    node.position = points[i];
+    node.polarity_sign =
+        static_cast<std::int8_t>(polarity_sign(sampled[i].polarity));
+    node.t = sampled[i].t;
+    graph.add_node(node, std::move(candidates));
+  }
+  return graph;
+}
+
+}  // namespace evd::gnn

@@ -1,0 +1,33 @@
+// Batch event-graph construction via k-d tree radius search.
+#pragma once
+
+#include "events/event.hpp"
+#include "gnn/graph.hpp"
+
+namespace evd::gnn {
+
+struct GraphBuildConfig {
+  double time_scale = 1e-4;   ///< Pixels per microsecond (z = t * scale):
+                              ///< 1e-4 -> 10 ms of time ~ 1 pixel.
+  float radius = 3.0f;        ///< Neighbourhood radius in embedded space.
+  Index max_neighbors = 8;    ///< Degree cap (keep nearest).
+  Index max_nodes = 512;      ///< Uniform temporal subsampling above this.
+  /// 0: radius graph (default). > 0: pure k-nearest-neighbour edges (still
+  /// causal, still capped by max_neighbors) — the other construction the
+  /// event-graph literature uses; radius is ignored.
+  Index knn = 0;
+};
+
+/// Subsample the stream to at most max_nodes events (uniform stride).
+std::vector<events::Event> subsample_events(
+    std::span<const events::Event> events, Index max_nodes);
+
+/// Build the full graph: directed edges from each node to its (up to
+/// max_neighbors nearest) *earlier* events within `radius`.
+EventGraph build_graph(const events::EventStream& stream,
+                       const GraphBuildConfig& config);
+
+/// Embed an event into graph space.
+Point3 embed(const events::Event& event, double time_scale);
+
+}  // namespace evd::gnn

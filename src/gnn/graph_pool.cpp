@@ -1,0 +1,70 @@
+#include "gnn/graph_pool.hpp"
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <tuple>
+#include <vector>
+
+namespace evd::gnn {
+
+EventGraph voxel_coarsen(const EventGraph& graph,
+                         const VoxelPoolConfig& config) {
+  if (config.cell_xy <= 0.0f || config.cell_z <= 0.0f) {
+    throw std::invalid_argument("voxel_coarsen: cell sizes must be positive");
+  }
+  using Key = std::tuple<Index, Index, Index>;
+  std::map<Key, Index> voxel_of;           // voxel -> coarse node id
+  std::vector<Index> coarse_id(static_cast<size_t>(graph.node_count()));
+  struct Accum {
+    double x = 0, y = 0, z = 0;
+    Index count = 0;
+    Index polarity_sum = 0;
+    TimeUs t_min = 0;
+  };
+  std::vector<Accum> accums;
+
+  for (Index i = 0; i < graph.node_count(); ++i) {
+    const auto& n = graph.node(i);
+    const Key key{static_cast<Index>(std::floor(n.position.x / config.cell_xy)),
+                  static_cast<Index>(std::floor(n.position.y / config.cell_xy)),
+                  static_cast<Index>(std::floor(n.position.z / config.cell_z))};
+    auto [it, inserted] =
+        voxel_of.try_emplace(key, static_cast<Index>(accums.size()));
+    if (inserted) accums.emplace_back();
+    coarse_id[static_cast<size_t>(i)] = it->second;
+    auto& acc = accums[static_cast<size_t>(it->second)];
+    acc.x += n.position.x;
+    acc.y += n.position.y;
+    acc.z += n.position.z;
+    acc.polarity_sum += n.polarity_sign;
+    if (acc.count == 0 || n.t < acc.t_min) acc.t_min = n.t;
+    ++acc.count;
+  }
+
+  // Coarse adjacency from original edges.
+  std::vector<std::set<Index>> coarse_adj(accums.size());
+  for (Index i = 0; i < graph.node_count(); ++i) {
+    const Index ci = coarse_id[static_cast<size_t>(i)];
+    for (const Index j : graph.neighbors(i)) {
+      const Index cj = coarse_id[static_cast<size_t>(j)];
+      if (ci != cj) coarse_adj[static_cast<size_t>(ci)].insert(cj);
+    }
+  }
+
+  EventGraph coarse;
+  for (size_t v = 0; v < accums.size(); ++v) {
+    const auto& acc = accums[v];
+    GraphNode node;
+    node.position = {static_cast<float>(acc.x / static_cast<double>(acc.count)),
+                     static_cast<float>(acc.y / static_cast<double>(acc.count)),
+                     static_cast<float>(acc.z / static_cast<double>(acc.count))};
+    node.polarity_sign = acc.polarity_sum >= 0 ? 1 : -1;
+    node.t = acc.t_min;
+    coarse.add_node(node, {coarse_adj[v].begin(), coarse_adj[v].end()});
+  }
+  return coarse;
+}
+
+}  // namespace evd::gnn

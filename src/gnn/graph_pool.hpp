@@ -1,0 +1,23 @@
+// Graph coarsening utilities.
+//
+// Voxel-grid pooling merges all events falling in the same (x, y, z) voxel
+// into one super-node (position = centroid, polarity = majority), re-deriving
+// edges from the originals. Used to study how aggressively an event-graph
+// can be compacted before classification accuracy degrades.
+#pragma once
+
+#include "gnn/graph.hpp"
+
+namespace evd::gnn {
+
+struct VoxelPoolConfig {
+  float cell_xy = 2.0f;  ///< Voxel size in pixels.
+  float cell_z = 2.0f;   ///< Voxel size in scaled time.
+};
+
+/// Coarsen a graph by voxel pooling. Edge (a, b) exists in the coarse graph
+/// iff some original edge connected the two voxels (self-loops dropped,
+/// duplicates merged). Node order follows first appearance.
+EventGraph voxel_coarsen(const EventGraph& graph, const VoxelPoolConfig& config);
+
+}  // namespace evd::gnn

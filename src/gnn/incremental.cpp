@@ -1,0 +1,124 @@
+#include "gnn/incremental.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "gnn/graph_builder.hpp"
+
+namespace evd::gnn {
+
+IncrementalGraphBuilder::IncrementalGraphBuilder(Index width, Index height,
+                                                 IncrementalConfig config)
+    : config_(config), cell_size_(std::max(config.radius, 1.0f)) {
+  if (width <= 0 || height <= 0) {
+    throw std::invalid_argument("IncrementalGraphBuilder: bad geometry");
+  }
+  grid_w_ = static_cast<Index>(std::ceil(static_cast<double>(width) /
+                                         static_cast<double>(cell_size_)));
+  grid_h_ = static_cast<Index>(std::ceil(static_cast<double>(height) /
+                                         static_cast<double>(cell_size_)));
+  cells_.resize(static_cast<size_t>(grid_w_ * grid_h_));
+  for (auto& cell : cells_) {
+    cell.ids.assign(static_cast<size_t>(config_.cell_capacity), -1);
+  }
+  // A neighbour at distance <= radius in embedded space can be at most
+  // radius/time_scale microseconds in the past.
+  horizon_us_ = static_cast<TimeUs>(
+      static_cast<double>(config_.radius) / config_.time_scale) + 1;
+}
+
+void IncrementalGraphBuilder::clear() {
+  for (auto& cell : cells_) {
+    std::fill(cell.ids.begin(), cell.ids.end(), -1);
+    cell.cursor = 0;
+    cell.count = 0;
+  }
+  nodes_.clear();
+}
+
+Index IncrementalGraphBuilder::state_bytes() const noexcept {
+  return static_cast<Index>(cells_.size() *
+                            (static_cast<size_t>(config_.cell_capacity) *
+                                 sizeof(Index) +
+                             2 * sizeof(Index)) +
+                            nodes_.size() * sizeof(GraphNode));
+}
+
+IncrementalGraphBuilder::InsertResult IncrementalGraphBuilder::insert(
+    const events::Event& event) {
+  InsertResult result;
+  const Point3 p = embed(event, config_.time_scale);
+  const float r2 = config_.radius * config_.radius;
+
+  const Index cx = static_cast<Index>(static_cast<float>(event.x) / cell_size_);
+  const Index cy = static_cast<Index>(static_cast<float>(event.y) / cell_size_);
+
+  // Gather candidates from the 3x3 cell neighbourhood (cell_size >= radius
+  // guarantees coverage).
+  std::vector<std::pair<float, Index>> within;
+  for (Index dy = -1; dy <= 1; ++dy) {
+    const Index ny = cy + dy;
+    if (ny < 0 || ny >= grid_h_) continue;
+    for (Index dx = -1; dx <= 1; ++dx) {
+      const Index nx = cx + dx;
+      if (nx < 0 || nx >= grid_w_) continue;
+      const Cell& cell = cell_at(nx, ny);
+      for (Index k = 0; k < cell.count; ++k) {
+        const Index id =
+            cell.ids[static_cast<size_t>((cell.cursor - 1 - k +
+                                          2 * config_.cell_capacity) %
+                                         config_.cell_capacity)];
+        if (id < 0) continue;
+        const auto& candidate = nodes_[static_cast<size_t>(id)];
+        ++result.candidates_scanned;
+        // Candidates are scanned newest-first; once one is beyond the time
+        // horizon, everything older in this cell is too.
+        if (event.t - candidate.t > horizon_us_) break;
+        const float d2 = squared_distance(candidate.position, p);
+        if (d2 <= r2) within.emplace_back(d2, id);
+      }
+    }
+  }
+  std::sort(within.begin(), within.end());
+  if (static_cast<Index>(within.size()) > config_.max_neighbors) {
+    within.resize(static_cast<size_t>(config_.max_neighbors));
+  }
+  for (const auto& [d2, id] : within) result.neighbors.push_back(id);
+
+  // Append the node and register it in its cell's ring buffer.
+  GraphNode node;
+  node.position = p;
+  node.polarity_sign =
+      static_cast<std::int8_t>(polarity_sign(event.polarity));
+  node.t = event.t;
+  result.node_id = static_cast<Index>(nodes_.size());
+  nodes_.push_back(node);
+
+  Cell& home = cell_at(std::min(cx, grid_w_ - 1), std::min(cy, grid_h_ - 1));
+  home.ids[static_cast<size_t>(home.cursor)] = result.node_id;
+  home.cursor = (home.cursor + 1) % config_.cell_capacity;
+  home.count = std::min(home.count + 1, config_.cell_capacity);
+  return result;
+}
+
+EventGraph build_graph_incremental(const events::EventStream& stream,
+                                   const IncrementalConfig& config,
+                                   Index max_nodes) {
+  const std::vector<events::Event> sampled =
+      subsample_events(stream.events, max_nodes);
+  IncrementalGraphBuilder builder(std::max<Index>(stream.width, 1),
+                                  std::max<Index>(stream.height, 1), config);
+  EventGraph graph;
+  for (const auto& e : sampled) {
+    auto result = builder.insert(e);
+    GraphNode node;
+    node.position = embed(e, config.time_scale);
+    node.polarity_sign = static_cast<std::int8_t>(polarity_sign(e.polarity));
+    node.t = e.t;
+    graph.add_node(node, std::move(result.neighbors));
+  }
+  return graph;
+}
+
+}  // namespace evd::gnn

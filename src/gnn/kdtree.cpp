@@ -1,0 +1,109 @@
+#include "gnn/kdtree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace evd::gnn {
+
+KdTree::KdTree(std::vector<Point3> points) : points_(std::move(points)) {
+  if (points_.empty()) return;
+  std::vector<Index> ids(points_.size());
+  std::iota(ids.begin(), ids.end(), 0);
+  nodes_.reserve(points_.size());
+  root_ = build(ids, 0);
+}
+
+Index KdTree::build(std::span<Index> ids, int depth) {
+  if (ids.empty()) return -1;
+  const int axis = depth % 3;
+  const size_t mid = ids.size() / 2;
+  std::nth_element(ids.begin(), ids.begin() + static_cast<std::ptrdiff_t>(mid),
+                   ids.end(), [&](Index a, Index b) {
+                     const auto& pa = points_[static_cast<size_t>(a)];
+                     const auto& pb = points_[static_cast<size_t>(b)];
+                     switch (axis) {
+                       case 0: return pa.x < pb.x;
+                       case 1: return pa.y < pb.y;
+                       default: return pa.z < pb.z;
+                     }
+                   });
+  const Index node_id = static_cast<Index>(nodes_.size());
+  nodes_.push_back(Node{ids[mid], -1, -1, axis});
+  const Index left = build(ids.subspan(0, mid), depth + 1);
+  const Index right = build(ids.subspan(mid + 1), depth + 1);
+  nodes_[static_cast<size_t>(node_id)].left = left;
+  nodes_[static_cast<size_t>(node_id)].right = right;
+  return node_id;
+}
+
+namespace {
+float axis_value(const Point3& p, int axis) {
+  switch (axis) {
+    case 0: return p.x;
+    case 1: return p.y;
+    default: return p.z;
+  }
+}
+}  // namespace
+
+void KdTree::radius_search(Index node, const Point3& query, float r2,
+                           std::vector<Index>& out) const {
+  if (node < 0) return;
+  ++last_visited_;
+  const auto& n = nodes_[static_cast<size_t>(node)];
+  const auto& p = points_[static_cast<size_t>(n.point)];
+  if (squared_distance(p, query) <= r2) out.push_back(n.point);
+  const float diff = axis_value(query, n.axis) - axis_value(p, n.axis);
+  const Index near = diff <= 0.0f ? n.left : n.right;
+  const Index far = diff <= 0.0f ? n.right : n.left;
+  radius_search(near, query, r2, out);
+  if (diff * diff <= r2) radius_search(far, query, r2, out);
+}
+
+std::vector<Index> KdTree::radius_query(const Point3& query,
+                                        float radius) const {
+  last_visited_ = 0;
+  std::vector<Index> out;
+  radius_search(root_, query, radius * radius, out);
+  return out;
+}
+
+void KdTree::knn_search(Index node, const Point3& query,
+                        std::vector<std::pair<float, Index>>& heap,
+                        Index k) const {
+  if (node < 0) return;
+  ++last_visited_;
+  const auto& n = nodes_[static_cast<size_t>(node)];
+  const auto& p = points_[static_cast<size_t>(n.point)];
+  const float d2 = squared_distance(p, query);
+  if (static_cast<Index>(heap.size()) < k) {
+    heap.emplace_back(d2, n.point);
+    std::push_heap(heap.begin(), heap.end());
+  } else if (d2 < heap.front().first) {
+    std::pop_heap(heap.begin(), heap.end());
+    heap.back() = {d2, n.point};
+    std::push_heap(heap.begin(), heap.end());
+  }
+  const float diff = axis_value(query, n.axis) - axis_value(p, n.axis);
+  const Index near = diff <= 0.0f ? n.left : n.right;
+  const Index far = diff <= 0.0f ? n.right : n.left;
+  knn_search(near, query, heap, k);
+  if (static_cast<Index>(heap.size()) < k || diff * diff < heap.front().first) {
+    knn_search(far, query, heap, k);
+  }
+}
+
+std::vector<Index> KdTree::knn_query(const Point3& query, Index k) const {
+  last_visited_ = 0;
+  std::vector<std::pair<float, Index>> heap;
+  heap.reserve(static_cast<size_t>(k));
+  knn_search(root_, query, heap, k);
+  std::sort_heap(heap.begin(), heap.end());
+  std::vector<Index> out;
+  out.reserve(heap.size());
+  for (const auto& [d2, id] : heap) out.push_back(id);
+  return out;
+}
+
+}  // namespace evd::gnn

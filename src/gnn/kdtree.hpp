@@ -1,0 +1,71 @@
+// 3-D k-d tree over spatiotemporal event points (paper §IV, ref [75]).
+//
+// Events are embedded as points (x, y, t * time_scale) so that Euclidean
+// radius queries define the event-graph neighbourhood. This is the
+// "tree-search" baseline for graph construction whose per-event cost the
+// incremental builder (incremental.hpp) beats by orders of magnitude.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace evd::gnn {
+
+struct Point3 {
+  float x = 0.0f;
+  float y = 0.0f;
+  float z = 0.0f;  ///< Scaled time.
+};
+
+inline float squared_distance(const Point3& a, const Point3& b) noexcept {
+  const float dx = a.x - b.x;
+  const float dy = a.y - b.y;
+  const float dz = a.z - b.z;
+  return dx * dx + dy * dy + dz * dz;
+}
+
+class KdTree {
+ public:
+  KdTree() = default;
+
+  /// Build a balanced tree over the points (O(n log n)).
+  explicit KdTree(std::vector<Point3> points);
+
+  Index size() const noexcept { return static_cast<Index>(points_.size()); }
+  const Point3& point(Index i) const {
+    return points_[static_cast<size_t>(i)];
+  }
+
+  /// Indices (into the original point order) within `radius` of `query`,
+  /// excluding exact self-matches is the caller's business.
+  std::vector<Index> radius_query(const Point3& query, float radius) const;
+
+  /// The k nearest neighbours of `query` (by Euclidean distance).
+  std::vector<Index> knn_query(const Point3& query, Index k) const;
+
+  /// Number of nodes visited by the last query (search-cost metric).
+  Index last_visited() const noexcept { return last_visited_; }
+
+ private:
+  struct Node {
+    Index point = -1;    ///< Index into points_/ids_.
+    Index left = -1;
+    Index right = -1;
+    int axis = 0;
+  };
+
+  Index build(std::span<Index> ids, int depth);
+  void radius_search(Index node, const Point3& query, float r2,
+                     std::vector<Index>& out) const;
+  void knn_search(Index node, const Point3& query,
+                  std::vector<std::pair<float, Index>>& heap, Index k) const;
+
+  std::vector<Point3> points_;   ///< Original order.
+  std::vector<Node> nodes_;
+  Index root_ = -1;
+  mutable Index last_visited_ = 0;
+};
+
+}  // namespace evd::gnn

@@ -1,0 +1,49 @@
+#include "hw/energy_model.hpp"
+
+namespace evd::hw {
+
+EnergyTable EnergyTable::digital_45nm_fp32() { return EnergyTable{}; }
+
+EnergyTable EnergyTable::digital_45nm_int8() {
+  EnergyTable t;
+  t.add_pj = 0.03;
+  t.mult_pj = 0.2;
+  t.compare_pj = 0.01;
+  return t;
+}
+
+EnergyTable EnergyTable::analog_neuromorphic() {
+  EnergyTable t;
+  t.add_pj = 0.09;    // physical summation on membrane capacitance
+  t.mult_pj = 0.37;   // conductance-based weighting (Ohm's law)
+  t.compare_pj = 0.02;
+  t.sram_pj_per_byte = 0.25;  // state held in analogue circuit dynamics
+  t.dram_pj_per_byte = 325.0;
+  return t;
+}
+
+EnergyBreakdown energy_of(const nn::OpCounter& counter,
+                          const EnergyTable& table) {
+  EnergyBreakdown breakdown;
+  breakdown.compute_pj =
+      static_cast<double>(counter.adds) * table.add_pj +
+      static_cast<double>(counter.mults) * table.mult_pj +
+      static_cast<double>(counter.comparisons) * table.compare_pj;
+  breakdown.param_memory_pj =
+      static_cast<double>(counter.param_bytes_read) * table.sram_pj_per_byte;
+  breakdown.act_memory_pj =
+      static_cast<double>(counter.act_bytes_read +
+                          counter.act_bytes_written) *
+      table.sram_pj_per_byte;
+  breakdown.state_memory_pj =
+      static_cast<double>(counter.state_bytes_rw) * table.sram_pj_per_byte;
+  return breakdown;
+}
+
+double power_mw(double energy_pj, double interval_us) {
+  if (interval_us <= 0.0) return 0.0;
+  // pJ / us = uW; /1000 -> mW.
+  return energy_pj / interval_us * 1e-3;
+}
+
+}  // namespace evd::hw

@@ -1,0 +1,76 @@
+// Per-operation / per-access energy tables and the basic energy roll-up.
+//
+// Numbers follow the 45 nm survey the paper's energy argument rests on
+// (Horowitz, ISSCC'14 — the source of ref [40]'s "additions require around
+// four times less energy than multiplications"):
+//
+//   fp32 add   0.9 pJ     fp32 mult  3.7 pJ     (ratio ~4.1x)
+//   int32 add  0.1 pJ     int32 mult 3.1 pJ
+//   int8  add  0.03 pJ    int8  mult 0.2 pJ
+//   SRAM (64-bit word, 32 KB bank)   ~20 pJ
+//   DRAM (64-bit word)               ~2600 pJ   (>100x SRAM)
+//
+// Presets model the three hardware families of §V: a digital edge
+// accelerator, a digital neuromorphic core, and an analogue neuromorphic
+// core (in-memory compute: an order of magnitude lower compute and state
+// energy, per [46]).
+#pragma once
+
+#include <string>
+
+#include "nn/counters.hpp"
+
+namespace evd::hw {
+
+struct EnergyTable {
+  // Compute, pJ per operation.
+  double add_pj = 0.9;
+  double mult_pj = 3.7;
+  double compare_pj = 0.05;
+  // Memory, pJ per byte (word energy / word bytes).
+  double sram_pj_per_byte = 2.5;    ///< ~20 pJ / 8-byte word.
+  double dram_pj_per_byte = 325.0;  ///< ~2.6 nJ / 8-byte word.
+
+  static EnergyTable digital_45nm_fp32();
+  static EnergyTable digital_45nm_int8();
+  /// Analogue in-memory neuromorphic core: compute and state energy scaled
+  /// down by ~10x; parameters live in non-volatile conductances (no
+  /// per-access parameter read energy).
+  static EnergyTable analog_neuromorphic();
+};
+
+struct EnergyBreakdown {
+  double compute_pj = 0.0;
+  double param_memory_pj = 0.0;
+  double act_memory_pj = 0.0;
+  double state_memory_pj = 0.0;
+
+  double memory_pj() const noexcept {
+    return param_memory_pj + act_memory_pj + state_memory_pj;
+  }
+  double total_pj() const noexcept { return compute_pj + memory_pj(); }
+  double memory_fraction() const noexcept {
+    const double t = total_pj();
+    return t > 0.0 ? memory_pj() / t : 0.0;
+  }
+  double total_uj() const noexcept { return total_pj() * 1e-6; }
+
+  EnergyBreakdown& operator+=(const EnergyBreakdown& other) noexcept {
+    compute_pj += other.compute_pj;
+    param_memory_pj += other.param_memory_pj;
+    act_memory_pj += other.act_memory_pj;
+    state_memory_pj += other.state_memory_pj;
+    return *this;
+  }
+};
+
+/// Idealised roll-up: every counted operation at table energy, every counted
+/// byte from SRAM. Accelerator models refine this with their own policies.
+EnergyBreakdown energy_of(const nn::OpCounter& counter,
+                          const EnergyTable& table);
+
+/// Average power (milliwatts) when the given energy is spent every
+/// `interval_us` microseconds.
+double power_mw(double energy_pj, double interval_us);
+
+}  // namespace evd::hw

@@ -1,0 +1,41 @@
+// Event-GNN accelerator sketch (paper §IV, adapting EnGN [73] / HyGCN [74]
+// style gather-apply engines to streaming event graphs).
+//
+// Per-event cost of an asynchronous update:
+//  * gather: read the neighbour feature vectors (SRAM traffic, possibly
+//    served by a small neighbour cache with hit-rate `cache_hit_rate` —
+//    event graphs have high temporal locality, so hits are cheap);
+//  * apply: the MACs of the per-node kernel;
+//  * scatter: write back the node's features and update the pooled readout.
+// Also models the graph-construction side (grid-hash lookups) so the whole
+// per-event path — the paper's "latency to incorporate events into a
+// continuously evolving event-graph" — is accounted.
+#pragma once
+
+#include "hw/energy_model.hpp"
+
+namespace evd::hw {
+
+struct GnnAccelConfig {
+  double frequency_mhz = 200.0;
+  Index mac_lanes = 32;
+  double cache_hit_rate = 0.7;   ///< Neighbour feature cache.
+  double cache_hit_pj_per_byte = 0.5;  ///< Register-file-class energy.
+  EnergyTable table = EnergyTable::digital_45nm_int8();
+};
+
+struct GnnAccelReport {
+  double latency_us_per_event = 0.0;
+  EnergyBreakdown energy_per_event;
+};
+
+/// Per-event accelerator cost for an async update with the given footprint.
+/// `macs` and `neighbor_feature_bytes` come from AsyncGnnStats / model dims;
+/// `construction_probes` is IncrementalGraphBuilder candidates scanned.
+GnnAccelReport run_gnn_accel(std::int64_t macs,
+                             std::int64_t neighbor_feature_bytes,
+                             std::int64_t output_feature_bytes,
+                             std::int64_t construction_probes,
+                             const GnnAccelConfig& config);
+
+}  // namespace evd::hw

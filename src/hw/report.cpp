@@ -1,0 +1,51 @@
+#include "hw/report.hpp"
+
+#include <cstdio>
+
+namespace evd::hw {
+
+namespace {
+std::string format_energy(double pj) {
+  char buf[64];
+  if (pj >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.2fuJ", pj * 1e-6);
+  } else if (pj >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.2fnJ", pj * 1e-3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2fpJ", pj);
+  }
+  return buf;
+}
+}  // namespace
+
+std::string summary(const EnergyBreakdown& b) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "compute %s | mem %s (%.1f%%) | total %s",
+                format_energy(b.compute_pj).c_str(),
+                format_energy(b.memory_pj()).c_str(),
+                b.memory_fraction() * 100.0,
+                format_energy(b.total_pj()).c_str());
+  return buf;
+}
+
+std::string detailed(const EnergyBreakdown& b) {
+  const double total = b.total_pj() > 0.0 ? b.total_pj() : 1.0;
+  char buf[400];
+  std::snprintf(buf, sizeof buf,
+                "  compute : %12s (%5.1f%%)\n"
+                "  params  : %12s (%5.1f%%)\n"
+                "  acts    : %12s (%5.1f%%)\n"
+                "  state   : %12s (%5.1f%%)\n"
+                "  total   : %12s\n",
+                format_energy(b.compute_pj).c_str(), b.compute_pj / total * 100,
+                format_energy(b.param_memory_pj).c_str(),
+                b.param_memory_pj / total * 100,
+                format_energy(b.act_memory_pj).c_str(),
+                b.act_memory_pj / total * 100,
+                format_energy(b.state_memory_pj).c_str(),
+                b.state_memory_pj / total * 100,
+                format_energy(b.total_pj()).c_str());
+  return buf;
+}
+
+}  // namespace evd::hw

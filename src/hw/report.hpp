@@ -1,0 +1,16 @@
+// Pretty-printing helpers for hardware model outputs.
+#pragma once
+
+#include <string>
+
+#include "hw/energy_model.hpp"
+
+namespace evd::hw {
+
+/// One-line summary: "compute 1.2uJ | mem 8.3uJ (87%) | total 9.5uJ".
+std::string summary(const EnergyBreakdown& breakdown);
+
+/// Multi-line component breakdown with percentages.
+std::string detailed(const EnergyBreakdown& breakdown);
+
+}  // namespace evd::hw

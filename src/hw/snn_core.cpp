@@ -1,0 +1,44 @@
+#include "hw/snn_core.hpp"
+
+#include <stdexcept>
+
+namespace evd::hw {
+
+SnnCoreReport run_snn_core(const nn::OpCounter& workload,
+                           const SnnCoreConfig& config) {
+  if (config.frequency_mhz <= 0.0 || config.parallel_lanes <= 0) {
+    throw std::invalid_argument("run_snn_core: bad config");
+  }
+  SnnCoreReport report;
+  EnergyTable table =
+      config.analog ? EnergyTable::analog_neuromorphic() : config.table;
+
+  report.energy = energy_of(workload, table);
+  if (config.analog) {
+    // Weights are non-volatile conductances: no parameter SRAM traffic.
+    report.energy.param_memory_pj = 0.0;
+  }
+  // State updates dominate the serialised schedule: one state word per
+  // cycle-lane, plus one cycle per synaptic add.
+  report.neuron_updates = workload.state_bytes_rw / 8;  // V read+write = 8 B
+  report.synaptic_events = workload.adds;
+  const double cycles =
+      (static_cast<double>(report.neuron_updates) +
+       static_cast<double>(report.synaptic_events)) /
+      static_cast<double>(config.parallel_lanes);
+  report.latency_us = cycles / config.frequency_mhz;
+  return report;
+}
+
+SnnCoreReport run_snn_core(const snn::ExecutionCost& cost,
+                           const SnnCoreConfig& config) {
+  nn::OpCounter workload;
+  workload.adds = cost.adds;
+  workload.mults = cost.mults;
+  workload.comparisons = cost.neuron_updates;  // one threshold per update
+  // memory_accesses are word-granular (4-byte words: weights + state).
+  workload.state_bytes_rw = cost.memory_accesses * 4;
+  return run_snn_core(workload, config);
+}
+
+}  // namespace evd::hw

@@ -1,0 +1,45 @@
+// Time-multiplexed neuromorphic (SNN) core model (paper §III-A, [41],[42]).
+//
+// A digital SNN core keeps neuron membranes and synaptic weights in SRAM and
+// serialises updates through shared arithmetic. Per timestep:
+//   * every neuron's state word is read, decayed and written back (clocked
+//     update policy), and
+//   * every synaptic event (input spike x fan-out) reads one weight and
+//     performs one addition.
+// Because arithmetic is cheap (adds) and every single operation drags a
+// memory access with it, memory dominates the energy — the model reproduces
+// the ">= 99% of total" figure of [42] directly from the counted traffic.
+// The event-driven policy variant [44] charges extra state (timestamps) and
+// a decay computation per touched neuron instead of per-step sweeps.
+#pragma once
+
+#include "hw/energy_model.hpp"
+#include "snn/event_driven.hpp"
+
+namespace evd::hw {
+
+struct SnnCoreConfig {
+  double frequency_mhz = 100.0;
+  Index parallel_lanes = 8;     ///< Neuron updates processed per cycle.
+  EnergyTable table = EnergyTable::digital_45nm_int8();
+  bool analog = false;          ///< Analogue core: see EnergyTable preset.
+};
+
+struct SnnCoreReport {
+  double latency_us = 0.0;
+  EnergyBreakdown energy;
+  std::int64_t neuron_updates = 0;
+  std::int64_t synaptic_events = 0;
+};
+
+/// Evaluate an instrumented SNN workload (captured OpCounter) on the core.
+/// `state_word_bytes` is the membrane state width (int16 = 2 typical).
+SnnCoreReport run_snn_core(const nn::OpCounter& workload,
+                           const SnnCoreConfig& config);
+
+/// Evaluate an ExecutionCost (from snn::run_clocked / run_event_driven)
+/// on the core — used to compare the two update policies at equal output.
+SnnCoreReport run_snn_core(const snn::ExecutionCost& cost,
+                           const SnnCoreConfig& config);
+
+}  // namespace evd::hw

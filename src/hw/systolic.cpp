@@ -1,0 +1,38 @@
+#include "hw/systolic.hpp"
+
+#include <stdexcept>
+
+namespace evd::hw {
+
+AcceleratorReport run_systolic(const nn::OpCounter& workload,
+                               const SystolicConfig& config) {
+  if (config.rows <= 0 || config.cols <= 0 || config.frequency_mhz <= 0.0) {
+    throw std::invalid_argument("run_systolic: bad config");
+  }
+  AcceleratorReport report;
+  const std::int64_t macs = workload.macs();
+  report.effective_macs = macs;  // dense: everything executes
+  report.skipped_macs = 0;
+
+  const double pe_throughput = static_cast<double>(config.rows * config.cols) *
+                               config.utilization;
+  const double cycles = static_cast<double>(macs) / pe_throughput;
+  report.latency_us = cycles / config.frequency_mhz;  // cycles / (MHz) = us
+
+  report.energy.compute_pj =
+      static_cast<double>(macs) * (config.table.add_pj + config.table.mult_pj) +
+      static_cast<double>(workload.comparisons) * config.table.compare_pj;
+  report.energy.param_memory_pj =
+      static_cast<double>(workload.param_bytes_read) / config.reuse_factor *
+      config.table.sram_pj_per_byte;
+  report.energy.act_memory_pj =
+      static_cast<double>(workload.act_bytes_read +
+                          workload.act_bytes_written) /
+      config.reuse_factor * config.table.sram_pj_per_byte;
+  report.energy.state_memory_pj =
+      static_cast<double>(workload.state_bytes_rw) *
+      config.table.sram_pj_per_byte;
+  return report;
+}
+
+}  // namespace evd::hw

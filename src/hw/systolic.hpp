@@ -1,0 +1,35 @@
+// Systolic processing-element array model (paper §III-B, TPU-like [60]).
+//
+// A rows x cols grid of MACs with weight-stationary dataflow: deterministic
+// access pattern, high data reuse, massive parallelism — but *no* sparsity
+// exploitation: zero-valued activations occupy PE slots like any other.
+// Latency = total (dense) MACs / active PEs / frequency; energy charges
+// every MAC, with parameter and activation traffic divided by the reuse
+// factor the array achieves.
+#pragma once
+
+#include "hw/energy_model.hpp"
+
+namespace evd::hw {
+
+struct SystolicConfig {
+  Index rows = 16;
+  Index cols = 16;
+  double frequency_mhz = 200.0;
+  double utilization = 0.85;   ///< Fraction of PE-cycles doing real work.
+  double reuse_factor = 16.0;  ///< On-chip reuse: bytes cross SRAM 1/reuse.
+  EnergyTable table = EnergyTable::digital_45nm_int8();
+};
+
+struct AcceleratorReport {
+  double latency_us = 0.0;
+  EnergyBreakdown energy;
+  std::int64_t effective_macs = 0;  ///< MACs actually executed.
+  std::int64_t skipped_macs = 0;    ///< MACs elided (zero-skipping only).
+};
+
+/// Evaluate a workload (an OpCounter captured from a pipeline) on the array.
+AcceleratorReport run_systolic(const nn::OpCounter& workload,
+                               const SystolicConfig& config);
+
+}  // namespace evd::hw

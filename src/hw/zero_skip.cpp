@@ -1,0 +1,64 @@
+#include "hw/zero_skip.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace evd::hw {
+
+AcceleratorReport run_zero_skip(const nn::OpCounter& workload,
+                                const ZeroSkipConfig& config) {
+  if (config.lanes <= 0 || config.frequency_mhz <= 0.0) {
+    throw std::invalid_argument("run_zero_skip: bad config");
+  }
+  AcceleratorReport report;
+  const std::int64_t total_macs = workload.macs();
+  const std::int64_t skippable =
+      std::min(workload.zero_skippable_mults, total_macs);
+  report.skipped_macs = skippable;
+  report.effective_macs = total_macs - skippable;
+
+  // Cycles: executed MACs plus the fraction of skipped slots the scheduler
+  // could not reclaim.
+  const double effective_slots =
+      static_cast<double>(report.effective_macs) +
+      (1.0 - config.skip_efficiency) * static_cast<double>(skippable);
+  report.latency_us = effective_slots /
+                      static_cast<double>(config.lanes) /
+                      config.frequency_mhz;
+
+  report.energy.compute_pj =
+      static_cast<double>(report.effective_macs) *
+          (config.table.add_pj + config.table.mult_pj) +
+      static_cast<double>(workload.comparisons) * config.table.compare_pj;
+
+  // Weights stream with the same on-chip reuse a systolic design achieves.
+  report.energy.param_memory_pj =
+      static_cast<double>(workload.param_bytes_read) / config.reuse_factor *
+      config.table.sram_pj_per_byte;
+
+  // Activations are stored compressed: traffic scales with the non-zero
+  // fraction (+ index overhead), each access paying the irregularity penalty.
+  const double act_bytes = static_cast<double>(workload.act_bytes_read +
+                                               workload.act_bytes_written);
+  const double density =
+      total_macs > 0 ? static_cast<double>(report.effective_macs) /
+                           static_cast<double>(total_macs)
+                     : 1.0;
+  report.energy.act_memory_pj = act_bytes * density *
+                                (1.0 + config.compression_overhead) *
+                                config.irregular_access_penalty /
+                                config.reuse_factor *
+                                config.table.sram_pj_per_byte;
+  report.energy.state_memory_pj =
+      static_cast<double>(workload.state_bytes_rw) *
+      config.table.sram_pj_per_byte;
+  return report;
+}
+
+double compressed_bytes(std::int64_t total, double sparsity,
+                        double bytes_per_value, double overhead) {
+  const double nz = static_cast<double>(total) * (1.0 - sparsity);
+  return nz * bytes_per_value * (1.0 + overhead);
+}
+
+}  // namespace evd::hw

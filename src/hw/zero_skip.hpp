@@ -1,0 +1,38 @@
+// Zero-skipping CNN accelerator model (paper §III-B, NullHop [62],
+// Cambricon-X [63], Eyeriss v2 [64]).
+//
+// Two mechanisms, with their costs:
+//  * skip multiplications whose activation operand is zero — saves exactly
+//    the OpCounter's `zero_skippable_mults` (and the matching adds), but
+//    scheduling irregularity means only `skip_efficiency` of the saved
+//    cycles convert into real time savings;
+//  * compressed activation storage (non-zero list + index mask) — saves
+//    activation bytes proportional to sparsity, at an `irregular_access
+//    penalty` per remaining access because the SRAM pattern is no longer
+//    deterministic.
+#pragma once
+
+#include "hw/systolic.hpp"
+
+namespace evd::hw {
+
+struct ZeroSkipConfig {
+  Index lanes = 128;             ///< Parallel MAC lanes.
+  double frequency_mhz = 200.0;
+  double skip_efficiency = 0.8;  ///< Fraction of skipped MACs that save cycles.
+  double irregular_access_penalty = 1.25;  ///< Energy factor on compressed reads.
+  double compression_overhead = 0.10;      ///< Index/mask bytes per data byte.
+  double reuse_factor = 16.0;    ///< On-chip reuse, same as the systolic array.
+  EnergyTable table = EnergyTable::digital_45nm_int8();
+};
+
+AcceleratorReport run_zero_skip(const nn::OpCounter& workload,
+                                const ZeroSkipConfig& config);
+
+/// Bytes to store a feature map of `total` elements with `sparsity` zeros,
+/// element size `bytes_per_value`, in non-zero-list compressed form
+/// (Fig. 2's "compressed format"): data + index overhead.
+double compressed_bytes(std::int64_t total, double sparsity,
+                        double bytes_per_value, double overhead = 0.10);
+
+}  // namespace evd::hw

@@ -1,0 +1,144 @@
+#include "nn/conv2d.hpp"
+
+#include <stdexcept>
+
+#include "nn/counters.hpp"
+#include "nn/init.hpp"
+
+namespace evd::nn {
+
+Conv2d::Conv2d(Conv2dConfig config, Rng& rng)
+    : config_(config),
+      weight_("weight",
+              he_normal({config.out_channels, config.in_channels,
+                         config.kernel, config.kernel},
+                        config.in_channels * config.kernel * config.kernel,
+                        rng)),
+      bias_("bias", Tensor({config.out_channels})) {
+  if (config.kernel <= 0 || config.stride <= 0 || config.padding < 0 ||
+      config.in_channels <= 0 || config.out_channels <= 0) {
+    throw std::invalid_argument("Conv2d: invalid configuration");
+  }
+}
+
+Tensor Conv2d::forward(const Tensor& input, bool train) {
+  if (input.rank() != 3 || input.dim(0) != config_.in_channels) {
+    throw std::invalid_argument("Conv2d::forward: expected [C,H,W] input with C=" +
+                                std::to_string(config_.in_channels));
+  }
+  const Index ih = input.dim(1);
+  const Index iw = input.dim(2);
+  const Index oh = out_size(ih);
+  const Index ow = out_size(iw);
+  if (oh <= 0 || ow <= 0) {
+    throw std::invalid_argument("Conv2d::forward: input smaller than kernel");
+  }
+  if (train) cached_input_ = input;
+
+  const Index k = config_.kernel;
+  Tensor output({config_.out_channels, oh, ow});
+  for (Index oc = 0; oc < config_.out_channels; ++oc) {
+    for (Index oy = 0; oy < oh; ++oy) {
+      for (Index ox = 0; ox < ow; ++ox) {
+        float acc = bias_.value[oc];
+        const Index base_y = oy * config_.stride - config_.padding;
+        const Index base_x = ox * config_.stride - config_.padding;
+        for (Index ic = 0; ic < config_.in_channels; ++ic) {
+          for (Index ky = 0; ky < k; ++ky) {
+            const Index y = base_y + ky;
+            if (y < 0 || y >= ih) continue;
+            for (Index kx = 0; kx < k; ++kx) {
+              const Index x = base_x + kx;
+              if (x < 0 || x >= iw) continue;
+              acc += weight_.value[((oc * config_.in_channels + ic) * k + ky) *
+                                       k +
+                                   kx] *
+                     input.at3(ic, y, x);
+            }
+          }
+        }
+        output.at3(oc, oy, ox) = acc;
+      }
+    }
+  }
+
+  if (active_counter() != nullptr) {
+    // Count MACs over valid (non-padding) taps, and how many of those had a
+    // zero activation operand (skippable on sparse hardware).
+    std::int64_t macs = 0;
+    std::int64_t skippable = 0;
+    for (Index oy = 0; oy < oh; ++oy) {
+      for (Index ox = 0; ox < ow; ++ox) {
+        const Index base_y = oy * config_.stride - config_.padding;
+        const Index base_x = ox * config_.stride - config_.padding;
+        for (Index ic = 0; ic < config_.in_channels; ++ic) {
+          for (Index ky = 0; ky < k; ++ky) {
+            const Index y = base_y + ky;
+            if (y < 0 || y >= ih) continue;
+            for (Index kx = 0; kx < k; ++kx) {
+              const Index x = base_x + kx;
+              if (x < 0 || x >= iw) continue;
+              ++macs;
+              if (input.at3(ic, y, x) == 0.0f) ++skippable;
+            }
+          }
+        }
+      }
+    }
+    count_mac(macs * config_.out_channels);
+    count_zero_skippable(skippable * config_.out_channels);
+    count_param_read(
+        static_cast<std::int64_t>(weight_.value.numel() + bias_.value.numel()) *
+        4);
+    count_act_read(input.numel() * 4);
+    count_act_write(output.numel() * 4);
+  }
+  return output;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_output) {
+  if (cached_input_.empty()) {
+    throw std::logic_error("Conv2d::backward: no cached forward");
+  }
+  const Index ih = cached_input_.dim(1);
+  const Index iw = cached_input_.dim(2);
+  const Index oh = out_size(ih);
+  const Index ow = out_size(iw);
+  if (grad_output.rank() != 3 || grad_output.dim(0) != config_.out_channels ||
+      grad_output.dim(1) != oh || grad_output.dim(2) != ow) {
+    throw std::invalid_argument("Conv2d::backward: grad shape mismatch");
+  }
+
+  const Index k = config_.kernel;
+  Tensor grad_input(cached_input_.shape());
+  for (Index oc = 0; oc < config_.out_channels; ++oc) {
+    for (Index oy = 0; oy < oh; ++oy) {
+      for (Index ox = 0; ox < ow; ++ox) {
+        const float go = grad_output.at3(oc, oy, ox);
+        if (go == 0.0f) continue;
+        bias_.grad[oc] += go;
+        const Index base_y = oy * config_.stride - config_.padding;
+        const Index base_x = ox * config_.stride - config_.padding;
+        for (Index ic = 0; ic < config_.in_channels; ++ic) {
+          for (Index ky = 0; ky < k; ++ky) {
+            const Index y = base_y + ky;
+            if (y < 0 || y >= ih) continue;
+            for (Index kx = 0; kx < k; ++kx) {
+              const Index x = base_x + kx;
+              if (x < 0 || x >= iw) continue;
+              const Index widx =
+                  ((oc * config_.in_channels + ic) * k + ky) * k + kx;
+              weight_.grad[widx] += go * cached_input_.at3(ic, y, x);
+              grad_input.at3(ic, y, x) += go * weight_.value[widx];
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::vector<Param*> Conv2d::params() { return {&weight_, &bias_}; }
+
+}  // namespace evd::nn

@@ -1,0 +1,49 @@
+// 2-D convolution with manual backward pass.
+//
+// Input is a single feature volume [C, H, W] (no batch dimension — training
+// in this library is per-sample with gradient accumulation). Direct loops,
+// zero padding, arbitrary stride. Operation counting distinguishes total
+// MACs from zero-skippable MACs (zero activations), feeding the hardware
+// models of §III-B.
+#pragma once
+
+#include "common/rng.hpp"
+#include "nn/layer.hpp"
+
+namespace evd::nn {
+
+struct Conv2dConfig {
+  Index in_channels = 1;
+  Index out_channels = 1;
+  Index kernel = 3;
+  Index stride = 1;
+  Index padding = 1;
+};
+
+class Conv2d : public Layer {
+ public:
+  Conv2d(Conv2dConfig config, Rng& rng);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param*> params() override;
+  std::string name() const override { return "Conv2d"; }
+
+  const Conv2dConfig& config() const noexcept { return config_; }
+  Param& weight() noexcept { return weight_; }
+  Param& bias() noexcept { return bias_; }
+
+  /// Output spatial size for a given input size.
+  Index out_size(Index in_size) const noexcept {
+    return (in_size + 2 * config_.padding - config_.kernel) / config_.stride +
+           1;
+  }
+
+ private:
+  Conv2dConfig config_;
+  Param weight_;  ///< [OC, IC, K, K]
+  Param bias_;    ///< [OC]
+  Tensor cached_input_;
+};
+
+}  // namespace evd::nn

@@ -1,0 +1,113 @@
+// Operation and memory-traffic counters.
+//
+// Every layer in every pipeline reports its arithmetic work (multiplies,
+// additions, comparisons) and its idealised memory traffic (parameter and
+// activation bytes touched) into the active OpCounter. The hardware cost
+// models in evd::hw turn these counts into energy/latency via per-op energy
+// tables — this is how the paper's Table I rows "Computation - #Operations",
+// "Memory - Bandwidth" and "System - Energy Efficiency" become measurements.
+//
+// Counting is scoped: installing a ScopedCounter makes it the active sink
+// for the current thread; a null active counter makes all count_* calls
+// no-ops (so hot paths stay cheap when not being measured).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace evd::nn {
+
+struct OpCounter {
+  // Arithmetic.
+  std::int64_t mults = 0;        ///< Multiplies (incl. the mul of each MAC).
+  std::int64_t adds = 0;         ///< Additions (incl. the add of each MAC).
+  std::int64_t comparisons = 0;  ///< Thresholds, max-pool compares, spikes.
+  /// Multiplies whose activation operand was exactly zero: dense hardware
+  /// performs them, zero-skipping hardware elides them (paper §III-B).
+  std::int64_t zero_skippable_mults = 0;
+  // Memory traffic in bytes (idealised: every operand touched once).
+  std::int64_t param_bytes_read = 0;
+  std::int64_t act_bytes_read = 0;
+  std::int64_t act_bytes_written = 0;
+  std::int64_t state_bytes_rw = 0;  ///< Persistent state (SNN membranes, graphs).
+
+  std::int64_t macs() const noexcept { return mults < adds ? mults : adds; }
+  std::int64_t total_ops() const noexcept { return mults + adds + comparisons; }
+  std::int64_t total_bytes() const noexcept {
+    return param_bytes_read + act_bytes_read + act_bytes_written +
+           state_bytes_rw;
+  }
+
+  OpCounter& operator+=(const OpCounter& other) noexcept {
+    mults += other.mults;
+    adds += other.adds;
+    comparisons += other.comparisons;
+    zero_skippable_mults += other.zero_skippable_mults;
+    param_bytes_read += other.param_bytes_read;
+    act_bytes_read += other.act_bytes_read;
+    act_bytes_written += other.act_bytes_written;
+    state_bytes_rw += other.state_bytes_rw;
+    return *this;
+  }
+};
+
+namespace detail {
+inline OpCounter*& active_counter_ref() noexcept {
+  thread_local OpCounter* active = nullptr;
+  return active;
+}
+}  // namespace detail
+
+inline OpCounter* active_counter() noexcept {
+  return detail::active_counter_ref();
+}
+
+/// RAII activation of a counter for the current thread (nestable: restores
+/// the previous sink on destruction).
+class ScopedCounter {
+ public:
+  explicit ScopedCounter(OpCounter& counter) noexcept
+      : previous_(detail::active_counter_ref()) {
+    detail::active_counter_ref() = &counter;
+  }
+  ~ScopedCounter() { detail::active_counter_ref() = previous_; }
+  ScopedCounter(const ScopedCounter&) = delete;
+  ScopedCounter& operator=(const ScopedCounter&) = delete;
+
+ private:
+  OpCounter* previous_;
+};
+
+inline void count_mac(std::int64_t n) noexcept {
+  if (auto* c = active_counter()) {
+    c->mults += n;
+    c->adds += n;
+  }
+}
+inline void count_mult(std::int64_t n) noexcept {
+  if (auto* c = active_counter()) c->mults += n;
+}
+inline void count_add(std::int64_t n) noexcept {
+  if (auto* c = active_counter()) c->adds += n;
+}
+inline void count_compare(std::int64_t n) noexcept {
+  if (auto* c = active_counter()) c->comparisons += n;
+}
+inline void count_zero_skippable(std::int64_t n) noexcept {
+  if (auto* c = active_counter()) c->zero_skippable_mults += n;
+}
+inline void count_param_read(std::int64_t bytes) noexcept {
+  if (auto* c = active_counter()) c->param_bytes_read += bytes;
+}
+inline void count_act_read(std::int64_t bytes) noexcept {
+  if (auto* c = active_counter()) c->act_bytes_read += bytes;
+}
+inline void count_act_write(std::int64_t bytes) noexcept {
+  if (auto* c = active_counter()) c->act_bytes_written += bytes;
+}
+inline void count_state_rw(std::int64_t bytes) noexcept {
+  if (auto* c = active_counter()) c->state_bytes_rw += bytes;
+}
+
+}  // namespace evd::nn

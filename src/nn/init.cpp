@@ -1,0 +1,28 @@
+#include "nn/init.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace evd::nn {
+
+Tensor he_normal(std::vector<Index> shape, Index fan_in, Rng& rng) {
+  if (fan_in <= 0) throw std::invalid_argument("he_normal: fan_in <= 0");
+  const auto stddev =
+      static_cast<float>(std::sqrt(2.0 / static_cast<double>(fan_in)));
+  return Tensor::randn(std::move(shape), rng, stddev);
+}
+
+Tensor xavier_uniform(std::vector<Index> shape, Index fan_in, Index fan_out,
+                      Rng& rng) {
+  if (fan_in <= 0 || fan_out <= 0) {
+    throw std::invalid_argument("xavier_uniform: non-positive fan");
+  }
+  const double a = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  Tensor t(std::move(shape));
+  for (Index i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng.uniform(-a, a));
+  }
+  return t;
+}
+
+}  // namespace evd::nn

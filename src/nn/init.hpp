@@ -1,0 +1,16 @@
+// Weight initialisation schemes.
+#pragma once
+
+#include "common/rng.hpp"
+#include "nn/tensor.hpp"
+
+namespace evd::nn {
+
+/// He (Kaiming) normal init for ReLU networks: stddev = sqrt(2 / fan_in).
+Tensor he_normal(std::vector<Index> shape, Index fan_in, Rng& rng);
+
+/// Xavier (Glorot) uniform init: U(-a, a), a = sqrt(6 / (fan_in + fan_out)).
+Tensor xavier_uniform(std::vector<Index> shape, Index fan_in, Index fan_out,
+                      Rng& rng);
+
+}  // namespace evd::nn

@@ -1,0 +1,79 @@
+#include "nn/linear.hpp"
+
+#include <stdexcept>
+
+#include "nn/counters.hpp"
+#include "nn/init.hpp"
+
+namespace evd::nn {
+
+Linear::Linear(Index in_features, Index out_features, Rng& rng, bool bias)
+    : in_(in_features),
+      out_(out_features),
+      has_bias_(bias),
+      weight_("weight", he_normal({out_features, in_features}, in_features, rng)),
+      bias_("bias", Tensor({out_features})) {
+  if (in_features <= 0 || out_features <= 0) {
+    throw std::invalid_argument("Linear: non-positive feature count");
+  }
+}
+
+Tensor Linear::forward(const Tensor& input, bool train) {
+  if (input.numel() != in_) {
+    throw std::invalid_argument("Linear::forward: input numel " +
+                                std::to_string(input.numel()) + " != " +
+                                std::to_string(in_));
+  }
+  if (train) cached_input_ = input;
+
+  Tensor output({out_});
+  const float* x = input.data();
+  for (Index o = 0; o < out_; ++o) {
+    const float* w = weight_.value.data() + o * in_;
+    float acc = has_bias_ ? bias_.value[o] : 0.0f;
+    for (Index i = 0; i < in_; ++i) acc += w[i] * x[i];
+    output[o] = acc;
+  }
+
+  if (active_counter() != nullptr) {
+    count_mac(out_ * in_);
+    Index zeros = 0;
+    for (Index i = 0; i < in_; ++i) zeros += (x[i] == 0.0f) ? 1 : 0;
+    count_zero_skippable(zeros * out_);
+    count_param_read(static_cast<std::int64_t>(weight_.value.numel() +
+                                               (has_bias_ ? out_ : 0)) * 4);
+    count_act_read(in_ * 4);
+    count_act_write(out_ * 4);
+  }
+  return output;
+}
+
+Tensor Linear::backward(const Tensor& grad_output) {
+  if (grad_output.numel() != out_) {
+    throw std::invalid_argument("Linear::backward: grad numel mismatch");
+  }
+  if (cached_input_.numel() != in_) {
+    throw std::logic_error("Linear::backward: no cached forward");
+  }
+  Tensor grad_input({in_});
+  const float* g = grad_output.data();
+  const float* x = cached_input_.data();
+  for (Index o = 0; o < out_; ++o) {
+    const float go = g[o];
+    const float* w = weight_.value.data() + o * in_;
+    float* dw = weight_.grad.data() + o * in_;
+    for (Index i = 0; i < in_; ++i) {
+      dw[i] += go * x[i];
+      grad_input[i] += go * w[i];
+    }
+    if (has_bias_) bias_.grad[o] += go;
+  }
+  return grad_input;
+}
+
+std::vector<Param*> Linear::params() {
+  if (has_bias_) return {&weight_, &bias_};
+  return {&weight_};
+}
+
+}  // namespace evd::nn

@@ -1,0 +1,22 @@
+// Parameter checkpointing, generic over anything exposing params().
+//
+// Format: magic, parameter count, then per parameter: name, shape, values.
+// Loading verifies names and shapes so a checkpoint cannot silently attach
+// to the wrong architecture.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace evd::nn {
+
+/// Save parameters (values only) to `path`.
+void save_params(const std::string& path, const std::vector<Param*>& params);
+
+/// Load into an existing parameter set; throws std::runtime_error on
+/// count/name/shape mismatch or malformed files.
+void load_params(const std::string& path, const std::vector<Param*>& params);
+
+}  // namespace evd::nn

@@ -1,0 +1,57 @@
+// Optimizers over collections of Params.
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace evd::nn {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Param*> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// Apply one update from the accumulated gradients, then clear them.
+  virtual void step() = 0;
+
+  void zero_grad() {
+    for (auto* p : params_) p->grad.zero();
+  }
+
+ protected:
+  std::vector<Param*> params_;
+};
+
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Param*> params, float lr, float momentum = 0.0f,
+      float weight_decay = 0.0f);
+  void step() override;
+
+  void set_lr(float lr) noexcept { lr_ = lr; }
+  float lr() const noexcept { return lr_; }
+
+ private:
+  float lr_, momentum_, weight_decay_;
+  std::vector<Tensor> velocity_;
+};
+
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Param*> params, float lr = 1e-3f, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f);
+  void step() override;
+
+  void set_lr(float lr) noexcept { lr_ = lr; }
+
+ private:
+  float lr_, beta1_, beta2_, eps_;
+  Index t_ = 0;
+  std::vector<Tensor> m_, v_;
+};
+
+/// Gradient-norm clip across all params (helps SNN BPTT stability).
+void clip_grad_norm(const std::vector<Param*>& params, float max_norm);
+
+}  // namespace evd::nn

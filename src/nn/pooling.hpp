@@ -1,0 +1,48 @@
+// Max and average pooling over [C, H, W] feature volumes.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace evd::nn {
+
+class MaxPool2d : public Layer {
+ public:
+  explicit MaxPool2d(Index window, Index stride = 0)
+      : window_(window), stride_(stride > 0 ? stride : window) {}
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "MaxPool2d"; }
+
+ private:
+  Index window_, stride_;
+  Tensor cached_input_;
+  std::vector<Index> argmax_;  ///< Flat input index of each output's max.
+};
+
+class AvgPool2d : public Layer {
+ public:
+  explicit AvgPool2d(Index window, Index stride = 0)
+      : window_(window), stride_(stride > 0 ? stride : window) {}
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "AvgPool2d"; }
+
+ private:
+  Index window_, stride_;
+  std::vector<Index> in_shape_;
+};
+
+/// Global average pool: [C, H, W] -> [C].
+class GlobalAvgPool : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "GlobalAvgPool"; }
+
+ private:
+  std::vector<Index> in_shape_;
+};
+
+}  // namespace evd::nn

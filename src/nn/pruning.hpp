@@ -1,0 +1,43 @@
+// Weight pruning (paper §III-B [51], structured variant [65]).
+//
+// Magnitude pruning zeroes the smallest-|w| fraction of weights; a PruneMask
+// re-applied after each optimizer step keeps them zero through fine-tuning.
+// Structured pruning zeroes whole rows (output neurons / channels), giving
+// the regular sparsity pattern that both systolic and zero-skipping
+// accelerators exploit without irregular memory access [65].
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace evd::nn {
+
+/// Binary masks parallel to a parameter set.
+class PruneMask {
+ public:
+  explicit PruneMask(std::vector<Param*> params);
+
+  /// Zero the `fraction` smallest-magnitude weights of each parameter
+  /// tensor independently (per-layer magnitude pruning).
+  void prune_magnitude(double fraction);
+
+  /// Zero the `fraction` of rows (dim-0 slices) with smallest L2 norm —
+  /// structured sparsity. Only applied to parameters of rank >= 2.
+  void prune_structured_rows(double fraction);
+
+  /// Re-zero masked weights (call after every optimizer step).
+  void apply();
+
+  /// Overall weight sparsity under the current mask.
+  double sparsity() const;
+
+ private:
+  std::vector<Param*> params_;
+  std::vector<std::vector<char>> keep_;  ///< 1 = keep, 0 = pruned.
+};
+
+/// Fraction of exactly-zero weights across a parameter set.
+double weight_sparsity(const std::vector<Param*>& params);
+
+}  // namespace evd::nn

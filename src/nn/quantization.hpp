@@ -1,0 +1,53 @@
+// Weight/activation quantization (paper §III-B [52], §III-A conversion
+// path [39]).
+//
+// * Post-training quantization: uniform symmetric fake-quantization of all
+//   parameters to b bits.
+// * Quantization-aware training via the straight-through estimator [39]:
+//   QatTrainer keeps full-precision latent parameters, runs forward/backward
+//   at the quantized point, and applies the (unmodified) gradients to the
+//   latent weights.
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace evd::nn {
+
+struct QuantResult {
+  Tensor values;  ///< Quantize-dequantized tensor.
+  float scale = 1.0f;
+  int bits = 8;
+};
+
+/// Uniform symmetric quantization to `bits` bits (range ±max|x|).
+QuantResult fake_quantize(const Tensor& tensor, int bits);
+
+/// Quantize every parameter of the model in place (post-training).
+void quantize_params(const std::vector<Param*>& params, int bits);
+
+/// Straight-through-estimator QAT driver.
+///
+/// Usage per training step:
+///   qat.quantize_for_forward();   // params := Q(latent)
+///   ... forward / backward ...    // grads computed at quantized point
+///   qat.restore_latent();         // params := latent
+///   optimizer.step();             // latent updated with STE gradients
+class QatTrainer {
+ public:
+  QatTrainer(std::vector<Param*> params, int bits);
+
+  void quantize_for_forward();
+  void restore_latent();
+
+  int bits() const noexcept { return bits_; }
+
+ private:
+  std::vector<Param*> params_;
+  std::vector<Tensor> latent_;
+  int bits_;
+  bool quantized_ = false;
+};
+
+}  // namespace evd::nn

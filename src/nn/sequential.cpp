@@ -1,0 +1,39 @@
+#include "nn/sequential.hpp"
+
+namespace evd::nn {
+
+Tensor Sequential::forward(const Tensor& input, bool train) {
+  Tensor x = input;
+  for (auto& layer : layers_) x = layer->forward(x, train);
+  return x;
+}
+
+Tensor Sequential::backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  return g;
+}
+
+std::vector<Param*> Sequential::params() {
+  std::vector<Param*> all;
+  for (auto& layer : layers_) {
+    for (auto* p : layer->params()) all.push_back(p);
+  }
+  return all;
+}
+
+std::pair<double, bool> train_step(Sequential& model, const Tensor& input,
+                                   Index label) {
+  const Tensor logits = model.forward(input, /*train=*/true);
+  const CrossEntropy ce = softmax_cross_entropy(logits, label);
+  model.backward(ce.grad);
+  return {ce.loss, logits.argmax() == label};
+}
+
+Index predict(Sequential& model, const Tensor& input) {
+  return model.forward(input, /*train=*/false).argmax();
+}
+
+}  // namespace evd::nn

@@ -1,0 +1,48 @@
+// Sequential layer container plus a minimal classifier training loop.
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "nn/layer.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/softmax.hpp"
+
+namespace evd::nn {
+
+class Sequential : public Layer {
+ public:
+  Sequential() = default;
+
+  template <typename L, typename... Args>
+  L& emplace(Args&&... args) {
+    auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+    L& ref = *layer;
+    layers_.push_back(std::move(layer));
+    return ref;
+  }
+
+  void push(LayerPtr layer) { layers_.push_back(std::move(layer)); }
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param*> params() override;
+  std::string name() const override { return "Sequential"; }
+
+  Index size() const noexcept { return static_cast<Index>(layers_.size()); }
+  Layer& layer(Index i) { return *layers_.at(static_cast<size_t>(i)); }
+
+ private:
+  std::vector<LayerPtr> layers_;
+};
+
+/// One training step on (input, label): forward, loss, backward, grad
+/// accumulation. Returns (loss, correct?). Caller steps the optimizer.
+std::pair<double, bool> train_step(Sequential& model, const Tensor& input,
+                                   Index label);
+
+/// Greedy prediction (argmax of logits).
+Index predict(Sequential& model, const Tensor& input);
+
+}  // namespace evd::nn

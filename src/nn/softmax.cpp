@@ -1,0 +1,57 @@
+#include "nn/softmax.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace evd::nn {
+
+Tensor softmax(const Tensor& logits) {
+  if (logits.numel() == 0) {
+    throw std::invalid_argument("softmax: empty logits");
+  }
+  Tensor out = logits;
+  const float m = [&] {
+    float best = out[0];
+    for (Index i = 1; i < out.numel(); ++i) best = std::max(best, out[i]);
+    return best;
+  }();
+  double sum = 0.0;
+  for (Index i = 0; i < out.numel(); ++i) {
+    out[i] = std::exp(out[i] - m);
+    sum += out[i];
+  }
+  const auto inv = static_cast<float>(1.0 / sum);
+  for (Index i = 0; i < out.numel(); ++i) out[i] *= inv;
+  return out;
+}
+
+CrossEntropy softmax_cross_entropy(const Tensor& logits, Index target) {
+  if (target < 0 || target >= logits.numel()) {
+    throw std::invalid_argument("softmax_cross_entropy: target out of range");
+  }
+  CrossEntropy result;
+  result.probabilities = softmax(logits);
+  const double p = std::max(
+      static_cast<double>(result.probabilities[target]), 1e-12);
+  result.loss = -std::log(p);
+  result.grad = result.probabilities;
+  result.grad[target] -= 1.0f;
+  return result;
+}
+
+MseLoss mse_loss(const Tensor& prediction, const Tensor& target) {
+  if (prediction.numel() != target.numel() || prediction.numel() == 0) {
+    throw std::invalid_argument("mse_loss: shape mismatch or empty");
+  }
+  MseLoss result;
+  result.grad = Tensor(prediction.shape());
+  const double inv = 1.0 / static_cast<double>(prediction.numel());
+  for (Index i = 0; i < prediction.numel(); ++i) {
+    const double diff = static_cast<double>(prediction[i]) - target[i];
+    result.loss += diff * diff * inv;
+    result.grad[i] = static_cast<float>(2.0 * diff * inv);
+  }
+  return result;
+}
+
+}  // namespace evd::nn

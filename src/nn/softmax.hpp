@@ -1,0 +1,30 @@
+// Softmax + cross-entropy, fused for numerical stability.
+#pragma once
+
+#include "nn/tensor.hpp"
+
+namespace evd::nn {
+
+/// Numerically stable softmax over a flat logit vector.
+Tensor softmax(const Tensor& logits);
+
+/// Fused softmax-cross-entropy. Returns the loss; writes d(loss)/d(logits)
+/// into grad (same shape as logits). target is the class index.
+struct CrossEntropy {
+  double loss = 0.0;
+  Tensor grad;
+  Tensor probabilities;
+};
+
+CrossEntropy softmax_cross_entropy(const Tensor& logits, Index target);
+
+/// Mean-squared-error loss for regression heads (e.g. localization).
+/// Returns the loss; grad is d(loss)/d(prediction).
+struct MseLoss {
+  double loss = 0.0;
+  Tensor grad;
+};
+
+MseLoss mse_loss(const Tensor& prediction, const Tensor& target);
+
+}  // namespace evd::nn

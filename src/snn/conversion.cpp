@@ -1,0 +1,117 @@
+#include "snn/conversion.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/activations.hpp"
+#include "nn/linear.hpp"
+
+namespace evd::snn {
+namespace {
+
+double percentile_of(std::vector<float>& values, double p) {
+  if (values.empty()) return 1.0;
+  const auto rank = static_cast<size_t>(
+      std::min(p, 100.0) / 100.0 * static_cast<double>(values.size() - 1));
+  std::nth_element(values.begin(),
+                   values.begin() + static_cast<std::ptrdiff_t>(rank),
+                   values.end());
+  const double v = values[rank];
+  return v > 1e-6 ? v : 1.0;
+}
+
+}  // namespace
+
+ConvertedSnn convert_ann_to_snn(nn::Sequential& ann,
+                                std::span<const nn::Tensor> calibration,
+                                const ConversionOptions& options) {
+  // Collect the Linear layers and verify the MLP shape.
+  std::vector<nn::Linear*> linears;
+  for (Index i = 0; i < ann.size(); ++i) {
+    auto& layer = ann.layer(i);
+    if (auto* lin = dynamic_cast<nn::Linear*>(&layer)) {
+      linears.push_back(lin);
+    } else if (dynamic_cast<nn::ReLU*>(&layer) == nullptr &&
+               dynamic_cast<nn::Flatten*>(&layer) == nullptr) {
+      throw std::invalid_argument(
+          "convert_ann_to_snn: only [Linear|ReLU|Flatten] MLPs supported, "
+          "found " + layer.name());
+    }
+  }
+  if (linears.empty()) {
+    throw std::invalid_argument("convert_ann_to_snn: no Linear layers");
+  }
+
+  // Data-based activation percentiles per linear layer output (post-ReLU for
+  // hidden layers, raw for the final layer — the final scale is not needed).
+  const size_t L = linears.size();
+  std::vector<std::vector<float>> activations(L);
+  for (const auto& input : calibration) {
+    nn::Tensor x = input;
+    size_t l = 0;
+    for (Index i = 0; i < ann.size(); ++i) {
+      x = ann.layer(i).forward(x, false);
+      if (dynamic_cast<nn::Linear*>(&ann.layer(i)) != nullptr) {
+        // Record the post-nonlinearity value the spike rate must represent:
+        // hidden layers are followed by ReLU, so clamp negatives to zero.
+        for (Index j = 0; j < x.numel(); ++j) {
+          activations[l].push_back(std::max(x[j], 0.0f));
+        }
+        ++l;
+      }
+    }
+  }
+
+  std::vector<float> scales(L);
+  for (size_t l = 0; l < L; ++l) {
+    scales[l] =
+        static_cast<float>(percentile_of(activations[l], options.percentile));
+  }
+
+  // Build the IF spiking network with balanced weights.
+  SpikingNetConfig config;
+  config.layer_sizes.push_back(linears.front()->in_features());
+  for (const auto* lin : linears) {
+    config.layer_sizes.push_back(lin->out_features());
+  }
+  config.lif.beta = 1.0f;            // integrate-and-fire (no leak)
+  config.lif.threshold = 1.0f;
+  config.lif.reset_to_zero = false;  // reset by subtraction: best conversion
+  config.readout_beta = options.readout_beta;
+
+  Rng rng(1);  // weights are overwritten below
+  ConvertedSnn converted{SpikingNet(config, rng), scales};
+
+  float prev_scale = 1.0f;  // calibration inputs are already in [0, 1]
+  for (size_t l = 0; l < L; ++l) {
+    const auto& src_w = linears[l]->weight().value;
+    const auto& src_b = linears[l]->bias().value;
+    auto& dst_w = converted.net.weight(static_cast<Index>(l)).value;
+    auto& dst_b = converted.net.bias(static_cast<Index>(l)).value;
+    const bool last = (l + 1 == L);
+    const float w_scale = last ? prev_scale : prev_scale / scales[l];
+    const float b_scale = last ? 1.0f : 1.0f / scales[l];
+    for (Index i = 0; i < src_w.numel(); ++i) dst_w[i] = src_w[i] * w_scale;
+    for (Index i = 0; i < src_b.numel(); ++i) dst_b[i] = src_b[i] * b_scale;
+    prev_scale = scales[l];
+  }
+  return converted;
+}
+
+ConvertedInference run_converted(ConvertedSnn& converted,
+                                 const nn::Tensor& input, Index steps) {
+  // Deterministic-accumulator rate coding of the analog input.
+  const SpikeTrain train = rate_encode(input, steps, /*deterministic=*/true);
+  SnnState state = converted.net.make_state();
+  ConvertedInference result;
+  for (Index t = 0; t < steps; ++t) {
+    result.logits =
+        converted.net.step(state, train.active[static_cast<size_t>(t)]);
+    result.total_spikes += converted.net.last_step_hidden_spikes();
+  }
+  result.predicted = result.logits.argmax();
+  return result;
+}
+
+}  // namespace evd::snn

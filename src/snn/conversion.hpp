@@ -1,0 +1,50 @@
+// ANN-to-SNN conversion (paper §III-A, refs [36]-[38]).
+//
+// A ReLU MLP is trained conventionally, then converted into a spiking
+// network of integrate-and-fire neurons by data-based threshold balancing
+// (Diehl et al. [36]): each layer's weights are rescaled by the ratio of
+// consecutive layers' p-th percentile activations so that firing rates
+// approximate the (normalised) ReLU activations. The input is rate-coded.
+// The conversion error — including the "unevenness error" the paper
+// mentions, where the realised spike count mismatches the target rate
+// because of stimulation order — shrinks as the timestep budget grows,
+// which bench_snn_coding sweeps.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "nn/sequential.hpp"
+#include "snn/snn_model.hpp"
+
+namespace evd::snn {
+
+struct ConversionOptions {
+  double percentile = 99.0;  ///< Activation percentile for balancing.
+  float readout_beta = 1.0f; ///< Pure accumulator readout.
+};
+
+struct ConvertedSnn {
+  SpikingNet net;
+  std::vector<float> layer_scales;  ///< Balancing scale per linear layer.
+};
+
+/// Convert a [Linear, ReLU]* Linear network. `calibration` are analog input
+/// vectors (values in [0, 1]) used to estimate activation ranges.
+/// Throws if the architecture is not an MLP of that form.
+ConvertedSnn convert_ann_to_snn(nn::Sequential& ann,
+                                std::span<const nn::Tensor> calibration,
+                                const ConversionOptions& options);
+
+struct ConvertedInference {
+  Index predicted = -1;
+  Index total_spikes = 0;   ///< Hidden spikes consumed.
+  nn::Tensor logits;        ///< Accumulated readout at the final step.
+};
+
+/// Run a converted network on an analog input for `steps` timesteps using
+/// deterministic-accumulator rate coding.
+ConvertedInference run_converted(ConvertedSnn& converted,
+                                 const nn::Tensor& input, Index steps);
+
+}  // namespace evd::snn

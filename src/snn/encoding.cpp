@@ -1,0 +1,120 @@
+#include "snn/encoding.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/counters.hpp"
+
+namespace evd::snn {
+
+nn::Tensor SpikeTrain::to_dense() const {
+  nn::Tensor dense({steps, size});
+  for (Index t = 0; t < steps; ++t) {
+    for (const Index i : active[static_cast<size_t>(t)]) {
+      dense.at2(t, i) = 1.0f;
+    }
+  }
+  return dense;
+}
+
+Index encoded_size(Index width, Index height, const EventEncoderConfig& cfg) {
+  return 2 * (height / cfg.spatial_factor) * (width / cfg.spatial_factor);
+}
+
+SpikeTrain encode_events(const events::EventStream& stream,
+                         const EventEncoderConfig& config) {
+  if (config.steps <= 0 || config.spatial_factor <= 0) {
+    throw std::invalid_argument("encode_events: bad config");
+  }
+  SpikeTrain train;
+  train.steps = config.steps;
+  const Index pw = stream.width / config.spatial_factor;
+  const Index ph = stream.height / config.spatial_factor;
+  train.size = 2 * pw * ph;
+  train.active.resize(static_cast<size_t>(config.steps));
+  if (stream.events.empty()) return train;
+
+  const TimeUs t0 = stream.events.front().t;
+  const TimeUs span = std::max<TimeUs>(stream.duration_us(), 1);
+  // De-duplication bitmap reused per bin when binary coding.
+  std::vector<char> seen;
+  if (config.binary) seen.assign(static_cast<size_t>(train.size), 0);
+  Index current_bin = -1;
+
+  std::int64_t prep_ops = 0;
+  for (const auto& e : stream.events) {
+    Index bin = static_cast<Index>(
+        static_cast<double>(e.t - t0) / static_cast<double>(span) *
+        static_cast<double>(config.steps));
+    bin = std::clamp<Index>(bin, 0, config.steps - 1);
+    const Index px = e.x / config.spatial_factor;
+    const Index py = e.y / config.spatial_factor;
+    if (px >= pw || py >= ph) continue;
+    const Index idx =
+        polarity_channel(e.polarity) * pw * ph + py * pw + px;
+    ++prep_ops;
+    if (config.binary) {
+      if (bin != current_bin) {
+        // Streams are time-sorted, so clearing only the marks of the
+        // previous bin keeps this O(events).
+        if (current_bin >= 0) {
+          for (const Index i : train.active[static_cast<size_t>(current_bin)]) {
+            seen[static_cast<size_t>(i)] = 0;
+          }
+        }
+        current_bin = bin;
+      }
+      if (seen[static_cast<size_t>(idx)]) continue;
+      seen[static_cast<size_t>(idx)] = 1;
+    }
+    train.active[static_cast<size_t>(bin)].push_back(idx);
+  }
+  nn::count_add(prep_ops);
+  return train;
+}
+
+SpikeTrain rate_encode(const nn::Tensor& values, Index steps,
+                       bool deterministic, Rng* rng) {
+  if (!deterministic && rng == nullptr) {
+    throw std::invalid_argument("rate_encode: stochastic coding needs an Rng");
+  }
+  SpikeTrain train;
+  train.steps = steps;
+  train.size = values.numel();
+  train.active.resize(static_cast<size_t>(steps));
+  std::vector<float> accumulator(static_cast<size_t>(values.numel()), 0.0f);
+  for (Index t = 0; t < steps; ++t) {
+    for (Index i = 0; i < values.numel(); ++i) {
+      const float v = std::min(std::max(values[i], 0.0f), 1.0f);
+      if (deterministic) {
+        accumulator[static_cast<size_t>(i)] += v;
+        if (accumulator[static_cast<size_t>(i)] >= 1.0f) {
+          accumulator[static_cast<size_t>(i)] -= 1.0f;
+          train.active[static_cast<size_t>(t)].push_back(i);
+        }
+      } else if (rng->bernoulli(v)) {
+        train.active[static_cast<size_t>(t)].push_back(i);
+      }
+    }
+  }
+  return train;
+}
+
+SpikeTrain latency_encode(const nn::Tensor& values, Index steps) {
+  SpikeTrain train;
+  train.steps = steps;
+  train.size = values.numel();
+  train.active.resize(static_cast<size_t>(steps));
+  for (Index i = 0; i < values.numel(); ++i) {
+    const float v = std::min(std::max(values[i], 0.0f), 1.0f);
+    if (v <= 0.0f) continue;
+    const auto t = static_cast<Index>(
+        std::round((1.0 - static_cast<double>(v)) *
+                   static_cast<double>(steps - 1)));
+    train.active[static_cast<size_t>(t)].push_back(i);
+  }
+  return train;
+}
+
+}  // namespace evd::snn

@@ -1,0 +1,65 @@
+// Event-to-spike and analog-to-spike encodings (paper §III-A).
+//
+// * SpikeTrain: T timesteps of sparse binary spike vectors — the native SNN
+//   input. Events map to it by time-binning with one channel per polarity
+//   and optional spatial pooling (the data-preparation step of the SNN
+//   pipeline: far lighter than dense frames, as Table I's "Data -
+//   Preparation" row expects).
+// * Rate coding [36]: analog value -> spike probability per step (Poisson)
+//   or deterministic accumulator ("unevenness error"-free in the long run).
+// * Latency coding [32]: larger value -> earlier single spike.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "events/event.hpp"
+#include "nn/tensor.hpp"
+
+namespace evd::snn {
+
+/// Sparse binary spike raster: for each timestep, the indices that spiked.
+struct SpikeTrain {
+  Index steps = 0;
+  Index size = 0;  ///< Neuron (input-dimension) count.
+  std::vector<std::vector<Index>> active;  ///< active[t] = spiking indices.
+
+  Index total_spikes() const noexcept {
+    Index n = 0;
+    for (const auto& step : active) n += static_cast<Index>(step.size());
+    return n;
+  }
+  /// Mean spikes per neuron per step.
+  double density() const noexcept {
+    return steps > 0 && size > 0
+               ? static_cast<double>(total_spikes()) /
+                     (static_cast<double>(steps) * static_cast<double>(size))
+               : 0.0;
+  }
+  nn::Tensor to_dense() const;
+};
+
+struct EventEncoderConfig {
+  Index steps = 20;          ///< Timestep count T.
+  Index spatial_factor = 2;  ///< Pool factor: input dim = 2*(H/f)*(W/f).
+  bool binary = true;        ///< Multiple events in a bin -> one spike.
+};
+
+/// Flattened input index for (polarity channel, y, x) at pooled geometry.
+Index encoded_size(Index width, Index height, const EventEncoderConfig& cfg);
+
+/// Encode a recording into a spike train spanning its full duration.
+SpikeTrain encode_events(const events::EventStream& stream,
+                         const EventEncoderConfig& config);
+
+/// Rate-code an analog vector (values in [0,1]) into T steps.
+/// deterministic=true uses an accumulator (value integrates, spike on
+/// crossing 1) — the conversion-friendly coding; otherwise Bernoulli.
+SpikeTrain rate_encode(const nn::Tensor& values, Index steps,
+                       bool deterministic, Rng* rng = nullptr);
+
+/// Latency (time-to-first-spike) coding: index i spikes once at step
+/// round((1 - v_i) * (T - 1)); values <= 0 never spike.
+SpikeTrain latency_encode(const nn::Tensor& values, Index steps);
+
+}  // namespace evd::snn

@@ -1,0 +1,201 @@
+#include "snn/eprop.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <stdexcept>
+
+#include "nn/softmax.hpp"
+
+namespace evd::snn {
+
+EpropTrainer::EpropTrainer(SpikingNet& net, EpropConfig config)
+    : net_(net), config_(config), optimizer_(net.params(), config.lr) {
+  if (net_.layer_count() != 2) {
+    throw std::invalid_argument(
+        "EpropTrainer: requires input -> hidden -> readout architecture");
+  }
+  const Index hidden = net_.config().layer_sizes[1];
+  const Index out = net_.config().layer_sizes[2];
+  Rng rng(config_.feedback_seed);
+  // Fixed random feedback, scaled like a readout weight would be.
+  feedback_ = nn::Tensor::randn(
+      {hidden, out}, rng,
+      static_cast<float>(std::sqrt(1.0 / static_cast<double>(out))));
+}
+
+Index EpropTrainer::trainer_state_bytes() const {
+  const Index in = net_.config().layer_sizes[0];
+  const Index hidden = net_.config().layer_sizes[1];
+  const Index out = net_.config().layer_sizes[2];
+  // zbar (in) + sbar (hidden) + psi (hidden) + feedback (hidden x out),
+  // all fp32.
+  return (in + 2 * hidden + hidden * out) * 4;
+}
+
+Index EpropTrainer::bptt_state_bytes(const SpikingNet& net, Index steps) {
+  // BPTT caches, per step: every hidden membrane (fp32) and hidden spikes
+  // (1 bit, charged as 1 byte), plus the input spike raster it replays.
+  Index hidden = 0;
+  for (size_t l = 1; l + 1 < net.config().layer_sizes.size(); ++l) {
+    hidden += net.config().layer_sizes[l];
+  }
+  const Index in = net.config().layer_sizes.front();
+  return steps * (hidden * 4 + hidden + in);
+}
+
+std::pair<double, bool> EpropTrainer::train_sample(const SpikeTrain& input,
+                                                   Index label) {
+  const auto& sizes = net_.config().layer_sizes;
+  const Index in = sizes[0];
+  const Index hidden = sizes[1];
+  const Index out = sizes[2];
+  if (input.size != in) {
+    throw std::invalid_argument("EpropTrainer: input size mismatch");
+  }
+  const float beta = net_.config().lif.beta;
+  const float beta_out = net_.config().readout_beta;
+  const float theta = net_.config().lif.threshold;
+
+  auto& w_hidden = net_.weight(0);
+  auto& b_hidden = net_.bias(0);
+  auto& w_out = net_.weight(1);
+  auto& b_out = net_.bias(1);
+
+  // Forward-mode state: O(neurons), constant in T.
+  std::vector<float> v_hidden(static_cast<size_t>(hidden), 0.0f);
+  std::vector<float> v_out(static_cast<size_t>(out), 0.0f);
+  std::vector<float> zbar(static_cast<size_t>(in), 0.0f);   // input trace
+  std::vector<float> sbar(static_cast<size_t>(out == 0 ? 0 : hidden), 0.0f);
+  std::vector<char> spiked(static_cast<size_t>(hidden), 0);
+
+  nn::Tensor logits({out});
+  const float inv_steps = 1.0f / static_cast<float>(input.steps);
+
+  for (Index t = 0; t < input.steps; ++t) {
+    const auto& x = input.active[static_cast<size_t>(t)];
+    // Input trace update (filtered presynaptic spikes).
+    for (auto& z : zbar) z *= beta;
+    for (const Index i : x) zbar[static_cast<size_t>(i)] += 1.0f;
+
+    // Hidden dynamics.
+    for (Index j = 0; j < hidden; ++j) {
+      v_hidden[static_cast<size_t>(j)] =
+          beta * v_hidden[static_cast<size_t>(j)] + b_hidden.value[j];
+    }
+    for (const Index i : x) {
+      for (Index j = 0; j < hidden; ++j) {
+        v_hidden[static_cast<size_t>(j)] += w_hidden.value[j * in + i];
+      }
+    }
+    std::vector<float> psi(static_cast<size_t>(hidden));
+    for (Index j = 0; j < hidden; ++j) {
+      psi[static_cast<size_t>(j)] =
+          surrogate_grad(net_.config().surrogate,
+                         v_hidden[static_cast<size_t>(j)] - theta,
+                         net_.config().surrogate_slope);
+      if (v_hidden[static_cast<size_t>(j)] >= theta) {
+        spiked[static_cast<size_t>(j)] = 1;
+        v_hidden[static_cast<size_t>(j)] -= theta;
+      } else {
+        spiked[static_cast<size_t>(j)] = 0;
+      }
+    }
+
+    // Filtered hidden spikes + readout dynamics.
+    for (Index j = 0; j < hidden; ++j) {
+      sbar[static_cast<size_t>(j)] = beta_out * sbar[static_cast<size_t>(j)] +
+                                     (spiked[static_cast<size_t>(j)] ? 1.0f
+                                                                     : 0.0f);
+    }
+    for (Index k = 0; k < out; ++k) {
+      float acc = beta_out * v_out[static_cast<size_t>(k)] + b_out.value[k];
+      for (Index j = 0; j < hidden; ++j) {
+        if (spiked[static_cast<size_t>(j)]) {
+          acc += w_out.value[k * hidden + j];
+        }
+      }
+      v_out[static_cast<size_t>(k)] = acc;
+      logits[k] = acc;  // instantaneous readout
+    }
+
+    // Per-step learning signals from the instantaneous softmax.
+    const nn::Tensor pi = nn::softmax(logits);
+    std::vector<float> l_out(static_cast<size_t>(out));
+    for (Index k = 0; k < out; ++k) {
+      l_out[static_cast<size_t>(k)] =
+          (pi[k] - (k == label ? 1.0f : 0.0f)) * inv_steps;
+    }
+    // Readout updates use the filtered hidden spikes (local!).
+    for (Index k = 0; k < out; ++k) {
+      const float lk = l_out[static_cast<size_t>(k)];
+      if (lk == 0.0f) continue;
+      b_out.grad[k] += lk;
+      for (Index j = 0; j < hidden; ++j) {
+        w_out.grad[k * hidden + j] += lk * sbar[static_cast<size_t>(j)];
+      }
+    }
+    // Hidden updates: learning signal via feedback matrix x eligibility.
+    for (Index j = 0; j < hidden; ++j) {
+      float lj = 0.0f;
+      for (Index k = 0; k < out; ++k) {
+        const float b = config_.symmetric_feedback
+                            ? w_out.value[k * hidden + j]
+                            : feedback_.at2(j, k);
+        lj += b * l_out[static_cast<size_t>(k)];
+      }
+      const float gate = lj * psi[static_cast<size_t>(j)];
+      if (gate == 0.0f) continue;
+      b_hidden.grad[j] += gate;
+      float* grad_row = w_hidden.grad.data() + j * in;
+      for (Index i = 0; i < in; ++i) {
+        if (zbar[static_cast<size_t>(i)] != 0.0f) {
+          grad_row[i] += gate * zbar[static_cast<size_t>(i)];
+        }
+      }
+    }
+  }
+
+  const auto ce = nn::softmax_cross_entropy(logits, label);
+  nn::clip_grad_norm(net_.params(), config_.grad_clip);
+  optimizer_.step();
+  return {ce.loss, logits.argmax() == label};
+}
+
+EpropFitReport fit_eprop(EpropTrainer& trainer,
+                         std::span<const SpikeTrain> inputs,
+                         std::span<const Index> labels, Index epochs,
+                         std::uint64_t shuffle_seed, bool verbose) {
+  if (inputs.size() != labels.size()) {
+    throw std::invalid_argument("fit_eprop: inputs/labels mismatch");
+  }
+  Rng rng(shuffle_seed);
+  std::vector<size_t> order(inputs.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  EpropFitReport report;
+  for (Index epoch = 0; epoch < epochs; ++epoch) {
+    for (size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.uniform_int(i)]);
+    }
+    double loss_sum = 0.0;
+    Index correct = 0;
+    for (const size_t idx : order) {
+      const auto [loss, hit] = trainer.train_sample(inputs[idx], labels[idx]);
+      loss_sum += loss;
+      correct += hit ? 1 : 0;
+    }
+    report.epoch_loss.push_back(loss_sum /
+                                static_cast<double>(inputs.size()));
+    report.epoch_accuracy.push_back(static_cast<double>(correct) /
+                                    static_cast<double>(inputs.size()));
+    if (verbose) {
+      std::printf("  [eprop] epoch %lld loss %.4f acc %.3f\n",
+                  static_cast<long long>(epoch), report.epoch_loss.back(),
+                  report.epoch_accuracy.back());
+    }
+  }
+  return report;
+}
+
+}  // namespace evd::snn

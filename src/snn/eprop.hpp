@@ -1,0 +1,75 @@
+// Online, forward-mode SNN learning: eligibility propagation (paper §III-A,
+// refs [34] e-prop and [31] event-driven random backpropagation).
+//
+// Surrogate-gradient BPTT must store every neuron's activity over all
+// timesteps — the paper calls it "an unrealistic algorithm for on-chip
+// learning due to the prohibitive amount of memory". E-prop replaces the
+// backward pass with quantities that are available *locally and forward in
+// time*:
+//
+//   eligibility trace   e_ji(t) = psi_j(t) * zbar_i(t)
+//     where zbar_i is a low-pass filter of presynaptic spikes and psi_j the
+//     surrogate pseudo-derivative at neuron j's membrane;
+//   learning signal     L_j(t) = sum_k B_jk (pi_k(t) - y*_k)
+//     where pi is the readout softmax and B is either the transposed
+//     readout weights (symmetric e-prop) or a fixed random matrix
+//     (random feedback alignment, the fully-local [31] variant);
+//   weight update       dW_ji = -lr * sum_t L_j(t) e_ji(t).
+//
+// Memory is O(#synapses + #neurons), independent of sequence length —
+// exactly the property on-chip learning hardware (ReckOn [41]) exploits.
+// bench_onchip_learning compares its accuracy and memory against BPTT.
+#pragma once
+
+#include "common/rng.hpp"
+#include "nn/optimizer.hpp"
+#include "snn/snn_model.hpp"
+
+namespace evd::snn {
+
+struct EpropConfig {
+  bool symmetric_feedback = false;  ///< true: B = W_out^T (needs weight
+                                    ///< transport); false: random B [31].
+  float lr = 2e-3f;
+  float grad_clip = 5.0f;
+  std::uint64_t feedback_seed = 17;
+};
+
+class EpropTrainer {
+ public:
+  /// The network must be input -> one spiking hidden layer -> readout
+  /// (layer_count() == 2); throws otherwise. The trainer keeps a reference.
+  EpropTrainer(SpikingNet& net, EpropConfig config);
+
+  /// One online pass over a sample: runs the dynamics forward, accumulating
+  /// eligibility-based updates step by step, then applies them.
+  /// Returns (cross-entropy loss, correct?) from the final-step logits.
+  std::pair<double, bool> train_sample(const SpikeTrain& input, Index label);
+
+  /// Bytes of learning state this trainer carries (traces + feedback
+  /// matrix) — the on-chip memory cost.
+  Index trainer_state_bytes() const;
+
+  /// Bytes BPTT would need to cache for a T-step sample on the same net
+  /// (per-step membranes and spikes) — the §III-A "prohibitive" cost.
+  static Index bptt_state_bytes(const SpikingNet& net, Index steps);
+
+ private:
+  SpikingNet& net_;
+  EpropConfig config_;
+  nn::Adam optimizer_;
+  nn::Tensor feedback_;  ///< B [hidden, out] (random variant).
+};
+
+struct EpropFitReport {
+  std::vector<double> epoch_loss;
+  std::vector<double> epoch_accuracy;
+};
+
+EpropFitReport fit_eprop(EpropTrainer& trainer,
+                         std::span<const SpikeTrain> inputs,
+                         std::span<const Index> labels, Index epochs,
+                         std::uint64_t shuffle_seed = 1,
+                         bool verbose = false);
+
+}  // namespace evd::snn

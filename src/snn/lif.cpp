@@ -1,0 +1,46 @@
+#include "snn/lif.hpp"
+
+namespace evd::snn {
+
+bool LifNeuron::step(float current) {
+  if (refractory_left_ > 0) {
+    --refractory_left_;
+    return false;
+  }
+  v_ = config_.beta * v_ + current;
+  if (v_ >= config_.threshold) {
+    if (config_.reset_to_zero) {
+      v_ = 0.0f;
+    } else {
+      v_ -= config_.threshold;
+    }
+    refractory_left_ = config_.refractory_steps;
+    return true;
+  }
+  return false;
+}
+
+LifTrace simulate_lif(const LifConfig& config,
+                      const std::vector<float>& current) {
+  LifNeuron neuron(config);
+  LifTrace trace;
+  trace.membrane.reserve(current.size());
+  trace.spikes.reserve(current.size());
+  for (const float i : current) {
+    const bool spiked = neuron.step(i);
+    trace.membrane.push_back(neuron.membrane());
+    trace.spikes.push_back(spiked ? 1 : 0);
+  }
+  return trace;
+}
+
+double measured_rate(const LifConfig& config, float current, Index steps) {
+  LifNeuron neuron(config);
+  Index spikes = 0;
+  for (Index t = 0; t < steps; ++t) {
+    spikes += neuron.step(current) ? 1 : 0;
+  }
+  return static_cast<double>(spikes) / static_cast<double>(steps);
+}
+
+}  // namespace evd::snn

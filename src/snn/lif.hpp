@@ -1,0 +1,69 @@
+// Leaky-Integrate-and-Fire neuron model (paper §III-A, Fig. 2 left).
+//
+// The membrane potential obeys the RC-circuit equation
+//     tau * dV/dt = -V + R * I(t)
+// discretised with timestep dt as
+//     V[t+1] = beta * V[t] + I[t],  beta = exp(-dt / tau)
+// A spike is emitted when V crosses `threshold`; the membrane is then reset
+// (to zero, or by subtracting the threshold) and optionally held for a
+// refractory period.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace evd::snn {
+
+struct LifConfig {
+  float beta = 0.9f;        ///< Leak factor per step, exp(-dt/tau).
+  float threshold = 1.0f;
+  bool reset_to_zero = false;  ///< false = reset by subtraction (default).
+  Index refractory_steps = 0;
+};
+
+/// Single LIF neuron stepped explicitly — the reference dynamics used by the
+/// Fig. 2 bench and the unit tests.
+class LifNeuron {
+ public:
+  explicit LifNeuron(LifConfig config) : config_(config) {}
+
+  /// Advance one timestep with input current `current`; returns true if the
+  /// neuron spiked.
+  bool step(float current);
+
+  void reset_state() {
+    v_ = 0.0f;
+    refractory_left_ = 0;
+  }
+
+  float membrane() const noexcept { return v_; }
+  const LifConfig& config() const noexcept { return config_; }
+
+ private:
+  LifConfig config_;
+  float v_ = 0.0f;
+  Index refractory_left_ = 0;
+};
+
+/// Membrane trace of a neuron driven by a current waveform (for plotting /
+/// verification): returns (V[t], spike[t]) series.
+struct LifTrace {
+  std::vector<float> membrane;
+  std::vector<char> spikes;
+  Index spike_count() const noexcept {
+    Index n = 0;
+    for (const char s : spikes) n += s;
+    return n;
+  }
+};
+
+LifTrace simulate_lif(const LifConfig& config,
+                      const std::vector<float>& current);
+
+/// Steady-state firing rate (spikes per step) of a LIF neuron under constant
+/// input current — analytic check: with reset-by-subtraction and constant
+/// I > theta*(1-beta), rate -> I / threshold for beta -> 1.
+double measured_rate(const LifConfig& config, float current, Index steps);
+
+}  // namespace evd::snn

@@ -1,0 +1,197 @@
+#include "snn/snn_pipeline.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/softmax.hpp"
+
+namespace evd::snn {
+namespace {
+
+SpikingNetConfig net_config(const SnnPipelineConfig& config) {
+  SpikingNetConfig net;
+  net.layer_sizes = {encoded_size(config.width, config.height, config.encoder),
+                     config.hidden, config.num_classes};
+  net.lif = config.lif;
+  net.surrogate = config.surrogate;
+  return net;
+}
+
+}  // namespace
+
+SnnPipeline::SnnPipeline(SnnPipelineConfig config)
+    : config_(config), rng_(config.seed), net_(net_config(config), rng_) {}
+
+void SnnPipeline::train(std::span<const events::LabelledSample> samples,
+                        const core::TrainOptions& options) {
+  std::vector<SpikeTrain> inputs;
+  std::vector<Index> labels;
+  inputs.reserve(samples.size() *
+                 static_cast<size_t>(1 + config_.augment_shifts));
+  labels.reserve(inputs.capacity());
+  Rng aug_rng(config_.seed ^ 0xA06A06ULL);
+  for (const auto& sample : samples) {
+    inputs.push_back(encode_events(sample.stream, config_.encoder));
+    labels.push_back(sample.label);
+    for (Index k = 0; k < config_.augment_shifts; ++k) {
+      const auto max_shift =
+          static_cast<std::uint64_t>(2 * config_.augment_max_shift + 1);
+      const Index dx = static_cast<Index>(aug_rng.uniform_int(max_shift)) -
+                       config_.augment_max_shift;
+      const Index dy = static_cast<Index>(aug_rng.uniform_int(max_shift)) -
+                       config_.augment_max_shift;
+      events::EventStream shifted;
+      shifted.width = sample.stream.width;
+      shifted.height = sample.stream.height;
+      shifted.events.reserve(sample.stream.events.size());
+      for (events::Event e : sample.stream.events) {
+        const Index x = e.x + dx;
+        const Index y = e.y + dy;
+        if (x < 0 || y < 0 || x >= shifted.width || y >= shifted.height) {
+          continue;
+        }
+        e.x = static_cast<std::int16_t>(x);
+        e.y = static_cast<std::int16_t>(y);
+        shifted.events.push_back(e);
+      }
+      inputs.push_back(encode_events(shifted, config_.encoder));
+      labels.push_back(sample.label);
+    }
+  }
+  SnnFitOptions fit = config_.fit;
+  if (options.epochs > 0) fit.epochs = options.epochs;
+  if (options.lr > 0.0f) fit.lr = options.lr;
+  fit.shuffle_seed = options.shuffle_seed;
+  fit.verbose = options.verbose;
+  fit_snn(net_, inputs, labels, fit);
+}
+
+int SnnPipeline::classify(const events::EventStream& stream) {
+  const SpikeTrain train = encode_events(stream, config_.encoder);
+  return static_cast<int>(net_.forward(train, false).argmax());
+}
+
+Index SnnPipeline::param_count() const {
+  return const_cast<SpikingNet&>(net_).param_count();
+}
+
+Index SnnPipeline::state_bytes() const {
+  // Membrane potentials of every neuron (hidden + readout), 4 bytes each.
+  Index neurons = 0;
+  for (size_t l = 1; l < net_.config().layer_sizes.size(); ++l) {
+    neurons += net_.config().layer_sizes[l];
+  }
+  return neurons * 4;
+}
+
+Index SnnPipeline::input_preparation_bytes() const {
+  // Spike trains stay index-coded: ~8 bytes per binned event, no dense
+  // buffer. Estimate with the encoder geometry at nominal density 2%.
+  const Index n = encoded_size(config_.width, config_.height, config_.encoder);
+  return static_cast<Index>(0.02 * static_cast<double>(
+                                       n * config_.encoder.steps) *
+                            8.0);
+}
+
+double SnnPipeline::input_sparsity(const events::EventStream& probe) {
+  // Spikes consumed vs. the dense (neuron x timestep) input volume.
+  const SpikeTrain train = encode_events(probe, config_.encoder);
+  return 1.0 - train.density();
+}
+
+double SnnPipeline::computation_sparsity(const events::EventStream& probe) {
+  // Synaptic additions actually issued vs. the fully-dense equivalent where
+  // every input/hidden neuron fires every timestep.
+  const SpikeTrain train = encode_events(probe, config_.encoder);
+  nn::OpCounter counter;
+  {
+    nn::ScopedCounter scope(counter);
+    (void)net_.forward(train, false);
+  }
+  const auto& sizes = net_.config().layer_sizes;
+  std::int64_t dense_synops = 0;
+  for (size_t l = 0; l + 1 < sizes.size(); ++l) {
+    dense_synops += sizes[l] * sizes[l + 1];
+  }
+  dense_synops *= train.steps;
+  return dense_synops > 0
+             ? 1.0 - static_cast<double>(counter.adds) /
+                         static_cast<double>(dense_synops)
+             : 0.0;
+}
+
+namespace {
+
+class SnnStreamSession : public core::StreamSession {
+ public:
+  SnnStreamSession(SnnPipeline& pipeline, Index width, Index height)
+      : pipeline_(pipeline),
+        width_(width),
+        height_(height),
+        state_(pipeline.net().make_state()),
+        step_end_(pipeline.config().timestep_us) {}
+
+  void feed(const events::Event& event) override {
+    tick_until(event.t);
+    // Bin the event into the current timestep's input spike set.
+    const auto& enc = pipeline_.config().encoder;
+    const Index pw = width_ / enc.spatial_factor;
+    const Index ph = height_ / enc.spatial_factor;
+    const Index px = event.x / enc.spatial_factor;
+    const Index py = event.y / enc.spatial_factor;
+    if (px >= pw || py >= ph) return;
+    const Index idx = polarity_channel(event.polarity) * pw * ph + py * pw + px;
+    if (!seen_[static_cast<size_t>(idx)]) {
+      seen_[static_cast<size_t>(idx)] = 1;
+      pending_.push_back(idx);
+    }
+  }
+
+  void advance_to(TimeUs t) override { tick_until(t); }
+
+  const std::vector<core::Decision>& decisions() const override {
+    return decisions_;
+  }
+
+ private:
+  void tick_until(TimeUs now) {
+    while (now >= step_end_) {
+      const nn::Tensor logits = pipeline_.net().step(state_, pending_);
+      for (const Index i : pending_) seen_[static_cast<size_t>(i)] = 0;
+      pending_.clear();
+      core::Decision decision;
+      decision.t = step_end_;
+      decision.label = static_cast<int>(logits.argmax());
+      const nn::Tensor probs = nn::softmax(logits);
+      decision.confidence = probs[probs.argmax()];
+      decisions_.push_back(decision);
+      step_end_ += pipeline_.config().timestep_us;
+    }
+  }
+
+  SnnPipeline& pipeline_;
+  Index width_, height_;
+  SnnState state_;
+  TimeUs step_end_;
+  std::vector<Index> pending_;
+  std::vector<char> seen_ = std::vector<char>(
+      static_cast<size_t>(1), 0);  // resized in ctor body via init()
+  std::vector<core::Decision> decisions_;
+
+ public:
+  void init_seen(Index n) { seen_.assign(static_cast<size_t>(n), 0); }
+};
+
+}  // namespace
+
+std::unique_ptr<core::StreamSession> SnnPipeline::open_session(Index width,
+                                                               Index height) {
+  if (width != config_.width || height != config_.height) {
+    throw std::invalid_argument("SnnPipeline::open_session: geometry mismatch");
+  }
+  auto session = std::make_unique<SnnStreamSession>(*this, width, height);
+  session->init_seen(encoded_size(width, height, config_.encoder));
+  return session;
+}
+
+}  // namespace evd::snn

@@ -1,0 +1,131 @@
+#include "snn/stdp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace evd::snn {
+
+StdpLayer::StdpLayer(StdpConfig config) : config_(config) {
+  if (config_.inputs <= 0 || config_.outputs <= 0 || config_.w_max <= 0.0f) {
+    throw std::invalid_argument("StdpLayer: bad configuration");
+  }
+  // Uniform random initial weights in (0, w_max) — symmetry breaking.
+  Rng rng(config_.seed);
+  weights_ = nn::Tensor({config_.outputs, config_.inputs});
+  for (Index i = 0; i < weights_.numel(); ++i) {
+    weights_[i] =
+        static_cast<float>(rng.uniform(0.2, 0.8)) * config_.w_max;
+  }
+  membrane_.assign(static_cast<size_t>(config_.outputs), 0.0f);
+  pre_trace_.assign(static_cast<size_t>(config_.inputs), 0.0f);
+  post_trace_.assign(static_cast<size_t>(config_.outputs), 0.0f);
+  threshold_offset_.assign(static_cast<size_t>(config_.outputs), 0.0f);
+}
+
+void StdpLayer::reset_state() {
+  std::fill(membrane_.begin(), membrane_.end(), 0.0f);
+  std::fill(pre_trace_.begin(), pre_trace_.end(), 0.0f);
+  std::fill(post_trace_.begin(), post_trace_.end(), 0.0f);
+}
+
+nn::Tensor StdpLayer::receptive_field(Index j) const {
+  nn::Tensor field({config_.inputs});
+  for (Index i = 0; i < config_.inputs; ++i) {
+    field[i] = weights_.at2(j, i);
+  }
+  return field;
+}
+
+std::vector<Index> StdpLayer::present(const SpikeTrain& input, bool learn) {
+  if (input.size != config_.inputs) {
+    throw std::invalid_argument("StdpLayer::present: input size mismatch");
+  }
+  reset_state();
+  std::vector<Index> counts(static_cast<size_t>(config_.outputs), 0);
+  double total_change = 0.0;
+
+  for (Index t = 0; t < input.steps; ++t) {
+    const auto& spikes = input.active[static_cast<size_t>(t)];
+
+    // Trace and membrane decay.
+    for (auto& x : pre_trace_) x *= config_.alpha_pre;
+    for (auto& y : post_trace_) y *= config_.alpha_post;
+    for (auto& v : membrane_) v *= config_.beta;
+    for (auto& offset : threshold_offset_) offset *= config_.homeostasis_decay;
+
+    // Presynaptic events: integrate + depression (post trace says "this
+    // output fired recently; an input arriving *after* is anti-causal").
+    for (const Index i : spikes) {
+      pre_trace_[static_cast<size_t>(i)] += 1.0f;
+      for (Index j = 0; j < config_.outputs; ++j) {
+        membrane_[static_cast<size_t>(j)] += weights_.at2(j, i);
+        if (learn) {
+          const float before = weights_.at2(j, i);
+          const float depressed =
+              before - config_.lr_post *
+                           post_trace_[static_cast<size_t>(j)] * before;
+          weights_.at2(j, i) = std::max(0.0f, depressed);
+          total_change += std::fabs(weights_.at2(j, i) - before);
+        }
+      }
+    }
+
+    // Winner-take-all: the most-above-threshold output fires this step.
+    Index winner = -1;
+    float best_margin = 0.0f;
+    for (Index j = 0; j < config_.outputs; ++j) {
+      const float margin =
+          membrane_[static_cast<size_t>(j)] -
+          (config_.threshold + threshold_offset_[static_cast<size_t>(j)]);
+      if (margin >= 0.0f && (winner < 0 || margin > best_margin)) {
+        winner = j;
+        best_margin = margin;
+      }
+    }
+    if (winner >= 0) {
+      ++counts[static_cast<size_t>(winner)];
+      post_trace_[static_cast<size_t>(winner)] += 1.0f;
+      threshold_offset_[static_cast<size_t>(winner)] += config_.homeostasis;
+      // Lateral inhibition: everyone resets, losers get pushed down.
+      for (Index j = 0; j < config_.outputs; ++j) {
+        membrane_[static_cast<size_t>(j)] =
+            (j == winner) ? 0.0f : membrane_[static_cast<size_t>(j)] * 0.5f;
+      }
+      if (learn) {
+        // Potentiation: causal inputs (recent pre trace) strengthen toward
+        // w_max (soft bound).
+        for (Index i = 0; i < config_.inputs; ++i) {
+          const float trace = pre_trace_[static_cast<size_t>(i)];
+          if (trace <= 0.0f) continue;
+          const float before = weights_.at2(winner, i);
+          weights_.at2(winner, i) =
+              before + config_.lr_pre * trace * (config_.w_max - before);
+          total_change += std::fabs(weights_.at2(winner, i) - before);
+        }
+        // Row normalisation: fixed synaptic budget per output.
+        if (config_.row_norm_fraction > 0.0f) {
+          float sum = 0.0f;
+          for (Index i = 0; i < config_.inputs; ++i) {
+            sum += weights_.at2(winner, i);
+          }
+          const float target = config_.row_norm_fraction *
+                               static_cast<float>(config_.inputs) *
+                               config_.w_max;
+          if (sum > 1e-6f) {
+            const float scale = target / sum;
+            for (Index i = 0; i < config_.inputs; ++i) {
+              weights_.at2(winner, i) = std::min(
+                  config_.w_max, weights_.at2(winner, i) * scale);
+            }
+          }
+        }
+      }
+    }
+  }
+  last_change_ =
+      total_change / static_cast<double>(weights_.numel());
+  return counts;
+}
+
+}  // namespace evd::snn

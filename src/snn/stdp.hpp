@@ -1,0 +1,77 @@
+// Unsupervised spike-timing-dependent plasticity (paper §III-A, ref [27]
+// Diehl & Cook).
+//
+// The third learning route the paper lists beside surrogate-gradient BPTT
+// and conversion: no labels, no gradients — synapses strengthen when a
+// presynaptic spike precedes the postsynaptic one (causal, "pre before
+// post") and weaken on the reverse order, with winner-take-all lateral
+// inhibition forcing output neurons to specialise on distinct input
+// patterns. Pure local learning: exactly what analogue/in-memory
+// neuromorphic hardware can implement without any digital training loop.
+//
+// Implementation: trace-based pair STDP on one excitatory layer of LIF
+// neurons. Each input keeps a presynaptic trace x_i (decay alpha_pre); each
+// output a postsynaptic trace y_j (decay alpha_post). On a postsynaptic
+// spike of winner j:  w_ji += lr_pre * x_i * (w_max - w_ji)   (potentiate)
+// On a presynaptic spike at i:  w_ji -= lr_post * y_j * w_ji  (depress)
+// Adaptive thresholds (homeostasis) keep all outputs participating.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/tensor.hpp"
+#include "snn/encoding.hpp"
+
+namespace evd::snn {
+
+struct StdpConfig {
+  Index inputs = 64;
+  Index outputs = 8;
+  float beta = 0.9f;            ///< Membrane leak per step.
+  float threshold = 8.0f;       ///< Base firing threshold.
+  float alpha_pre = 0.7f;       ///< Presynaptic trace decay per step.
+  float alpha_post = 0.7f;      ///< Postsynaptic trace decay per step.
+  float lr_pre = 0.05f;         ///< Potentiation rate.
+  float lr_post = 0.02f;        ///< Depression rate.
+  float w_max = 1.0f;
+  float homeostasis = 0.2f;     ///< Threshold bump per own spike (decays).
+  float homeostasis_decay = 0.995f;
+  /// Per-output L1 weight normalisation (Diehl & Cook): after each winner
+  /// potentiation its row is rescaled to sum to
+  /// row_norm_fraction * inputs * w_max. Potentiating one pattern then
+  /// necessarily weakens the others — the mechanism that forces
+  /// specialisation. 0 disables.
+  float row_norm_fraction = 0.375f;
+  std::uint64_t seed = 5;
+};
+
+class StdpLayer {
+ public:
+  explicit StdpLayer(StdpConfig config);
+
+  /// Present one spike train; learns unless frozen. Returns the per-output
+  /// spike counts for this presentation (the layer's response vector).
+  std::vector<Index> present(const SpikeTrain& input, bool learn = true);
+
+  /// Reset dynamic state (membranes, traces) — weights persist.
+  void reset_state();
+
+  const nn::Tensor& weights() const noexcept { return weights_; }
+  /// Receptive field of output j as a copy (row of the weight matrix).
+  nn::Tensor receptive_field(Index j) const;
+
+  /// Mean |w| change during the most recent present() — convergence probe.
+  double last_weight_change() const noexcept { return last_change_; }
+
+ private:
+  StdpConfig config_;
+  nn::Tensor weights_;               ///< [outputs, inputs] in [0, w_max].
+  std::vector<float> membrane_;
+  std::vector<float> pre_trace_;
+  std::vector<float> post_trace_;
+  std::vector<float> threshold_offset_;  ///< Homeostatic adaptation.
+  double last_change_ = 0.0;
+};
+
+}  // namespace evd::snn

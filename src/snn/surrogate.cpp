@@ -1,0 +1,14 @@
+#include "snn/surrogate.hpp"
+
+namespace evd::snn {
+
+const char* surrogate_name(SurrogateKind kind) {
+  switch (kind) {
+    case SurrogateKind::FastSigmoid: return "fast_sigmoid";
+    case SurrogateKind::Boxcar: return "boxcar";
+    case SurrogateKind::ArcTan: return "arctan";
+  }
+  return "unknown";
+}
+
+}  // namespace evd::snn

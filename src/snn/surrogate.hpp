@@ -1,0 +1,38 @@
+// Surrogate gradients for the spiking threshold (paper §III-A [30]).
+//
+// The true derivative of the Heaviside spike function is a Dirac delta —
+// zero everywhere except at threshold — which blocks gradient flow. The
+// surrogate-gradient method replaces it with a smooth pseudo-derivative
+// evaluated at the membrane's distance from threshold.
+#pragma once
+
+#include <cmath>
+
+namespace evd::snn {
+
+enum class SurrogateKind {
+  FastSigmoid,  ///< 1 / (1 + a|x|)^2  (Zenke & Ganguli SuperSpike [33])
+  Boxcar,       ///< 1/(2a) on |x| < a (straight-through window)
+  ArcTan,       ///< a / (2 (1 + (pi/2 a x)^2)) (common in snn frameworks)
+};
+
+/// Pseudo-derivative d(spike)/d(V - threshold) at x = V - threshold.
+inline float surrogate_grad(SurrogateKind kind, float x, float slope = 2.0f) {
+  switch (kind) {
+    case SurrogateKind::FastSigmoid: {
+      const float d = 1.0f + slope * std::fabs(x);
+      return 1.0f / (d * d);
+    }
+    case SurrogateKind::Boxcar:
+      return std::fabs(x) < 0.5f / slope ? slope : 0.0f;
+    case SurrogateKind::ArcTan: {
+      const float u = 1.57079632679489662f * slope * x;
+      return slope / (2.0f * (1.0f + u * u));
+    }
+  }
+  return 0.0f;
+}
+
+const char* surrogate_name(SurrogateKind kind);
+
+}  // namespace evd::snn

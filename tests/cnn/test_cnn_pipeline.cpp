@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "cnn/cnn_pipeline.hpp"
+
+namespace evd::cnn {
+namespace {
+
+events::ShapeDatasetConfig tiny_dataset() {
+  events::ShapeDatasetConfig config;
+  config.width = 16;
+  config.height = 16;
+  config.num_classes = 2;
+  config.duration_us = 30000;
+  config.min_radius = 3.0;
+  config.max_radius = 5.0;
+  return config;
+}
+
+CnnPipelineConfig tiny_pipeline() {
+  CnnPipelineConfig config;
+  config.width = 16;
+  config.height = 16;
+  config.num_classes = 2;
+  config.base_filters = 4;
+  return config;
+}
+
+TEST(CnnPipeline, TrainAndClassifySmoke) {
+  events::ShapeDataset dataset(tiny_dataset());
+  std::vector<events::LabelledSample> train, test;
+  dataset.make_split(8, 4, train, test);
+
+  CnnPipeline pipeline(tiny_pipeline());
+  core::TrainOptions options;
+  options.epochs = 10;
+  options.lr = 3e-3f;
+  pipeline.train(train, options);
+
+  Index correct = 0;
+  for (const auto& sample : test) {
+    const int predicted = pipeline.classify(sample.stream);
+    EXPECT_GE(predicted, 0);
+    EXPECT_LT(predicted, 2);
+    correct += (predicted == sample.label) ? 1 : 0;
+  }
+  // Circle vs square at 16x16 with a small budget: clearly above chance.
+  EXPECT_GE(correct, 5);
+}
+
+TEST(CnnPipeline, SessionEmitsDecisionsPerFramePeriod) {
+  CnnPipeline pipeline(tiny_pipeline());
+  auto session = pipeline.open_session(16, 16);
+  // Feed 100 ms of sparse events.
+  for (TimeUs t = 0; t < 100000; t += 5000) {
+    session->feed({4, 4, Polarity::On, t});
+  }
+  session->advance_to(100000);
+  // Frame period 20 ms -> 5 decisions.
+  EXPECT_EQ(session->decisions().size(), 5u);
+  // Decision timestamps are the frame boundaries.
+  EXPECT_EQ(session->decisions().front().t, 20000);
+  EXPECT_EQ(session->decisions().back().t, 100000);
+}
+
+TEST(CnnPipeline, EmptyFramesStillProduceDecisionSlots) {
+  CnnPipeline pipeline(tiny_pipeline());
+  auto session = pipeline.open_session(16, 16);
+  session->advance_to(60000);
+  ASSERT_EQ(session->decisions().size(), 3u);
+  EXPECT_EQ(session->decisions()[0].label, -1);  // nothing to classify
+}
+
+TEST(CnnPipeline, GeometryMismatchThrows) {
+  CnnPipeline pipeline(tiny_pipeline());
+  EXPECT_THROW(pipeline.open_session(32, 32), std::invalid_argument);
+}
+
+TEST(CnnPipeline, MetricsAreSane) {
+  CnnPipeline pipeline(tiny_pipeline());
+  EXPECT_GT(pipeline.param_count(), 100);
+  EXPECT_EQ(pipeline.input_preparation_bytes(), 2 * 16 * 16 * 4);
+  EXPECT_EQ(pipeline.state_bytes(), 2 * 16 * 16 * 4);
+}
+
+TEST(CnnPipeline, InputSparsityIsZeroByConstruction) {
+  CnnPipeline pipeline(tiny_pipeline());
+  events::ShapeDataset dataset(tiny_dataset());
+  const auto sample = dataset.make_sample(0);
+  EXPECT_EQ(pipeline.input_sparsity(sample.stream), 0.0);
+}
+
+TEST(CnnPipeline, ComputationSparsityReflectsZeroActivations) {
+  CnnPipeline pipeline(tiny_pipeline());
+  events::ShapeDataset dataset(tiny_dataset());
+  const auto sample = dataset.make_sample(0);
+  const double sparsity = pipeline.computation_sparsity(sample.stream);
+  EXPECT_GT(sparsity, 0.1);  // event frames are mostly empty
+  EXPECT_LE(sparsity, 1.0);
+}
+
+TEST(CnnPipeline, ClassifyEmptyStreamDoesNotCrash) {
+  CnnPipeline pipeline(tiny_pipeline());
+  events::EventStream empty;
+  empty.width = 16;
+  empty.height = 16;
+  const int predicted = pipeline.classify(empty);
+  EXPECT_GE(predicted, 0);
+}
+
+}  // namespace
+}  // namespace evd::cnn

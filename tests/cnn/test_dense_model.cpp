@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "cnn/dense_model.hpp"
+
+namespace evd::cnn {
+namespace {
+
+TEST(MakeEventCnn, OutputShapeMatchesClasses) {
+  Rng rng(1);
+  CnnModelConfig config;
+  config.num_classes = 5;
+  auto model = make_event_cnn(config, rng);
+  nn::Tensor input({config.in_channels, config.height, config.width});
+  const nn::Tensor logits = model.forward(input, false);
+  EXPECT_EQ(logits.numel(), 5);
+}
+
+TEST(MakeEventCnn, RejectsIndivisibleGeometry) {
+  Rng rng(2);
+  CnnModelConfig config;
+  config.height = 30;  // not divisible by 4
+  EXPECT_THROW(make_event_cnn(config, rng), std::invalid_argument);
+}
+
+TEST(FitClassifier, LearnsChannelDominanceTask) {
+  // Class = which input channel has the bright blob: trivially separable.
+  Rng rng(3);
+  CnnModelConfig config;
+  config.in_channels = 2;
+  config.height = 16;
+  config.width = 16;
+  config.num_classes = 2;
+  config.base_filters = 4;
+  auto model = make_event_cnn(config, rng);
+
+  std::vector<nn::Tensor> inputs;
+  std::vector<Index> labels;
+  Rng data_rng(4);
+  for (int i = 0; i < 40; ++i) {
+    const Index label = i % 2;
+    nn::Tensor x({2, 16, 16});
+    for (int k = 0; k < 30; ++k) {
+      const auto px = data_rng.uniform_int(16);
+      const auto py = data_rng.uniform_int(16);
+      x.at3(label, static_cast<Index>(py), static_cast<Index>(px)) = 1.0f;
+    }
+    inputs.push_back(x);
+    labels.push_back(label);
+  }
+  FitOptions options;
+  options.epochs = 12;
+  options.lr = 5e-3f;
+  const auto report = fit_classifier(model, inputs, labels, options);
+  ASSERT_EQ(report.epoch_accuracy.size(), 12u);
+  EXPECT_GT(report.epoch_accuracy.back(), 0.9);
+  EXPECT_LT(report.epoch_loss.back(), report.epoch_loss.front());
+  EXPECT_GT(evaluate_classifier(model, inputs, labels), 0.9);
+}
+
+TEST(FitClassifier, MismatchedInputsThrow) {
+  Rng rng(5);
+  CnnModelConfig config;
+  auto model = make_event_cnn(config, rng);
+  std::vector<nn::Tensor> inputs(2, nn::Tensor({2, 32, 32}));
+  std::vector<Index> labels = {0};
+  EXPECT_THROW(fit_classifier(model, inputs, labels, FitOptions{}),
+               std::invalid_argument);
+}
+
+TEST(EvaluateClassifier, EmptyReturnsZero) {
+  Rng rng(6);
+  auto model = make_event_cnn(CnnModelConfig{}, rng);
+  EXPECT_EQ(evaluate_classifier(model, {}, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace evd::cnn

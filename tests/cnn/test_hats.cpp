@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cnn/representation.hpp"
+#include "test_util.hpp"
+
+namespace evd::cnn {
+namespace {
+
+using events::Event;
+
+TEST(Hats, OutputGeometry) {
+  const auto stream = test::make_stream(32, 32, 300, 1);
+  HatsOptions options;
+  options.cell = 8;
+  options.radius = 2;
+  const auto hats = build_hats(stream.events, 32, 32, options);
+  EXPECT_EQ(hats.dim(0), 2 * 5 * 5);
+  EXPECT_EQ(hats.dim(1), 4);
+  EXPECT_EQ(hats.dim(2), 4);
+}
+
+TEST(Hats, CentreTapIsOneForIsolatedEvent) {
+  // A single event: its own surface entry has dt = 0 -> exp(0) = 1 in the
+  // patch centre; cell count 1 -> normalised value stays 1.
+  std::vector<Event> events = {{4, 4, Polarity::On, 1000}};
+  HatsOptions options;
+  options.cell = 8;
+  options.radius = 1;
+  const auto hats = build_hats(events, 16, 16, options);
+  const Index centre = 1 * 3 + 1;  // (dy=0, dx=0) in a 3x3 patch
+  EXPECT_FLOAT_EQ(hats.at3(1 * 9 + centre, 0, 0), 1.0f);  // ON block
+  EXPECT_FLOAT_EQ(hats.at3(0 * 9 + centre, 0, 0), 0.0f);  // OFF block empty
+}
+
+TEST(Hats, NeighbourContributionDecaysWithTime) {
+  HatsOptions options;
+  options.cell = 8;
+  options.radius = 1;
+  options.tau_us = 1000.0;
+  // Neighbour fired 1 tau earlier.
+  std::vector<Event> events = {{3, 4, Polarity::On, 0},
+                               {4, 4, Polarity::On, 1000}};
+  const auto hats = build_hats(events, 16, 16, options);
+  // Second event's patch: left neighbour (dx=-1) holds exp(-1).
+  const Index left_tap = 1 * 3 + 0;
+  // Cell saw 2 events; first event contributed 1 at centre, second 1 at
+  // centre + exp(-1) at left. Normalised by 2.
+  EXPECT_NEAR(hats.at3(9 + left_tap, 0, 0), std::exp(-1.0) / 2.0, 1e-5);
+}
+
+TEST(Hats, CountNormalisationMakesRateInvariant) {
+  // Duplicate a burst 1x vs 4x at the same instant pattern: normalised
+  // histograms should match closely.
+  std::vector<Event> burst;
+  for (int k = 0; k < 5; ++k) {
+    burst.push_back({static_cast<std::int16_t>(4 + k % 2), 4, Polarity::On,
+                     static_cast<TimeUs>(k * 100)});
+  }
+  std::vector<Event> dense;
+  for (int rep = 0; rep < 4; ++rep) {
+    for (const auto& e : burst) {
+      Event copy = e;
+      copy.t += rep;  // microsecond-level jitter
+      dense.push_back(copy);
+    }
+  }
+  events::sort_by_time(dense);
+  HatsOptions options;
+  options.cell = 8;
+  options.radius = 1;
+  const auto sparse_hats = build_hats(burst, 16, 16, options);
+  const auto dense_hats = build_hats(dense, 16, 16, options);
+  for (Index c = 0; c < sparse_hats.dim(0); ++c) {
+    EXPECT_NEAR(sparse_hats.at3(c, 0, 0), dense_hats.at3(c, 0, 0), 0.25)
+        << "channel " << c;
+  }
+}
+
+TEST(Hats, PolarityBlocksIndependent) {
+  std::vector<Event> events = {{4, 4, Polarity::On, 0},
+                               {12, 4, Polarity::Off, 100}};
+  HatsOptions options;
+  options.cell = 8;
+  options.radius = 1;
+  const auto hats = build_hats(events, 16, 16, options);
+  // ON activity in cell (0,0) channels 9..17; OFF in cell (0,1) channels 0..8.
+  double on_block = 0.0, off_block = 0.0;
+  for (Index c = 0; c < 9; ++c) {
+    off_block += hats.at3(c, 0, 1);
+    on_block += hats.at3(9 + c, 0, 0);
+  }
+  EXPECT_GT(on_block, 0.9);
+  EXPECT_GT(off_block, 0.9);
+  // Cross-terms are empty.
+  for (Index c = 0; c < 9; ++c) {
+    EXPECT_EQ(hats.at3(c, 0, 0), 0.0f);
+    EXPECT_EQ(hats.at3(9 + c, 0, 1), 0.0f);
+  }
+}
+
+TEST(Hats, InvalidOptionsThrow) {
+  HatsOptions options;
+  options.cell = 0;
+  EXPECT_THROW(build_hats({}, 16, 16, options), std::invalid_argument);
+  options.cell = 32;
+  EXPECT_THROW(build_hats({}, 16, 16, options), std::invalid_argument);
+  HatsOptions bad_tau;
+  bad_tau.tau_us = 0.0;
+  EXPECT_THROW(build_hats({}, 16, 16, bad_tau), std::invalid_argument);
+}
+
+TEST(Hats, ValuesBounded) {
+  const auto stream = test::make_stream(32, 32, 2000, 3);
+  const auto hats = build_hats(stream.events, 32, 32, HatsOptions{});
+  for (Index i = 0; i < hats.numel(); ++i) {
+    EXPECT_GE(hats[i], 0.0f);
+    EXPECT_LE(hats[i], static_cast<float>(2 * HatsOptions{}.radius + 1) *
+                           static_cast<float>(2 * HatsOptions{}.radius + 1));
+    EXPECT_TRUE(std::isfinite(hats[i]));
+  }
+}
+
+}  // namespace
+}  // namespace evd::cnn

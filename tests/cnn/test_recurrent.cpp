@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "cnn/recurrent.hpp"
+#include "nn/softmax.hpp"
+#include "test_util.hpp"
+
+namespace evd::cnn {
+namespace {
+
+RecurrentCnnConfig tiny_config() {
+  RecurrentCnnConfig config;
+  config.height = 8;
+  config.width = 8;
+  config.base_filters = 3;
+  config.hidden = 6;
+  config.num_classes = 2;
+  return config;
+}
+
+std::vector<nn::Tensor> random_sequence(Index steps, Rng& rng) {
+  std::vector<nn::Tensor> frames;
+  for (Index t = 0; t < steps; ++t) {
+    frames.push_back(nn::Tensor::randn({2, 8, 8}, rng, 0.5f));
+  }
+  return frames;
+}
+
+TEST(RecurrentCnn, ForwardShapeAndDeterminism) {
+  RecurrentCnn model(tiny_config());
+  Rng rng(1);
+  const auto frames = random_sequence(4, rng);
+  const nn::Tensor a = model.forward(frames, false);
+  const nn::Tensor b = model.forward(frames, false);
+  ASSERT_EQ(a.numel(), 2);
+  EXPECT_FLOAT_EQ(a[0], b[0]);
+}
+
+TEST(RecurrentCnn, EmptySequenceThrows) {
+  RecurrentCnn model(tiny_config());
+  EXPECT_THROW(model.forward({}, false), std::invalid_argument);
+  EXPECT_THROW(model.backward(nn::Tensor({2})), std::logic_error);
+}
+
+TEST(RecurrentCnn, GradCheckRecurrentWeights) {
+  RecurrentCnn model(tiny_config());
+  Rng rng(2);
+  const auto frames = random_sequence(3, rng);
+
+  const nn::Tensor logits = model.forward(frames, true);
+  const auto ce = nn::softmax_cross_entropy(logits, 1);
+  model.backward(ce.grad);
+
+  // Numeric check on all recurrent/head parameters (stem checked by its
+  // own layer gradchecks; here we verify the BPTT chain).
+  for (auto* param : model.params()) {
+    if (param->value.numel() > 80) continue;  // skip big conv tensors
+    auto loss_of = [&](const nn::Tensor& w) {
+      nn::Tensor saved = param->value;
+      param->value = w;
+      const double loss =
+          nn::softmax_cross_entropy(model.forward(frames, false), 1).loss;
+      param->value = saved;
+      return loss;
+    };
+    test::expect_gradients_close(
+        param->grad, test::numeric_gradient(loss_of, param->value, 1e-3f),
+        3e-2);
+  }
+}
+
+TEST(RecurrentCnn, GradCheckStemThroughTime) {
+  // The conv stem's gradient accumulates across all frames via activation
+  // recomputation — verify the first conv's bias numerically.
+  RecurrentCnn model(tiny_config());
+  Rng rng(3);
+  const auto frames = random_sequence(3, rng);
+  const nn::Tensor logits = model.forward(frames, true);
+  const auto ce = nn::softmax_cross_entropy(logits, 0);
+  model.backward(ce.grad);
+
+  auto* stem_bias = model.params()[1];  // conv1 bias (weight is params()[0])
+  ASSERT_EQ(stem_bias->value.numel(), 3);
+  auto loss_of = [&](const nn::Tensor& b) {
+    nn::Tensor saved = stem_bias->value;
+    stem_bias->value = b;
+    const double loss =
+        nn::softmax_cross_entropy(model.forward(frames, false), 0).loss;
+    stem_bias->value = saved;
+    return loss;
+  };
+  test::expect_gradients_close(
+      stem_bias->grad,
+      test::numeric_gradient(loss_of, stem_bias->value, 1e-3f), 3e-2);
+}
+
+TEST(RecurrentCnn, LearnsOrderSensitiveTask) {
+  // Two classes with identical frame *sets* but opposite order: bright
+  // frame then dark vs dark then bright. Memoryless models cannot separate
+  // them; the recurrent state must.
+  RecurrentCnn model(tiny_config());
+  Rng rng(4);
+  std::vector<std::vector<nn::Tensor>> sequences;
+  std::vector<Index> labels;
+  for (int s = 0; s < 24; ++s) {
+    const Index label = s % 2;
+    nn::Tensor bright = nn::Tensor::full({2, 8, 8}, 0.8f);
+    nn::Tensor dark({2, 8, 8});
+    // Small jitter so samples differ.
+    for (Index i = 0; i < bright.numel(); ++i) {
+      bright[i] += static_cast<float>(rng.uniform(-0.05, 0.05));
+      dark[i] += static_cast<float>(rng.uniform(0.0, 0.05));
+    }
+    std::vector<nn::Tensor> frames;
+    if (label == 0) {
+      frames = {bright, dark};
+    } else {
+      frames = {dark, bright};
+    }
+    sequences.push_back(std::move(frames));
+    labels.push_back(label);
+  }
+  const auto report = fit_recurrent(model, sequences, labels, 40, 5e-3f);
+  EXPECT_GT(report.epoch_accuracy.back(), 0.9);
+  EXPECT_GT(evaluate_recurrent(model, sequences, labels), 0.9);
+}
+
+TEST(RecurrentCnn, ParamCountIncludesAllBlocks) {
+  RecurrentCnn model(tiny_config());
+  // stem conv1 (2*3*9+3) + conv2 (3*6*9+6) + Wx (6*6) + Wh (6*6) + b (6)
+  // + head (6*2+2).
+  const Index expected = (2 * 3 * 9 + 3) + (3 * 6 * 9 + 6) + 36 + 36 + 6 +
+                         (6 * 2 + 2);
+  EXPECT_EQ(model.param_count(), expected);
+}
+
+}  // namespace
+}  // namespace evd::cnn

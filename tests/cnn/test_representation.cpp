@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cnn/representation.hpp"
+#include "test_util.hpp"
+
+namespace evd::cnn {
+namespace {
+
+using events::Event;
+
+TEST(Representation, ChannelCounts) {
+  EXPECT_EQ(representation_channels(Representation::CountSigned), 1);
+  EXPECT_EQ(representation_channels(Representation::CountTwoChannel), 2);
+  EXPECT_EQ(representation_channels(Representation::TimeSurface), 2);
+  EXPECT_EQ(representation_channels(Representation::ExpTimeSurface), 2);
+  EXPECT_EQ(representation_channels(Representation::Combined), 4);
+}
+
+TEST(Representation, NamesDistinct) {
+  EXPECT_STRNE(representation_name(Representation::CountSigned),
+               representation_name(Representation::Combined));
+}
+
+TEST(BuildFrame, CountSignedSubtractsPolarities) {
+  std::vector<Event> events = {{1, 1, Polarity::On, 10},
+                               {1, 1, Polarity::On, 20},
+                               {1, 1, Polarity::Off, 30}};
+  FrameOptions options;
+  options.repr = Representation::CountSigned;
+  options.count_scale = 4.0f;
+  const auto frame = build_frame(events, 4, 4, 0, 100, options);
+  EXPECT_FLOAT_EQ(frame.at3(0, 1, 1), 0.25f);  // (2 - 1) / 4
+  EXPECT_FLOAT_EQ(frame.at3(0, 0, 0), 0.0f);
+}
+
+TEST(BuildFrame, TwoChannelSeparatesPolarities) {
+  std::vector<Event> events = {{2, 1, Polarity::On, 10},
+                               {2, 1, Polarity::Off, 20},
+                               {2, 1, Polarity::Off, 30}};
+  FrameOptions options;
+  options.repr = Representation::CountTwoChannel;
+  const auto frame = build_frame(events, 4, 4, 0, 100, options);
+  EXPECT_FLOAT_EQ(frame.at3(1, 1, 2), 0.25f);  // ON channel
+  EXPECT_FLOAT_EQ(frame.at3(0, 1, 2), 0.5f);   // OFF channel
+}
+
+TEST(BuildFrame, CountSaturatesAtOne) {
+  std::vector<Event> events;
+  for (int i = 0; i < 100; ++i) {
+    events.push_back({0, 0, Polarity::On, static_cast<TimeUs>(i)});
+  }
+  FrameOptions options;
+  options.repr = Representation::CountTwoChannel;
+  const auto frame = build_frame(events, 2, 2, 0, 200, options);
+  EXPECT_FLOAT_EQ(frame.at3(1, 0, 0), 1.0f);
+}
+
+TEST(BuildFrame, TimeSurfaceLinearInLastEventTime) {
+  std::vector<Event> events = {{0, 0, Polarity::On, 25},
+                               {1, 0, Polarity::On, 75},
+                               {1, 0, Polarity::On, 50}};  // overwritten below
+  events::sort_by_time(events);
+  FrameOptions options;
+  options.repr = Representation::TimeSurface;
+  const auto frame = build_frame(events, 2, 1, 0, 100, options);
+  EXPECT_FLOAT_EQ(frame.at3(1, 0, 0), 0.25f);
+  EXPECT_FLOAT_EQ(frame.at3(1, 0, 1), 0.75f);  // latest event wins
+  EXPECT_FLOAT_EQ(frame.at3(0, 0, 0), 0.0f);   // OFF channel untouched
+}
+
+TEST(BuildFrame, ExpTimeSurfaceDecay) {
+  std::vector<Event> events = {{0, 0, Polarity::On, 100}};
+  FrameOptions options;
+  options.repr = Representation::ExpTimeSurface;
+  options.tau_fraction = 0.5;  // tau = 50us over a 100us window
+  const auto frame = build_frame(events, 1, 1, 0, 100, options);
+  // t_end - t_last = 0 -> exp(0) = 1.
+  EXPECT_NEAR(frame.at3(1, 0, 0), 1.0f, 1e-5);
+
+  std::vector<Event> old_event = {{0, 0, Polarity::On, 50}};
+  const auto frame2 = build_frame(old_event, 1, 1, 0, 100, options);
+  EXPECT_NEAR(frame2.at3(1, 0, 0), std::exp(-1.0), 1e-5);
+}
+
+TEST(BuildFrame, CombinedStacksCountsAndSurfaces) {
+  std::vector<Event> events = {{0, 0, Polarity::On, 50}};
+  FrameOptions options;
+  options.repr = Representation::Combined;
+  const auto frame = build_frame(events, 2, 2, 0, 100, options);
+  EXPECT_EQ(frame.dim(0), 4);
+  EXPECT_GT(frame.at3(1, 0, 0), 0.0f);  // count ON
+  EXPECT_GT(frame.at3(3, 0, 0), 0.0f);  // surface ON
+}
+
+TEST(BuildFrame, ErrorsOnBadInput) {
+  FrameOptions options;
+  EXPECT_THROW(build_frame({}, 0, 4, 0, 100, options), std::invalid_argument);
+  EXPECT_THROW(build_frame({}, 4, 4, 100, 100, options),
+               std::invalid_argument);
+  std::vector<Event> outside = {{9, 0, Polarity::On, 10}};
+  EXPECT_THROW(build_frame(outside, 4, 4, 0, 100, options),
+               std::invalid_argument);
+}
+
+TEST(BuildFrameSequence, SlicesByPeriod) {
+  events::EventStream stream;
+  stream.width = 4;
+  stream.height = 4;
+  for (TimeUs t = 0; t < 100000; t += 10000) {
+    stream.events.push_back({0, 0, Polarity::On, t});
+  }
+  FrameOptions options;
+  const auto frames = build_frame_sequence(stream, 20000, options);
+  EXPECT_EQ(frames.size(), 5u);
+  EXPECT_THROW(build_frame_sequence(stream, 0, options),
+               std::invalid_argument);
+}
+
+class AllRepresentations
+    : public ::testing::TestWithParam<Representation> {};
+
+TEST_P(AllRepresentations, FrameIsFiniteAndBounded) {
+  const auto stream = test::make_stream(16, 16, 500);
+  FrameOptions options;
+  options.repr = GetParam();
+  const auto frame = build_frame(stream.events, 16, 16, 0, 100000, options);
+  EXPECT_EQ(frame.dim(0), representation_channels(GetParam()));
+  for (Index i = 0; i < frame.numel(); ++i) {
+    EXPECT_TRUE(std::isfinite(frame[i]));
+    EXPECT_GE(frame[i], -1.0f);
+    EXPECT_LE(frame[i], 1.0f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, AllRepresentations,
+    ::testing::Values(Representation::CountSigned,
+                      Representation::CountTwoChannel,
+                      Representation::TimeSurface,
+                      Representation::ExpTimeSurface,
+                      Representation::Combined));
+
+}  // namespace
+}  // namespace evd::cnn

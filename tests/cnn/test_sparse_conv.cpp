@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cnn/sparse_conv.hpp"
+#include "nn/conv2d.hpp"
+#include "test_util.hpp"
+
+namespace evd::cnn {
+namespace {
+
+using events::Event;
+
+/// Dense reference: run the submanifold net's layers as ordinary dense
+/// convs + ReLU over the full frame, zeroing inactive sites after every
+/// layer — the defining restriction of a sub-manifold convolution.
+nn::Tensor dense_reference(SubmanifoldConvNet& net, const nn::Tensor& input,
+                           Rng& rng) {
+  auto mask_inactive = [&](nn::Tensor& t) {
+    for (Index c = 0; c < t.dim(0); ++c) {
+      for (Index y = 0; y < t.dim(1); ++y) {
+        for (Index xx = 0; xx < t.dim(2); ++xx) {
+          if (!net.is_active(y, xx)) t.at3(c, y, xx) = 0.0f;
+        }
+      }
+    }
+  };
+  nn::Tensor x = input;
+  for (Index l = 0; l < net.layer_count(); ++l) {
+    const auto& w = net.layer_weight(l);
+    nn::Conv2dConfig config{w.dim(1), w.dim(0), 3, 1, 1};
+    nn::Conv2d conv(config, rng);
+    conv.weight().value = w;
+    conv.bias().value = net.layer_bias(l);
+    x = conv.forward(x, false);
+    for (Index i = 0; i < x.numel(); ++i) x[i] = std::max(x[i], 0.0f);
+    mask_inactive(x);
+  }
+  return x;
+}
+
+TEST(SubmanifoldConvNet, AsyncUpdatesMatchDenseReference) {
+  Rng rng(1);
+  SubmanifoldConvNet net(10, 10, {2, 4, 4}, rng);
+  const auto stream = test::make_stream(10, 10, 60, 3);
+  for (const auto& e : stream.events) net.update(e);
+
+  // Capture async-produced output, then rebuild densely and compare.
+  const nn::Tensor async_out = net.output();
+  // Dense reference needs the *input* buffer; recover it by re-running
+  // full forward (which reuses the same input buffer).
+  nn::Tensor input({2, 10, 10});
+  for (const auto& e : stream.events) {
+    input.at3(polarity_channel(e.polarity), e.y, e.x) = std::min(
+        input.at3(polarity_channel(e.polarity), e.y, e.x) + 0.25f, 1.0f);
+  }
+  Rng ref_rng(2);
+  const nn::Tensor reference = dense_reference(net, input, ref_rng);
+  ASSERT_EQ(async_out.shape(), reference.shape());
+  for (Index i = 0; i < async_out.numel(); ++i) {
+    EXPECT_NEAR(async_out[i], reference[i], 1e-4f) << "flat index " << i;
+  }
+}
+
+TEST(SubmanifoldConvNet, OutputsRestrictedToActiveSites) {
+  Rng rng(2);
+  SubmanifoldConvNet net(8, 8, {2, 3}, rng);
+  net.update(Event{3, 3, Polarity::On, 0});
+  EXPECT_EQ(net.active_site_count(), 1);
+  const auto& out = net.output();
+  for (Index y = 0; y < 8; ++y) {
+    for (Index x = 0; x < 8; ++x) {
+      if (y == 3 && x == 3) continue;
+      for (Index c = 0; c < 3; ++c) {
+        EXPECT_EQ(out.at3(c, y, x), 0.0f);
+      }
+    }
+  }
+}
+
+TEST(SubmanifoldConvNet, UpdateCostScalesWithActivityNotArea) {
+  Rng rng(3);
+  SubmanifoldConvNet small(16, 16, {2, 8, 8}, rng);
+  Rng rng2(3);
+  SubmanifoldConvNet large(64, 64, {2, 8, 8}, rng2);
+  small.update(Event{8, 8, Polarity::On, 0});
+  large.update(Event{8, 8, Polarity::On, 0});
+  const auto cost_small = small.update(Event{8, 9, Polarity::On, 1});
+  const auto cost_large = large.update(Event{8, 9, Polarity::On, 1});
+  EXPECT_EQ(cost_small.macs, cost_large.macs);  // area-independent
+}
+
+TEST(SubmanifoldConvNet, AsyncFarCheaperThanDense) {
+  Rng rng(4);
+  SubmanifoldConvNet net(32, 32, {2, 8, 8}, rng);
+  const auto stream = test::make_stream(32, 32, 50, 5);
+  std::int64_t async_macs = 0;
+  for (const auto& e : stream.events) {
+    async_macs += net.update(e).macs;
+  }
+  const std::int64_t dense_macs = net.forward_full();
+  // 50 sparse updates vs a full dense frame: at least 10x saving.
+  EXPECT_LT(async_macs * 10, dense_macs);
+}
+
+TEST(SubmanifoldConvNet, ChangeAbsorptionStopsPropagation) {
+  Rng rng(5);
+  SubmanifoldConvNet net(8, 8, {2, 4, 4}, rng);
+  net.update(Event{4, 4, Polarity::On, 0});
+  // Saturate the input site: after 4 updates the input value clamps at 1.0,
+  // so a 5th identical event changes nothing and propagation is absorbed.
+  net.update(Event{4, 4, Polarity::On, 1});
+  net.update(Event{4, 4, Polarity::On, 2});
+  net.update(Event{4, 4, Polarity::On, 3});
+  const auto cost = net.update(Event{4, 4, Polarity::On, 4});
+  EXPECT_EQ(cost.sites_changed, 0);
+}
+
+TEST(SubmanifoldConvNet, PooledOutputSumsActiveSites) {
+  Rng rng(6);
+  SubmanifoldConvNet net(8, 8, {2, 3}, rng);
+  net.update(Event{1, 1, Polarity::On, 0});
+  net.update(Event{6, 6, Polarity::Off, 1});
+  const nn::Tensor pooled = net.pooled_output();
+  const auto& out = net.output();
+  for (Index c = 0; c < 3; ++c) {
+    EXPECT_NEAR(pooled[c], out.at3(c, 1, 1) + out.at3(c, 6, 6), 1e-5f);
+  }
+}
+
+TEST(SubmanifoldConvNet, ResetClearsActivity) {
+  Rng rng(7);
+  SubmanifoldConvNet net(8, 8, {2, 3}, rng);
+  net.update(Event{2, 2, Polarity::On, 0});
+  net.reset();
+  EXPECT_EQ(net.active_site_count(), 0);
+  EXPECT_EQ(net.output().sum(), 0.0);
+}
+
+TEST(SubmanifoldConvNet, ErrorsOnBadConstructionAndEvents) {
+  Rng rng(8);
+  EXPECT_THROW(SubmanifoldConvNet(4, 4, {2}, rng), std::invalid_argument);
+  SubmanifoldConvNet net(4, 4, {2, 2}, rng);
+  EXPECT_THROW(net.update(Event{9, 0, Polarity::On, 0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace evd::cnn

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace evd {
+namespace {
+
+TEST(RunningStats, MatchesClosedForm) {
+  RunningStats stats;
+  const std::vector<double> values = {1.0, 2.0, 3.0, 4.0, 5.0};
+  for (const double v : values) stats.add(v);
+  EXPECT_EQ(stats.count(), 5);
+  EXPECT_DOUBLE_EQ(stats.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 2.5);  // sample variance
+  EXPECT_DOUBLE_EQ(stats.min(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 15.0);
+}
+
+TEST(RunningStats, EmptyIsSafe) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats stats;
+  stats.add(42.0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeEqualsCombined) {
+  Rng rng(3);
+  RunningStats a, b, combined;
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.normal(2.0, 3.0);
+    (i % 2 == 0 ? a : b).add(v);
+    combined.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_NEAR(a.mean(), combined.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), combined.variance(), 1e-7);
+  EXPECT_DOUBLE_EQ(a.min(), combined.min());
+  EXPECT_DOUBLE_EQ(a.max(), combined.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  empty.merge(a);
+  EXPECT_DOUBLE_EQ(empty.mean(), mean);
+}
+
+TEST(Histogram, BinsAndTotals) {
+  Histogram hist(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) hist.add(i + 0.5);
+  EXPECT_EQ(hist.total(), 10);
+  for (Index b = 0; b < 10; ++b) EXPECT_EQ(hist.bin_count(b), 1);
+}
+
+TEST(Histogram, OutOfRangeClamps) {
+  Histogram hist(0.0, 1.0, 4);
+  hist.add(-5.0);
+  hist.add(9.0);
+  EXPECT_EQ(hist.bin_count(0), 1);
+  EXPECT_EQ(hist.bin_count(3), 1);
+}
+
+TEST(Histogram, QuantileApproximation) {
+  Histogram hist(0.0, 100.0, 100);
+  for (int i = 0; i < 1000; ++i) hist.add(static_cast<double>(i % 100));
+  EXPECT_NEAR(hist.quantile(0.5), 50.0, 2.0);
+  EXPECT_NEAR(hist.quantile(0.9), 90.0, 2.0);
+}
+
+TEST(Histogram, InvalidArgsThrow) {
+  EXPECT_THROW(Histogram(1.0, 0.0, 5), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Percentiles, ExactValues) {
+  Percentiles p;
+  for (int i = 1; i <= 100; ++i) p.add(static_cast<double>(i));
+  EXPECT_NEAR(p.median(), 50.5, 1e-9);
+  EXPECT_NEAR(p.percentile(0.0), 1.0, 1e-9);
+  EXPECT_NEAR(p.percentile(100.0), 100.0, 1e-9);
+  EXPECT_NEAR(p.percentile(99.0), 99.01, 0.05);
+  EXPECT_NEAR(p.mean(), 50.5, 1e-9);
+}
+
+TEST(Percentiles, EmptyThrows) {
+  Percentiles p;
+  EXPECT_THROW(p.percentile(50.0), std::logic_error);
+}
+
+TEST(Percentiles, AddAfterQueryStillSorted) {
+  Percentiles p;
+  p.add(3.0);
+  p.add(1.0);
+  EXPECT_DOUBLE_EQ(p.percentile(0.0), 1.0);
+  p.add(0.5);
+  EXPECT_DOUBLE_EQ(p.percentile(0.0), 0.5);
+}
+
+}  // namespace
+}  // namespace evd

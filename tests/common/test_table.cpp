@@ -1,0 +1,41 @@
+#include <gtest/gtest.h>
+
+#include "common/table.hpp"
+
+namespace evd {
+namespace {
+
+TEST(Table, RendersAlignedRows) {
+  Table table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "22222"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 22222 |"), std::string::npos);
+  EXPECT_EQ(table.rows(), 2);
+}
+
+TEST(Table, ArityMismatchThrows) {
+  Table table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, EmptyHeaderThrows) {
+  EXPECT_THROW(Table(std::vector<std::string>{}), std::invalid_argument);
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(-1.5, 0), "-2");  // round-half-away via printf
+}
+
+TEST(Table, EngineeringSuffixes) {
+  EXPECT_EQ(Table::eng(950.0, 0), "950");
+  EXPECT_EQ(Table::eng(1500.0, 1), "1.5k");
+  EXPECT_EQ(Table::eng(2.5e6, 1), "2.5M");
+  EXPECT_EQ(Table::eng(3.2e9, 1), "3.2G");
+  EXPECT_EQ(Table::eng(-1500.0, 1), "-1.5k");
+}
+
+}  // namespace
+}  // namespace evd

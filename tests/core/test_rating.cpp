@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rating.hpp"
+
+namespace evd::core {
+namespace {
+
+TEST(Rating, Symbols) {
+  EXPECT_STREQ(rating_symbol(Rating::Minus), "-");
+  EXPECT_STREQ(rating_symbol(Rating::Plus), "+");
+  EXPECT_STREQ(rating_symbol(Rating::PlusPlus), "++");
+  EXPECT_STREQ(rating_symbol(Rating::Unknown), "?");
+}
+
+TEST(GradeLargerBetter, BestGetsPlusPlus) {
+  const auto grades = grade_larger_better({10.0, 5.0, 1.0});
+  EXPECT_EQ(grades[0], Rating::PlusPlus);
+  EXPECT_EQ(grades[1], Rating::Plus);
+  EXPECT_EQ(grades[2], Rating::Minus);
+}
+
+TEST(GradeLargerBetter, TiesShareTopGrade) {
+  const auto grades = grade_larger_better({10.0, 9.5, 1.0});
+  EXPECT_EQ(grades[0], Rating::PlusPlus);
+  EXPECT_EQ(grades[1], Rating::PlusPlus);  // within 15% of best
+}
+
+TEST(GradeLargerBetter, NonFiniteIsUnknown) {
+  const auto grades = grade_larger_better({1.0, NAN, 2.0});
+  EXPECT_EQ(grades[1], Rating::Unknown);
+  EXPECT_EQ(grades[2], Rating::PlusPlus);
+}
+
+TEST(GradeLargerBetter, AllUnknown) {
+  const auto grades = grade_larger_better({NAN, NAN});
+  EXPECT_EQ(grades[0], Rating::Unknown);
+  EXPECT_EQ(grades[1], Rating::Unknown);
+}
+
+TEST(GradeSmallerBetter, InvertsOrdering) {
+  const auto grades = grade_smaller_better({1.0, 5.0, 100.0});
+  EXPECT_EQ(grades[0], Rating::PlusPlus);
+  EXPECT_EQ(grades[1], Rating::Plus);
+  EXPECT_EQ(grades[2], Rating::Minus);
+}
+
+TEST(GradeSmallerBetter, ZeroIsBestPossible) {
+  const auto grades = grade_smaller_better({0.0, 10.0});
+  EXPECT_EQ(grades[0], Rating::PlusPlus);
+  EXPECT_EQ(grades[1], Rating::Minus);
+}
+
+TEST(PaperTable1, HasTwelveAxes) {
+  const auto& rows = paper_table1();
+  EXPECT_EQ(rows.size(), 12u);
+  EXPECT_STREQ(rows[0].snn, "++");
+  EXPECT_STREQ(rows[0].cnn, "-");
+  EXPECT_STREQ(rows[5].gnn, "++");  // accuracy row
+}
+
+}  // namespace
+}  // namespace evd::core

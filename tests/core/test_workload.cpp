@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/workload.hpp"
+#include "test_util.hpp"
+
+namespace evd::core {
+namespace {
+
+TEST(ShuffleTimestamps, PreservesSpatialMultiset) {
+  const auto stream = test::make_stream(16, 16, 500, 1);
+  const auto shuffled = shuffle_timestamps(stream, 2);
+  ASSERT_EQ(shuffled.size(), stream.size());
+
+  auto key = [](const events::Event& e) {
+    return std::tuple{e.x, e.y, e.polarity};
+  };
+  std::vector<std::tuple<std::int16_t, std::int16_t, Polarity>> a, b;
+  for (const auto& e : stream.events) a.push_back(key(e));
+  for (const auto& e : shuffled.events) b.push_back(key(e));
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(ShuffleTimestamps, KeepsRangeAndSortedness) {
+  const auto stream = test::make_stream(8, 8, 200, 3);
+  const auto shuffled = shuffle_timestamps(stream, 4);
+  EXPECT_TRUE(events::is_time_sorted(shuffled.events));
+  EXPECT_GE(shuffled.events.front().t, stream.events.front().t);
+  EXPECT_LE(shuffled.events.back().t, stream.events.back().t);
+}
+
+TEST(ShuffleTimestamps, DestroysTemporalOrder) {
+  // The pixel visit order should change for a spatio-temporally structured
+  // stream (a sweep).
+  events::EventStream sweep;
+  sweep.width = 32;
+  sweep.height = 1;
+  for (Index i = 0; i < 32; ++i) {
+    sweep.events.push_back({static_cast<std::int16_t>(i), 0, Polarity::On,
+                            i * 1000});
+  }
+  const auto shuffled = shuffle_timestamps(sweep, 5);
+  bool x_order_changed = false;
+  for (size_t i = 0; i < shuffled.events.size(); ++i) {
+    if (shuffled.events[i].x != static_cast<Index>(i)) x_order_changed = true;
+  }
+  EXPECT_TRUE(x_order_changed);
+}
+
+TEST(ShuffleTimestamps, TinyStreamsPassThrough) {
+  events::EventStream one;
+  one.width = 4;
+  one.height = 4;
+  one.events.push_back({0, 0, Polarity::On, 5});
+  const auto shuffled = shuffle_timestamps(one, 6);
+  EXPECT_EQ(shuffled.events, one.events);
+}
+
+}  // namespace
+}  // namespace evd::core

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "events/aer.hpp"
+#include "test_util.hpp"
+
+namespace evd::events {
+namespace {
+
+TEST(Raw32, RoundTripSmall) {
+  std::vector<Event> events = {{5, 7, Polarity::On, 100},
+                               {1279, 719, Polarity::Off, 2000000}};
+  const auto packet = raw32_encode(events);
+  EXPECT_EQ(packet.event_count, 2);
+  EXPECT_DOUBLE_EQ(packet.bits_per_event(), 64.0);
+  EXPECT_EQ(raw32_decode(packet), events);
+}
+
+TEST(Raw32, MalformedThrows) {
+  Raw32Packet packet;
+  packet.event_count = 2;
+  packet.words = {1, 2, 3};  // odd word count
+  EXPECT_THROW(raw32_decode(packet), std::runtime_error);
+}
+
+TEST(Delta, RoundTripSmall) {
+  std::vector<Event> events = {{3, 4, Polarity::On, 50},
+                               {3, 4, Polarity::Off, 50},
+                               {5, 4, Polarity::On, 51},
+                               {2, 9, Polarity::On, 100000}};
+  const auto packet = delta_encode(events);
+  EXPECT_EQ(delta_decode(packet), events);
+}
+
+TEST(Delta, UnsortedThrows) {
+  std::vector<Event> events = {{0, 0, Polarity::On, 10},
+                               {0, 0, Polarity::On, 5}};
+  EXPECT_THROW(delta_encode(events), std::invalid_argument);
+}
+
+TEST(Delta, EmptyStream) {
+  const auto packet = delta_encode({});
+  EXPECT_EQ(packet.event_count, 0);
+  EXPECT_TRUE(delta_decode(packet).empty());
+}
+
+TEST(Delta, LargeTimeGaps) {
+  std::vector<Event> events = {{0, 0, Polarity::On, 0},
+                               {0, 0, Polarity::On, 1},
+                               // gap far beyond one TIME_EXT payload
+                               {1, 1, Polarity::Off, 3000000000LL}};
+  const auto packet = delta_encode(events);
+  EXPECT_EQ(delta_decode(packet), events);
+}
+
+TEST(Delta, CompressesRowCoherentTraffic) {
+  // Many events on the same row at adjacent times: the delta format should
+  // spend well under 64 bits/event (the RAW32 cost).
+  std::vector<Event> events;
+  for (int i = 0; i < 1000; ++i) {
+    events.push_back({static_cast<std::int16_t>(i % 100), 42,
+                      (i % 2 == 0) ? Polarity::On : Polarity::Off,
+                      static_cast<TimeUs>(i)});
+  }
+  const auto packet = delta_encode(events);
+  EXPECT_LT(packet.bits_per_event(), 40.0);
+  EXPECT_EQ(delta_decode(packet), events);
+}
+
+class AerRoundTrip : public ::testing::TestWithParam<Index> {};
+
+TEST_P(AerRoundTrip, RandomStreamsBothCodecs) {
+  const auto stream = test::make_stream(640, 480, GetParam(), 99);
+  const auto raw = raw32_encode(stream.events);
+  EXPECT_EQ(raw32_decode(raw), stream.events);
+  const auto delta = delta_encode(stream.events);
+  EXPECT_EQ(delta_decode(delta), stream.events);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AerRoundTrip,
+                         ::testing::Values(1, 2, 57, 1024, 10000));
+
+}  // namespace
+}  // namespace evd::events

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "events/dataset.hpp"
+
+namespace evd::events {
+namespace {
+
+ShapeDatasetConfig fast_config() {
+  ShapeDatasetConfig config;
+  config.width = 24;
+  config.height = 24;
+  config.num_classes = 3;
+  config.duration_us = 40000;
+  return config;
+}
+
+TEST(ShapeDataset, DeterministicPerIndex) {
+  ShapeDataset dataset(fast_config());
+  const auto a = dataset.make_sample(7);
+  const auto b = dataset.make_sample(7);
+  EXPECT_EQ(a.label, b.label);
+  EXPECT_EQ(a.stream.events, b.stream.events);
+}
+
+TEST(ShapeDataset, DifferentIndicesDiffer) {
+  ShapeDataset dataset(fast_config());
+  const auto a = dataset.make_sample(0);
+  const auto b = dataset.make_sample(3);  // same class (3 % 3 == 0)
+  EXPECT_EQ(a.label, b.label);
+  EXPECT_NE(a.stream.events, b.stream.events);
+}
+
+TEST(ShapeDataset, LabelsCycleThroughClasses) {
+  ShapeDataset dataset(fast_config());
+  for (Index i = 0; i < 6; ++i) {
+    EXPECT_EQ(dataset.make_sample(i).label, static_cast<int>(i % 3));
+  }
+}
+
+TEST(ShapeDataset, SamplesHaveEventsInBounds) {
+  ShapeDataset dataset(fast_config());
+  const auto sample = dataset.make_sample(1);
+  EXPECT_GT(sample.stream.size(), 50);
+  for (const auto& e : sample.stream.events) {
+    EXPECT_GE(e.x, 0);
+    EXPECT_LT(e.x, 24);
+    EXPECT_GE(e.y, 0);
+    EXPECT_LT(e.y, 24);
+  }
+  EXPECT_TRUE(is_time_sorted(sample.stream.events));
+}
+
+TEST(ShapeDataset, SplitIsBalancedAndDisjoint) {
+  ShapeDataset dataset(fast_config());
+  std::vector<LabelledSample> train, test;
+  dataset.make_split(4, 2, train, test);
+  EXPECT_EQ(train.size(), 12u);
+  EXPECT_EQ(test.size(), 6u);
+  std::vector<int> train_counts(3, 0), test_counts(3, 0);
+  for (const auto& s : train) ++train_counts[static_cast<size_t>(s.label)];
+  for (const auto& s : test) ++test_counts[static_cast<size_t>(s.label)];
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_EQ(train_counts[static_cast<size_t>(c)], 4);
+    EXPECT_EQ(test_counts[static_cast<size_t>(c)], 2);
+  }
+  // Disjoint: test sample 0 is generated from index 12, not any train index.
+  for (const auto& tr : train) {
+    EXPECT_NE(tr.stream.events, test[0].stream.events);
+  }
+}
+
+TEST(ShapeDataset, SeedChangesData) {
+  auto config_a = fast_config();
+  auto config_b = fast_config();
+  config_b.seed = 777;
+  const auto a = ShapeDataset(config_a).make_sample(0);
+  const auto b = ShapeDataset(config_b).make_sample(0);
+  EXPECT_NE(a.stream.events, b.stream.events);
+}
+
+TEST(ShapeDataset, InvalidClassCountThrows) {
+  auto config = fast_config();
+  config.num_classes = 0;
+  EXPECT_THROW(ShapeDataset(config).make_sample(0), std::invalid_argument);
+  config.num_classes = 100;
+  EXPECT_THROW(ShapeDataset(config).make_sample(0), std::invalid_argument);
+}
+
+TEST(OnsetStream, QuietBeforeOnset) {
+  auto config = fast_config();
+  config.dvs.background_rate_hz = 0.0;  // no noise: silence before onset
+  const auto onset = make_onset_stream(config, 1, 20000, 40000, 5);
+  ASSERT_GT(onset.stream.size(), 0);
+  // The shape's leading edge only enters the sensor at onset.
+  EXPECT_GE(onset.stream.events.front().t, onset.onset_us);
+}
+
+TEST(OnsetStream, EventsFollowOnset) {
+  auto config = fast_config();
+  config.dvs.background_rate_hz = 0.0;
+  const auto onset = make_onset_stream(config, 0, 15000, 40000, 6);
+  Index after = 0;
+  for (const auto& e : onset.stream.events) {
+    after += (e.t >= onset.onset_us) ? 1 : 0;
+  }
+  EXPECT_EQ(after, onset.stream.size());
+}
+
+TEST(OnsetStream, BadOnsetThrows) {
+  EXPECT_THROW(make_onset_stream(fast_config(), 0, 50000, 40000, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace evd::events

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "events/downsample.hpp"
+
+namespace evd::events {
+namespace {
+
+EventStream grid_stream() {
+  EventStream stream;
+  stream.width = 8;
+  stream.height = 8;
+  for (Index i = 0; i < 8; ++i) {
+    stream.events.push_back({static_cast<std::int16_t>(i),
+                             static_cast<std::int16_t>(i), Polarity::On,
+                             static_cast<TimeUs>(i * 100)});
+  }
+  return stream;
+}
+
+TEST(SpatialDownsample, PassthroughRemapsCoordinates) {
+  SpatialDownsampleConfig config;
+  config.factor = 2;
+  const auto out = spatial_downsample(grid_stream(), config);
+  EXPECT_EQ(out.width, 4);
+  EXPECT_EQ(out.height, 4);
+  ASSERT_EQ(out.events.size(), 8u);
+  for (size_t i = 0; i < out.events.size(); ++i) {
+    EXPECT_EQ(out.events[i].x, static_cast<Index>(i) / 2);
+    EXPECT_EQ(out.events[i].y, static_cast<Index>(i) / 2);
+  }
+}
+
+TEST(SpatialDownsample, AccumulateEmitsEveryNth) {
+  EventStream stream;
+  stream.width = 4;
+  stream.height = 4;
+  for (Index i = 0; i < 10; ++i) {
+    stream.events.push_back({0, 0, Polarity::On, static_cast<TimeUs>(i * 10)});
+  }
+  SpatialDownsampleConfig config;
+  config.factor = 2;
+  config.accumulate = true;
+  config.count_threshold = 3;
+  config.window_us = 1000000;
+  const auto out = spatial_downsample(stream, config);
+  EXPECT_EQ(out.events.size(), 3u);  // 10 / 3
+}
+
+TEST(SpatialDownsample, AccumulatePolaritiesIndependent) {
+  EventStream stream;
+  stream.width = 2;
+  stream.height = 2;
+  stream.events = {{0, 0, Polarity::On, 0},
+                   {0, 0, Polarity::Off, 1},
+                   {0, 0, Polarity::On, 2},
+                   {0, 0, Polarity::Off, 3}};
+  SpatialDownsampleConfig config;
+  config.factor = 2;
+  config.accumulate = true;
+  config.count_threshold = 2;
+  config.window_us = 1000000;
+  const auto out = spatial_downsample(stream, config);
+  ASSERT_EQ(out.events.size(), 2u);
+  EXPECT_EQ(out.events[0].polarity, Polarity::On);
+  EXPECT_EQ(out.events[1].polarity, Polarity::Off);
+}
+
+TEST(SpatialDownsample, WindowResetsCounter) {
+  EventStream stream;
+  stream.width = 2;
+  stream.height = 2;
+  // Two events in window 1, two in window 2; threshold 3 never reached.
+  stream.events = {{0, 0, Polarity::On, 0},
+                   {0, 0, Polarity::On, 10},
+                   {0, 0, Polarity::On, 20000},
+                   {0, 0, Polarity::On, 20010}};
+  SpatialDownsampleConfig config;
+  config.factor = 2;
+  config.accumulate = true;
+  config.count_threshold = 3;
+  config.window_us = 10000;
+  EXPECT_TRUE(spatial_downsample(stream, config).events.empty());
+}
+
+TEST(SpatialDownsample, InvalidFactorThrows) {
+  SpatialDownsampleConfig config;
+  config.factor = 0;
+  EXPECT_THROW(spatial_downsample(grid_stream(), config),
+               std::invalid_argument);
+  config.factor = 100;
+  EXPECT_THROW(spatial_downsample(grid_stream(), config),
+               std::invalid_argument);
+}
+
+TEST(TemporalQuantize, FloorsToTick) {
+  std::vector<Event> events = {{0, 0, Polarity::On, 0},
+                               {0, 0, Polarity::On, 999},
+                               {0, 0, Polarity::On, 1000},
+                               {0, 0, Polarity::On, 1500}};
+  const auto out = temporal_quantize(events, 1000);
+  EXPECT_EQ(out[0].t, 0);
+  EXPECT_EQ(out[1].t, 0);
+  EXPECT_EQ(out[2].t, 1000);
+  EXPECT_EQ(out[3].t, 1000);
+}
+
+TEST(TemporalQuantize, BadTickThrows) {
+  EXPECT_THROW(temporal_quantize({}, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace evd::events

@@ -1,0 +1,86 @@
+// Parameterised property sweeps over the DVS simulator configuration.
+#include <gtest/gtest.h>
+
+#include "events/dvs_simulator.hpp"
+#include "events/scene.hpp"
+
+namespace evd::events {
+namespace {
+
+Scene sweep_scene() {
+  Scene scene(24, 24, 0.1f);
+  MovingShape bar;
+  bar.kind = ShapeKind::Bar;
+  bar.x0 = 6.0;
+  bar.y0 = 12.0;
+  bar.vx = 120.0;
+  bar.radius = 3.0;
+  bar.luminance = 0.9f;
+  scene.add_shape(bar);
+  return scene;
+}
+
+class ThresholdSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ThresholdSweep, EventCountMonotoneInThreshold) {
+  const double threshold = GetParam();
+  DvsConfig config;
+  config.background_rate_hz = 0.0;
+  config.threshold_mismatch = 0.0;
+  config.contrast_threshold = threshold;
+  DvsSimulator simulator(24, 24, config, Rng(1));
+  const auto count = simulator.simulate(sweep_scene(), 100000).size();
+
+  DvsConfig higher = config;
+  higher.contrast_threshold = threshold * 1.5;
+  DvsSimulator simulator_higher(24, 24, higher, Rng(1));
+  const auto count_higher =
+      simulator_higher.simulate(sweep_scene(), 100000).size();
+  EXPECT_GE(count, count_higher);
+  EXPECT_GT(count, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, ThresholdSweep,
+                         ::testing::Values(0.08, 0.12, 0.2, 0.3));
+
+class RefractorySweep : public ::testing::TestWithParam<TimeUs> {};
+
+TEST_P(RefractorySweep, LongerDeadTimeFewerEvents) {
+  DvsConfig config;
+  config.background_rate_hz = 0.0;
+  config.refractory_us = GetParam();
+  DvsSimulator simulator(24, 24, config, Rng(2));
+  const auto base = simulator.simulate(sweep_scene(), 100000).size();
+
+  DvsConfig longer = config;
+  longer.refractory_us = GetParam() * 4 + 1000;
+  DvsSimulator simulator_longer(24, 24, longer, Rng(2));
+  EXPECT_LE(simulator_longer.simulate(sweep_scene(), 100000).size(), base);
+}
+
+INSTANTIATE_TEST_SUITE_P(Refractory, RefractorySweep,
+                         ::testing::Values(0, 100, 1000, 5000));
+
+class NoiseSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(NoiseSweep, NoiseAddsProportionally) {
+  Scene quiet(24, 24, 0.4f);  // static: all output is noise
+  DvsConfig config;
+  config.threshold_mismatch = 0.0;
+  config.background_rate_hz = GetParam();
+  DvsSimulator simulator(24, 24, config, Rng(3));
+  const auto count = simulator.simulate(quiet, 500000).size();
+  const double expected = GetParam() * 0.5 * 24 * 24;
+  if (expected == 0.0) {
+    EXPECT_EQ(count, 0);
+  } else {
+    EXPECT_NEAR(static_cast<double>(count), expected,
+                expected * 0.35 + 10.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseRates, NoiseSweep,
+                         ::testing::Values(0.0, 1.0, 5.0, 20.0));
+
+}  // namespace
+}  // namespace evd::events

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "events/event.hpp"
+#include "test_util.hpp"
+
+namespace evd::events {
+namespace {
+
+TEST(Event, PolarityHelpers) {
+  EXPECT_EQ(polarity_sign(Polarity::On), 1);
+  EXPECT_EQ(polarity_sign(Polarity::Off), -1);
+  EXPECT_EQ(polarity_channel(Polarity::On), 1);
+  EXPECT_EQ(polarity_channel(Polarity::Off), 0);
+}
+
+TEST(EventStream, DurationAndRate) {
+  EventStream stream;
+  stream.width = 4;
+  stream.height = 4;
+  stream.events = {{0, 0, Polarity::On, 0},
+                   {1, 1, Polarity::Off, 500000},
+                   {2, 2, Polarity::On, 1000000}};
+  EXPECT_EQ(stream.duration_us(), 1000000);
+  EXPECT_NEAR(stream.rate_eps(), 3.0, 1e-9);
+}
+
+TEST(EventStream, DegenerateStreams) {
+  EventStream stream;
+  EXPECT_EQ(stream.duration_us(), 0);
+  EXPECT_EQ(stream.rate_eps(), 0.0);
+  stream.events.push_back({0, 0, Polarity::On, 5});
+  EXPECT_EQ(stream.duration_us(), 0);
+}
+
+TEST(Event, SortAndCheck) {
+  std::vector<Event> events = {{0, 0, Polarity::On, 30},
+                               {0, 0, Polarity::On, 10},
+                               {0, 0, Polarity::On, 20}};
+  EXPECT_FALSE(is_time_sorted(events));
+  sort_by_time(events);
+  EXPECT_TRUE(is_time_sorted(events));
+  EXPECT_EQ(events.front().t, 10);
+  EXPECT_EQ(events.back().t, 30);
+}
+
+TEST(Event, SortIsStable) {
+  std::vector<Event> events = {{1, 0, Polarity::On, 10},
+                               {2, 0, Polarity::On, 10},
+                               {3, 0, Polarity::On, 5}};
+  sort_by_time(events);
+  EXPECT_EQ(events[0].x, 3);
+  EXPECT_EQ(events[1].x, 1);  // original relative order kept
+  EXPECT_EQ(events[2].x, 2);
+}
+
+TEST(Event, TimeSliceSelectsHalfOpenWindow) {
+  std::vector<Event> events;
+  for (TimeUs t = 0; t < 100; t += 10) {
+    events.push_back({0, 0, Polarity::On, t});
+  }
+  const auto slice = time_slice(events, 20, 50);
+  ASSERT_EQ(slice.size(), 3u);
+  EXPECT_EQ(slice.front().t, 20);
+  EXPECT_EQ(slice.back().t, 40);
+}
+
+TEST(Event, TimeSliceEmptyAndFull) {
+  std::vector<Event> events = {{0, 0, Polarity::On, 10}};
+  EXPECT_TRUE(time_slice(events, 20, 30).empty());
+  EXPECT_EQ(time_slice(events, 0, 100).size(), 1u);
+}
+
+TEST(Event, OnFraction) {
+  std::vector<Event> events = {{0, 0, Polarity::On, 0},
+                               {0, 0, Polarity::On, 1},
+                               {0, 0, Polarity::Off, 2},
+                               {0, 0, Polarity::Off, 3}};
+  EXPECT_DOUBLE_EQ(on_fraction(events), 0.5);
+  EXPECT_DOUBLE_EQ(on_fraction({}), 0.0);
+}
+
+TEST(Event, ActivePixelFraction) {
+  EventStream stream;
+  stream.width = 2;
+  stream.height = 2;
+  stream.events = {{0, 0, Polarity::On, 0},
+                   {0, 0, Polarity::On, 1},
+                   {1, 1, Polarity::Off, 2}};
+  EXPECT_DOUBLE_EQ(active_pixel_fraction(stream), 0.5);
+}
+
+TEST(Event, MergeStreamsKeepsOrder) {
+  std::vector<Event> a = {{0, 0, Polarity::On, 0}, {0, 0, Polarity::On, 20}};
+  std::vector<Event> b = {{1, 1, Polarity::Off, 10}, {1, 1, Polarity::Off, 30}};
+  const auto merged = merge_streams(a, b);
+  ASSERT_EQ(merged.size(), 4u);
+  EXPECT_TRUE(is_time_sorted(merged));
+  EXPECT_EQ(merged[1].x, 1);
+}
+
+class StreamSizeTest : public ::testing::TestWithParam<Index> {};
+
+TEST_P(StreamSizeTest, FactoryProducesSortedInBoundsStreams) {
+  const Index n = GetParam();
+  const auto stream = test::make_stream(16, 12, n);
+  EXPECT_EQ(stream.size(), n);
+  EXPECT_TRUE(is_time_sorted(stream.events));
+  for (const auto& e : stream.events) {
+    EXPECT_GE(e.x, 0);
+    EXPECT_LT(e.x, 16);
+    EXPECT_GE(e.y, 0);
+    EXPECT_LT(e.y, 12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, StreamSizeTest,
+                         ::testing::Values(0, 1, 10, 1000, 20000));
+
+}  // namespace
+}  // namespace evd::events

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "events/filters.hpp"
+
+namespace evd::events {
+namespace {
+
+TEST(RefractoryFilter, DropsFastRepeats) {
+  std::vector<Event> events = {{1, 1, Polarity::On, 0},
+                               {1, 1, Polarity::On, 50},
+                               {2, 2, Polarity::On, 60},
+                               {1, 1, Polarity::On, 200}};
+  const auto kept = refractory_filter(events, 4, 4, 100);
+  ASSERT_EQ(kept.size(), 3u);
+  EXPECT_EQ(kept[0].t, 0);
+  EXPECT_EQ(kept[1].t, 60);  // different pixel unaffected
+  EXPECT_EQ(kept[2].t, 200);
+}
+
+TEST(RefractoryFilter, KeepsEverythingWhenSlow) {
+  std::vector<Event> events = {{0, 0, Polarity::On, 0},
+                               {0, 0, Polarity::On, 1000}};
+  EXPECT_EQ(refractory_filter(events, 2, 2, 100).size(), 2u);
+}
+
+TEST(BackgroundActivityFilter, DropsIsolatedKeepsSupported) {
+  std::vector<Event> events = {
+      {5, 5, Polarity::On, 0},     // isolated: no prior neighbour -> dropped
+      {6, 5, Polarity::On, 100},   // neighbour (5,5) fired 100us ago -> kept
+      {0, 0, Polarity::On, 150},   // isolated corner -> dropped
+      {6, 6, Polarity::On, 300},   // neighbours fired recently -> kept
+  };
+  const auto kept = background_activity_filter(events, 10, 10, 1000);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0].x, 6);
+  EXPECT_EQ(kept[0].y, 5);
+  EXPECT_EQ(kept[1].x, 6);
+  EXPECT_EQ(kept[1].y, 6);
+}
+
+TEST(BackgroundActivityFilter, WindowExpires) {
+  std::vector<Event> events = {{5, 5, Polarity::On, 0},
+                               {6, 5, Polarity::On, 5000}};
+  const auto kept = background_activity_filter(events, 10, 10, 1000);
+  EXPECT_TRUE(kept.empty());  // support too old
+}
+
+TEST(BackgroundActivityFilter, SelfPixelDoesNotSupport) {
+  std::vector<Event> events = {{5, 5, Polarity::On, 0},
+                               {5, 5, Polarity::On, 100}};
+  // Same-pixel history is not neighbour support in this filter.
+  EXPECT_TRUE(background_activity_filter(events, 10, 10, 1000).empty());
+}
+
+TEST(DetectHotPixels, FindsOutlier) {
+  std::vector<Event> events;
+  // 20 normal pixels with 2 events each; one pixel with 100.
+  for (Index p = 0; p < 20; ++p) {
+    for (int k = 0; k < 2; ++k) {
+      events.push_back({static_cast<std::int16_t>(p), 0, Polarity::On,
+                        static_cast<TimeUs>(p * 10 + k)});
+    }
+  }
+  for (int k = 0; k < 100; ++k) {
+    events.push_back({0, 5, Polarity::On, static_cast<TimeUs>(k)});
+  }
+  const auto hot = detect_hot_pixels(events, 32, 8, 3.0);
+  ASSERT_EQ(hot.size(), 1u);
+  EXPECT_EQ(hot[0], 5 * 32 + 0);
+}
+
+TEST(DetectHotPixels, UniformActivityFindsNothing) {
+  std::vector<Event> events;
+  for (Index p = 0; p < 16; ++p) {
+    events.push_back({static_cast<std::int16_t>(p), 0, Polarity::On, p});
+  }
+  EXPECT_TRUE(detect_hot_pixels(events, 16, 1, 3.0).empty());
+}
+
+TEST(MaskPixels, RemovesOnlyListed) {
+  std::vector<Event> events = {{0, 0, Polarity::On, 0},
+                               {1, 0, Polarity::On, 1},
+                               {2, 0, Polarity::On, 2}};
+  const std::vector<Index> masked = {1};  // pixel (1, 0) on width 8
+  const auto kept = mask_pixels(events, 8, masked);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0].x, 0);
+  EXPECT_EQ(kept[1].x, 2);
+}
+
+}  // namespace
+}  // namespace evd::events

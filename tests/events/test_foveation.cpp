@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "events/foveation.hpp"
+
+namespace evd::events {
+namespace {
+
+EventStream stream_with(std::vector<Event> events, Index w = 32,
+                        Index h = 32) {
+  EventStream stream;
+  stream.width = w;
+  stream.height = h;
+  stream.events = std::move(events);
+  return stream;
+}
+
+TEST(Foveate, FovealEventsPassAtFullResolution) {
+  // Fovea is centred at (16,16) with a 16x16 window.
+  std::vector<Event> events;
+  for (Index i = 0; i < 10; ++i) {
+    events.push_back({15, 15, Polarity::On, static_cast<TimeUs>(i)});
+  }
+  FoveationConfig config;
+  const auto result = foveate(stream_with(std::move(events)), config);
+  EXPECT_EQ(result.foveal_events, 10);
+  EXPECT_EQ(result.peripheral_in, 0);
+  ASSERT_EQ(result.events.size(), 10u);
+  EXPECT_EQ(result.events[0].x, 15);
+}
+
+TEST(Foveate, PeripheryIsPooledAndThinned) {
+  std::vector<Event> events;
+  for (Index i = 0; i < 100; ++i) {
+    events.push_back({2, 2, Polarity::On, static_cast<TimeUs>(i)});
+  }
+  FoveationConfig config;
+  config.periphery_factor = 4;
+  const auto result = foveate(stream_with(std::move(events)), config);
+  EXPECT_EQ(result.peripheral_in, 100);
+  EXPECT_EQ(result.peripheral_out, 100 / config.periphery_factor);
+  for (const auto& e : result.events) {
+    EXPECT_EQ(e.x, 2);  // block centre of the 0..3 block
+    EXPECT_EQ(e.y, 2);
+  }
+}
+
+TEST(Foveate, ActivityDrivenFoveaTracksCluster) {
+  // Heavy activity at (26, 6): after a saccade the fovea should move there.
+  std::vector<Event> events;
+  for (Index i = 0; i < 200; ++i) {
+    events.push_back({26, 6, Polarity::On, static_cast<TimeUs>(i * 100)});
+  }
+  // One event after the saccade boundary to trigger re-centring.
+  events.push_back({26, 6, Polarity::On, 50000});
+  FoveationConfig config;
+  config.activity_driven = true;
+  config.saccade_interval_us = 20000;
+  const auto result = foveate(stream_with(std::move(events)), config);
+  ASSERT_GE(result.fovea_track.size(), 2u);
+  const auto [fx, fy] = result.fovea_track.back();
+  EXPECT_NEAR(static_cast<double>(fx), 26.0, 3.0);
+  EXPECT_NEAR(static_cast<double>(fy), 8.0, 3.0);  // clamped by fovea size
+}
+
+TEST(Foveate, StaticFoveaStaysCentred) {
+  std::vector<Event> events = {{1, 1, Polarity::On, 0},
+                               {1, 1, Polarity::On, 100000}};
+  FoveationConfig config;
+  config.activity_driven = false;
+  const auto result = foveate(stream_with(std::move(events)), config);
+  EXPECT_EQ(result.fovea_track.size(), 1u);
+}
+
+TEST(CentreSurround, PassesLocalClusterSuppressesFullField) {
+  // Build: a tight cluster firing repeatedly (strong centre) vs uniform
+  // full-field activity (centre ~= surround, suppressed).
+  std::vector<Event> cluster;
+  for (Index k = 0; k < 30; ++k) {
+    cluster.push_back({10, 10, Polarity::On, static_cast<TimeUs>(k * 100)});
+    cluster.push_back({11, 10, Polarity::On, static_cast<TimeUs>(k * 100 + 1)});
+  }
+  CentreSurroundConfig config;
+  const auto kept_cluster =
+      centre_surround_filter(stream_with(cluster), config);
+  EXPECT_GT(kept_cluster.size(), cluster.size() / 2);
+
+  std::vector<Event> field;
+  for (Index k = 0; k < 900; ++k) {
+    field.push_back({static_cast<std::int16_t>(k % 30),
+                     static_cast<std::int16_t>((k / 30) % 30), Polarity::On,
+                     static_cast<TimeUs>(k)});
+  }
+  // Repeat the sweep so every pixel has recent surround activity.
+  for (Index k = 0; k < 900; ++k) {
+    field.push_back({static_cast<std::int16_t>(k % 30),
+                     static_cast<std::int16_t>((k / 30) % 30), Polarity::On,
+                     static_cast<TimeUs>(900 + k)});
+  }
+  const auto kept_field = centre_surround_filter(stream_with(field), config);
+  const double cluster_rate = static_cast<double>(kept_cluster.size()) /
+                              static_cast<double>(cluster.size());
+  const double field_rate = static_cast<double>(kept_field.size()) /
+                            static_cast<double>(field.size());
+  EXPECT_GT(cluster_rate, field_rate);
+}
+
+}  // namespace
+}  // namespace evd::events

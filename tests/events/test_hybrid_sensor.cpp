@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "events/hybrid_sensor.hpp"
+
+namespace evd::events {
+namespace {
+
+Scene moving_scene() {
+  Scene scene(24, 24, 0.2f);
+  MovingShape shape;
+  shape.kind = ShapeKind::Square;
+  shape.x0 = 6.0;
+  shape.y0 = 12.0;
+  shape.vx = 100.0;
+  shape.radius = 4.0;
+  shape.luminance = 0.9f;
+  scene.add_shape(shape);
+  return scene;
+}
+
+TEST(HybridSensor, ProducesBothModalities) {
+  const auto scene = moving_scene();
+  DvsConfig dvs_config;
+  dvs_config.background_rate_hz = 0.0;
+  DvsSimulator dvs(24, 24, dvs_config, Rng(1));
+  ApsConfig aps;
+  const auto recording = simulate_hybrid(dvs, scene, 100000, aps, Rng(2));
+  EXPECT_GT(recording.events.size(), 50);
+  EXPECT_EQ(recording.frames.size(), 4u);  // 100ms / 25ms
+  EXPECT_EQ(recording.frame_times.size(), recording.frames.size());
+  EXPECT_EQ(recording.frame_times.front(), 25000);
+}
+
+TEST(HybridSensor, FramesTrackTheScene) {
+  const auto scene = moving_scene();
+  DvsConfig dvs_config;
+  dvs_config.background_rate_hz = 0.0;
+  DvsSimulator dvs(24, 24, dvs_config, Rng(3));
+  ApsConfig aps;
+  aps.read_noise = 0.0;
+  const auto recording = simulate_hybrid(dvs, scene, 100000, aps, Rng(4));
+  // In the first frame (exposure around 20 ms) the shape is near x = 8;
+  // in the last (around 95 ms) near x = 15.5.
+  const Image& first = recording.frames.front();
+  const Image& last = recording.frames.back();
+  EXPECT_GT(first.at(8, 12), 0.7f);
+  EXPECT_GT(last.at(15, 12), 0.7f);
+  EXPECT_LT(last.at(2, 12), 0.3f);  // shape has left
+}
+
+TEST(HybridSensor, ExposureBlursMotion) {
+  const auto scene = moving_scene();
+  DvsConfig dvs_config;
+  dvs_config.background_rate_hz = 0.0;
+  ApsConfig short_exposure;
+  short_exposure.exposure_us = 1000;
+  short_exposure.exposure_samples = 4;
+  short_exposure.read_noise = 0.0;
+  ApsConfig long_exposure = short_exposure;
+  long_exposure.exposure_us = 24000;
+
+  DvsSimulator dvs_a(24, 24, dvs_config, Rng(5));
+  DvsSimulator dvs_b(24, 24, dvs_config, Rng(5));
+  const auto sharp = simulate_hybrid(dvs_a, scene, 50000, short_exposure,
+                                     Rng(6));
+  const auto blurred = simulate_hybrid(dvs_b, scene, 50000, long_exposure,
+                                       Rng(6));
+  // Count in-between (partially exposed) pixels: more under long exposure.
+  auto intermediate = [](const Image& img) {
+    Index n = 0;
+    for (const float v : img.pixels) n += (v > 0.3f && v < 0.8f) ? 1 : 0;
+    return n;
+  };
+  EXPECT_GT(intermediate(blurred.frames.front()),
+            intermediate(sharp.frames.front()));
+}
+
+TEST(HybridSensor, ReadNoisePerturbsFrames) {
+  const auto scene = moving_scene();
+  DvsConfig dvs_config;
+  DvsSimulator dvs(24, 24, dvs_config, Rng(7));
+  ApsConfig aps;
+  aps.read_noise = 0.05;
+  const auto a = simulate_hybrid(dvs, scene, 30000, aps, Rng(8));
+  DvsSimulator dvs2(24, 24, dvs_config, Rng(7));
+  const auto b = simulate_hybrid(dvs2, scene, 30000, aps, Rng(9));
+  EXPECT_NE(a.frames.front().pixels, b.frames.front().pixels);
+}
+
+TEST(HybridSensor, BadConfigThrows) {
+  const auto scene = moving_scene();
+  DvsSimulator dvs(24, 24, DvsConfig{}, Rng(10));
+  ApsConfig aps;
+  aps.exposure_us = 50000;  // longer than the period
+  EXPECT_THROW(simulate_hybrid(dvs, scene, 100000, aps, Rng(11)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace evd::events

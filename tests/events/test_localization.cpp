@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "events/dataset.hpp"
+#include "nn/softmax.hpp"
+
+namespace evd::events {
+namespace {
+
+ShapeDatasetConfig fast_config() {
+  ShapeDatasetConfig config;
+  config.width = 24;
+  config.height = 24;
+  config.num_classes = 3;
+  config.duration_us = 50000;
+  config.dvs.background_rate_hz = 0.0;
+  return config;
+}
+
+TEST(LocalizationDataset, TruthMatchesEventCentroid) {
+  // The ground-truth centre must sit near the centroid of the emitted
+  // events (the shape is what generates them).
+  const auto config = fast_config();
+  for (Index index : {0, 1, 2, 7}) {
+    const auto sample = make_localization_sample(config, index);
+    ASSERT_GT(sample.stream.size(), 20) << "index " << index;
+    double sx = 0.0, sy = 0.0;
+    for (const auto& e : sample.stream.events) {
+      sx += e.x;
+      sy += e.y;
+    }
+    const double n = static_cast<double>(sample.stream.size());
+    const double dx = sx / n - sample.cx;
+    const double dy = sy / n - sample.cy;
+    // Within roughly one radius (motion smear biases the centroid).
+    EXPECT_LT(std::sqrt(dx * dx + dy * dy), sample.radius + 2.0)
+        << "index " << index;
+  }
+}
+
+TEST(LocalizationDataset, TruthInBounds) {
+  const auto config = fast_config();
+  for (Index index = 0; index < 12; ++index) {
+    const auto sample = make_localization_sample(config, index);
+    EXPECT_GT(sample.cx, 0.0f);
+    EXPECT_LT(sample.cx, 24.0f);
+    EXPECT_GT(sample.cy, 0.0f);
+    EXPECT_LT(sample.cy, 24.0f);
+    EXPECT_GE(sample.radius, static_cast<float>(config.min_radius));
+    EXPECT_LE(sample.radius, static_cast<float>(config.max_radius));
+  }
+}
+
+TEST(LocalizationDataset, DeterministicAndSplitDisjoint) {
+  const auto config = fast_config();
+  const auto a = make_localization_sample(config, 3);
+  const auto b = make_localization_sample(config, 3);
+  EXPECT_EQ(a.stream.events, b.stream.events);
+  EXPECT_EQ(a.cx, b.cx);
+
+  std::vector<LocalizationSample> train, test;
+  make_localization_split(config, 5, 3, train, test);
+  EXPECT_EQ(train.size(), 5u);
+  EXPECT_EQ(test.size(), 3u);
+  EXPECT_NE(train[0].stream.events, test[0].stream.events);
+}
+
+TEST(MseLoss, ValueAndGradient) {
+  nn::Tensor prediction({2});
+  prediction.vec() = {1.0f, 3.0f};
+  nn::Tensor target({2});
+  target.vec() = {0.0f, 1.0f};
+  const auto result = nn::mse_loss(prediction, target);
+  EXPECT_NEAR(result.loss, (1.0 + 4.0) / 2.0, 1e-9);
+  EXPECT_FLOAT_EQ(result.grad[0], 1.0f);   // 2 * 1 / 2
+  EXPECT_FLOAT_EQ(result.grad[1], 2.0f);   // 2 * 2 / 2
+}
+
+TEST(MseLoss, MismatchThrows) {
+  EXPECT_THROW(nn::mse_loss(nn::Tensor({2}), nn::Tensor({3})),
+               std::invalid_argument);
+  EXPECT_THROW(nn::mse_loss(nn::Tensor{}, nn::Tensor{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace evd::events

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "events/dvs_simulator.hpp"
+#include "events/optical_flow.hpp"
+#include "events/scene.hpp"
+
+namespace evd::events {
+namespace {
+
+/// Synthetic edge sweep: an ideal vertical edge moving at `vx` px/s emits
+/// one event per pixel as it crosses, giving a perfectly planar surface.
+EventStream ideal_sweep(double vx_px_per_s, Index size = 24) {
+  EventStream stream;
+  stream.width = size;
+  stream.height = size;
+  for (Index x = 0; x < size; ++x) {
+    const auto t = static_cast<TimeUs>(static_cast<double>(x) /
+                                       vx_px_per_s * 1e6);
+    for (Index y = 0; y < size; ++y) {
+      stream.events.push_back({static_cast<std::int16_t>(x),
+                               static_cast<std::int16_t>(y), Polarity::On,
+                               t});
+    }
+  }
+  sort_by_time(stream.events);
+  return stream;
+}
+
+TEST(PlaneFitFlow, RecoversIdealEdgeVelocity) {
+  const double vx = 200.0;
+  const auto stream = ideal_sweep(vx);
+  FlowConfig config;
+  config.dt_max_us = 100000;
+  const auto flows = estimate_flow(stream, config);
+  ASSERT_GT(flows.size(), 50u);
+  double mean_vx = 0.0, mean_vy = 0.0;
+  for (const auto& f : flows) {
+    mean_vx += f.vx;
+    mean_vy += f.vy;
+  }
+  mean_vx /= static_cast<double>(flows.size());
+  mean_vy /= static_cast<double>(flows.size());
+  EXPECT_NEAR(mean_vx, vx, vx * 0.15);
+  EXPECT_NEAR(mean_vy, 0.0, vx * 0.15);
+}
+
+TEST(PlaneFitFlow, SignFollowsDirection) {
+  // Sweep right-to-left: columns fire in decreasing order.
+  EventStream stream;
+  stream.width = 24;
+  stream.height = 24;
+  const double speed = 150.0;
+  for (Index k = 0; k < 24; ++k) {
+    const Index x = 23 - k;
+    const auto t =
+        static_cast<TimeUs>(static_cast<double>(k) / speed * 1e6);
+    for (Index y = 0; y < 24; ++y) {
+      stream.events.push_back({static_cast<std::int16_t>(x),
+                               static_cast<std::int16_t>(y), Polarity::On,
+                               t});
+    }
+  }
+  const auto flows = estimate_flow(stream, FlowConfig{3, 100000, 6, 1e-6});
+  ASSERT_GT(flows.size(), 20u);
+  double mean_vx = 0.0;
+  for (const auto& f : flows) mean_vx += f.vx;
+  EXPECT_LT(mean_vx / static_cast<double>(flows.size()), -100.0);
+}
+
+TEST(PlaneFitFlow, DiagonalMotion) {
+  // Edge moving diagonally: t proportional to (x + y).
+  EventStream stream;
+  stream.width = 24;
+  stream.height = 24;
+  for (Index x = 0; x < 24; ++x) {
+    for (Index y = 0; y < 24; ++y) {
+      stream.events.push_back(
+          {static_cast<std::int16_t>(x), static_cast<std::int16_t>(y),
+           Polarity::On, static_cast<TimeUs>((x + y) * 5000)});
+    }
+  }
+  sort_by_time(stream.events);
+  const auto flows = estimate_flow(stream, FlowConfig{3, 1000000, 6, 1e-9});
+  ASSERT_GT(flows.size(), 20u);
+  double vx = 0.0, vy = 0.0;
+  for (const auto& f : flows) {
+    vx += f.vx;
+    vy += f.vy;
+  }
+  vx /= static_cast<double>(flows.size());
+  vy /= static_cast<double>(flows.size());
+  // Plane t = 0.005s * (x + y): gradient (a, b) = (.005, .005);
+  // v = g/|g|^2 = (100, 100) px/s.
+  EXPECT_NEAR(vx, 100.0, 25.0);
+  EXPECT_NEAR(vy, 100.0, 25.0);
+  EXPECT_NEAR(vx, vy, 10.0);
+}
+
+TEST(PlaneFitFlow, TooFewPointsIsInvalid) {
+  PlaneFitFlow estimator(16, 16, FlowConfig{});
+  const FlowVector flow = estimator.update({8, 8, Polarity::On, 1000});
+  EXPECT_FALSE(flow.valid);
+}
+
+TEST(PlaneFitFlow, StaleSurfaceIgnored) {
+  PlaneFitFlow estimator(16, 16, FlowConfig{3, 1000, 3, 1e-9});
+  // Old events way beyond dt_max.
+  for (Index x = 5; x < 10; ++x) {
+    estimator.update({static_cast<std::int16_t>(x), 8, Polarity::On,
+                      static_cast<TimeUs>(x)});
+  }
+  const FlowVector flow = estimator.update({8, 8, Polarity::On, 10000000});
+  EXPECT_FALSE(flow.valid);
+}
+
+TEST(PlaneFitFlow, PolaritySurfacesAreIndependent) {
+  PlaneFitFlow estimator(16, 16, FlowConfig{3, 100000, 3, 1e-9});
+  // Build an ON surface...
+  for (Index x = 4; x < 10; ++x) {
+    estimator.update({static_cast<std::int16_t>(x), 8, Polarity::On,
+                      static_cast<TimeUs>(x * 1000)});
+  }
+  // ...an OFF event in the middle sees only its own (empty) surface.
+  const FlowVector flow = estimator.update({7, 8, Polarity::Off, 20000});
+  EXPECT_FALSE(flow.valid);
+}
+
+TEST(PlaneFitFlow, SimulatedBarFlowPointsForward) {
+  // End-to-end with the DVS simulator: a bright bar sweeping right.
+  Scene scene(32, 32, 0.1f);
+  MovingShape bar;
+  bar.kind = ShapeKind::Bar;
+  bar.x0 = 6.0;
+  bar.y0 = 16.0;
+  bar.vx = 160.0;
+  bar.radius = 3.0;
+  bar.luminance = 0.9f;
+  scene.add_shape(bar);
+  DvsConfig config;
+  config.background_rate_hz = 0.0;
+  config.threshold_mismatch = 0.0;
+  DvsSimulator simulator(32, 32, config, Rng(1));
+  const auto stream = simulator.simulate(scene, 100000);
+
+  const auto flows = estimate_flow(stream, FlowConfig{3, 40000, 8, 1e-9});
+  ASSERT_GT(flows.size(), 30u);
+  Index rightward = 0;
+  for (const auto& f : flows) rightward += (f.vx > 0.0f) ? 1 : 0;
+  // The dominant motion direction must be recovered.
+  EXPECT_GT(static_cast<double>(rightward) /
+                static_cast<double>(flows.size()),
+            0.8);
+}
+
+TEST(PlaneFitFlow, ErrorsOnBadInput) {
+  EXPECT_THROW(PlaneFitFlow(0, 16, FlowConfig{}), std::invalid_argument);
+  PlaneFitFlow estimator(16, 16, FlowConfig{});
+  EXPECT_THROW(estimator.update({20, 0, Polarity::On, 0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace evd::events

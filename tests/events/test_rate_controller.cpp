@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "events/rate_controller.hpp"
+#include "test_util.hpp"
+
+namespace evd::events {
+namespace {
+
+std::vector<Event> burst(Index count, TimeUs start, TimeUs spacing = 1) {
+  std::vector<Event> events;
+  for (Index i = 0; i < count; ++i) {
+    events.push_back({static_cast<std::int16_t>(i % 8), 0, Polarity::On,
+                      start + i * spacing});
+  }
+  return events;
+}
+
+TEST(RateController, PassesUnderBudget) {
+  RateControllerConfig config;
+  config.max_rate_eps = 1e6;  // 1000 events per 1ms window
+  config.window_us = 1000;
+  RateController controller(config, Rng(1));
+  const auto events = burst(100, 0, 10);
+  const auto out = controller.process(events);
+  EXPECT_EQ(out.size(), events.size());
+  EXPECT_EQ(controller.stats().saturated_windows, 0);
+}
+
+TEST(RateController, DropPolicyThinsToBudget) {
+  RateControllerConfig config;
+  config.max_rate_eps = 100000;  // 100 events per 1ms window
+  config.window_us = 1000;
+  config.policy = RatePolicy::Drop;
+  RateController controller(config, Rng(2));
+  const auto out = controller.process(burst(1000, 0));
+  EXPECT_NEAR(static_cast<double>(out.size()), 100.0, 40.0);
+  EXPECT_EQ(controller.stats().saturated_windows, 1);
+  EXPECT_EQ(controller.stats().in_events, 1000);
+}
+
+TEST(RateController, DecimateIsDeterministicAndSpansWindow) {
+  RateControllerConfig config;
+  config.max_rate_eps = 100000;
+  config.window_us = 1000;
+  config.policy = RatePolicy::Decimate;
+  RateController a(config, Rng(3)), b(config, Rng(99));
+  const auto events = burst(1000, 0);
+  const auto out_a = a.process(events);
+  const auto out_b = b.process(events);
+  EXPECT_EQ(out_a, out_b);  // no randomness used
+  ASSERT_GE(out_a.size(), 90u);
+  ASSERT_LE(out_a.size(), 110u);
+  // Kept events span the window rather than clustering at the front.
+  EXPECT_GT(out_a.back().t, 900);
+}
+
+TEST(RateController, SuppressKeepsPrefixOnly) {
+  RateControllerConfig config;
+  config.max_rate_eps = 100000;  // budget 100
+  config.window_us = 1000;
+  config.policy = RatePolicy::Suppress;
+  RateController controller(config, Rng(4));
+  const auto out = controller.process(burst(1000, 0));
+  ASSERT_EQ(out.size(), 100u);
+  EXPECT_EQ(out.back().t, 99);  // earliest 100 events kept
+}
+
+TEST(RateController, MultipleWindowsBudgetedIndependently) {
+  RateControllerConfig config;
+  config.max_rate_eps = 100000;
+  config.window_us = 1000;
+  config.policy = RatePolicy::Suppress;
+  RateController controller(config, Rng(5));
+  auto events = burst(500, 0);
+  const auto second = burst(500, 2000);
+  events.insert(events.end(), second.begin(), second.end());
+  const auto out = controller.process(events);
+  EXPECT_EQ(out.size(), 200u);
+  EXPECT_EQ(controller.stats().windows, 2);
+  EXPECT_EQ(controller.stats().saturated_windows, 2);
+}
+
+TEST(RateController, UnsortedThrows) {
+  RateController controller(RateControllerConfig{}, Rng(6));
+  std::vector<Event> events = {{0, 0, Polarity::On, 10},
+                               {0, 0, Polarity::On, 5}};
+  EXPECT_THROW(controller.process(events), std::invalid_argument);
+}
+
+TEST(RateController, ZeroBudgetDropsEverything) {
+  RateControllerConfig config;
+  config.max_rate_eps = 0.0;
+  RateController controller(config, Rng(7));
+  EXPECT_TRUE(controller.process(burst(10, 0)).empty());
+}
+
+TEST(RateController, KeepFractionStat) {
+  RateControllerConfig config;
+  config.max_rate_eps = 100000;
+  config.window_us = 1000;
+  config.policy = RatePolicy::Suppress;
+  RateController controller(config, Rng(8));
+  controller.process(burst(1000, 0));
+  EXPECT_NEAR(controller.stats().keep_fraction(), 0.1, 1e-9);
+}
+
+}  // namespace
+}  // namespace evd::events

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "events/scene.hpp"
+
+namespace evd::events {
+namespace {
+
+TEST(MovingShape, CircleCoverageInsideOutside) {
+  MovingShape shape;
+  shape.kind = ShapeKind::Circle;
+  shape.x0 = 10.0;
+  shape.y0 = 10.0;
+  shape.radius = 4.0;
+  EXPECT_FLOAT_EQ(shape.coverage(10.0, 10.0, 0.0), 1.0f);      // centre
+  EXPECT_FLOAT_EQ(shape.coverage(20.0, 10.0, 0.0), 0.0f);      // far outside
+  const float edge = shape.coverage(14.0, 10.0, 0.0);          // on boundary
+  EXPECT_GT(edge, 0.0f);
+  EXPECT_LT(edge, 1.0f);
+}
+
+TEST(MovingShape, TranslatesLinearly) {
+  MovingShape shape;
+  shape.kind = ShapeKind::Circle;
+  shape.x0 = 5.0;
+  shape.y0 = 5.0;
+  shape.vx = 10.0;  // px/s
+  shape.radius = 2.0;
+  EXPECT_FLOAT_EQ(shape.coverage(5.0, 5.0, 0.0), 1.0f);
+  EXPECT_FLOAT_EQ(shape.coverage(15.0, 5.0, 1.0), 1.0f);
+  EXPECT_FLOAT_EQ(shape.coverage(5.0, 5.0, 1.0), 0.0f);
+}
+
+TEST(MovingShape, SquareRotationMovesCorners) {
+  MovingShape shape;
+  shape.kind = ShapeKind::Square;
+  shape.x0 = 0.0;
+  shape.y0 = 0.0;
+  shape.radius = 4.0;
+  shape.angular_velocity = 3.14159265358979 / 4.0;  // 45 deg after 1 s
+  // Axis-aligned at t=0: the point (4.4, 0) is just outside? No: square
+  // half-width is 4, so (4.4, 0) is outside by 0.4 -> partially covered edge.
+  const float before = shape.coverage(5.2, 0.0, 0.0);
+  // After rotating 45 degrees the corner (diagonal half-width 5.65) points
+  // along +x, so (5.2, 0) becomes interior.
+  const float after = shape.coverage(5.2, 0.0, 1.0);
+  EXPECT_LT(before, 0.5f);
+  EXPECT_GT(after, 0.9f);
+}
+
+TEST(MovingShape, AllKindsCoverCentreExceptRing) {
+  for (int k = 0; k < kShapeKindCount; ++k) {
+    MovingShape shape;
+    shape.kind = static_cast<ShapeKind>(k);
+    shape.x0 = 0.0;
+    shape.y0 = 0.0;
+    shape.radius = 5.0;
+    const float c = shape.coverage(0.0, 0.5, 0.0);
+    if (shape.kind == ShapeKind::Ring) {
+      EXPECT_LT(c, 0.5f) << shape_kind_name(shape.kind);
+    } else {
+      EXPECT_GT(c, 0.9f) << shape_kind_name(shape.kind);
+    }
+  }
+}
+
+TEST(MovingShape, RingCoversAnnulus) {
+  MovingShape shape;
+  shape.kind = ShapeKind::Ring;
+  shape.radius = 5.0;
+  EXPECT_GT(shape.coverage(5.0, 0.0, 0.0), 0.9f);   // on the ring
+  EXPECT_LT(shape.coverage(0.0, 0.0, 0.0), 0.1f);   // hole
+  EXPECT_LT(shape.coverage(10.0, 0.0, 0.0), 0.1f);  // outside
+}
+
+TEST(ShapeKindNames, AllDistinct) {
+  for (int a = 0; a < kShapeKindCount; ++a) {
+    for (int b = a + 1; b < kShapeKindCount; ++b) {
+      EXPECT_STRNE(shape_kind_name(static_cast<ShapeKind>(a)),
+                   shape_kind_name(static_cast<ShapeKind>(b)));
+    }
+  }
+}
+
+TEST(Scene, RendersBackgroundWhenEmpty) {
+  Scene scene(8, 8, 0.3f);
+  const Image img = scene.render(0.0);
+  for (Index y = 0; y < 8; ++y) {
+    for (Index x = 0; x < 8; ++x) {
+      EXPECT_FLOAT_EQ(img.at(x, y), 0.3f);
+    }
+  }
+}
+
+TEST(Scene, ShapeBrighterThanBackground) {
+  Scene scene(16, 16, 0.1f);
+  MovingShape shape;
+  shape.kind = ShapeKind::Square;
+  shape.x0 = 8.0;
+  shape.y0 = 8.0;
+  shape.radius = 3.0;
+  shape.luminance = 0.9f;
+  scene.add_shape(shape);
+  const Image img = scene.render(0.0);
+  EXPECT_NEAR(img.at(8, 8), 0.9f, 1e-5);
+  EXPECT_NEAR(img.at(0, 0), 0.1f, 1e-5);
+}
+
+TEST(Scene, LuminanceClampedToUnitInterval) {
+  Scene scene(4, 4, 0.9f);
+  Rng rng(1);
+  scene.set_texture(0.5, rng);  // background +- 0.5 exceeds 1.0
+  const Image img = scene.render(0.0);
+  for (const float v : img.pixels) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(Scene, EgoMotionShiftsBackgroundTexture) {
+  Scene scene(16, 16, 0.5f);
+  Rng rng(2);
+  scene.set_texture(0.3, rng);
+  scene.set_ego_motion(1.0, 0.0);  // 1 px/s
+  const Image at0 = scene.render(0.0);
+  const Image at1 = scene.render(1.0);  // shifted exactly 1 px
+  // img1(x) == img0(x+1) for interior pixels (integral shift, wrap aside).
+  for (Index y = 0; y < 16; ++y) {
+    for (Index x = 0; x < 15; ++x) {
+      EXPECT_NEAR(at1.at(x, y), at0.at(x + 1, y), 1e-5);
+    }
+  }
+}
+
+TEST(Scene, StaticSceneIsTimeInvariant) {
+  Scene scene(8, 8, 0.2f);
+  MovingShape shape;
+  shape.x0 = 4.0;
+  shape.y0 = 4.0;
+  shape.radius = 2.0;
+  scene.add_shape(shape);  // zero velocity
+  const Image a = scene.render(0.0);
+  const Image b = scene.render(5.0);
+  EXPECT_EQ(a.pixels, b.pixels);
+}
+
+}  // namespace
+}  // namespace evd::events

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "cnn/representation.hpp"
+#include "events/dataset.hpp"
+
+namespace evd::events {
+namespace {
+
+ShapeDatasetConfig fast_config() {
+  ShapeDatasetConfig config;
+  config.width = 24;
+  config.height = 24;
+  config.duration_us = 60000;
+  config.dvs.background_rate_hz = 0.0;
+  return config;
+}
+
+TEST(ShapeVisibilityWindow, ShapeOnlyContributesInside) {
+  MovingShape shape;
+  shape.kind = ShapeKind::Circle;
+  shape.x0 = 10.0;
+  shape.y0 = 10.0;
+  shape.radius = 3.0;
+  shape.t_on = 0.5;
+  shape.t_off = 1.0;
+  EXPECT_EQ(shape.coverage(10.0, 10.0, 0.4), 0.0f);
+  EXPECT_GT(shape.coverage(10.0, 10.0, 0.7), 0.9f);
+  EXPECT_EQ(shape.coverage(10.0, 10.0, 1.0), 0.0f);  // half-open
+}
+
+TEST(RotationDataset, DeterministicAndLabelled) {
+  const auto config = fast_config();
+  const auto a = make_rotation_sample(config, 4);
+  const auto b = make_rotation_sample(config, 4);
+  EXPECT_EQ(a.stream.events, b.stream.events);
+  EXPECT_EQ(a.label, 0);
+  EXPECT_EQ(make_rotation_sample(config, 5).label, 1);
+  EXPECT_GT(a.stream.size(), 50);
+}
+
+TEST(RotationDataset, SplitBalanced) {
+  std::vector<LabelledSample> train, test;
+  make_rotation_split(fast_config(), 3, 2, train, test);
+  EXPECT_EQ(train.size(), 6u);
+  EXPECT_EQ(test.size(), 4u);
+  int ones = 0;
+  for (const auto& s : train) ones += s.label;
+  EXPECT_EQ(ones, 3);
+}
+
+TEST(OrderDataset, AppearanceBurstsInBothHalves) {
+  const auto config = fast_config();
+  const auto sample = make_order_sample(config, 0);
+  ASSERT_GT(sample.stream.size(), 20);
+  const TimeUs half = config.duration_us / 2;
+  Index first_half = 0, second_half = 0;
+  for (const auto& e : sample.stream.events) {
+    (e.t < half ? first_half : second_half)++;
+  }
+  EXPECT_GT(first_half, 10);
+  EXPECT_GT(second_half, 10);
+}
+
+TEST(OrderDataset, ClassesHaveNearIdenticalCountFrames) {
+  // The defining property: integrated frames cannot separate the classes.
+  const auto config = fast_config();
+  // Same index pairing (2k, 2k+1) shares the per-pair geometry RNG draw
+  // only approximately; compare class-averaged frames instead.
+  cnn::FrameOptions options;
+  nn::Tensor mean0({2, 24, 24}), mean1({2, 24, 24});
+  const Index per_class = 8;
+  for (Index i = 0; i < 2 * per_class; ++i) {
+    const auto sample = make_order_sample(config, i);
+    const auto frame = cnn::build_frame(
+        sample.stream.events, 24, 24, 0,
+        static_cast<TimeUs>(config.duration_us), options);
+    (sample.label == 0 ? mean0 : mean1) += frame;
+  }
+  mean0 *= 1.0f / static_cast<float>(per_class);
+  mean1 *= 1.0f / static_cast<float>(per_class);
+  double diff = 0.0, magnitude = 0.0;
+  for (Index i = 0; i < mean0.numel(); ++i) {
+    diff += std::abs(mean0[i] - mean1[i]);
+    magnitude += std::abs(mean0[i]) + std::abs(mean1[i]);
+  }
+  // Class-mean frames differ by well under 20% of their mass (residual is
+  // per-sample geometry jitter, not class signal).
+  EXPECT_LT(diff / magnitude, 0.2);
+}
+
+TEST(OrderDataset, OrderIsTheOnlyDifference) {
+  const auto config = fast_config();
+  const auto left_first = make_order_sample(config, 0);   // label 0
+  const auto right_first = make_order_sample(config, 1);  // label 1
+  const TimeUs half = config.duration_us / 2;
+  auto centroid_x = [&](const LabelledSample& s, bool early) {
+    double sum = 0.0;
+    Index n = 0;
+    for (const auto& e : s.stream.events) {
+      if ((e.t < half) == early) {
+        sum += e.x;
+        ++n;
+      }
+    }
+    return n > 0 ? sum / static_cast<double>(n) : 0.0;
+  };
+  // Label 0: early activity on the left; label 1: early on the right.
+  EXPECT_LT(centroid_x(left_first, true), 12.0);
+  EXPECT_GT(centroid_x(right_first, true), 12.0);
+  EXPECT_GT(centroid_x(left_first, false), 12.0);
+  EXPECT_LT(centroid_x(right_first, false), 12.0);
+}
+
+}  // namespace
+}  // namespace evd::events

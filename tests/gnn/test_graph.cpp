@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include "gnn/graph.hpp"
+
+namespace evd::gnn {
+namespace {
+
+EventGraph triangle_graph() {
+  EventGraph graph;
+  graph.add_node({{0, 0, 0}, 1, 0}, {});
+  graph.add_node({{1, 0, 0}, -1, 10}, {0});
+  graph.add_node({{0, 1, 0}, 1, 20}, {0, 1});
+  return graph;
+}
+
+TEST(EventGraph, CountsAndDegrees) {
+  const auto graph = triangle_graph();
+  EXPECT_EQ(graph.node_count(), 3);
+  EXPECT_EQ(graph.edge_count(), 3);
+  EXPECT_NEAR(graph.mean_degree(), 1.0, 1e-9);
+}
+
+TEST(EventGraph, NeighborsAreCsrRows) {
+  const auto graph = triangle_graph();
+  EXPECT_TRUE(graph.neighbors(0).empty());
+  ASSERT_EQ(graph.neighbors(1).size(), 1u);
+  EXPECT_EQ(graph.neighbors(1)[0], 0);
+  ASSERT_EQ(graph.neighbors(2).size(), 2u);
+  EXPECT_EQ(graph.neighbors(2)[1], 1);
+}
+
+TEST(EventGraph, InputFeaturesEncodePolarity) {
+  const auto graph = triangle_graph();
+  const auto features = graph.input_features();
+  ASSERT_EQ(features.size(), 6u);
+  EXPECT_FLOAT_EQ(features[0], 1.0f);  // node 0: ON
+  EXPECT_FLOAT_EQ(features[1], 0.0f);
+  EXPECT_FLOAT_EQ(features[2], 0.0f);  // node 1: OFF
+  EXPECT_FLOAT_EQ(features[3], 1.0f);
+}
+
+TEST(EventGraph, StorageBytesGrowWithContent) {
+  EventGraph empty;
+  const auto graph = triangle_graph();
+  EXPECT_GT(graph.storage_bytes(), empty.storage_bytes());
+}
+
+TEST(EventGraph, EmptyGraphSafeAccessors) {
+  EventGraph graph;
+  EXPECT_EQ(graph.node_count(), 0);
+  EXPECT_EQ(graph.edge_count(), 0);
+  EXPECT_EQ(graph.mean_degree(), 0.0);
+  EXPECT_TRUE(graph.input_features().empty());
+}
+
+}  // namespace
+}  // namespace evd::gnn

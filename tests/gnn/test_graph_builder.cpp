@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "gnn/graph_builder.hpp"
+#include "test_util.hpp"
+
+namespace evd::gnn {
+namespace {
+
+TEST(Embed, ScalesTimeAxis) {
+  const events::Event e{3, 4, Polarity::On, 20000};
+  const Point3 p = embed(e, 1e-4);
+  EXPECT_FLOAT_EQ(p.x, 3.0f);
+  EXPECT_FLOAT_EQ(p.y, 4.0f);
+  EXPECT_FLOAT_EQ(p.z, 2.0f);
+}
+
+TEST(SubsampleEvents, KeepsAllWhenUnderLimit) {
+  const auto stream = test::make_stream(8, 8, 100);
+  const auto kept = subsample_events(stream.events, 200);
+  EXPECT_EQ(kept.size(), 100u);
+}
+
+TEST(SubsampleEvents, UniformStrideWhenOverLimit) {
+  const auto stream = test::make_stream(8, 8, 1000);
+  const auto kept = subsample_events(stream.events, 100);
+  EXPECT_EQ(kept.size(), 100u);
+  EXPECT_TRUE(events::is_time_sorted(kept));
+  // Last kept event should be near the end of the stream.
+  EXPECT_GT(kept.back().t, stream.events[900].t);
+}
+
+TEST(BuildGraph, EdgesAreCausalAndWithinRadius) {
+  const auto stream = test::make_stream(16, 16, 300, 5);
+  GraphBuildConfig config;
+  config.radius = 4.0f;
+  config.max_neighbors = 6;
+  config.max_nodes = 300;
+  const EventGraph graph = build_graph(stream, config);
+  ASSERT_EQ(graph.node_count(), 300);
+  for (Index i = 0; i < graph.node_count(); ++i) {
+    const auto& pi = graph.node(i).position;
+    for (const Index j : graph.neighbors(i)) {
+      EXPECT_LT(j, i);  // directed to earlier events
+      EXPECT_LE(squared_distance(graph.node(j).position, pi),
+                config.radius * config.radius + 1e-4f);
+    }
+    EXPECT_LE(static_cast<Index>(graph.neighbors(i).size()),
+              config.max_neighbors);
+  }
+}
+
+TEST(BuildGraph, NeighborsSortedByDistance) {
+  const auto stream = test::make_stream(16, 16, 200, 6);
+  GraphBuildConfig config;
+  config.radius = 6.0f;
+  const EventGraph graph = build_graph(stream, config);
+  for (Index i = 0; i < graph.node_count(); ++i) {
+    const auto& pi = graph.node(i).position;
+    float previous = -1.0f;
+    for (const Index j : graph.neighbors(i)) {
+      const float d = squared_distance(graph.node(j).position, pi);
+      EXPECT_GE(d, previous);
+      previous = d;
+    }
+  }
+}
+
+TEST(BuildGraph, LargerRadiusMoreEdges) {
+  const auto stream = test::make_stream(16, 16, 300, 7);
+  GraphBuildConfig small_config;
+  small_config.radius = 2.0f;
+  GraphBuildConfig large_config;
+  large_config.radius = 6.0f;
+  const auto small = build_graph(stream, small_config);
+  const auto large = build_graph(stream, large_config);
+  EXPECT_GT(large.edge_count(), small.edge_count());
+}
+
+TEST(BuildGraph, RespectsMaxNodes) {
+  const auto stream = test::make_stream(16, 16, 5000, 8);
+  GraphBuildConfig config;
+  config.max_nodes = 128;
+  const auto graph = build_graph(stream, config);
+  EXPECT_EQ(graph.node_count(), 128);
+}
+
+TEST(BuildGraph, EmptyStream) {
+  events::EventStream empty;
+  empty.width = 8;
+  empty.height = 8;
+  const auto graph = build_graph(empty, GraphBuildConfig{});
+  EXPECT_EQ(graph.node_count(), 0);
+}
+
+}  // namespace
+}  // namespace evd::gnn

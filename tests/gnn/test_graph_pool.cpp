@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "gnn/graph_pool.hpp"
+#include "gnn/graph_builder.hpp"
+#include "test_util.hpp"
+
+namespace evd::gnn {
+namespace {
+
+TEST(VoxelCoarsen, MergesCoLocatedNodes) {
+  EventGraph graph;
+  graph.add_node({{0.1f, 0.1f, 0.0f}, 1, 0}, {});
+  graph.add_node({{0.3f, 0.2f, 0.1f}, 1, 10}, {0});
+  graph.add_node({{5.0f, 5.0f, 0.0f}, -1, 20}, {1});
+  VoxelPoolConfig config;
+  config.cell_xy = 2.0f;
+  config.cell_z = 2.0f;
+  const EventGraph coarse = voxel_coarsen(graph, config);
+  EXPECT_EQ(coarse.node_count(), 2);
+  // First coarse node is the centroid of the two merged originals.
+  EXPECT_NEAR(coarse.node(0).position.x, 0.2f, 1e-5f);
+  // Edge between the two voxels survives (self-loop dropped).
+  EXPECT_EQ(coarse.edge_count(), 1);
+}
+
+TEST(VoxelCoarsen, MajorityPolarity) {
+  EventGraph graph;
+  graph.add_node({{0, 0, 0}, 1, 0}, {});
+  graph.add_node({{0.1f, 0, 0}, -1, 1}, {});
+  graph.add_node({{0.2f, 0, 0}, -1, 2}, {});
+  const EventGraph coarse = voxel_coarsen(graph, VoxelPoolConfig{});
+  ASSERT_EQ(coarse.node_count(), 1);
+  EXPECT_EQ(coarse.node(0).polarity_sign, -1);
+}
+
+TEST(VoxelCoarsen, FineCellsPreserveGraph) {
+  const auto stream = test::make_stream(16, 16, 100, 1);
+  const EventGraph graph = build_graph(stream, GraphBuildConfig{});
+  VoxelPoolConfig config;
+  config.cell_xy = 0.01f;  // every node its own voxel
+  config.cell_z = 0.01f;
+  const EventGraph coarse = voxel_coarsen(graph, config);
+  EXPECT_EQ(coarse.node_count(), graph.node_count());
+}
+
+TEST(VoxelCoarsen, CoarseningReducesNodesMonotonically) {
+  const auto stream = test::make_stream(16, 16, 400, 2);
+  const EventGraph graph = build_graph(stream, GraphBuildConfig{});
+  VoxelPoolConfig fine;
+  fine.cell_xy = 1.0f;
+  VoxelPoolConfig coarse;
+  coarse.cell_xy = 4.0f;
+  const auto g_fine = voxel_coarsen(graph, fine);
+  const auto g_coarse = voxel_coarsen(graph, coarse);
+  EXPECT_LE(g_coarse.node_count(), g_fine.node_count());
+  EXPECT_LE(g_fine.node_count(), graph.node_count());
+  EXPECT_GT(g_coarse.node_count(), 0);
+}
+
+TEST(VoxelCoarsen, InvalidCellThrows) {
+  EventGraph graph;
+  EXPECT_THROW(voxel_coarsen(graph, VoxelPoolConfig{0.0f, 1.0f}),
+               std::invalid_argument);
+}
+
+TEST(VoxelCoarsen, TimestampIsEarliest) {
+  EventGraph graph;
+  graph.add_node({{0, 0, 0}, 1, 500}, {});
+  graph.add_node({{0.1f, 0, 0}, 1, 100}, {});
+  const EventGraph coarse = voxel_coarsen(graph, VoxelPoolConfig{});
+  ASSERT_EQ(coarse.node_count(), 1);
+  EXPECT_EQ(coarse.node(0).t, 100);
+}
+
+}  // namespace
+}  // namespace evd::gnn

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gnn/graph_builder.hpp"
+#include "gnn/incremental.hpp"
+#include "test_util.hpp"
+
+namespace evd::gnn {
+namespace {
+
+TEST(IncrementalBuilder, MatchesBatchBuilderWithAmpleCapacity) {
+  const auto stream = test::make_stream(24, 24, 400, 1);
+  GraphBuildConfig batch_config;
+  batch_config.radius = 3.0f;
+  batch_config.max_neighbors = 8;
+  batch_config.max_nodes = 400;
+  IncrementalConfig inc_config;
+  inc_config.radius = 3.0f;
+  inc_config.max_neighbors = 8;
+  inc_config.cell_capacity = 256;  // never evicts within this test
+
+  const EventGraph batch = build_graph(stream, batch_config);
+  const EventGraph incremental =
+      build_graph_incremental(stream, inc_config, 400);
+
+  ASSERT_EQ(batch.node_count(), incremental.node_count());
+  for (Index i = 0; i < batch.node_count(); ++i) {
+    std::vector<Index> a(batch.neighbors(i).begin(),
+                         batch.neighbors(i).end());
+    std::vector<Index> b(incremental.neighbors(i).begin(),
+                         incremental.neighbors(i).end());
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b) << "node " << i;
+  }
+}
+
+TEST(IncrementalBuilder, InsertReturnsSortedNearestNeighbors) {
+  IncrementalConfig config;
+  config.radius = 5.0f;
+  config.max_neighbors = 2;
+  IncrementalGraphBuilder builder(16, 16, config);
+  builder.insert({5, 5, Polarity::On, 0});
+  builder.insert({6, 5, Polarity::On, 10});
+  builder.insert({8, 5, Polarity::On, 20});
+  const auto result = builder.insert({5, 6, Polarity::On, 30});
+  // Nearest two of the three earlier nodes: (5,5) then (6,5).
+  ASSERT_EQ(result.neighbors.size(), 2u);
+  EXPECT_EQ(result.neighbors[0], 0);
+  EXPECT_EQ(result.neighbors[1], 1);
+}
+
+TEST(IncrementalBuilder, TimeHorizonExcludesStaleNodes) {
+  IncrementalConfig config;
+  config.radius = 3.0f;
+  config.time_scale = 1e-4;  // horizon = 30 ms
+  IncrementalGraphBuilder builder(16, 16, config);
+  builder.insert({5, 5, Polarity::On, 0});
+  const auto result = builder.insert({5, 5, Polarity::On, 500000});  // 0.5 s
+  EXPECT_TRUE(result.neighbors.empty());
+}
+
+TEST(IncrementalBuilder, RingBufferEvictsOldest) {
+  IncrementalConfig config;
+  config.radius = 4.0f;
+  config.cell_capacity = 2;
+  config.max_neighbors = 8;
+  IncrementalGraphBuilder builder(8, 8, config);
+  builder.insert({1, 1, Polarity::On, 0});   // id 0, evicted later
+  builder.insert({1, 1, Polarity::On, 10});  // id 1
+  builder.insert({1, 1, Polarity::On, 20});  // id 2 -> cell holds {1, 2}
+  const auto result = builder.insert({1, 1, Polarity::On, 30});
+  ASSERT_EQ(result.neighbors.size(), 2u);
+  EXPECT_TRUE(std::find(result.neighbors.begin(), result.neighbors.end(), 0) ==
+              result.neighbors.end());
+}
+
+TEST(IncrementalBuilder, CandidateScanIsBounded) {
+  IncrementalConfig config;
+  config.cell_capacity = 16;
+  IncrementalGraphBuilder builder(64, 64, config);
+  const auto stream = test::make_stream(64, 64, 2000, 2);
+  Index max_scanned = 0;
+  for (const auto& e : stream.events) {
+    max_scanned = std::max(max_scanned, builder.insert(e).candidates_scanned);
+  }
+  // 3x3 cells x 16 slots = 144 worst case, regardless of node count.
+  EXPECT_LE(max_scanned, 144);
+  EXPECT_EQ(builder.node_count(), 2000);
+}
+
+TEST(IncrementalBuilder, ClearResets) {
+  IncrementalGraphBuilder builder(8, 8, IncrementalConfig{});
+  builder.insert({1, 1, Polarity::On, 0});
+  builder.clear();
+  EXPECT_EQ(builder.node_count(), 0);
+  const auto result = builder.insert({1, 1, Polarity::On, 10});
+  EXPECT_TRUE(result.neighbors.empty());
+}
+
+TEST(IncrementalBuilder, StateBytesTracked) {
+  IncrementalGraphBuilder builder(32, 32, IncrementalConfig{});
+  const Index before = builder.state_bytes();
+  for (int i = 0; i < 100; ++i) {
+    builder.insert({5, 5, Polarity::On, static_cast<TimeUs>(i)});
+  }
+  EXPECT_GT(builder.state_bytes(), before);
+}
+
+TEST(IncrementalBuilder, BadGeometryThrows) {
+  EXPECT_THROW(IncrementalGraphBuilder(0, 8, IncrementalConfig{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace evd::gnn

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "gnn/kdtree.hpp"
+
+namespace evd::gnn {
+namespace {
+
+std::vector<Point3> random_points(Index n, std::uint64_t seed,
+                                  float extent = 100.0f) {
+  Rng rng(seed);
+  std::vector<Point3> points;
+  points.reserve(static_cast<size_t>(n));
+  for (Index i = 0; i < n; ++i) {
+    points.push_back({static_cast<float>(rng.uniform(0.0, extent)),
+                      static_cast<float>(rng.uniform(0.0, extent)),
+                      static_cast<float>(rng.uniform(0.0, extent))});
+  }
+  return points;
+}
+
+std::vector<Index> brute_radius(const std::vector<Point3>& points,
+                                const Point3& query, float radius) {
+  std::vector<Index> out;
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (squared_distance(points[i], query) <= radius * radius) {
+      out.push_back(static_cast<Index>(i));
+    }
+  }
+  return out;
+}
+
+TEST(KdTree, EmptyTreeReturnsNothing) {
+  KdTree tree;
+  EXPECT_TRUE(tree.radius_query({0, 0, 0}, 10.0f).empty());
+  EXPECT_TRUE(tree.knn_query({0, 0, 0}, 5).empty());
+}
+
+TEST(KdTree, SinglePoint) {
+  KdTree tree({{1.0f, 2.0f, 3.0f}});
+  EXPECT_EQ(tree.radius_query({1, 2, 3}, 0.1f).size(), 1u);
+  EXPECT_TRUE(tree.radius_query({10, 10, 10}, 1.0f).empty());
+  EXPECT_EQ(tree.knn_query({0, 0, 0}, 3).size(), 1u);
+}
+
+class KdTreeProperty : public ::testing::TestWithParam<Index> {};
+
+TEST_P(KdTreeProperty, RadiusQueryMatchesBruteForce) {
+  const auto points = random_points(GetParam(), 42);
+  const KdTree tree(points);
+  Rng rng(7);
+  for (int q = 0; q < 20; ++q) {
+    const Point3 query{static_cast<float>(rng.uniform(0.0, 100.0)),
+                       static_cast<float>(rng.uniform(0.0, 100.0)),
+                       static_cast<float>(rng.uniform(0.0, 100.0))};
+    const float radius = static_cast<float>(rng.uniform(1.0, 30.0));
+    auto expected = brute_radius(points, query, radius);
+    auto actual = tree.radius_query(query, radius);
+    std::sort(expected.begin(), expected.end());
+    std::sort(actual.begin(), actual.end());
+    EXPECT_EQ(actual, expected);
+  }
+}
+
+TEST_P(KdTreeProperty, KnnMatchesBruteForce) {
+  const auto points = random_points(GetParam(), 43);
+  const KdTree tree(points);
+  Rng rng(8);
+  for (int q = 0; q < 10; ++q) {
+    const Point3 query{static_cast<float>(rng.uniform(0.0, 100.0)),
+                       static_cast<float>(rng.uniform(0.0, 100.0)),
+                       static_cast<float>(rng.uniform(0.0, 100.0))};
+    const Index k = 1 + static_cast<Index>(rng.uniform_int(8));
+    const auto actual = tree.knn_query(query, k);
+
+    std::vector<std::pair<float, Index>> ranked;
+    for (size_t i = 0; i < points.size(); ++i) {
+      ranked.emplace_back(squared_distance(points[i], query),
+                          static_cast<Index>(i));
+    }
+    std::sort(ranked.begin(), ranked.end());
+    const auto expected_count =
+        std::min<size_t>(static_cast<size_t>(k), points.size());
+    ASSERT_EQ(actual.size(), expected_count);
+    for (size_t i = 0; i < expected_count; ++i) {
+      // Compare by distance (ties may reorder indices).
+      EXPECT_FLOAT_EQ(
+          squared_distance(points[static_cast<size_t>(actual[i])], query),
+          ranked[i].first);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, KdTreeProperty,
+                         ::testing::Values(2, 17, 100, 1000));
+
+TEST(KdTree, SearchVisitsFractionOfNodes) {
+  const auto points = random_points(5000, 44);
+  const KdTree tree(points);
+  tree.radius_query({50, 50, 50}, 5.0f);
+  // A balanced spatial search must prune most of the tree.
+  EXPECT_LT(tree.last_visited(), 1500);
+}
+
+TEST(KdTree, DuplicatePointsAllFound) {
+  std::vector<Point3> points(5, Point3{1.0f, 1.0f, 1.0f});
+  const KdTree tree(points);
+  EXPECT_EQ(tree.radius_query({1, 1, 1}, 0.5f).size(), 5u);
+}
+
+}  // namespace
+}  // namespace evd::gnn

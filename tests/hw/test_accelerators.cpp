@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "hw/gnn_accel.hpp"
+#include "hw/snn_core.hpp"
+#include "hw/systolic.hpp"
+#include "hw/zero_skip.hpp"
+
+namespace evd::hw {
+namespace {
+
+nn::OpCounter cnn_like_workload(double activation_sparsity) {
+  nn::OpCounter counter;
+  counter.mults = 1000000;
+  counter.adds = 1000000;
+  counter.zero_skippable_mults =
+      static_cast<std::int64_t>(1000000 * activation_sparsity);
+  counter.param_bytes_read = 400000;
+  counter.act_bytes_read = 200000;
+  counter.act_bytes_written = 100000;
+  return counter;
+}
+
+TEST(Systolic, ExecutesEverythingRegardlessOfSparsity) {
+  const auto dense = run_systolic(cnn_like_workload(0.0), SystolicConfig{});
+  const auto sparse = run_systolic(cnn_like_workload(0.9), SystolicConfig{});
+  EXPECT_EQ(dense.effective_macs, sparse.effective_macs);
+  EXPECT_NEAR(dense.latency_us, sparse.latency_us, 1e-9);
+  EXPECT_EQ(sparse.skipped_macs, 0);
+}
+
+TEST(Systolic, LatencyFormula) {
+  SystolicConfig config;
+  config.rows = 10;
+  config.cols = 10;
+  config.utilization = 1.0;
+  config.frequency_mhz = 100.0;
+  nn::OpCounter counter;
+  counter.mults = counter.adds = 1000000;
+  const auto report = run_systolic(counter, config);
+  // 1e6 MACs / 100 PEs = 1e4 cycles / 100 MHz = 100 us.
+  EXPECT_NEAR(report.latency_us, 100.0, 1e-6);
+}
+
+TEST(Systolic, ReuseReducesMemoryEnergy) {
+  SystolicConfig high_reuse;
+  high_reuse.reuse_factor = 32.0;
+  SystolicConfig low_reuse;
+  low_reuse.reuse_factor = 1.0;
+  const auto workload = cnn_like_workload(0.5);
+  EXPECT_LT(run_systolic(workload, high_reuse).energy.param_memory_pj,
+            run_systolic(workload, low_reuse).energy.param_memory_pj);
+}
+
+TEST(Systolic, BadConfigThrows) {
+  SystolicConfig config;
+  config.rows = 0;
+  EXPECT_THROW(run_systolic(nn::OpCounter{}, config), std::invalid_argument);
+}
+
+TEST(ZeroSkip, SkipsExactlyTheSkippableMacs) {
+  const auto report = run_zero_skip(cnn_like_workload(0.6), ZeroSkipConfig{});
+  EXPECT_EQ(report.skipped_macs, 600000);
+  EXPECT_EQ(report.effective_macs, 400000);
+}
+
+TEST(ZeroSkip, SparserIsFasterAndCheaper) {
+  const auto dense = run_zero_skip(cnn_like_workload(0.0), ZeroSkipConfig{});
+  const auto sparse = run_zero_skip(cnn_like_workload(0.8), ZeroSkipConfig{});
+  EXPECT_LT(sparse.latency_us, dense.latency_us);
+  EXPECT_LT(sparse.energy.total_pj(), dense.energy.total_pj());
+}
+
+TEST(ZeroSkip, BeatsSystolicOnSparseLosesDense) {
+  // The §III-B trade-off: zero-skipping wins when feature maps are sparse;
+  // on dense workloads its irregular-access penalty makes it no better.
+  SystolicConfig systolic_config;
+  ZeroSkipConfig zero_skip_config;
+  zero_skip_config.lanes =
+      static_cast<Index>(systolic_config.rows * systolic_config.cols);
+  const auto sparse_workload = cnn_like_workload(0.9);
+  const auto dense_workload = cnn_like_workload(0.0);
+  EXPECT_LT(run_zero_skip(sparse_workload, zero_skip_config).energy.total_pj(),
+            run_systolic(sparse_workload, systolic_config).energy.total_pj());
+  EXPECT_GE(run_zero_skip(dense_workload, zero_skip_config).energy.act_memory_pj,
+            run_systolic(dense_workload, systolic_config).energy.act_memory_pj);
+}
+
+TEST(ZeroSkip, CompressedBytesFormula) {
+  EXPECT_NEAR(compressed_bytes(1000, 0.9, 1.0, 0.1), 110.0, 1e-6);
+  EXPECT_NEAR(compressed_bytes(1000, 0.0, 4.0, 0.0), 4000.0, 1e-6);
+}
+
+TEST(SnnCore, MemoryDominatesEnergy) {
+  // A spiking workload: cheap adds, no multiplies to speak of, but every
+  // operation drags SRAM traffic -> memory fraction >= 90% ([42]'s 99%).
+  nn::OpCounter counter;
+  counter.adds = 100000;            // synaptic events
+  counter.mults = 2000;             // leak updates
+  counter.comparisons = 2000;
+  counter.param_bytes_read = 400000;  // weight fetch per synaptic event
+  counter.state_bytes_rw = 16000;
+  const auto report = run_snn_core(counter, SnnCoreConfig{});
+  EXPECT_GT(report.energy.memory_fraction(), 0.9);
+}
+
+TEST(SnnCore, AnalogDropsParameterTraffic) {
+  nn::OpCounter counter;
+  counter.adds = 1000;
+  counter.param_bytes_read = 4000;
+  counter.state_bytes_rw = 800;
+  SnnCoreConfig analog;
+  analog.analog = true;
+  const auto digital_report = run_snn_core(counter, SnnCoreConfig{});
+  const auto analog_report = run_snn_core(counter, analog);
+  EXPECT_EQ(analog_report.energy.param_memory_pj, 0.0);
+  EXPECT_LT(analog_report.energy.total_pj(),
+            digital_report.energy.total_pj() / 5.0);
+}
+
+TEST(SnnCore, ExecutionCostOverloadConsistent) {
+  snn::ExecutionCost cost;
+  cost.neuron_updates = 100;
+  cost.memory_accesses = 500;
+  cost.mults = 100;
+  cost.adds = 300;
+  const auto report = run_snn_core(cost, SnnCoreConfig{});
+  EXPECT_GT(report.energy.total_pj(), 0.0);
+  EXPECT_EQ(report.synaptic_events, 300);
+}
+
+TEST(GnnAccel, EnergyScalesWithWork) {
+  GnnAccelConfig config;
+  const auto small = run_gnn_accel(1000, 256, 64, 20, config);
+  const auto large = run_gnn_accel(10000, 2560, 640, 200, config);
+  EXPECT_GT(large.energy_per_event.total_pj(),
+            small.energy_per_event.total_pj());
+  EXPECT_GT(large.latency_us_per_event, small.latency_us_per_event);
+}
+
+TEST(GnnAccel, CacheHitsReduceGatherEnergy) {
+  GnnAccelConfig cold;
+  cold.cache_hit_rate = 0.0;
+  GnnAccelConfig warm;
+  warm.cache_hit_rate = 0.95;
+  const auto cold_report = run_gnn_accel(1000, 4096, 64, 20, cold);
+  const auto warm_report = run_gnn_accel(1000, 4096, 64, 20, warm);
+  EXPECT_LT(warm_report.energy_per_event.act_memory_pj,
+            cold_report.energy_per_event.act_memory_pj);
+}
+
+TEST(GnnAccel, BadConfigThrows) {
+  GnnAccelConfig config;
+  config.mac_lanes = 0;
+  EXPECT_THROW(run_gnn_accel(1, 1, 1, 1, config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace evd::hw

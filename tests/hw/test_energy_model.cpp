@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "hw/energy_model.hpp"
+#include "hw/report.hpp"
+
+namespace evd::hw {
+namespace {
+
+TEST(EnergyTable, AddIsRoughlyFourTimesCheaperThanMultiply) {
+  // The paper's ref [40] claim: additions cost ~4x less than multiplies.
+  const auto fp32 = EnergyTable::digital_45nm_fp32();
+  EXPECT_NEAR(fp32.mult_pj / fp32.add_pj, 4.0, 0.3);
+}
+
+TEST(EnergyTable, Int8CheaperThanFp32) {
+  const auto fp32 = EnergyTable::digital_45nm_fp32();
+  const auto int8 = EnergyTable::digital_45nm_int8();
+  EXPECT_LT(int8.add_pj, fp32.add_pj);
+  EXPECT_LT(int8.mult_pj, fp32.mult_pj);
+}
+
+TEST(EnergyTable, AnalogOrderOfMagnitudeCheaper) {
+  // §V: analogue spiking processors consume ~an order of magnitude less.
+  const auto digital = EnergyTable::digital_45nm_fp32();
+  const auto analog = EnergyTable::analog_neuromorphic();
+  EXPECT_NEAR(digital.add_pj / analog.add_pj, 10.0, 1.0);
+  EXPECT_NEAR(digital.sram_pj_per_byte / analog.sram_pj_per_byte, 10.0, 1.0);
+}
+
+TEST(EnergyTable, DramFarExceedsSram) {
+  const auto table = EnergyTable::digital_45nm_fp32();
+  EXPECT_GT(table.dram_pj_per_byte / table.sram_pj_per_byte, 50.0);
+}
+
+TEST(EnergyOf, RollsUpAllComponents) {
+  nn::OpCounter counter;
+  counter.adds = 1000;
+  counter.mults = 500;
+  counter.comparisons = 100;
+  counter.param_bytes_read = 4000;
+  counter.act_bytes_read = 2000;
+  counter.act_bytes_written = 1000;
+  counter.state_bytes_rw = 800;
+  const auto table = EnergyTable::digital_45nm_fp32();
+  const auto breakdown = energy_of(counter, table);
+  EXPECT_NEAR(breakdown.compute_pj,
+              1000 * table.add_pj + 500 * table.mult_pj +
+                  100 * table.compare_pj,
+              1e-9);
+  EXPECT_NEAR(breakdown.param_memory_pj, 4000 * table.sram_pj_per_byte, 1e-9);
+  EXPECT_NEAR(breakdown.act_memory_pj, 3000 * table.sram_pj_per_byte, 1e-9);
+  EXPECT_NEAR(breakdown.state_memory_pj, 800 * table.sram_pj_per_byte, 1e-9);
+  EXPECT_NEAR(breakdown.total_pj(),
+              breakdown.compute_pj + breakdown.memory_pj(), 1e-9);
+}
+
+TEST(EnergyBreakdown, MemoryFractionAndAccumulate) {
+  EnergyBreakdown a;
+  a.compute_pj = 10.0;
+  a.act_memory_pj = 90.0;
+  EXPECT_NEAR(a.memory_fraction(), 0.9, 1e-9);
+  EnergyBreakdown b;
+  b.compute_pj = 5.0;
+  a += b;
+  EXPECT_NEAR(a.compute_pj, 15.0, 1e-9);
+  EnergyBreakdown zero;
+  EXPECT_EQ(zero.memory_fraction(), 0.0);
+}
+
+TEST(PowerMw, UnitConversion) {
+  // 1 uJ every 1 ms -> 1 mW. 1 uJ = 1e6 pJ; 1 ms = 1000 us.
+  EXPECT_NEAR(power_mw(1e6, 1000.0), 1.0, 1e-9);
+  EXPECT_EQ(power_mw(100.0, 0.0), 0.0);
+}
+
+TEST(Report, SummaryAndDetailedRender) {
+  EnergyBreakdown b;
+  b.compute_pj = 1.5e6;
+  b.param_memory_pj = 3e6;
+  const std::string s = summary(b);
+  EXPECT_NE(s.find("total"), std::string::npos);
+  const std::string d = detailed(b);
+  EXPECT_NE(d.find("compute"), std::string::npos);
+  EXPECT_NE(d.find("params"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace evd::hw

@@ -1,0 +1,81 @@
+// Parameterised property sweeps over the hardware models.
+#include <gtest/gtest.h>
+
+#include "hw/snn_core.hpp"
+#include "hw/systolic.hpp"
+#include "hw/zero_skip.hpp"
+
+namespace evd::hw {
+namespace {
+
+nn::OpCounter workload_with_sparsity(double sparsity) {
+  nn::OpCounter counter;
+  counter.mults = counter.adds = 500000;
+  counter.zero_skippable_mults =
+      static_cast<std::int64_t>(500000 * sparsity);
+  counter.param_bytes_read = 200000;
+  counter.act_bytes_read = 100000;
+  counter.act_bytes_written = 50000;
+  return counter;
+}
+
+class SparsitySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SparsitySweep, ZeroSkipEnergyMonotoneInSparsity) {
+  const double sparsity = GetParam();
+  const auto report =
+      run_zero_skip(workload_with_sparsity(sparsity), ZeroSkipConfig{});
+  const auto denser =
+      run_zero_skip(workload_with_sparsity(sparsity * 0.5), ZeroSkipConfig{});
+  EXPECT_LE(report.energy.total_pj(), denser.energy.total_pj());
+  EXPECT_LE(report.latency_us, denser.latency_us);
+  EXPECT_EQ(report.skipped_macs,
+            static_cast<std::int64_t>(500000 * sparsity));
+}
+
+TEST_P(SparsitySweep, SystolicIndifferentToSparsity) {
+  const double sparsity = GetParam();
+  const auto sparse =
+      run_systolic(workload_with_sparsity(sparsity), SystolicConfig{});
+  const auto dense =
+      run_systolic(workload_with_sparsity(0.0), SystolicConfig{});
+  EXPECT_DOUBLE_EQ(sparse.energy.compute_pj, dense.energy.compute_pj);
+  EXPECT_DOUBLE_EQ(sparse.latency_us, dense.latency_us);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sparsities, SparsitySweep,
+                         ::testing::Values(0.2, 0.5, 0.8, 0.95));
+
+class LaneSweep : public ::testing::TestWithParam<Index> {};
+
+TEST_P(LaneSweep, MoreLanesLessLatencySameEnergy) {
+  ZeroSkipConfig narrow;
+  narrow.lanes = GetParam();
+  ZeroSkipConfig wide;
+  wide.lanes = GetParam() * 4;
+  const auto workload = workload_with_sparsity(0.5);
+  const auto narrow_report = run_zero_skip(workload, narrow);
+  const auto wide_report = run_zero_skip(workload, wide);
+  EXPECT_GT(narrow_report.latency_us, wide_report.latency_us);
+  EXPECT_DOUBLE_EQ(narrow_report.energy.total_pj(),
+                   wide_report.energy.total_pj());
+}
+
+INSTANTIATE_TEST_SUITE_P(Lanes, LaneSweep, ::testing::Values(8, 32, 128));
+
+TEST(SnnCoreProperties, LatencyScalesInverselyWithLanes) {
+  nn::OpCounter workload;
+  workload.adds = 100000;
+  workload.state_bytes_rw = 80000;
+  SnnCoreConfig one_lane;
+  one_lane.parallel_lanes = 1;
+  SnnCoreConfig eight_lanes;
+  eight_lanes.parallel_lanes = 8;
+  const auto slow = run_snn_core(workload, one_lane);
+  const auto fast = run_snn_core(workload, eight_lanes);
+  EXPECT_NEAR(slow.latency_us / fast.latency_us, 8.0, 1e-6);
+  EXPECT_DOUBLE_EQ(slow.energy.total_pj(), fast.energy.total_pj());
+}
+
+}  // namespace
+}  // namespace evd::hw

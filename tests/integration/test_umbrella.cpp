@@ -1,0 +1,60 @@
+// The umbrella header must compile cleanly and expose the whole API.
+#include "evd.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Umbrella, EndToEndMiniFlow) {
+  using namespace evd;
+  // Scene -> events -> all three input encodings, through one include.
+  events::Scene scene(16, 16, 0.1f);
+  events::MovingShape shape;
+  shape.x0 = 8.0;
+  shape.y0 = 8.0;
+  shape.vx = 80.0;
+  shape.radius = 4.0;
+  shape.luminance = 0.9f;
+  scene.add_shape(shape);
+  events::DvsSimulator simulator(16, 16, events::DvsConfig{}, Rng(1));
+  const auto stream = simulator.simulate(scene, 50000);
+  ASSERT_GT(stream.size(), 0);
+
+  const auto frame = cnn::build_frame(
+      stream.events, 16, 16, 0, 50000, cnn::FrameOptions{});
+  EXPECT_EQ(frame.dim(0), 2);
+
+  const auto spikes = snn::encode_events(stream, snn::EventEncoderConfig{});
+  EXPECT_GT(spikes.total_spikes(), 0);
+
+  const auto graph = gnn::build_graph(stream, gnn::GraphBuildConfig{});
+  EXPECT_GT(graph.node_count(), 0);
+
+  const auto energy = hw::energy_of(nn::OpCounter{},
+                                    hw::EnergyTable::digital_45nm_int8());
+  EXPECT_EQ(energy.total_pj(), 0.0);
+}
+
+TEST(Umbrella, KnnGraphModeProducesExactDegrees) {
+  using namespace evd;
+  events::EventStream stream;
+  stream.width = 16;
+  stream.height = 16;
+  Rng rng(2);
+  for (Index i = 0; i < 100; ++i) {
+    stream.events.push_back(
+        {static_cast<std::int16_t>(rng.uniform_int(16)),
+         static_cast<std::int16_t>(rng.uniform_int(16)), Polarity::On,
+         i * 100});
+  }
+  gnn::GraphBuildConfig config;
+  config.knn = 4;
+  const auto graph = gnn::build_graph(stream, config);
+  // Past the warm-up prefix every node has exactly knn earlier neighbours.
+  for (Index i = 20; i < graph.node_count(); ++i) {
+    EXPECT_EQ(graph.neighbors(i).size(), 4u) << "node " << i;
+    for (const Index j : graph.neighbors(i)) EXPECT_LT(j, i);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "nn/conv2d.hpp"
+#include "nn/counters.hpp"
+#include "nn/softmax.hpp"
+#include "test_util.hpp"
+
+namespace evd::nn {
+namespace {
+
+TEST(Conv2d, IdentityKernelReproducesInput) {
+  Rng rng(1);
+  Conv2d conv(Conv2dConfig{1, 1, 3, 1, 1}, rng);
+  conv.weight().value.zero();
+  conv.weight().value[4] = 1.0f;  // centre tap
+  conv.bias().value.zero();
+  Tensor x = Tensor::randn({1, 5, 5}, rng);
+  const Tensor y = conv.forward(x, false);
+  ASSERT_EQ(y.shape(), x.shape());
+  for (Index i = 0; i < x.numel(); ++i) EXPECT_FLOAT_EQ(y[i], x[i]);
+}
+
+TEST(Conv2d, BoxKernelSumsNeighbourhood) {
+  Rng rng(2);
+  Conv2d conv(Conv2dConfig{1, 1, 3, 1, 1}, rng);
+  conv.weight().value.fill(1.0f);
+  conv.bias().value.zero();
+  Tensor x = Tensor::full({1, 3, 3}, 1.0f);
+  const Tensor y = conv.forward(x, false);
+  EXPECT_FLOAT_EQ(y.at3(0, 1, 1), 9.0f);   // interior: full window
+  EXPECT_FLOAT_EQ(y.at3(0, 0, 0), 4.0f);   // corner: 2x2 valid taps
+  EXPECT_FLOAT_EQ(y.at3(0, 0, 1), 6.0f);   // edge: 2x3 valid taps
+}
+
+TEST(Conv2d, StrideReducesOutput) {
+  Rng rng(3);
+  Conv2d conv(Conv2dConfig{1, 2, 3, 2, 1}, rng);
+  Tensor x({1, 8, 8});
+  const Tensor y = conv.forward(x, false);
+  EXPECT_EQ(y.dim(0), 2);
+  EXPECT_EQ(y.dim(1), 4);
+  EXPECT_EQ(y.dim(2), 4);
+}
+
+TEST(Conv2d, NoPaddingShrinks) {
+  Rng rng(4);
+  Conv2d conv(Conv2dConfig{1, 1, 3, 1, 0}, rng);
+  Tensor x({1, 5, 5});
+  const Tensor y = conv.forward(x, false);
+  EXPECT_EQ(y.dim(1), 3);
+}
+
+TEST(Conv2d, GradCheckAllParameters) {
+  Rng rng(5);
+  Conv2d conv(Conv2dConfig{2, 2, 3, 1, 1}, rng);
+  Tensor x = Tensor::randn({2, 4, 4}, rng);
+
+  const Tensor out = conv.forward(x, true);
+  // Scalar loss: softmax CE over the flattened output against index 3.
+  Tensor flat = out;
+  flat.reshape({out.numel()});
+  const auto ce = softmax_cross_entropy(flat, 3);
+  Tensor grad = ce.grad;
+  grad.reshape(out.shape());
+  const Tensor grad_input = conv.backward(grad);
+
+  auto loss_of_input = [&](const Tensor& probe) {
+    Tensor o = conv.forward(probe, false);
+    o.reshape({o.numel()});
+    return softmax_cross_entropy(o, 3).loss;
+  };
+  test::expect_gradients_close(grad_input,
+                               test::numeric_gradient(loss_of_input, x));
+
+  auto loss_of_weight = [&](const Tensor& w) {
+    Tensor saved = conv.weight().value;
+    conv.weight().value = w;
+    Tensor o = conv.forward(x, false);
+    o.reshape({o.numel()});
+    const double loss = softmax_cross_entropy(o, 3).loss;
+    conv.weight().value = saved;
+    return loss;
+  };
+  test::expect_gradients_close(
+      conv.weight().grad,
+      test::numeric_gradient(loss_of_weight, conv.weight().value));
+
+  auto loss_of_bias = [&](const Tensor& b) {
+    Tensor saved = conv.bias().value;
+    conv.bias().value = b;
+    Tensor o = conv.forward(x, false);
+    o.reshape({o.numel()});
+    const double loss = softmax_cross_entropy(o, 3).loss;
+    conv.bias().value = saved;
+    return loss;
+  };
+  test::expect_gradients_close(
+      conv.bias().grad,
+      test::numeric_gradient(loss_of_bias, conv.bias().value));
+}
+
+TEST(Conv2d, ShapeErrors) {
+  Rng rng(6);
+  Conv2d conv(Conv2dConfig{2, 1, 3, 1, 1}, rng);
+  EXPECT_THROW(conv.forward(Tensor({1, 4, 4}), false), std::invalid_argument);
+  EXPECT_THROW(conv.forward(Tensor({8}), false), std::invalid_argument);
+  EXPECT_THROW(conv.backward(Tensor({1, 4, 4})), std::logic_error);
+  EXPECT_THROW(Conv2d(Conv2dConfig{0, 1, 3, 1, 1}, rng),
+               std::invalid_argument);
+}
+
+TEST(Conv2d, ZeroSkippableCounting) {
+  Rng rng(7);
+  Conv2d conv(Conv2dConfig{1, 4, 3, 1, 0}, rng);
+  Tensor x({1, 3, 3});  // all zeros: every MAC is skippable
+  OpCounter counter;
+  {
+    ScopedCounter scope(counter);
+    conv.forward(x, false);
+  }
+  EXPECT_EQ(counter.mults, 4 * 9);
+  EXPECT_EQ(counter.zero_skippable_mults, 4 * 9);
+}
+
+}  // namespace
+}  // namespace evd::nn

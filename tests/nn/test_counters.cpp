@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "nn/counters.hpp"
+
+namespace evd::nn {
+namespace {
+
+TEST(OpCounter, NoActiveCounterIsNoOp) {
+  EXPECT_EQ(active_counter(), nullptr);
+  count_mac(100);  // must not crash
+  count_state_rw(8);
+}
+
+TEST(OpCounter, ScopedCountingAccumulates) {
+  OpCounter counter;
+  {
+    ScopedCounter scope(counter);
+    count_mac(10);
+    count_add(5);
+    count_mult(2);
+    count_compare(3);
+    count_zero_skippable(4);
+    count_param_read(100);
+    count_act_read(200);
+    count_act_write(300);
+    count_state_rw(400);
+  }
+  EXPECT_EQ(counter.mults, 12);
+  EXPECT_EQ(counter.adds, 15);
+  EXPECT_EQ(counter.comparisons, 3);
+  EXPECT_EQ(counter.zero_skippable_mults, 4);
+  EXPECT_EQ(counter.param_bytes_read, 100);
+  EXPECT_EQ(counter.total_bytes(), 1000);
+  EXPECT_EQ(counter.total_ops(), 30);
+  EXPECT_EQ(counter.macs(), 12);  // min(mults, adds) approximation
+}
+
+TEST(OpCounter, ScopeRestoresPrevious) {
+  OpCounter outer, inner;
+  {
+    ScopedCounter outer_scope(outer);
+    count_add(1);
+    {
+      ScopedCounter inner_scope(inner);
+      count_add(10);
+    }
+    count_add(100);
+  }
+  EXPECT_EQ(outer.adds, 101);
+  EXPECT_EQ(inner.adds, 10);
+  EXPECT_EQ(active_counter(), nullptr);
+}
+
+TEST(OpCounter, PlusEqualsMergesAllFields) {
+  OpCounter a, b;
+  a.mults = 1;
+  a.adds = 2;
+  a.state_bytes_rw = 3;
+  b.mults = 10;
+  b.adds = 20;
+  b.zero_skippable_mults = 5;
+  b.state_bytes_rw = 30;
+  a += b;
+  EXPECT_EQ(a.mults, 11);
+  EXPECT_EQ(a.adds, 22);
+  EXPECT_EQ(a.zero_skippable_mults, 5);
+  EXPECT_EQ(a.state_bytes_rw, 33);
+}
+
+TEST(OpCounter, MacsIsMinOfMultsAdds) {
+  OpCounter c;
+  c.mults = 5;
+  c.adds = 9;
+  EXPECT_EQ(c.macs(), 5);
+}
+
+}  // namespace
+}  // namespace evd::nn

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "nn/counters.hpp"
+#include "nn/linear.hpp"
+#include "nn/softmax.hpp"
+#include "test_util.hpp"
+
+namespace evd::nn {
+namespace {
+
+TEST(Linear, ForwardKnownValues) {
+  Rng rng(1);
+  Linear layer(2, 2, rng);
+  // Overwrite weights deterministically: W = [[1, 2], [3, 4]], b = [10, 20].
+  layer.weight().value[0] = 1.0f;
+  layer.weight().value[1] = 2.0f;
+  layer.weight().value[2] = 3.0f;
+  layer.weight().value[3] = 4.0f;
+  layer.bias().value[0] = 10.0f;
+  layer.bias().value[1] = 20.0f;
+  Tensor x({2});
+  x[0] = 1.0f;
+  x[1] = -1.0f;
+  const Tensor y = layer.forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], 10.0f - 1.0f);
+  EXPECT_FLOAT_EQ(y[1], 20.0f - 1.0f);
+}
+
+TEST(Linear, NoBiasOption) {
+  Rng rng(2);
+  Linear layer(3, 2, rng, /*bias=*/false);
+  EXPECT_EQ(layer.params().size(), 1u);
+  Tensor x({3});
+  const Tensor y = layer.forward(x, false);  // zero input, no bias
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+}
+
+TEST(Linear, GradCheckWeightsAndInput) {
+  Rng rng(3);
+  Linear layer(4, 3, rng);
+  Tensor x = Tensor::randn({4}, rng);
+
+  // Analytic gradients: loss = softmax CE against class 1.
+  const Tensor logits = layer.forward(x, true);
+  const auto ce = softmax_cross_entropy(logits, 1);
+  const Tensor grad_input = layer.backward(ce.grad);
+
+  auto loss_with_input = [&](const Tensor& probe) {
+    return softmax_cross_entropy(layer.forward(probe, false), 1).loss;
+  };
+  test::expect_gradients_close(grad_input,
+                               test::numeric_gradient(loss_with_input, x));
+
+  auto loss_with_weight = [&](const Tensor& w) {
+    Tensor saved = layer.weight().value;
+    layer.weight().value = w;
+    const double loss =
+        softmax_cross_entropy(layer.forward(x, false), 1).loss;
+    layer.weight().value = saved;
+    return loss;
+  };
+  test::expect_gradients_close(
+      layer.weight().grad,
+      test::numeric_gradient(loss_with_weight, layer.weight().value));
+}
+
+TEST(Linear, GradAccumulatesAcrossCalls) {
+  Rng rng(4);
+  Linear layer(2, 2, rng);
+  Tensor x = Tensor::randn({2}, rng);
+  Tensor g = Tensor::full({2}, 1.0f);
+  layer.forward(x, true);
+  layer.backward(g);
+  const float after_one = layer.bias().grad[0];
+  layer.forward(x, true);
+  layer.backward(g);
+  EXPECT_FLOAT_EQ(layer.bias().grad[0], 2.0f * after_one);
+}
+
+TEST(Linear, ShapeErrors) {
+  Rng rng(5);
+  Linear layer(3, 2, rng);
+  EXPECT_THROW(layer.forward(Tensor({4}), false), std::invalid_argument);
+  layer.forward(Tensor({3}), true);
+  EXPECT_THROW(layer.backward(Tensor({3})), std::invalid_argument);
+  EXPECT_THROW(Linear(0, 2, rng), std::invalid_argument);
+}
+
+TEST(Linear, BackwardWithoutForwardThrows) {
+  Rng rng(6);
+  Linear layer(2, 2, rng);
+  EXPECT_THROW(layer.backward(Tensor({2})), std::logic_error);
+}
+
+TEST(Linear, CountsOpsWhenScoped) {
+  Rng rng(7);
+  Linear layer(8, 4, rng);
+  Tensor x = Tensor::randn({8}, rng);
+  x[0] = 0.0f;
+  x[1] = 0.0f;
+  OpCounter counter;
+  {
+    ScopedCounter scope(counter);
+    layer.forward(x, false);
+  }
+  EXPECT_EQ(counter.mults, 32);
+  EXPECT_EQ(counter.adds, 32);
+  EXPECT_EQ(counter.zero_skippable_mults, 8);  // 2 zero inputs x 4 outputs
+  EXPECT_GT(counter.param_bytes_read, 0);
+}
+
+}  // namespace
+}  // namespace evd::nn

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/optimizer.hpp"
+
+namespace evd::nn {
+namespace {
+
+TEST(Sgd, PlainStepMath) {
+  Param p("w", Tensor::full({2}, 1.0f));
+  p.grad.fill(0.5f);
+  Sgd sgd({&p}, /*lr=*/0.1f);
+  sgd.step();
+  EXPECT_FLOAT_EQ(p.value[0], 1.0f - 0.1f * 0.5f);
+  EXPECT_FLOAT_EQ(p.grad[0], 0.0f);  // cleared
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  Param p("w", Tensor::full({1}, 0.0f));
+  Sgd sgd({&p}, 1.0f, /*momentum=*/0.5f);
+  p.grad.fill(1.0f);
+  sgd.step();
+  EXPECT_FLOAT_EQ(p.value[0], -1.0f);  // v = 1
+  p.grad.fill(1.0f);
+  sgd.step();
+  EXPECT_FLOAT_EQ(p.value[0], -2.5f);  // v = 1.5
+}
+
+TEST(Sgd, WeightDecayPullsTowardZero) {
+  Param p("w", Tensor::full({1}, 10.0f));
+  Sgd sgd({&p}, 0.1f, 0.0f, /*weight_decay=*/1.0f);
+  p.grad.zero();
+  sgd.step();
+  EXPECT_FLOAT_EQ(p.value[0], 9.0f);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  // Minimise f(w) = (w - 3)^2 by feeding grad = 2 (w - 3).
+  Param p("w", Tensor::full({1}, -5.0f));
+  Adam adam({&p}, 0.2f);
+  for (int i = 0; i < 300; ++i) {
+    p.grad[0] = 2.0f * (p.value[0] - 3.0f);
+    adam.step();
+  }
+  EXPECT_NEAR(p.value[0], 3.0f, 0.05f);
+}
+
+TEST(Adam, FirstStepIsLrSized) {
+  Param p("w", Tensor::full({1}, 0.0f));
+  Adam adam({&p}, 0.01f);
+  p.grad[0] = 123.0f;  // magnitude irrelevant on the first step
+  adam.step();
+  EXPECT_NEAR(p.value[0], -0.01f, 1e-4);
+}
+
+TEST(Optimizer, ZeroGradClears) {
+  Param a("a", Tensor::full({2}, 1.0f));
+  Param b("b", Tensor::full({3}, 1.0f));
+  a.grad.fill(5.0f);
+  b.grad.fill(5.0f);
+  Sgd sgd({&a, &b}, 0.1f);
+  sgd.zero_grad();
+  EXPECT_FLOAT_EQ(a.grad[1], 0.0f);
+  EXPECT_FLOAT_EQ(b.grad[2], 0.0f);
+}
+
+TEST(ClipGradNorm, ScalesDownLargeGradients) {
+  Param p("w", Tensor({4}));
+  p.grad.fill(3.0f);  // norm = 6
+  clip_grad_norm({&p}, 3.0f);
+  double norm2 = 0.0;
+  for (Index i = 0; i < 4; ++i) norm2 += p.grad[i] * p.grad[i];
+  EXPECT_NEAR(std::sqrt(norm2), 3.0, 1e-5);
+}
+
+TEST(ClipGradNorm, LeavesSmallGradientsAlone) {
+  Param p("w", Tensor({2}));
+  p.grad.fill(0.1f);
+  clip_grad_norm({&p}, 10.0f);
+  EXPECT_FLOAT_EQ(p.grad[0], 0.1f);
+}
+
+}  // namespace
+}  // namespace evd::nn

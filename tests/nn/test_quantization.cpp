@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "nn/linear.hpp"
+#include "nn/quantization.hpp"
+
+namespace evd::nn {
+namespace {
+
+TEST(FakeQuantize, LevelCountBounded) {
+  Rng rng(1);
+  const Tensor x = Tensor::randn({1000}, rng);
+  const auto q = fake_quantize(x, 4);  // <= 16 distinct levels
+  std::set<float> levels(q.values.vec().begin(), q.values.vec().end());
+  EXPECT_LE(levels.size(), 16u);
+  EXPECT_GT(levels.size(), 4u);
+}
+
+TEST(FakeQuantize, ErrorBoundedByHalfStep) {
+  Rng rng(2);
+  const Tensor x = Tensor::randn({500}, rng);
+  const auto q = fake_quantize(x, 8);
+  for (Index i = 0; i < x.numel(); ++i) {
+    EXPECT_LE(std::fabs(q.values[i] - x[i]), q.scale * 0.5f + 1e-6f);
+  }
+}
+
+TEST(FakeQuantize, PreservesZeroAndSigns) {
+  Tensor x({3});
+  x.vec() = {0.0f, 1.0f, -1.0f};
+  const auto q = fake_quantize(x, 8);
+  EXPECT_FLOAT_EQ(q.values[0], 0.0f);
+  EXPECT_GT(q.values[1], 0.0f);
+  EXPECT_LT(q.values[2], 0.0f);
+}
+
+TEST(FakeQuantize, HigherBitsLowerError) {
+  Rng rng(3);
+  const Tensor x = Tensor::randn({1000}, rng);
+  auto err = [&](int bits) {
+    const auto q = fake_quantize(x, bits);
+    double e = 0.0;
+    for (Index i = 0; i < x.numel(); ++i) {
+      e += std::fabs(q.values[i] - x[i]);
+    }
+    return e;
+  };
+  EXPECT_LT(err(8), err(4));
+  EXPECT_LT(err(4), err(2));
+}
+
+TEST(FakeQuantize, BadBitsThrow) {
+  Tensor x({2});
+  EXPECT_THROW(fake_quantize(x, 1), std::invalid_argument);
+  EXPECT_THROW(fake_quantize(x, 17), std::invalid_argument);
+}
+
+TEST(FakeQuantize, ConstantZeroTensor) {
+  Tensor x({4});
+  const auto q = fake_quantize(x, 8);
+  for (Index i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(q.values[i], 0.0f);
+}
+
+TEST(QuantizeParams, AppliesInPlace) {
+  Rng rng(4);
+  Linear layer(8, 8, rng);
+  const Tensor before = layer.weight().value;
+  quantize_params(layer.params(), 3);
+  std::set<float> levels(layer.weight().value.vec().begin(),
+                         layer.weight().value.vec().end());
+  EXPECT_LE(levels.size(), 8u);
+  EXPECT_NE(before.vec(), layer.weight().value.vec());
+}
+
+TEST(QatTrainer, QuantizeRestoreRoundTrip) {
+  Rng rng(5);
+  Linear layer(4, 4, rng);
+  const Tensor latent = layer.weight().value;
+  QatTrainer qat(layer.params(), 4);
+  qat.quantize_for_forward();
+  // Weights now quantized (coarse 4-bit grid differs from latent).
+  EXPECT_NE(latent.vec(), layer.weight().value.vec());
+  qat.restore_latent();
+  EXPECT_EQ(latent.vec(), layer.weight().value.vec());
+}
+
+TEST(QatTrainer, DoubleQuantizeThrows) {
+  Rng rng(6);
+  Linear layer(2, 2, rng);
+  QatTrainer qat(layer.params(), 8);
+  qat.quantize_for_forward();
+  EXPECT_THROW(qat.quantize_for_forward(), std::logic_error);
+  qat.restore_latent();
+  EXPECT_THROW(qat.restore_latent(), std::logic_error);
+}
+
+TEST(QatTrainer, PicksUpLatentUpdatesBetweenSteps) {
+  Rng rng(7);
+  Linear layer(2, 2, rng);
+  QatTrainer qat(layer.params(), 8);
+  qat.quantize_for_forward();
+  qat.restore_latent();
+  layer.weight().value[0] = 42.0f;  // optimizer update on latent
+  qat.quantize_for_forward();
+  qat.restore_latent();
+  EXPECT_FLOAT_EQ(layer.weight().value[0], 42.0f);
+}
+
+}  // namespace
+}  // namespace evd::nn

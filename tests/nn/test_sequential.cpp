@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "nn/activations.hpp"
+#include "nn/linear.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/sequential.hpp"
+
+namespace evd::nn {
+namespace {
+
+TEST(Sequential, ForwardComposesLayers) {
+  Rng rng(1);
+  Sequential model;
+  auto& lin = model.emplace<Linear>(2, 2, rng);
+  model.emplace<ReLU>();
+  lin.weight().value.vec() = {1.0f, 0.0f, 0.0f, -1.0f};
+  lin.bias().value.zero();
+  Tensor x({2});
+  x.vec() = {3.0f, 5.0f};
+  const Tensor y = model.forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], 3.0f);
+  EXPECT_FLOAT_EQ(y[1], 0.0f);  // -5 clipped by ReLU
+}
+
+TEST(Sequential, ParamsAggregatesAllLayers) {
+  Rng rng(2);
+  Sequential model;
+  model.emplace<Linear>(4, 8, rng);
+  model.emplace<ReLU>();
+  model.emplace<Linear>(8, 2, rng);
+  EXPECT_EQ(model.params().size(), 4u);  // 2 weights + 2 biases
+  EXPECT_EQ(model.param_count(), 4 * 8 + 8 + 8 * 2 + 2);
+}
+
+TEST(Sequential, LearnsLinearlySeparableTask) {
+  // Two Gaussian blobs; a 2-layer MLP should reach near-perfect accuracy.
+  Rng rng(3);
+  Sequential model;
+  model.emplace<Linear>(2, 16, rng);
+  model.emplace<ReLU>();
+  model.emplace<Linear>(16, 2, rng);
+  Adam optimizer(model.params(), 0.01f);
+
+  std::vector<Tensor> inputs;
+  std::vector<Index> labels;
+  for (int i = 0; i < 100; ++i) {
+    const Index label = i % 2;
+    Tensor x({2});
+    const double cx = label == 0 ? -1.0 : 1.0;
+    x[0] = static_cast<float>(cx + rng.normal(0.0, 0.3));
+    x[1] = static_cast<float>(-cx + rng.normal(0.0, 0.3));
+    inputs.push_back(x);
+    labels.push_back(label);
+  }
+  for (int epoch = 0; epoch < 20; ++epoch) {
+    for (size_t i = 0; i < inputs.size(); ++i) {
+      train_step(model, inputs[i], labels[i]);
+      optimizer.step();
+    }
+  }
+  Index correct = 0;
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    correct += (predict(model, inputs[i]) == labels[i]) ? 1 : 0;
+  }
+  EXPECT_GT(correct, 95);
+}
+
+TEST(Sequential, TrainStepReturnsLossAndHit) {
+  Rng rng(4);
+  Sequential model;
+  model.emplace<Linear>(2, 2, rng);
+  Tensor x({2});
+  x.vec() = {1.0f, 1.0f};
+  const auto [loss, hit] = train_step(model, x, 0);
+  EXPECT_GT(loss, 0.0);
+  (void)hit;
+}
+
+TEST(Sequential, LayerAccessors) {
+  Rng rng(5);
+  Sequential model;
+  model.emplace<Linear>(2, 2, rng);
+  model.emplace<ReLU>();
+  EXPECT_EQ(model.size(), 2);
+  EXPECT_EQ(model.layer(1).name(), "ReLU");
+  EXPECT_THROW(model.layer(5), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace evd::nn

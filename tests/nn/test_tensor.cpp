@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "nn/tensor.hpp"
+
+namespace evd::nn {
+namespace {
+
+TEST(Tensor, ConstructionZeroInitialised) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  EXPECT_EQ(t.rank(), 2);
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.dim(1), 3);
+  for (Index i = 0; i < 6; ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, EmptyAndScalarShapes) {
+  Tensor empty;
+  EXPECT_TRUE(empty.empty());
+  Tensor zero_dim({0, 5});
+  EXPECT_EQ(zero_dim.numel(), 0);
+  Tensor flat({4});
+  EXPECT_EQ(flat.numel(), 4);
+}
+
+TEST(Tensor, NegativeDimensionThrows) {
+  EXPECT_THROW(Tensor({2, -1}), std::invalid_argument);
+}
+
+TEST(Tensor, At2At3Indexing) {
+  Tensor m({2, 3});
+  m.at2(1, 2) = 7.0f;
+  EXPECT_EQ(m[5], 7.0f);
+  Tensor v({2, 2, 2});
+  v.at3(1, 0, 1) = 3.0f;
+  EXPECT_EQ(v[5], 3.0f);
+}
+
+TEST(Tensor, FullAndFill) {
+  Tensor t = Tensor::full({3}, 2.5f);
+  EXPECT_EQ(t[0], 2.5f);
+  t.fill(-1.0f);
+  EXPECT_EQ(t[2], -1.0f);
+  t.zero();
+  EXPECT_EQ(t[1], 0.0f);
+}
+
+TEST(Tensor, RandnMoments) {
+  Rng rng(1);
+  Tensor t = Tensor::randn({10000}, rng, 2.0f);
+  EXPECT_NEAR(t.sum() / 10000.0, 0.0, 0.1);
+  double var = 0.0;
+  for (Index i = 0; i < t.numel(); ++i) var += t[i] * t[i];
+  EXPECT_NEAR(var / 10000.0, 4.0, 0.3);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 3});
+  t[4] = 9.0f;
+  t.reshape({3, 2});
+  EXPECT_EQ(t.dim(0), 3);
+  EXPECT_EQ(t[4], 9.0f);
+  EXPECT_THROW(t.reshape({5}), std::invalid_argument);
+}
+
+TEST(Tensor, AccumulateAndScale) {
+  Tensor a = Tensor::full({3}, 1.0f);
+  Tensor b = Tensor::full({3}, 2.0f);
+  a += b;
+  EXPECT_EQ(a[0], 3.0f);
+  a *= 0.5f;
+  EXPECT_EQ(a[0], 1.5f);
+  Tensor wrong({4});
+  EXPECT_THROW(a += wrong, std::invalid_argument);
+}
+
+TEST(Tensor, ZeroFractionAndMaxAbs) {
+  Tensor t({4});
+  t[0] = -3.0f;
+  t[2] = 1.0f;
+  EXPECT_DOUBLE_EQ(t.zero_fraction(), 0.5);
+  EXPECT_FLOAT_EQ(t.max_abs(), 3.0f);
+}
+
+TEST(Tensor, Argmax) {
+  Tensor t({4});
+  t[2] = 5.0f;
+  EXPECT_EQ(t.argmax(), 2);
+  Tensor empty;
+  EXPECT_THROW(empty.argmax(), std::logic_error);
+}
+
+TEST(Tensor, ShapeString) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.shape_string(), "[2, 3, 4]");
+}
+
+TEST(Tensor, CheckShapeThrowsWithMessage) {
+  Tensor t({2, 3});
+  EXPECT_NO_THROW(check_shape(t, {2, 3}, "here"));
+  EXPECT_THROW(check_shape(t, {3, 2}, "here"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace evd::nn

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "nn/activations.hpp"
+#include "nn/linear.hpp"
+#include "nn/optimizer.hpp"
+#include "snn/conversion.hpp"
+
+namespace evd::snn {
+namespace {
+
+/// Train a small ReLU MLP on a 2-blob task over [0,1]^4 inputs.
+struct TrainedAnn {
+  nn::Sequential ann;
+  std::vector<nn::Tensor> inputs;
+  std::vector<Index> labels;
+};
+
+TrainedAnn make_trained_ann() {
+  TrainedAnn result;
+  Rng rng(1);
+  result.ann.emplace<nn::Linear>(4, 12, rng);
+  result.ann.emplace<nn::ReLU>();
+  result.ann.emplace<nn::Linear>(12, 2, rng);
+
+  Rng data_rng(2);
+  for (int i = 0; i < 60; ++i) {
+    const Index label = i % 2;
+    nn::Tensor x({4});
+    for (Index f = 0; f < 4; ++f) {
+      const double base = (label == 0) == (f < 2) ? 0.8 : 0.2;
+      x[f] = static_cast<float>(
+          std::clamp(base + data_rng.normal(0.0, 0.1), 0.0, 1.0));
+    }
+    result.inputs.push_back(x);
+    result.labels.push_back(label);
+  }
+  nn::Adam optimizer(result.ann.params(), 0.01f);
+  for (int epoch = 0; epoch < 20; ++epoch) {
+    for (size_t i = 0; i < result.inputs.size(); ++i) {
+      nn::train_step(result.ann, result.inputs[i], result.labels[i]);
+      optimizer.step();
+    }
+  }
+  return result;
+}
+
+TEST(Conversion, ConvertedSnnMatchesAnnAtLargeT) {
+  auto trained = make_trained_ann();
+  // ANN is near-perfect on this task.
+  Index ann_correct = 0;
+  for (size_t i = 0; i < trained.inputs.size(); ++i) {
+    ann_correct +=
+        (nn::predict(trained.ann, trained.inputs[i]) == trained.labels[i]);
+  }
+  ASSERT_GT(ann_correct, 55);
+
+  auto converted = convert_ann_to_snn(trained.ann, trained.inputs,
+                                      ConversionOptions{});
+  Index snn_correct = 0;
+  for (size_t i = 0; i < trained.inputs.size(); ++i) {
+    const auto inference = run_converted(converted, trained.inputs[i], 64);
+    snn_correct += (inference.predicted == trained.labels[i]) ? 1 : 0;
+  }
+  EXPECT_GT(snn_correct, 52);  // within a few samples of the ANN
+}
+
+TEST(Conversion, AccuracyImprovesWithTimesteps) {
+  auto trained = make_trained_ann();
+  auto converted = convert_ann_to_snn(trained.ann, trained.inputs,
+                                      ConversionOptions{});
+  auto accuracy_at = [&](Index steps) {
+    Index correct = 0;
+    for (size_t i = 0; i < trained.inputs.size(); ++i) {
+      correct += (run_converted(converted, trained.inputs[i], steps)
+                      .predicted == trained.labels[i])
+                     ? 1
+                     : 0;
+    }
+    return static_cast<double>(correct) /
+           static_cast<double>(trained.inputs.size());
+  };
+  const double coarse = accuracy_at(2);
+  const double fine = accuracy_at(64);
+  EXPECT_GE(fine, coarse);
+  EXPECT_GT(fine, 0.85);
+}
+
+TEST(Conversion, SpikeCountScalesWithTimesteps) {
+  auto trained = make_trained_ann();
+  auto converted = convert_ann_to_snn(trained.ann, trained.inputs,
+                                      ConversionOptions{});
+  const auto short_run = run_converted(converted, trained.inputs[0], 8);
+  const auto long_run = run_converted(converted, trained.inputs[0], 64);
+  EXPECT_GT(long_run.total_spikes, short_run.total_spikes);
+}
+
+TEST(Conversion, LayerScalesArePositive) {
+  auto trained = make_trained_ann();
+  auto converted = convert_ann_to_snn(trained.ann, trained.inputs,
+                                      ConversionOptions{});
+  ASSERT_EQ(converted.layer_scales.size(), 2u);
+  for (const float s : converted.layer_scales) EXPECT_GT(s, 0.0f);
+}
+
+TEST(Conversion, RejectsNonMlpArchitectures) {
+  Rng rng(3);
+  nn::Sequential ann;
+  ann.emplace<nn::Linear>(4, 4, rng);
+  ann.emplace<nn::Tanh>();  // unsupported nonlinearity
+  ann.emplace<nn::Linear>(4, 2, rng);
+  std::vector<nn::Tensor> calibration = {nn::Tensor({4})};
+  EXPECT_THROW(convert_ann_to_snn(ann, calibration, ConversionOptions{}),
+               std::invalid_argument);
+}
+
+TEST(Conversion, RejectsEmptyNetwork) {
+  nn::Sequential ann;
+  std::vector<nn::Tensor> calibration;
+  EXPECT_THROW(convert_ann_to_snn(ann, calibration, ConversionOptions{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace evd::snn

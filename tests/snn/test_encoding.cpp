@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "snn/encoding.hpp"
+#include "test_util.hpp"
+
+namespace evd::snn {
+namespace {
+
+events::EventStream two_pixel_stream() {
+  events::EventStream stream;
+  stream.width = 4;
+  stream.height = 4;
+  stream.events = {{0, 0, Polarity::On, 0},
+                   {0, 0, Polarity::On, 10},    // same pixel, same bin
+                   {2, 2, Polarity::Off, 50000},
+                   {2, 2, Polarity::Off, 99999}};
+  return stream;
+}
+
+TEST(EncodeEvents, GeometryAndSize) {
+  EventEncoderConfig config;
+  config.steps = 10;
+  config.spatial_factor = 2;
+  const auto stream = two_pixel_stream();
+  const SpikeTrain train = encode_events(stream, config);
+  EXPECT_EQ(train.steps, 10);
+  EXPECT_EQ(train.size, 2 * 2 * 2);
+  EXPECT_EQ(encoded_size(4, 4, config), 8);
+}
+
+TEST(EncodeEvents, BinaryDeduplicatesWithinBin) {
+  EventEncoderConfig config;
+  config.steps = 4;
+  config.spatial_factor = 1;
+  config.binary = true;
+  const SpikeTrain train = encode_events(two_pixel_stream(), config);
+  // Events at t=0 and t=10 share pixel and bin -> one spike.
+  EXPECT_EQ(train.active[0].size(), 1u);
+}
+
+TEST(EncodeEvents, NonBinaryKeepsDuplicates) {
+  EventEncoderConfig config;
+  config.steps = 4;
+  config.spatial_factor = 1;
+  config.binary = false;
+  const SpikeTrain train = encode_events(two_pixel_stream(), config);
+  EXPECT_EQ(train.active[0].size(), 2u);
+}
+
+TEST(EncodeEvents, PolarityChannelsSeparated) {
+  EventEncoderConfig config;
+  config.steps = 2;
+  config.spatial_factor = 1;
+  const SpikeTrain train = encode_events(two_pixel_stream(), config);
+  // ON event at pixel (0,0) -> channel-1 block: index 16 + 0.
+  bool found_on = false;
+  for (const Index i : train.active[0]) found_on |= (i == 16);
+  EXPECT_TRUE(found_on);
+  // OFF events at pixel (2,2) land in channel-0 block: index 2*4+2 = 10.
+  bool found_off = false;
+  for (const Index i : train.active[1]) found_off |= (i == 10);
+  EXPECT_TRUE(found_off);
+}
+
+TEST(EncodeEvents, DensityAndTotals) {
+  const auto stream = test::make_stream(8, 8, 200, 1);
+  EventEncoderConfig config;
+  config.steps = 10;
+  config.spatial_factor = 1;
+  config.binary = false;
+  const SpikeTrain train = encode_events(stream, config);
+  EXPECT_EQ(train.total_spikes(), 200);
+  EXPECT_NEAR(train.density(), 200.0 / (10.0 * 128.0), 1e-9);
+}
+
+TEST(EncodeEvents, EmptyStream) {
+  events::EventStream empty;
+  empty.width = 4;
+  empty.height = 4;
+  const SpikeTrain train = encode_events(empty, EventEncoderConfig{});
+  EXPECT_EQ(train.total_spikes(), 0);
+}
+
+TEST(EncodeEvents, ToDenseMatchesSparse) {
+  const auto stream = test::make_stream(4, 4, 50, 2);
+  EventEncoderConfig config;
+  config.steps = 5;
+  config.spatial_factor = 1;
+  const SpikeTrain train = encode_events(stream, config);
+  const nn::Tensor dense = train.to_dense();
+  Index dense_spikes = 0;
+  for (Index i = 0; i < dense.numel(); ++i) {
+    dense_spikes += (dense[i] == 1.0f) ? 1 : 0;
+  }
+  EXPECT_EQ(dense_spikes, train.total_spikes());
+}
+
+TEST(RateEncode, DeterministicAccumulatorExactCount) {
+  nn::Tensor values({2});
+  values[0] = 0.5f;
+  values[1] = 0.25f;
+  const SpikeTrain train = rate_encode(values, 8, /*deterministic=*/true);
+  Index count0 = 0, count1 = 0;
+  for (const auto& step : train.active) {
+    for (const Index i : step) (i == 0 ? count0 : count1)++;
+  }
+  EXPECT_EQ(count0, 4);  // 0.5 * 8
+  EXPECT_EQ(count1, 2);  // 0.25 * 8
+}
+
+TEST(RateEncode, StochasticApproximatesRate) {
+  nn::Tensor values({1});
+  values[0] = 0.3f;
+  Rng rng(3);
+  const SpikeTrain train =
+      rate_encode(values, 10000, /*deterministic=*/false, &rng);
+  EXPECT_NEAR(static_cast<double>(train.total_spikes()) / 10000.0, 0.3, 0.02);
+}
+
+TEST(RateEncode, StochasticWithoutRngThrows) {
+  nn::Tensor values({1});
+  EXPECT_THROW(rate_encode(values, 10, false, nullptr),
+               std::invalid_argument);
+}
+
+TEST(RateEncode, ClampsOutOfRangeValues) {
+  nn::Tensor values({2});
+  values[0] = 5.0f;   // clamps to 1 -> fires every step
+  values[1] = -1.0f;  // clamps to 0 -> never fires
+  const SpikeTrain train = rate_encode(values, 10, true);
+  Index count0 = 0, count1 = 0;
+  for (const auto& step : train.active) {
+    for (const Index i : step) (i == 0 ? count0 : count1)++;
+  }
+  EXPECT_EQ(count0, 10);
+  EXPECT_EQ(count1, 0);
+}
+
+TEST(LatencyEncode, EarlierForLargerValues) {
+  nn::Tensor values({3});
+  values[0] = 1.0f;
+  values[1] = 0.5f;
+  values[2] = 0.0f;
+  const SpikeTrain train = latency_encode(values, 11);
+  // v=1 -> step 0; v=0.5 -> step 5; v=0 -> never.
+  EXPECT_EQ(train.active[0].size(), 1u);
+  EXPECT_EQ(train.active[0][0], 0);
+  EXPECT_EQ(train.active[5].size(), 1u);
+  EXPECT_EQ(train.active[5][0], 1);
+  EXPECT_EQ(train.total_spikes(), 2);
+}
+
+}  // namespace
+}  // namespace evd::snn

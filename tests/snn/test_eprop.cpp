@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "snn/eprop.hpp"
+
+namespace evd::snn {
+namespace {
+
+SpikingNetConfig net_config(Index in = 8, Index hidden = 12, Index out = 2) {
+  SpikingNetConfig config;
+  config.layer_sizes = {in, hidden, out};
+  return config;
+}
+
+/// Spike-train task: class decided by which input block is active.
+void make_task(std::vector<SpikeTrain>& inputs, std::vector<Index>& labels,
+               Index count, std::uint64_t seed) {
+  Rng rng(seed);
+  for (Index s = 0; s < count; ++s) {
+    const Index label = s % 2;
+    SpikeTrain train;
+    train.steps = 12;
+    train.size = 8;
+    train.active.resize(12);
+    for (Index t = 0; t < 12; ++t) {
+      for (Index i = 0; i < 8; ++i) {
+        const bool in_block = (label == 0) ? (i < 4) : (i >= 4);
+        if (in_block && rng.bernoulli(0.7)) {
+          train.active[static_cast<size_t>(t)].push_back(i);
+        }
+      }
+    }
+    inputs.push_back(std::move(train));
+    labels.push_back(label);
+  }
+}
+
+TEST(Eprop, RequiresTwoLayerArchitecture) {
+  Rng rng(1);
+  SpikingNetConfig deep;
+  deep.layer_sizes = {8, 12, 12, 2};
+  SpikingNet net(deep, rng);
+  EXPECT_THROW(EpropTrainer(net, EpropConfig{}), std::invalid_argument);
+}
+
+TEST(Eprop, InputSizeMismatchThrows) {
+  Rng rng(2);
+  SpikingNet net(net_config(), rng);
+  EpropTrainer trainer(net, EpropConfig{});
+  SpikeTrain wrong;
+  wrong.steps = 4;
+  wrong.size = 5;
+  wrong.active.resize(4);
+  EXPECT_THROW(trainer.train_sample(wrong, 0), std::invalid_argument);
+}
+
+TEST(Eprop, LearnsWithRandomFeedback) {
+  Rng rng(3);
+  SpikingNet net(net_config(), rng);
+  EpropConfig config;
+  config.symmetric_feedback = false;  // the fully-local [31] variant
+  config.lr = 5e-3f;
+  EpropTrainer trainer(net, config);
+
+  std::vector<SpikeTrain> inputs;
+  std::vector<Index> labels;
+  make_task(inputs, labels, 30, 4);
+  const auto report = fit_eprop(trainer, inputs, labels, 15);
+  EXPECT_GT(report.epoch_accuracy.back(), 0.9);
+  EXPECT_LT(report.epoch_loss.back(), report.epoch_loss.front());
+}
+
+TEST(Eprop, LearnsWithSymmetricFeedback) {
+  Rng rng(5);
+  SpikingNet net(net_config(), rng);
+  EpropConfig config;
+  config.symmetric_feedback = true;
+  config.lr = 5e-3f;
+  EpropTrainer trainer(net, config);
+
+  std::vector<SpikeTrain> inputs;
+  std::vector<Index> labels;
+  make_task(inputs, labels, 30, 6);
+  const auto report = fit_eprop(trainer, inputs, labels, 15);
+  EXPECT_GT(report.epoch_accuracy.back(), 0.9);
+}
+
+TEST(Eprop, TrainedNetEvaluatesWithStandardForward) {
+  // The trainer updates the net's own parameters: the standard inference
+  // path must reflect the learning.
+  Rng rng(7);
+  SpikingNet net(net_config(), rng);
+  EpropTrainer trainer(net, EpropConfig{.symmetric_feedback = false,
+                                        .lr = 5e-3f,
+                                        .grad_clip = 5.0f,
+                                        .feedback_seed = 17});
+  std::vector<SpikeTrain> inputs;
+  std::vector<Index> labels;
+  make_task(inputs, labels, 30, 8);
+  fit_eprop(trainer, inputs, labels, 15);
+  EXPECT_GT(evaluate_snn(net, inputs, labels), 0.9);
+}
+
+TEST(Eprop, MemoryIsConstantInSequenceLength) {
+  Rng rng(9);
+  SpikingNet net(net_config(64, 128, 4), rng);
+  EpropTrainer trainer(net, EpropConfig{});
+  const Index eprop_bytes = trainer.trainer_state_bytes();
+  const Index bptt_short = EpropTrainer::bptt_state_bytes(net, 10);
+  const Index bptt_long = EpropTrainer::bptt_state_bytes(net, 1000);
+  // BPTT memory grows with T; e-prop's does not and is beaten at long T.
+  EXPECT_GT(bptt_long, bptt_short * 50);
+  EXPECT_LT(eprop_bytes, bptt_long);
+}
+
+TEST(Eprop, SilentInputProducesFiniteUpdates) {
+  Rng rng(10);
+  SpikingNet net(net_config(), rng);
+  EpropTrainer trainer(net, EpropConfig{});
+  SpikeTrain silent;
+  silent.steps = 6;
+  silent.size = 8;
+  silent.active.resize(6);
+  const auto [loss, hit] = trainer.train_sample(silent, 0);
+  EXPECT_TRUE(std::isfinite(loss));
+  (void)hit;
+  for (auto* p : net.params()) {
+    for (Index i = 0; i < p->value.numel(); ++i) {
+      EXPECT_TRUE(std::isfinite(p->value[i]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace evd::snn

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "snn/event_driven.hpp"
+#include "test_util.hpp"
+
+namespace evd::snn {
+namespace {
+
+SpikeTrain sparse_train(Index steps, Index size, double density,
+                        std::uint64_t seed) {
+  SpikeTrain train;
+  train.steps = steps;
+  train.size = size;
+  train.active.resize(static_cast<size_t>(steps));
+  Rng rng(seed);
+  for (Index t = 0; t < steps; ++t) {
+    for (Index i = 0; i < size; ++i) {
+      if (rng.bernoulli(density)) {
+        train.active[static_cast<size_t>(t)].push_back(i);
+      }
+    }
+  }
+  return train;
+}
+
+struct Fixture {
+  nn::Tensor weight;
+  SpikingLayerSpec layer;
+  Fixture(Index out, Index in, std::uint64_t seed, float beta = 0.9f) {
+    Rng rng(seed);
+    weight = nn::Tensor::randn({out, in}, rng, 0.8f);
+    layer.weight = &weight;
+    layer.lif.beta = beta;
+    layer.lif.threshold = 1.0f;
+  }
+};
+
+TEST(EventDriven, MatchesClockedSpikesExactly) {
+  Fixture fixture(12, 8, 1);
+  const auto input = sparse_train(40, 8, 0.15, 2);
+  ExecutionCost clocked_cost, event_cost;
+  const SpikeTrain clocked = run_clocked(fixture.layer, input, clocked_cost);
+  const SpikeTrain event_driven =
+      run_event_driven(fixture.layer, input, event_cost);
+  ASSERT_EQ(clocked.steps, event_driven.steps);
+  for (Index t = 0; t < clocked.steps; ++t) {
+    EXPECT_EQ(clocked.active[static_cast<size_t>(t)],
+              event_driven.active[static_cast<size_t>(t)])
+        << "step " << t;
+  }
+  EXPECT_EQ(clocked_cost.output_spikes, event_cost.output_spikes);
+}
+
+TEST(EventDriven, EquivalenceHoldsForIntegrateAndFire) {
+  Fixture fixture(6, 6, 3, /*beta=*/1.0f);
+  const auto input = sparse_train(30, 6, 0.3, 4);
+  ExecutionCost a, b;
+  const auto clocked = run_clocked(fixture.layer, input, a);
+  const auto event_driven = run_event_driven(fixture.layer, input, b);
+  for (Index t = 0; t < clocked.steps; ++t) {
+    EXPECT_EQ(clocked.active[static_cast<size_t>(t)],
+              event_driven.active[static_cast<size_t>(t)]);
+  }
+}
+
+TEST(EventDriven, FewerUpdatesOnSparseInput) {
+  Fixture fixture(16, 16, 5);
+  const auto input = sparse_train(100, 16, 0.01, 6);  // mostly silent steps
+  ExecutionCost clocked_cost, event_cost;
+  run_clocked(fixture.layer, input, clocked_cost);
+  run_event_driven(fixture.layer, input, event_cost);
+  EXPECT_LT(event_cost.neuron_updates, clocked_cost.neuron_updates);
+}
+
+TEST(EventDriven, MoreExpensivePerUpdate) {
+  Fixture fixture(16, 16, 7);
+  const auto input = sparse_train(50, 16, 0.5, 8);  // busy input
+  ExecutionCost clocked_cost, event_cost;
+  run_clocked(fixture.layer, input, clocked_cost);
+  run_event_driven(fixture.layer, input, event_cost);
+  // Per-update memory cost: clocked touches 2 state words, event-driven 4.
+  const double clocked_per_update =
+      static_cast<double>(clocked_cost.memory_accesses) /
+      static_cast<double>(clocked_cost.neuron_updates);
+  const double event_per_update =
+      static_cast<double>(event_cost.memory_accesses) /
+      static_cast<double>(event_cost.neuron_updates);
+  EXPECT_GT(event_per_update, clocked_per_update);
+  // And per-update multiplies (decay lookup) are doubled.
+  EXPECT_GT(event_cost.mults / std::max<std::int64_t>(
+                                   event_cost.neuron_updates, 1),
+            clocked_cost.mults / std::max<std::int64_t>(
+                                     clocked_cost.neuron_updates, 1) -
+                1);
+}
+
+TEST(EventDriven, CrossoverWithActivity) {
+  // At very sparse input the event-driven policy moves less memory in
+  // total; at dense input the clocked policy is cheaper per step.
+  Fixture fixture(32, 32, 9);
+  const auto sparse = sparse_train(100, 32, 0.002, 10);
+  const auto dense = sparse_train(100, 32, 0.9, 11);
+  ExecutionCost clocked_sparse, event_sparse, clocked_dense, event_dense;
+  run_clocked(fixture.layer, sparse, clocked_sparse);
+  run_event_driven(fixture.layer, sparse, event_sparse);
+  run_clocked(fixture.layer, dense, clocked_dense);
+  run_event_driven(fixture.layer, dense, event_dense);
+  EXPECT_LT(event_sparse.memory_accesses, clocked_sparse.memory_accesses);
+  EXPECT_GT(event_dense.memory_accesses, clocked_dense.memory_accesses);
+}
+
+TEST(EventDriven, SpecValidation) {
+  Fixture fixture(4, 4, 12);
+  ExecutionCost cost;
+  SpikingLayerSpec bad = fixture.layer;
+  bad.weight = nullptr;
+  EXPECT_THROW(run_clocked(bad, sparse_train(5, 4, 0.5, 13), cost),
+               std::invalid_argument);
+  SpikingLayerSpec mismatched = fixture.layer;
+  EXPECT_THROW(run_clocked(mismatched, sparse_train(5, 7, 0.5, 14), cost),
+               std::invalid_argument);
+  SpikingLayerSpec bad_beta = fixture.layer;
+  bad_beta.lif.beta = 1.5f;
+  EXPECT_THROW(run_event_driven(bad_beta, sparse_train(5, 4, 0.5, 15), cost),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace evd::snn

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "snn/lif.hpp"
+
+namespace evd::snn {
+namespace {
+
+TEST(LifNeuron, SubthresholdDecayIsExact) {
+  LifConfig config;
+  config.beta = 0.8f;
+  config.threshold = 100.0f;  // never spikes
+  LifNeuron neuron(config);
+  neuron.step(1.0f);  // V = 1
+  neuron.step(0.0f);  // V = 0.8
+  neuron.step(0.0f);  // V = 0.64
+  EXPECT_NEAR(neuron.membrane(), 0.64f, 1e-6f);
+}
+
+TEST(LifNeuron, SpikesAtThreshold) {
+  LifConfig config;
+  config.beta = 1.0f;
+  config.threshold = 1.0f;
+  LifNeuron neuron(config);
+  EXPECT_FALSE(neuron.step(0.5f));
+  EXPECT_TRUE(neuron.step(0.5f));  // V reaches 1.0
+}
+
+TEST(LifNeuron, ResetBySubtractionKeepsResidual) {
+  LifConfig config;
+  config.beta = 1.0f;
+  config.threshold = 1.0f;
+  config.reset_to_zero = false;
+  LifNeuron neuron(config);
+  neuron.step(1.3f);
+  EXPECT_NEAR(neuron.membrane(), 0.3f, 1e-6f);
+}
+
+TEST(LifNeuron, ResetToZeroDiscardsResidual) {
+  LifConfig config;
+  config.beta = 1.0f;
+  config.threshold = 1.0f;
+  config.reset_to_zero = true;
+  LifNeuron neuron(config);
+  neuron.step(1.3f);
+  EXPECT_FLOAT_EQ(neuron.membrane(), 0.0f);
+}
+
+TEST(LifNeuron, RefractoryBlocksIntegration) {
+  LifConfig config;
+  config.beta = 1.0f;
+  config.threshold = 1.0f;
+  config.refractory_steps = 2;
+  LifNeuron neuron(config);
+  EXPECT_TRUE(neuron.step(2.0f));
+  EXPECT_FALSE(neuron.step(5.0f));  // refractory
+  EXPECT_FALSE(neuron.step(5.0f));  // refractory
+  EXPECT_TRUE(neuron.step(5.0f));   // recovered
+}
+
+TEST(LifNeuron, ResetStateClears) {
+  LifNeuron neuron(LifConfig{});
+  neuron.step(0.5f);
+  neuron.reset_state();
+  EXPECT_FLOAT_EQ(neuron.membrane(), 0.0f);
+}
+
+TEST(SimulateLif, TraceMatchesStepByStep) {
+  LifConfig config;
+  config.beta = 0.9f;
+  config.threshold = 0.5f;
+  const std::vector<float> current = {0.3f, 0.3f, 0.0f, 0.6f};
+  const LifTrace trace = simulate_lif(config, current);
+  ASSERT_EQ(trace.membrane.size(), 4u);
+  LifNeuron reference(config);
+  for (size_t t = 0; t < current.size(); ++t) {
+    const bool spiked = reference.step(current[t]);
+    EXPECT_EQ(trace.spikes[t] != 0, spiked) << "step " << t;
+    EXPECT_FLOAT_EQ(trace.membrane[t], reference.membrane());
+  }
+  EXPECT_GE(trace.spike_count(), 1);
+}
+
+TEST(MeasuredRate, IntegrateAndFireMatchesAnalytic) {
+  // With beta = 1 and reset-by-subtraction, rate = I / threshold exactly.
+  LifConfig config;
+  config.beta = 1.0f;
+  config.threshold = 1.0f;
+  config.reset_to_zero = false;
+  EXPECT_NEAR(measured_rate(config, 0.25f, 10000), 0.25, 0.001);
+  EXPECT_NEAR(measured_rate(config, 0.5f, 10000), 0.5, 0.001);
+}
+
+TEST(MeasuredRate, LeakReducesRate) {
+  LifConfig leaky;
+  leaky.beta = 0.9f;
+  LifConfig ideal;
+  ideal.beta = 1.0f;
+  const double rate_leaky = measured_rate(leaky, 0.3f, 10000);
+  const double rate_ideal = measured_rate(ideal, 0.3f, 10000);
+  EXPECT_LT(rate_leaky, rate_ideal);
+}
+
+TEST(MeasuredRate, BelowRheobaseNeverFires) {
+  // Steady state V = I / (1 - beta); below threshold -> silence.
+  LifConfig config;
+  config.beta = 0.5f;
+  config.threshold = 1.0f;
+  EXPECT_EQ(measured_rate(config, 0.4f, 5000), 0.0);  // V_inf = 0.8 < 1
+}
+
+}  // namespace
+}  // namespace evd::snn

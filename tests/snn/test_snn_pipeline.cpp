@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "snn/snn_pipeline.hpp"
+
+namespace evd::snn {
+namespace {
+
+events::ShapeDatasetConfig tiny_dataset() {
+  events::ShapeDatasetConfig config;
+  config.width = 16;
+  config.height = 16;
+  config.num_classes = 2;
+  config.duration_us = 30000;
+  config.min_radius = 3.0;
+  config.max_radius = 5.0;
+  return config;
+}
+
+SnnPipelineConfig tiny_pipeline() {
+  SnnPipelineConfig config;
+  config.width = 16;
+  config.height = 16;
+  config.num_classes = 2;
+  config.hidden = 32;
+  config.encoder.steps = 10;
+  config.encoder.spatial_factor = 2;
+  config.augment_shifts = 2;
+  config.augment_max_shift = 2;
+  return config;
+}
+
+TEST(SnnPipeline, TrainAndClassifySmoke) {
+  events::ShapeDataset dataset(tiny_dataset());
+  std::vector<events::LabelledSample> train, test;
+  dataset.make_split(8, 4, train, test);
+
+  SnnPipeline pipeline(tiny_pipeline());
+  core::TrainOptions options;
+  options.epochs = 8;
+  options.lr = 3e-3f;
+  pipeline.train(train, options);
+
+  Index correct = 0;
+  for (const auto& sample : test) {
+    const int predicted = pipeline.classify(sample.stream);
+    EXPECT_GE(predicted, 0);
+    EXPECT_LT(predicted, 2);
+    correct += (predicted == sample.label) ? 1 : 0;
+  }
+  EXPECT_GE(correct, 4);  // above chance on 8 test samples
+}
+
+TEST(SnnPipeline, SessionDecisionsAtTimestepGranularity) {
+  SnnPipeline pipeline(tiny_pipeline());
+  auto session = pipeline.open_session(16, 16);
+  for (TimeUs t = 0; t < 50000; t += 1000) {
+    session->feed({4, 4, Polarity::On, t});
+  }
+  session->advance_to(50000);
+  // Timestep 5 ms -> 10 decisions.
+  EXPECT_EQ(session->decisions().size(), 10u);
+  EXPECT_EQ(session->decisions().front().t, 5000);
+  for (const auto& d : session->decisions()) {
+    EXPECT_GE(d.label, 0);
+    EXPECT_GT(d.confidence, 0.0);
+  }
+}
+
+TEST(SnnPipeline, GeometryMismatchThrows) {
+  SnnPipeline pipeline(tiny_pipeline());
+  EXPECT_THROW(pipeline.open_session(32, 32), std::invalid_argument);
+}
+
+TEST(SnnPipeline, MetricsAreSane) {
+  SnnPipeline pipeline(tiny_pipeline());
+  EXPECT_GT(pipeline.param_count(), 1000);
+  EXPECT_GT(pipeline.state_bytes(), 0);
+  EXPECT_GT(pipeline.input_preparation_bytes(), 0);
+  // Spike trains are far lighter to prepare than a dense frame.
+  EXPECT_LT(pipeline.input_preparation_bytes(), 2 * 16 * 16 * 4);
+}
+
+TEST(SnnPipeline, SparsityMetricsInRange) {
+  SnnPipeline pipeline(tiny_pipeline());
+  events::ShapeDataset dataset(tiny_dataset());
+  const auto sample = dataset.make_sample(0);
+  const double input_sparsity = pipeline.input_sparsity(sample.stream);
+  EXPECT_GT(input_sparsity, 0.5);  // event input is overwhelmingly silent
+  EXPECT_LE(input_sparsity, 1.0);
+  const double compute_sparsity =
+      pipeline.computation_sparsity(sample.stream);
+  EXPECT_GT(compute_sparsity, 0.3);
+  EXPECT_LE(compute_sparsity, 1.0);
+}
+
+TEST(SnnPipeline, AugmentationDisabledStillTrains) {
+  auto config = tiny_pipeline();
+  config.augment_shifts = 0;
+  events::ShapeDataset dataset(tiny_dataset());
+  std::vector<events::LabelledSample> train, test;
+  dataset.make_split(2, 1, train, test);
+  SnnPipeline pipeline(config);
+  core::TrainOptions options;
+  options.epochs = 2;
+  EXPECT_NO_THROW(pipeline.train(train, options));
+}
+
+}  // namespace
+}  // namespace evd::snn

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "snn/stdp.hpp"
+
+namespace evd::snn {
+namespace {
+
+/// Spike train repeating one of two disjoint input blocks.
+SpikeTrain pattern_train(Index size, Index steps, bool second_half,
+                         double density, Rng& rng) {
+  SpikeTrain train;
+  train.size = size;
+  train.steps = steps;
+  train.active.resize(static_cast<size_t>(steps));
+  const Index begin = second_half ? size / 2 : 0;
+  const Index end = second_half ? size : size / 2;
+  for (Index t = 0; t < steps; ++t) {
+    for (Index i = begin; i < end; ++i) {
+      if (rng.bernoulli(density)) {
+        train.active[static_cast<size_t>(t)].push_back(i);
+      }
+    }
+  }
+  return train;
+}
+
+StdpConfig small_config() {
+  StdpConfig config;
+  config.inputs = 16;
+  config.outputs = 4;
+  config.threshold = 3.0f;
+  return config;
+}
+
+TEST(Stdp, WeightsStayBounded) {
+  StdpLayer layer(small_config());
+  Rng rng(1);
+  for (int k = 0; k < 40; ++k) {
+    layer.present(pattern_train(16, 20, k % 2 == 0, 0.6, rng));
+  }
+  for (Index i = 0; i < layer.weights().numel(); ++i) {
+    EXPECT_GE(layer.weights()[i], 0.0f);
+    EXPECT_LE(layer.weights()[i], small_config().w_max + 1e-6f);
+  }
+}
+
+TEST(Stdp, OutputsSpecialiseOnDistinctPatterns) {
+  StdpLayer layer(small_config());
+  Rng rng(2);
+  for (int k = 0; k < 60; ++k) {
+    layer.present(pattern_train(16, 20, k % 2 == 0, 0.6, rng));
+  }
+  // After training, the dominant responder to pattern A must differ from
+  // the dominant responder to pattern B (specialisation via WTA).
+  Rng probe_rng(3);
+  const auto respond = [&](bool second_half) {
+    auto counts = layer.present(
+        pattern_train(16, 20, second_half, 0.6, probe_rng), /*learn=*/false);
+    return static_cast<Index>(
+        std::max_element(counts.begin(), counts.end()) - counts.begin());
+  };
+  const Index winner_a = respond(false);
+  const Index winner_b = respond(true);
+  EXPECT_NE(winner_a, winner_b);
+}
+
+TEST(Stdp, ReceptiveFieldsMatchPatterns) {
+  StdpLayer layer(small_config());
+  Rng rng(4);
+  for (int k = 0; k < 60; ++k) {
+    layer.present(pattern_train(16, 20, k % 2 == 0, 0.6, rng));
+  }
+  Rng probe_rng(5);
+  auto counts =
+      layer.present(pattern_train(16, 20, false, 0.6, probe_rng), false);
+  const Index winner = static_cast<Index>(
+      std::max_element(counts.begin(), counts.end()) - counts.begin());
+  const auto field = layer.receptive_field(winner);
+  // Pattern A lives in inputs [0, 8): the winner's weights there must
+  // dominate its weights elsewhere.
+  double in_pattern = 0.0, outside = 0.0;
+  for (Index i = 0; i < 8; ++i) in_pattern += field[i];
+  for (Index i = 8; i < 16; ++i) outside += field[i];
+  EXPECT_GT(in_pattern, outside * 1.5);
+}
+
+TEST(Stdp, LearningCanBeFrozen) {
+  StdpLayer layer(small_config());
+  Rng rng(6);
+  layer.present(pattern_train(16, 20, false, 0.6, rng), /*learn=*/true);
+  const nn::Tensor snapshot = layer.weights();
+  layer.present(pattern_train(16, 20, true, 0.6, rng), /*learn=*/false);
+  EXPECT_EQ(snapshot.vec(), layer.weights().vec());
+  EXPECT_EQ(layer.last_weight_change(), 0.0);
+}
+
+TEST(Stdp, WeightChangeShrinksAsItConverges) {
+  StdpLayer layer(small_config());
+  Rng rng(7);
+  double early = 0.0, late = 0.0;
+  for (int k = 0; k < 80; ++k) {
+    layer.present(pattern_train(16, 20, k % 2 == 0, 0.6, rng));
+    if (k < 10) early += layer.last_weight_change();
+    if (k >= 70) late += layer.last_weight_change();
+  }
+  EXPECT_LT(late, early);
+}
+
+TEST(Stdp, HomeostasisSpreadsActivity) {
+  // With one repeated pattern, homeostatic thresholds stop a single output
+  // from monopolising every presentation forever.
+  auto config = small_config();
+  config.homeostasis = 1.0f;
+  config.homeostasis_decay = 0.999f;
+  StdpLayer layer(config);
+  Rng rng(8);
+  std::vector<Index> total(static_cast<size_t>(config.outputs), 0);
+  for (int k = 0; k < 30; ++k) {
+    const auto counts = layer.present(pattern_train(16, 20, false, 0.6, rng));
+    for (size_t j = 0; j < total.size(); ++j) total[j] += counts[j];
+  }
+  Index active_outputs = 0;
+  for (const auto c : total) active_outputs += (c > 0) ? 1 : 0;
+  EXPECT_GE(active_outputs, 2);
+}
+
+TEST(Stdp, ConfigValidation) {
+  StdpConfig bad;
+  bad.inputs = 0;
+  EXPECT_THROW(StdpLayer{bad}, std::invalid_argument);
+  StdpLayer layer(small_config());
+  SpikeTrain wrong;
+  wrong.size = 5;
+  wrong.steps = 2;
+  wrong.active.resize(2);
+  EXPECT_THROW(layer.present(wrong), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace evd::snn

@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include "snn/surrogate.hpp"
+
+namespace evd::snn {
+namespace {
+
+class SurrogateKinds : public ::testing::TestWithParam<SurrogateKind> {};
+
+TEST_P(SurrogateKinds, PeaksAtThreshold) {
+  const auto kind = GetParam();
+  const float at_zero = surrogate_grad(kind, 0.0f);
+  EXPECT_GT(at_zero, 0.0f);
+  EXPECT_GE(at_zero, surrogate_grad(kind, 0.5f));
+  EXPECT_GE(at_zero, surrogate_grad(kind, -0.5f));
+}
+
+TEST_P(SurrogateKinds, SymmetricAroundThreshold) {
+  const auto kind = GetParam();
+  for (const float x : {0.1f, 0.3f, 1.0f}) {
+    EXPECT_FLOAT_EQ(surrogate_grad(kind, x), surrogate_grad(kind, -x));
+  }
+}
+
+TEST_P(SurrogateKinds, DecaysAwayFromThreshold) {
+  const auto kind = GetParam();
+  EXPECT_LE(surrogate_grad(kind, 10.0f), surrogate_grad(kind, 0.1f));
+  EXPECT_LT(surrogate_grad(kind, 100.0f), 0.05f);
+}
+
+TEST_P(SurrogateKinds, NonNegativeEverywhere) {
+  const auto kind = GetParam();
+  for (float x = -5.0f; x <= 5.0f; x += 0.25f) {
+    EXPECT_GE(surrogate_grad(kind, x), 0.0f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, SurrogateKinds,
+                         ::testing::Values(SurrogateKind::FastSigmoid,
+                                           SurrogateKind::Boxcar,
+                                           SurrogateKind::ArcTan));
+
+TEST(Surrogate, FastSigmoidClosedForm) {
+  // 1 / (1 + 2|x|)^2 at x = 0.5 -> 1/4.
+  EXPECT_NEAR(surrogate_grad(SurrogateKind::FastSigmoid, 0.5f, 2.0f), 0.25f,
+              1e-6f);
+}
+
+TEST(Surrogate, BoxcarWindow) {
+  EXPECT_FLOAT_EQ(surrogate_grad(SurrogateKind::Boxcar, 0.0f, 2.0f), 2.0f);
+  EXPECT_FLOAT_EQ(surrogate_grad(SurrogateKind::Boxcar, 0.3f, 2.0f), 0.0f);
+}
+
+TEST(Surrogate, NamesDistinct) {
+  EXPECT_STRNE(surrogate_name(SurrogateKind::FastSigmoid),
+               surrogate_name(SurrogateKind::Boxcar));
+  EXPECT_STRNE(surrogate_name(SurrogateKind::Boxcar),
+               surrogate_name(SurrogateKind::ArcTan));
+}
+
+}  // namespace
+}  // namespace evd::snn

@@ -1,0 +1,71 @@
+// Shared helpers for the test suite: numeric gradient checking and small
+// stream factories.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "events/event.hpp"
+#include "nn/layer.hpp"
+#include "nn/tensor.hpp"
+
+namespace evd::test {
+
+/// Central-difference numeric gradient of a scalar function of a tensor.
+inline nn::Tensor numeric_gradient(
+    const std::function<double(const nn::Tensor&)>& f, const nn::Tensor& x,
+    float eps = 1e-3f) {
+  nn::Tensor grad(x.shape());
+  nn::Tensor probe = x;
+  for (Index i = 0; i < x.numel(); ++i) {
+    const float original = probe[i];
+    probe[i] = original + eps;
+    const double up = f(probe);
+    probe[i] = original - eps;
+    const double down = f(probe);
+    probe[i] = original;
+    grad[i] = static_cast<float>((up - down) / (2.0 * eps));
+  }
+  return grad;
+}
+
+/// Assert two gradients agree within mixed absolute/relative tolerance.
+inline void expect_gradients_close(const nn::Tensor& analytic,
+                                   const nn::Tensor& numeric,
+                                   double tolerance = 2e-2) {
+  ASSERT_EQ(analytic.numel(), numeric.numel());
+  for (Index i = 0; i < analytic.numel(); ++i) {
+    const double a = analytic[i];
+    const double n = numeric[i];
+    const double scale = std::max({std::abs(a), std::abs(n), 1.0});
+    EXPECT_NEAR(a, n, tolerance * scale) << "component " << i;
+  }
+}
+
+/// Small synthetic sorted event stream on a width x height sensor.
+inline events::EventStream make_stream(Index width, Index height, Index count,
+                                       std::uint64_t seed = 7,
+                                       TimeUs duration = 100000) {
+  events::EventStream stream;
+  stream.width = width;
+  stream.height = height;
+  Rng rng(seed);
+  stream.events.reserve(static_cast<size_t>(count));
+  for (Index i = 0; i < count; ++i) {
+    events::Event e;
+    e.x = static_cast<std::int16_t>(rng.uniform_int(
+        static_cast<std::uint64_t>(width)));
+    e.y = static_cast<std::int16_t>(rng.uniform_int(
+        static_cast<std::uint64_t>(height)));
+    e.polarity = rng.bernoulli(0.5) ? Polarity::On : Polarity::Off;
+    e.t = static_cast<TimeUs>(rng.uniform() * static_cast<double>(duration));
+    stream.events.push_back(e);
+  }
+  events::sort_by_time(stream.events);
+  return stream;
+}
+
+}  // namespace evd::test
