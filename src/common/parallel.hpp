@@ -1,0 +1,117 @@
+// Deterministic parallel execution layer (`evd::par`).
+//
+// A lazily-initialised global thread pool drives chunked `parallel_for` /
+// `parallel_reduce` primitives over Index ranges. The pool size comes from
+// the EVD_THREADS environment variable (default: hardware_concurrency) and
+// can be changed at runtime with set_thread_count() — benches sweep it.
+//
+// Determinism contract: results are bitwise identical for ANY thread count.
+//   * Chunk boundaries depend only on (range, grain) — never on the number
+//     of threads — so every floating-point accumulation inside a chunk sees
+//     the same operand order regardless of who executes it.
+//   * Chunks are assigned statically (worker w runs chunks w, w+W, ...), so
+//     there is no scheduling-dependent work order to leak into results.
+//   * parallel_reduce stores one partial per chunk and combines them on the
+//     calling thread in ascending chunk order.
+//
+// Nesting: a parallel_for issued from inside a worker (or from the caller's
+// own chunk) executes serially inline — no deadlock, same results. Worker
+// exceptions are captured per chunk and the lowest-index one is rethrown on
+// the calling thread after the region completes.
+#pragma once
+
+#include <exception>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace evd::par {
+
+/// Configured pool size (threads that may execute chunks, caller included).
+Index thread_count();
+
+/// Resize the pool (joins idle workers, spawns anew). Clamped to >= 1.
+/// Must not be called from inside a parallel region.
+void set_thread_count(Index n);
+
+/// True while the current thread is executing a chunk of a parallel region
+/// (nested regions run serially inline).
+bool in_parallel_region() noexcept;
+
+/// Parse an EVD_THREADS-style value; returns `fallback` for null/invalid.
+/// Exposed for tests; the pool calls it once at first use.
+Index parse_thread_count(const char* value, Index fallback);
+
+/// Number of chunks a range [begin, end) splits into at the given grain.
+inline Index chunk_count(Index begin, Index end, Index grain) noexcept {
+  if (end <= begin) return 0;
+  if (grain < 1) grain = 1;
+  return (end - begin + grain - 1) / grain;
+}
+
+namespace detail {
+/// Run chunk_fn(c) for c in [0, nchunks) across the pool. chunk_fn must not
+/// throw (template wrappers below capture exceptions per chunk).
+void for_each_chunk(Index nchunks, const std::function<void(Index)>& chunk_fn);
+}  // namespace detail
+
+/// Chunked loop: fn(chunk_begin, chunk_end) over disjoint sub-ranges of
+/// [begin, end), each at most `grain` long. Chunk boundaries are a pure
+/// function of (begin, end, grain).
+template <typename Fn>
+void parallel_for(Index begin, Index end, Index grain, Fn&& fn) {
+  if (end <= begin) return;
+  if (grain < 1) grain = 1;
+  const Index nchunks = chunk_count(begin, end, grain);
+  std::vector<std::exception_ptr> errors;
+  if (nchunks > 1) errors.resize(static_cast<size_t>(nchunks));
+  detail::for_each_chunk(nchunks, [&](Index c) {
+    const Index b = begin + c * grain;
+    const Index e = b + grain < end ? b + grain : end;
+    if (errors.empty()) {
+      fn(b, e);  // single chunk: runs on the caller, throws directly
+    } else {
+      try {
+        fn(b, e);
+      } catch (...) {
+        errors[static_cast<size_t>(c)] = std::current_exception();
+      }
+    }
+  });
+  for (const auto& err : errors) {
+    if (err) std::rethrow_exception(err);
+  }
+}
+
+/// Like parallel_for, but fn also receives the chunk index:
+/// fn(chunk, chunk_begin, chunk_end). Use it to scatter into per-chunk
+/// buffers that are merged in chunk order afterwards.
+template <typename Fn>
+void parallel_for_chunks(Index begin, Index end, Index grain, Fn&& fn) {
+  parallel_for(begin, end, grain,
+               [&, begin, grain](Index b, Index e) {
+                 fn((b - begin) / grain, b, e);
+               });
+}
+
+/// Chunked reduction: partials[c] = map(chunk_begin, chunk_end) computed in
+/// parallel, then folded with combine(acc, partial) in ascending chunk order
+/// on the calling thread — bitwise identical for any thread count.
+template <typename T, typename Map, typename Combine>
+T parallel_reduce(Index begin, Index end, Index grain, T identity, Map&& map,
+                  Combine&& combine) {
+  if (end <= begin) return identity;
+  if (grain < 1) grain = 1;
+  const Index nchunks = chunk_count(begin, end, grain);
+  std::vector<T> partials(static_cast<size_t>(nchunks), identity);
+  parallel_for_chunks(begin, end, grain, [&](Index c, Index b, Index e) {
+    partials[static_cast<size_t>(c)] = map(b, e);
+  });
+  T acc = std::move(identity);
+  for (auto& partial : partials) acc = combine(std::move(acc), std::move(partial));
+  return acc;
+}
+
+}  // namespace evd::par

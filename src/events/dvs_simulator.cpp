@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/parallel.hpp"
+
 namespace evd::events {
 
 DvsSimulator::DvsSimulator(Index width, Index height, DvsConfig config,
@@ -145,13 +147,31 @@ EventStream DvsSimulator::simulate(const Scene& scene, TimeUs duration_us) {
 
   std::vector<Event>& out = stream.events;
   TimeUs t_prev = 0;
+  // The threshold walk is per-pixel state + deterministic arithmetic (no
+  // RNG), so rows partition freely across the pool. Chunk buffers
+  // concatenate in row order — the exact serial emission order — and the
+  // final stable sort therefore yields an identical stream for any thread
+  // count. Noise synthesis consumes the RNG and stays on the caller.
+  constexpr Index kRowGrain = 4;
+  const Index nchunks = par::chunk_count(0, height_, kRowGrain);
+  std::vector<std::vector<Event>> chunk_events(static_cast<size_t>(nchunks));
   for (TimeUs t = config_.sim_step_us; t <= duration_us;
        t += config_.sim_step_us) {
     const Image frame = scene.render(static_cast<double>(t) * 1e-6);
-    for (Index y = 0; y < height_; ++y) {
-      for (Index x = 0; x < width_; ++x) {
-        emit_pixel_events(x, y, log_intensity(frame.at(x, y)), t_prev, t, out);
+    par::parallel_for_chunks(0, height_, kRowGrain, [&](Index chunk,
+                                                        Index y_begin,
+                                                        Index y_end) {
+      auto& local = chunk_events[static_cast<size_t>(chunk)];
+      for (Index y = y_begin; y < y_end; ++y) {
+        for (Index x = 0; x < width_; ++x) {
+          emit_pixel_events(x, y, log_intensity(frame.at(x, y)), t_prev, t,
+                            local);
+        }
       }
+    });
+    for (auto& local : chunk_events) {
+      out.insert(out.end(), local.begin(), local.end());
+      local.clear();
     }
     emit_noise(t_prev, t, out);
     t_prev = t;

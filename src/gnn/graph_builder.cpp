@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/parallel.hpp"
+
 namespace evd::gnn {
 
 Point3 embed(const events::Event& event, double time_scale) {
@@ -37,53 +39,68 @@ EventGraph build_graph(const events::EventStream& stream,
   for (const auto& e : sampled) points.push_back(embed(e, config.time_scale));
   const KdTree tree(points);
 
-  EventGraph graph;
-  for (size_t i = 0; i < sampled.size(); ++i) {
-    std::vector<Index> candidates;
-    if (config.knn > 0) {
-      // Grow the query until enough *earlier* neighbours survive the
-      // causality filter (nearest points in (x,y,z) are often later events).
-      Index k = 2 * config.knn + 1;
-      const auto total = static_cast<Index>(points.size());
-      while (true) {
-        candidates = tree.knn_query(points[i], std::min(k, total));
+  // Batch neighbourhood search: each event's query is independent of every
+  // other's (the kd-tree is immutable and visit counts are per-query), so
+  // events partition freely across the pool. Results land in a per-event
+  // slot and the CSR graph is assembled serially in event order — identical
+  // output for any thread count.
+  const auto n = static_cast<Index>(sampled.size());
+  std::vector<std::vector<Index>> neighbor_lists(static_cast<size_t>(n));
+  par::parallel_for(0, n, 64, [&](Index begin, Index end) {
+    for (Index idx = begin; idx < end; ++idx) {
+      const auto i = static_cast<size_t>(idx);
+      std::vector<Index> candidates;
+      if (config.knn > 0) {
+        // Grow the query until enough *earlier* neighbours survive the
+        // causality filter (nearest points in (x,y,z) are often later
+        // events).
+        Index k = 2 * config.knn + 1;
+        const auto total = static_cast<Index>(points.size());
+        while (true) {
+          candidates = tree.knn_query(points[i], std::min(k, total));
+          std::erase_if(candidates, [&](Index c) {
+            return static_cast<size_t>(c) >= i;
+          });
+          if (static_cast<Index>(candidates.size()) >= config.knn ||
+              k >= total) {
+            break;
+          }
+          k *= 2;
+        }
+      } else {
+        candidates = tree.radius_query(points[i], config.radius);
+        // Keep only strictly earlier events (directed, causal edges).
         std::erase_if(candidates, [&](Index c) {
           return static_cast<size_t>(c) >= i;
         });
-        if (static_cast<Index>(candidates.size()) >= config.knn ||
-            k >= total) {
-          break;
-        }
-        k *= 2;
       }
-    } else {
-      candidates = tree.radius_query(points[i], config.radius);
-      // Keep only strictly earlier events (directed, causal edges).
-      std::erase_if(candidates, [&](Index c) {
-        return static_cast<size_t>(c) >= i;
+      // Tie-break equal distances by id so the degree cap is deterministic
+      // (and identical to the incremental builder's ordering).
+      std::sort(candidates.begin(), candidates.end(), [&](Index a, Index b) {
+        const float da =
+            squared_distance(points[static_cast<size_t>(a)], points[i]);
+        const float db =
+            squared_distance(points[static_cast<size_t>(b)], points[i]);
+        return da < db || (da == db && a < b);
       });
+      const Index degree_cap = config.knn > 0
+                                   ? std::min(config.knn, config.max_neighbors)
+                                   : config.max_neighbors;
+      if (static_cast<Index>(candidates.size()) > degree_cap) {
+        candidates.resize(static_cast<size_t>(degree_cap));
+      }
+      neighbor_lists[i] = std::move(candidates);
     }
-    // Tie-break equal distances by id so the degree cap is deterministic
-    // (and identical to the incremental builder's ordering).
-    std::sort(candidates.begin(), candidates.end(), [&](Index a, Index b) {
-      const float da =
-          squared_distance(points[static_cast<size_t>(a)], points[i]);
-      const float db =
-          squared_distance(points[static_cast<size_t>(b)], points[i]);
-      return da < db || (da == db && a < b);
-    });
-    const Index degree_cap = config.knn > 0
-                                 ? std::min(config.knn, config.max_neighbors)
-                                 : config.max_neighbors;
-    if (static_cast<Index>(candidates.size()) > degree_cap) {
-      candidates.resize(static_cast<size_t>(degree_cap));
-    }
+  });
+
+  EventGraph graph;
+  for (size_t i = 0; i < sampled.size(); ++i) {
     GraphNode node;
     node.position = points[i];
     node.polarity_sign =
         static_cast<std::int8_t>(polarity_sign(sampled[i].polarity));
     node.t = sampled[i].t;
-    graph.add_node(node, std::move(candidates));
+    graph.add_node(node, std::move(neighbor_lists[i]));
   }
   return graph;
 }

@@ -48,32 +48,33 @@ float axis_value(const Point3& p, int axis) {
 }  // namespace
 
 void KdTree::radius_search(Index node, const Point3& query, float r2,
-                           std::vector<Index>& out) const {
+                           std::vector<Index>& out, Index& visited) const {
   if (node < 0) return;
-  ++last_visited_;
+  ++visited;
   const auto& n = nodes_[static_cast<size_t>(node)];
   const auto& p = points_[static_cast<size_t>(n.point)];
   if (squared_distance(p, query) <= r2) out.push_back(n.point);
   const float diff = axis_value(query, n.axis) - axis_value(p, n.axis);
   const Index near = diff <= 0.0f ? n.left : n.right;
   const Index far = diff <= 0.0f ? n.right : n.left;
-  radius_search(near, query, r2, out);
-  if (diff * diff <= r2) radius_search(far, query, r2, out);
+  radius_search(near, query, r2, out, visited);
+  if (diff * diff <= r2) radius_search(far, query, r2, out, visited);
 }
 
-std::vector<Index> KdTree::radius_query(const Point3& query,
-                                        float radius) const {
-  last_visited_ = 0;
+std::vector<Index> KdTree::radius_query(const Point3& query, float radius,
+                                        Index* visited) const {
+  Index count = 0;
   std::vector<Index> out;
-  radius_search(root_, query, radius * radius, out);
+  radius_search(root_, query, radius * radius, out, count);
+  if (visited != nullptr) *visited = count;
   return out;
 }
 
 void KdTree::knn_search(Index node, const Point3& query,
-                        std::vector<std::pair<float, Index>>& heap,
-                        Index k) const {
+                        std::vector<std::pair<float, Index>>& heap, Index k,
+                        Index& visited) const {
   if (node < 0) return;
-  ++last_visited_;
+  ++visited;
   const auto& n = nodes_[static_cast<size_t>(node)];
   const auto& p = points_[static_cast<size_t>(n.point)];
   const float d2 = squared_distance(p, query);
@@ -88,17 +89,19 @@ void KdTree::knn_search(Index node, const Point3& query,
   const float diff = axis_value(query, n.axis) - axis_value(p, n.axis);
   const Index near = diff <= 0.0f ? n.left : n.right;
   const Index far = diff <= 0.0f ? n.right : n.left;
-  knn_search(near, query, heap, k);
+  knn_search(near, query, heap, k, visited);
   if (static_cast<Index>(heap.size()) < k || diff * diff < heap.front().first) {
-    knn_search(far, query, heap, k);
+    knn_search(far, query, heap, k, visited);
   }
 }
 
-std::vector<Index> KdTree::knn_query(const Point3& query, Index k) const {
-  last_visited_ = 0;
+std::vector<Index> KdTree::knn_query(const Point3& query, Index k,
+                                     Index* visited) const {
+  Index count = 0;
   std::vector<std::pair<float, Index>> heap;
   heap.reserve(static_cast<size_t>(k));
-  knn_search(root_, query, heap, k);
+  knn_search(root_, query, heap, k, count);
+  if (visited != nullptr) *visited = count;
   std::sort_heap(heap.begin(), heap.end());
   std::vector<Index> out;
   out.reserve(heap.size());

@@ -39,14 +39,18 @@ class KdTree {
   }
 
   /// Indices (into the original point order) within `radius` of `query`,
-  /// excluding exact self-matches is the caller's business.
-  std::vector<Index> radius_query(const Point3& query, float radius) const;
+  /// excluding exact self-matches is the caller's business. When `visited`
+  /// is non-null it receives the number of tree nodes touched by this query
+  /// (search-cost metric) — returned per query rather than stashed in
+  /// mutable member state so concurrent queries on a shared tree are
+  /// race-free.
+  std::vector<Index> radius_query(const Point3& query, float radius,
+                                  Index* visited = nullptr) const;
 
-  /// The k nearest neighbours of `query` (by Euclidean distance).
-  std::vector<Index> knn_query(const Point3& query, Index k) const;
-
-  /// Number of nodes visited by the last query (search-cost metric).
-  Index last_visited() const noexcept { return last_visited_; }
+  /// The k nearest neighbours of `query` (by Euclidean distance). `visited`
+  /// as for radius_query.
+  std::vector<Index> knn_query(const Point3& query, Index k,
+                               Index* visited = nullptr) const;
 
  private:
   struct Node {
@@ -58,14 +62,14 @@ class KdTree {
 
   Index build(std::span<Index> ids, int depth);
   void radius_search(Index node, const Point3& query, float r2,
-                     std::vector<Index>& out) const;
+                     std::vector<Index>& out, Index& visited) const;
   void knn_search(Index node, const Point3& query,
-                  std::vector<std::pair<float, Index>>& heap, Index k) const;
+                  std::vector<std::pair<float, Index>>& heap, Index k,
+                  Index& visited) const;
 
   std::vector<Point3> points_;   ///< Original order.
   std::vector<Node> nodes_;
   Index root_ = -1;
-  mutable Index last_visited_ = 0;
 };
 
 }  // namespace evd::gnn

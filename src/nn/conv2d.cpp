@@ -1,7 +1,10 @@
 #include "nn/conv2d.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <vector>
 
+#include "common/parallel.hpp"
 #include "nn/counters.hpp"
 #include "nn/init.hpp"
 
@@ -21,6 +24,19 @@ Conv2d::Conv2d(Conv2dConfig config, Rng& rng)
   }
 }
 
+bool Conv2d::use_gemm(Index oh, Index ow) const noexcept {
+  switch (config_.algo) {
+    case ConvAlgo::Direct: return false;
+    case ConvAlgo::Gemm: return true;
+    case ConvAlgo::Auto: break;
+  }
+  // Amortise the im2col materialisation: worthwhile once the patch matrix
+  // carries a few thousand multiplies. Shape-only, so the choice (and hence
+  // the output bits) never depends on the thread count.
+  const Index patch = config_.in_channels * config_.kernel * config_.kernel;
+  return patch * oh * ow >= 4096;
+}
+
 Tensor Conv2d::forward(const Tensor& input, bool train) {
   if (input.rank() != 3 || input.dim(0) != config_.in_channels) {
     throw std::invalid_argument("Conv2d::forward: expected [C,H,W] input with C=" +
@@ -35,65 +51,178 @@ Tensor Conv2d::forward(const Tensor& input, bool train) {
   }
   if (train) cached_input_ = input;
 
+  Tensor output = use_gemm(oh, ow) ? forward_gemm(input, oh, ow)
+                                   : forward_direct(input, oh, ow);
+  if (active_counter() != nullptr) count_forward(input, oh, ow);
+  return output;
+}
+
+Tensor Conv2d::forward_direct(const Tensor& input, Index oh, Index ow) const {
+  const Index ih = input.dim(1);
+  const Index iw = input.dim(2);
   const Index k = config_.kernel;
+  const Index ic_count = config_.in_channels;
+  const Index stride = config_.stride;
+  const Index padding = config_.padding;
+
   Tensor output({config_.out_channels, oh, ow});
-  for (Index oc = 0; oc < config_.out_channels; ++oc) {
-    for (Index oy = 0; oy < oh; ++oy) {
-      for (Index ox = 0; ox < ow; ++ox) {
-        float acc = bias_.value[oc];
-        const Index base_y = oy * config_.stride - config_.padding;
-        const Index base_x = ox * config_.stride - config_.padding;
-        for (Index ic = 0; ic < config_.in_channels; ++ic) {
-          for (Index ky = 0; ky < k; ++ky) {
-            const Index y = base_y + ky;
-            if (y < 0 || y >= ih) continue;
-            for (Index kx = 0; kx < k; ++kx) {
-              const Index x = base_x + kx;
-              if (x < 0 || x >= iw) continue;
-              acc += weight_.value[((oc * config_.in_channels + ic) * k + ky) *
-                                       k +
-                                   kx] *
-                     input.at3(ic, y, x);
+  const float* in = input.data();
+  const float* wts = weight_.value.data();
+  float* out = output.data();
+
+  par::parallel_for(0, config_.out_channels, 1, [&](Index oc_begin,
+                                                    Index oc_end) {
+    for (Index oc = oc_begin; oc < oc_end; ++oc) {
+      const float* w_oc = wts + oc * ic_count * k * k;
+      const float bias = bias_.value[oc];
+      float* out_oc = out + oc * oh * ow;
+      for (Index oy = 0; oy < oh; ++oy) {
+        const Index base_y = oy * stride - padding;
+        // Valid kernel-row range for this output row: interior rows skip
+        // all per-pixel bounds checks.
+        const Index ky0 = base_y < 0 ? -base_y : 0;
+        const Index ky1 = std::min(k, ih - base_y);
+        for (Index ox = 0; ox < ow; ++ox) {
+          const Index base_x = ox * stride - padding;
+          const Index kx0 = base_x < 0 ? -base_x : 0;
+          const Index kx1 = std::min(k, iw - base_x);
+          float acc = bias;
+          for (Index ic = 0; ic < ic_count; ++ic) {
+            const float* w_ic = w_oc + ic * k * k;
+            const float* in_ic = in + ic * ih * iw;
+            for (Index ky = ky0; ky < ky1; ++ky) {
+              const float* w_row = w_ic + ky * k;
+              const float* in_row = in_ic + (base_y + ky) * iw + base_x;
+              for (Index kx = kx0; kx < kx1; ++kx) {
+                acc += w_row[kx] * in_row[kx];
+              }
             }
           }
+          out_oc[oy * ow + ox] = acc;
         }
-        output.at3(oc, oy, ox) = acc;
       }
     }
-  }
+  });
+  return output;
+}
 
-  if (active_counter() != nullptr) {
-    // Count MACs over valid (non-padding) taps, and how many of those had a
-    // zero activation operand (skippable on sparse hardware).
+Tensor Conv2d::forward_gemm(const Tensor& input, Index oh, Index ow) const {
+  const Index ih = input.dim(1);
+  const Index iw = input.dim(2);
+  const Index k = config_.kernel;
+  const Index stride = config_.stride;
+  const Index padding = config_.padding;
+  const Index rows = config_.in_channels * k * k;  // patch dimension R
+  const Index cols = oh * ow;                      // pixel dimension P
+
+  // im2col: col[r][p] is input tap (ic, ky, kx) = unflatten(r) at output
+  // pixel p, zero for padding taps. Row order matches the direct loop's
+  // (ic, ky, kx) accumulation order exactly.
+  std::vector<float> col(static_cast<size_t>(rows * cols));
+  const float* in = input.data();
+  par::parallel_for(0, rows, 1, [&](Index r_begin, Index r_end) {
+    for (Index r = r_begin; r < r_end; ++r) {
+      const Index ic = r / (k * k);
+      const Index ky = (r / k) % k;
+      const Index kx = r % k;
+      const float* in_ic = in + ic * ih * iw;
+      float* dst = col.data() + r * cols;
+      Index p = 0;
+      for (Index oy = 0; oy < oh; ++oy) {
+        const Index y = oy * stride - padding + ky;
+        if (y < 0 || y >= ih) {
+          std::fill(dst + p, dst + p + ow, 0.0f);
+          p += ow;
+          continue;
+        }
+        const float* in_row = in_ic + y * iw;
+        for (Index ox = 0; ox < ow; ++ox, ++p) {
+          const Index x = ox * stride - padding + kx;
+          dst[p] = (x >= 0 && x < iw) ? in_row[x] : 0.0f;
+        }
+      }
+    }
+  });
+
+  // Cache-blocked GEMM: out[oc] = bias[oc] + W[oc] . col, output channels in
+  // parallel, pixel blocks sized to keep a col row slice resident in L1.
+  constexpr Index kPixelBlock = 1024;
+  Tensor output({config_.out_channels, oh, ow});
+  const float* wts = weight_.value.data();
+  float* out = output.data();
+  par::parallel_for(0, config_.out_channels, 1, [&](Index oc_begin,
+                                                    Index oc_end) {
+    for (Index oc = oc_begin; oc < oc_end; ++oc) {
+      const float* w_oc = wts + oc * rows;  // hoisted weight-row pointer
+      const float bias = bias_.value[oc];
+      float* out_oc = out + oc * cols;
+      for (Index p0 = 0; p0 < cols; p0 += kPixelBlock) {
+        const Index p1 = std::min(cols, p0 + kPixelBlock);
+        std::fill(out_oc + p0, out_oc + p1, bias);
+        for (Index r = 0; r < rows; ++r) {
+          const float wv = w_oc[r];
+          const float* c_row = col.data() + r * cols;
+          for (Index p = p0; p < p1; ++p) {
+            out_oc[p] += wv * c_row[p];
+          }
+        }
+      }
+    }
+  });
+  return output;
+}
+
+void Conv2d::count_forward(const Tensor& input, Index oh, Index ow) const {
+  // Count MACs over valid (non-padding) taps, and how many of those had a
+  // zero activation operand (skippable on sparse hardware). The tap pattern
+  // is identical for every output channel, so count one channel's taps in
+  // parallel (per-chunk counters, merged in chunk order) and scale.
+  const Index ih = input.dim(1);
+  const Index iw = input.dim(2);
+  const Index k = config_.kernel;
+  const Index stride = config_.stride;
+  const Index padding = config_.padding;
+  const float* in = input.data();
+
+  const Index nchunks = par::chunk_count(0, oh, 1);
+  ChunkCounters chunks(nchunks);
+  par::parallel_for_chunks(0, oh, 1, [&](Index c, Index y_begin,
+                                         Index y_end) {
+    OpCounter& local = chunks.slot(c);
     std::int64_t macs = 0;
     std::int64_t skippable = 0;
-    for (Index oy = 0; oy < oh; ++oy) {
+    for (Index oy = y_begin; oy < y_end; ++oy) {
+      const Index base_y = oy * stride - padding;
+      const Index ky0 = base_y < 0 ? -base_y : 0;
+      const Index ky1 = std::min(k, ih - base_y);
       for (Index ox = 0; ox < ow; ++ox) {
-        const Index base_y = oy * config_.stride - config_.padding;
-        const Index base_x = ox * config_.stride - config_.padding;
+        const Index base_x = ox * stride - padding;
+        const Index kx0 = base_x < 0 ? -base_x : 0;
+        const Index kx1 = std::min(k, iw - base_x);
         for (Index ic = 0; ic < config_.in_channels; ++ic) {
-          for (Index ky = 0; ky < k; ++ky) {
-            const Index y = base_y + ky;
-            if (y < 0 || y >= ih) continue;
-            for (Index kx = 0; kx < k; ++kx) {
-              const Index x = base_x + kx;
-              if (x < 0 || x >= iw) continue;
-              ++macs;
-              if (input.at3(ic, y, x) == 0.0f) ++skippable;
+          const float* in_ic = in + ic * ih * iw;
+          for (Index ky = ky0; ky < ky1; ++ky) {
+            const float* in_row = in_ic + (base_y + ky) * iw + base_x;
+            macs += kx1 - kx0;
+            for (Index kx = kx0; kx < kx1; ++kx) {
+              if (in_row[kx] == 0.0f) ++skippable;
             }
           }
         }
       }
     }
-    count_mac(macs * config_.out_channels);
-    count_zero_skippable(skippable * config_.out_channels);
-    count_param_read(
-        static_cast<std::int64_t>(weight_.value.numel() + bias_.value.numel()) *
-        4);
-    count_act_read(input.numel() * 4);
-    count_act_write(output.numel() * 4);
-  }
-  return output;
+    local.mults += macs;
+    local.adds += macs;
+    local.zero_skippable_mults += skippable;
+  });
+  const OpCounter taps = chunks.total();
+  count_mac(taps.mults * config_.out_channels);
+  count_zero_skippable(taps.zero_skippable_mults * config_.out_channels);
+  count_param_read(
+      static_cast<std::int64_t>(weight_.value.numel() + bias_.value.numel()) *
+      4);
+  count_act_read(input.numel() * 4);
+  count_act_write(config_.out_channels * oh * ow * 4);
 }
 
 Tensor Conv2d::backward(const Tensor& grad_output) {
@@ -110,32 +239,61 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
   }
 
   const Index k = config_.kernel;
+  const Index stride = config_.stride;
+  const Index padding = config_.padding;
+  const float* go_data = grad_output.data();
+
+  // Bias gradients: partitioned by output channel.
+  par::parallel_for(0, config_.out_channels, 1, [&](Index oc_begin,
+                                                    Index oc_end) {
+    for (Index oc = oc_begin; oc < oc_end; ++oc) {
+      const float* go_oc = go_data + oc * oh * ow;
+      for (Index p = 0; p < oh * ow; ++p) {
+        if (go_oc[p] != 0.0f) bias_.grad[oc] += go_oc[p];
+      }
+    }
+  });
+
+  // Weight and input gradients: both are indexed by the input channel, so
+  // partitioning by ic keeps every write thread-private. Per-element
+  // accumulation order over (oc, oy, ox) matches the serial loop.
   Tensor grad_input(cached_input_.shape());
-  for (Index oc = 0; oc < config_.out_channels; ++oc) {
-    for (Index oy = 0; oy < oh; ++oy) {
-      for (Index ox = 0; ox < ow; ++ox) {
-        const float go = grad_output.at3(oc, oy, ox);
-        if (go == 0.0f) continue;
-        bias_.grad[oc] += go;
-        const Index base_y = oy * config_.stride - config_.padding;
-        const Index base_x = ox * config_.stride - config_.padding;
-        for (Index ic = 0; ic < config_.in_channels; ++ic) {
-          for (Index ky = 0; ky < k; ++ky) {
-            const Index y = base_y + ky;
-            if (y < 0 || y >= ih) continue;
-            for (Index kx = 0; kx < k; ++kx) {
-              const Index x = base_x + kx;
-              if (x < 0 || x >= iw) continue;
-              const Index widx =
-                  ((oc * config_.in_channels + ic) * k + ky) * k + kx;
-              weight_.grad[widx] += go * cached_input_.at3(ic, y, x);
-              grad_input.at3(ic, y, x) += go * weight_.value[widx];
+  const float* in = cached_input_.data();
+  par::parallel_for(0, config_.in_channels, 1, [&](Index ic_begin,
+                                                   Index ic_end) {
+    for (Index ic = ic_begin; ic < ic_end; ++ic) {
+      const float* in_ic = in + ic * ih * iw;
+      float* gi_ic = grad_input.data() + ic * ih * iw;
+      for (Index oc = 0; oc < config_.out_channels; ++oc) {
+        const float* go_oc = go_data + oc * oh * ow;
+        const Index w_base = (oc * config_.in_channels + ic) * k * k;
+        const float* w_ic = weight_.value.data() + w_base;
+        float* gw_ic = weight_.grad.data() + w_base;
+        for (Index oy = 0; oy < oh; ++oy) {
+          const Index base_y = oy * stride - padding;
+          const Index ky0 = base_y < 0 ? -base_y : 0;
+          const Index ky1 = std::min(k, ih - base_y);
+          for (Index ox = 0; ox < ow; ++ox) {
+            const float go = go_oc[oy * ow + ox];
+            if (go == 0.0f) continue;
+            const Index base_x = ox * stride - padding;
+            const Index kx0 = base_x < 0 ? -base_x : 0;
+            const Index kx1 = std::min(k, iw - base_x);
+            for (Index ky = ky0; ky < ky1; ++ky) {
+              const float* w_row = w_ic + ky * k;
+              float* gw_row = gw_ic + ky * k;
+              const float* in_row = in_ic + (base_y + ky) * iw + base_x;
+              float* gi_row = gi_ic + (base_y + ky) * iw + base_x;
+              for (Index kx = kx0; kx < kx1; ++kx) {
+                gw_row[kx] += go * in_row[kx];
+                gi_row[kx] += go * w_row[kx];
+              }
             }
           }
         }
       }
     }
-  }
+  });
   return grad_input;
 }
 

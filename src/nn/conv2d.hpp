@@ -1,10 +1,20 @@
 // 2-D convolution with manual backward pass.
 //
 // Input is a single feature volume [C, H, W] (no batch dimension — training
-// in this library is per-sample with gradient accumulation). Direct loops,
-// zero padding, arbitrary stride. Operation counting distinguishes total
-// MACs from zero-skippable MACs (zero activations), feeding the hardware
-// models of §III-B.
+// in this library is per-sample with gradient accumulation). Zero padding,
+// arbitrary stride. Two forward kernels produce identical results:
+//
+//   * Direct — the reference loop nest, with hoisted weight-row pointers and
+//     per-row valid-tap ranges instead of per-pixel bounds checks.
+//   * Gemm   — im2col into a [C*K*K, OH*OW] patch matrix, then a
+//     cache-blocked GEMM over output channels. Accumulation order per output
+//     element matches the direct loop (ic, ky, kx ascending), so the two
+//     paths agree and both are bitwise reproducible for any EVD_THREADS.
+//
+// Both kernels parallelise over output channels via evd::par. Operation
+// counting distinguishes total MACs from zero-skippable MACs (zero
+// activations), feeding the hardware models of §III-B; the counting pass
+// aggregates per-chunk counters and merges them deterministically.
 #pragma once
 
 #include "common/rng.hpp"
@@ -12,12 +22,18 @@
 
 namespace evd::nn {
 
+/// Forward kernel selection. Auto picks Gemm once the patch matrix is big
+/// enough to amortise im2col, Direct otherwise (a pure function of shapes,
+/// never of thread count).
+enum class ConvAlgo { Auto, Direct, Gemm };
+
 struct Conv2dConfig {
   Index in_channels = 1;
   Index out_channels = 1;
   Index kernel = 3;
   Index stride = 1;
   Index padding = 1;
+  ConvAlgo algo = ConvAlgo::Auto;
 };
 
 class Conv2d : public Layer {
@@ -40,6 +56,11 @@ class Conv2d : public Layer {
   }
 
  private:
+  bool use_gemm(Index oh, Index ow) const noexcept;
+  Tensor forward_direct(const Tensor& input, Index oh, Index ow) const;
+  Tensor forward_gemm(const Tensor& input, Index oh, Index ow) const;
+  void count_forward(const Tensor& input, Index oh, Index ow) const;
+
   Conv2dConfig config_;
   Param weight_;  ///< [OC, IC, K, K]
   Param bias_;    ///< [OC]

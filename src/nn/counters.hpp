@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "common/types.hpp"
 
@@ -109,5 +110,41 @@ inline void count_act_write(std::int64_t bytes) noexcept {
 inline void count_state_rw(std::int64_t bytes) noexcept {
   if (auto* c = active_counter()) c->state_bytes_rw += bytes;
 }
+
+/// Deterministic scatter/gather of op counts across a parallel region.
+///
+/// The active counter is thread-local, so count_* calls made on pool workers
+/// would otherwise vanish (or race, if workers shared the caller's sink).
+/// Instead each chunk of a parallel_for_chunks region accumulates into its
+/// own slot — either directly through the public OpCounter fields or by
+/// installing `ScopedCounter scope(cc.slot(c))` inside the chunk — and
+/// merge() folds the partials into the caller's active counter in ascending
+/// chunk order, so totals are identical for any thread count.
+class ChunkCounters {
+ public:
+  explicit ChunkCounters(Index nchunks)
+      : partials_(static_cast<size_t>(nchunks > 0 ? nchunks : 0)) {}
+
+  OpCounter& slot(Index chunk) noexcept {
+    return partials_[static_cast<size_t>(chunk)];
+  }
+
+  /// Sum of all partials (whether or not a counter is active).
+  OpCounter total() const noexcept {
+    OpCounter sum;
+    for (const auto& partial : partials_) sum += partial;
+    return sum;
+  }
+
+  /// Fold the partials into the caller's active counter (no-op when none).
+  void merge() const noexcept {
+    if (auto* c = active_counter()) {
+      for (const auto& partial : partials_) *c += partial;
+    }
+  }
+
+ private:
+  std::vector<OpCounter> partials_;
+};
 
 }  // namespace evd::nn

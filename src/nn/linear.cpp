@@ -2,10 +2,22 @@
 
 #include <stdexcept>
 
+#include "common/parallel.hpp"
 #include "nn/counters.hpp"
 #include "nn/init.hpp"
 
 namespace evd::nn {
+namespace {
+
+/// Chunk size for loops over output features: keep per-chunk work around a
+/// few thousand MACs so small layers stay serial (shape-only, so the split
+/// never depends on the thread count).
+Index feature_grain(Index inner) {
+  const Index grain = 4096 / (inner > 0 ? inner : 1);
+  return grain < 1 ? 1 : grain;
+}
+
+}  // namespace
 
 Linear::Linear(Index in_features, Index out_features, Rng& rng, bool bias)
     : in_(in_features),
@@ -28,12 +40,14 @@ Tensor Linear::forward(const Tensor& input, bool train) {
 
   Tensor output({out_});
   const float* x = input.data();
-  for (Index o = 0; o < out_; ++o) {
-    const float* w = weight_.value.data() + o * in_;
-    float acc = has_bias_ ? bias_.value[o] : 0.0f;
-    for (Index i = 0; i < in_; ++i) acc += w[i] * x[i];
-    output[o] = acc;
-  }
+  par::parallel_for(0, out_, feature_grain(in_), [&](Index begin, Index end) {
+    for (Index o = begin; o < end; ++o) {
+      const float* w = weight_.value.data() + o * in_;
+      float acc = has_bias_ ? bias_.value[o] : 0.0f;
+      for (Index i = 0; i < in_; ++i) acc += w[i] * x[i];
+      output[o] = acc;
+    }
+  });
 
   if (active_counter() != nullptr) {
     count_mac(out_ * in_);
@@ -58,16 +72,24 @@ Tensor Linear::backward(const Tensor& grad_output) {
   Tensor grad_input({in_});
   const float* g = grad_output.data();
   const float* x = cached_input_.data();
-  for (Index o = 0; o < out_; ++o) {
-    const float go = g[o];
-    const float* w = weight_.value.data() + o * in_;
-    float* dw = weight_.grad.data() + o * in_;
-    for (Index i = 0; i < in_; ++i) {
-      dw[i] += go * x[i];
-      grad_input[i] += go * w[i];
+  // Weight/bias gradients partition by output feature; the input gradient
+  // (W^T g) partitions by input feature — two passes, no shared writes.
+  par::parallel_for(0, out_, feature_grain(in_), [&](Index begin, Index end) {
+    for (Index o = begin; o < end; ++o) {
+      const float go = g[o];
+      float* dw = weight_.grad.data() + o * in_;
+      for (Index i = 0; i < in_; ++i) dw[i] += go * x[i];
+      if (has_bias_) bias_.grad[o] += go;
     }
-    if (has_bias_) bias_.grad[o] += go;
-  }
+  });
+  par::parallel_for(0, in_, feature_grain(out_), [&](Index begin, Index end) {
+    const float* w = weight_.value.data();
+    for (Index i = begin; i < end; ++i) {
+      float acc = 0.0f;
+      for (Index o = 0; o < out_; ++o) acc += g[o] * w[o * in_ + i];
+      grad_input[i] = acc;
+    }
+  });
   return grad_input;
 }
 

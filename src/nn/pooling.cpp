@@ -3,6 +3,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "common/parallel.hpp"
 #include "nn/counters.hpp"
 
 namespace evd::nn {
@@ -32,28 +33,30 @@ Tensor MaxPool2d::forward(const Tensor& input, bool train) {
   argmax_.assign(static_cast<size_t>(c * oh * ow), 0);
   if (train) cached_input_ = input;
 
-  Index out_idx = 0;
-  for (Index ch = 0; ch < c; ++ch) {
-    for (Index oy = 0; oy < oh; ++oy) {
-      for (Index ox = 0; ox < ow; ++ox, ++out_idx) {
-        float best = -std::numeric_limits<float>::infinity();
-        Index best_idx = 0;
-        for (Index wy = 0; wy < window_; ++wy) {
-          for (Index wx = 0; wx < window_; ++wx) {
-            const Index y = oy * stride_ + wy;
-            const Index x = ox * stride_ + wx;
-            const float v = input.at3(ch, y, x);
-            if (v > best) {
-              best = v;
-              best_idx = (ch * ih + y) * iw + x;
+  par::parallel_for(0, c, 1, [&](Index ch_begin, Index ch_end) {
+    for (Index ch = ch_begin; ch < ch_end; ++ch) {
+      Index out_idx = ch * oh * ow;
+      for (Index oy = 0; oy < oh; ++oy) {
+        for (Index ox = 0; ox < ow; ++ox, ++out_idx) {
+          float best = -std::numeric_limits<float>::infinity();
+          Index best_idx = 0;
+          for (Index wy = 0; wy < window_; ++wy) {
+            for (Index wx = 0; wx < window_; ++wx) {
+              const Index y = oy * stride_ + wy;
+              const Index x = ox * stride_ + wx;
+              const float v = input.at3(ch, y, x);
+              if (v > best) {
+                best = v;
+                best_idx = (ch * ih + y) * iw + x;
+              }
             }
           }
+          output[out_idx] = best;
+          argmax_[static_cast<size_t>(out_idx)] = best_idx;
         }
-        output[out_idx] = best;
-        argmax_[static_cast<size_t>(out_idx)] = best_idx;
       }
     }
-  }
+  });
   count_compare(c * oh * ow * window_ * window_);
   count_act_read(input.numel() * 4);
   count_act_write(output.numel() * 4);
@@ -83,19 +86,21 @@ Tensor AvgPool2d::forward(const Tensor& input, bool train) {
   const float inv = 1.0f / static_cast<float>(window_ * window_);
 
   Tensor output({c, oh, ow});
-  for (Index ch = 0; ch < c; ++ch) {
-    for (Index oy = 0; oy < oh; ++oy) {
-      for (Index ox = 0; ox < ow; ++ox) {
-        float acc = 0.0f;
-        for (Index wy = 0; wy < window_; ++wy) {
-          for (Index wx = 0; wx < window_; ++wx) {
-            acc += input.at3(ch, oy * stride_ + wy, ox * stride_ + wx);
+  par::parallel_for(0, c, 1, [&](Index ch_begin, Index ch_end) {
+    for (Index ch = ch_begin; ch < ch_end; ++ch) {
+      for (Index oy = 0; oy < oh; ++oy) {
+        for (Index ox = 0; ox < ow; ++ox) {
+          float acc = 0.0f;
+          for (Index wy = 0; wy < window_; ++wy) {
+            for (Index wx = 0; wx < window_; ++wx) {
+              acc += input.at3(ch, oy * stride_ + wy, ox * stride_ + wx);
+            }
           }
+          output.at3(ch, oy, ox) = acc * inv;
         }
-        output.at3(ch, oy, ox) = acc * inv;
       }
     }
-  }
+  });
   count_add(c * oh * ow * window_ * window_);
   count_mult(c * oh * ow);
   count_act_read(input.numel() * 4);
@@ -111,18 +116,20 @@ Tensor AvgPool2d::backward(const Tensor& grad_output) {
   const Index c = in_shape_[0];
   const Index oh = grad_output.dim(1), ow = grad_output.dim(2);
   const float inv = 1.0f / static_cast<float>(window_ * window_);
-  for (Index ch = 0; ch < c; ++ch) {
-    for (Index oy = 0; oy < oh; ++oy) {
-      for (Index ox = 0; ox < ow; ++ox) {
-        const float g = grad_output.at3(ch, oy, ox) * inv;
-        for (Index wy = 0; wy < window_; ++wy) {
-          for (Index wx = 0; wx < window_; ++wx) {
-            grad_input.at3(ch, oy * stride_ + wy, ox * stride_ + wx) += g;
+  par::parallel_for(0, c, 1, [&](Index ch_begin, Index ch_end) {
+    for (Index ch = ch_begin; ch < ch_end; ++ch) {
+      for (Index oy = 0; oy < oh; ++oy) {
+        for (Index ox = 0; ox < ow; ++ox) {
+          const float g = grad_output.at3(ch, oy, ox) * inv;
+          for (Index wy = 0; wy < window_; ++wy) {
+            for (Index wx = 0; wx < window_; ++wx) {
+              grad_input.at3(ch, oy * stride_ + wy, ox * stride_ + wx) += g;
+            }
           }
         }
       }
     }
-  }
+  });
   return grad_input;
 }
 
@@ -132,13 +139,15 @@ Tensor GlobalAvgPool::forward(const Tensor& input, bool train) {
   const Index c = input.dim(0);
   const Index area = input.dim(1) * input.dim(2);
   Tensor output({c});
-  for (Index ch = 0; ch < c; ++ch) {
-    float acc = 0.0f;
-    for (Index y = 0; y < input.dim(1); ++y) {
-      for (Index x = 0; x < input.dim(2); ++x) acc += input.at3(ch, y, x);
+  par::parallel_for(0, c, 1, [&](Index ch_begin, Index ch_end) {
+    for (Index ch = ch_begin; ch < ch_end; ++ch) {
+      float acc = 0.0f;
+      for (Index y = 0; y < input.dim(1); ++y) {
+        for (Index x = 0; x < input.dim(2); ++x) acc += input.at3(ch, y, x);
+      }
+      output[ch] = acc / static_cast<float>(area);
     }
-    output[ch] = acc / static_cast<float>(area);
-  }
+  });
   count_add(input.numel());
   count_act_read(input.numel() * 4);
   count_act_write(c * 4);

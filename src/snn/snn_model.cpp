@@ -5,12 +5,21 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "common/parallel.hpp"
 #include "nn/counters.hpp"
 #include "nn/init.hpp"
 #include "nn/optimizer.hpp"
 #include "nn/softmax.hpp"
 
 namespace evd::snn {
+namespace {
+
+/// Neurons per parallel chunk for layer updates. Shape-only, so spike order
+/// (chunks concatenated in ascending order = ascending neuron id) and
+/// membrane arithmetic are identical for any thread count.
+constexpr Index kNeuronGrain = 128;
+
+}  // namespace
 
 SpikingNet::SpikingNet(SpikingNetConfig config, Rng& rng)
     : config_(std::move(config)) {
@@ -89,14 +98,32 @@ nn::Tensor SpikingNet::forward(const SpikeTrain& input, bool train) {
       const Index in_dim = config_.layer_sizes[static_cast<size_t>(l)];
       const float* w = weights_[static_cast<size_t>(l)].value.data();
       const float* b = biases_[static_cast<size_t>(l)].value.data();
-      // Leak + bias.
-      for (Index o = 0; o < n; ++o) vl[static_cast<size_t>(o)] =
-          beta * vl[static_cast<size_t>(o)] + b[o];
-      // Event-driven synaptic accumulation: one addition per (spike, target).
-      for (const Index i : spikes_in) {
-        for (Index o = 0; o < n; ++o) {
-          vl[static_cast<size_t>(o)] += w[o * in_dim + i];
+      // Fused leak + bias + event-driven synaptic accumulation + threshold,
+      // parallel over neuron chunks. Per neuron the addition order (bias,
+      // then spikes in arrival order) matches the serial reference; chunk
+      // spike lists concatenate in chunk order, preserving ascending ids.
+      const Index nchunks = par::chunk_count(0, n, kNeuronGrain);
+      std::vector<std::vector<Index>> chunk_spikes(
+          static_cast<size_t>(nchunks));
+      par::parallel_for_chunks(0, n, kNeuronGrain, [&](Index chunk, Index nb,
+                                                       Index ne) {
+        auto& local = chunk_spikes[static_cast<size_t>(chunk)];
+        for (Index o = nb; o < ne; ++o) {
+          float vo = beta * vl[static_cast<size_t>(o)] + b[o];
+          const float* w_row = w + o * in_dim;
+          for (const Index i : spikes_in) vo += w_row[i];
+          // Membrane cached pre-reset for the surrogate gradient.
+          if (train) cached_membrane_[static_cast<size_t>(l)].at2(t, o) = vo;
+          if (vo >= theta) {
+            local.push_back(o);
+            vo = config_.lif.reset_to_zero ? 0.0f : vo - theta;
+          }
+          vl[static_cast<size_t>(o)] = vo;
         }
+      });
+      spikes_next.clear();
+      for (const auto& local : chunk_spikes) {
+        spikes_next.insert(spikes_next.end(), local.begin(), local.end());
       }
       if (counting) {
         nn::count_mult(n);                                   // leak
@@ -106,17 +133,6 @@ nn::Tensor SpikingNet::forward(const SpikeTrain& input, bool train) {
         nn::count_param_read(
             (static_cast<std::int64_t>(spikes_in.size()) * n + n) * 4);
         nn::count_state_rw(n * 8);                           // V read+write
-      }
-      // Threshold, spike, reset (membrane cached pre-reset for surrogate).
-      spikes_next.clear();
-      for (Index o = 0; o < n; ++o) {
-        const float vo = vl[static_cast<size_t>(o)];
-        if (train) cached_membrane_[static_cast<size_t>(l)].at2(t, o) = vo;
-        if (vo >= theta) {
-          spikes_next.push_back(o);
-          vl[static_cast<size_t>(o)] =
-              config_.lif.reset_to_zero ? 0.0f : vo - theta;
-        }
       }
       if (train) {
         cached_spikes_[static_cast<size_t>(l)][static_cast<size_t>(t)] =
@@ -300,22 +316,25 @@ nn::Tensor SpikingNet::step(SnnState& state,
     const Index in_dim = config_.layer_sizes[static_cast<size_t>(l)];
     const float* w = weights_[static_cast<size_t>(l)].value.data();
     const float* b = biases_[static_cast<size_t>(l)].value.data();
-    for (Index o = 0; o < n; ++o) {
-      vl[static_cast<size_t>(o)] = beta * vl[static_cast<size_t>(o)] + b[o];
-    }
-    for (const Index i : spikes_in) {
-      for (Index o = 0; o < n; ++o) {
-        vl[static_cast<size_t>(o)] += w[o * in_dim + i];
+    const Index nchunks = par::chunk_count(0, n, kNeuronGrain);
+    std::vector<std::vector<Index>> chunk_spikes(static_cast<size_t>(nchunks));
+    par::parallel_for_chunks(0, n, kNeuronGrain, [&](Index chunk, Index nb,
+                                                     Index ne) {
+      auto& local = chunk_spikes[static_cast<size_t>(chunk)];
+      for (Index o = nb; o < ne; ++o) {
+        float vo = beta * vl[static_cast<size_t>(o)] + b[o];
+        const float* w_row = w + o * in_dim;
+        for (const Index i : spikes_in) vo += w_row[i];
+        if (vo >= theta) {
+          local.push_back(o);
+          vo = config_.lif.reset_to_zero ? 0.0f : vo - theta;
+        }
+        vl[static_cast<size_t>(o)] = vo;
       }
-    }
+    });
     spikes_next.clear();
-    for (Index o = 0; o < n; ++o) {
-      if (vl[static_cast<size_t>(o)] >= theta) {
-        spikes_next.push_back(o);
-        vl[static_cast<size_t>(o)] = config_.lif.reset_to_zero
-                                         ? 0.0f
-                                         : vl[static_cast<size_t>(o)] - theta;
-      }
+    for (const auto& local : chunk_spikes) {
+      spikes_next.insert(spikes_next.end(), local.begin(), local.end());
     }
     if (counting) {
       nn::count_mult(n);

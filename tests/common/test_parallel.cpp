@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "nn/counters.hpp"
+
+namespace evd {
+namespace {
+
+/// Restore the pool size after tests that sweep it.
+class ParallelTest : public ::testing::Test {
+ protected:
+  void SetUp() override { original_ = par::thread_count(); }
+  void TearDown() override { par::set_thread_count(original_); }
+  Index original_ = 1;
+};
+
+TEST_F(ParallelTest, EmptyRangeNeverInvokes) {
+  std::atomic<int> calls{0};
+  par::parallel_for(0, 0, 4, [&](Index, Index) { ++calls; });
+  par::parallel_for(5, 5, 4, [&](Index, Index) { ++calls; });
+  par::parallel_for(7, 3, 4, [&](Index, Index) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+  const int sum = par::parallel_reduce(
+      3, 3, 4, 0, [](Index, Index) { return 1; },
+      [](int a, int b) { return a + b; });
+  EXPECT_EQ(sum, 0);
+}
+
+TEST_F(ParallelTest, RangeSmallerThanGrainIsOneChunk) {
+  EXPECT_EQ(par::chunk_count(0, 3, 100), 1);
+  std::atomic<int> calls{0};
+  Index seen_begin = -1, seen_end = -1;
+  par::parallel_for(2, 5, 100, [&](Index b, Index e) {
+    ++calls;
+    seen_begin = b;
+    seen_end = e;
+  });
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(seen_begin, 2);
+  EXPECT_EQ(seen_end, 5);
+}
+
+TEST_F(ParallelTest, CoversEveryIndexExactlyOnce) {
+  par::set_thread_count(4);
+  constexpr Index kN = 10007;  // prime: ragged last chunk
+  std::vector<int> hits(kN, 0);
+  par::parallel_for(0, kN, 16, [&](Index b, Index e) {
+    for (Index i = b; i < e; ++i) ++hits[static_cast<size_t>(i)];
+  });
+  for (Index i = 0; i < kN; ++i) ASSERT_EQ(hits[static_cast<size_t>(i)], 1);
+}
+
+TEST_F(ParallelTest, NonZeroBeginOffsetsChunks) {
+  par::set_thread_count(3);
+  std::vector<int> hits(100, 0);
+  par::parallel_for(40, 100, 7, [&](Index b, Index e) {
+    for (Index i = b; i < e; ++i) ++hits[static_cast<size_t>(i)];
+  });
+  for (Index i = 0; i < 40; ++i) EXPECT_EQ(hits[static_cast<size_t>(i)], 0);
+  for (Index i = 40; i < 100; ++i) EXPECT_EQ(hits[static_cast<size_t>(i)], 1);
+}
+
+TEST_F(ParallelTest, ExceptionsPropagateOutOfWorkers) {
+  par::set_thread_count(4);
+  EXPECT_THROW(
+      par::parallel_for(0, 1000, 10,
+                        [&](Index b, Index) {
+                          if (b == 430) throw std::runtime_error("chunk 43");
+                        }),
+      std::runtime_error);
+  // When several chunks throw, the lowest-index chunk's exception wins.
+  try {
+    par::parallel_for(0, 100, 10, [&](Index b, Index) {
+      if (b == 30) throw std::runtime_error("chunk 3");
+      if (b == 70) throw std::runtime_error("chunk 7");
+    });
+    FAIL() << "expected a runtime_error";
+  } catch (const std::runtime_error& err) {
+    EXPECT_STREQ(err.what(), "chunk 3");
+  }
+}
+
+TEST_F(ParallelTest, SingleChunkExceptionPropagates) {
+  EXPECT_THROW(par::parallel_for(
+                   0, 3, 100, [&](Index, Index) { throw std::logic_error("x"); }),
+               std::logic_error);
+}
+
+TEST_F(ParallelTest, NestedParallelForDoesNotDeadlock) {
+  par::set_thread_count(4);
+  constexpr Index kOuter = 8;
+  constexpr Index kInner = 1000;
+  std::vector<std::int64_t> sums(kOuter, 0);
+  par::parallel_for(0, kOuter, 1, [&](Index ob, Index oe) {
+    for (Index o = ob; o < oe; ++o) {
+      EXPECT_TRUE(par::in_parallel_region());
+      std::int64_t local = 0;
+      par::parallel_for(0, kInner, 10, [&](Index b, Index e) {
+        for (Index i = b; i < e; ++i) local += i;
+      });
+      sums[static_cast<size_t>(o)] = local;
+    }
+  });
+  for (const auto s : sums) EXPECT_EQ(s, kInner * (kInner - 1) / 2);
+  EXPECT_FALSE(par::in_parallel_region());
+}
+
+TEST_F(ParallelTest, ReduceIsBitwiseDeterministicAcrossThreadCounts) {
+  // Random floats summed chunk-wise: the combine order (ascending chunk
+  // index) is fixed, so the rounding pattern must not depend on the pool
+  // size. This is the EVD_THREADS=1..8 determinism contract.
+  Rng rng(99);
+  std::vector<float> data(20011);
+  for (auto& v : data) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  auto sum_with = [&](Index threads) {
+    par::set_thread_count(threads);
+    return par::parallel_reduce(
+        0, static_cast<Index>(data.size()), 64, 0.0f,
+        [&](Index b, Index e) {
+          float acc = 0.0f;
+          for (Index i = b; i < e; ++i) acc += data[static_cast<size_t>(i)];
+          return acc;
+        },
+        [](float a, float b) { return a + b; });
+  };
+  const float reference = sum_with(1);
+  for (Index threads = 2; threads <= 8; ++threads) {
+    const float result = sum_with(threads);
+    EXPECT_EQ(std::memcmp(&result, &reference, sizeof(float)), 0)
+        << "thread count " << threads << " changed the reduction bits";
+  }
+}
+
+TEST_F(ParallelTest, ReduceCombinesInChunkOrder) {
+  par::set_thread_count(4);
+  // Concatenating per-chunk strings exposes any combine-order violation.
+  const std::string joined = par::parallel_reduce(
+      0, 10, 2, std::string(),
+      [&](Index b, Index) { return std::to_string(b / 2); },
+      [](std::string a, std::string b) { return a + b; });
+  EXPECT_EQ(joined, "01234");
+}
+
+TEST_F(ParallelTest, ParseThreadCount) {
+  EXPECT_EQ(par::parse_thread_count(nullptr, 6), 6);
+  EXPECT_EQ(par::parse_thread_count("", 6), 6);
+  EXPECT_EQ(par::parse_thread_count("4", 6), 4);
+  EXPECT_EQ(par::parse_thread_count("1", 6), 1);
+  EXPECT_EQ(par::parse_thread_count("0", 6), 6);     // invalid: below 1
+  EXPECT_EQ(par::parse_thread_count("-3", 6), 6);
+  EXPECT_EQ(par::parse_thread_count("abc", 6), 6);
+  EXPECT_EQ(par::parse_thread_count("4x", 6), 6);
+  EXPECT_EQ(par::parse_thread_count("9999", 6), 512);  // clamped
+  EXPECT_EQ(par::parse_thread_count("8", 0), 8);
+}
+
+TEST_F(ParallelTest, SetThreadCountRoundTrips) {
+  par::set_thread_count(3);
+  EXPECT_EQ(par::thread_count(), 3);
+  par::set_thread_count(0);  // clamped to 1
+  EXPECT_EQ(par::thread_count(), 1);
+  par::set_thread_count(2);
+  EXPECT_EQ(par::thread_count(), 2);
+}
+
+TEST_F(ParallelTest, ChunkCountersMergeDeterministically) {
+  par::set_thread_count(4);
+  constexpr Index kN = 5000;
+  auto run = [&]() {
+    nn::OpCounter outer;
+    {
+      nn::ScopedCounter scope(outer);
+      const Index nchunks = par::chunk_count(0, kN, 32);
+      nn::ChunkCounters chunks(nchunks);
+      par::parallel_for_chunks(0, kN, 32, [&](Index c, Index b, Index e) {
+        // Workers see a null active counter (it is thread-local); the
+        // per-chunk slot is the race-free sink.
+        nn::OpCounter& local = chunks.slot(c);
+        for (Index i = b; i < e; ++i) {
+          local.mults += 1;
+          local.adds += 2;
+          if (i % 3 == 0) local.zero_skippable_mults += 1;
+        }
+      });
+      chunks.merge();
+    }
+    return outer;
+  };
+  const nn::OpCounter counts = run();
+  EXPECT_EQ(counts.mults, kN);
+  EXPECT_EQ(counts.adds, 2 * kN);
+  EXPECT_EQ(counts.zero_skippable_mults, (kN + 2) / 3);
+  // Identical totals at every pool size (no lost or doubled updates).
+  for (Index threads = 1; threads <= 8; ++threads) {
+    par::set_thread_count(threads);
+    const nn::OpCounter again = run();
+    EXPECT_EQ(again.mults, counts.mults);
+    EXPECT_EQ(again.adds, counts.adds);
+    EXPECT_EQ(again.zero_skippable_mults, counts.zero_skippable_mults);
+  }
+}
+
+}  // namespace
+}  // namespace evd

@@ -99,9 +99,27 @@ INSTANTIATE_TEST_SUITE_P(Sizes, KdTreeProperty,
 TEST(KdTree, SearchVisitsFractionOfNodes) {
   const auto points = random_points(5000, 44);
   const KdTree tree(points);
-  tree.radius_query({50, 50, 50}, 5.0f);
+  Index visited = 0;
+  tree.radius_query({50, 50, 50}, 5.0f, &visited);
   // A balanced spatial search must prune most of the tree.
-  EXPECT_LT(tree.last_visited(), 1500);
+  EXPECT_GT(visited, 0);
+  EXPECT_LT(visited, 1500);
+}
+
+TEST(KdTree, VisitCountIsPerQueryNotShared) {
+  const auto points = random_points(2000, 45);
+  const KdTree tree(points);
+  // A wide query touches more nodes than a narrow one; each query reports
+  // its own count (no mutable member state to race on).
+  Index wide = 0, narrow = 0;
+  tree.radius_query({50, 50, 50}, 40.0f, &wide);
+  tree.radius_query({50, 50, 50}, 1.0f, &narrow);
+  EXPECT_GT(wide, narrow);
+  // knn reports too, and omitting the out-param is fine.
+  Index knn_visited = 0;
+  tree.knn_query({50, 50, 50}, 4, &knn_visited);
+  EXPECT_GT(knn_visited, 0);
+  EXPECT_EQ(tree.knn_query({50, 50, 50}, 4).size(), 4u);
 }
 
 TEST(KdTree, DuplicatePointsAllFound) {

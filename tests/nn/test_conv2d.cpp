@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <tuple>
+
+#include "common/parallel.hpp"
 #include "nn/conv2d.hpp"
 #include "nn/counters.hpp"
 #include "nn/softmax.hpp"
@@ -107,6 +111,81 @@ TEST(Conv2d, ShapeErrors) {
   EXPECT_THROW(conv.backward(Tensor({1, 4, 4})), std::logic_error);
   EXPECT_THROW(Conv2d(Conv2dConfig{0, 1, 3, 1, 1}, rng),
                std::invalid_argument);
+}
+
+TEST(Conv2d, GemmMatchesDirectExactly) {
+  // Same weights, both kernels: the im2col row order mirrors the direct
+  // loop's (ic, ky, kx) accumulation order, so outputs agree exactly.
+  for (const auto& [stride, padding, kernel] :
+       {std::tuple<Index, Index, Index>{1, 1, 3},
+        {2, 0, 3},
+        {1, 2, 5},
+        {3, 1, 2}}) {
+    Rng rng(11);
+    Conv2d direct(Conv2dConfig{3, 5, kernel, stride, padding,
+                               ConvAlgo::Direct},
+                  rng);
+    Rng rng2(12);
+    Conv2d gemm(Conv2dConfig{3, 5, kernel, stride, padding, ConvAlgo::Gemm},
+                rng2);
+    gemm.weight().value = direct.weight().value;
+    gemm.bias().value = direct.bias().value;
+    Rng xrng(13);
+    const Tensor x = Tensor::randn({3, 11, 13}, xrng);
+    const Tensor yd = direct.forward(x, false);
+    const Tensor yg = gemm.forward(x, false);
+    ASSERT_EQ(yd.shape(), yg.shape());
+    for (Index i = 0; i < yd.numel(); ++i) {
+      ASSERT_EQ(yd[i], yg[i]) << "stride " << stride << " pad " << padding
+                              << " k " << kernel << " at " << i;
+    }
+  }
+}
+
+TEST(Conv2d, ForwardBitwiseIdenticalAcrossThreadCounts) {
+  const Index original = par::thread_count();
+  for (const ConvAlgo algo : {ConvAlgo::Direct, ConvAlgo::Gemm}) {
+    Rng rng(21);
+    Conv2d conv(Conv2dConfig{4, 8, 3, 1, 1, algo}, rng);
+    Rng xrng(22);
+    const Tensor x = Tensor::randn({4, 17, 19}, xrng);
+    par::set_thread_count(1);
+    const Tensor serial = conv.forward(x, false);
+    for (const Index threads : {2, 4, 7}) {
+      par::set_thread_count(threads);
+      const Tensor parallel = conv.forward(x, false);
+      ASSERT_EQ(std::memcmp(serial.data(), parallel.data(),
+                            sizeof(float) * static_cast<size_t>(serial.numel())),
+                0)
+          << "algo " << static_cast<int>(algo) << " threads " << threads;
+    }
+  }
+  par::set_thread_count(original);
+}
+
+TEST(Conv2d, CountsIdenticalAcrossThreadCounts) {
+  const Index original = par::thread_count();
+  Rng rng(31);
+  Conv2d conv(Conv2dConfig{2, 3, 3, 1, 1}, rng);
+  Rng xrng(32);
+  const Tensor x = Tensor::randn({2, 9, 9}, xrng);
+  auto count = [&]() {
+    OpCounter counter;
+    {
+      ScopedCounter scope(counter);
+      conv.forward(x, false);
+    }
+    return counter;
+  };
+  par::set_thread_count(1);
+  const OpCounter serial = count();
+  par::set_thread_count(4);
+  const OpCounter parallel = count();
+  par::set_thread_count(original);
+  EXPECT_EQ(serial.mults, parallel.mults);
+  EXPECT_EQ(serial.adds, parallel.adds);
+  EXPECT_EQ(serial.zero_skippable_mults, parallel.zero_skippable_mults);
+  EXPECT_EQ(serial.total_bytes(), parallel.total_bytes());
 }
 
 TEST(Conv2d, ZeroSkippableCounting) {
