@@ -1,0 +1,124 @@
+// Seeded value generators with shrinking — the input half of evd::check.
+//
+// A Gen<T> bundles three functions:
+//   * sample(rng)  — draw a value from the generator's distribution;
+//   * shrink(v)    — propose strictly "smaller" candidate values (fewer
+//                    events, fewer non-zeros, shorter trains ...). The
+//                    forall driver greedily walks these until no candidate
+//                    still fails the property, so the reported
+//                    counterexample is locally minimal;
+//   * show(v)      — render the value for failure reports.
+//
+// Generators are deterministic: the same Rng seed yields the same value, so
+// every failure is reproducible from the (base seed, case index) pair that
+// forall prints. Domain generators for tensors, event streams, spike trains,
+// graphs and StreamSession schedules live in generators.hpp.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace evd::check {
+
+template <typename T>
+struct Gen {
+  std::function<T(Rng&)> sample;
+  /// Candidates strictly smaller than `v`, most aggressive first. Empty =>
+  /// `v` is minimal. The default shrinks nothing.
+  std::function<std::vector<T>(const T&)> shrink = [](const T&) {
+    return std::vector<T>{};
+  };
+  std::function<std::string(const T&)> show = [](const T&) {
+    return std::string("<value>");
+  };
+};
+
+/// Uniform Index in [lo, hi] (inclusive); shrinks toward lo by halving the
+/// distance, so the minimal failing value is found in O(log range) steps.
+inline Gen<Index> index_in(Index lo, Index hi) {
+  Gen<Index> gen;
+  gen.sample = [lo, hi](Rng& rng) {
+    return lo + static_cast<Index>(
+                    rng.uniform_int(static_cast<std::uint64_t>(hi - lo + 1)));
+  };
+  gen.shrink = [lo](const Index& v) {
+    std::vector<Index> out;
+    if (v <= lo) return out;
+    out.push_back(lo);
+    const Index mid = lo + (v - lo) / 2;
+    if (mid != lo && mid != v) out.push_back(mid);
+    if (v - 1 != lo && v - 1 != mid) out.push_back(v - 1);
+    return out;
+  };
+  gen.show = [](const Index& v) { return std::to_string(v); };
+  return gen;
+}
+
+/// Uniform double in [lo, hi); shrinks toward 0 (or lo when 0 is outside).
+inline Gen<double> real_in(double lo, double hi) {
+  Gen<double> gen;
+  gen.sample = [lo, hi](Rng& rng) { return rng.uniform(lo, hi); };
+  gen.shrink = [lo, hi](const double& v) {
+    std::vector<double> out;
+    const double target = (lo <= 0.0 && 0.0 < hi) ? 0.0 : lo;
+    if (v == target) return out;
+    out.push_back(target);
+    const double mid = target + (v - target) / 2.0;
+    if (mid != target && mid != v) out.push_back(mid);
+    return out;
+  };
+  gen.show = [](const double& v) { return std::to_string(v); };
+  return gen;
+}
+
+/// One of a fixed set of values; shrinks to earlier elements (order your
+/// candidates simplest-first).
+template <typename T>
+inline Gen<T> element_of(std::vector<T> values) {
+  Gen<T> gen;
+  auto shared = std::make_shared<std::vector<T>>(std::move(values));
+  gen.sample = [shared](Rng& rng) {
+    return (*shared)[static_cast<size_t>(rng.uniform_int(shared->size()))];
+  };
+  gen.shrink = [shared](const T& v) {
+    std::vector<T> out;
+    for (const T& candidate : *shared) {
+      if (candidate == v) break;
+      out.push_back(candidate);
+    }
+    return out;
+  };
+  return gen;
+}
+
+/// Dyadic float: numerator/denominator with |value| <= bound and denominator
+/// a power of two. Sums/differences of a few such values are exact in float,
+/// which lets differential oracles demand bitwise equality without fp noise.
+inline Gen<float> dyadic_in(float bound, Index denominator) {
+  Gen<float> gen;
+  gen.sample = [bound, denominator](Rng& rng) {
+    const Index steps = static_cast<Index>(bound * static_cast<float>(denominator));
+    const Index numerator =
+        static_cast<Index>(rng.uniform_int(
+            static_cast<std::uint64_t>(2 * steps + 1))) -
+        steps;
+    return static_cast<float>(numerator) / static_cast<float>(denominator);
+  };
+  gen.shrink = [denominator](const float& v) {
+    std::vector<float> out;
+    if (v == 0.0f) return out;
+    out.push_back(0.0f);
+    const float half = v / 2.0f;  // still dyadic
+    if (half != 0.0f && half != v) out.push_back(half);
+    return out;
+  };
+  gen.show = [](const float& v) { return std::to_string(v); };
+  return gen;
+}
+
+}  // namespace evd::check

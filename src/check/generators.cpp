@@ -1,0 +1,293 @@
+#include "check/generators.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace evd::check {
+namespace {
+
+/// Shrink a vector by structural deletion: first half, second half, then
+/// (for small vectors) each single element. Order within survivors is kept.
+template <typename T>
+std::vector<std::vector<T>> drop_candidates(const std::vector<T>& v) {
+  std::vector<std::vector<T>> out;
+  const size_t n = v.size();
+  if (n == 0) return out;
+  if (n > 1) {
+    out.emplace_back(v.begin() + static_cast<std::ptrdiff_t>(n / 2), v.end());
+    out.emplace_back(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(n / 2));
+  }
+  if (n <= 16) {
+    for (size_t i = 0; i < n; ++i) {
+      std::vector<T> smaller;
+      smaller.reserve(n - 1);
+      for (size_t j = 0; j < n; ++j) {
+        if (j != i) smaller.push_back(v[j]);
+      }
+      out.push_back(std::move(smaller));
+    }
+  } else {
+    out.emplace_back(v.begin(), v.end() - 1);
+  }
+  return out;
+}
+
+std::string show_event(const events::Event& e) {
+  std::ostringstream os;
+  os << "(" << e.x << "," << e.y << "," << (e.polarity == Polarity::On ? "+" : "-")
+     << ",t=" << e.t << ")";
+  return os.str();
+}
+
+}  // namespace
+
+std::vector<events::EventStream> shrink_stream(const events::EventStream& s) {
+  std::vector<events::EventStream> out;
+  for (auto& fewer : drop_candidates(s.events)) {
+    events::EventStream candidate;
+    candidate.width = s.width;
+    candidate.height = s.height;
+    candidate.events = std::move(fewer);  // deletion preserves sortedness
+    out.push_back(std::move(candidate));
+  }
+  return out;
+}
+
+std::string show_stream(const events::EventStream& stream) {
+  std::ostringstream os;
+  os << stream.width << "x" << stream.height << " stream, " << stream.size()
+     << " events";
+  const Index preview = std::min<Index>(stream.size(), 12);
+  if (preview > 0) os << ":";
+  for (Index i = 0; i < preview; ++i) {
+    os << " " << show_event(stream.events[static_cast<size_t>(i)]);
+  }
+  if (preview < stream.size()) os << " ...";
+  return os.str();
+}
+
+std::vector<nn::Tensor> shrink_tensor(const nn::Tensor& t) {
+  std::vector<nn::Tensor> out;
+  std::vector<Index> nonzero;
+  for (Index i = 0; i < t.numel(); ++i) {
+    if (t[i] != 0.0f) nonzero.push_back(i);
+  }
+  if (nonzero.empty()) return out;
+  if (nonzero.size() > 1) {  // zero out half the non-zeros at once
+    nn::Tensor half = t;
+    for (size_t j = 0; j < nonzero.size() / 2; ++j) half[nonzero[j]] = 0.0f;
+    out.push_back(std::move(half));
+  }
+  const size_t singles = std::min<size_t>(nonzero.size(), 16);
+  for (size_t j = 0; j < singles; ++j) {
+    nn::Tensor one = t;
+    one[nonzero[j]] = 0.0f;
+    out.push_back(std::move(one));
+  }
+  return out;
+}
+
+std::string show_tensor(const nn::Tensor& t) {
+  std::ostringstream os;
+  Index nonzero = 0;
+  for (Index i = 0; i < t.numel(); ++i) nonzero += t[i] != 0.0f ? 1 : 0;
+  os << "tensor " << t.shape_string() << ", " << nonzero << " non-zero";
+  const Index preview = std::min<Index>(t.numel(), 12);
+  if (preview > 0) os << ": [";
+  for (Index i = 0; i < preview; ++i) os << (i ? ", " : "") << t[i];
+  if (preview > 0) os << (preview < t.numel() ? ", ...]" : "]");
+  return os.str();
+}
+
+std::vector<snn::SpikeTrain> shrink_spike_train(const snn::SpikeTrain& train) {
+  std::vector<snn::SpikeTrain> out;
+  // Drop individual spikes (flattened), halves first.
+  std::vector<std::pair<Index, Index>> spikes;  // (step, position)
+  for (Index t = 0; t < train.steps; ++t) {
+    const auto& step = train.active[static_cast<size_t>(t)];
+    for (Index j = 0; j < static_cast<Index>(step.size()); ++j) {
+      spikes.emplace_back(t, j);
+    }
+  }
+  auto without = [&](size_t from, size_t to) {  // drop spikes [from, to)
+    snn::SpikeTrain candidate = train;
+    for (size_t s = from; s < to && s < spikes.size(); ++s) {
+      const auto [t, j] = spikes[s];
+      candidate.active[static_cast<size_t>(t)][static_cast<size_t>(j)] = -1;
+    }
+    for (auto& step : candidate.active) {
+      std::erase(step, Index{-1});
+    }
+    return candidate;
+  };
+  if (spikes.size() > 1) {
+    out.push_back(without(0, spikes.size() / 2));
+    out.push_back(without(spikes.size() / 2, spikes.size()));
+  }
+  const size_t singles = std::min<size_t>(spikes.size(), 16);
+  for (size_t s = 0; s < singles; ++s) out.push_back(without(s, s + 1));
+  // Truncate the tail steps once spikes are sparse.
+  if (train.steps > 1) {
+    snn::SpikeTrain shorter = train;
+    shorter.steps = train.steps / 2;
+    shorter.active.resize(static_cast<size_t>(shorter.steps));
+    out.push_back(std::move(shorter));
+  }
+  return out;
+}
+
+std::string show_spike_train(const snn::SpikeTrain& train) {
+  std::ostringstream os;
+  os << "spike train " << train.steps << " steps x " << train.size
+     << " neurons, " << train.total_spikes() << " spikes:";
+  Index shown = 0;
+  for (Index t = 0; t < train.steps && shown < 16; ++t) {
+    for (const Index i : train.active[static_cast<size_t>(t)]) {
+      os << " (t=" << t << ",i=" << i << ")";
+      if (++shown >= 16) break;
+    }
+  }
+  if (shown < train.total_spikes()) os << " ...";
+  return os.str();
+}
+
+Gen<events::EventStream> event_stream_gen(StreamGenConfig config) {
+  Gen<events::EventStream> gen;
+  gen.sample = [config](Rng& rng) {
+    events::EventStream stream;
+    stream.width = config.min_width +
+                   static_cast<Index>(rng.uniform_int(static_cast<std::uint64_t>(
+                       config.max_width - config.min_width + 1)));
+    stream.height = config.min_height +
+                    static_cast<Index>(rng.uniform_int(static_cast<std::uint64_t>(
+                        config.max_height - config.min_height + 1)));
+    const Index count =
+        config.min_events +
+        static_cast<Index>(rng.uniform_int(static_cast<std::uint64_t>(
+            config.max_events - config.min_events + 1)));
+    stream.events.reserve(static_cast<size_t>(count));
+    for (Index i = 0; i < count; ++i) {
+      events::Event e;
+      e.x = static_cast<std::int16_t>(
+          rng.uniform_int(static_cast<std::uint64_t>(stream.width)));
+      e.y = static_cast<std::int16_t>(
+          rng.uniform_int(static_cast<std::uint64_t>(stream.height)));
+      e.polarity = rng.bernoulli(0.5) ? Polarity::On : Polarity::Off;
+      e.t = static_cast<TimeUs>(rng.uniform_int(
+          static_cast<std::uint64_t>(config.duration_us)));
+      stream.events.push_back(e);
+    }
+    events::sort_by_time(stream.events);
+    return stream;
+  };
+  gen.shrink = shrink_stream;
+  gen.show = show_stream;
+  return gen;
+}
+
+Gen<nn::Tensor> tensor_gen(std::vector<Index> shape, float bound,
+                           double zero_fraction) {
+  Gen<nn::Tensor> gen;
+  gen.sample = [shape, bound, zero_fraction](Rng& rng) {
+    nn::Tensor t(shape);
+    for (Index i = 0; i < t.numel(); ++i) {
+      t[i] = rng.bernoulli(zero_fraction)
+                 ? 0.0f
+                 : static_cast<float>(rng.uniform(-bound, bound));
+    }
+    return t;
+  };
+  gen.shrink = shrink_tensor;
+  gen.show = show_tensor;
+  return gen;
+}
+
+Gen<snn::SpikeTrain> spike_train_gen(Index max_steps, Index size,
+                                     double density) {
+  Gen<snn::SpikeTrain> gen;
+  gen.sample = [max_steps, size, density](Rng& rng) {
+    snn::SpikeTrain train;
+    train.steps = 1 + static_cast<Index>(
+                          rng.uniform_int(static_cast<std::uint64_t>(max_steps)));
+    train.size = size;
+    train.active.resize(static_cast<size_t>(train.steps));
+    for (auto& step : train.active) {
+      for (Index i = 0; i < size; ++i) {
+        if (rng.bernoulli(density)) step.push_back(i);
+      }
+    }
+    return train;
+  };
+  gen.shrink = shrink_spike_train;
+  gen.show = show_spike_train;
+  return gen;
+}
+
+Gen<SessionSchedule> schedule_gen(Index width, Index height, Index max_ops,
+                                  TimeUs duration_us) {
+  Gen<SessionSchedule> gen;
+  gen.sample = [width, height, max_ops, duration_us](Rng& rng) {
+    SessionSchedule schedule;
+    schedule.width = width;
+    schedule.height = height;
+    const Index count =
+        static_cast<Index>(rng.uniform_int(static_cast<std::uint64_t>(max_ops + 1)));
+    // Sorted op times; feeds and advances share one monotone clock.
+    std::vector<TimeUs> times;
+    times.reserve(static_cast<size_t>(count));
+    for (Index i = 0; i < count; ++i) {
+      times.push_back(static_cast<TimeUs>(
+          rng.uniform_int(static_cast<std::uint64_t>(duration_us))));
+    }
+    std::sort(times.begin(), times.end());
+    for (const TimeUs t : times) {
+      SessionOp op;
+      if (rng.bernoulli(0.75)) {
+        op.kind = SessionOp::Kind::Feed;
+        op.event.x = static_cast<std::int16_t>(
+            rng.uniform_int(static_cast<std::uint64_t>(width)));
+        op.event.y = static_cast<std::int16_t>(
+            rng.uniform_int(static_cast<std::uint64_t>(height)));
+        op.event.polarity = rng.bernoulli(0.5) ? Polarity::On : Polarity::Off;
+        op.event.t = t;
+      } else {
+        op.kind = SessionOp::Kind::Advance;
+        op.t = t;
+      }
+      schedule.ops.push_back(op);
+    }
+    return schedule;
+  };
+  gen.shrink = [](const SessionSchedule& schedule) {
+    std::vector<SessionSchedule> out;
+    for (auto& fewer : drop_candidates(schedule.ops)) {
+      SessionSchedule candidate;
+      candidate.width = schedule.width;
+      candidate.height = schedule.height;
+      candidate.ops = std::move(fewer);  // deletion keeps time order
+      out.push_back(std::move(candidate));
+    }
+    return out;
+  };
+  gen.show = [](const SessionSchedule& schedule) {
+    std::ostringstream os;
+    os << "schedule on " << schedule.width << "x" << schedule.height << ", "
+       << schedule.ops.size() << " ops:";
+    size_t shown = 0;
+    for (const auto& op : schedule.ops) {
+      if (shown++ >= 12) {
+        os << " ...";
+        break;
+      }
+      if (op.kind == SessionOp::Kind::Feed) {
+        os << " feed" << show_event(op.event);
+      } else {
+        os << " advance(" << op.t << ")";
+      }
+    }
+    return os.str();
+  };
+  return gen;
+}
+
+}  // namespace evd::check

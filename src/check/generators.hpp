@@ -1,0 +1,70 @@
+// Domain generators for the evd data types: event streams, tensors, spike
+// trains and StreamSession schedules. Each comes with a shrinker that
+// preserves the type's invariants (streams stay time-sorted, schedules stay
+// time-monotone) so every shrink candidate is a valid input — the minimal
+// counterexample is always a well-formed value, never an artefact of the
+// shrinking itself.
+#pragma once
+
+#include "check/gen.hpp"
+#include "events/event.hpp"
+#include "nn/tensor.hpp"
+#include "snn/encoding.hpp"
+
+namespace evd::check {
+
+struct StreamGenConfig {
+  Index min_width = 4, max_width = 32;
+  Index min_height = 4, max_height = 32;
+  Index min_events = 0, max_events = 200;
+  TimeUs duration_us = 100000;
+};
+
+/// Random sorted event stream; shrinks by dropping events (halves first,
+/// then single events), never reordering.
+Gen<events::EventStream> event_stream_gen(StreamGenConfig config = {});
+
+/// Tensor of the given shape with ~zero_fraction exact zeros and the rest
+/// uniform in [-bound, bound]. Shrinks by zeroing entries — the minimal
+/// failing tensor has the fewest non-zeros that still trigger the failure.
+Gen<nn::Tensor> tensor_gen(std::vector<Index> shape, float bound = 1.0f,
+                           double zero_fraction = 0.3);
+
+/// Sparse binary spike train; shrinks by dropping spikes, then steps.
+Gen<snn::SpikeTrain> spike_train_gen(Index max_steps, Index size,
+                                     double density = 0.2);
+
+/// One operation applied to a StreamSession under test.
+struct SessionOp {
+  enum class Kind { Feed, Advance };
+  Kind kind = Kind::Feed;
+  events::Event event;  ///< Valid when kind == Feed.
+  TimeUs t = 0;         ///< Advance target when kind == Advance.
+
+  friend bool operator==(const SessionOp&, const SessionOp&) = default;
+};
+
+/// A time-monotone feed/advance_to script over a sensor geometry — the
+/// generated input for StreamSession contract properties.
+struct SessionSchedule {
+  Index width = 0;
+  Index height = 0;
+  std::vector<SessionOp> ops;
+};
+
+/// Schedules with non-decreasing times mixing feeds and advances; shrinks by
+/// dropping operations (time order is preserved by construction).
+Gen<SessionSchedule> schedule_gen(Index width, Index height,
+                                  Index max_ops = 40,
+                                  TimeUs duration_us = 100000);
+
+// Re-usable shrinkers for composite case types (oracles wrap a stream or a
+// tensor in a larger struct and shrink just that member).
+std::vector<nn::Tensor> shrink_tensor(const nn::Tensor& t);
+std::vector<events::EventStream> shrink_stream(const events::EventStream& s);
+std::vector<snn::SpikeTrain> shrink_spike_train(const snn::SpikeTrain& train);
+std::string show_tensor(const nn::Tensor& t);
+std::string show_stream(const events::EventStream& s);
+std::string show_spike_train(const snn::SpikeTrain& train);
+
+}  // namespace evd::check

@@ -1,0 +1,167 @@
+#include "check/golden.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#ifndef EVD_GOLDEN_DEFAULT_DIR
+#define EVD_GOLDEN_DEFAULT_DIR "tests/golden"
+#endif
+
+namespace evd::check {
+namespace {
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+std::vector<std::string> split_tokens(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream is(line);
+  std::string token;
+  while (is >> token) tokens.push_back(token);
+  return tokens;
+}
+
+/// A token parsed as <number><suffix-tail>, e.g. "12.40", "3.1M", "85.0%".
+struct NumericToken {
+  double value = 0.0;          ///< Mantissa scaled by the eng multiplier.
+  double last_digit = 1.0;     ///< Weight of the last printed digit, scaled.
+  std::string tail;            ///< Non-numeric remainder ("", "%", "us", ...).
+};
+
+double eng_multiplier(char c) {
+  switch (c) {
+    case 'k': return 1e3;
+    case 'M': return 1e6;
+    case 'G': return 1e9;
+    case 'T': return 1e12;
+    case 'P': return 1e15;
+    default: return 0.0;  // not a suffix
+  }
+}
+
+std::optional<NumericToken> parse_numeric(const std::string& token) {
+  const char* begin = token.c_str();
+  char* end = nullptr;
+  const double mantissa = std::strtod(begin, &end);
+  if (end == begin) return std::nullopt;
+  // Weight of the final printed digit: 10^-decimals.
+  double last_digit = 1.0;
+  const char* dot = nullptr;
+  for (const char* p = begin; p < end; ++p) {
+    if (*p == '.') dot = p;
+    if (*p == 'e' || *p == 'E') {  // scientific: use the printed precision
+      dot = nullptr;
+      break;
+    }
+  }
+  if (dot != nullptr) {
+    for (const char* p = dot + 1; p < end && std::isdigit(*p); ++p) {
+      last_digit /= 10.0;
+    }
+  }
+  NumericToken parsed;
+  double multiplier = 1.0;
+  if (*end != '\0') {
+    const double m = eng_multiplier(*end);
+    if (m > 0.0) {
+      multiplier = m;
+      ++end;
+    }
+  }
+  parsed.value = mantissa * multiplier;
+  parsed.last_digit = last_digit * multiplier;
+  parsed.tail = std::string(end);
+  return parsed;
+}
+
+bool tokens_match(const std::string& expected, const std::string& actual,
+                  const GoldenOptions& options) {
+  if (expected == actual) return true;
+  const auto e = parse_numeric(expected);
+  const auto a = parse_numeric(actual);
+  if (!e || !a || e->tail != a->tail) return false;
+  const double tolerance = options.last_digit_units *
+                           std::max(e->last_digit, a->last_digit);
+  return std::abs(e->value - a->value) <= tolerance;
+}
+
+}  // namespace
+
+std::string golden_dir() {
+  if (const char* env = std::getenv("EVD_GOLDEN_DIR");
+      env != nullptr && *env != '\0') {
+    return env;
+  }
+  return EVD_GOLDEN_DEFAULT_DIR;
+}
+
+bool golden_update_requested() {
+  const char* env = std::getenv("EVD_UPDATE_GOLDEN");
+  return env != nullptr && std::string(env) == "1";
+}
+
+std::optional<std::string> golden_diff_text(const std::string& expected,
+                                            const std::string& actual,
+                                            const GoldenOptions& options) {
+  const auto expected_lines = split_lines(expected);
+  const auto actual_lines = split_lines(actual);
+  const size_t lines = std::max(expected_lines.size(), actual_lines.size());
+  for (size_t i = 0; i < lines; ++i) {
+    const std::string want =
+        i < expected_lines.size() ? expected_lines[i] : "<missing line>";
+    const std::string got =
+        i < actual_lines.size() ? actual_lines[i] : "<missing line>";
+    const auto want_tokens = split_tokens(want);
+    const auto got_tokens = split_tokens(got);
+    bool line_ok = want_tokens.size() == got_tokens.size() &&
+                   i < expected_lines.size() && i < actual_lines.size();
+    for (size_t t = 0; line_ok && t < want_tokens.size(); ++t) {
+      line_ok = tokens_match(want_tokens[t], got_tokens[t], options);
+    }
+    if (!line_ok) {
+      std::ostringstream os;
+      os << "line " << (i + 1) << " differs\n  golden: " << want
+         << "\n  actual: " << got;
+      return os.str();
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> golden_compare(const std::string& name,
+                                          const std::string& actual,
+                                          const GoldenOptions& options) {
+  const std::string path = golden_dir() + "/" + name + ".txt";
+  if (golden_update_requested()) {
+    std::ofstream out(path);
+    if (!out) return "golden: cannot write " + path;
+    out << actual;
+    return std::nullopt;
+  }
+  std::ifstream in(path);
+  if (!in) {
+    return "golden: missing snapshot " + path +
+           " — run with EVD_UPDATE_GOLDEN=1 to create it";
+  }
+  std::ostringstream content;
+  content << in.rdbuf();
+  if (auto diff = golden_diff_text(content.str(), actual, options)) {
+    return "golden '" + name + "': " + *diff +
+           "\n  (intended change? refresh with EVD_UPDATE_GOLDEN=1)";
+  }
+  return std::nullopt;
+}
+
+}  // namespace evd::check

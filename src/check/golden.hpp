@@ -1,0 +1,51 @@
+// Golden-snapshot comparison for rendered report tables.
+//
+// Benchmarks and the comparison harness emit human-readable tables whose
+// numbers summarise the whole measurement stack (counters -> cost models ->
+// Table rendering). A golden file pins that output: any drift — a changed
+// formula, a changed counter, a changed formatter — fails the test with a
+// line-level diff instead of silently shifting the paper's reproduced
+// numbers.
+//
+// Comparison is token-level: numeric tokens (including the engineering
+// suffixes k/M/G/T/P that Table::eng prints) match when they agree to about
+// one unit in the last printed digit, so a golden file survives harmless
+// last-digit rounding differences across libm implementations while any real
+// change in a measured quantity still fails. Non-numeric tokens must match
+// exactly.
+//
+// Refresh with EVD_UPDATE_GOLDEN=1 (the failure message says so); override
+// the directory with EVD_GOLDEN_DIR (default: compiled-in tests/golden path).
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace evd::check {
+
+struct GoldenOptions {
+  /// Tolerance in units of the last printed decimal digit of each number.
+  double last_digit_units = 1.5;
+};
+
+/// Directory golden files live in: EVD_GOLDEN_DIR env override, else the
+/// compiled-in default (tests/golden under the source tree).
+std::string golden_dir();
+
+/// True when EVD_UPDATE_GOLDEN=1: golden_compare rewrites files instead of
+/// diffing against them.
+bool golden_update_requested();
+
+/// Compare `actual` against `<golden_dir>/<name>.txt`. Returns nullopt on
+/// match; otherwise a message naming the first mismatching line/token and
+/// the refresh command. In update mode, writes the file and returns nullopt.
+std::optional<std::string> golden_compare(const std::string& name,
+                                          const std::string& actual,
+                                          const GoldenOptions& options = {});
+
+/// Exposed for the self-test: token-level comparison of two rendered texts.
+std::optional<std::string> golden_diff_text(const std::string& expected,
+                                            const std::string& actual,
+                                            const GoldenOptions& options = {});
+
+}  // namespace evd::check

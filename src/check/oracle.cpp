@@ -1,0 +1,62 @@
+#include "check/oracle.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace evd::check {
+
+OracleRegistry& OracleRegistry::instance() {
+  static OracleRegistry* registry = new OracleRegistry();
+  return *registry;
+}
+
+void OracleRegistry::add(std::unique_ptr<Oracle> oracle) {
+  if (find(oracle->name()) != nullptr) {
+    throw std::invalid_argument("OracleRegistry: duplicate oracle '" +
+                                oracle->name() + "'");
+  }
+  oracles_.push_back(std::move(oracle));
+}
+
+const Oracle* OracleRegistry::find(std::string_view name) const {
+  for (const auto& oracle : oracles_) {
+    if (oracle->name() == name) return oracle.get();
+  }
+  return nullptr;
+}
+
+std::optional<std::string> diff_scalar(const std::string& what, double a,
+                                       double b, double rel_tol,
+                                       double abs_tol) {
+  const double scale = std::max(std::abs(a), std::abs(b));
+  const bool ok = std::abs(a - b) <= abs_tol + rel_tol * scale;
+  if (ok && !std::isnan(a) && !std::isnan(b)) return std::nullopt;
+  std::ostringstream os;
+  os.precision(17);
+  os << what << ": " << a << " vs " << b << " (rel_tol " << rel_tol
+     << ", abs_tol " << abs_tol << ")";
+  return os.str();
+}
+
+std::optional<std::string> diff_floats(const std::string& what,
+                                       const float* a, const float* b,
+                                       Index count, double rel_tol,
+                                       double abs_tol) {
+  for (Index i = 0; i < count; ++i) {
+    const double x = a[i];
+    const double y = b[i];
+    const double scale = std::max(std::abs(x), std::abs(y));
+    if (std::abs(x - y) <= abs_tol + rel_tol * scale && !std::isnan(x) &&
+        !std::isnan(y)) {
+      continue;
+    }
+    std::ostringstream os;
+    os.precision(9);
+    os << what << "[" << i << "]: " << x << " vs " << y << " (of " << count
+       << " elements)";
+    return os.str();
+  }
+  return std::nullopt;
+}
+
+}  // namespace evd::check

@@ -1,0 +1,102 @@
+// Differential-oracle harness: registered pairs of implementations that must
+// agree, exercised on generated inputs by the forall driver.
+//
+// An Oracle bundles a generator with a *diff property*: run both registered
+// implementations on the generated input and return a mismatch description
+// (or nullopt when they agree within the declared tolerance). The registry
+// makes equivalence a one-liner for future PRs:
+//
+//   register: registry().add(make_diff_oracle<MyCase>(
+//                 "mod.fast_vs_reference", "...", my_case_gen(), my_diff));
+//   check:    EXPECT_TRUE(oracle->run({}).passed);
+//
+// The built-in pairs (conv2d Direct vs Im2colGemm, SNN clocked vs
+// event-driven, GNN batch vs incremental, serial vs EVD_THREADS=N for every
+// pipeline's hot kernel, hw models vs naive counter roll-ups) live in
+// oracles.hpp / oracles.cpp.
+#pragma once
+
+#include <cmath>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check/property.hpp"
+
+namespace evd::check {
+
+class Oracle {
+ public:
+  virtual ~Oracle() = default;
+  virtual std::string name() const = 0;
+  virtual std::string description() const = 0;
+  /// Run the differential property over generated cases.
+  virtual CheckResult run(const CheckConfig& config) const = 0;
+};
+
+template <typename T>
+class DiffOracle final : public Oracle {
+ public:
+  using Property = std::function<std::optional<std::string>(const T&)>;
+
+  DiffOracle(std::string name, std::string description, Gen<T> gen,
+             Property diff)
+      : name_(std::move(name)),
+        description_(std::move(description)),
+        gen_(std::move(gen)),
+        diff_(std::move(diff)) {}
+
+  std::string name() const override { return name_; }
+  std::string description() const override { return description_; }
+  CheckResult run(const CheckConfig& config) const override {
+    return forall(gen_, diff_, config);
+  }
+
+ private:
+  std::string name_;
+  std::string description_;
+  Gen<T> gen_;
+  Property diff_;
+};
+
+template <typename T>
+std::unique_ptr<Oracle> make_diff_oracle(
+    std::string name, std::string description, Gen<T> gen,
+    typename DiffOracle<T>::Property diff) {
+  return std::make_unique<DiffOracle<T>>(std::move(name),
+                                         std::move(description),
+                                         std::move(gen), std::move(diff));
+}
+
+/// Process-wide oracle registry (tests iterate it; future modules add to it).
+class OracleRegistry {
+ public:
+  static OracleRegistry& instance();
+
+  void add(std::unique_ptr<Oracle> oracle);
+  const std::vector<std::unique_ptr<Oracle>>& all() const { return oracles_; }
+  /// nullptr when no oracle has that name.
+  const Oracle* find(std::string_view name) const;
+
+ private:
+  std::vector<std::unique_ptr<Oracle>> oracles_;
+};
+
+inline OracleRegistry& registry() { return OracleRegistry::instance(); }
+
+// ---- comparison helpers for diff properties -------------------------------
+
+/// Mismatch message unless |a - b| <= abs_tol + rel_tol * max(|a|, |b|).
+/// rel_tol = abs_tol = 0 demands exact equality (NaN always mismatches).
+std::optional<std::string> diff_scalar(const std::string& what, double a,
+                                       double b, double rel_tol = 0.0,
+                                       double abs_tol = 0.0);
+
+/// Element-wise tensor comparison with the same tolerance semantics.
+std::optional<std::string> diff_floats(const std::string& what,
+                                       const float* a, const float* b,
+                                       Index count, double rel_tol = 0.0,
+                                       double abs_tol = 0.0);
+
+}  // namespace evd::check

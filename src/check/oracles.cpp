@@ -1,0 +1,540 @@
+#include "check/oracles.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "gnn/graph_builder.hpp"
+#include "gnn/incremental.hpp"
+#include "gnn/kdtree.hpp"
+#include "snn/snn_model.hpp"
+
+namespace evd::check {
+namespace {
+
+constexpr Index kThreadedCount = 4;
+
+std::string show_lif(const snn::LifConfig& lif) {
+  std::ostringstream os;
+  os << "lif{beta=" << lif.beta << ", theta=" << lif.threshold
+     << ", reset_to_zero=" << (lif.reset_to_zero ? "true" : "false") << "}";
+  return os.str();
+}
+
+std::optional<std::string> diff_trains(const snn::SpikeTrain& a,
+                                       const snn::SpikeTrain& b) {
+  if (a.steps != b.steps) {
+    return "step count: " + std::to_string(a.steps) + " vs " +
+           std::to_string(b.steps);
+  }
+  for (Index t = 0; t < a.steps; ++t) {
+    const auto& sa = a.active[static_cast<size_t>(t)];
+    const auto& sb = b.active[static_cast<size_t>(t)];
+    if (sa != sb) {
+      std::ostringstream os;
+      os << "spikes at step " << t << ": {";
+      for (const Index i : sa) os << i << " ";
+      os << "} vs {";
+      for (const Index i : sb) os << i << " ";
+      os << "}";
+      return os.str();
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+// ---- conv2d ---------------------------------------------------------------
+
+Gen<ConvCase> conv_case_gen() {
+  Gen<ConvCase> gen;
+  gen.sample = [](Rng& rng) {
+    ConvCase c;
+    c.config.in_channels = 1 + static_cast<Index>(rng.uniform_int(3));
+    c.config.out_channels = 1 + static_cast<Index>(rng.uniform_int(3));
+    c.config.kernel = 1 + static_cast<Index>(rng.uniform_int(3));
+    c.config.stride = 1 + static_cast<Index>(rng.uniform_int(2));
+    c.config.padding = static_cast<Index>(rng.uniform_int(2));
+    c.weight_seed = rng.next_u64();
+    const Index h = c.config.kernel + static_cast<Index>(rng.uniform_int(6));
+    const Index w = c.config.kernel + static_cast<Index>(rng.uniform_int(6));
+    c.input = tensor_gen({c.config.in_channels, h, w}, 1.0f, 0.35).sample(rng);
+    return c;
+  };
+  gen.shrink = [](const ConvCase& c) {
+    std::vector<ConvCase> out;
+    for (auto& smaller : shrink_tensor(c.input)) {
+      ConvCase candidate = c;
+      candidate.input = std::move(smaller);
+      out.push_back(std::move(candidate));
+    }
+    return out;
+  };
+  gen.show = [](const ConvCase& c) {
+    std::ostringstream os;
+    os << "conv ic=" << c.config.in_channels << " oc=" << c.config.out_channels
+       << " k=" << c.config.kernel << " stride=" << c.config.stride
+       << " pad=" << c.config.padding << " weight_seed=" << c.weight_seed
+       << ", " << show_tensor(c.input);
+    return os.str();
+  };
+  return gen;
+}
+
+std::optional<std::string> diff_conv_direct_vs_gemm(const ConvCase& c) {
+  nn::Conv2dConfig direct_config = c.config;
+  direct_config.algo = nn::ConvAlgo::Direct;
+  nn::Conv2dConfig gemm_config = c.config;
+  gemm_config.algo = nn::ConvAlgo::Gemm;
+  Rng direct_rng(c.weight_seed);
+  Rng gemm_rng(c.weight_seed);
+  nn::Conv2d direct(direct_config, direct_rng);
+  nn::Conv2d gemm(gemm_config, gemm_rng);
+  const nn::Tensor a = direct.forward(c.input, false);
+  const nn::Tensor b = gemm.forward(c.input, false);
+  // Accumulation order per output element is identical, so agreement is
+  // exact (a GEMM padding tap only ever adds w * 0.0f).
+  return diff_floats("direct vs gemm output", a.data(), b.data(), a.numel());
+}
+
+std::optional<std::string> diff_conv_serial_vs_threads(const ConvCase& c) {
+  auto run = [&c] {
+    nn::Conv2dConfig config = c.config;  // Auto: shape-pure algo choice
+    Rng rng(c.weight_seed);
+    nn::Conv2d conv(config, rng);
+    return conv.forward(c.input, false);
+  };
+  const nn::Tensor serial = with_thread_count(1, run);
+  const nn::Tensor threaded = with_thread_count(kThreadedCount, run);
+  return diff_floats("conv output at 1 vs " + std::to_string(kThreadedCount) +
+                         " threads",
+                     serial.data(), threaded.data(), serial.numel());
+}
+
+// ---- SNN layer ------------------------------------------------------------
+
+Gen<SnnLayerCase> snn_layer_case_gen() {
+  Gen<SnnLayerCase> gen;
+  auto weight = dyadic_in(1.0f, 8);
+  auto beta = element_of<float>({1.0f, 0.5f, 0.25f});
+  auto threshold = element_of<float>({1.0f, 0.5f, 1.5f});
+  gen.sample = [weight, beta, threshold](Rng& rng) {
+    SnnLayerCase c;
+    c.in = 1 + static_cast<Index>(rng.uniform_int(6));
+    c.out = 1 + static_cast<Index>(rng.uniform_int(5));
+    c.weights.resize(static_cast<size_t>(c.in * c.out));
+    for (auto& w : c.weights) w = weight.sample(rng);
+    c.lif.beta = beta.sample(rng);
+    c.lif.threshold = threshold.sample(rng);
+    c.lif.reset_to_zero = rng.bernoulli(0.5);
+    c.input = spike_train_gen(8, c.in, 0.3).sample(rng);
+    return c;
+  };
+  gen.shrink = [](const SnnLayerCase& c) {
+    std::vector<SnnLayerCase> out;
+    for (auto& fewer : shrink_spike_train(c.input)) {
+      SnnLayerCase candidate = c;
+      candidate.input = std::move(fewer);
+      out.push_back(std::move(candidate));
+    }
+    // Zero out weights one at a time (shrinks the surviving interaction).
+    size_t zeroed = 0;
+    for (size_t i = 0; i < c.weights.size() && zeroed < 8; ++i) {
+      if (c.weights[i] == 0.0f) continue;
+      SnnLayerCase candidate = c;
+      candidate.weights[i] = 0.0f;
+      out.push_back(std::move(candidate));
+      ++zeroed;
+    }
+    return out;
+  };
+  gen.show = [](const SnnLayerCase& c) {
+    std::ostringstream os;
+    os << "snn layer " << c.in << "->" << c.out << " " << show_lif(c.lif)
+       << " weights=[";
+    for (size_t i = 0; i < c.weights.size() && i < 16; ++i) {
+      os << (i ? ", " : "") << c.weights[i];
+    }
+    os << (c.weights.size() > 16 ? ", ...] " : "] ");
+    os << show_spike_train(c.input);
+    return os.str();
+  };
+  return gen;
+}
+
+std::optional<std::string> diff_snn_clocked_vs_event_driven(
+    const SnnLayerCase& c) {
+  nn::Tensor weight({c.out, c.in});
+  std::copy(c.weights.begin(), c.weights.end(), weight.data());
+  snn::SpikingLayerSpec spec;
+  spec.weight = &weight;
+  spec.lif = c.lif;
+  snn::ExecutionCost clocked_cost, event_cost;
+  const snn::SpikeTrain clocked = snn::run_clocked(spec, c.input, clocked_cost);
+  const snn::SpikeTrain event =
+      snn::run_event_driven(spec, c.input, event_cost);
+  if (auto mismatch = diff_trains(clocked, event)) {
+    return "clocked vs event-driven: " + *mismatch;
+  }
+  return diff_scalar("output spike count",
+                     static_cast<double>(clocked_cost.output_spikes),
+                     static_cast<double>(event_cost.output_spikes));
+}
+
+// ---- SNN network ----------------------------------------------------------
+
+Gen<SnnNetCase> snn_net_case_gen() {
+  Gen<SnnNetCase> gen;
+  gen.sample = [](Rng& rng) {
+    SnnNetCase c;
+    const Index input = 4 + static_cast<Index>(rng.uniform_int(12));
+    const Index hidden = 4 + static_cast<Index>(rng.uniform_int(12));
+    const Index output = 2 + static_cast<Index>(rng.uniform_int(4));
+    c.layer_sizes = {input, hidden, output};
+    c.weight_seed = rng.next_u64();
+    c.input = spike_train_gen(10, input, 0.25).sample(rng);
+    return c;
+  };
+  gen.shrink = [](const SnnNetCase& c) {
+    std::vector<SnnNetCase> out;
+    for (auto& fewer : shrink_spike_train(c.input)) {
+      SnnNetCase candidate = c;
+      candidate.input = std::move(fewer);
+      out.push_back(std::move(candidate));
+    }
+    return out;
+  };
+  gen.show = [](const SnnNetCase& c) {
+    std::ostringstream os;
+    os << "snn net {";
+    for (size_t i = 0; i < c.layer_sizes.size(); ++i) {
+      os << (i ? "," : "") << c.layer_sizes[i];
+    }
+    os << "} weight_seed=" << c.weight_seed << ", " << show_spike_train(c.input);
+    return os.str();
+  };
+  return gen;
+}
+
+std::optional<std::string> diff_snn_net_serial_vs_threads(const SnnNetCase& c) {
+  auto run = [&c] {
+    snn::SpikingNetConfig config;
+    config.layer_sizes = c.layer_sizes;
+    Rng rng(c.weight_seed);
+    snn::SpikingNet net(config, rng);
+    return net.forward(c.input, false);
+  };
+  const nn::Tensor serial = with_thread_count(1, run);
+  const nn::Tensor threaded = with_thread_count(kThreadedCount, run);
+  return diff_floats("snn logits at 1 vs " + std::to_string(kThreadedCount) +
+                         " threads",
+                     serial.data(), threaded.data(), serial.numel());
+}
+
+// ---- GNN ------------------------------------------------------------------
+
+Gen<GraphCase> graph_case_gen() {
+  Gen<GraphCase> gen;
+  auto radius = element_of<float>({2.0f, 3.0f, 4.0f});
+  auto degree = element_of<Index>({4, 8, 12});
+  StreamGenConfig stream_config;
+  stream_config.max_width = 24;
+  stream_config.max_height = 24;
+  stream_config.max_events = 200;
+  auto stream = event_stream_gen(stream_config);
+  gen.sample = [radius, degree, stream](Rng& rng) {
+    GraphCase c;
+    c.stream = stream.sample(rng);
+    c.radius = radius.sample(rng);
+    c.max_neighbors = degree.sample(rng);
+    return c;
+  };
+  gen.shrink = [](const GraphCase& c) {
+    std::vector<GraphCase> out;
+    for (auto& fewer : shrink_stream(c.stream)) {
+      GraphCase candidate = c;
+      candidate.stream = std::move(fewer);
+      out.push_back(std::move(candidate));
+    }
+    return out;
+  };
+  gen.show = [](const GraphCase& c) {
+    std::ostringstream os;
+    os << "graph radius=" << c.radius << " max_neighbors=" << c.max_neighbors
+       << ", " << show_stream(c.stream);
+    return os.str();
+  };
+  return gen;
+}
+
+namespace {
+
+/// Sorted squared distances from node i to its neighbours — the
+/// tie-permutation-invariant signature the two builders must share.
+std::vector<float> neighbor_distances(const gnn::EventGraph& graph, Index i) {
+  std::vector<float> distances;
+  for (const Index j : graph.neighbors(i)) {
+    distances.push_back(
+        gnn::squared_distance(graph.node(i).position, graph.node(j).position));
+  }
+  std::sort(distances.begin(), distances.end());
+  return distances;
+}
+
+std::optional<std::string> diff_graphs_by_distance(
+    const gnn::EventGraph& a, const gnn::EventGraph& b, const char* what) {
+  if (a.node_count() != b.node_count()) {
+    return std::string(what) + ": node count " +
+           std::to_string(a.node_count()) + " vs " +
+           std::to_string(b.node_count());
+  }
+  for (Index i = 0; i < a.node_count(); ++i) {
+    const auto da = neighbor_distances(a, i);
+    const auto db = neighbor_distances(b, i);
+    if (da != db) {
+      std::ostringstream os;
+      os << what << ": node " << i << " neighbour distances {";
+      for (const float d : da) os << d << " ";
+      os << "} vs {";
+      for (const float d : db) os << d << " ";
+      os << "}";
+      return os.str();
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<std::string> diff_gnn_batch_vs_incremental(const GraphCase& c) {
+  gnn::GraphBuildConfig batch_config;
+  batch_config.radius = c.radius;
+  batch_config.max_neighbors = c.max_neighbors;
+  batch_config.max_nodes = std::max<Index>(c.stream.size(), 1);
+  gnn::IncrementalConfig inc_config;
+  inc_config.radius = c.radius;
+  inc_config.max_neighbors = c.max_neighbors;
+  inc_config.cell_capacity = 1024;  // ample: no eviction, exact equivalence
+  if (c.stream.width <= 0 || c.stream.height <= 0) return std::nullopt;
+  const gnn::EventGraph batch = gnn::build_graph(c.stream, batch_config);
+  const gnn::EventGraph incremental = gnn::build_graph_incremental(
+      c.stream, inc_config, batch_config.max_nodes);
+  return diff_graphs_by_distance(batch, incremental, "batch vs incremental");
+}
+
+std::optional<std::string> diff_gnn_build_serial_vs_threads(
+    const GraphCase& c) {
+  gnn::GraphBuildConfig config;
+  config.radius = c.radius;
+  config.max_neighbors = c.max_neighbors;
+  config.max_nodes = std::max<Index>(c.stream.size(), 1);
+  auto run = [&] { return gnn::build_graph(c.stream, config); };
+  const gnn::EventGraph serial = with_thread_count(1, run);
+  const gnn::EventGraph threaded = with_thread_count(kThreadedCount, run);
+  // The parallel layer promises bitwise determinism, so compare exactly.
+  if (serial.node_count() != threaded.node_count() ||
+      serial.edge_count() != threaded.edge_count()) {
+    return "graph shape: " + std::to_string(serial.node_count()) + "n/" +
+           std::to_string(serial.edge_count()) + "e vs " +
+           std::to_string(threaded.node_count()) + "n/" +
+           std::to_string(threaded.edge_count()) + "e";
+  }
+  for (Index i = 0; i < serial.node_count(); ++i) {
+    const auto sa = serial.neighbors(i);
+    const auto sb = threaded.neighbors(i);
+    if (!std::equal(sa.begin(), sa.end(), sb.begin(), sb.end())) {
+      return "neighbours of node " + std::to_string(i) +
+             " differ across thread counts";
+    }
+  }
+  return std::nullopt;
+}
+
+// ---- hw -------------------------------------------------------------------
+
+Gen<HwCase> hw_case_gen() {
+  Gen<HwCase> gen;
+  auto lanes = element_of<Index>({1, 16, 128, 256});
+  auto dims = element_of<Index>({4, 8, 16});
+  auto freq = element_of<double>({100.0, 200.0, 800.0});
+  auto efficiency = element_of<double>({0.0, 0.5, 0.8, 1.0});
+  auto utilization = element_of<double>({0.5, 0.85, 1.0});
+  auto reuse = element_of<double>({1.0, 16.0});
+  gen.sample = [=](Rng& rng) {
+    HwCase c;
+    auto count = [&rng] {
+      return static_cast<std::int64_t>(rng.uniform_int(1'000'000'000ULL));
+    };
+    c.workload.mults = count();
+    c.workload.adds = count();
+    c.workload.comparisons = count();
+    // Deliberately allow zero_skippable > macs() to exercise the clamp.
+    c.workload.zero_skippable_mults = count();
+    c.workload.param_bytes_read = count();
+    c.workload.act_bytes_read = count();
+    c.workload.act_bytes_written = count();
+    c.workload.state_bytes_rw = count();
+    c.systolic.rows = dims.sample(rng);
+    c.systolic.cols = dims.sample(rng);
+    c.systolic.frequency_mhz = freq.sample(rng);
+    c.systolic.utilization = utilization.sample(rng);
+    c.systolic.reuse_factor = reuse.sample(rng);
+    c.zero_skip.lanes = lanes.sample(rng);
+    c.zero_skip.frequency_mhz = freq.sample(rng);
+    c.zero_skip.skip_efficiency = efficiency.sample(rng);
+    c.zero_skip.irregular_access_penalty = rng.bernoulli(0.5) ? 1.0 : 1.25;
+    c.zero_skip.compression_overhead = rng.bernoulli(0.5) ? 0.0 : 0.10;
+    c.zero_skip.reuse_factor = reuse.sample(rng);
+    return c;
+  };
+  gen.shrink = [](const HwCase& c) {
+    std::vector<HwCase> out;
+    auto halve = [&out, &c](std::int64_t nn::OpCounter::* field) {
+      if (c.workload.*field == 0) return;
+      HwCase candidate = c;
+      candidate.workload.*field /= 2;
+      out.push_back(std::move(candidate));
+    };
+    halve(&nn::OpCounter::mults);
+    halve(&nn::OpCounter::adds);
+    halve(&nn::OpCounter::comparisons);
+    halve(&nn::OpCounter::zero_skippable_mults);
+    halve(&nn::OpCounter::param_bytes_read);
+    halve(&nn::OpCounter::act_bytes_read);
+    halve(&nn::OpCounter::act_bytes_written);
+    halve(&nn::OpCounter::state_bytes_rw);
+    return out;
+  };
+  gen.show = [](const HwCase& c) {
+    std::ostringstream os;
+    os << "workload{mults=" << c.workload.mults << " adds=" << c.workload.adds
+       << " cmp=" << c.workload.comparisons
+       << " zskip=" << c.workload.zero_skippable_mults
+       << " pbytes=" << c.workload.param_bytes_read
+       << " abytes=" << c.workload.act_bytes_read << "+"
+       << c.workload.act_bytes_written
+       << " sbytes=" << c.workload.state_bytes_rw << "} systolic{"
+       << c.systolic.rows << "x" << c.systolic.cols << " @"
+       << c.systolic.frequency_mhz << "MHz util=" << c.systolic.utilization
+       << "} zskip{lanes=" << c.zero_skip.lanes << " @"
+       << c.zero_skip.frequency_mhz
+       << "MHz eff=" << c.zero_skip.skip_efficiency << "}";
+    return os.str();
+  };
+  return gen;
+}
+
+std::optional<std::string> diff_systolic_vs_naive(const HwCase& c) {
+  const hw::AcceleratorReport report = hw::run_systolic(c.workload, c.systolic);
+  // Naive roll-up straight from the documented model: latency = dense MACs
+  // over active PEs, energy = every MAC plus word traffic divided by reuse.
+  const auto& w = c.workload;
+  const auto& cfg = c.systolic;
+  const double macs = static_cast<double>(std::min(w.mults, w.adds));
+  const double latency =
+      macs / (static_cast<double>(cfg.rows * cfg.cols) * cfg.utilization) /
+      cfg.frequency_mhz;
+  const double compute =
+      macs * (cfg.table.add_pj + cfg.table.mult_pj) +
+      static_cast<double>(w.comparisons) * cfg.table.compare_pj;
+  const double memory =
+      (static_cast<double>(w.param_bytes_read) +
+       static_cast<double>(w.act_bytes_read + w.act_bytes_written)) /
+          cfg.reuse_factor * cfg.table.sram_pj_per_byte +
+      static_cast<double>(w.state_bytes_rw) * cfg.table.sram_pj_per_byte;
+  if (auto d = diff_scalar("systolic effective MACs",
+                           static_cast<double>(report.effective_macs), macs)) {
+    return d;
+  }
+  if (auto d =
+          diff_scalar("systolic latency", report.latency_us, latency, 1e-12)) {
+    return d;
+  }
+  return diff_scalar("systolic energy", report.energy.total_pj(),
+                     compute + memory, 1e-12);
+}
+
+std::optional<std::string> diff_zero_skip_vs_naive(const HwCase& c) {
+  const hw::AcceleratorReport report =
+      hw::run_zero_skip(c.workload, c.zero_skip);
+  const auto& w = c.workload;
+  const auto& cfg = c.zero_skip;
+  const std::int64_t macs = std::min(w.mults, w.adds);
+  const std::int64_t skipped = std::min(w.zero_skippable_mults, macs);
+  const std::int64_t executed = macs - skipped;
+  const double slots = static_cast<double>(executed) +
+                       (1.0 - cfg.skip_efficiency) *
+                           static_cast<double>(skipped);
+  const double latency =
+      slots / static_cast<double>(cfg.lanes) / cfg.frequency_mhz;
+  const double density =
+      macs > 0 ? static_cast<double>(executed) / static_cast<double>(macs)
+               : 1.0;
+  const double compute =
+      static_cast<double>(executed) * (cfg.table.add_pj + cfg.table.mult_pj) +
+      static_cast<double>(w.comparisons) * cfg.table.compare_pj;
+  const double memory =
+      static_cast<double>(w.param_bytes_read) / cfg.reuse_factor *
+          cfg.table.sram_pj_per_byte +
+      static_cast<double>(w.act_bytes_read + w.act_bytes_written) * density *
+          (1.0 + cfg.compression_overhead) * cfg.irregular_access_penalty /
+          cfg.reuse_factor * cfg.table.sram_pj_per_byte +
+      static_cast<double>(w.state_bytes_rw) * cfg.table.sram_pj_per_byte;
+  if (auto d = diff_scalar("zero-skip executed + skipped MACs",
+                           static_cast<double>(report.effective_macs +
+                                               report.skipped_macs),
+                           static_cast<double>(macs))) {
+    return d;
+  }
+  if (auto d =
+          diff_scalar("zero-skip latency", report.latency_us, latency, 1e-12)) {
+    return d;
+  }
+  return diff_scalar("zero-skip energy", report.energy.total_pj(),
+                     compute + memory, 1e-12);
+}
+
+// ---- registration ---------------------------------------------------------
+
+void register_builtin_oracles() {
+  static const bool registered = [] {
+    registry().add(make_diff_oracle<ConvCase>(
+        "conv2d.direct_vs_gemm",
+        "Conv2d reference loop nest vs im2col + cache-blocked GEMM (exact)",
+        conv_case_gen(), diff_conv_direct_vs_gemm));
+    registry().add(make_diff_oracle<SnnLayerCase>(
+        "snn.clocked_vs_event_driven",
+        "Clocked per-step LIF layer vs lazy event-driven execution (exact "
+        "spike trains on dyadic constants)",
+        snn_layer_case_gen(), diff_snn_clocked_vs_event_driven));
+    registry().add(make_diff_oracle<GraphCase>(
+        "gnn.batch_vs_incremental",
+        "k-d tree batch graph build vs O(1) grid-hash incremental build "
+        "(degree + neighbour distance multisets)",
+        graph_case_gen(), diff_gnn_batch_vs_incremental));
+    registry().add(make_diff_oracle<ConvCase>(
+        "par.cnn_conv_1_vs_4_threads",
+        "CNN conv hot path is bitwise identical at any EVD_THREADS",
+        conv_case_gen(), diff_conv_serial_vs_threads));
+    registry().add(make_diff_oracle<SnnNetCase>(
+        "par.snn_forward_1_vs_4_threads",
+        "SpikingNet forward logits are bitwise identical at any EVD_THREADS",
+        snn_net_case_gen(), diff_snn_net_serial_vs_threads));
+    registry().add(make_diff_oracle<GraphCase>(
+        "par.gnn_build_1_vs_4_threads",
+        "Batch graph construction is bitwise identical at any EVD_THREADS",
+        graph_case_gen(), diff_gnn_build_serial_vs_threads));
+    registry().add(make_diff_oracle<HwCase>(
+        "hw.systolic_vs_naive",
+        "Systolic-array model vs naive roll-up of the same counters",
+        hw_case_gen(), diff_systolic_vs_naive));
+    registry().add(make_diff_oracle<HwCase>(
+        "hw.zero_skip_vs_naive",
+        "Zero-skipping model vs naive roll-up (incl. skippable > MACs clamp)",
+        hw_case_gen(), diff_zero_skip_vs_naive));
+    return true;
+  }();
+  (void)registered;
+}
+
+}  // namespace evd::check

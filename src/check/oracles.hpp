@@ -1,0 +1,112 @@
+// The built-in differential-oracle pairs — redundant implementations this
+// codebase already maintains, now permanently cross-checked on generated
+// inputs:
+//
+//   conv2d.direct_vs_gemm        reference loop nest vs im2col + blocked GEMM
+//   snn.clocked_vs_event_driven  per-step update vs lazy analytic decay
+//   gnn.batch_vs_incremental     k-d tree rebuild vs O(1) grid-hash insert
+//   par.cnn_conv_1_vs_4_threads  bitwise determinism of the conv hot path
+//   par.snn_forward_1_vs_4_threads   ... of the spiking forward pass
+//   par.gnn_build_1_vs_4_threads     ... of batch graph construction
+//   hw.systolic_vs_naive         accelerator model vs naive counter roll-up
+//   hw.zero_skip_vs_naive        ditto for the zero-skipping model
+//
+// Case structs and diff properties are public so the fault-injection
+// self-test can perturb one side and verify the harness catches it and
+// shrinks the counterexample.
+#pragma once
+
+#include <optional>
+
+#include "check/generators.hpp"
+#include "check/oracle.hpp"
+#include "common/parallel.hpp"
+#include "hw/systolic.hpp"
+#include "hw/zero_skip.hpp"
+#include "nn/conv2d.hpp"
+#include "snn/event_driven.hpp"
+
+namespace evd::check {
+
+// ---- conv2d: Direct vs Im2colGemm (and serial vs threaded) ----------------
+
+struct ConvCase {
+  nn::Conv2dConfig config;       ///< algo is overridden per run.
+  std::uint64_t weight_seed = 1; ///< Both instances init from this seed.
+  nn::Tensor input;              ///< [C, H, W], mixed zeros / values.
+};
+
+Gen<ConvCase> conv_case_gen();
+std::optional<std::string> diff_conv_direct_vs_gemm(const ConvCase& c);
+std::optional<std::string> diff_conv_serial_vs_threads(const ConvCase& c);
+
+// ---- SNN: clocked vs event-driven execution -------------------------------
+
+/// Weights / LIF constants are dyadic (exact in float), so both executors'
+/// membrane arithmetic is exact and the spike trains must match bit-for-bit.
+struct SnnLayerCase {
+  Index in = 1;
+  Index out = 1;
+  std::vector<float> weights;  ///< [out * in], dyadic.
+  snn::LifConfig lif;          ///< Dyadic beta / threshold.
+  snn::SpikeTrain input;
+};
+
+Gen<SnnLayerCase> snn_layer_case_gen();
+std::optional<std::string> diff_snn_clocked_vs_event_driven(
+    const SnnLayerCase& c);
+
+// ---- SNN: full network forward, serial vs threaded ------------------------
+
+struct SnnNetCase {
+  std::vector<Index> layer_sizes;
+  std::uint64_t weight_seed = 1;
+  snn::SpikeTrain input;
+};
+
+Gen<SnnNetCase> snn_net_case_gen();
+std::optional<std::string> diff_snn_net_serial_vs_threads(const SnnNetCase& c);
+
+// ---- GNN: batch (k-d tree) vs incremental (grid hash) construction --------
+
+struct GraphCase {
+  events::EventStream stream;
+  float radius = 3.0f;
+  Index max_neighbors = 8;
+};
+
+Gen<GraphCase> graph_case_gen();
+/// Compares per-node degree and neighbour *distance multisets* (exact float
+/// equality) — invariant under permutation of exactly-tied candidates, which
+/// is the one legitimate way the two builders may disagree.
+std::optional<std::string> diff_gnn_batch_vs_incremental(const GraphCase& c);
+/// Bitwise identity of the batch builder across thread counts.
+std::optional<std::string> diff_gnn_build_serial_vs_threads(const GraphCase& c);
+
+// ---- hw: accelerator models vs naive counter roll-ups ---------------------
+
+struct HwCase {
+  nn::OpCounter workload;
+  hw::SystolicConfig systolic;
+  hw::ZeroSkipConfig zero_skip;
+};
+
+Gen<HwCase> hw_case_gen();
+std::optional<std::string> diff_systolic_vs_naive(const HwCase& c);
+std::optional<std::string> diff_zero_skip_vs_naive(const HwCase& c);
+
+/// Run fn at the given pool size, restoring the previous size afterwards.
+template <typename Fn>
+auto with_thread_count(Index threads, Fn&& fn) {
+  struct Restore {
+    Index previous;
+    ~Restore() { par::set_thread_count(previous); }
+  } restore{par::thread_count()};
+  par::set_thread_count(threads);
+  return fn();
+}
+
+/// Register every built-in pair into the global registry (idempotent).
+void register_builtin_oracles();
+
+}  // namespace evd::check

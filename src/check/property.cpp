@@ -1,0 +1,40 @@
+#include "check/property.hpp"
+
+#include <cstdlib>
+
+namespace evd::check {
+
+std::uint64_t default_seed() {
+  static const std::uint64_t cached = []() -> std::uint64_t {
+    const char* value = std::getenv("EVD_TEST_SEED");
+    if (value != nullptr && *value != '\0') {
+      char* end = nullptr;
+      const unsigned long long parsed = std::strtoull(value, &end, 10);
+      if (end != value && *end == '\0' && parsed != 0) return parsed;
+    }
+    return 0x5EEDC0FFEEULL;
+  }();
+  return cached;
+}
+
+std::uint64_t case_seed(std::uint64_t base, Index index) {
+  std::uint64_t state = base + 0x9E3779B97F4A7C15ULL *
+                                   static_cast<std::uint64_t>(index + 1);
+  return splitmix64(state);
+}
+
+std::string CheckResult::summary() const {
+  if (passed) {
+    return "passed " + std::to_string(cases_run) + " cases (seed " +
+           std::to_string(base_seed) + ")";
+  }
+  return "FAILED case " + std::to_string(failing_case) + "/" +
+         std::to_string(cases_run) + " (base seed " +
+         std::to_string(base_seed) + ", case seed " +
+         std::to_string(failing_seed) + ", " + std::to_string(shrink_steps) +
+         " shrink steps; rerun with EVD_TEST_SEED=" +
+         std::to_string(base_seed) + ")\n  counterexample: " + counterexample +
+         "\n  " + message;
+}
+
+}  // namespace evd::check

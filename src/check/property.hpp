@@ -1,0 +1,109 @@
+// The forall driver — the engine of evd::check.
+//
+// forall(gen, property) samples `cases` values from the generator, each from
+// a per-case seed derived deterministically from the base seed, and runs the
+// property on each. A property returns std::nullopt to pass or a failure
+// message to fail. On the first failure the driver greedily shrinks the
+// value: it walks the generator's shrink candidates, keeps the first one
+// that still fails, and repeats until no candidate fails (or the step cap is
+// hit). The result reports the base seed, the failing case's seed/index and
+// the minimal counterexample — everything needed to reproduce the failure
+// with EVD_TEST_SEED.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "check/gen.hpp"
+
+namespace evd::check {
+
+struct CheckConfig {
+  Index cases = 100;
+  /// 0 = use default_seed() (the EVD_TEST_SEED env override, if set).
+  std::uint64_t seed = 0;
+  /// Cap on shrink candidate *evaluations* (not just accepted steps).
+  Index max_shrink_steps = 2000;
+};
+
+/// Base seed for property runs: EVD_TEST_SEED when set and parseable,
+/// otherwise a fixed default. Parsed once.
+std::uint64_t default_seed();
+
+/// Per-case seed: SplitMix64 mix of (base, index) — uncorrelated cases.
+std::uint64_t case_seed(std::uint64_t base, Index index);
+
+struct CheckResult {
+  bool passed = true;
+  Index cases_run = 0;
+  std::uint64_t base_seed = 0;
+  // Populated on failure:
+  Index failing_case = -1;
+  std::uint64_t failing_seed = 0;
+  Index shrink_steps = 0;       ///< Accepted shrink steps to the minimum.
+  std::string counterexample;   ///< show() of the minimal failing value.
+  std::string message;          ///< Property failure message at the minimum.
+
+  /// One-paragraph human-readable report (used by test assertions).
+  std::string summary() const;
+};
+
+/// Typed variant: also hands back the minimal failing value itself, for
+/// tests that assert on the *structure* of the shrunk counterexample.
+template <typename T>
+struct TypedResult {
+  CheckResult report;
+  std::optional<T> minimal;
+};
+
+template <typename T, typename Property>
+TypedResult<T> forall_typed(const Gen<T>& gen, Property&& property,
+                            const CheckConfig& config = {}) {
+  TypedResult<T> result;
+  CheckResult& report = result.report;
+  report.base_seed = config.seed != 0 ? config.seed : default_seed();
+  for (Index i = 0; i < config.cases; ++i) {
+    const std::uint64_t seed = case_seed(report.base_seed, i);
+    Rng rng(seed);
+    T value = gen.sample(rng);
+    ++report.cases_run;
+    std::optional<std::string> failure = property(value);
+    if (!failure) continue;
+
+    // Greedy shrink: accept the first candidate that still fails, restart
+    // from it; stop when a full candidate sweep passes or the cap is hit.
+    Index evaluations = 0;
+    bool progressed = true;
+    while (progressed && evaluations < config.max_shrink_steps) {
+      progressed = false;
+      for (const T& candidate : gen.shrink(value)) {
+        if (++evaluations > config.max_shrink_steps) break;
+        if (auto f = property(candidate)) {
+          value = candidate;
+          failure = std::move(f);
+          ++report.shrink_steps;
+          progressed = true;
+          break;
+        }
+      }
+    }
+
+    report.passed = false;
+    report.failing_case = i;
+    report.failing_seed = seed;
+    report.counterexample = gen.show(value);
+    report.message = *failure;
+    result.minimal = std::move(value);
+    return result;
+  }
+  return result;
+}
+
+template <typename T, typename Property>
+CheckResult forall(const Gen<T>& gen, Property&& property,
+                   const CheckConfig& config = {}) {
+  return forall_typed(gen, std::forward<Property>(property), config).report;
+}
+
+}  // namespace evd::check

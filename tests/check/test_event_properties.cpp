@@ -1,0 +1,235 @@
+// Property tests (label: prop) for the sensor-side event stages: denoising
+// filters and the event-rate controller. Each invariant is checked over
+// generated streams via the forall driver, so a violation arrives with a
+// shrunk minimal stream and a reproduction seed.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "check/generators.hpp"
+#include "check/property.hpp"
+#include "events/filters.hpp"
+#include "events/rate_controller.hpp"
+
+namespace evd::check {
+namespace {
+
+constexpr TimeUs kRefractoryUs = 5000;
+constexpr TimeUs kSupportWindowUs = 2000;
+
+/// True when `sub` is an in-order subsequence of `full`.
+bool is_subsequence(std::span<const events::Event> sub,
+                    std::span<const events::Event> full) {
+  size_t i = 0;
+  for (const auto& e : full) {
+    if (i < sub.size() && sub[i] == e) ++i;
+  }
+  return i == sub.size();
+}
+
+#define EVD_EXPECT_HOLDS(result)                    \
+  do {                                              \
+    const CheckResult evd_result = (result);        \
+    EXPECT_TRUE(evd_result.passed) << evd_result.summary(); \
+  } while (0)
+
+TEST(FilterPropertyTest, RefractoryOutputIsSortedSubsequence) {
+  EVD_EXPECT_HOLDS(forall(
+      event_stream_gen(),
+      [](const events::EventStream& s) -> std::optional<std::string> {
+        const auto kept = events::refractory_filter(s.events, s.width,
+                                                    s.height, kRefractoryUs);
+        if (!is_subsequence(kept, s.events)) return "not a subsequence";
+        if (!events::is_time_sorted(kept)) return "not sorted";
+        return std::nullopt;
+      }));
+}
+
+TEST(FilterPropertyTest, RefractoryEnforcesPerPixelMinimumGap) {
+  EVD_EXPECT_HOLDS(forall(
+      event_stream_gen(),
+      [](const events::EventStream& s) -> std::optional<std::string> {
+        const auto kept = events::refractory_filter(s.events, s.width,
+                                                    s.height, kRefractoryUs);
+        std::vector<TimeUs> last(
+            static_cast<size_t>(s.width * s.height), -kRefractoryUs - 1);
+        for (const auto& e : kept) {
+          const auto idx = static_cast<size_t>(e.y) *
+                               static_cast<size_t>(s.width) +
+                           static_cast<size_t>(e.x);
+          if (e.t - last[idx] <= kRefractoryUs) {
+            return "kept events closer than the refractory period";
+          }
+          last[idx] = e.t;
+        }
+        return std::nullopt;
+      }));
+}
+
+TEST(FilterPropertyTest, RefractoryIsIdempotent) {
+  EVD_EXPECT_HOLDS(forall(
+      event_stream_gen(),
+      [](const events::EventStream& s) -> std::optional<std::string> {
+        const auto once = events::refractory_filter(s.events, s.width,
+                                                    s.height, kRefractoryUs);
+        const auto twice =
+            events::refractory_filter(once, s.width, s.height, kRefractoryUs);
+        if (once != twice) return "second application changed the stream";
+        return std::nullopt;
+      }));
+}
+
+TEST(FilterPropertyTest, BackgroundFilterOutputIsSortedSubsequence) {
+  EVD_EXPECT_HOLDS(forall(
+      event_stream_gen(),
+      [](const events::EventStream& s) -> std::optional<std::string> {
+        const auto kept = events::background_activity_filter(
+            s.events, s.width, s.height, kSupportWindowUs);
+        if (!is_subsequence(kept, s.events)) return "not a subsequence";
+        if (!events::is_time_sorted(kept)) return "not sorted";
+        return std::nullopt;
+      }));
+}
+
+TEST(FilterPropertyTest, BackgroundFilterIsMonotoneInTheSupportWindow) {
+  // A wider support window can only keep more: kept(w) subseteq kept(2w).
+  EVD_EXPECT_HOLDS(forall(
+      event_stream_gen(),
+      [](const events::EventStream& s) -> std::optional<std::string> {
+        const auto narrow = events::background_activity_filter(
+            s.events, s.width, s.height, kSupportWindowUs);
+        const auto wide = events::background_activity_filter(
+            s.events, s.width, s.height, 2 * kSupportWindowUs);
+        if (!is_subsequence(narrow, wide)) {
+          return "narrow-window survivors not kept by the wider window";
+        }
+        return std::nullopt;
+      }));
+}
+
+TEST(FilterPropertyTest, MaskedPixelsNeverAppearInTheOutput) {
+  EVD_EXPECT_HOLDS(forall(
+      event_stream_gen(),
+      [](const events::EventStream& s) -> std::optional<std::string> {
+        const auto hot =
+            events::detect_hot_pixels(s.events, s.width, s.height, 2.0);
+        const auto kept = events::mask_pixels(s.events, s.width, hot);
+        if (!is_subsequence(kept, s.events)) return "not a subsequence";
+        for (const auto& e : kept) {
+          const Index idx = static_cast<Index>(e.y) * s.width + e.x;
+          if (std::find(hot.begin(), hot.end(), idx) != hot.end()) {
+            return "event from a masked pixel survived";
+          }
+        }
+        return std::nullopt;
+      }));
+}
+
+// ---- rate controller ------------------------------------------------------
+
+const std::vector<events::RateControllerConfig>& rate_configs() {
+  static const std::vector<events::RateControllerConfig> configs = [] {
+    std::vector<events::RateControllerConfig> out;
+    for (const events::RatePolicy policy :
+         {events::RatePolicy::Drop, events::RatePolicy::Decimate,
+          events::RatePolicy::Suppress}) {
+      // Budgets of 20 / 100 per 100 ms window: generated streams (up to 200
+      // events over 100 ms) saturate the small budget and fit in the large.
+      out.push_back({.max_rate_eps = 200.0, .window_us = 100000,
+                     .policy = policy});
+      out.push_back({.max_rate_eps = 1000.0, .window_us = 100000,
+                     .policy = policy});
+      // Many small windows.
+      out.push_back({.max_rate_eps = 1e4, .window_us = 1000, .policy = policy});
+    }
+    return out;
+  }();
+  return configs;
+}
+
+TEST(RateControllerPropertyTest, OutputIsSortedSubsequenceWithExactStats) {
+  for (const auto& config : rate_configs()) {
+    EVD_EXPECT_HOLDS(forall(
+        event_stream_gen(),
+        [&config](const events::EventStream& s) -> std::optional<std::string> {
+          events::RateController controller(config, Rng(123));
+          const auto out = controller.process(s.events);
+          if (!is_subsequence(out, s.events)) return "not a subsequence";
+          if (!events::is_time_sorted(out)) return "not sorted";
+          const auto& stats = controller.stats();
+          if (stats.in_events != s.size()) return "in_events miscounted";
+          if (stats.out_events != static_cast<Index>(out.size())) {
+            return "out_events miscounted";
+          }
+          if (stats.keep_fraction() > 1.0) return "keep_fraction > 1";
+          return std::nullopt;
+        }));
+  }
+}
+
+TEST(RateControllerPropertyTest, DecimateAndSuppressRespectTheWindowBudget) {
+  for (const auto& config : rate_configs()) {
+    if (config.policy == events::RatePolicy::Drop) continue;  // probabilistic
+    const auto budget = static_cast<Index>(
+        config.max_rate_eps * static_cast<double>(config.window_us) * 1e-6);
+    EVD_EXPECT_HOLDS(forall(
+        event_stream_gen(),
+        [&config, budget](
+            const events::EventStream& s) -> std::optional<std::string> {
+          events::RateController controller(config, Rng(123));
+          const auto out = controller.process(s.events);
+          // Count output events per aligned reference window.
+          Index in_window = 0;
+          TimeUs window_start = -1;
+          for (const auto& e : out) {
+            const TimeUs start = e.t - (e.t % config.window_us);
+            if (start != window_start) {
+              window_start = start;
+              in_window = 0;
+            }
+            if (++in_window > budget) {
+              return "window over budget";
+            }
+          }
+          return std::nullopt;
+        }));
+  }
+}
+
+TEST(RateControllerPropertyTest, DecimateIsDeterministic) {
+  const events::RateControllerConfig config{
+      .max_rate_eps = 200.0, .window_us = 100000,
+      .policy = events::RatePolicy::Decimate};
+  EVD_EXPECT_HOLDS(forall(
+      event_stream_gen(),
+      [&config](const events::EventStream& s) -> std::optional<std::string> {
+        events::RateController a(config, Rng(1));
+        events::RateController b(config, Rng(2));  // rng must not matter
+        if (a.process(s.events) != b.process(s.events)) {
+          return "decimation depended on the rng";
+        }
+        return std::nullopt;
+      }));
+}
+
+TEST(RateControllerPropertyTest, ZeroBudgetDropsEverything) {
+  const events::RateControllerConfig config{
+      .max_rate_eps = 0.0, .window_us = 1000,
+      .policy = events::RatePolicy::Suppress};
+  EVD_EXPECT_HOLDS(forall(
+      event_stream_gen(),
+      [&config](const events::EventStream& s) -> std::optional<std::string> {
+        events::RateController controller(config, Rng(5));
+        if (!controller.process(s.events).empty()) {
+          return "events passed a zero budget";
+        }
+        return std::nullopt;
+      }));
+}
+
+}  // namespace
+}  // namespace evd::check

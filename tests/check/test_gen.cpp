@@ -1,0 +1,173 @@
+// Tests of the property-testing engine itself: generator determinism,
+// shrinker invariant preservation, and forall's minimal-counterexample
+// guarantee on cases where the true minimum is known.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <string>
+
+#include "check/generators.hpp"
+#include "check/property.hpp"
+
+namespace evd::check {
+namespace {
+
+TEST(GenTest, SamplingIsDeterministicInTheSeed) {
+  const auto gen = event_stream_gen();
+  Rng a(42), b(42), c(43);
+  const auto s1 = gen.sample(a);
+  const auto s2 = gen.sample(b);
+  const auto s3 = gen.sample(c);
+  EXPECT_EQ(s1.events, s2.events);
+  EXPECT_EQ(s1.width, s2.width);
+  EXPECT_NE(show_stream(s1), show_stream(s3));
+}
+
+TEST(GenTest, CaseSeedsAreDistinct) {
+  const std::uint64_t base = default_seed();
+  for (Index i = 0; i < 50; ++i) {
+    for (Index j = i + 1; j < 50; ++j) {
+      EXPECT_NE(case_seed(base, i), case_seed(base, j));
+    }
+  }
+}
+
+TEST(GenTest, StreamsAreSortedAndInBounds) {
+  const CheckResult result =
+      forall(event_stream_gen(),
+             [](const events::EventStream& s) -> std::optional<std::string> {
+               if (!events::is_time_sorted(s.events)) return "not sorted";
+               for (const auto& e : s.events) {
+                 if (e.x < 0 || e.x >= s.width || e.y < 0 || e.y >= s.height) {
+                   return "event out of sensor bounds";
+                 }
+               }
+               return std::nullopt;
+             });
+  EXPECT_TRUE(result.passed) << result.summary();
+}
+
+TEST(GenTest, StreamShrinkPreservesInvariants) {
+  Rng rng(7);
+  const auto stream = event_stream_gen().sample(rng);
+  for (const auto& candidate : shrink_stream(stream)) {
+    EXPECT_LT(candidate.size(), stream.size());
+    EXPECT_EQ(candidate.width, stream.width);
+    EXPECT_EQ(candidate.height, stream.height);
+    EXPECT_TRUE(events::is_time_sorted(candidate.events));
+  }
+}
+
+TEST(GenTest, ScheduleShrinkPreservesTimeOrder) {
+  Rng rng(11);
+  const auto gen = schedule_gen(16, 16);
+  const auto schedule = gen.sample(rng);
+  auto op_time = [](const SessionOp& op) {
+    return op.kind == SessionOp::Kind::Feed ? op.event.t : op.t;
+  };
+  auto monotone = [&](const SessionSchedule& s) {
+    for (size_t i = 1; i < s.ops.size(); ++i) {
+      if (op_time(s.ops[i]) < op_time(s.ops[i - 1])) return false;
+    }
+    return true;
+  };
+  ASSERT_TRUE(monotone(schedule));
+  for (const auto& candidate : gen.shrink(schedule)) {
+    EXPECT_LT(candidate.ops.size(), schedule.ops.size());
+    EXPECT_TRUE(monotone(candidate));
+  }
+}
+
+TEST(GenTest, TensorShrinkReducesNonZeros) {
+  Rng rng(3);
+  const auto tensor = tensor_gen({2, 5, 5}).sample(rng);
+  auto non_zeros = [](const nn::Tensor& t) {
+    Index n = 0;
+    for (Index i = 0; i < t.numel(); ++i) n += t[i] != 0.0f ? 1 : 0;
+    return n;
+  };
+  const Index original = non_zeros(tensor);
+  ASSERT_GT(original, 0);
+  for (const auto& candidate : shrink_tensor(tensor)) {
+    EXPECT_EQ(candidate.numel(), tensor.numel());
+    EXPECT_LT(non_zeros(candidate), original);
+  }
+}
+
+TEST(GenTest, DyadicValuesAreExactMultiples) {
+  Rng rng(19);
+  const auto gen = dyadic_in(1.0f, 8);
+  for (int i = 0; i < 200; ++i) {
+    const float v = gen.sample(rng);
+    EXPECT_LE(std::abs(v), 1.0f);
+    const float scaled = v * 8.0f;
+    EXPECT_EQ(scaled, std::floor(scaled)) << v << " is not a multiple of 1/8";
+  }
+}
+
+TEST(ForallTest, PassingPropertyRunsEveryCase) {
+  const CheckResult result = forall(
+      index_in(0, 100),
+      [](const Index&) -> std::optional<std::string> { return std::nullopt; },
+      {.cases = 37});
+  EXPECT_TRUE(result.passed);
+  EXPECT_EQ(result.cases_run, 37);
+}
+
+TEST(ForallTest, ShrinksIndexToTheExactBoundary) {
+  const auto result = forall_typed(
+      index_in(0, 1000), [](const Index& v) -> std::optional<std::string> {
+        if (v >= 37) return "too big";
+        return std::nullopt;
+      });
+  ASSERT_FALSE(result.report.passed);
+  ASSERT_TRUE(result.minimal.has_value());
+  EXPECT_EQ(*result.minimal, 37);
+  EXPECT_EQ(result.report.counterexample, "37");
+}
+
+TEST(ForallTest, ShrinksStreamToMinimalEventCount) {
+  // Fails iff the stream has at least 3 events: the minimum is exactly 3.
+  const auto result = forall_typed(
+      event_stream_gen(),
+      [](const events::EventStream& s) -> std::optional<std::string> {
+        if (s.size() >= 3) return "has 3+ events";
+        return std::nullopt;
+      });
+  ASSERT_FALSE(result.report.passed);
+  ASSERT_TRUE(result.minimal.has_value());
+  EXPECT_EQ(result.minimal->size(), 3);
+  EXPECT_GT(result.report.shrink_steps, 0);
+}
+
+TEST(ForallTest, ReportsReproductionSeeds) {
+  const CheckResult result = forall(
+      index_in(0, 10),
+      [](const Index&) -> std::optional<std::string> { return "always"; },
+      {.seed = 99});
+  ASSERT_FALSE(result.passed);
+  EXPECT_EQ(result.base_seed, 99u);
+  EXPECT_EQ(result.failing_case, 0);
+  EXPECT_EQ(result.failing_seed, case_seed(99, 0));
+  const std::string summary = result.summary();
+  EXPECT_NE(summary.find("seed"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("EVD_TEST_SEED"), std::string::npos) << summary;
+}
+
+TEST(ForallTest, DifferentBaseSeedsExploreDifferentCases) {
+  auto first_failure = [](std::uint64_t seed) {
+    const CheckResult r = forall(
+        event_stream_gen(),
+        [](const events::EventStream& s) -> std::optional<std::string> {
+          if (s.size() % 7 == 3) return "residue";
+          return std::nullopt;
+        },
+        {.cases = 200, .seed = seed});
+    return r.failing_seed;
+  };
+  EXPECT_NE(first_failure(1), first_failure(2));
+}
+
+}  // namespace
+}  // namespace evd::check

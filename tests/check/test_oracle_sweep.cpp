@@ -1,0 +1,21 @@
+// Extended differential sweep (label: slow). Same oracles as
+// test_oracles.cpp but with a much larger case budget — the per-push tier-1
+// run keeps its seconds-scale budget while this sweep digs for rarer
+// counterexamples (scheduled runs / nightly CI).
+#include <gtest/gtest.h>
+
+#include "check/oracles.hpp"
+
+namespace evd::check {
+namespace {
+
+TEST(OracleSweepSlow, AllRegisteredOraclesPassManyCases) {
+  register_builtin_oracles();
+  for (const auto& oracle : registry().all()) {
+    const CheckResult result = oracle->run({.cases = 400});
+    EXPECT_TRUE(result.passed) << oracle->name() << ": " << result.summary();
+  }
+}
+
+}  // namespace
+}  // namespace evd::check

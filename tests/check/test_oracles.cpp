@@ -1,0 +1,91 @@
+// The built-in differential oracles must agree on generated inputs: each
+// registered pair is run through the forall driver and must report no
+// counterexample. A failure here means two redundant implementations of the
+// same computation have drifted apart — the summary prints the shrunk
+// minimal input and the seeds to reproduce it.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "check/oracles.hpp"
+
+namespace evd::check {
+namespace {
+
+class OracleTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { register_builtin_oracles(); }
+
+  static void expect_passes(const char* name, Index cases = 60) {
+    const Oracle* oracle = registry().find(name);
+    ASSERT_NE(oracle, nullptr) << name << " is not registered";
+    const CheckResult result = oracle->run({.cases = cases});
+    EXPECT_TRUE(result.passed) << name << ": " << result.summary();
+    EXPECT_EQ(result.cases_run, cases);
+  }
+};
+
+TEST_F(OracleTest, RegistryHasAllBuiltinPairs) {
+  register_builtin_oracles();  // second call must be a no-op
+  EXPECT_GE(registry().all().size(), 8u);
+  for (const char* name :
+       {"conv2d.direct_vs_gemm", "snn.clocked_vs_event_driven",
+        "gnn.batch_vs_incremental", "par.cnn_conv_1_vs_4_threads",
+        "par.snn_forward_1_vs_4_threads", "par.gnn_build_1_vs_4_threads",
+        "hw.systolic_vs_naive", "hw.zero_skip_vs_naive"}) {
+    const Oracle* oracle = registry().find(name);
+    ASSERT_NE(oracle, nullptr) << name;
+    EXPECT_FALSE(oracle->description().empty());
+  }
+}
+
+TEST_F(OracleTest, DuplicateRegistrationThrows) {
+  EXPECT_THROW(registry().add(make_diff_oracle<ConvCase>(
+                   "conv2d.direct_vs_gemm", "duplicate", conv_case_gen(),
+                   diff_conv_direct_vs_gemm)),
+               std::invalid_argument);
+}
+
+TEST_F(OracleTest, ConvDirectAgreesWithGemm) {
+  expect_passes("conv2d.direct_vs_gemm");
+}
+
+TEST_F(OracleTest, SnnClockedAgreesWithEventDriven) {
+  expect_passes("snn.clocked_vs_event_driven", 100);
+}
+
+TEST_F(OracleTest, GnnBatchAgreesWithIncremental) {
+  expect_passes("gnn.batch_vs_incremental");
+}
+
+TEST_F(OracleTest, ConvIsBitwiseDeterministicAcrossThreads) {
+  expect_passes("par.cnn_conv_1_vs_4_threads", 30);
+}
+
+TEST_F(OracleTest, SnnForwardIsBitwiseDeterministicAcrossThreads) {
+  expect_passes("par.snn_forward_1_vs_4_threads", 30);
+}
+
+TEST_F(OracleTest, GnnBuildIsBitwiseDeterministicAcrossThreads) {
+  expect_passes("par.gnn_build_1_vs_4_threads", 30);
+}
+
+TEST_F(OracleTest, SystolicModelMatchesNaiveRollup) {
+  expect_passes("hw.systolic_vs_naive", 200);
+}
+
+TEST_F(OracleTest, ZeroSkipModelMatchesNaiveRollup) {
+  expect_passes("hw.zero_skip_vs_naive", 200);
+}
+
+// Forward-compatibility net: pairs added by later PRs are exercised even
+// before they get a dedicated test above.
+TEST_F(OracleTest, EveryRegisteredOraclePassesASmokeRun) {
+  for (const auto& oracle : registry().all()) {
+    const CheckResult result = oracle->run({.cases = 10});
+    EXPECT_TRUE(result.passed) << oracle->name() << ": " << result.summary();
+  }
+}
+
+}  // namespace
+}  // namespace evd::check

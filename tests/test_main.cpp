@@ -1,0 +1,31 @@
+// Custom test entry point: standard gtest run plus a listener that, on any
+// failure, prints the effective random seeds and how to reproduce them —
+// randomised tests are only acceptable if a red run is replayable.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "test_util.hpp"
+
+namespace {
+
+class SeedReporter : public ::testing::EmptyTestEventListener {
+  void OnTestEnd(const ::testing::TestInfo& info) override {
+    if (info.result() == nullptr || !info.result()->Failed()) return;
+    std::fprintf(stderr,
+                 "[  SEED  ] base test seed: %llu — rerun with "
+                 "EVD_TEST_SEED=%llu to reproduce "
+                 "(last make_stream seed: %llu)\n",
+                 static_cast<unsigned long long>(evd::test::test_seed()),
+                 static_cast<unsigned long long>(evd::test::test_seed()),
+                 static_cast<unsigned long long>(evd::test::last_stream_seed()));
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  ::testing::UnitTest::GetInstance()->listeners().Append(new SeedReporter);
+  return RUN_ALL_TESTS();
+}

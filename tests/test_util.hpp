@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <functional>
 #include <vector>
 
@@ -45,10 +46,33 @@ inline void expect_gradients_close(const nn::Tensor& analytic,
   }
 }
 
+/// Base seed for randomised test inputs: EVD_TEST_SEED env override wins,
+/// otherwise the given fallback — so any seed-sensitive failure can be
+/// reproduced (or the whole suite re-rolled) without a rebuild.
+inline std::uint64_t test_seed(std::uint64_t fallback = 7) {
+  if (const char* env = std::getenv("EVD_TEST_SEED");
+      env != nullptr && *env != '\0') {
+    return std::strtoull(env, nullptr, 0);
+  }
+  return fallback;
+}
+
+/// Sentinel default for make_stream: "use test_seed()".
+inline constexpr std::uint64_t kDefaultStreamSeed = ~0ULL;
+
+/// The seed the most recent make_stream call actually used — printed by the
+/// failure listener in test_main.cpp so failures are reproducible.
+inline std::uint64_t& last_stream_seed() {
+  static std::uint64_t seed = 0;
+  return seed;
+}
+
 /// Small synthetic sorted event stream on a width x height sensor.
 inline events::EventStream make_stream(Index width, Index height, Index count,
-                                       std::uint64_t seed = 7,
+                                       std::uint64_t seed = kDefaultStreamSeed,
                                        TimeUs duration = 100000) {
+  if (seed == kDefaultStreamSeed) seed = test_seed();
+  last_stream_seed() = seed;
   events::EventStream stream;
   stream.width = width;
   stream.height = height;
