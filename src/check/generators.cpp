@@ -290,4 +290,57 @@ Gen<SessionSchedule> schedule_gen(Index width, Index height, Index max_ops,
   return gen;
 }
 
+Gen<MultiSessionSchedule> multi_schedule_gen(Index width, Index height,
+                                             Index max_sessions,
+                                             Index max_ops_per_session,
+                                             TimeUs duration_us) {
+  Gen<MultiSessionSchedule> gen;
+  const Gen<SessionSchedule> per_session =
+      schedule_gen(width, height, max_ops_per_session, duration_us);
+  gen.sample = [width, height, max_sessions, per_session](Rng& rng) {
+    MultiSessionSchedule multi;
+    multi.width = width;
+    multi.height = height;
+    const Index count = 1 + static_cast<Index>(rng.uniform_int(
+                                static_cast<std::uint64_t>(max_sessions)));
+    multi.sessions.reserve(static_cast<size_t>(count));
+    for (Index s = 0; s < count; ++s) {
+      multi.sessions.push_back(per_session.sample(rng).ops);
+    }
+    return multi;
+  };
+  gen.shrink = [](const MultiSessionSchedule& multi) {
+    std::vector<MultiSessionSchedule> out;
+    // Whole sessions first: the minimal counterexample usually needs fewer
+    // concurrent streams, not fewer ops.
+    if (multi.sessions.size() > 1) {
+      for (size_t s = 0; s < multi.sessions.size(); ++s) {
+        MultiSessionSchedule candidate = multi;
+        candidate.sessions.erase(candidate.sessions.begin() +
+                                 static_cast<std::ptrdiff_t>(s));
+        out.push_back(std::move(candidate));
+      }
+    }
+    for (size_t s = 0; s < multi.sessions.size(); ++s) {
+      for (auto& fewer : drop_candidates(multi.sessions[s])) {
+        MultiSessionSchedule candidate = multi;
+        candidate.sessions[s] = std::move(fewer);  // deletion keeps time order
+        out.push_back(std::move(candidate));
+      }
+    }
+    return out;
+  };
+  gen.show = [](const MultiSessionSchedule& multi) {
+    std::ostringstream os;
+    os << multi.sessions.size() << " sessions on " << multi.width << "x"
+       << multi.height << " [";
+    for (size_t s = 0; s < multi.sessions.size(); ++s) {
+      os << (s ? ", " : "") << multi.sessions[s].size() << " ops";
+    }
+    os << "]";
+    return os.str();
+  };
+  return gen;
+}
+
 }  // namespace evd::check

@@ -58,6 +58,23 @@ Gen<SessionSchedule> schedule_gen(Index width, Index height,
                                   Index max_ops = 40,
                                   TimeUs duration_us = 100000);
 
+/// K independent per-session schedules over one shared sensor geometry —
+/// the input for the multiplexed-vs-sequential runtime oracles. Each
+/// session's op list is time-monotone on its own; how the sessions
+/// interleave is exactly what the SessionManager under test decides.
+struct MultiSessionSchedule {
+  Index width = 0;
+  Index height = 0;
+  std::vector<std::vector<SessionOp>> sessions;
+};
+
+/// 1..max_sessions schedules; shrinks by dropping whole sessions first,
+/// then ops within a session (per-session time order is preserved).
+Gen<MultiSessionSchedule> multi_schedule_gen(Index width, Index height,
+                                             Index max_sessions = 4,
+                                             Index max_ops_per_session = 30,
+                                             TimeUs duration_us = 100000);
+
 // Re-usable shrinkers for composite case types (oracles wrap a stream or a
 // tensor in a larger struct and shrink just that member).
 std::vector<nn::Tensor> shrink_tensor(const nn::Tensor& t);

@@ -3,10 +3,14 @@
 #include <algorithm>
 #include <sstream>
 
+#include "cnn/cnn_pipeline.hpp"
+#include "gnn/gnn_pipeline.hpp"
 #include "gnn/graph_builder.hpp"
 #include "gnn/incremental.hpp"
 #include "gnn/kdtree.hpp"
+#include "runtime/session_manager.hpp"
 #include "snn/snn_model.hpp"
+#include "snn/snn_pipeline.hpp"
 
 namespace evd::check {
 namespace {
@@ -494,6 +498,135 @@ std::optional<std::string> diff_zero_skip_vs_naive(const HwCase& c) {
                      compute + memory, 1e-12);
 }
 
+// ---- runtime: multiplexed vs sequential session serving -------------------
+
+namespace {
+
+constexpr Index kMuxGeometry = 16;
+
+/// Apply one scheduled op directly to a session (the sequential reference).
+void apply_op(core::StreamSession& session, const SessionOp& op) {
+  if (op.kind == SessionOp::Kind::Feed) {
+    session.feed(op.event);
+  } else {
+    session.advance_to(op.t);
+  }
+}
+
+/// The shared diff body: `pipeline` opens one session per schedule entry.
+/// Sequential reference first (feed each session's ops directly, one session
+/// at a time), then the same ops through a SessionManager pumped at
+/// kThreadedCount workers with a tiny burst so sessions interleave across
+/// many rounds. Decision streams must match exactly — operator== on
+/// core::Decision compares label, timestamp and confidence bit-for-bit.
+template <typename Pipeline>
+std::optional<std::string> diff_multiplex(Pipeline& pipeline,
+                                          const MultiSessionSchedule& c) {
+  std::vector<std::vector<core::Decision>> reference;
+  reference.reserve(c.sessions.size());
+  for (const auto& ops : c.sessions) {
+    const auto session = pipeline.open_session(c.width, c.height);
+    for (const auto& op : ops) apply_op(*session, op);
+    reference.push_back(session->decisions());
+  }
+  return with_thread_count(
+      kThreadedCount, [&]() -> std::optional<std::string> {
+        runtime::SessionManager manager(/*burst=*/3);
+        std::vector<runtime::SessionId> ids;
+        ids.reserve(c.sessions.size());
+        for (size_t s = 0; s < c.sessions.size(); ++s) {
+          ids.push_back(manager.add(pipeline.open_session(c.width, c.height)));
+        }
+        // Interleave submission round-robin across sessions, pumping midway,
+        // so ops arrive while other sessions are already being served.
+        size_t cursor = 0;
+        bool more = true;
+        while (more) {
+          more = false;
+          for (size_t s = 0; s < c.sessions.size(); ++s) {
+            if (cursor >= c.sessions[s].size()) continue;
+            more = true;
+            const auto& op = c.sessions[s][cursor];
+            if (op.kind == SessionOp::Kind::Feed) {
+              manager.submit(ids[s], op.event);
+            } else {
+              manager.submit_advance(ids[s], op.t);
+            }
+          }
+          ++cursor;
+          if (cursor % 5 == 0) manager.pump();
+        }
+        manager.pump_all();
+        for (size_t s = 0; s < c.sessions.size(); ++s) {
+          const auto& mux = manager.session(ids[s]).decisions();
+          const auto& ref = reference[s];
+          if (mux.size() != ref.size()) {
+            return "session " + std::to_string(s) + ": " +
+                   std::to_string(mux.size()) + " decisions multiplexed vs " +
+                   std::to_string(ref.size()) + " sequential";
+          }
+          for (size_t i = 0; i < ref.size(); ++i) {
+            if (!(mux[i] == ref[i])) {
+              std::ostringstream os;
+              os << "session " << s << " decision " << i << ": multiplexed {t="
+                 << mux[i].t << ", label=" << mux[i].label
+                 << ", conf=" << mux[i].confidence << "} vs sequential {t="
+                 << ref[i].t << ", label=" << ref[i].label
+                 << ", conf=" << ref[i].confidence << "}";
+              return os.str();
+            }
+          }
+        }
+        return std::nullopt;
+      });
+}
+
+}  // namespace
+
+Gen<MultiSessionSchedule> multiplex_case_gen() {
+  return multi_schedule_gen(kMuxGeometry, kMuxGeometry, /*max_sessions=*/4,
+                            /*max_ops_per_session=*/30,
+                            /*duration_us=*/60000);
+}
+
+std::optional<std::string> diff_cnn_multiplex_vs_sequential(
+    const MultiSessionSchedule& c) {
+  cnn::CnnPipelineConfig config;
+  config.width = kMuxGeometry;
+  config.height = kMuxGeometry;
+  config.num_classes = 2;
+  config.base_filters = 2;
+  config.frame_period_us = 10000;  // several frame closes per schedule
+  cnn::CnnPipeline pipeline(config);
+  return diff_multiplex(pipeline, c);
+}
+
+std::optional<std::string> diff_snn_multiplex_vs_sequential(
+    const MultiSessionSchedule& c) {
+  snn::SnnPipelineConfig config;
+  config.width = kMuxGeometry;
+  config.height = kMuxGeometry;
+  config.num_classes = 2;
+  config.hidden = 16;
+  config.encoder.spatial_factor = 2;
+  config.timestep_us = 5000;
+  snn::SnnPipeline pipeline(config);
+  return diff_multiplex(pipeline, c);
+}
+
+std::optional<std::string> diff_gnn_multiplex_vs_sequential(
+    const MultiSessionSchedule& c) {
+  gnn::GnnPipelineConfig config;
+  config.width = kMuxGeometry;
+  config.height = kMuxGeometry;
+  config.num_classes = 2;
+  config.model.hidden = 8;
+  config.model.layers = 2;
+  config.stream_stride = 2;
+  gnn::GnnPipeline pipeline(config);
+  return diff_multiplex(pipeline, c);
+}
+
 // ---- registration ---------------------------------------------------------
 
 void register_builtin_oracles() {
@@ -532,6 +665,21 @@ void register_builtin_oracles() {
         "hw.zero_skip_vs_naive",
         "Zero-skipping model vs naive roll-up (incl. skippable > MACs clamp)",
         hw_case_gen(), diff_zero_skip_vs_naive));
+    registry().add(make_diff_oracle<MultiSessionSchedule>(
+        "runtime.multiplex_vs_sequential.cnn",
+        "CNN sessions multiplexed on 4 workers emit the exact decision "
+        "stream of sequential feeding",
+        multiplex_case_gen(), diff_cnn_multiplex_vs_sequential));
+    registry().add(make_diff_oracle<MultiSessionSchedule>(
+        "runtime.multiplex_vs_sequential.snn",
+        "SNN sessions multiplexed on 4 workers emit the exact decision "
+        "stream of sequential feeding",
+        multiplex_case_gen(), diff_snn_multiplex_vs_sequential));
+    registry().add(make_diff_oracle<MultiSessionSchedule>(
+        "runtime.multiplex_vs_sequential.gnn",
+        "GNN sessions multiplexed on 4 workers emit the exact decision "
+        "stream of sequential feeding",
+        multiplex_case_gen(), diff_gnn_multiplex_vs_sequential));
     return true;
   }();
   (void)registered;

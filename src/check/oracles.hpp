@@ -10,6 +10,11 @@
 //   par.gnn_build_1_vs_4_threads     ... of batch graph construction
 //   hw.systolic_vs_naive         accelerator model vs naive counter roll-up
 //   hw.zero_skip_vs_naive        ditto for the zero-skipping model
+//   runtime.multiplex_vs_sequential.{cnn,snn,gnn}
+//                                K sessions pumped through the
+//                                SessionManager on 4 workers vs the same op
+//                                lists fed directly, one session at a time —
+//                                decision streams must match bitwise
 //
 // Case structs and diff properties are public so the fault-injection
 // self-test can perturb one side and verify the harness catches it and
@@ -94,6 +99,24 @@ struct HwCase {
 Gen<HwCase> hw_case_gen();
 std::optional<std::string> diff_systolic_vs_naive(const HwCase& c);
 std::optional<std::string> diff_zero_skip_vs_naive(const HwCase& c);
+
+// ---- runtime: multiplexed vs sequential session serving -------------------
+
+/// Generated interleavings for the SessionManager determinism contract:
+/// 1..4 sessions, each with its own feed/advance schedule on a 16x16
+/// sensor (tiny untrained pipelines — determinism, not accuracy, is the
+/// property under test).
+Gen<MultiSessionSchedule> multiplex_case_gen();
+/// Feed every session's ops directly and sequentially, then the same ops
+/// through a SessionManager pumped on 4 workers with a small burst (many
+/// interleaved rounds), and require the per-session decision streams to be
+/// identical — exact label, timestamp and bit-for-bit confidence.
+std::optional<std::string> diff_cnn_multiplex_vs_sequential(
+    const MultiSessionSchedule& c);
+std::optional<std::string> diff_snn_multiplex_vs_sequential(
+    const MultiSessionSchedule& c);
+std::optional<std::string> diff_gnn_multiplex_vs_sequential(
+    const MultiSessionSchedule& c);
 
 /// Run fn at the given pool size, restoring the previous size afterwards.
 template <typename Fn>

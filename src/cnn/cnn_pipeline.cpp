@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "nn/softmax.hpp"
+#include "runtime/session_base.hpp"
 
 namespace evd::cnn {
 
@@ -89,26 +90,49 @@ double CnnPipeline::computation_sparsity(const events::EventStream& probe) {
 
 namespace {
 
-class CnnStreamSession : public core::StreamSession {
+runtime::SessionBaseConfig cnn_session_config(const CnnPipelineConfig& c) {
+  runtime::SessionBaseConfig sc;
+  // Event window + two last-event-time surface maps, all arena-resident.
+  sc.arena_bytes =
+      static_cast<std::size_t>(c.stream_window_capacity) *
+          sizeof(events::Event) +
+      2 * static_cast<std::size_t>(c.width) * static_cast<std::size_t>(c.height) *
+          sizeof(TimeUs) +
+      256;  // alignment slack
+  sc.decision_retain = c.decision_retain;
+  return sc;
+}
+
+class CnnStreamSession : public runtime::SessionBase {
  public:
   CnnStreamSession(CnnPipeline& pipeline, Index width, Index height)
-      : pipeline_(pipeline),
+      : runtime::SessionBase(cnn_session_config(pipeline.config())),
+        pipeline_(pipeline),
         width_(width),
         height_(height),
-        frame_end_(pipeline.config().frame_period_us) {}
-
-  void feed(const events::Event& event) override {
-    maybe_close_frames(event.t);
-    window_.push_back(event);
-  }
-
-  void advance_to(TimeUs t) override { maybe_close_frames(t); }
-
-  const std::vector<core::Decision>& decisions() const override {
-    return decisions_;
+        frame_end_(pipeline.config().frame_period_us),
+        frame_({representation_channels(pipeline.config().frame.repr), height,
+                width}) {
+    window_ = arena().allocate_span<events::Event>(
+        pipeline.config().stream_window_capacity);
+    last_on_ = arena().allocate_span<TimeUs>(width * height);
+    last_off_ = arena().allocate_span<TimeUs>(width * height);
   }
 
  private:
+  void on_event(const events::Event& event) override {
+    maybe_close_frames(event.t);
+    if (window_count_ < static_cast<Index>(window_.size())) {
+      window_[static_cast<size_t>(window_count_++)] = event;
+    } else {
+      // Saturating window: a frame period denser than the capacity sheds
+      // the excess (explicit back-pressure, visible in stats()).
+      note_events_dropped(1);
+    }
+  }
+
+  void on_advance(TimeUs t) override { maybe_close_frames(t); }
+
   void maybe_close_frames(TimeUs now) {
     const TimeUs period = pipeline_.config().frame_period_us;
     while (now >= frame_end_) {
@@ -122,38 +146,41 @@ class CnnStreamSession : public core::StreamSession {
     // A frame with no events still gets classified by a frame-based system
     // (it cannot know the frame is empty before building it); we skip the
     // network call but still mark the decision slot for latency accounting.
+    // The dense forward itself allocates, which is fine: frame closes are
+    // bounded by the frame period, not the event rate.
     core::Decision decision;
     decision.t = frame_end_;
-    if (!window_.empty()) {
-      const nn::Tensor frame = build_frame(
-          window_, width_, height_, frame_start_, frame_end_,
-          pipeline_.config().frame);
-      const nn::Tensor logits = pipeline_.model().forward(frame, false);
+    if (window_count_ > 0) {
+      build_frame_into(window_.first(static_cast<size_t>(window_count_)),
+                       width_, height_, frame_start_, frame_end_,
+                       pipeline_.config().frame, frame_,
+                       FrameScratch{last_on_, last_off_});
+      const nn::Tensor logits = pipeline_.model().forward(frame_, false);
       const nn::Tensor probs = nn::softmax(logits);
       decision.label = static_cast<int>(probs.argmax());
       decision.confidence = probs[probs.argmax()];
     }
-    decisions_.push_back(decision);
-    window_.clear();
+    emit(decision);
+    window_count_ = 0;
   }
 
   CnnPipeline& pipeline_;
   Index width_, height_;
-  std::vector<events::Event> window_;
+  std::span<events::Event> window_;  ///< Arena-backed frame accumulator.
+  Index window_count_ = 0;
+  std::span<TimeUs> last_on_, last_off_;  ///< Arena-backed surface scratch.
   TimeUs frame_start_ = 0;
   TimeUs frame_end_;
-  std::vector<core::Decision> decisions_;
+  nn::Tensor frame_;  ///< Reused dense frame, rebuilt in place per close.
 };
 
 }  // namespace
 
 std::unique_ptr<core::StreamSession> CnnPipeline::open_session(Index width,
                                                                Index height) {
-  if (width != config_.width || height != config_.height) {
-    throw std::invalid_argument("CnnPipeline::open_session: geometry mismatch");
-  }
-  auto session = std::make_unique<CnnStreamSession>(*this, width, height);
-  return session;
+  runtime::SessionBase::check_geometry("CnnPipeline", width, height,
+                                       config_.width, config_.height);
+  return std::make_unique<CnnStreamSession>(*this, width, height);
 }
 
 }  // namespace evd::cnn

@@ -23,6 +23,12 @@ struct CnnPipelineConfig {
   Index base_filters = 8;
   FrameOptions frame;
   TimeUs frame_period_us = 20000;  ///< Streaming frame period (20 ms).
+  /// Streaming session sizing (runtime::SessionBase): max events buffered
+  /// per open frame — arrivals beyond this within one period are dropped
+  /// (counted in SessionStats.events_dropped) — and how many decisions the
+  /// bounded sink retains for decisions().
+  Index stream_window_capacity = 32768;
+  Index decision_retain = 8192;
   std::uint64_t seed = 7;
   float default_lr = 1e-3f;   ///< Used when TrainOptions.lr <= 0.
   Index default_epochs = 50;  ///< Used when TrainOptions.epochs <= 0.

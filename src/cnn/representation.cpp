@@ -1,5 +1,6 @@
 #include "cnn/representation.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -37,6 +38,31 @@ nn::Tensor build_frame(std::span<const events::Event> window, Index width,
   }
   const Index channels = representation_channels(options.repr);
   nn::Tensor frame({channels, height, width});
+  const bool needs_surface = options.repr == Representation::TimeSurface ||
+                             options.repr == Representation::ExpTimeSurface ||
+                             options.repr == Representation::Combined;
+  std::vector<TimeUs> last_on, last_off;
+  if (needs_surface) {
+    last_on.resize(static_cast<size_t>(width * height));
+    last_off.resize(static_cast<size_t>(width * height));
+  }
+  build_frame_into(window, width, height, t_begin, t_end, options, frame,
+                   FrameScratch{last_on, last_off});
+  return frame;
+}
+
+void build_frame_into(std::span<const events::Event> window, Index width,
+                      Index height, TimeUs t_begin, TimeUs t_end,
+                      const FrameOptions& options, nn::Tensor& frame,
+                      const FrameScratch& scratch) {
+  if (width <= 0 || height <= 0 || t_end <= t_begin) {
+    throw std::invalid_argument("build_frame: bad geometry or window");
+  }
+  const Index channels = representation_channels(options.repr);
+  if (frame.numel() != channels * height * width) {
+    throw std::invalid_argument("build_frame_into: frame shape mismatch");
+  }
+  frame.zero();
   const double window_us = static_cast<double>(t_end - t_begin);
   const double tau_us = options.tau_fraction * window_us;
   const float inv_scale = 1.0f / options.count_scale;
@@ -45,10 +71,15 @@ nn::Tensor build_frame(std::span<const events::Event> window, Index width,
   const bool needs_surface = options.repr == Representation::TimeSurface ||
                              options.repr == Representation::ExpTimeSurface ||
                              options.repr == Representation::Combined;
-  std::vector<TimeUs> last_on, last_off;
+  std::span<TimeUs> last_on = scratch.last_on;
+  std::span<TimeUs> last_off = scratch.last_off;
   if (needs_surface) {
-    last_on.assign(static_cast<size_t>(width * height), t_begin - 1);
-    last_off.assign(static_cast<size_t>(width * height), t_begin - 1);
+    if (last_on.size() < static_cast<size_t>(width * height) ||
+        last_off.size() < static_cast<size_t>(width * height)) {
+      throw std::invalid_argument("build_frame_into: scratch too small");
+    }
+    std::fill(last_on.begin(), last_on.end(), t_begin - 1);
+    std::fill(last_off.begin(), last_off.end(), t_begin - 1);
   }
 
   std::int64_t prep_adds = 0;
@@ -120,7 +151,6 @@ nn::Tensor build_frame(std::span<const events::Event> window, Index width,
 
   nn::count_add(prep_adds);
   nn::count_act_write(frame.numel() * 4);
-  return frame;
 }
 
 nn::Tensor build_hats(std::span<const events::Event> window, Index width,

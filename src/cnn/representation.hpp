@@ -40,6 +40,23 @@ nn::Tensor build_frame(std::span<const events::Event> window, Index width,
                        Index height, TimeUs t_begin, TimeUs t_end,
                        const FrameOptions& options);
 
+/// Caller-owned scratch for build_frame_into: per-pixel last-event-time
+/// maps, `width * height` entries each. Only surface representations read
+/// them; pass empty spans otherwise.
+struct FrameScratch {
+  std::span<TimeUs> last_on;
+  std::span<TimeUs> last_off;
+};
+
+/// build_frame writing into a caller-owned `frame` ([C, H, W], already
+/// shaped) reusing caller-owned scratch: allocation-free and bitwise
+/// identical to build_frame. The streaming session keeps frame + scratch in
+/// its arena workspace and rebuilds in place every frame period.
+void build_frame_into(std::span<const events::Event> window, Index width,
+                      Index height, TimeUs t_begin, TimeUs t_end,
+                      const FrameOptions& options, nn::Tensor& frame,
+                      const FrameScratch& scratch);
+
 /// Slice a full recording into fixed-period frames and build each one.
 std::vector<nn::Tensor> build_frame_sequence(const events::EventStream& stream,
                                              TimeUs frame_period_us,

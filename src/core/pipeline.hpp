@@ -37,8 +37,32 @@ struct Decision {
   double confidence = 0.0;
 };
 
+/// Exact equality — the runtime's determinism oracle compares decision
+/// streams bitwise, so confidence is compared as-is, not within a tolerance.
+inline bool operator==(const Decision& a, const Decision& b) {
+  return a.t == b.t && a.label == b.label && a.confidence == b.confidence;
+}
+inline bool operator!=(const Decision& a, const Decision& b) {
+  return !(a == b);
+}
+
+/// Counters a session keeps while streaming. All are totals since open.
+struct SessionStats {
+  std::int64_t events_fed = 0;
+  std::int64_t decisions_emitted = 0;
+  /// Decisions evicted from bounded storage before any drain() saw them.
+  std::int64_t decisions_dropped = 0;
+  /// Events the ingress queue lost to its overflow policy (managed
+  /// sessions only; directly-fed sessions never drop).
+  std::int64_t events_dropped = 0;
+};
+
 /// Incremental processing session. feed() pushes events in time order;
 /// decisions() returns everything decided so far.
+///
+/// Long-running consumers should prefer drain() — decisions() retains only
+/// a bounded tail on runtime-backed sessions (see runtime::DecisionSink),
+/// while drain() hands over every decision exactly once.
 class StreamSession {
  public:
   virtual ~StreamSession() = default;
@@ -47,6 +71,26 @@ class StreamSession {
   /// before it (lets clocked pipelines tick on silence).
   virtual void advance_to(TimeUs t) = 0;
   virtual const std::vector<Decision>& decisions() const = 0;
+
+  /// Move decisions emitted since the last drain() into `out` (appended);
+  /// returns how many. The default is a cursor over decisions() so legacy
+  /// sessions satisfy the contract without bounded storage.
+  virtual Index drain(std::vector<Decision>& out) {
+    const auto& all = decisions();
+    const Index n = static_cast<Index>(all.size()) - drain_cursor_;
+    out.insert(out.end(), all.begin() + drain_cursor_, all.end());
+    drain_cursor_ = static_cast<Index>(all.size());
+    return n;
+  }
+
+  virtual SessionStats stats() const {
+    SessionStats s;
+    s.decisions_emitted = static_cast<std::int64_t>(decisions().size());
+    return s;
+  }
+
+ private:
+  Index drain_cursor_ = 0;  ///< Default drain() position; unused by overrides.
 };
 
 class EventPipeline {

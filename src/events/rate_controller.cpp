@@ -75,4 +75,31 @@ std::vector<Event> RateController::process(std::span<const Event> events) {
   return out;
 }
 
+bool RateController::admit(const Event& event) {
+  if (config_.policy != RatePolicy::Suppress) {
+    throw std::logic_error(
+        "RateController::admit: only the Suppress policy is causal; Drop and "
+        "Decimate need the whole window (use process())");
+  }
+  const auto budget_per_window = static_cast<Index>(
+      config_.max_rate_eps * static_cast<double>(config_.window_us) * 1e-6);
+  ++stats_.in_events;
+  if (budget_per_window <= 0) return false;
+
+  const TimeUs window_start = event.t - (event.t % config_.window_us);
+  if (!admit_window_open_ || window_start != admit_window_start_) {
+    admit_window_open_ = true;
+    admit_window_start_ = window_start;
+    admit_window_count_ = 0;
+    ++stats_.windows;
+  }
+  ++admit_window_count_;
+  if (admit_window_count_ <= budget_per_window) {
+    ++stats_.out_events;
+    return true;
+  }
+  if (admit_window_count_ == budget_per_window + 1) ++stats_.saturated_windows;
+  return false;
+}
+
 }  // namespace evd::events

@@ -47,12 +47,25 @@ class RateController {
   /// Apply the policy to a sorted stream; returns the thinned stream.
   std::vector<Event> process(std::span<const Event> events);
 
+  /// Causal single-event admission for streaming ingress (the runtime feeds
+  /// sessions one event at a time and cannot look ahead to the end of the
+  /// reference window). Only Suppress is causal — first `budget` events of
+  /// each aligned window pass, the rest are refused — and admit() matches
+  /// process() event-for-event on the same sorted stream, sharing stats().
+  /// Drop and Decimate need the window's total count before deciding, so
+  /// admit() throws std::logic_error under those policies.
+  bool admit(const Event& event);
+
   const RateControllerStats& stats() const noexcept { return stats_; }
 
  private:
   RateControllerConfig config_;
   Rng rng_;
   RateControllerStats stats_;
+  // admit() window tracking.
+  TimeUs admit_window_start_ = 0;
+  Index admit_window_count_ = 0;
+  bool admit_window_open_ = false;
 };
 
 }  // namespace evd::events

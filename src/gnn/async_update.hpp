@@ -41,9 +41,21 @@ class AsyncEventGnn {
   /// Current logits from the running pooled representation.
   nn::Tensor logits();
 
-  Index node_count() const noexcept {
-    return static_cast<Index>(nodes_.size());
-  }
+  /// Zero-allocation logits: writes into caller-owned `out` (shape
+  /// [num_classes]). Bitwise identical to logits().
+  void logits_into(nn::Tensor& out);
+
+  /// Pre-size every per-node buffer for up to `max_nodes` nodes of in-degree
+  /// <= `max_degree`, so causal-mode insert() performs no heap allocation
+  /// until the graph exceeds that size. (Bidirectional mode grows neighbour
+  /// lists of *earlier* nodes and cannot be pre-sized this way.)
+  void reserve(Index max_nodes, Index max_degree);
+
+  /// Logical clear that keeps all storage: with reserve(), a session
+  /// recycles its graph allocation-free when it hits its node cap.
+  void reset();
+
+  Index node_count() const noexcept { return count_; }
 
   /// MACs a from-scratch forward over the current graph would cost —
   /// the baseline against which per-event updates are compared.
@@ -59,9 +71,13 @@ class AsyncEventGnn {
 
   EventGnn& model_;
   bool bidirectional_;
+  Index count_ = 0;  ///< Live nodes; storage below may be larger (reserve()).
   std::vector<GraphNode> nodes_;
   std::vector<std::vector<Index>> adj_;      ///< In-neighbours per node.
-  std::vector<std::vector<Index>> out_adj_;  ///< Nodes that list v as neighbour.
+  std::vector<std::vector<Index>> out_adj_;  ///< Nodes that list v as neighbour
+                                             ///< (maintained only when
+                                             ///< bidirectional — causal
+                                             ///< propagation never reads it).
   std::vector<std::vector<float>> input_;    ///< [node] -> [2] polarity onehot.
   /// features_[l][node] = output of conv layer l.
   std::vector<std::vector<std::vector<float>>> features_;
@@ -71,6 +87,11 @@ class AsyncEventGnn {
   /// identity); in bidirectional mode a feature that *decreases* leaves a
   /// stale envelope, so this is a monotone upper bound there.
   std::vector<float> pooled_max_;
+  // Scratch reused across recompute()/logits_into() calls (one thread owns
+  // an AsyncEventGnn, so plain members are safe).
+  std::vector<GraphConv::NeighborRef> refs_;
+  std::vector<float> fresh_;
+  nn::Tensor pooled_scratch_;
 };
 
 }  // namespace evd::gnn

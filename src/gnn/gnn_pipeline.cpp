@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "nn/softmax.hpp"
+#include "runtime/session_base.hpp"
 
 namespace evd::gnn {
 
@@ -98,58 +99,78 @@ double GnnPipeline::computation_sparsity(const events::EventStream& probe) {
 
 namespace {
 
-class GnnStreamSession : public core::StreamSession {
+runtime::SessionBaseConfig gnn_session_config(const GnnPipelineConfig& c) {
+  runtime::SessionBaseConfig sc;
+  // The graph stores live in the builder/async engine (pre-reserved below);
+  // the arena only backs the bounded decision machinery, so a token size.
+  sc.arena_bytes = 256;
+  sc.decision_retain = c.decision_retain;
+  return sc;
+}
+
+class GnnStreamSession : public runtime::SessionBase {
  public:
   GnnStreamSession(GnnPipeline& pipeline, Index width, Index height)
-      : pipeline_(pipeline),
+      : runtime::SessionBase(gnn_session_config(pipeline.config())),
+        pipeline_(pipeline),
         builder_(width, height,
                  IncrementalConfig{pipeline.config().graph.time_scale,
                                    pipeline.config().graph.radius,
                                    pipeline.config().graph.max_neighbors, 16}),
-        async_(pipeline.model(), /*bidirectional=*/false) {}
+        async_(pipeline.model(), /*bidirectional=*/false),
+        logits_({pipeline.config().num_classes}),
+        probs_({pipeline.config().num_classes}) {
+    const Index cap = pipeline.config().stream_max_nodes;
+    const Index deg = pipeline.config().graph.max_neighbors;
+    builder_.reserve_nodes(cap);
+    async_.reserve(cap, deg);
+    neighbors_.reserve(static_cast<size_t>(deg));
+  }
 
-  void feed(const events::Event& event) override {
+ private:
+  void on_event(const events::Event& event) override {
     // Insert every stride-th event (uniform thinning, same policy the batch
     // path uses to cap graph size).
     if (stride_counter_++ % pipeline_.config().stream_stride != 0) return;
-    auto inserted = builder_.insert(event);
+    // Recycle the graph in place when it reaches the cap: builder and async
+    // engine keep their storage, so even the restart allocates nothing.
+    if (builder_.node_count() >= pipeline_.config().stream_max_nodes) {
+      builder_.clear();
+      async_.reset();
+    }
+    builder_.insert_into(event, neighbors_);
     GraphNode node;
     node.position = embed(event, pipeline_.config().graph.time_scale);
     node.polarity_sign =
         static_cast<std::int8_t>(polarity_sign(event.polarity));
     node.t = event.t;
-    async_.insert(node, inserted.neighbors);
+    async_.insert(node, neighbors_);
 
-    const nn::Tensor logits = async_.logits();
-    const nn::Tensor probs = nn::softmax(logits);
+    async_.logits_into(logits_);
+    nn::softmax_into(logits_, probs_);
     core::Decision decision;
     decision.t = event.t;  // decision available upon the event itself
-    decision.label = static_cast<int>(probs.argmax());
-    decision.confidence = probs[probs.argmax()];
-    decisions_.push_back(decision);
+    decision.label = static_cast<int>(probs_.argmax());
+    decision.confidence = probs_[probs_.argmax()];
+    emit(decision);
   }
 
-  void advance_to(TimeUs) override {}  // fully event-driven: nothing to tick
+  void on_advance(TimeUs) override {}  // fully event-driven: nothing to tick
 
-  const std::vector<core::Decision>& decisions() const override {
-    return decisions_;
-  }
-
- private:
   GnnPipeline& pipeline_;
   IncrementalGraphBuilder builder_;
   AsyncEventGnn async_;
   Index stride_counter_ = 0;
-  std::vector<core::Decision> decisions_;
+  std::vector<Index> neighbors_;  ///< Reused per-insert neighbour buffer.
+  nn::Tensor logits_, probs_;     ///< Reused per-event inference scratch.
 };
 
 }  // namespace
 
 std::unique_ptr<core::StreamSession> GnnPipeline::open_session(Index width,
                                                                Index height) {
-  if (width != config_.width || height != config_.height) {
-    throw std::invalid_argument("GnnPipeline::open_session: geometry mismatch");
-  }
+  runtime::SessionBase::check_geometry("GnnPipeline", width, height,
+                                       config_.width, config_.height);
   return std::make_unique<GnnStreamSession>(*this, width, height);
 }
 

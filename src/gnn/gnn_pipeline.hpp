@@ -25,6 +25,13 @@ struct GnnPipelineConfig {
   EventGnnConfig model;          ///< hidden=16, layers=2 default.
   GraphBuildConfig graph;        ///< Batch construction parameters.
   Index stream_stride = 4;       ///< Streaming: insert every k-th event.
+  /// Streaming graph cap: when the incremental graph reaches this many
+  /// nodes the session recycles it in place (allocation-free restart).
+  /// Deliberately much larger than graph.max_nodes so bounded-length bench
+  /// and test streams never hit it and their decision streams are
+  /// unchanged; a serving deployment tunes it to its memory budget.
+  Index stream_max_nodes = 8192;
+  Index decision_retain = 8192;  ///< Bounded decision tail for streaming.
   std::uint64_t seed = 13;
   float default_lr = 2e-3f;   ///< Used when TrainOptions.lr <= 0.
   Index default_epochs = 30;  ///< Used when TrainOptions.epochs <= 0.

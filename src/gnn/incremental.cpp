@@ -26,6 +26,7 @@ IncrementalGraphBuilder::IncrementalGraphBuilder(Index width, Index height,
   // radius/time_scale microseconds in the past.
   horizon_us_ = static_cast<TimeUs>(
       static_cast<double>(config_.radius) / config_.time_scale) + 1;
+  within_.reserve(static_cast<size_t>(9 * config_.cell_capacity));
 }
 
 void IncrementalGraphBuilder::clear() {
@@ -48,6 +49,18 @@ Index IncrementalGraphBuilder::state_bytes() const noexcept {
 IncrementalGraphBuilder::InsertResult IncrementalGraphBuilder::insert(
     const events::Event& event) {
   InsertResult result;
+  result.neighbors.reserve(static_cast<size_t>(config_.max_neighbors));
+  result.node_id =
+      insert_into(event, result.neighbors, &result.candidates_scanned);
+  return result;
+}
+
+Index IncrementalGraphBuilder::insert_into(const events::Event& event,
+                                           std::vector<Index>& out_neighbors,
+                                           Index* candidates_scanned) {
+  out_neighbors.clear();
+  within_.clear();
+  Index scanned = 0;
   const Point3 p = embed(event, config_.time_scale);
   const float r2 = config_.radius * config_.radius;
 
@@ -56,7 +69,6 @@ IncrementalGraphBuilder::InsertResult IncrementalGraphBuilder::insert(
 
   // Gather candidates from the 3x3 cell neighbourhood (cell_size >= radius
   // guarantees coverage).
-  std::vector<std::pair<float, Index>> within;
   for (Index dy = -1; dy <= 1; ++dy) {
     const Index ny = cy + dy;
     if (ny < 0 || ny >= grid_h_) continue;
@@ -71,20 +83,20 @@ IncrementalGraphBuilder::InsertResult IncrementalGraphBuilder::insert(
                                          config_.cell_capacity)];
         if (id < 0) continue;
         const auto& candidate = nodes_[static_cast<size_t>(id)];
-        ++result.candidates_scanned;
+        ++scanned;
         // Candidates are scanned newest-first; once one is beyond the time
         // horizon, everything older in this cell is too.
         if (event.t - candidate.t > horizon_us_) break;
         const float d2 = squared_distance(candidate.position, p);
-        if (d2 <= r2) within.emplace_back(d2, id);
+        if (d2 <= r2) within_.emplace_back(d2, id);
       }
     }
   }
-  std::sort(within.begin(), within.end());
-  if (static_cast<Index>(within.size()) > config_.max_neighbors) {
-    within.resize(static_cast<size_t>(config_.max_neighbors));
+  std::sort(within_.begin(), within_.end());
+  if (static_cast<Index>(within_.size()) > config_.max_neighbors) {
+    within_.resize(static_cast<size_t>(config_.max_neighbors));
   }
-  for (const auto& [d2, id] : within) result.neighbors.push_back(id);
+  for (const auto& [d2, id] : within_) out_neighbors.push_back(id);
 
   // Append the node and register it in its cell's ring buffer.
   GraphNode node;
@@ -92,14 +104,15 @@ IncrementalGraphBuilder::InsertResult IncrementalGraphBuilder::insert(
   node.polarity_sign =
       static_cast<std::int8_t>(polarity_sign(event.polarity));
   node.t = event.t;
-  result.node_id = static_cast<Index>(nodes_.size());
+  const Index node_id = static_cast<Index>(nodes_.size());
   nodes_.push_back(node);
 
   Cell& home = cell_at(std::min(cx, grid_w_ - 1), std::min(cy, grid_h_ - 1));
-  home.ids[static_cast<size_t>(home.cursor)] = result.node_id;
+  home.ids[static_cast<size_t>(home.cursor)] = node_id;
   home.cursor = (home.cursor + 1) % config_.cell_capacity;
   home.count = std::min(home.count + 1, config_.cell_capacity);
-  return result;
+  if (candidates_scanned != nullptr) *candidates_scanned = scanned;
+  return node_id;
 }
 
 EventGraph build_graph_incremental(const events::EventStream& stream,

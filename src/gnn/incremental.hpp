@@ -42,6 +42,22 @@ class IncrementalGraphBuilder {
   /// Insert one event; O(1) amortised.
   InsertResult insert(const events::Event& event);
 
+  /// Allocation-free insert for the streaming hot path: neighbours go into
+  /// the caller-owned `out_neighbors` (cleared first; reserve it to
+  /// max_neighbors once) and the candidate count, if wanted, into
+  /// `candidates_scanned`. Combined with reserve_nodes(), steady-state
+  /// inserts perform zero heap allocations. Returns the new node id.
+  /// Behaviour is identical to insert().
+  Index insert_into(const events::Event& event,
+                    std::vector<Index>& out_neighbors,
+                    Index* candidates_scanned = nullptr);
+
+  /// Pre-size the node store so insert_into never reallocates before
+  /// `capacity` nodes exist.
+  void reserve_nodes(Index capacity) {
+    nodes_.reserve(static_cast<size_t>(capacity));
+  }
+
   Index node_count() const noexcept {
     return static_cast<Index>(nodes_.size());
   }
@@ -72,6 +88,8 @@ class IncrementalGraphBuilder {
   std::vector<Cell> cells_;
   std::vector<GraphNode> nodes_;
   TimeUs horizon_us_;
+  /// Scratch for insert_into (candidates from <= 9 cells); reserved once.
+  std::vector<std::pair<float, Index>> within_;
 };
 
 /// Convenience: run the incremental builder over a whole (sorted) stream and

@@ -62,6 +62,41 @@ Tensor Linear::forward(const Tensor& input, bool train) {
   return output;
 }
 
+void Linear::forward_into(const Tensor& input, Tensor& output) {
+  if (input.numel() != in_) {
+    throw std::invalid_argument("Linear::forward_into: input numel " +
+                                std::to_string(input.numel()) + " != " +
+                                std::to_string(in_));
+  }
+  if (output.numel() != out_) {
+    throw std::invalid_argument("Linear::forward_into: output numel " +
+                                std::to_string(output.numel()) + " != " +
+                                std::to_string(out_));
+  }
+  const float* x = input.data();
+  // Serial on purpose: parallel_for's std::function erases a capture too
+  // large for SBO, which would heap-allocate on every call. Heads this
+  // method serves are small; per-feature accumulation order matches
+  // forward() exactly.
+  for (Index o = 0; o < out_; ++o) {
+    const float* w = weight_.value.data() + o * in_;
+    float acc = has_bias_ ? bias_.value[o] : 0.0f;
+    for (Index i = 0; i < in_; ++i) acc += w[i] * x[i];
+    output[o] = acc;
+  }
+
+  if (active_counter() != nullptr) {
+    count_mac(out_ * in_);
+    Index zeros = 0;
+    for (Index i = 0; i < in_; ++i) zeros += (x[i] == 0.0f) ? 1 : 0;
+    count_zero_skippable(zeros * out_);
+    count_param_read(static_cast<std::int64_t>(weight_.value.numel() +
+                                               (has_bias_ ? out_ : 0)) * 4);
+    count_act_read(in_ * 4);
+    count_act_write(out_ * 4);
+  }
+}
+
 Tensor Linear::backward(const Tensor& grad_output) {
   if (grad_output.numel() != out_) {
     throw std::invalid_argument("Linear::backward: grad numel mismatch");

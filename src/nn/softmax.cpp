@@ -10,19 +10,29 @@ Tensor softmax(const Tensor& logits) {
     throw std::invalid_argument("softmax: empty logits");
   }
   Tensor out = logits;
+  softmax_into(logits, out);
+  return out;
+}
+
+void softmax_into(const Tensor& logits, Tensor& out) {
+  if (logits.numel() == 0) {
+    throw std::invalid_argument("softmax: empty logits");
+  }
+  if (out.numel() != logits.numel()) {
+    throw std::invalid_argument("softmax_into: shape mismatch");
+  }
   const float m = [&] {
-    float best = out[0];
-    for (Index i = 1; i < out.numel(); ++i) best = std::max(best, out[i]);
+    float best = logits[0];
+    for (Index i = 1; i < logits.numel(); ++i) best = std::max(best, logits[i]);
     return best;
   }();
   double sum = 0.0;
-  for (Index i = 0; i < out.numel(); ++i) {
-    out[i] = std::exp(out[i] - m);
+  for (Index i = 0; i < logits.numel(); ++i) {
+    out[i] = std::exp(logits[i] - m);
     sum += out[i];
   }
   const auto inv = static_cast<float>(1.0 / sum);
   for (Index i = 0; i < out.numel(); ++i) out[i] *= inv;
-  return out;
 }
 
 CrossEntropy softmax_cross_entropy(const Tensor& logits, Index target) {

@@ -8,6 +8,11 @@ namespace evd::nn {
 /// Numerically stable softmax over a flat logit vector.
 Tensor softmax(const Tensor& logits);
 
+/// softmax writing into caller-owned `out` (same numel, preallocated):
+/// allocation-free and bitwise identical to softmax(). `out` may not alias
+/// `logits`. Streaming sessions use this on their per-event path.
+void softmax_into(const Tensor& logits, Tensor& out);
+
 /// Fused softmax-cross-entropy. Returns the loss; writes d(loss)/d(logits)
 /// into grad (same shape as logits). target is the class index.
 struct CrossEntropy {

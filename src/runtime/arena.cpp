@@ -1,0 +1,31 @@
+#include "runtime/arena.hpp"
+
+#include <new>
+
+namespace evd::runtime {
+
+ArenaAllocator::ArenaAllocator(std::size_t capacity_bytes)
+    : capacity_(capacity_bytes) {
+  if (capacity_ > 0) {
+    base_ = static_cast<std::byte*>(
+        ::operator new(capacity_, std::align_val_t{alignof(std::max_align_t)}));
+  }
+}
+
+ArenaAllocator::~ArenaAllocator() {
+  if (base_ != nullptr) {
+    ::operator delete(base_, std::align_val_t{alignof(std::max_align_t)});
+  }
+}
+
+void* ArenaAllocator::allocate(std::size_t bytes, std::size_t alignment) {
+  const std::size_t aligned = (used_ + alignment - 1) & ~(alignment - 1);
+  if (aligned + bytes > capacity_ || aligned + bytes < aligned) {
+    throw std::bad_alloc();
+  }
+  used_ = aligned + bytes;
+  if (used_ > high_water_) high_water_ = used_;
+  return base_ + aligned;
+}
+
+}  // namespace evd::runtime

@@ -1,0 +1,66 @@
+// Arena allocation for streaming sessions.
+//
+// A session's scratch — the CNN frame accumulator window, the SNN input
+// bitmap, the GNN neighbour buffer — is acquired exactly once, at
+// open_session, from a fixed-size ArenaAllocator. The steady-state feed()
+// path then only ever writes into memory it already owns: zero heap
+// allocations per event, no allocator contention between concurrent
+// sessions, and a hard bound on per-session memory that the SessionManager
+// can budget against.
+//
+// The arena is deliberately monotonic (bump-pointer, no per-block free):
+// session scratch has a single lifetime — the session's — so reset() is the
+// only reclamation anyone needs. Exhaustion throws at open_session time,
+// never mid-stream.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "common/types.hpp"
+
+namespace evd::runtime {
+
+class ArenaAllocator {
+ public:
+  /// Reserves `capacity_bytes` upfront; this is the only heap allocation
+  /// the arena ever performs.
+  explicit ArenaAllocator(std::size_t capacity_bytes);
+  ~ArenaAllocator();
+
+  ArenaAllocator(const ArenaAllocator&) = delete;
+  ArenaAllocator& operator=(const ArenaAllocator&) = delete;
+
+  /// Bump-allocate `bytes` at `alignment` (power of two). Throws
+  /// std::bad_alloc when the arena is exhausted — sized-at-open means this
+  /// can only happen during session construction, not on the feed path.
+  void* allocate(std::size_t bytes, std::size_t alignment = alignof(std::max_align_t));
+
+  /// Typed span of `count` default-constructed T. T must be trivially
+  /// destructible: the arena never runs destructors.
+  template <typename T>
+  std::span<T> allocate_span(Index count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is reclaimed without running destructors");
+    if (count <= 0) return {};
+    T* data = static_cast<T*>(
+        allocate(static_cast<std::size_t>(count) * sizeof(T), alignof(T)));
+    for (Index i = 0; i < count; ++i) new (data + i) T{};
+    return {data, static_cast<std::size_t>(count)};
+  }
+
+  /// Reclaim everything at once (spans handed out before become invalid).
+  void reset() noexcept { used_ = 0; }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t used() const noexcept { return used_; }
+  std::size_t high_water() const noexcept { return high_water_; }
+
+ private:
+  std::byte* base_ = nullptr;
+  std::size_t capacity_ = 0;
+  std::size_t used_ = 0;
+  std::size_t high_water_ = 0;
+};
+
+}  // namespace evd::runtime

@@ -1,0 +1,30 @@
+#include "runtime/decision_sink.hpp"
+
+namespace evd::runtime {
+
+DecisionSink::DecisionSink(Index retain) : retain_(retain < 1 ? 1 : retain) {
+  buffer_.reserve(static_cast<size_t>(retain_) * 2);
+}
+
+void DecisionSink::emit(const core::Decision& d) {
+  if (static_cast<Index>(buffer_.size()) >= retain_ * 2) {
+    // Compact: keep the newest `retain_` decisions. Erasing half at a time
+    // keeps eviction amortised O(1) per emit and leaves retained() a plain
+    // contiguous vector.
+    const Index evict = static_cast<Index>(buffer_.size()) - retain_;
+    if (drain_cursor_ < evict) dropped_ += evict - drain_cursor_;
+    buffer_.erase(buffer_.begin(), buffer_.begin() + evict);
+    drain_cursor_ = drain_cursor_ < evict ? 0 : drain_cursor_ - evict;
+  }
+  buffer_.push_back(d);
+  ++total_;
+}
+
+Index DecisionSink::drain(std::vector<core::Decision>& out) {
+  const Index n = static_cast<Index>(buffer_.size()) - drain_cursor_;
+  out.insert(out.end(), buffer_.begin() + drain_cursor_, buffer_.end());
+  drain_cursor_ = static_cast<Index>(buffer_.size());
+  return n;
+}
+
+}  // namespace evd::runtime

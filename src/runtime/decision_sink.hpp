@@ -1,0 +1,66 @@
+// Bounded decision storage for streaming sessions.
+//
+// The original StreamSession contract exposed `decisions()` as an unbounded
+// vector — fine for a bench that replays one recording, fatal for a serving
+// process that stays up: an SNN session ticking at 1 kHz accumulates
+// ~86 M decisions/day. The sink replaces that with two explicit modes of
+// consumption:
+//
+//   drain(out)  — move-out everything emitted since the last drain. This is
+//                 the serving API: a consumer that drains regularly sees
+//                 every decision exactly once and storage stays at O(drain
+//                 interval), not O(stream length).
+//   retained()  — the most recent decisions, kept for callers that inspect
+//                 history after the fact (the comparison harness, benches).
+//                 At least the last `retain` decisions are available, and at
+//                 most 2*retain are ever stored: eviction compacts the
+//                 buffer by halves so the amortised per-emit cost stays O(1)
+//                 without a ring's wraparound complicating span views.
+//
+// Decisions evicted before any drain saw them are counted in
+// `dropped()` — silence about data loss is the one thing a bounded buffer
+// must not do.
+#pragma once
+
+#include <vector>
+
+#include "core/pipeline.hpp"
+
+namespace evd::runtime {
+
+class DecisionSink {
+ public:
+  /// `retain` <= 0 falls back to 1. Storage is reserved to 2*retain once,
+  /// here — emit() never reallocates.
+  explicit DecisionSink(Index retain);
+
+  /// Append a decision; evicts from the front (oldest first) when the
+  /// 2*retain bound is reached. No heap allocation after construction.
+  void emit(const core::Decision& d);
+
+  /// Move all not-yet-drained decisions into `out` (appended); returns how
+  /// many were moved. Drained decisions remain visible via retained() until
+  /// eviction catches up with them.
+  Index drain(std::vector<core::Decision>& out);
+
+  /// Everything currently stored, oldest first. Stable until the next
+  /// emit(). Size is in [min(total, retain), 2*retain].
+  const std::vector<core::Decision>& retained() const noexcept {
+    return buffer_;
+  }
+
+  /// Total decisions ever emitted.
+  std::int64_t total() const noexcept { return total_; }
+  /// Decisions evicted before any drain() consumed them.
+  std::int64_t dropped() const noexcept { return dropped_; }
+  Index retain_limit() const noexcept { return retain_; }
+
+ private:
+  Index retain_;
+  std::vector<core::Decision> buffer_;
+  Index drain_cursor_ = 0;  ///< Index into buffer_ of first undrained decision.
+  std::int64_t total_ = 0;
+  std::int64_t dropped_ = 0;
+};
+
+}  // namespace evd::runtime

@@ -1,0 +1,96 @@
+// The ingress queue between a sensor stream and a StreamSession.
+//
+// Event cameras produce at rates the consumer cannot always match (the
+// paper's §II sensor-trend argument; Gen4 sensors ship a hardware rate
+// controller for exactly this reason). The runtime models that boundary
+// explicitly: each managed session is fed through a fixed-capacity
+// EventQueue whose overflow policy decides what happens when the consumer
+// falls behind —
+//
+//   DropNewest — reject the incoming op (sensor-side back-pressure; the
+//                FIFO keeps the oldest data, matching the ERC "Suppress"
+//                policy in events/rate_controller.hpp);
+//   DropOldest — evict the oldest queued op to admit the new one
+//                (freshness-first: latency-critical consumers prefer
+//                recent events over a complete history).
+//
+// The queue carries the full session op stream — events and advance_to
+// marks — so draining it replays exactly what a direct caller would have
+// done, in order. Capacity is allocated once at construction; push/pop are
+// allocation-free.
+#pragma once
+
+#include "events/event.hpp"
+#include "runtime/ring_buffer.hpp"
+
+namespace evd::runtime {
+
+enum class OverflowPolicy { DropNewest, DropOldest };
+
+/// One queued session operation: an event, or a time advance.
+struct StreamOp {
+  enum class Kind : std::uint8_t { Feed, Advance };
+  Kind kind = Kind::Feed;
+  events::Event event{};  ///< Valid when kind == Feed.
+  TimeUs t = 0;           ///< Advance target when kind == Advance.
+
+  static StreamOp feed(const events::Event& e) {
+    StreamOp op;
+    op.kind = Kind::Feed;
+    op.event = e;
+    return op;
+  }
+  static StreamOp advance(TimeUs t) {
+    StreamOp op;
+    op.kind = Kind::Advance;
+    op.t = t;
+    return op;
+  }
+};
+
+class EventQueue {
+ public:
+  struct Stats {
+    std::int64_t pushed = 0;   ///< Ops accepted into the queue.
+    std::int64_t dropped = 0;  ///< Ops lost to the overflow policy.
+    std::int64_t popped = 0;
+  };
+
+  EventQueue(Index capacity, OverflowPolicy policy)
+      : ring_(capacity), policy_(policy) {}
+
+  /// Enqueue under the overflow policy. Returns false iff an op was lost:
+  /// under DropNewest the rejected `op` itself, under DropOldest the
+  /// evicted front (the new op is always admitted).
+  bool push(const StreamOp& op) {
+    if (ring_.full()) {
+      ++stats_.dropped;
+      if (policy_ == OverflowPolicy::DropNewest) return false;
+      ring_.drop_front();
+      ring_.push(op);
+      ++stats_.pushed;
+      return false;
+    }
+    ring_.push(op);
+    ++stats_.pushed;
+    return true;
+  }
+
+  bool pop(StreamOp& out) {
+    if (!ring_.pop(out)) return false;
+    ++stats_.popped;
+    return true;
+  }
+
+  Index size() const noexcept { return ring_.size(); }
+  Index capacity() const noexcept { return ring_.capacity(); }
+  bool empty() const noexcept { return ring_.empty(); }
+  const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  RingBuffer<StreamOp> ring_;
+  OverflowPolicy policy_;
+  Stats stats_;
+};
+
+}  // namespace evd::runtime

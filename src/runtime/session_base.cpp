@@ -1,0 +1,19 @@
+#include "runtime/session_base.hpp"
+
+#include <stdexcept>
+
+namespace evd::runtime {
+
+void SessionBase::check_geometry(const std::string& who, Index width,
+                                 Index height, Index expected_width,
+                                 Index expected_height) {
+  if (width != expected_width || height != expected_height) {
+    throw std::invalid_argument(who + "::open_session: geometry mismatch (got " +
+                                std::to_string(width) + "x" +
+                                std::to_string(height) + ", configured " +
+                                std::to_string(expected_width) + "x" +
+                                std::to_string(expected_height) + ")");
+  }
+}
+
+}  // namespace evd::runtime

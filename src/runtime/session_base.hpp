@@ -1,0 +1,93 @@
+// Shared chassis for the three paradigm stream sessions.
+//
+// Before this refactor each of CnnStreamSession / SnnStreamSession /
+// GnnStreamSession carried its own copy of the geometry check, the decision
+// vector, and the emit-a-decision boilerplate, and none of them bounded
+// their storage or counted anything. SessionBase centralises the
+// paradigm-independent parts:
+//
+//   * open-time geometry validation (one check_geometry, one message);
+//   * a per-session ArenaAllocator from which subclasses carve their
+//     steady-state scratch exactly once, in their constructor;
+//   * a bounded DecisionSink behind the StreamSession decisions()/drain()
+//     contract, plus stats() wired to real counters.
+//
+// Subclasses implement only the paradigm: on_event() and on_advance().
+#pragma once
+
+#include <string>
+
+#include "core/pipeline.hpp"
+#include "runtime/arena.hpp"
+#include "runtime/decision_sink.hpp"
+
+namespace evd::runtime {
+
+struct SessionBaseConfig {
+  /// Arena capacity for this session's steady-state scratch.
+  std::size_t arena_bytes = 0;
+  /// DecisionSink retention (see decision_sink.hpp for the exact bound).
+  Index decision_retain = 8192;
+};
+
+class SessionBase : public core::StreamSession {
+ public:
+  /// Throws std::invalid_argument when (width, height) does not match the
+  /// geometry the pipeline was configured for. `who` names the pipeline in
+  /// the message (e.g. "CnnPipeline").
+  static void check_geometry(const std::string& who, Index width, Index height,
+                             Index expected_width, Index expected_height);
+
+  void feed(const events::Event& event) final {
+    ++events_fed_;
+    on_event(event);
+  }
+
+  void advance_to(TimeUs t) final { on_advance(t); }
+
+  /// Compat shim: the bounded retained tail, oldest first. Complete for
+  /// streams emitting fewer than `decision_retain` decisions — exactly the
+  /// regime every existing bench and test runs in.
+  const std::vector<core::Decision>& decisions() const final {
+    return sink_.retained();
+  }
+
+  Index drain(std::vector<core::Decision>& out) final {
+    return sink_.drain(out);
+  }
+
+  core::SessionStats stats() const final {
+    core::SessionStats s;
+    s.events_fed = events_fed_;
+    s.decisions_emitted = sink_.total();
+    s.decisions_dropped = sink_.dropped();
+    s.events_dropped = events_dropped_;
+    return s;
+  }
+
+  /// Ingress-queue losses are charged by the SessionManager, which owns the
+  /// queue; the session just keeps the ledger.
+  void note_events_dropped(std::int64_t n) { events_dropped_ += n; }
+
+ protected:
+  explicit SessionBase(const SessionBaseConfig& config)
+      : arena_(config.arena_bytes), sink_(config.decision_retain) {}
+
+  /// Paradigm hooks. on_event sees every fed event; on_advance sees every
+  /// advance_to mark.
+  virtual void on_event(const events::Event& event) = 0;
+  virtual void on_advance(TimeUs t) = 0;
+
+  void emit(const core::Decision& d) { sink_.emit(d); }
+
+  ArenaAllocator& arena() { return arena_; }
+  const ArenaAllocator& arena() const { return arena_; }
+
+ private:
+  ArenaAllocator arena_;
+  DecisionSink sink_;
+  std::int64_t events_fed_ = 0;
+  std::int64_t events_dropped_ = 0;
+};
+
+}  // namespace evd::runtime

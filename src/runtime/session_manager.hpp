@@ -1,0 +1,108 @@
+// Multi-session serving over the evd::par pool.
+//
+// The SessionManager owns N (session, ingress-queue) pairs and pumps them
+// with deterministic round-robin scheduling:
+//
+//   pump() round:  parallel_for over sessions, grain 1 — session s is one
+//                  chunk, so the whole session runs on exactly one worker
+//                  per round (static chunk assignment: worker w gets
+//                  sessions w, w+W, ...). Each session processes up to
+//                  `burst` queued ops, in FIFO order, then yields.
+//
+// Determinism argument (the multiplexed-vs-sequential oracle in evd::check
+// enforces this bitwise):
+//   * Sessions share only const model parameters — every mutable byte a
+//     session touches (arena scratch, SNN state, graph buffers) lives in
+//     the session itself, and a session is only ever touched by the one
+//     worker that owns its chunk this round.
+//   * Within a session, ops apply in submission order regardless of which
+//     worker runs the chunk or how rounds interleave across sessions —
+//     so each session's decision stream is identical to feeding the same
+//     ops directly, sequentially.
+//   * Layer forward() caches are train-gated off in inference and the op
+//     counters are thread_local, so concurrent sessions do not race on the
+//     shared model (workers simply don't count ops).
+//
+// Back-pressure is explicit: submit() returns false when the session's
+// queue rejects/evicts (see EventQueue), and the loss is charged to the
+// session's events_dropped stat.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "runtime/event_queue.hpp"
+#include "runtime/session_base.hpp"
+
+namespace evd::runtime {
+
+using SessionId = Index;
+
+struct ManagedSessionConfig {
+  /// Ingress queue capacity (ops: events + advances).
+  Index queue_capacity = 4096;
+  OverflowPolicy overflow = OverflowPolicy::DropNewest;
+};
+
+class SessionManager {
+ public:
+  /// Ops each session processes per pump() round before yielding. Small
+  /// bursts interleave sessions more fairly; large bursts amortise
+  /// scheduling. Either way the per-session op order — and therefore every
+  /// decision stream — is unchanged.
+  explicit SessionManager(Index burst = 256);
+
+  /// Take ownership of a session opened by a pipeline. Returns its id
+  /// (dense, starting at 0).
+  SessionId add(std::unique_ptr<core::StreamSession> session,
+                const ManagedSessionConfig& config = {});
+
+  /// Queue an event / advance mark for the session. False when the
+  /// overflow policy lost an op (the loss is already recorded in stats).
+  bool submit(SessionId id, const events::Event& event);
+  bool submit_advance(SessionId id, TimeUs t);
+
+  /// One scheduling round: every session with queued ops processes up to
+  /// `burst` of them, sessions running in parallel across the pool.
+  /// Returns the total number of ops processed (0 == all queues empty).
+  Index pump();
+
+  /// pump() until every queue is empty.
+  void pump_all();
+
+  Index session_count() const noexcept {
+    return static_cast<Index>(slots_.size());
+  }
+  Index queued(SessionId id) const { return slot(id).queue.size(); }
+
+  core::StreamSession& session(SessionId id) { return *slot(id).session; }
+  const core::StreamSession& session(SessionId id) const {
+    return *slot(id).session;
+  }
+
+  /// Session stats with ingress-queue drops folded in.
+  core::SessionStats stats(SessionId id) const;
+
+  Index drain(SessionId id, std::vector<core::Decision>& out) {
+    return slot(id).session->drain(out);
+  }
+
+ private:
+  struct Slot {
+    std::unique_ptr<core::StreamSession> session;
+    EventQueue queue;
+    Slot(std::unique_ptr<core::StreamSession> s, Index capacity,
+         OverflowPolicy policy)
+        : session(std::move(s)), queue(capacity, policy) {}
+  };
+
+  Slot& slot(SessionId id);
+  const Slot& slot(SessionId id) const;
+
+  Index burst_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::vector<Index> processed_;  ///< Per-session scratch for pump().
+};
+
+}  // namespace evd::runtime

@@ -108,7 +108,7 @@ ConvertedInference run_converted(ConvertedSnn& converted,
   for (Index t = 0; t < steps; ++t) {
     result.logits =
         converted.net.step(state, train.active[static_cast<size_t>(t)]);
-    result.total_spikes += converted.net.last_step_hidden_spikes();
+    result.total_spikes += state.step_hidden_spikes;
   }
   result.predicted = result.logits.argmax();
   return result;

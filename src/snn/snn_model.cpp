@@ -309,7 +309,9 @@ nn::Tensor SpikingNet::step(SnnState& state,
 
   std::vector<Index> spikes_in = input_spikes;
   std::vector<Index> spikes_next;
-  last_step_hidden_spikes_ = 0;
+  // Spike accounting lives in the state, not the net: step() must stay
+  // const-safe on `this` so concurrent sessions can share one network.
+  state.step_hidden_spikes = 0;
   for (Index l = 0; l < hidden_layers; ++l) {
     auto& vl = state.membrane[static_cast<size_t>(l)];
     const Index n = static_cast<Index>(vl.size());
@@ -344,7 +346,7 @@ nn::Tensor SpikingNet::step(SnnState& state,
       nn::count_param_read(
           (static_cast<std::int64_t>(spikes_in.size()) * n + n) * 4);
     }
-    last_step_hidden_spikes_ += static_cast<Index>(spikes_next.size());
+    state.step_hidden_spikes += static_cast<Index>(spikes_next.size());
     spikes_in = spikes_next;
   }
 

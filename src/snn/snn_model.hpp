@@ -32,10 +32,15 @@ struct SpikingNetConfig {
 };
 
 /// Persistent layer state for streaming (stateful stepping) mode.
+///
+/// Everything step() mutates lives here, not in the net: concurrent
+/// sessions share one SpikingNet (const parameters) and each brings its own
+/// SnnState, so stepping different states from different threads is safe.
 struct SnnState {
   std::vector<std::vector<float>> membrane;  ///< Per layer (incl. readout).
   std::vector<float> readout_sum;            ///< Accumulated readout logits.
   Index steps_seen = 0;
+  Index step_hidden_spikes = 0;  ///< Hidden spikes in the most recent step().
 };
 
 class SpikingNet {
@@ -54,10 +59,6 @@ class SpikingNet {
 
   /// Hidden spike count of the most recent forward (activity metric).
   Index last_hidden_spikes() const noexcept { return last_hidden_spikes_; }
-  /// Hidden spikes emitted during the most recent step() call.
-  Index last_step_hidden_spikes() const noexcept {
-    return last_step_hidden_spikes_;
-  }
   /// Mean hidden spikes per neuron per step in the last forward.
   double last_spike_density() const noexcept { return last_density_; }
 
@@ -86,7 +87,6 @@ class SpikingNet {
   SpikeTrain cached_input_copy_;
 
   Index last_hidden_spikes_ = 0;
-  Index last_step_hidden_spikes_ = 0;
   double last_density_ = 0.0;
 };
 

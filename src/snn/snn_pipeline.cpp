@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "nn/softmax.hpp"
+#include "runtime/session_base.hpp"
 
 namespace evd::snn {
 namespace {
@@ -122,16 +123,34 @@ double SnnPipeline::computation_sparsity(const events::EventStream& probe) {
 
 namespace {
 
-class SnnStreamSession : public core::StreamSession {
+runtime::SessionBaseConfig snn_session_config(const SnnPipelineConfig& c) {
+  runtime::SessionBaseConfig sc;
+  // Dedup bitmap over the encoded input, arena-resident.
+  sc.arena_bytes =
+      static_cast<std::size_t>(encoded_size(c.width, c.height, c.encoder)) +
+      256;  // alignment slack
+  sc.decision_retain = c.decision_retain;
+  return sc;
+}
+
+class SnnStreamSession : public runtime::SessionBase {
  public:
   SnnStreamSession(SnnPipeline& pipeline, Index width, Index height)
-      : pipeline_(pipeline),
+      : runtime::SessionBase(snn_session_config(pipeline.config())),
+        pipeline_(pipeline),
         width_(width),
         height_(height),
         state_(pipeline.net().make_state()),
-        step_end_(pipeline.config().timestep_us) {}
+        step_end_(pipeline.config().timestep_us) {
+    const Index n = encoded_size(width, height, pipeline.config().encoder);
+    seen_ = arena().allocate_span<char>(n);
+    // Pending can never exceed the dedup'd input size, so reserving it here
+    // keeps the per-event path allocation-free.
+    pending_.reserve(static_cast<size_t>(n));
+  }
 
-  void feed(const events::Event& event) override {
+ private:
+  void on_event(const events::Event& event) override {
     tick_until(event.t);
     // Bin the event into the current timestep's input spike set.
     const auto& enc = pipeline_.config().encoder;
@@ -147,14 +166,11 @@ class SnnStreamSession : public core::StreamSession {
     }
   }
 
-  void advance_to(TimeUs t) override { tick_until(t); }
+  void on_advance(TimeUs t) override { tick_until(t); }
 
-  const std::vector<core::Decision>& decisions() const override {
-    return decisions_;
-  }
-
- private:
   void tick_until(TimeUs now) {
+    // net().step() allocates internally; that cost is bounded by the clock
+    // (one step per timestep_us), not by the event rate.
     while (now >= step_end_) {
       const nn::Tensor logits = pipeline_.net().step(state_, pending_);
       for (const Index i : pending_) seen_[static_cast<size_t>(i)] = 0;
@@ -164,7 +180,7 @@ class SnnStreamSession : public core::StreamSession {
       decision.label = static_cast<int>(logits.argmax());
       const nn::Tensor probs = nn::softmax(logits);
       decision.confidence = probs[probs.argmax()];
-      decisions_.push_back(decision);
+      emit(decision);
       step_end_ += pipeline_.config().timestep_us;
     }
   }
@@ -174,24 +190,16 @@ class SnnStreamSession : public core::StreamSession {
   SnnState state_;
   TimeUs step_end_;
   std::vector<Index> pending_;
-  std::vector<char> seen_ = std::vector<char>(
-      static_cast<size_t>(1), 0);  // resized in ctor body via init()
-  std::vector<core::Decision> decisions_;
-
- public:
-  void init_seen(Index n) { seen_.assign(static_cast<size_t>(n), 0); }
+  std::span<char> seen_;  ///< Arena-backed dedup bitmap.
 };
 
 }  // namespace
 
 std::unique_ptr<core::StreamSession> SnnPipeline::open_session(Index width,
                                                                Index height) {
-  if (width != config_.width || height != config_.height) {
-    throw std::invalid_argument("SnnPipeline::open_session: geometry mismatch");
-  }
-  auto session = std::make_unique<SnnStreamSession>(*this, width, height);
-  session->init_seen(encoded_size(width, height, config_.encoder));
-  return session;
+  runtime::SessionBase::check_geometry("SnnPipeline", width, height,
+                                       config_.width, config_.height);
+  return std::make_unique<SnnStreamSession>(*this, width, height);
 }
 
 }  // namespace evd::snn

@@ -32,7 +32,10 @@ TEST_F(OracleTest, RegistryHasAllBuiltinPairs) {
        {"conv2d.direct_vs_gemm", "snn.clocked_vs_event_driven",
         "gnn.batch_vs_incremental", "par.cnn_conv_1_vs_4_threads",
         "par.snn_forward_1_vs_4_threads", "par.gnn_build_1_vs_4_threads",
-        "hw.systolic_vs_naive", "hw.zero_skip_vs_naive"}) {
+        "hw.systolic_vs_naive", "hw.zero_skip_vs_naive",
+        "runtime.multiplex_vs_sequential.cnn",
+        "runtime.multiplex_vs_sequential.snn",
+        "runtime.multiplex_vs_sequential.gnn"}) {
     const Oracle* oracle = registry().find(name);
     ASSERT_NE(oracle, nullptr) << name;
     EXPECT_FALSE(oracle->description().empty());
@@ -76,6 +79,18 @@ TEST_F(OracleTest, SystolicModelMatchesNaiveRollup) {
 
 TEST_F(OracleTest, ZeroSkipModelMatchesNaiveRollup) {
   expect_passes("hw.zero_skip_vs_naive", 200);
+}
+
+TEST_F(OracleTest, CnnMultiplexedServingMatchesSequential) {
+  expect_passes("runtime.multiplex_vs_sequential.cnn", 15);
+}
+
+TEST_F(OracleTest, SnnMultiplexedServingMatchesSequential) {
+  expect_passes("runtime.multiplex_vs_sequential.snn", 25);
+}
+
+TEST_F(OracleTest, GnnMultiplexedServingMatchesSequential) {
+  expect_passes("runtime.multiplex_vs_sequential.gnn", 25);
 }
 
 // Forward-compatibility net: pairs added by later PRs are exercised even

@@ -1,0 +1,76 @@
+// ArenaAllocator: bump-pointer semantics, alignment, exhaustion behaviour.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <new>
+
+#include "runtime/arena.hpp"
+
+namespace evd::runtime {
+namespace {
+
+TEST(ArenaAllocator, TracksUsedAndHighWater) {
+  ArenaAllocator arena(1024);
+  EXPECT_EQ(arena.capacity(), 1024u);
+  EXPECT_EQ(arena.used(), 0u);
+
+  void* a = arena.allocate(100);
+  ASSERT_NE(a, nullptr);
+  EXPECT_GE(arena.used(), 100u);
+  const std::size_t after_first = arena.used();
+
+  void* b = arena.allocate(50);
+  ASSERT_NE(b, nullptr);
+  EXPECT_GT(arena.used(), after_first);
+  EXPECT_EQ(arena.high_water(), arena.used());
+
+  const std::size_t peak = arena.high_water();
+  arena.reset();
+  EXPECT_EQ(arena.used(), 0u);
+  EXPECT_EQ(arena.high_water(), peak);  // high water survives reset
+}
+
+TEST(ArenaAllocator, RespectsAlignment) {
+  ArenaAllocator arena(256);
+  (void)arena.allocate(1, 1);  // misalign the bump pointer
+  void* p = arena.allocate(8, 8);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 8, 0u);
+  void* q = arena.allocate(3, 1);
+  void* r = arena.allocate(16, 16);
+  EXPECT_NE(q, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(r) % 16, 0u);
+}
+
+TEST(ArenaAllocator, ExhaustionThrowsBadAlloc) {
+  ArenaAllocator arena(64);
+  EXPECT_THROW(arena.allocate(128), std::bad_alloc);
+  // A failed allocation must not corrupt the arena.
+  EXPECT_NO_THROW(arena.allocate(32));
+}
+
+TEST(ArenaAllocator, AllocateSpanValueInitialises) {
+  ArenaAllocator arena(1024);
+  auto ints = arena.allocate_span<int>(16);
+  ASSERT_EQ(ints.size(), 16u);
+  for (const int v : ints) EXPECT_EQ(v, 0);
+  ints[3] = 7;
+  EXPECT_EQ(ints[3], 7);
+}
+
+TEST(ArenaAllocator, AllocateSpanZeroCountIsEmpty) {
+  ArenaAllocator arena(64);
+  EXPECT_TRUE(arena.allocate_span<int>(0).empty());
+  EXPECT_TRUE(arena.allocate_span<int>(-1).empty());
+  EXPECT_EQ(arena.used(), 0u);
+}
+
+TEST(ArenaAllocator, ReuseAfterResetReturnsSameStorage) {
+  ArenaAllocator arena(256);
+  void* first = arena.allocate(64, alignof(std::max_align_t));
+  arena.reset();
+  void* second = arena.allocate(64, alignof(std::max_align_t));
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace evd::runtime

@@ -1,0 +1,88 @@
+// DecisionSink: bounded retention, exactly-once drain, loss accounting.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "runtime/decision_sink.hpp"
+
+namespace evd::runtime {
+namespace {
+
+core::Decision decision_at(TimeUs t) {
+  core::Decision d;
+  d.t = t;
+  d.label = static_cast<int>(t % 3);
+  d.confidence = 0.5;
+  return d;
+}
+
+TEST(DecisionSink, RetainsAtLeastRetainAtMostTwice) {
+  DecisionSink sink(4);
+  for (TimeUs t = 0; t < 100; ++t) {
+    sink.emit(decision_at(t));
+    EXPECT_LE(sink.retained().size(), 8u);  // <= 2 * retain
+    if (t >= 3) {
+      EXPECT_GE(sink.retained().size(), 4u);
+    }
+  }
+  EXPECT_EQ(sink.total(), 100);
+  // The tail is the most recent decisions, oldest first.
+  EXPECT_EQ(sink.retained().back().t, 99);
+  const auto& tail = sink.retained();
+  for (size_t i = 1; i < tail.size(); ++i) {
+    EXPECT_EQ(tail[i].t, tail[i - 1].t + 1);
+  }
+}
+
+TEST(DecisionSink, DrainSeesEveryDecisionExactlyOnce) {
+  DecisionSink sink(4);
+  std::vector<core::Decision> out;
+  sink.emit(decision_at(1));
+  sink.emit(decision_at(2));
+  EXPECT_EQ(sink.drain(out), 2);
+  sink.emit(decision_at(3));
+  EXPECT_EQ(sink.drain(out), 1);
+  EXPECT_EQ(sink.drain(out), 0);  // nothing new
+
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].t, 1);
+  EXPECT_EQ(out[1].t, 2);
+  EXPECT_EQ(out[2].t, 3);
+  EXPECT_EQ(sink.dropped(), 0);
+}
+
+TEST(DecisionSink, RegularDrainLosesNothingAcrossEviction) {
+  DecisionSink sink(2);
+  std::vector<core::Decision> out;
+  for (TimeUs t = 0; t < 50; ++t) {
+    sink.emit(decision_at(t));
+    if (t % 3 == 2) sink.drain(out);
+  }
+  sink.drain(out);
+  EXPECT_EQ(sink.dropped(), 0);
+  ASSERT_EQ(out.size(), 50u);
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].t, static_cast<TimeUs>(i));
+  }
+}
+
+TEST(DecisionSink, EvictionBeforeDrainIsCounted) {
+  DecisionSink sink(2);
+  for (TimeUs t = 0; t < 20; ++t) sink.emit(decision_at(t));
+  EXPECT_GT(sink.dropped(), 0);
+  std::vector<core::Decision> out;
+  const Index drained = sink.drain(out);
+  // Conservation: every decision was either drained or reported lost.
+  EXPECT_EQ(sink.dropped() + drained, sink.total());
+}
+
+TEST(DecisionSink, RetainClampsToOne) {
+  DecisionSink sink(0);
+  EXPECT_EQ(sink.retain_limit(), 1);
+  sink.emit(decision_at(1));
+  sink.emit(decision_at(2));
+  EXPECT_FALSE(sink.retained().empty());
+}
+
+}  // namespace
+}  // namespace evd::runtime

@@ -1,0 +1,103 @@
+// RingBuffer + EventQueue: wraparound, overflow policies, loss accounting.
+#include <gtest/gtest.h>
+
+#include "runtime/event_queue.hpp"
+#include "runtime/ring_buffer.hpp"
+
+namespace evd::runtime {
+namespace {
+
+events::Event event_at(TimeUs t) {
+  events::Event e;
+  e.x = 1;
+  e.y = 2;
+  e.polarity = Polarity::On;
+  e.t = t;
+  return e;
+}
+
+TEST(RingBuffer, PushPopWrapsAround) {
+  RingBuffer<int> ring(3);
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.capacity(), 3);
+
+  for (int round = 0; round < 5; ++round) {
+    // Fill, drain one, fill again: the head/tail wrap every round.
+    EXPECT_TRUE(ring.push(round * 10 + 1));
+    EXPECT_TRUE(ring.push(round * 10 + 2));
+    EXPECT_TRUE(ring.push(round * 10 + 3));
+    EXPECT_TRUE(ring.full());
+    EXPECT_FALSE(ring.push(99));
+
+    int out = 0;
+    ASSERT_TRUE(ring.pop(out));
+    EXPECT_EQ(out, round * 10 + 1);
+    ASSERT_TRUE(ring.pop(out));
+    EXPECT_EQ(out, round * 10 + 2);
+    ASSERT_TRUE(ring.pop(out));
+    EXPECT_EQ(out, round * 10 + 3);
+    EXPECT_TRUE(ring.empty());
+    EXPECT_FALSE(ring.pop(out));
+  }
+}
+
+TEST(RingBuffer, DropFrontEvictsOldest) {
+  RingBuffer<int> ring(2);
+  ring.push(1);
+  ring.push(2);
+  ring.drop_front();
+  EXPECT_EQ(ring.size(), 1);
+  int out = 0;
+  ASSERT_TRUE(ring.pop(out));
+  EXPECT_EQ(out, 2);
+}
+
+TEST(EventQueue, DropNewestRejectsIncomingWhenFull) {
+  EventQueue queue(2, OverflowPolicy::DropNewest);
+  EXPECT_TRUE(queue.push(StreamOp::feed(event_at(10))));
+  EXPECT_TRUE(queue.push(StreamOp::feed(event_at(20))));
+  EXPECT_FALSE(queue.push(StreamOp::feed(event_at(30))));  // lost
+
+  StreamOp op;
+  ASSERT_TRUE(queue.pop(op));
+  EXPECT_EQ(op.event.t, 10);  // oldest data survived (back-pressure)
+  ASSERT_TRUE(queue.pop(op));
+  EXPECT_EQ(op.event.t, 20);
+  EXPECT_FALSE(queue.pop(op));
+
+  EXPECT_EQ(queue.stats().pushed, 2);
+  EXPECT_EQ(queue.stats().dropped, 1);
+  EXPECT_EQ(queue.stats().popped, 2);
+}
+
+TEST(EventQueue, DropOldestEvictsFrontToAdmitNew) {
+  EventQueue queue(2, OverflowPolicy::DropOldest);
+  queue.push(StreamOp::feed(event_at(10)));
+  queue.push(StreamOp::feed(event_at(20)));
+  EXPECT_FALSE(queue.push(StreamOp::feed(event_at(30))));  // an op was lost
+
+  StreamOp op;
+  ASSERT_TRUE(queue.pop(op));
+  EXPECT_EQ(op.event.t, 20);  // freshest data survived
+  ASSERT_TRUE(queue.pop(op));
+  EXPECT_EQ(op.event.t, 30);
+
+  EXPECT_EQ(queue.stats().pushed, 3);
+  EXPECT_EQ(queue.stats().dropped, 1);
+}
+
+TEST(EventQueue, CarriesAdvanceMarksInOrder) {
+  EventQueue queue(4, OverflowPolicy::DropNewest);
+  queue.push(StreamOp::feed(event_at(5)));
+  queue.push(StreamOp::advance(100));
+
+  StreamOp op;
+  ASSERT_TRUE(queue.pop(op));
+  EXPECT_EQ(op.kind, StreamOp::Kind::Feed);
+  ASSERT_TRUE(queue.pop(op));
+  EXPECT_EQ(op.kind, StreamOp::Kind::Advance);
+  EXPECT_EQ(op.t, 100);
+}
+
+}  // namespace
+}  // namespace evd::runtime

@@ -1,0 +1,184 @@
+// SessionManager: FIFO op order per session, burst scheduling, overflow
+// accounting, and thread-count invariance of the per-session op streams.
+// (Bitwise equality of real pipeline decision streams is enforced by the
+// runtime.multiplex_vs_sequential.* oracles; this file pins the scheduling
+// mechanics with a deterministic recording session.)
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "runtime/session_manager.hpp"
+
+namespace evd::runtime {
+namespace {
+
+events::Event event_at(TimeUs t) {
+  events::Event e;
+  e.x = static_cast<std::int16_t>(t % 7);
+  e.y = 3;
+  e.polarity = Polarity::On;
+  e.t = t;
+  return e;
+}
+
+/// Records the op stream it sees and decides on every advance.
+class RecordingSession final : public SessionBase {
+ public:
+  RecordingSession() : SessionBase(SessionBaseConfig{64, 16}) {}
+
+  std::vector<TimeUs> seen;  ///< Event times, in arrival order.
+
+ private:
+  void on_event(const events::Event& event) override {
+    seen.push_back(event.t);
+  }
+  void on_advance(TimeUs t) override {
+    core::Decision d;
+    d.t = t;
+    d.label = static_cast<int>(seen.size());
+    d.confidence = 1.0;
+    emit(d);
+  }
+};
+
+TEST(SessionManager, PreservesPerSessionFifoOrder) {
+  SessionManager manager(/*burst=*/2);
+  std::vector<RecordingSession*> raw;
+  std::vector<SessionId> ids;
+  for (int s = 0; s < 3; ++s) {
+    auto session = std::make_unique<RecordingSession>();
+    raw.push_back(session.get());
+    ids.push_back(manager.add(std::move(session)));
+  }
+  EXPECT_EQ(manager.session_count(), 3);
+
+  // Interleave submissions across sessions; each session's own order must
+  // survive any pump schedule.
+  for (TimeUs t = 0; t < 10; ++t) {
+    for (size_t s = 0; s < ids.size(); ++s) {
+      manager.submit(ids[s], event_at(t * 100 + static_cast<TimeUs>(s)));
+    }
+  }
+  manager.pump_all();
+
+  for (size_t s = 0; s < raw.size(); ++s) {
+    ASSERT_EQ(raw[s]->seen.size(), 10u);
+    for (TimeUs t = 0; t < 10; ++t) {
+      EXPECT_EQ(raw[s]->seen[static_cast<size_t>(t)],
+                t * 100 + static_cast<TimeUs>(s));
+    }
+  }
+}
+
+TEST(SessionManager, OpStreamsAreIdenticalAcrossThreadCounts) {
+  auto run = [](Index threads) {
+    const Index previous = par::thread_count();
+    par::set_thread_count(threads);
+    SessionManager manager(/*burst=*/1);  // worst case: maximal interleaving
+    std::vector<RecordingSession*> raw;
+    std::vector<SessionId> ids;
+    for (int s = 0; s < 5; ++s) {
+      auto session = std::make_unique<RecordingSession>();
+      raw.push_back(session.get());
+      ids.push_back(manager.add(std::move(session)));
+    }
+    for (TimeUs t = 0; t < 20; ++t) {
+      for (size_t s = 0; s < ids.size(); ++s) {
+        manager.submit(ids[s], event_at(t));
+        if (t % 4 == 3) manager.submit_advance(ids[s], t + 1);
+      }
+      if (t % 2 == 0) manager.pump();
+    }
+    manager.pump_all();
+    std::vector<std::vector<TimeUs>> streams;
+    for (auto* session : raw) streams.push_back(session->seen);
+    par::set_thread_count(previous);
+    return streams;
+  };
+  EXPECT_EQ(run(1), run(4));
+}
+
+TEST(SessionManager, BurstBoundsOpsPerRound) {
+  SessionManager manager(/*burst=*/2);
+  auto session = std::make_unique<RecordingSession>();
+  auto* raw = session.get();
+  const SessionId id = manager.add(std::move(session));
+
+  for (TimeUs t = 0; t < 5; ++t) manager.submit(id, event_at(t));
+  EXPECT_EQ(manager.queued(id), 5);
+  EXPECT_EQ(manager.pump(), 2);  // one round, burst ops
+  EXPECT_EQ(raw->seen.size(), 2u);
+  EXPECT_EQ(manager.queued(id), 3);
+  manager.pump_all();
+  EXPECT_EQ(manager.queued(id), 0);
+  EXPECT_EQ(raw->seen.size(), 5u);
+  EXPECT_EQ(manager.pump(), 0);  // empty queues: nothing to do
+}
+
+TEST(SessionManager, ChargesQueueLossesToSessionStats) {
+  SessionManager manager;
+  ManagedSessionConfig config;
+  config.queue_capacity = 2;
+  config.overflow = OverflowPolicy::DropNewest;
+  const SessionId id = manager.add(std::make_unique<RecordingSession>(), config);
+
+  EXPECT_TRUE(manager.submit(id, event_at(1)));
+  EXPECT_TRUE(manager.submit(id, event_at(2)));
+  EXPECT_FALSE(manager.submit(id, event_at(3)));  // queue full
+  manager.pump_all();
+
+  const core::SessionStats stats = manager.stats(id);
+  EXPECT_EQ(stats.events_fed, 2);
+  EXPECT_EQ(stats.events_dropped, 1);
+}
+
+TEST(SessionManager, DropOldestKeepsFreshOps) {
+  SessionManager manager;
+  ManagedSessionConfig config;
+  config.queue_capacity = 2;
+  config.overflow = OverflowPolicy::DropOldest;
+  auto session = std::make_unique<RecordingSession>();
+  auto* raw = session.get();
+  const SessionId id = manager.add(std::move(session), config);
+
+  manager.submit(id, event_at(1));
+  manager.submit(id, event_at(2));
+  manager.submit(id, event_at(3));  // evicts t=1
+  manager.pump_all();
+
+  ASSERT_EQ(raw->seen.size(), 2u);
+  EXPECT_EQ(raw->seen[0], 2);
+  EXPECT_EQ(raw->seen[1], 3);
+  EXPECT_EQ(manager.stats(id).events_dropped, 1);
+}
+
+TEST(SessionManager, DrainForwardsToTheSession) {
+  SessionManager manager;
+  const SessionId id = manager.add(std::make_unique<RecordingSession>());
+  manager.submit_advance(id, 50);
+  manager.submit_advance(id, 60);
+  manager.pump_all();
+
+  std::vector<core::Decision> out;
+  EXPECT_EQ(manager.drain(id, out), 2);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].t, 50);
+  EXPECT_EQ(out[1].t, 60);
+  EXPECT_EQ(manager.drain(id, out), 0);
+  EXPECT_EQ(manager.stats(id).decisions_emitted, 2);
+}
+
+TEST(SessionManager, RejectsNullSessionsAndBadIds) {
+  SessionManager manager;
+  EXPECT_THROW(manager.add(nullptr), std::invalid_argument);
+  EXPECT_THROW(manager.queued(0), std::out_of_range);
+  const SessionId id = manager.add(std::make_unique<RecordingSession>());
+  EXPECT_EQ(id, 0);
+  EXPECT_THROW(manager.queued(1), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace evd::runtime

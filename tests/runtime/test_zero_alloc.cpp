@@ -1,0 +1,132 @@
+// Steady-state allocation audit for the streaming sessions.
+//
+// This TU replaces the global allocation functions with counting versions
+// (which is why it builds into its own test binary, evd_alloc_tests): the
+// zero-allocation claim in src/runtime/arena.hpp is enforced here, not just
+// documented. Scope of the claim, per paradigm:
+//   * GNN  — the ENTIRE per-event path (graph insert, incremental inference,
+//            softmax, decision emit, and the graph-recycle restart) is
+//            allocation-free after session construction;
+//   * CNN  — per-event ingest is allocation-free; the dense forward at a
+//            frame close may allocate (bounded by the frame clock);
+//   * SNN  — per-event binning is allocation-free; net().step() at a
+//            timestep boundary may allocate (bounded by the step clock).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <new>
+
+#include "cnn/cnn_pipeline.hpp"
+#include "gnn/gnn_pipeline.hpp"
+#include "snn/snn_pipeline.hpp"
+
+namespace {
+std::atomic<std::int64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace evd::runtime {
+namespace {
+
+events::Event event_at(Index i, TimeUs t) {
+  events::Event e;
+  e.x = static_cast<std::int16_t>(i % 16);
+  e.y = static_cast<std::int16_t>((i / 16) % 16);
+  e.polarity = (i % 2 == 0) ? Polarity::On : Polarity::Off;
+  e.t = t;
+  return e;
+}
+
+template <typename Fn>
+std::int64_t allocations_during(Fn&& fn) {
+  const std::int64_t before = g_allocations.load(std::memory_order_relaxed);
+  fn();
+  return g_allocations.load(std::memory_order_relaxed) - before;
+}
+
+TEST(ZeroAlloc, GnnFullPerEventPathIsAllocationFree) {
+  gnn::GnnPipelineConfig config;
+  config.width = 16;
+  config.height = 16;
+  config.num_classes = 2;
+  config.model.hidden = 8;
+  config.model.layers = 2;
+  config.stream_stride = 1;     // insert (and classify on) every event
+  config.stream_max_nodes = 64; // recycle happens inside the measured window
+  config.decision_retain = 32;  // sink compaction happens inside it too
+  gnn::GnnPipeline pipeline(config);
+  auto session = pipeline.open_session(16, 16);
+
+  // Warm-up: cross a recycle boundary once so any first-touch growth
+  // (e.g. layer scratch sized on first recompute) is behind us.
+  TimeUs t = 0;
+  for (Index i = 0; i < 200; ++i) session->feed(event_at(i, t += 100));
+
+  const std::int64_t allocs = allocations_during([&] {
+    for (Index i = 0; i < 300; ++i) session->feed(event_at(i * 3, t += 100));
+  });
+  EXPECT_EQ(allocs, 0) << "GNN steady-state feed() must not touch the heap";
+  EXPECT_EQ(session->stats().decisions_emitted, 500);
+}
+
+TEST(ZeroAlloc, CnnIntraFrameFeedIsAllocationFree) {
+  cnn::CnnPipelineConfig config;
+  config.width = 16;
+  config.height = 16;
+  config.num_classes = 2;
+  config.base_filters = 2;
+  config.frame_period_us = 1000000;  // the window never closes mid-test
+  cnn::CnnPipeline pipeline(config);
+  auto session = pipeline.open_session(16, 16);
+
+  session->feed(event_at(0, 10));  // touch the path once
+
+  TimeUs t = 10;
+  const std::int64_t allocs = allocations_during([&] {
+    for (Index i = 0; i < 500; ++i) session->feed(event_at(i, t += 100));
+    session->advance_to(t + 100);  // below the frame boundary: ingest only
+  });
+  EXPECT_EQ(allocs, 0) << "CNN event ingest must not touch the heap";
+  EXPECT_EQ(session->stats().events_fed, 501);
+}
+
+TEST(ZeroAlloc, SnnIntraStepFeedIsAllocationFree) {
+  snn::SnnPipelineConfig config;
+  config.width = 16;
+  config.height = 16;
+  config.num_classes = 2;
+  config.hidden = 16;
+  config.encoder.spatial_factor = 2;
+  config.timestep_us = 1000000;  // no step boundary inside the test
+  snn::SnnPipeline pipeline(config);
+  auto session = pipeline.open_session(16, 16);
+
+  session->feed(event_at(0, 10));
+
+  TimeUs t = 10;
+  const std::int64_t allocs = allocations_during([&] {
+    for (Index i = 0; i < 500; ++i) session->feed(event_at(i, t += 100));
+  });
+  EXPECT_EQ(allocs, 0) << "SNN event binning must not touch the heap";
+}
+
+}  // namespace
+}  // namespace evd::runtime
