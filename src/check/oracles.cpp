@@ -8,6 +8,7 @@
 #include "gnn/graph_builder.hpp"
 #include "gnn/incremental.hpp"
 #include "gnn/kdtree.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/session_manager.hpp"
 #include "snn/snn_model.hpp"
 #include "snn/snn_pipeline.hpp"
@@ -627,6 +628,88 @@ std::optional<std::string> diff_gnn_multiplex_vs_sequential(
   return diff_multiplex(pipeline, c);
 }
 
+// ---- obs: observability must not perturb the decision stream --------------
+
+namespace {
+
+/// Serve schedule `c` through a SessionManager (GNN sessions — decisions on
+/// every surviving event, the densest stream of the three paradigms) and
+/// return each session's decisions, with observability forced to `obs_on`.
+std::vector<std::vector<core::Decision>> serve_with_obs(
+    gnn::GnnPipeline& pipeline, const MultiSessionSchedule& c, bool obs_on) {
+  struct RestoreObs {
+    bool previous;
+    ~RestoreObs() { obs::set_enabled(previous); }
+  } restore{obs::enabled()};
+  obs::set_enabled(obs_on);
+  return with_thread_count(kThreadedCount, [&] {
+    runtime::SessionManager manager(/*burst=*/3);
+    std::vector<runtime::SessionId> ids;
+    ids.reserve(c.sessions.size());
+    for (size_t s = 0; s < c.sessions.size(); ++s) {
+      ids.push_back(manager.add(pipeline.open_session(c.width, c.height)));
+    }
+    size_t cursor = 0;
+    bool more = true;
+    while (more) {
+      more = false;
+      for (size_t s = 0; s < c.sessions.size(); ++s) {
+        if (cursor >= c.sessions[s].size()) continue;
+        more = true;
+        const auto& op = c.sessions[s][cursor];
+        if (op.kind == SessionOp::Kind::Feed) {
+          manager.submit(ids[s], op.event);
+        } else {
+          manager.submit_advance(ids[s], op.t);
+        }
+      }
+      ++cursor;
+      if (cursor % 5 == 0) manager.pump();
+    }
+    manager.pump_all();
+    std::vector<std::vector<core::Decision>> streams;
+    streams.reserve(ids.size());
+    for (const auto id : ids) {
+      streams.push_back(manager.session(id).decisions());
+    }
+    return streams;
+  });
+}
+
+}  // namespace
+
+std::optional<std::string> diff_obs_on_vs_off(const MultiSessionSchedule& c) {
+  gnn::GnnPipelineConfig config;
+  config.width = kMuxGeometry;
+  config.height = kMuxGeometry;
+  config.num_classes = 2;
+  config.model.hidden = 8;
+  config.model.layers = 2;
+  config.stream_stride = 2;
+  gnn::GnnPipeline pipeline(config);
+  const auto on = serve_with_obs(pipeline, c, /*obs_on=*/true);
+  const auto off = serve_with_obs(pipeline, c, /*obs_on=*/false);
+  for (size_t s = 0; s < on.size(); ++s) {
+    if (on[s].size() != off[s].size()) {
+      return "session " + std::to_string(s) + ": " +
+             std::to_string(on[s].size()) + " decisions with obs on vs " +
+             std::to_string(off[s].size()) + " with obs off";
+    }
+    for (size_t i = 0; i < on[s].size(); ++i) {
+      if (!(on[s][i] == off[s][i])) {
+        std::ostringstream os;
+        os << "session " << s << " decision " << i << ": obs-on {t="
+           << on[s][i].t << ", label=" << on[s][i].label
+           << ", conf=" << on[s][i].confidence << "} vs obs-off {t="
+           << off[s][i].t << ", label=" << off[s][i].label
+           << ", conf=" << off[s][i].confidence << "}";
+        return os.str();
+      }
+    }
+  }
+  return std::nullopt;
+}
+
 // ---- registration ---------------------------------------------------------
 
 void register_builtin_oracles() {
@@ -680,6 +763,11 @@ void register_builtin_oracles() {
         "GNN sessions multiplexed on 4 workers emit the exact decision "
         "stream of sequential feeding",
         multiplex_case_gen(), diff_gnn_multiplex_vs_sequential));
+    registry().add(make_diff_oracle<MultiSessionSchedule>(
+        "runtime.obs_on_vs_off",
+        "Observability (spans, counters, latency histograms) never perturbs "
+        "the served decision streams — bitwise identical on vs off",
+        multiplex_case_gen(), diff_obs_on_vs_off));
     return true;
   }();
   (void)registered;

@@ -117,6 +117,12 @@ std::optional<std::string> diff_snn_multiplex_vs_sequential(
     const MultiSessionSchedule& c);
 std::optional<std::string> diff_gnn_multiplex_vs_sequential(
     const MultiSessionSchedule& c);
+/// Serve the same multi-session schedule twice through a SessionManager —
+/// once with observability enabled (spans, counters, latency histograms all
+/// firing) and once with EVD_OBS forced off — and require every session's
+/// decision stream to be bitwise identical. Holds the "observers never
+/// perturb the observed" contract of evd::obs.
+std::optional<std::string> diff_obs_on_vs_off(const MultiSessionSchedule& c);
 
 /// Run fn at the given pool size, restoring the previous size afterwards.
 template <typename Fn>

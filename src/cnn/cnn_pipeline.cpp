@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "nn/softmax.hpp"
+#include "obs/trace.hpp"
 #include "runtime/session_base.hpp"
 
 namespace evd::cnn {
@@ -100,6 +101,7 @@ runtime::SessionBaseConfig cnn_session_config(const CnnPipelineConfig& c) {
           sizeof(TimeUs) +
       256;  // alignment slack
   sc.decision_retain = c.decision_retain;
+  sc.paradigm = "cnn";
   return sc;
 }
 
@@ -151,10 +153,14 @@ class CnnStreamSession : public runtime::SessionBase {
     core::Decision decision;
     decision.t = frame_end_;
     if (window_count_ > 0) {
-      build_frame_into(window_.first(static_cast<size_t>(window_count_)),
-                       width_, height_, frame_start_, frame_end_,
-                       pipeline_.config().frame, frame_,
-                       FrameScratch{last_on_, last_off_});
+      {
+        obs::Span span("cnn.representation_build");
+        build_frame_into(window_.first(static_cast<size_t>(window_count_)),
+                         width_, height_, frame_start_, frame_end_,
+                         pipeline_.config().frame, frame_,
+                         FrameScratch{last_on_, last_off_});
+      }
+      obs::Span span("cnn.conv_forward");
       const nn::Tensor logits = pipeline_.model().forward(frame_, false);
       const nn::Tensor probs = nn::softmax(logits);
       decision.label = static_cast<int>(probs.argmax());

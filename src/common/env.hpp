@@ -1,0 +1,28 @@
+// Tiny environment-flag helpers shared by the kill-switch consumers
+// (evd::obs and the evd::par instrumentation both honour EVD_OBS without
+// depending on each other).
+#pragma once
+
+#include <cstdlib>
+#include <cstring>
+
+namespace evd {
+
+/// Case-sensitive on purpose: the documented spellings are the lowercase
+/// ones ("EVD_OBS=off"); the common uppercase variants are accepted too.
+inline bool env_flag(const char* name, bool fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  const auto is = [value](const char* s) { return std::strcmp(value, s) == 0; };
+  if (is("0") || is("off") || is("OFF") || is("false") || is("FALSE") ||
+      is("no") || is("NO")) {
+    return false;
+  }
+  if (is("1") || is("on") || is("ON") || is("true") || is("TRUE") ||
+      is("yes") || is("YES")) {
+    return true;
+  }
+  return fallback;
+}
+
+}  // namespace evd

@@ -1,14 +1,24 @@
 #include "common/parallel.hpp"
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
 #include <mutex>
 #include <thread>
 
+#include "common/logging.hpp"
+
 namespace evd::par {
 namespace {
 
 thread_local bool t_in_region = false;
+
+std::int64_t mono_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 /// RAII flag so nested regions (from workers or the caller's own chunk)
 /// serialise instead of re-entering the pool.
@@ -44,6 +54,9 @@ class Pool {
   /// from distinct threads serialise on job_mutex_.
   void run(Index nworkers, const std::function<void(Index)>& worker_fn) {
     std::lock_guard<std::mutex> top(job_mutex_);
+    const std::int64_t busy_before =
+        busy_ns_.load(std::memory_order_relaxed);
+    const std::int64_t t0 = mono_ns();
     {
       std::lock_guard<std::mutex> lk(state_mutex_);
       job_ = &worker_fn;
@@ -54,11 +67,41 @@ class Pool {
     cv_work_.notify_all();
     {
       RegionGuard guard;
+      const std::int64_t c0 = mono_ns();
       worker_fn(0);
+      busy_ns_.fetch_add(mono_ns() - c0, std::memory_order_relaxed);
     }
-    std::unique_lock<std::mutex> lk(state_mutex_);
-    cv_done_.wait(lk, [&] { return active_ == 0; });
-    job_ = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(state_mutex_);
+      cv_done_.wait(lk, [&] { return active_ == 0; });
+      job_ = nullptr;
+    }
+    // Utilisation ledger: workers have all published their busy time before
+    // the final --active_ (both sequenced under state_mutex_), so the delta
+    // is complete. Idle = participant wall-clock not spent in worker_fn.
+    const std::int64_t wall = mono_ns() - t0;
+    const std::int64_t busy_delta =
+        busy_ns_.load(std::memory_order_relaxed) - busy_before;
+    const std::int64_t idle = wall * nworkers - busy_delta;
+    regions_.fetch_add(1, std::memory_order_relaxed);
+    region_wall_ns_.fetch_add(wall, std::memory_order_relaxed);
+    if (idle > 0) idle_ns_.fetch_add(idle, std::memory_order_relaxed);
+  }
+
+  PoolStats stats() {
+    PoolStats s;
+    s.regions = regions_.load(std::memory_order_relaxed);
+    s.region_wall_ns = region_wall_ns_.load(std::memory_order_relaxed);
+    s.worker_busy_ns = busy_ns_.load(std::memory_order_relaxed);
+    s.worker_idle_ns = idle_ns_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  void reset_stats() {
+    regions_.store(0, std::memory_order_relaxed);
+    region_wall_ns_.store(0, std::memory_order_relaxed);
+    busy_ns_.store(0, std::memory_order_relaxed);
+    idle_ns_.store(0, std::memory_order_relaxed);
   }
 
  private:
@@ -108,7 +151,9 @@ class Pool {
       if (!participate) continue;
       {
         RegionGuard guard;
+        const std::int64_t c0 = mono_ns();
         (*job)(id + 1);
+        busy_ns_.fetch_add(mono_ns() - c0, std::memory_order_relaxed);
       }
       std::lock_guard<std::mutex> lk(state_mutex_);
       if (--active_ == 0) cv_done_.notify_one();
@@ -126,23 +171,44 @@ class Pool {
   Index active_ = 0;
   std::uint64_t epoch_ = 0;
   bool shutdown_ = false;
+  // Utilisation accounting (see PoolStats). Relaxed atomics: totals only.
+  std::atomic<std::int64_t> regions_{0};
+  std::atomic<std::int64_t> region_wall_ns_{0};
+  std::atomic<std::int64_t> busy_ns_{0};
+  std::atomic<std::int64_t> idle_ns_{0};
 };
 
 }  // namespace
 
 Index parse_thread_count(const char* value, Index fallback) {
   if (fallback < 1) fallback = 1;
+  // Unset / empty is not an error — the default is simply in effect.
   if (value == nullptr || *value == '\0') return fallback;
   char* end = nullptr;
   const long parsed = std::strtol(value, &end, 10);
-  if (end == value || *end != '\0' || parsed < 1) return fallback;
+  if (end == value || *end != '\0' || parsed < 1) {
+    log_warn(
+        "EVD_THREADS='%s' is not a positive integer; falling back to %lld "
+        "threads (hardware concurrency)",
+        value, static_cast<long long>(fallback));
+    return fallback;
+  }
   constexpr long kMaxThreads = 512;
-  return static_cast<Index>(parsed < kMaxThreads ? parsed : kMaxThreads);
+  if (parsed > kMaxThreads) {
+    log_warn("EVD_THREADS=%ld exceeds the %ld-thread cap; clamping", parsed,
+             kMaxThreads);
+    return static_cast<Index>(kMaxThreads);
+  }
+  return static_cast<Index>(parsed);
 }
 
 Index thread_count() { return Pool::instance().size(); }
 
 void set_thread_count(Index n) { Pool::instance().resize(n); }
+
+PoolStats pool_stats() { return Pool::instance().stats(); }
+
+void reset_pool_stats() { Pool::instance().reset_stats(); }
 
 bool in_parallel_region() noexcept { return t_in_region; }
 

@@ -40,9 +40,25 @@ void set_thread_count(Index n);
 /// (nested regions run serially inline).
 bool in_parallel_region() noexcept;
 
-/// Parse an EVD_THREADS-style value; returns `fallback` for null/invalid.
-/// Exposed for tests; the pool calls it once at first use.
+/// Parse an EVD_THREADS-style value; returns `fallback` for unset/invalid.
+/// Zero, negative, or non-numeric values are rejected with a logged warning
+/// (an unset/empty variable falls back silently). Exposed for tests; the
+/// pool calls it once at first use.
 Index parse_thread_count(const char* value, Index fallback);
+
+/// Cumulative pool utilisation accounting, totals since process start (or
+/// the last reset_pool_stats()). Maintained by the pool itself — a handful
+/// of clock reads per parallel region, negligible next to region dispatch —
+/// and surfaced as counters through the evd::obs registry (obs::init()).
+struct PoolStats {
+  std::int64_t regions = 0;         ///< Parallel regions run on the pool.
+  std::int64_t region_wall_ns = 0;  ///< Caller-observed wall time in regions.
+  std::int64_t worker_busy_ns = 0;  ///< Sum of per-worker execution time.
+  std::int64_t worker_idle_ns = 0;  ///< Participant wall minus busy, summed.
+};
+
+PoolStats pool_stats();
+void reset_pool_stats();
 
 /// Number of chunks a range [begin, end) splits into at the given grain.
 inline Index chunk_count(Index begin, Index end, Index grain) noexcept {

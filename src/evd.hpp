@@ -11,6 +11,8 @@
 //   gnn/     event-graph pipeline (incremental construction, async updates)
 //   hw/      analytical hardware cost models
 //   core/    the EventPipeline interface and the Table-I comparison harness
+//   runtime/ multi-session streaming runtime over the shared pool
+//   obs/     observability: metrics registry, span tracing, exporters
 #pragma once
 
 #include "common/logging.hpp"
@@ -86,3 +88,13 @@
 #include "core/pipeline.hpp"
 #include "core/rating.hpp"
 #include "core/workload.hpp"
+
+#include "runtime/decision_sink.hpp"
+#include "runtime/event_queue.hpp"
+#include "runtime/session_base.hpp"
+#include "runtime/session_manager.hpp"
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "nn/softmax.hpp"
+#include "obs/trace.hpp"
 #include "runtime/session_base.hpp"
 
 namespace evd::gnn {
@@ -105,6 +106,7 @@ runtime::SessionBaseConfig gnn_session_config(const GnnPipelineConfig& c) {
   // the arena only backs the bounded decision machinery, so a token size.
   sc.arena_bytes = 256;
   sc.decision_retain = c.decision_retain;
+  sc.paradigm = "gnn";
   return sc;
 }
 
@@ -138,12 +140,16 @@ class GnnStreamSession : public runtime::SessionBase {
       builder_.clear();
       async_.reset();
     }
-    builder_.insert_into(event, neighbors_);
     GraphNode node;
-    node.position = embed(event, pipeline_.config().graph.time_scale);
-    node.polarity_sign =
-        static_cast<std::int8_t>(polarity_sign(event.polarity));
-    node.t = event.t;
+    {
+      obs::Span span("gnn.graph_update");
+      builder_.insert_into(event, neighbors_);
+      node.position = embed(event, pipeline_.config().graph.time_scale);
+      node.polarity_sign =
+          static_cast<std::int8_t>(polarity_sign(event.polarity));
+      node.t = event.t;
+    }
+    obs::Span span("gnn.message_pass");
     async_.insert(node, neighbors_);
 
     async_.logits_into(logits_);

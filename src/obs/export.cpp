@@ -1,0 +1,302 @@
+#include "obs/export.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace evd::obs {
+namespace {
+
+/// Split "name{label=\"x\"}" into ("name", "label=\"x\""); labels empty when
+/// there is no suffix.
+void split_labels(const std::string& full, std::string& name,
+                  std::string& labels) {
+  const auto brace = full.find('{');
+  if (brace == std::string::npos || full.back() != '}') {
+    name = full;
+    labels.clear();
+    return;
+  }
+  name = full.substr(0, brace);
+  labels = full.substr(brace + 1, full.size() - brace - 2);
+}
+
+std::string fmt_double(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", v);
+  return buffer;
+}
+
+void json_escape_into(std::ostringstream& os, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          os << buffer;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::string to_prometheus(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  std::string name, labels, last_typed;
+  const auto type_line = [&](const std::string& metric, const char* kind) {
+    if (metric != last_typed) {
+      os << "# TYPE " << metric << " " << kind << "\n";
+      last_typed = metric;
+    }
+  };
+  for (const auto& [full, value] : snapshot.counters) {
+    split_labels(full, name, labels);
+    type_line(name, "counter");
+    os << name;
+    if (!labels.empty()) os << "{" << labels << "}";
+    os << " " << value << "\n";
+  }
+  for (const auto& [full, value] : snapshot.gauges) {
+    split_labels(full, name, labels);
+    type_line(name, "gauge");
+    os << name;
+    if (!labels.empty()) os << "{" << labels << "}";
+    os << " " << fmt_double(value) << "\n";
+  }
+  for (const auto& [full, hist] : snapshot.histograms) {
+    split_labels(full, name, labels);
+    type_line(name, "histogram");
+    // Cumulative buckets; log2 upper bounds. Skip runs of empty leading /
+    // trailing buckets to keep exposition readable, but always emit +Inf.
+    std::int64_t cumulative = 0;
+    Index highest = -1;
+    for (Index b = 0; b < static_cast<Index>(hist.buckets.size()); ++b) {
+      if (hist.buckets[static_cast<size_t>(b)] > 0) highest = b;
+    }
+    for (Index b = 0; b <= highest; ++b) {
+      cumulative += hist.buckets[static_cast<size_t>(b)];
+      os << name << "_bucket{" << labels << (labels.empty() ? "" : ",")
+         << "le=\"" << Histogram::bucket_bound(b) << "\"} " << cumulative
+         << "\n";
+    }
+    os << name << "_bucket{" << labels << (labels.empty() ? "" : ",")
+       << "le=\"+Inf\"} " << hist.count << "\n";
+    os << name << "_sum";
+    if (!labels.empty()) os << "{" << labels << "}";
+    os << " " << hist.sum << "\n";
+    os << name << "_count";
+    if (!labels.empty()) os << "{" << labels << "}";
+    os << " " << hist.count << "\n";
+  }
+  return os.str();
+}
+
+std::string to_json(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"";
+    json_escape_into(os, name);
+    os << "\":" << value;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"";
+    json_escape_into(os, name);
+    // JSON numbers cannot be NaN/Inf; clamp to null.
+    if (std::isnan(value) || std::isinf(value)) {
+      os << "\":null";
+    } else {
+      os << "\":" << fmt_double(value);
+    }
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : snapshot.histograms) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"";
+    json_escape_into(os, name);
+    os << "\":{\"count\":" << hist.count << ",\"sum\":" << hist.sum
+       << ",\"mean\":" << fmt_double(hist.mean())
+       << ",\"p50\":" << fmt_double(hist.quantile(0.50))
+       << ",\"p95\":" << fmt_double(hist.quantile(0.95))
+       << ",\"p99\":" << fmt_double(hist.quantile(0.99)) << ",\"buckets\":[";
+    for (size_t b = 0; b < hist.buckets.size(); ++b) {
+      if (b > 0) os << ",";
+      os << hist.buckets[b];
+    }
+    os << "]}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+// ---- minimal structural JSON checker --------------------------------------
+
+namespace {
+
+struct JsonCursor {
+  std::string_view text;
+  size_t pos = 0;
+
+  bool done() const { return pos >= text.size(); }
+  char peek() const { return text[pos]; }
+  void skip_ws() {
+    while (!done() && (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+                       peek() == '\r')) {
+      ++pos;
+    }
+  }
+  bool eat(char c) {
+    if (done() || peek() != c) return false;
+    ++pos;
+    return true;
+  }
+};
+
+bool parse_value(JsonCursor& c);
+
+bool parse_literal(JsonCursor& c, std::string_view word) {
+  if (c.text.substr(c.pos, word.size()) != word) return false;
+  c.pos += word.size();
+  return true;
+}
+
+bool parse_string(JsonCursor& c) {
+  if (!c.eat('"')) return false;
+  while (!c.done()) {
+    const char ch = c.text[c.pos++];
+    if (ch == '"') return true;
+    if (static_cast<unsigned char>(ch) < 0x20) return false;
+    if (ch == '\\') {
+      if (c.done()) return false;
+      const char esc = c.text[c.pos++];
+      if (esc == 'u') {
+        for (int i = 0; i < 4; ++i) {
+          if (c.done() || !std::isxdigit(static_cast<unsigned char>(
+                              c.text[c.pos]))) {
+            return false;
+          }
+          ++c.pos;
+        }
+      } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
+                 esc != 'f' && esc != 'n' && esc != 'r' && esc != 't') {
+        return false;
+      }
+    }
+  }
+  return false;
+}
+
+bool parse_number(JsonCursor& c) {
+  const size_t start = c.pos;
+  c.eat('-');
+  if (c.done() || !std::isdigit(static_cast<unsigned char>(c.peek()))) {
+    return false;
+  }
+  if (c.peek() == '0') {
+    ++c.pos;
+  } else {
+    while (!c.done() && std::isdigit(static_cast<unsigned char>(c.peek()))) {
+      ++c.pos;
+    }
+  }
+  if (!c.done() && c.peek() == '.') {
+    ++c.pos;
+    if (c.done() || !std::isdigit(static_cast<unsigned char>(c.peek()))) {
+      return false;
+    }
+    while (!c.done() && std::isdigit(static_cast<unsigned char>(c.peek()))) {
+      ++c.pos;
+    }
+  }
+  if (!c.done() && (c.peek() == 'e' || c.peek() == 'E')) {
+    ++c.pos;
+    if (!c.done() && (c.peek() == '+' || c.peek() == '-')) ++c.pos;
+    if (c.done() || !std::isdigit(static_cast<unsigned char>(c.peek()))) {
+      return false;
+    }
+    while (!c.done() && std::isdigit(static_cast<unsigned char>(c.peek()))) {
+      ++c.pos;
+    }
+  }
+  return c.pos > start;
+}
+
+bool parse_object(JsonCursor& c) {
+  if (!c.eat('{')) return false;
+  c.skip_ws();
+  if (c.eat('}')) return true;
+  for (;;) {
+    c.skip_ws();
+    if (!parse_string(c)) return false;
+    c.skip_ws();
+    if (!c.eat(':')) return false;
+    if (!parse_value(c)) return false;
+    c.skip_ws();
+    if (c.eat('}')) return true;
+    if (!c.eat(',')) return false;
+  }
+}
+
+bool parse_array(JsonCursor& c) {
+  if (!c.eat('[')) return false;
+  c.skip_ws();
+  if (c.eat(']')) return true;
+  for (;;) {
+    if (!parse_value(c)) return false;
+    c.skip_ws();
+    if (c.eat(']')) return true;
+    if (!c.eat(',')) return false;
+    c.skip_ws();
+  }
+}
+
+bool parse_value(JsonCursor& c) {
+  c.skip_ws();
+  if (c.done()) return false;
+  switch (c.peek()) {
+    case '{': return parse_object(c);
+    case '[': return parse_array(c);
+    case '"': return parse_string(c);
+    case 't': return parse_literal(c, "true");
+    case 'f': return parse_literal(c, "false");
+    case 'n': return parse_literal(c, "null");
+    default: return parse_number(c);
+  }
+}
+
+}  // namespace
+
+bool json_valid(std::string_view text, std::string* error) {
+  JsonCursor cursor{text};
+  const bool ok = parse_value(cursor);
+  cursor.skip_ws();
+  if (ok && cursor.done()) return true;
+  if (error != nullptr) {
+    *error = "JSON syntax error at byte " + std::to_string(cursor.pos);
+  }
+  return false;
+}
+
+}  // namespace evd::obs

@@ -1,0 +1,35 @@
+// Exposition formats for `evd::obs` snapshots.
+//
+//   to_prometheus(snapshot)  Prometheus text format 0.0.4: counters as
+//                            `_total`-style samples, gauges as-is,
+//                            histograms as cumulative `_bucket{le=...}`
+//                            series plus `_sum` / `_count`. Metric names may
+//                            carry a `{label="value"}` suffix (the runtime's
+//                            per-session instruments do); it is merged with
+//                            the `le` label correctly.
+//   to_json(snapshot)        One JSON object with "counters" / "gauges" /
+//                            "histograms" maps — the machine-readable
+//                            snapshot API (histograms carry count, sum,
+//                            mean, p50/p95/p99 and the raw log2 buckets).
+//
+// json_valid() is a strict structural JSON checker (RFC 8259 grammar, no
+// DOM) used by the tests to prove the JSON snapshot and the Chrome trace
+// export are well-formed without growing a parser dependency.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace evd::obs {
+
+std::string to_prometheus(const MetricsSnapshot& snapshot);
+std::string to_json(const MetricsSnapshot& snapshot);
+
+/// True iff `text` is exactly one well-formed JSON value (with surrounding
+/// whitespace allowed). On failure `error`, when non-null, names the first
+/// offending byte offset.
+bool json_valid(std::string_view text, std::string* error = nullptr);
+
+}  // namespace evd::obs

@@ -1,0 +1,32 @@
+#include "obs/obs.hpp"
+
+#include "common/parallel.hpp"
+
+namespace evd::obs {
+namespace {
+
+/// Surfaces the evd::par pool's utilisation ledger as registry counters.
+/// Busy vs idle is the serving-capacity question: idle-heavy regions mean
+/// the pool is starved (too few sessions, too-small bursts), busy-heavy
+/// wall time means it is the bottleneck.
+void par_collector(MetricsSnapshot& out) {
+  const par::PoolStats stats = par::pool_stats();
+  out.counters.emplace_back("evd_par_regions_total", stats.regions);
+  out.counters.emplace_back("evd_par_region_wall_ns_total",
+                            stats.region_wall_ns);
+  out.counters.emplace_back("evd_par_worker_busy_ns_total",
+                            stats.worker_busy_ns);
+  out.counters.emplace_back("evd_par_worker_idle_ns_total",
+                            stats.worker_idle_ns);
+  out.gauges.emplace_back("evd_par_threads",
+                          static_cast<double>(par::thread_count()));
+}
+
+}  // namespace
+
+bool init() {
+  MetricsRegistry::instance().add_collector("par", par_collector);
+  return true;
+}
+
+}  // namespace evd::obs

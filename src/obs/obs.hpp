@@ -1,0 +1,24 @@
+// Umbrella for the observability subsystem (`evd::obs`).
+//
+//   metrics.hpp  counters / gauges / log2 histograms, per-thread shards
+//   trace.hpp    nestable spans, per-thread rings, Chrome trace export
+//   export.hpp   Prometheus text + JSON snapshot exposition
+//
+// init() wires the cross-subsystem collectors (currently: the evd::par
+// pool's busy/idle accounting) into the registry. It is idempotent and
+// cheap; anything that serves snapshots calls it first. The EVD_OBS
+// environment variable is the kill-switch: "off" short-circuits every
+// instrument to a single branch (see obs::enabled()).
+#pragma once
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace evd::obs {
+
+/// Register built-in collectors (idempotent). Returns true for convenient
+/// use in static initialisers.
+bool init();
+
+}  // namespace evd::obs

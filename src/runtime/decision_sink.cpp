@@ -12,7 +12,12 @@ void DecisionSink::emit(const core::Decision& d) {
     // keeps eviction amortised O(1) per emit and leaves retained() a plain
     // contiguous vector.
     const Index evict = static_cast<Index>(buffer_.size()) - retain_;
-    if (drain_cursor_ < evict) dropped_ += evict - drain_cursor_;
+    if (drain_cursor_ < evict) {
+      dropped_ += evict - drain_cursor_;
+      dropped_counter_.add(evict - drain_cursor_);
+    }
+    evicted_ += evict;
+    evicted_counter_.add(evict);
     buffer_.erase(buffer_.begin(), buffer_.begin() + evict);
     drain_cursor_ = drain_cursor_ < evict ? 0 : drain_cursor_ - evict;
   }

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/pipeline.hpp"
+#include "obs/metrics.hpp"
 
 namespace evd::runtime {
 
@@ -53,7 +54,17 @@ class DecisionSink {
   std::int64_t total() const noexcept { return total_; }
   /// Decisions evicted before any drain() consumed them.
   std::int64_t dropped() const noexcept { return dropped_; }
+  /// Decisions evicted from the buffer at all (drained or not).
+  std::int64_t evicted() const noexcept { return evicted_; }
   Index retain_limit() const noexcept { return retain_; }
+
+  /// Mirror eviction accounting into registry counters: `evicted` counts
+  /// every decision compacted out of the buffer, `dropped` only those no
+  /// drain() had consumed — data loss, the serving-level alert signal.
+  void bind_obs(obs::Counter evicted, obs::Counter dropped) {
+    evicted_counter_ = evicted;
+    dropped_counter_ = dropped;
+  }
 
  private:
   Index retain_;
@@ -61,6 +72,9 @@ class DecisionSink {
   Index drain_cursor_ = 0;  ///< Index into buffer_ of first undrained decision.
   std::int64_t total_ = 0;
   std::int64_t dropped_ = 0;
+  std::int64_t evicted_ = 0;
+  obs::Counter evicted_counter_;  ///< Inert until bind_obs().
+  obs::Counter dropped_counter_;
 };
 
 }  // namespace evd::runtime

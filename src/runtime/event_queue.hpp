@@ -21,6 +21,7 @@
 #pragma once
 
 #include "events/event.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/ring_buffer.hpp"
 
 namespace evd::runtime {
@@ -33,6 +34,9 @@ struct StreamOp {
   Kind kind = Kind::Feed;
   events::Event event{};  ///< Valid when kind == Feed.
   TimeUs t = 0;           ///< Advance target when kind == Advance.
+  /// Observability stamp (ns, tracer clock) taken at submit time; 0 when
+  /// metrics were disabled at enqueue. Feeds the feed→decision histograms.
+  std::int64_t enqueue_ns = 0;
 
   static StreamOp feed(const events::Event& e) {
     StreamOp op;
@@ -65,6 +69,7 @@ class EventQueue {
   bool push(const StreamOp& op) {
     if (ring_.full()) {
       ++stats_.dropped;
+      dropped_counter_.add(1);
       if (policy_ == OverflowPolicy::DropNewest) return false;
       ring_.drop_front();
       ring_.push(op);
@@ -75,6 +80,11 @@ class EventQueue {
     ++stats_.pushed;
     return true;
   }
+
+  /// Route overflow losses into the metrics registry as well as the local
+  /// Stats ledger (the SessionManager binds every managed queue to the
+  /// shared evd_queue_ops_dropped_total counter).
+  void bind_obs(obs::Counter dropped) { dropped_counter_ = dropped; }
 
   bool pop(StreamOp& out) {
     if (!ring_.pop(out)) return false;
@@ -91,6 +101,7 @@ class EventQueue {
   RingBuffer<StreamOp> ring_;
   OverflowPolicy policy_;
   Stats stats_;
+  obs::Counter dropped_counter_;  ///< Inert until bind_obs().
 };
 
 }  // namespace evd::runtime

@@ -3,6 +3,28 @@
 #include <stdexcept>
 
 namespace evd::runtime {
+namespace {
+
+std::string labelled(const char* metric, const char* paradigm) {
+  return std::string(metric) + "{paradigm=\"" + paradigm + "\"}";
+}
+
+}  // namespace
+
+SessionBase::SessionBase(const SessionBaseConfig& config)
+    : arena_(config.arena_bytes), sink_(config.decision_retain) {
+  // Instrument registration is open-time work (string building, registry
+  // mutex), not hot-path work: repeated names return the same instruments.
+  const char* paradigm = config.paradigm != nullptr ? config.paradigm
+                                                    : "unknown";
+  events_counter_ =
+      obs::counter(labelled("evd_events_fed_total", paradigm));
+  decisions_counter_ =
+      obs::counter(labelled("evd_decisions_emitted_total", paradigm));
+  sink_.bind_obs(
+      obs::counter(labelled("evd_sink_decisions_evicted_total", paradigm)),
+      obs::counter(labelled("evd_sink_decisions_dropped_total", paradigm)));
+}
 
 void SessionBase::check_geometry(const std::string& who, Index width,
                                  Index height, Index expected_width,

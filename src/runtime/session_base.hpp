@@ -28,6 +28,9 @@ struct SessionBaseConfig {
   std::size_t arena_bytes = 0;
   /// DecisionSink retention (see decision_sink.hpp for the exact bound).
   Index decision_retain = 8192;
+  /// Paradigm label for the session's registry counters
+  /// (evd_events_fed_total{paradigm=...} etc.). Must be a string literal.
+  const char* paradigm = "unknown";
 };
 
 class SessionBase : public core::StreamSession {
@@ -40,6 +43,7 @@ class SessionBase : public core::StreamSession {
 
   void feed(const events::Event& event) final {
     ++events_fed_;
+    events_counter_.add(1);
     on_event(event);
   }
 
@@ -70,15 +74,17 @@ class SessionBase : public core::StreamSession {
   void note_events_dropped(std::int64_t n) { events_dropped_ += n; }
 
  protected:
-  explicit SessionBase(const SessionBaseConfig& config)
-      : arena_(config.arena_bytes), sink_(config.decision_retain) {}
+  explicit SessionBase(const SessionBaseConfig& config);
 
   /// Paradigm hooks. on_event sees every fed event; on_advance sees every
   /// advance_to mark.
   virtual void on_event(const events::Event& event) = 0;
   virtual void on_advance(TimeUs t) = 0;
 
-  void emit(const core::Decision& d) { sink_.emit(d); }
+  void emit(const core::Decision& d) {
+    decisions_counter_.add(1);
+    sink_.emit(d);
+  }
 
   ArenaAllocator& arena() { return arena_; }
   const ArenaAllocator& arena() const { return arena_; }
@@ -88,6 +94,8 @@ class SessionBase : public core::StreamSession {
   DecisionSink sink_;
   std::int64_t events_fed_ = 0;
   std::int64_t events_dropped_ = 0;
+  obs::Counter events_counter_;     ///< evd_events_fed_total{paradigm=...}
+  obs::Counter decisions_counter_;  ///< evd_decisions_emitted_total{...}
 };
 
 }  // namespace evd::runtime

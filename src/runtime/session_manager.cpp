@@ -1,23 +1,38 @@
 #include "runtime/session_manager.hpp"
 
+#include <optional>
 #include <stdexcept>
 
 #include "common/parallel.hpp"
+#include "obs/obs.hpp"
 
 namespace evd::runtime {
 
-SessionManager::SessionManager(Index burst) : burst_(burst < 1 ? 1 : burst) {}
+SessionManager::SessionManager(Index burst) : burst_(burst < 1 ? 1 : burst) {
+  obs::init();  // wires the evd::par collector into snapshots
+  latency_all_ = obs::histogram("evd_feed_to_decision_us");
+  ops_processed_ = obs::counter("evd_runtime_ops_processed_total");
+  pump_rounds_ = obs::counter("evd_runtime_pump_rounds_total");
+  sessions_gauge_ = obs::gauge("evd_sessions_active");
+}
 
 SessionId SessionManager::add(std::unique_ptr<core::StreamSession> session,
                               const ManagedSessionConfig& config) {
   if (!session) {
     throw std::invalid_argument("SessionManager::add: null session");
   }
-  slots_.push_back(std::make_unique<Slot>(std::move(session),
-                                          config.queue_capacity,
-                                          config.overflow));
+  auto slot = std::make_unique<Slot>(std::move(session),
+                                     config.queue_capacity, config.overflow);
+  const auto id = static_cast<SessionId>(slots_.size());
+  // Per-session latency series plus the shared loss counter. Open-time
+  // registration cost only; recording goes through per-thread shards.
+  slot->latency = obs::histogram("evd_feed_to_decision_us{session=\"" +
+                                 std::to_string(id) + "\"}");
+  slot->queue.bind_obs(obs::counter("evd_queue_ops_dropped_total"));
+  slots_.push_back(std::move(slot));
   processed_.push_back(0);
-  return static_cast<SessionId>(slots_.size()) - 1;
+  sessions_gauge_.set(static_cast<double>(slots_.size()));
+  return id;
 }
 
 SessionManager::Slot& SessionManager::slot(SessionId id) {
@@ -35,11 +50,23 @@ const SessionManager::Slot& SessionManager::slot(SessionId id) const {
 }
 
 bool SessionManager::submit(SessionId id, const events::Event& event) {
-  return slot(id).queue.push(StreamOp::feed(event));
+  Slot& s = slot(id);
+  StreamOp op = StreamOp::feed(event);
+  if (obs::enabled() &&
+      (s.queue.stats().pushed & (kLatencySampleEvery - 1)) == 0) {
+    op.enqueue_ns = obs::Tracer::now_ns();
+  }
+  return s.queue.push(op);
 }
 
 bool SessionManager::submit_advance(SessionId id, TimeUs t) {
-  return slot(id).queue.push(StreamOp::advance(t));
+  Slot& s = slot(id);
+  StreamOp op = StreamOp::advance(t);
+  if (obs::enabled() &&
+      (s.queue.stats().pushed & (kLatencySampleEvery - 1)) == 0) {
+    op.enqueue_ns = obs::Tracer::now_ns();
+  }
+  return s.queue.push(op);
 }
 
 Index SessionManager::pump() {
@@ -52,8 +79,30 @@ Index SessionManager::pump() {
       Slot& s = *slots_[static_cast<size_t>(i)];
       Index done = 0;
       StreamOp op;
+      // The span + latency instruments never touch the op stream, so the
+      // decision sequence is identical with observability on or off (the
+      // runtime.obs_on_vs_off oracle holds this bitwise). Only sampled ops
+      // (enqueue_ns stamped at submit) pay for clock reads here; the rest
+      // cross a single branch.
+      std::optional<obs::Span> span;
+      if (obs::enabled() && !s.queue.empty()) {
+        span.emplace("runtime.session_burst");
+      }
       while (done < burst_ && s.queue.pop(op)) {
-        if (op.kind == StreamOp::Kind::Feed) {
+        if (op.enqueue_ns > 0) {
+          const std::int64_t before = s.session->stats().decisions_emitted;
+          if (op.kind == StreamOp::Kind::Feed) {
+            s.session->feed(op.event);
+          } else {
+            s.session->advance_to(op.t);
+          }
+          if (s.session->stats().decisions_emitted > before) {
+            const std::int64_t us =
+                (obs::Tracer::now_ns() - op.enqueue_ns) / 1000;
+            s.latency.record(us);
+            latency_all_.record(us);
+          }
+        } else if (op.kind == StreamOp::Kind::Feed) {
           s.session->feed(op.event);
         } else {
           s.session->advance_to(op.t);
@@ -65,6 +114,8 @@ Index SessionManager::pump() {
   });
   Index total = 0;
   for (Index i = 0; i < n; ++i) total += processed_[static_cast<size_t>(i)];
+  ops_processed_.add(total);
+  pump_rounds_.add(1);
   return total;
 }
 
@@ -80,6 +131,23 @@ core::SessionStats SessionManager::stats(SessionId id) const {
   // session's story even though the session never saw those ops.
   stats.events_dropped += s.queue.stats().dropped;
   return stats;
+}
+
+SessionManager::AggregateStats SessionManager::stats() const {
+  AggregateStats agg;
+  agg.sessions = session_count();
+  for (SessionId id = 0; id < agg.sessions; ++id) {
+    const core::SessionStats s = stats(id);
+    agg.totals.events_fed += s.events_fed;
+    agg.totals.decisions_emitted += s.decisions_emitted;
+    agg.totals.decisions_dropped += s.decisions_dropped;
+    agg.totals.events_dropped += s.events_dropped;
+    const EventQueue::Stats& q = slot(id).queue.stats();
+    agg.queues.pushed += q.pushed;
+    agg.queues.dropped += q.dropped;
+    agg.queues.popped += q.popped;
+  }
+  return agg;
 }
 
 }  // namespace evd::runtime

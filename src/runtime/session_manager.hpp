@@ -32,12 +32,23 @@
 #include <vector>
 
 #include "core/pipeline.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/event_queue.hpp"
 #include "runtime/session_base.hpp"
 
 namespace evd::runtime {
 
 using SessionId = Index;
+
+/// Feed→decision latency is sampled, not exhaustively measured: every
+/// kLatencySampleEvery-th op a session's queue admits is stamped with the
+/// submit time, and only stamped ops pay for clock reads in pump(). A full
+/// per-op measurement would cost two vDSO clock reads per event — more than
+/// many events cost to serve — and latency quantiles do not need it; 1-in-16
+/// uniform sampling keeps the histograms faithful at ~1/16th the overhead.
+/// Must be a power of two (the stamp check is a mask). Deterministic: the
+/// sample schedule depends only on each queue's admit ledger.
+inline constexpr std::int64_t kLatencySampleEvery = 16;
 
 struct ManagedSessionConfig {
   /// Ingress queue capacity (ops: events + advances).
@@ -84,6 +95,21 @@ class SessionManager {
   /// Session stats with ingress-queue drops folded in.
   core::SessionStats stats(SessionId id) const;
 
+  /// The session's ingress-queue ledger (pushed / dropped / popped).
+  const EventQueue::Stats& queue_stats(SessionId id) const {
+    return slot(id).queue.stats();
+  }
+
+  /// Everything the manager knows, summed across sessions — the serving
+  /// dashboard numbers: totals include per-session events/decisions (with
+  /// ingress drops folded in) and the aggregated queue ledger.
+  struct AggregateStats {
+    core::SessionStats totals;
+    EventQueue::Stats queues;
+    Index sessions = 0;
+  };
+  AggregateStats stats() const;
+
   Index drain(SessionId id, std::vector<core::Decision>& out) {
     return slot(id).session->drain(out);
   }
@@ -92,6 +118,7 @@ class SessionManager {
   struct Slot {
     std::unique_ptr<core::StreamSession> session;
     EventQueue queue;
+    obs::Histogram latency;  ///< evd_feed_to_decision_us{session="N"}
     Slot(std::unique_ptr<core::StreamSession> s, Index capacity,
          OverflowPolicy policy)
         : session(std::move(s)), queue(capacity, policy) {}
@@ -103,6 +130,12 @@ class SessionManager {
   Index burst_;
   std::vector<std::unique_ptr<Slot>> slots_;
   std::vector<Index> processed_;  ///< Per-session scratch for pump().
+
+  // Registry instruments (shared names — registering twice is a no-op).
+  obs::Histogram latency_all_;    ///< Aggregate feed→decision latency, µs.
+  obs::Counter ops_processed_;
+  obs::Counter pump_rounds_;
+  obs::Gauge sessions_gauge_;
 };
 
 }  // namespace evd::runtime

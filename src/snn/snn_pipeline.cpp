@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "nn/softmax.hpp"
+#include "obs/trace.hpp"
 #include "runtime/session_base.hpp"
 
 namespace evd::snn {
@@ -130,6 +131,7 @@ runtime::SessionBaseConfig snn_session_config(const SnnPipelineConfig& c) {
       static_cast<std::size_t>(encoded_size(c.width, c.height, c.encoder)) +
       256;  // alignment slack
   sc.decision_retain = c.decision_retain;
+  sc.paradigm = "snn";
   return sc;
 }
 
@@ -172,6 +174,7 @@ class SnnStreamSession : public runtime::SessionBase {
     // net().step() allocates internally; that cost is bounded by the clock
     // (one step per timestep_us), not by the event rate.
     while (now >= step_end_) {
+      obs::Span span("snn.step");
       const nn::Tensor logits = pipeline_.net().step(state_, pending_);
       for (const Index i : pending_) seen_[static_cast<size_t>(i)] = 0;
       pending_.clear();

@@ -35,7 +35,7 @@ TEST_F(OracleTest, RegistryHasAllBuiltinPairs) {
         "hw.systolic_vs_naive", "hw.zero_skip_vs_naive",
         "runtime.multiplex_vs_sequential.cnn",
         "runtime.multiplex_vs_sequential.snn",
-        "runtime.multiplex_vs_sequential.gnn"}) {
+        "runtime.multiplex_vs_sequential.gnn", "runtime.obs_on_vs_off"}) {
     const Oracle* oracle = registry().find(name);
     ASSERT_NE(oracle, nullptr) << name;
     EXPECT_FALSE(oracle->description().empty());
@@ -91,6 +91,10 @@ TEST_F(OracleTest, SnnMultiplexedServingMatchesSequential) {
 
 TEST_F(OracleTest, GnnMultiplexedServingMatchesSequential) {
   expect_passes("runtime.multiplex_vs_sequential.gnn", 25);
+}
+
+TEST_F(OracleTest, ObservabilityNeverPerturbsDecisions) {
+  expect_passes("runtime.obs_on_vs_off", 25);
 }
 
 // Forward-compatibility net: pairs added by later PRs are exercised even

@@ -170,6 +170,36 @@ TEST_F(ParallelTest, SetThreadCountRoundTrips) {
   EXPECT_EQ(par::thread_count(), 2);
 }
 
+TEST_F(ParallelTest, PoolStatsAccountForRegions) {
+  par::set_thread_count(4);
+  par::reset_pool_stats();
+  const par::PoolStats before = par::pool_stats();
+  EXPECT_EQ(before.regions, 0);
+  EXPECT_EQ(before.worker_busy_ns, 0);
+
+  std::atomic<std::int64_t> sink{0};
+  for (int r = 0; r < 3; ++r) {
+    par::parallel_for(0, 4000, 100, [&](Index b, Index e) {
+      std::int64_t acc = 0;
+      for (Index i = b; i < e; ++i) acc += i * i;
+      sink.fetch_add(acc, std::memory_order_relaxed);
+    });
+  }
+  const par::PoolStats after = par::pool_stats();
+  EXPECT_EQ(after.regions, 3);
+  EXPECT_GT(after.region_wall_ns, 0);
+  EXPECT_GT(after.worker_busy_ns, 0);
+  EXPECT_GE(after.worker_idle_ns, 0);  // idle is clamped, never negative
+
+  par::reset_pool_stats();
+  EXPECT_EQ(par::pool_stats().regions, 0);
+
+  // Single-chunk ranges run inline on the caller, never dispatching to the
+  // pool — they are not pool regions and must not inflate the ledger.
+  par::parallel_for(0, 10, 100, [&](Index, Index) {});
+  EXPECT_EQ(par::pool_stats().regions, 0);
+}
+
 TEST_F(ParallelTest, ChunkCountersMergeDeterministically) {
   par::set_thread_count(4);
   constexpr Index kN = 5000;

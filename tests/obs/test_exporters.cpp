@@ -1,0 +1,139 @@
+// Exporters: Prometheus text exposition, the JSON snapshot, the strict JSON
+// structural checker itself, and — the ISSUE 5 acceptance case — a Chrome
+// trace captured from a real multi-session serving run, validated
+// structurally.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "common/parallel.hpp"
+#include "gnn/gnn_pipeline.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
+#include "runtime/session_manager.hpp"
+
+namespace evd::obs {
+namespace {
+
+class ExportersTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MetricsRegistry::instance().reset();
+    previous_ = enabled();
+    set_enabled(true);
+  }
+  void TearDown() override { set_enabled(previous_); }
+  bool previous_ = true;
+};
+
+TEST_F(ExportersTest, JsonValidAcceptsAndRejectsCorrectly) {
+  for (const char* good :
+       {"{}", "[]", "null", "true", "-1.5e3", "\"a\\nb\\u00e9\"",
+        "{\"a\":[1,2,{\"b\":null}],\"c\":0.125}", "  [1, 2]  "}) {
+    EXPECT_TRUE(json_valid(good)) << good;
+  }
+  std::string error;
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\":}", "{'a':1}", "01", "1 2", "nul",
+        "\"unterminated", "{\"a\":1,}", "[1] trailing", "\"bad\\x\"",
+        "+1", "NaN"}) {
+    EXPECT_FALSE(json_valid(bad, &error)) << bad;
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST_F(ExportersTest, PrometheusExpositionFormat) {
+  counter("evd_test_ops_total").add(5);
+  gauge("evd_test_depth").set(2.5);
+  Histogram h = histogram("evd_test_lat_us{session=\"3\"}");
+  h.record(100);  // bucket le="128"
+  h.record(3);    // bucket le="4"
+
+  const std::string text = to_prometheus(snapshot());
+  EXPECT_NE(text.find("# TYPE evd_test_ops_total counter"), std::string::npos);
+  EXPECT_NE(text.find("evd_test_ops_total 5"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE evd_test_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("evd_test_depth 2.5"), std::string::npos);
+  // The {session="3"} label merges with le= on bucket series.
+  EXPECT_NE(text.find("# TYPE evd_test_lat_us histogram"), std::string::npos);
+  EXPECT_NE(text.find("evd_test_lat_us_bucket{session=\"3\",le=\"4\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("evd_test_lat_us_bucket{session=\"3\",le=\"128\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("evd_test_lat_us_bucket{session=\"3\",le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("evd_test_lat_us_sum{session=\"3\"} 103"),
+            std::string::npos);
+  EXPECT_NE(text.find("evd_test_lat_us_count{session=\"3\"} 2"),
+            std::string::npos);
+}
+
+TEST_F(ExportersTest, JsonSnapshotIsValidAndCarriesQuantiles) {
+  counter("evd_test_ops_total").add(7);
+  gauge("evd_test_nan").set(std::nan(""));  // must serialise as null
+  Histogram h = histogram("evd_test_lat_us");
+  for (int i = 0; i < 50; ++i) h.record(80);
+
+  const std::string json = to_json(snapshot());
+  std::string error;
+  EXPECT_TRUE(json_valid(json, &error)) << error << "\n" << json;
+  EXPECT_NE(json.find("\"evd_test_ops_total\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"evd_test_nan\":null"), std::string::npos);
+  EXPECT_NE(json.find("\"count\":50"), std::string::npos);
+  EXPECT_NE(json.find("\"p95\":"), std::string::npos);
+}
+
+/// Acceptance: serve a real multi-session GNN workload through the runtime,
+/// capture the Chrome trace, and validate it structurally — well-formed
+/// JSON, a traceEvents array of complete ("ph":"X") events, and the named
+/// pipeline + runtime spans present.
+TEST_F(ExportersTest, MultiSessionChromeTraceIsStructurallyValid) {
+  Tracer::instance().clear();
+  const Index previous_threads = par::thread_count();
+  par::set_thread_count(2);
+
+  gnn::GnnPipelineConfig config;
+  config.width = 16;
+  config.height = 16;
+  config.num_classes = 2;
+  config.model.hidden = 8;
+  config.model.layers = 2;
+  config.stream_stride = 1;
+  gnn::GnnPipeline pipeline(config);
+
+  runtime::SessionManager manager(/*burst=*/8);
+  std::vector<runtime::SessionId> ids;
+  for (int s = 0; s < 4; ++s) {
+    ids.push_back(manager.add(pipeline.open_session(16, 16)));
+  }
+  for (TimeUs t = 0; t < 64; ++t) {
+    for (const auto id : ids) {
+      events::Event e;
+      e.x = static_cast<std::int16_t>(t % 16);
+      e.y = static_cast<std::int16_t>((t * 3) % 16);
+      e.polarity = t % 2 == 0 ? Polarity::On : Polarity::Off;
+      e.t = t * 100;
+      manager.submit(id, e);
+    }
+  }
+  manager.pump_all();
+  par::set_thread_count(previous_threads);
+
+  const std::string trace = Tracer::instance().chrome_trace_json();
+  std::string error;
+  ASSERT_TRUE(json_valid(trace, &error)) << error;
+  EXPECT_NE(trace.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"gnn.graph_update\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"gnn.message_pass\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"runtime.session_burst\""),
+            std::string::npos);
+  EXPECT_NE(trace.find("\"pid\":1"), std::string::npos);
+  // Every event carries µs timestamps with ns precision (fractional µs).
+  EXPECT_NE(trace.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(trace.find("\"dur\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace evd::obs

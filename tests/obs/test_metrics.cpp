@@ -1,0 +1,179 @@
+// MetricsRegistry: instrument basics, log2 bucketing, the EVD_OBS
+// kill-switch, thread-exit shard retirement, and — the property the whole
+// sharded design exists for — deterministic merge: identical totals for the
+// same recorded multiset at any thread count.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "obs/metrics.hpp"
+
+namespace evd::obs {
+namespace {
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MetricsRegistry::instance().reset();
+    previous_ = enabled();
+    set_enabled(true);
+  }
+  void TearDown() override { set_enabled(previous_); }
+  bool previous_ = true;
+};
+
+TEST_F(MetricsTest, CounterAccumulatesAndSurvivesReRegistration) {
+  Counter c = counter("evd_test_counter_total");
+  c.add();
+  c.add(41);
+  // Same name, same instrument: the second handle bumps the same cell.
+  Counter again = counter("evd_test_counter_total");
+  again.add(8);
+
+  const MetricsSnapshot snap = snapshot();
+  const std::int64_t* value = snap.counter("evd_test_counter_total");
+  ASSERT_NE(value, nullptr);
+  EXPECT_EQ(*value, 50);
+  EXPECT_EQ(snap.counter("evd_test_absent_total"), nullptr);
+}
+
+TEST_F(MetricsTest, DefaultConstructedHandlesAreInert) {
+  Counter c;
+  Gauge g;
+  Histogram h;
+  EXPECT_FALSE(c.valid());
+  EXPECT_FALSE(g.valid());
+  EXPECT_FALSE(h.valid());
+  const size_t before = snapshot().counters.size();
+  c.add(5);       // must not crash or register anything
+  g.set(1.0);
+  h.record(10);
+  EXPECT_EQ(snapshot().counters.size(), before);
+}
+
+TEST_F(MetricsTest, KindClashThrows) {
+  counter("evd_test_kind_clash");
+  EXPECT_THROW(gauge("evd_test_kind_clash"), std::invalid_argument);
+  EXPECT_THROW(histogram("evd_test_kind_clash"), std::invalid_argument);
+}
+
+TEST_F(MetricsTest, GaugeIsLastWriteWins) {
+  Gauge g = gauge("evd_test_gauge");
+  g.set(3.5);
+  g.set(-7.25);
+  const MetricsSnapshot snap = snapshot();
+  const double* value = snap.gauge("evd_test_gauge");
+  ASSERT_NE(value, nullptr);
+  EXPECT_EQ(*value, -7.25);
+}
+
+TEST_F(MetricsTest, HistogramBucketEdges) {
+  // bucket 0: v <= 0; bucket b >= 1: [2^(b-1), 2^b).
+  EXPECT_EQ(Histogram::bucket_of(-5), 0);
+  EXPECT_EQ(Histogram::bucket_of(0), 0);
+  EXPECT_EQ(Histogram::bucket_of(1), 1);
+  EXPECT_EQ(Histogram::bucket_of(2), 2);
+  EXPECT_EQ(Histogram::bucket_of(3), 2);
+  EXPECT_EQ(Histogram::bucket_of(4), 3);
+  EXPECT_EQ(Histogram::bucket_of(1023), 10);
+  EXPECT_EQ(Histogram::bucket_of(1024), 11);
+  // Values past the last bucket clamp into it rather than indexing out.
+  EXPECT_EQ(Histogram::bucket_of(std::int64_t{1} << 62), kHistogramBuckets - 1);
+  EXPECT_EQ(Histogram::bucket_bound(0), 1);
+  EXPECT_EQ(Histogram::bucket_bound(10), 1024);
+}
+
+TEST_F(MetricsTest, HistogramCountSumAndQuantiles) {
+  Histogram h = histogram("evd_test_latency_us");
+  for (int i = 0; i < 100; ++i) h.record(100);  // all in bucket 7: [64, 128)
+  const MetricsSnapshot snap = snapshot();
+  const HistogramSnapshot* s = snap.histogram("evd_test_latency_us");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->count, 100);
+  EXPECT_EQ(s->sum, 10000);
+  EXPECT_EQ(s->buckets[7], 100);
+  EXPECT_DOUBLE_EQ(s->mean(), 100.0);
+  // Every quantile lands inside the covering bucket.
+  for (const double q : {0.5, 0.95, 0.99}) {
+    EXPECT_GE(s->quantile(q), 64.0);
+    EXPECT_LE(s->quantile(q), 128.0);
+  }
+  EXPECT_EQ(HistogramSnapshot{}.quantile(0.5), 0.0);
+}
+
+TEST_F(MetricsTest, KillSwitchShortCircuitsRecording) {
+  Counter c = counter("evd_test_killswitch_total");
+  Histogram h = histogram("evd_test_killswitch_us");
+  set_enabled(false);
+  c.add(100);
+  h.record(42);
+  set_enabled(true);
+  c.add(1);
+  const MetricsSnapshot snap = snapshot();
+  EXPECT_EQ(*snap.counter("evd_test_killswitch_total"), 1);
+  EXPECT_EQ(snap.histogram("evd_test_killswitch_us")->count, 0);
+}
+
+TEST_F(MetricsTest, ThreadExitRetiresShardIntoTotals) {
+  Counter c = counter("evd_test_retired_total");
+  std::thread worker([&] { c.add(7); });
+  worker.join();  // the worker's shard is retired by its thread_local dtor
+  c.add(3);
+  const MetricsSnapshot snap = snapshot();
+  EXPECT_EQ(*snap.counter("evd_test_retired_total"), 10);
+}
+
+TEST_F(MetricsTest, ResetZeroesLiveAndRetiredCells) {
+  Counter c = counter("evd_test_reset_total");
+  c.add(5);
+  std::thread([&] { c.add(5); }).join();
+  MetricsRegistry::instance().reset();
+  c.add(2);  // the handle survives reset
+  EXPECT_EQ(*snapshot().counter("evd_test_reset_total"), 2);
+}
+
+/// Satellite 3: the merged snapshot is identical whether a fixed multiset of
+/// values was recorded by 1, 2, or 8 threads — integer summation makes the
+/// merge associative/commutative, so shard layout cannot leak through.
+TEST_F(MetricsTest, MergeIsDeterministicAcrossThreadCounts) {
+  constexpr Index kValues = 4096;
+  auto record_all = [&](Index threads) {
+    MetricsRegistry::instance().reset();
+    const Index previous = par::thread_count();
+    par::set_thread_count(threads);
+    Counter c = counter("evd_test_merge_total");
+    Histogram h = histogram("evd_test_merge_us");
+    par::parallel_for(0, kValues, 64, [&](Index b, Index e) {
+      for (Index i = b; i < e; ++i) {
+        c.add(i);
+        h.record((i * 37) % 5000);  // spread across many buckets
+      }
+    });
+    par::set_thread_count(previous);
+    return snapshot();
+  };
+
+  const MetricsSnapshot one = record_all(1);
+  const MetricsSnapshot two = record_all(2);
+  const MetricsSnapshot eight = record_all(8);
+
+  const std::int64_t expected_count = *one.counter("evd_test_merge_total");
+  EXPECT_EQ(expected_count,
+            static_cast<std::int64_t>(kValues) * (kValues - 1) / 2);
+  for (const MetricsSnapshot* snap : {&two, &eight}) {
+    EXPECT_EQ(*snap->counter("evd_test_merge_total"), expected_count);
+    const HistogramSnapshot* a = one.histogram("evd_test_merge_us");
+    const HistogramSnapshot* b = snap->histogram("evd_test_merge_us");
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(a->count, b->count);
+    EXPECT_EQ(a->sum, b->sum);
+    EXPECT_EQ(a->buckets, b->buckets);  // bucket-exact, not just moments
+  }
+}
+
+}  // namespace
+}  // namespace evd::obs

@@ -1,0 +1,111 @@
+// Tracer: span recording, nesting depth, multi-thread collection, ring
+// overflow accounting, and the disabled fast path.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace evd::obs {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::instance().clear();
+    previous_ = enabled();
+    set_enabled(true);
+  }
+  void TearDown() override {
+    set_enabled(previous_);
+    Tracer::instance().clear();
+  }
+  bool previous_ = true;
+};
+
+int count_named(const std::vector<TraceEvent>& spans, const char* name) {
+  return static_cast<int>(
+      std::count_if(spans.begin(), spans.end(), [&](const TraceEvent& e) {
+        return std::string_view(e.name) == name;
+      }));
+}
+
+TEST_F(TraceTest, RecordsCompletedSpans) {
+  { Span span("test.outer"); }
+  { Span span("test.outer"); }
+  const auto spans = Tracer::instance().collect();
+  EXPECT_EQ(count_named(spans, "test.outer"), 2);
+  for (const auto& e : spans) {
+    EXPECT_GE(e.dur_ns, 0);
+    EXPECT_GE(e.ts_ns, 0);
+  }
+}
+
+TEST_F(TraceTest, NestingDepthIsRecorded) {
+  {
+    Span outer("test.outer");
+    Span inner("test.inner");
+  }
+  const auto spans = Tracer::instance().collect();
+  ASSERT_EQ(spans.size(), 2u);
+  // Sorted by start time: outer opened first at depth 0, inner at depth 1.
+  EXPECT_EQ(std::string_view(spans[0].name), "test.outer");
+  EXPECT_EQ(spans[0].depth, 0u);
+  EXPECT_EQ(std::string_view(spans[1].name), "test.inner");
+  EXPECT_EQ(spans[1].depth, 1u);
+  // The inner span is contained in the outer one.
+  EXPECT_LE(spans[0].ts_ns, spans[1].ts_ns);
+  EXPECT_GE(spans[0].ts_ns + spans[0].dur_ns, spans[1].ts_ns + spans[1].dur_ns);
+}
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  set_enabled(false);
+  { Span span("test.disabled"); }
+  set_enabled(true);
+  EXPECT_EQ(count_named(Tracer::instance().collect(), "test.disabled"), 0);
+}
+
+TEST_F(TraceTest, ThreadsGetDistinctIdsAndAllSpansAreCollected) {
+  { Span span("test.multi"); }
+  std::thread a([] { Span span("test.multi"); });
+  std::thread b([] { Span span("test.multi"); });
+  a.join();
+  b.join();
+  const auto spans = Tracer::instance().collect();
+  EXPECT_EQ(count_named(spans, "test.multi"), 3);
+  std::vector<std::uint32_t> tids;
+  for (const auto& e : spans) tids.push_back(e.tid);
+  std::sort(tids.begin(), tids.end());
+  EXPECT_EQ(std::unique(tids.begin(), tids.end()), tids.end())
+      << "each recording thread must own a distinct dense tid";
+}
+
+TEST_F(TraceTest, RingOverflowDropsOldestAndCountsThem) {
+  Tracer::instance().set_ring_capacity(16);
+  std::thread worker([] {
+    for (int i = 0; i < 40; ++i) {
+      Span span("test.overflow");
+    }
+  });
+  worker.join();
+  // The fresh thread's ring holds the newest 16; 24 were overwritten before
+  // any collect() saw them. Query dropped() first — collect() advances the
+  // seen high-water mark, after which nothing in the window counts as lost.
+  EXPECT_EQ(Tracer::instance().dropped(), 24);
+  const auto spans = Tracer::instance().collect();
+  EXPECT_EQ(count_named(spans, "test.overflow"), 16);
+  EXPECT_EQ(Tracer::instance().dropped(), 0);
+  Tracer::instance().set_ring_capacity(8192);
+}
+
+TEST_F(TraceTest, ClearForgetsRecordedSpans) {
+  { Span span("test.cleared"); }
+  Tracer::instance().clear();
+  EXPECT_EQ(count_named(Tracer::instance().collect(), "test.cleared"), 0);
+  EXPECT_EQ(Tracer::instance().dropped(), 0);
+}
+
+}  // namespace
+}  // namespace evd::obs

@@ -86,6 +86,50 @@ TEST(EventQueue, DropOldestEvictsFrontToAdmitNew) {
   EXPECT_EQ(queue.stats().dropped, 1);
 }
 
+TEST(EventQueue, DropOldestAccountsEveryDisplacedOpUnderSustainedOverflow) {
+  // Sustained overflow: a capacity-8 queue receives 10x its capacity. Every
+  // push past the first 8 displaces exactly one op, so the ledger must read
+  // dropped == pushes - capacity with nothing double- or under-counted.
+  constexpr Index kCapacity = 8;
+  constexpr Index kPushes = 80;
+  EventQueue queue(kCapacity, OverflowPolicy::DropOldest);
+  for (Index i = 0; i < kPushes; ++i) {
+    const bool accepted_cleanly =
+        queue.push(StreamOp::feed(event_at(static_cast<TimeUs>(i))));
+    EXPECT_EQ(accepted_cleanly, i < kCapacity) << "push " << i;
+  }
+  EXPECT_EQ(queue.stats().pushed, kPushes);
+  EXPECT_EQ(queue.stats().dropped, kPushes - kCapacity);
+  EXPECT_EQ(queue.size(), kCapacity);
+
+  // The survivors are exactly the freshest kCapacity ops, still in order.
+  StreamOp op;
+  for (Index i = kPushes - kCapacity; i < kPushes; ++i) {
+    ASSERT_TRUE(queue.pop(op));
+    EXPECT_EQ(op.event.t, static_cast<TimeUs>(i));
+  }
+  EXPECT_FALSE(queue.pop(op));
+  EXPECT_EQ(queue.stats().popped, kCapacity);
+
+  // Interleaved drain/overflow rounds: accounting stays exact when the ring
+  // wraps many times with pops in between.
+  EventQueue churn(kCapacity, OverflowPolicy::DropOldest);
+  TimeUs t = 0;
+  for (int round = 0; round < 5; ++round) {
+    for (Index i = 0; i < 2 * kCapacity; ++i) {
+      churn.push(StreamOp::feed(event_at(t++)));
+    }
+    StreamOp out;
+    for (Index i = 0; i < kCapacity / 2; ++i) churn.pop(out);
+  }
+  // Round 1 admits kCapacity freely; every other push displaces. Rounds 2+
+  // start half-full (kCapacity/2 free): 2*kCapacity - kCapacity/2 displace.
+  const std::int64_t expect =
+      (2 * kCapacity - kCapacity) + 4 * (2 * kCapacity - kCapacity / 2);
+  EXPECT_EQ(churn.stats().dropped, expect);
+  EXPECT_EQ(churn.stats().pushed, 5 * 2 * kCapacity);
+}
+
 TEST(EventQueue, CarriesAdvanceMarksInOrder) {
   EventQueue queue(4, OverflowPolicy::DropNewest);
   queue.push(StreamOp::feed(event_at(5)));

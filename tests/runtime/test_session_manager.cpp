@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/parallel.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/session_manager.hpp"
 
 namespace evd::runtime {
@@ -169,6 +170,84 @@ TEST(SessionManager, DrainForwardsToTheSession) {
   EXPECT_EQ(out[1].t, 60);
   EXPECT_EQ(manager.drain(id, out), 0);
   EXPECT_EQ(manager.stats(id).decisions_emitted, 2);
+}
+
+TEST(SessionManager, QueueStatsExposeThePerSessionLedger) {
+  SessionManager manager;
+  ManagedSessionConfig config;
+  config.queue_capacity = 2;
+  config.overflow = OverflowPolicy::DropNewest;
+  const SessionId id = manager.add(std::make_unique<RecordingSession>(), config);
+
+  manager.submit(id, event_at(1));
+  manager.submit(id, event_at(2));
+  manager.submit(id, event_at(3));  // rejected
+  manager.pump_all();
+
+  const EventQueue::Stats& q = manager.queue_stats(id);
+  EXPECT_EQ(q.pushed, 2);
+  EXPECT_EQ(q.dropped, 1);
+  EXPECT_EQ(q.popped, 2);
+  EXPECT_THROW(manager.queue_stats(7), std::out_of_range);
+}
+
+TEST(SessionManager, AggregateStatsSumAcrossSessions) {
+  SessionManager manager;
+  ManagedSessionConfig tight;
+  tight.queue_capacity = 2;
+  tight.overflow = OverflowPolicy::DropNewest;
+  const SessionId a = manager.add(std::make_unique<RecordingSession>(), tight);
+  const SessionId b = manager.add(std::make_unique<RecordingSession>());
+
+  manager.submit(a, event_at(1));
+  manager.submit(a, event_at(2));
+  manager.submit(a, event_at(3));  // lost at a's queue
+  manager.submit(b, event_at(1));
+  manager.submit_advance(b, 10);   // b emits one decision
+  manager.pump_all();
+
+  const SessionManager::AggregateStats agg = manager.stats();
+  EXPECT_EQ(agg.sessions, 2);
+  EXPECT_EQ(agg.totals.events_fed, 3);
+  EXPECT_EQ(agg.totals.events_dropped, 1);
+  EXPECT_EQ(agg.totals.decisions_emitted, 1);
+  EXPECT_EQ(agg.queues.pushed, 4);  // 2 admitted at a + event and advance at b
+  EXPECT_EQ(agg.queues.dropped, 1);
+  EXPECT_EQ(agg.queues.popped, 4);
+}
+
+TEST(SessionManager, WiresLossCountersIntoTheMetricsRegistry) {
+  obs::MetricsRegistry::instance().reset();
+  obs::set_enabled(true);
+  SessionManager manager;
+  ManagedSessionConfig config;
+  config.queue_capacity = 2;
+  config.overflow = OverflowPolicy::DropNewest;
+  const SessionId id = manager.add(std::make_unique<RecordingSession>(), config);
+
+  // The first op a queue admits is latency-sampled (1-in-kLatencySampleEvery
+  // by admit index); make it an advance so a decision closes the sample.
+  manager.submit_advance(id, 10);
+  manager.pump_all();
+  manager.submit(id, event_at(11));
+  manager.submit(id, event_at(12));
+  manager.submit(id, event_at(13));  // dropped -> counted in the registry
+  manager.pump_all();
+
+  const obs::MetricsSnapshot snap = obs::snapshot();
+  const std::int64_t* dropped = snap.counter("evd_queue_ops_dropped_total");
+  ASSERT_NE(dropped, nullptr);
+  EXPECT_EQ(*dropped, 1);
+  const std::int64_t* ops = snap.counter("evd_runtime_ops_processed_total");
+  ASSERT_NE(ops, nullptr);
+  EXPECT_EQ(*ops, 3);
+  const double* sessions = snap.gauge("evd_sessions_active");
+  ASSERT_NE(sessions, nullptr);
+  EXPECT_EQ(*sessions, 1.0);
+  const obs::HistogramSnapshot* latency =
+      snap.histogram("evd_feed_to_decision_us");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->count, 1);  // the sampled, advance-triggered decision
 }
 
 TEST(SessionManager, RejectsNullSessionsAndBadIds) {
