@@ -21,7 +21,10 @@
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "events/event.hpp"
+#include "fault/admission.hpp"
+#include "fault/injector.hpp"
 #include "gnn/gnn_pipeline.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/session_manager.hpp"
 #include "snn/snn_pipeline.hpp"
 
@@ -35,21 +38,26 @@ constexpr Index kEventsPerSession = 4000;
 constexpr TimeUs kDuration = 200000;  // 200 ms of stream per session
 
 /// Deterministic synthetic stream: uniform spatial noise, sorted times.
-std::vector<events::Event> session_stream(std::uint64_t seed) {
+std::vector<events::Event> make_stream(std::uint64_t seed, Index count,
+                                       TimeUs duration) {
   Rng rng(seed);
   std::vector<events::Event> stream;
-  stream.reserve(kEventsPerSession);
-  for (Index i = 0; i < kEventsPerSession; ++i) {
+  stream.reserve(static_cast<size_t>(count));
+  for (Index i = 0; i < count; ++i) {
     events::Event e;
     e.x = static_cast<std::int16_t>(
         rng.uniform_int(static_cast<std::uint64_t>(kWidth)));
     e.y = static_cast<std::int16_t>(
         rng.uniform_int(static_cast<std::uint64_t>(kHeight)));
     e.polarity = rng.bernoulli(0.5) ? Polarity::On : Polarity::Off;
-    e.t = (i * kDuration) / kEventsPerSession;
+    e.t = (i * duration) / count;
     stream.push_back(e);
   }
   return stream;
+}
+
+std::vector<events::Event> session_stream(std::uint64_t seed) {
+  return make_stream(seed, kEventsPerSession, kDuration);
 }
 
 struct ThroughputRow {
@@ -154,6 +162,203 @@ bool sweep(const char* paradigm, Pipeline& pipeline, Index threads) {
   return true;
 }
 
+/// Every event inserts (stride 1) and runs the async message pass over a
+/// hidden-32 model — the realistic per-event serving cost against which the
+/// overhead gates below are held (the same shape bench_obs_overhead uses).
+gnn::GnnPipelineConfig gnn_dense_config() {
+  gnn::GnnPipelineConfig config;
+  config.width = kWidth;
+  config.height = kHeight;
+  config.num_classes = 2;
+  config.model.hidden = 32;
+  config.model.layers = 2;
+  config.stream_stride = 1;
+  config.stream_max_nodes = 2048;
+  config.decision_retain = 256;
+  return config;
+}
+
+// ---- fault-injection overhead gate (< 1% when disabled) -------------------
+//
+// Every served op crosses five injection sites (four ingress-corruption
+// checks at submit, one op-fault check in pump), each a relaxed atomic load
+// + branch while injection is disabled. Sub-1% effects drown in run-to-run
+// noise on a direct A/B, so — like the obs disabled gate — the sequence is
+// bounded analytically: time the exact five-site sequence in a tight loop
+// and require it to cost < 1% of the measured per-event serving cost.
+bool gate_fault_overhead(double serve_ns_per_event) {
+  fault::set_enabled(false);
+  fault::Site sites[5] = {
+      fault::Injector::instance().site("bench.fault.malformed"),
+      fault::Injector::instance().site("bench.fault.out_of_order"),
+      fault::Injector::instance().site("bench.fault.duplicate"),
+      fault::Injector::instance().site("bench.fault.storm"),
+      fault::Injector::instance().site("bench.fault.op_fault"),
+  };
+  constexpr std::int64_t kOps = 8000000;
+  std::int64_t guard = 0;  // keeps the disabled branches observable
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::int64_t i = 0; i < kOps; ++i) {
+    for (auto& site : sites) {
+      guard += site.fire(i) != fault::FaultKind::None ? 1 : 0;
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  if (guard != 0) std::fprintf(stderr, "unexpected: a disabled site fired\n");
+  const double sequence_ns =
+      std::chrono::duration<double, std::nano>(t1 - t0).count() /
+      static_cast<double>(kOps);
+  const double fraction = sequence_ns / serve_ns_per_event;
+  std::printf(
+      "\n-- fault-injection overhead (disabled) --\n"
+      "   five-site sequence: %.2f ns/op vs %.0f ns/event served "
+      "(%.3f%%)\n",
+      sequence_ns, serve_ns_per_event, 100.0 * fraction);
+  std::printf(
+      "{\"bench\":\"fault_overhead\",\"sequence_ns\":%.3f,"
+      "\"serve_ns_per_event\":%.1f,\"fraction\":%.5f}\n",
+      sequence_ns, serve_ns_per_event, fraction);
+  if (fraction >= 0.01) {
+    std::fprintf(stderr,
+                 "FATAL: disabled fault sites cost %.3f%% of serving "
+                 "(gate: < 1%%)\n",
+                 100.0 * fraction);
+    return false;
+  }
+  return true;
+}
+
+// ---- overload ladder gate (>= 80% of capacity at 2x offered load) ---------
+
+struct OverloadRow {
+  double factor = 1.0;
+  std::int64_t served = 0;
+  std::int64_t offered = 0;
+  double wall_ms = 0.0;
+  double served_per_s() const {
+    return 1e3 * static_cast<double>(served) / wall_ms;
+  }
+};
+
+/// Offer `factor` x the per-round queue capacity to every session for a
+/// fixed number of rounds, with the degradation ladder enabled, and measure
+/// what actually got served. At factor 1 nothing sheds; at factor 2 the
+/// ladder climbs to RejectAdmits during each burst and the gate below
+/// requires serving not to collapse under the shed pressure.
+OverloadRow serve_overload(double factor) {
+  constexpr Index kSessions = 8;
+  constexpr Index kQueueCapacity = 1024;
+  constexpr Index kRounds = 4;
+  const Index offered_per_round =
+      static_cast<Index>(static_cast<double>(kQueueCapacity) * factor);
+  const Index total = offered_per_round * kRounds;
+
+  gnn::GnnPipeline pipeline(gnn_dense_config());
+  runtime::SessionManager manager(/*burst=*/256);
+  fault::AdmissionConfig admission;
+  admission.enabled = true;
+  manager.set_admission(admission);
+  runtime::ManagedSessionConfig config;
+  config.queue_capacity = kQueueCapacity;
+  std::vector<runtime::SessionId> ids;
+  std::vector<std::vector<events::Event>> streams;
+  for (Index s = 0; s < kSessions; ++s) {
+    ids.push_back(manager.add(pipeline.open_session(kWidth, kHeight), config));
+    // The overloading sensor produces `factor` x the events; stretching the
+    // stream window by the same factor keeps temporal density — and with it
+    // the per-event graph-neighbourhood cost — identical across factors, so
+    // the served/s ratio below isolates the serving stack (admission ladder,
+    // queueing, rejection) instead of re-measuring model cost vs density.
+    streams.push_back(
+        make_stream(500 + static_cast<std::uint64_t>(s), total,
+                    static_cast<TimeUs>(static_cast<double>(kDuration) *
+                                        static_cast<double>(kRounds) * factor)));
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  Index cursor = 0;
+  for (Index round = 0; round < kRounds; ++round) {
+    for (Index s = 0; s < kSessions; ++s) {
+      for (Index i = cursor; i < cursor + offered_per_round; ++i) {
+        manager.submit(ids[s],
+                       streams[static_cast<size_t>(s)][static_cast<size_t>(i)]);
+      }
+    }
+    manager.pump_all();
+    cursor += offered_per_round;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+
+  OverloadRow row;
+  row.factor = factor;
+  row.offered = static_cast<std::int64_t>(total) * kSessions;
+  row.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  for (const auto id : ids) row.served += manager.stats(id).events_fed;
+  return row;
+}
+
+bool gate_overload() {
+  const OverloadRow capacity = serve_overload(1.0);
+  const OverloadRow overload = serve_overload(2.0);
+
+  Table table({"offered", "events offered", "events served", "wall [ms]",
+               "served/s"});
+  for (const auto& row : {capacity, overload}) {
+    table.add_row({Table::num(row.factor, 1) + "x",
+                   std::to_string(row.offered), std::to_string(row.served),
+                   Table::num(row.wall_ms, 1),
+                   Table::num(row.served_per_s(), 0)});
+  }
+  std::printf("\n-- overload ladder: served throughput under pressure --\n");
+  table.print();
+  for (const auto& row : {capacity, overload}) {
+    std::printf(
+        "{\"bench\":\"stream_overload\",\"offered_factor\":%.1f,"
+        "\"offered\":%lld,\"served\":%lld,\"wall_ms\":%.3f,"
+        "\"served_per_s\":%.0f}\n",
+        row.factor, static_cast<long long>(row.offered),
+        static_cast<long long>(row.served), row.wall_ms, row.served_per_s());
+  }
+
+  const double ratio = overload.served_per_s() / capacity.served_per_s();
+  if (ratio < 0.80) {
+    std::fprintf(stderr,
+                 "FATAL: served throughput at 2x offered load is %.0f%% of "
+                 "capacity (gate: >= 80%%)\n",
+                 100.0 * ratio);
+    return false;
+  }
+  return true;
+}
+
+// ---- feed->decision latency (p50 / p99 from the obs histogram) ------------
+
+bool report_latency() {
+  obs::MetricsRegistry::instance().reset();
+  obs::set_enabled(true);
+  gnn::GnnPipeline pipeline(gnn_dense_config());
+  serve(pipeline, 8);
+  obs::set_enabled(false);
+  const obs::MetricsSnapshot snap = obs::snapshot();
+  const obs::HistogramSnapshot* latency =
+      snap.histogram("evd_feed_to_decision_us");
+  if (latency == nullptr || latency->count == 0) {
+    std::fprintf(stderr, "FATAL: no feed->decision latency samples\n");
+    return false;
+  }
+  const double p50 = latency->quantile(0.50);
+  const double p99 = latency->quantile(0.99);
+  std::printf(
+      "\n-- feed->decision latency (8 GNN sessions, 1-in-16 sampled) --\n"
+      "   p50 %.0f us, p99 %.0f us, mean %.0f us over %lld samples\n",
+      p50, p99, latency->mean(), static_cast<long long>(latency->count));
+  std::printf(
+      "{\"bench\":\"stream_latency\",\"paradigm\":\"gnn\",\"sessions\":8,"
+      "\"samples\":%lld,\"p50_us\":%.1f,\"p99_us\":%.1f,\"mean_us\":%.1f}\n",
+      static_cast<long long>(latency->count), p50, p99, latency->mean());
+  return true;
+}
+
 }  // namespace
 
 int main() {
@@ -199,5 +404,16 @@ int main() {
     gnn::GnnPipeline pipeline(config);
     ok = sweep("gnn", pipeline, threads) && ok;
   }
+  {
+    // Per-event serving cost for the fault-overhead gate, from a fresh
+    // 8-session GNN run (the densest per-event paradigm).
+    gnn::GnnPipeline pipeline(gnn_dense_config());
+    const ThroughputRow row = serve(pipeline, 8);
+    const double ns_per_event =
+        row.wall_ms * 1e6 / static_cast<double>(row.events);
+    ok = gate_fault_overhead(ns_per_event) && ok;
+  }
+  ok = gate_overload() && ok;
+  ok = report_latency() && ok;
   return ok ? 0 : 1;
 }

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "cnn/cnn_pipeline.hpp"
+#include "fault/injector.hpp"
 #include "gnn/gnn_pipeline.hpp"
 #include "gnn/graph_builder.hpp"
 #include "gnn/incremental.hpp"
@@ -710,6 +711,185 @@ std::optional<std::string> diff_obs_on_vs_off(const MultiSessionSchedule& c) {
   return std::nullopt;
 }
 
+// ---- fault tolerance: isolation and checkpoint/restore --------------------
+
+namespace {
+
+gnn::GnnPipelineConfig fault_oracle_pipeline_config() {
+  // Same tiny GNN the obs oracle serves: a decision on every surviving
+  // event, so any perturbation of a healthy session shows immediately.
+  gnn::GnnPipelineConfig config;
+  config.width = kMuxGeometry;
+  config.height = kMuxGeometry;
+  config.num_classes = 2;
+  config.model.hidden = 8;
+  config.model.layers = 2;
+  config.stream_stride = 2;
+  return config;
+}
+
+/// Serve `sessions` op lists through a manager at kThreadedCount workers
+/// (round-robin submit, pump every 5th cursor — the multiplex shape) and
+/// return each session's decision stream. `config` applies to every session.
+/// Pass `storage` (a fresh manager) to inspect fault state after the run.
+std::vector<std::vector<core::Decision>> serve_sessions(
+    gnn::GnnPipeline& pipeline, Index width, Index height,
+    const std::vector<std::vector<SessionOp>>& sessions,
+    const runtime::ManagedSessionConfig& config,
+    runtime::SessionManager* storage = nullptr) {
+  return with_thread_count(kThreadedCount, [&] {
+    std::optional<runtime::SessionManager> local;
+    if (storage == nullptr) local.emplace(/*burst=*/3);
+    runtime::SessionManager& manager = storage != nullptr ? *storage : *local;
+    std::vector<runtime::SessionId> ids;
+    ids.reserve(sessions.size());
+    for (size_t s = 0; s < sessions.size(); ++s) {
+      ids.push_back(manager.add(pipeline.open_session(width, height), config));
+    }
+    size_t cursor = 0;
+    bool more = true;
+    while (more) {
+      more = false;
+      for (size_t s = 0; s < sessions.size(); ++s) {
+        if (cursor >= sessions[s].size()) continue;
+        more = true;
+        const auto& op = sessions[s][cursor];
+        if (op.kind == SessionOp::Kind::Feed) {
+          manager.submit(ids[s], op.event);
+        } else {
+          manager.submit_advance(ids[s], op.t);
+        }
+      }
+      ++cursor;
+      if (cursor % 5 == 0) manager.pump();
+    }
+    manager.pump_all();
+    std::vector<std::vector<core::Decision>> streams;
+    streams.reserve(ids.size());
+    for (const auto id : ids) {
+      streams.push_back(manager.session(id).decisions());
+    }
+    return streams;
+  });
+}
+
+std::optional<std::string> diff_decision_streams(
+    const std::vector<std::vector<core::Decision>>& got,
+    const std::vector<std::vector<core::Decision>>& want, size_t count,
+    const char* got_name, const char* want_name) {
+  for (size_t s = 0; s < count; ++s) {
+    if (got[s].size() != want[s].size()) {
+      return "session " + std::to_string(s) + ": " +
+             std::to_string(got[s].size()) + " decisions " + got_name +
+             " vs " + std::to_string(want[s].size()) + " " + want_name;
+    }
+    for (size_t i = 0; i < got[s].size(); ++i) {
+      if (!(got[s][i] == want[s][i])) {
+        std::ostringstream os;
+        os << "session " << s << " decision " << i << ": " << got_name
+           << " {t=" << got[s][i].t << ", label=" << got[s][i].label
+           << ", conf=" << got[s][i].confidence << "} vs " << want_name
+           << " {t=" << want[s][i].t << ", label=" << want[s][i].label
+           << ", conf=" << want[s][i].confidence << "}";
+        return os.str();
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<std::string> diff_fault_isolation(const MultiSessionSchedule& c) {
+  gnn::GnnPipeline pipeline(fault_oracle_pipeline_config());
+  const runtime::ManagedSessionConfig config;  // no checkpoint: fault -> quarantine
+
+  // Clean run: the schedule as generated, no injection.
+  const auto clean =
+      serve_sessions(pipeline, c.width, c.height, c.sessions, config);
+
+  // Faulted run: append a saboteur session fed a copy of session 0's ops,
+  // with a one-shot injected op fault targeted at it. No checkpoint is
+  // configured, so the saboteur quarantines; the healthy sessions must not
+  // move by a single bit.
+  auto with_saboteur = c.sessions;
+  const auto saboteur = static_cast<std::int64_t>(with_saboteur.size());
+  with_saboteur.push_back(c.sessions.front());
+  fault::FaultPlan plan;
+  plan.kind = fault::FaultKind::SessionThrow;
+  plan.target = saboteur;
+  plan.after = 2;
+  plan.max_fires = 1;
+  std::vector<std::vector<core::Decision>> faulted;
+  std::int64_t fires = 0;
+  runtime::SessionManager manager(/*burst=*/3);
+  {
+    fault::ScopedInjection injection("runtime.pump.op_fault", plan);
+    faulted = serve_sessions(pipeline, c.width, c.height, with_saboteur,
+                             config, &manager);
+    fires = fault::Injector::instance().fires("runtime.pump.op_fault");
+  }
+  if (fires > 0) {
+    if (manager.state(saboteur) != runtime::SessionState::Faulted) {
+      return "saboteur session took an injected fault but is not Faulted";
+    }
+    if (manager.fault_message(saboteur).empty()) {
+      return "quarantined saboteur has an empty fault_message";
+    }
+    if (manager.stats().faults.quarantined_sessions != 1) {
+      return "expected exactly 1 quarantined session, got " +
+             std::to_string(manager.stats().faults.quarantined_sessions);
+    }
+  }
+  return diff_decision_streams(faulted, clean, c.sessions.size(),
+                               "with faulted neighbor", "clean");
+}
+
+std::optional<std::string> diff_checkpoint_replay(
+    const MultiSessionSchedule& c) {
+  gnn::GnnPipeline pipeline(fault_oracle_pipeline_config());
+
+  // Never-faulted reference: each session's ops fed directly, sequentially.
+  std::vector<std::vector<core::Decision>> reference;
+  reference.reserve(c.sessions.size());
+  for (const auto& ops : c.sessions) {
+    const auto session = pipeline.open_session(c.width, c.height);
+    for (const auto& op : ops) apply_op(*session, op);
+    reference.push_back(session->decisions());
+  }
+
+  // Served run: periodic checkpoints, restore-on-fault, and a one-shot
+  // injected fault on session 0 mid-stream. The restore must land exactly
+  // where the fault struck: checkpoint load + replay + retry, bitwise.
+  runtime::ManagedSessionConfig config;
+  config.checkpoint_every = 4;
+  config.restore_on_fault = true;
+  fault::FaultPlan plan;
+  plan.kind = fault::FaultKind::SessionThrow;
+  plan.target = 0;
+  plan.after = 5;
+  plan.max_fires = 1;
+  std::vector<std::vector<core::Decision>> served;
+  std::int64_t fires = 0;
+  runtime::SessionManager manager(/*burst=*/3);
+  {
+    fault::ScopedInjection injection("runtime.pump.op_fault", plan);
+    served = serve_sessions(pipeline, c.width, c.height, c.sessions, config,
+                            &manager);
+    fires = fault::Injector::instance().fires("runtime.pump.op_fault");
+  }
+  if (fires > 0) {
+    if (manager.state(0) != runtime::SessionState::Active) {
+      return "faulted session did not recover: " + manager.fault_message(0);
+    }
+    if (manager.stats().faults.restores < 1) {
+      return "fault fired but no restore was counted";
+    }
+  }
+  return diff_decision_streams(served, reference, c.sessions.size(),
+                               "restored", "sequential reference");
+}
+
 // ---- registration ---------------------------------------------------------
 
 void register_builtin_oracles() {
@@ -768,6 +948,16 @@ void register_builtin_oracles() {
         "Observability (spans, counters, latency histograms) never perturbs "
         "the served decision streams — bitwise identical on vs off",
         multiplex_case_gen(), diff_obs_on_vs_off));
+    registry().add(make_diff_oracle<MultiSessionSchedule>(
+        "runtime.fault_isolation",
+        "Healthy sessions' decision streams are bitwise identical with and "
+        "without a quarantined (injected-fault) neighbor",
+        multiplex_case_gen(), diff_fault_isolation));
+    registry().add(make_diff_oracle<MultiSessionSchedule>(
+        "runtime.checkpoint_replay",
+        "A session that faults, restores from its checkpoint and replays "
+        "emits the exact decision stream of a never-faulted run",
+        multiplex_case_gen(), diff_checkpoint_replay));
     return true;
   }();
   (void)registered;

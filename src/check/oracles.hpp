@@ -15,6 +15,12 @@
 //                                SessionManager on 4 workers vs the same op
 //                                lists fed directly, one session at a time —
 //                                decision streams must match bitwise
+//   runtime.fault_isolation      healthy sessions' decision streams with vs
+//                                without a quarantined (injected-fault)
+//                                neighbor — must match bitwise
+//   runtime.checkpoint_replay    a session that faults, restores from its
+//                                checkpoint and replays must emit the exact
+//                                decision stream of a never-faulted run
 //
 // Case structs and diff properties are public so the fault-injection
 // self-test can perturb one side and verify the harness catches it and
@@ -123,6 +129,21 @@ std::optional<std::string> diff_gnn_multiplex_vs_sequential(
 /// decision stream to be bitwise identical. Holds the "observers never
 /// perturb the observed" contract of evd::obs.
 std::optional<std::string> diff_obs_on_vs_off(const MultiSessionSchedule& c);
+
+// ---- fault tolerance: isolation and checkpoint/restore --------------------
+
+/// Serve the schedule twice — clean, and with an extra saboteur session that
+/// takes an injected op fault (no checkpoint, so it quarantines) — and
+/// require every healthy session's decision stream to be bitwise identical
+/// across the two runs. Holds the blast-radius contract of session
+/// quarantine: a faulted neighbor is invisible to everyone else.
+std::optional<std::string> diff_fault_isolation(const MultiSessionSchedule& c);
+/// Feed every session's ops directly (sequential reference), then serve the
+/// same schedule through a manager with periodic checkpointing and an
+/// injected one-shot op fault on session 0: the faulted session must
+/// restore from its last checkpoint, replay, retry, and end with a decision
+/// stream bitwise identical to the never-faulted reference.
+std::optional<std::string> diff_checkpoint_replay(const MultiSessionSchedule& c);
 
 /// Run fn at the given pool size, restoring the previous size afterwards.
 template <typename Fn>

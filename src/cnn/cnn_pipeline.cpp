@@ -135,6 +135,25 @@ class CnnStreamSession : public runtime::SessionBase {
 
   void on_advance(TimeUs t) override { maybe_close_frames(t); }
 
+  // Checkpoint payload: the open frame window and its clock. The surface
+  // maps (last_on_/last_off_) and the dense frame are pure scratch —
+  // build_frame_into re-derives both from the window on every close — so
+  // they are not serialized.
+  bool checkpoint_supported() const override { return true; }
+
+  void on_save(fault::CheckpointWriter& w) const override {
+    w.i64(frame_start_);
+    w.i64(frame_end_);
+    w.pod_span(std::span<const events::Event>(
+        window_.data(), static_cast<size_t>(window_count_)));
+  }
+
+  void on_load(fault::CheckpointReader& r) override {
+    frame_start_ = r.i64();
+    frame_end_ = r.i64();
+    window_count_ = r.pod_span_into(window_);
+  }
+
   void maybe_close_frames(TimeUs now) {
     const TimeUs period = pipeline_.config().frame_period_us;
     while (now >= frame_end_) {

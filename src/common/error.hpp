@@ -1,0 +1,60 @@
+// Typed errors for the serving runtime (`evd::Error`).
+//
+// The streaming stack distinguishes *caller mistakes* (bad session id,
+// malformed event) from *internal faults* (checkpoint corruption, injected
+// failures) so the SessionManager's quarantine machinery can react by code,
+// not by string-matching what(). Error derives from std::runtime_error, so
+// callers that only know the standard hierarchy still catch it; callers
+// that know evd dispatch on code().
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace evd {
+
+enum class ErrorCode {
+  InvalidArgument,     ///< Bad parameter to a public API.
+  InvalidSessionId,    ///< SessionId outside [0, session_count).
+  SessionFaulted,      ///< Operation on a quarantined session.
+  MalformedEvent,      ///< Event coordinates outside the session geometry.
+  OutOfOrderEvent,     ///< Event timestamp regressed (strict-monotone guard).
+  AdmissionRejected,   ///< Shed by admission control / overload ladder.
+  CheckpointUnsupported,  ///< Session type cannot serialize its state.
+  CheckpointTooLarge,     ///< Serialized state exceeded the size bound.
+  CheckpointCorrupt,      ///< Truncated / malformed checkpoint bytes.
+  CheckpointMismatch,     ///< Version / paradigm / geometry disagreement.
+  InjectedFault,          ///< Raised by an armed evd::fault injection site.
+};
+
+constexpr const char* error_code_name(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::InvalidArgument: return "InvalidArgument";
+    case ErrorCode::InvalidSessionId: return "InvalidSessionId";
+    case ErrorCode::SessionFaulted: return "SessionFaulted";
+    case ErrorCode::MalformedEvent: return "MalformedEvent";
+    case ErrorCode::OutOfOrderEvent: return "OutOfOrderEvent";
+    case ErrorCode::AdmissionRejected: return "AdmissionRejected";
+    case ErrorCode::CheckpointUnsupported: return "CheckpointUnsupported";
+    case ErrorCode::CheckpointTooLarge: return "CheckpointTooLarge";
+    case ErrorCode::CheckpointCorrupt: return "CheckpointCorrupt";
+    case ErrorCode::CheckpointMismatch: return "CheckpointMismatch";
+    case ErrorCode::InjectedFault: return "InjectedFault";
+  }
+  return "Unknown";
+}
+
+class Error : public std::runtime_error {
+ public:
+  Error(ErrorCode code, const std::string& message)
+      : std::runtime_error(std::string(error_code_name(code)) + ": " +
+                           message),
+        code_(code) {}
+
+  ErrorCode code() const noexcept { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+}  // namespace evd

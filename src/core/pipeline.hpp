@@ -7,6 +7,7 @@
 //  * streaming, event-driven processing (StreamSession) -> latency axes
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
@@ -87,6 +88,22 @@ class StreamSession {
     SessionStats s;
     s.decisions_emitted = static_cast<std::int64_t>(decisions().size());
     return s;
+  }
+
+  /// Checkpoint support (see fault/checkpoint.hpp for the format). A session
+  /// that can serialize its full streaming state writes it into `out` and
+  /// returns true; the default declines (returns false) so legacy sessions
+  /// remain valid. Restoring into a session requires it to have been opened
+  /// with the same pipeline configuration (the serialized header is
+  /// validated); a successful load_state makes the session bitwise-continue
+  /// exactly where save_state left off.
+  virtual bool save_state(std::vector<std::uint8_t>& out) const {
+    (void)out;
+    return false;
+  }
+  virtual bool load_state(std::span<const std::uint8_t> bytes) {
+    (void)bytes;
+    return false;
   }
 
  private:

@@ -15,6 +15,7 @@ DvsSimulator::DvsSimulator(Index width, Index height, DvsConfig config,
   threshold_off_.assign(n, config_.contrast_threshold);
   refractory_until_.assign(n, 0);
   hot_.assign(n, 0);
+  flicker_.assign(n, 0);
   prev_log_.assign(n, 0.0);
 
   for (size_t i = 0; i < n; ++i) {
@@ -27,6 +28,13 @@ DvsSimulator::DvsSimulator(Index width, Index height, DvsConfig config,
         0.25 * config_.contrast_threshold,
         config_.contrast_threshold + rng_.normal(0.0, config_.threshold_mismatch));
     if (rng_.bernoulli(config_.hot_pixel_fraction)) hot_[i] = 1;
+    // Flicker is a property of the scene geometry (which surfaces face the
+    // mains-powered light), so the affected-pixel mask is fixed at
+    // construction, like the FPN draw.
+    if (config_.flicker_hz > 0.0 &&
+        rng_.bernoulli(config_.flicker_fraction)) {
+      flicker_[i] = 1;
+    }
   }
 }
 
@@ -107,6 +115,29 @@ void DvsSimulator::emit_noise(TimeUs t_begin, TimeUs t_end,
                                         static_cast<double>(t_end - t_begin));
     out.push_back(e);
   }
+  // Leak-noise bursts: junction leakage fires one pixel repeatedly. Burst
+  // onsets are Poisson over the window; each burst is a run of ON events at
+  // fixed spacing from a uniformly drawn pixel, truncated at the window end
+  // (so timestamps never escape [t_begin, t_end]).
+  if (config_.leak_burst_rate_hz > 0.0) {
+    const Index bursts = rng_.poisson(config_.leak_burst_rate_hz * window_s);
+    for (Index b = 0; b < bursts; ++b) {
+      Event e;
+      e.x = static_cast<std::int16_t>(
+          rng_.uniform_int(static_cast<std::uint64_t>(width_)));
+      e.y = static_cast<std::int16_t>(
+          rng_.uniform_int(static_cast<std::uint64_t>(height_)));
+      e.polarity = Polarity::On;  // leakage discharges one way
+      TimeUs t = t_begin + static_cast<TimeUs>(
+                               rng_.uniform() *
+                               static_cast<double>(t_end - t_begin));
+      for (Index i = 0; i < config_.leak_burst_length && t <= t_end;
+           ++i, t += config_.leak_burst_spacing_us) {
+        e.t = t;
+        out.push_back(e);
+      }
+    }
+  }
   // Hot pixels fire at a fixed high rate regardless of the scene.
   for (Index y = 0; y < height_; ++y) {
     for (Index x = 0; x < width_; ++x) {
@@ -158,14 +189,25 @@ EventStream DvsSimulator::simulate(const Scene& scene, TimeUs duration_us) {
   for (TimeUs t = config_.sim_step_us; t <= duration_us;
        t += config_.sim_step_us) {
     const Image frame = scene.render(static_cast<double>(t) * 1e-6);
+    // HDR flicker: sinusoidal log-intensity modulation of the masked pixels,
+    // a pure function of the step time — RNG-free, so it parallelises with
+    // the threshold walk (and vanishes at t=0, matching the reference init).
+    const double flicker_mod =
+        config_.flicker_hz > 0.0
+            ? config_.flicker_amplitude *
+                  std::sin(2.0 * 3.14159265358979323846 * config_.flicker_hz *
+                           static_cast<double>(t) * 1e-6)
+            : 0.0;
     par::parallel_for_chunks(0, height_, kRowGrain, [&](Index chunk,
                                                         Index y_begin,
                                                         Index y_end) {
       auto& local = chunk_events[static_cast<size_t>(chunk)];
       for (Index y = y_begin; y < y_end; ++y) {
         for (Index x = 0; x < width_; ++x) {
-          emit_pixel_events(x, y, log_intensity(frame.at(x, y)), t_prev, t,
-                            local);
+          const auto idx = static_cast<size_t>(y * width_ + x);
+          const double mod = flicker_[idx] != 0 ? flicker_mod : 0.0;
+          emit_pixel_events(x, y, log_intensity(frame.at(x, y)) + mod, t_prev,
+                            t, local);
         }
       }
     });

@@ -35,6 +35,18 @@ struct DvsConfig {
   double hot_pixel_rate_hz = 2000.0;  ///< Event rate of a hot pixel.
   TimeUs sim_step_us = 1000;          ///< Internal scene sampling interval.
   double log_eps = 0.02;              ///< Offset inside log() for dark pixels.
+
+  // Degraded-sensor regimes, all off by default. These model the failure
+  // modes the fault suite injects through the serving stack: leak-noise
+  // bursts (junction leakage firing a pixel repeatedly, BA noise's bursty
+  // cousin) and HDR flicker (mains-powered illumination modulating
+  // log-intensity, a classic source of correlated ON/OFF storms).
+  double leak_burst_rate_hz = 0.0;  ///< Array-wide burst onsets per second.
+  Index leak_burst_length = 12;     ///< ON events per leak burst.
+  TimeUs leak_burst_spacing_us = 200;  ///< Intra-burst event spacing.
+  double flicker_hz = 0.0;          ///< Illumination flicker frequency.
+  double flicker_amplitude = 0.0;   ///< Log-intensity modulation depth.
+  double flicker_fraction = 0.0;    ///< Fraction of pixels under flicker.
 };
 
 class DvsSimulator {
@@ -66,6 +78,7 @@ class DvsSimulator {
   std::vector<double> threshold_off_;   ///< Per-pixel OFF threshold.
   std::vector<TimeUs> refractory_until_;
   std::vector<char> hot_;               ///< Hot-pixel mask.
+  std::vector<char> flicker_;           ///< Pixels under flickering light.
   std::vector<double> prev_log_;        ///< Log intensity at previous step.
   bool initialized_ = false;
 };

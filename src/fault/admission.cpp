@@ -1,0 +1,28 @@
+#include "fault/admission.hpp"
+
+namespace evd::fault {
+
+const char* degradation_level_name(DegradationLevel level) noexcept {
+  switch (level) {
+    case DegradationLevel::Nominal: return "Nominal";
+    case DegradationLevel::ShedSampling: return "ShedSampling";
+    case DegradationLevel::CoarsenBursts: return "CoarsenBursts";
+    case DegradationLevel::DropNoise: return "DropNoise";
+    case DegradationLevel::RejectAdmits: return "RejectAdmits";
+  }
+  return "Unknown";
+}
+
+DegradationLevel degradation_level(const AdmissionConfig& config,
+                                   double occupancy) noexcept {
+  if (!config.enabled) return DegradationLevel::Nominal;
+  if (occupancy >= config.reject_at) return DegradationLevel::RejectAdmits;
+  if (occupancy >= config.drop_noise_at) return DegradationLevel::DropNoise;
+  if (occupancy >= config.coarsen_at) return DegradationLevel::CoarsenBursts;
+  if (occupancy >= config.shed_sampling_at) {
+    return DegradationLevel::ShedSampling;
+  }
+  return DegradationLevel::Nominal;
+}
+
+}  // namespace evd::fault

@@ -1,0 +1,177 @@
+// Versioned, size-bounded in-memory checkpoints for StreamSession state.
+//
+// Unlike common/serialization.hpp (fstream-backed model I/O), checkpoints
+// live in a per-session byte vector inside the SessionManager: taking one
+// must not touch the filesystem or allocate beyond the (reused) vector, and
+// restoring one must be able to reject truncated or mismatched bytes with a
+// typed error rather than undefined reads.
+//
+// Format: every checkpoint starts with {kMagic, kVersion} (written by
+// SessionBase), followed by length-prefixed fields. The version policy is
+// strict equality — a checkpoint is a crash-recovery artifact with the
+// lifetime of one serving process, not an archival format, so there is no
+// cross-version migration: bump kVersion whenever any session's layout
+// changes and old bytes are simply rejected (CheckpointMismatch).
+#pragma once
+
+#include <cstring>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace evd::fault {
+
+inline constexpr std::uint32_t kCheckpointMagic = 0x45564443;  // "EVDC"
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+class CheckpointWriter {
+ public:
+  /// Appends into `out` (cleared first); throws Error(CheckpointTooLarge)
+  /// as soon as the running size would exceed `max_bytes`.
+  CheckpointWriter(std::vector<std::uint8_t>& out, std::size_t max_bytes)
+      : out_(out), max_bytes_(max_bytes) {
+    out_.clear();
+  }
+
+  void u32(std::uint32_t v) { raw(&v, sizeof(v)); }
+  void i64(std::int64_t v) { raw(&v, sizeof(v)); }
+  void f64(double v) { raw(&v, sizeof(v)); }
+
+  void str(const std::string& s) {
+    i64(static_cast<std::int64_t>(s.size()));
+    raw(s.data(), s.size());
+  }
+
+  template <typename T>
+  void pod(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    raw(&v, sizeof(T));
+  }
+
+  /// Length-prefixed span of trivially copyable elements.
+  template <typename T>
+  void pod_span(std::span<const T> values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    i64(static_cast<std::int64_t>(values.size()));
+    raw(values.data(), values.size_bytes());
+  }
+
+  template <typename T>
+  void pod_vector(const std::vector<T>& values) {
+    pod_span(std::span<const T>(values));
+  }
+
+  std::size_t bytes_written() const noexcept { return out_.size(); }
+
+ private:
+  void raw(const void* data, std::size_t n) {
+    if (out_.size() + n > max_bytes_) {
+      throw Error(ErrorCode::CheckpointTooLarge,
+                  "checkpoint would exceed " + std::to_string(max_bytes_) +
+                      " bytes");
+    }
+    const auto* bytes = static_cast<const std::uint8_t*>(data);
+    out_.insert(out_.end(), bytes, bytes + n);
+  }
+
+  std::vector<std::uint8_t>& out_;
+  std::size_t max_bytes_;
+};
+
+class CheckpointReader {
+ public:
+  explicit CheckpointReader(std::span<const std::uint8_t> bytes)
+      : bytes_(bytes) {}
+
+  std::uint32_t u32() { return read_as<std::uint32_t>(); }
+  std::int64_t i64() { return read_as<std::int64_t>(); }
+  double f64() { return read_as<double>(); }
+
+  std::string str() {
+    const std::size_t n = length();
+    std::string s(n, '\0');
+    raw(s.data(), n);
+    return s;
+  }
+
+  template <typename T>
+  void pod(T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    raw(&v, sizeof(T));
+  }
+
+  template <typename T>
+  void pod_vector(std::vector<T>& values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::size_t n = length();  // bounded by remaining(): no huge alloc
+    check_available(n * sizeof(T));
+    values.resize(n);
+    raw(values.data(), n * sizeof(T));
+  }
+
+  /// Reads into a fixed caller-owned span; the stored count must not exceed
+  /// the span (CheckpointCorrupt otherwise). Returns the stored count —
+  /// trailing span elements are left untouched.
+  template <typename T>
+  Index pod_span_into(std::span<T> out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::size_t n = length();
+    if (n > out.size()) {
+      throw Error(ErrorCode::CheckpointCorrupt,
+                  "stored span larger than its target buffer");
+    }
+    check_available(n * sizeof(T));
+    raw(out.data(), n * sizeof(T));
+    return static_cast<Index>(n);
+  }
+
+  std::size_t remaining() const noexcept { return bytes_.size() - cursor_; }
+
+  /// Every load must end exactly at the last byte — trailing garbage means
+  /// the writer and reader disagree about the layout.
+  void expect_end() const {
+    if (remaining() != 0) {
+      throw Error(ErrorCode::CheckpointCorrupt,
+                  std::to_string(remaining()) + " trailing bytes");
+    }
+  }
+
+ private:
+  template <typename T>
+  T read_as() {
+    T v;
+    raw(&v, sizeof(T));
+    return v;
+  }
+
+  /// Length prefix, validated against the bytes actually present so corrupt
+  /// counts can never drive a huge allocation or an out-of-bounds read.
+  std::size_t length() {
+    const std::int64_t n = i64();
+    if (n < 0 || static_cast<std::size_t>(n) > remaining()) {
+      throw Error(ErrorCode::CheckpointCorrupt, "invalid length prefix");
+    }
+    return static_cast<std::size_t>(n);
+  }
+
+  void check_available(std::size_t n) const {
+    if (n > remaining()) {
+      throw Error(ErrorCode::CheckpointCorrupt, "truncated checkpoint");
+    }
+  }
+
+  void raw(void* data, std::size_t n) {
+    check_available(n);
+    std::memcpy(data, bytes_.data() + cursor_, n);
+    cursor_ += n;
+  }
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace evd::fault

@@ -1,0 +1,15 @@
+// Umbrella header for the fault-tolerance substrate (`evd::fault`):
+//
+//   injector.hpp    deterministic named-site fault injection
+//   checkpoint.hpp  versioned, size-bounded session state serialization
+//   admission.hpp   token-bucket rate limiting + overload degradation ladder
+//
+// The consumers are the runtime (SessionManager quarantine / restore /
+// admission) and the check subsystem (runtime.fault_isolation and
+// runtime.checkpoint_replay oracles). DESIGN.md section 11 documents the
+// fault model end to end.
+#pragma once
+
+#include "fault/admission.hpp"   // IWYU pragma: export
+#include "fault/checkpoint.hpp"  // IWYU pragma: export
+#include "fault/injector.hpp"    // IWYU pragma: export

@@ -51,6 +51,73 @@ void AsyncEventGnn::reserve(Index max_nodes, Index max_degree) {
   refs_.reserve(static_cast<size_t>(max_degree));
 }
 
+void AsyncEventGnn::save(fault::CheckpointWriter& w) const {
+  if (bidirectional_) {
+    throw Error(ErrorCode::CheckpointUnsupported,
+                "AsyncEventGnn: bidirectional graphs cannot checkpoint "
+                "(stale pooled-max envelope would diverge on restore)");
+  }
+  w.i64(count_);
+  w.i64(model_.conv_count());
+  // Live prefixes only: slots beyond count_ are reserve()/reset() residue
+  // that insert() re-zeroes before use.
+  const auto n = static_cast<size_t>(count_);
+  w.pod_span(std::span<const GraphNode>(nodes_.data(), n));
+  for (size_t v = 0; v < n; ++v) w.pod_vector(adj_[v]);
+  for (size_t v = 0; v < n; ++v) w.pod_vector(input_[v]);
+  for (const auto& layer : features_) {
+    for (size_t v = 0; v < n; ++v) w.pod_vector(layer[v]);
+  }
+  w.pod_vector(pooled_sum_);
+  w.pod_vector(pooled_max_);
+}
+
+void AsyncEventGnn::load(fault::CheckpointReader& r) {
+  if (bidirectional_) {
+    throw Error(ErrorCode::CheckpointUnsupported,
+                "AsyncEventGnn: bidirectional graphs cannot checkpoint");
+  }
+  const Index count = r.i64();
+  if (const Index convs = r.i64(); convs != model_.conv_count()) {
+    throw Error(ErrorCode::CheckpointMismatch,
+                "AsyncEventGnn: checkpointed " + std::to_string(convs) +
+                    " conv layers, model has " +
+                    std::to_string(model_.conv_count()));
+  }
+  if (count < 0) {
+    throw Error(ErrorCode::CheckpointCorrupt,
+                "AsyncEventGnn: negative node count");
+  }
+  const auto n = static_cast<size_t>(count);
+  if (nodes_.size() < n) nodes_.resize(n);
+  if (adj_.size() < n) adj_.resize(n);
+  if (out_adj_.size() < n) out_adj_.resize(n);
+  if (input_.size() < n) input_.resize(n);
+  for (auto& layer : features_) {
+    if (layer.size() < n) layer.resize(n);
+  }
+  if (r.pod_span_into(std::span<GraphNode>(nodes_.data(), n)) !=
+      static_cast<Index>(n)) {
+    throw Error(ErrorCode::CheckpointCorrupt,
+                "AsyncEventGnn: node store truncated");
+  }
+  for (size_t v = 0; v < n; ++v) r.pod_vector(adj_[v]);
+  for (size_t v = 0; v < n; ++v) r.pod_vector(input_[v]);
+  for (auto& layer : features_) {
+    for (size_t v = 0; v < n; ++v) r.pod_vector(layer[v]);
+  }
+  r.pod_vector(pooled_sum_);
+  r.pod_vector(pooled_max_);
+  if (static_cast<Index>(pooled_sum_.size()) != model_.config().hidden ||
+      pooled_max_.size() != pooled_sum_.size()) {
+    throw Error(ErrorCode::CheckpointMismatch,
+                "AsyncEventGnn: pooled width " +
+                    std::to_string(pooled_sum_.size()) + " vs model hidden " +
+                    std::to_string(model_.config().hidden));
+  }
+  count_ = count;
+}
+
 bool AsyncEventGnn::recompute(Index layer, Index v, AsyncGnnStats& stats) {
   GraphConv& conv = model_.conv(layer);
   const auto& neighbors = adj_[static_cast<size_t>(v)];

@@ -20,6 +20,7 @@
 #include <span>
 #include <vector>
 
+#include "fault/checkpoint.hpp"
 #include "gnn/gnn_model.hpp"
 
 namespace evd::gnn {
@@ -54,6 +55,15 @@ class AsyncEventGnn {
   /// Logical clear that keeps all storage: with reserve(), a session
   /// recycles its graph allocation-free when it hits its node cap.
   void reset();
+
+  /// Checkpoint the live per-node state (nodes, adjacency, inputs, layer
+  /// features, running pools) into `w` / restore it from `r`. Causal mode
+  /// only: bidirectional graphs grow earlier nodes' neighbour lists, whose
+  /// stale pooled-max envelope makes a restored stream diverge, so save()
+  /// throws evd::Error(CheckpointUnsupported) there. The restoring engine
+  /// must wrap the same model (layer shapes are validated).
+  void save(fault::CheckpointWriter& w) const;
+  void load(fault::CheckpointReader& r);
 
   Index node_count() const noexcept { return count_; }
 

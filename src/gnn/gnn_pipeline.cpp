@@ -163,6 +163,24 @@ class GnnStreamSession : public runtime::SessionBase {
 
   void on_advance(TimeUs) override {}  // fully event-driven: nothing to tick
 
+  // Checkpoint payload: the stride phase plus the full builder and async
+  // engine state (the session runs causal mode, which AsyncEventGnn can
+  // serialize exactly — see async_update.hpp). The inference tensors are
+  // per-event scratch.
+  bool checkpoint_supported() const override { return true; }
+
+  void on_save(fault::CheckpointWriter& w) const override {
+    w.i64(stride_counter_);
+    builder_.save(w);
+    async_.save(w);
+  }
+
+  void on_load(fault::CheckpointReader& r) override {
+    stride_counter_ = r.i64();
+    builder_.load(r);
+    async_.load(r);
+  }
+
   GnnPipeline& pipeline_;
   IncrementalGraphBuilder builder_;
   AsyncEventGnn async_;

@@ -38,6 +38,38 @@ void IncrementalGraphBuilder::clear() {
   nodes_.clear();
 }
 
+void IncrementalGraphBuilder::save(fault::CheckpointWriter& w) const {
+  w.i64(grid_w_);
+  w.i64(grid_h_);
+  w.i64(config_.cell_capacity);
+  w.pod_vector(nodes_);
+  for (const Cell& cell : cells_) {
+    w.pod_vector(cell.ids);
+    w.i64(cell.cursor);
+    w.i64(cell.count);
+  }
+}
+
+void IncrementalGraphBuilder::load(fault::CheckpointReader& r) {
+  const Index gw = r.i64();
+  const Index gh = r.i64();
+  const Index cap = r.i64();
+  if (gw != grid_w_ || gh != grid_h_ || cap != config_.cell_capacity) {
+    throw Error(ErrorCode::CheckpointMismatch,
+                "IncrementalGraphBuilder: checkpointed grid " +
+                    std::to_string(gw) + "x" + std::to_string(gh) + "/" +
+                    std::to_string(cap) + " vs configured " +
+                    std::to_string(grid_w_) + "x" + std::to_string(grid_h_) +
+                    "/" + std::to_string(config_.cell_capacity));
+  }
+  r.pod_vector(nodes_);
+  for (Cell& cell : cells_) {
+    r.pod_vector(cell.ids);
+    cell.cursor = r.i64();
+    cell.count = r.i64();
+  }
+}
+
 Index IncrementalGraphBuilder::state_bytes() const noexcept {
   return static_cast<Index>(cells_.size() *
                             (static_cast<size_t>(config_.cell_capacity) *

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "events/event.hpp"
+#include "fault/checkpoint.hpp"
 #include "gnn/graph.hpp"
 
 namespace evd::gnn {
@@ -67,6 +68,14 @@ class IncrementalGraphBuilder {
 
   /// Reset all state (nodes and grid).
   void clear();
+
+  /// Checkpoint the mutable state (node store + grid rings) into `w` /
+  /// restore it from `r`. The restoring builder must have the same geometry
+  /// and config (grid dimensions are validated; a mismatch throws
+  /// evd::Error(CheckpointMismatch)). Storage reserved by reserve_nodes()
+  /// survives a load.
+  void save(fault::CheckpointWriter& w) const;
+  void load(fault::CheckpointReader& r);
 
   /// Bytes of persistent state (grid + node store).
   Index state_bytes() const noexcept;

@@ -32,4 +32,34 @@ Index DecisionSink::drain(std::vector<core::Decision>& out) {
   return n;
 }
 
+void DecisionSink::save(fault::CheckpointWriter& w) const {
+  w.i64(retain_);
+  w.pod_vector(buffer_);  // Decision is trivially copyable
+  w.i64(drain_cursor_);
+  w.i64(total_);
+  w.i64(dropped_);
+  w.i64(evicted_);
+}
+
+void DecisionSink::load(fault::CheckpointReader& r) {
+  const std::int64_t retain = r.i64();
+  if (retain != retain_) {
+    throw Error(ErrorCode::CheckpointMismatch,
+                "DecisionSink retain " + std::to_string(retain_) +
+                    " vs checkpointed " + std::to_string(retain));
+  }
+  r.pod_vector(buffer_);
+  if (static_cast<Index>(buffer_.size()) > retain_ * 2) {
+    throw Error(ErrorCode::CheckpointCorrupt,
+                "DecisionSink buffer exceeds its 2*retain bound");
+  }
+  drain_cursor_ = r.i64();
+  if (drain_cursor_ < 0 || drain_cursor_ > static_cast<Index>(buffer_.size())) {
+    throw Error(ErrorCode::CheckpointCorrupt, "DecisionSink cursor out of range");
+  }
+  total_ = r.i64();
+  dropped_ = r.i64();
+  evicted_ = r.i64();
+}
+
 }  // namespace evd::runtime

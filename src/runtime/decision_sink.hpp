@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/pipeline.hpp"
+#include "fault/checkpoint.hpp"
 #include "obs/metrics.hpp"
 
 namespace evd::runtime {
@@ -65,6 +66,14 @@ class DecisionSink {
     evicted_counter_ = evicted;
     dropped_counter_ = dropped;
   }
+
+  /// Checkpoint the sink's complete state (buffer, drain cursor, counters)
+  /// so a restored session's decisions()/drain()/stats() are byte-for-byte
+  /// those of the session at checkpoint time.
+  void save(fault::CheckpointWriter& w) const;
+  /// Restores a checkpoint taken from a sink with the same retain limit
+  /// (Error(CheckpointMismatch) otherwise).
+  void load(fault::CheckpointReader& r);
 
  private:
   Index retain_;

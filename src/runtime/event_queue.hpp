@@ -96,6 +96,28 @@ class EventQueue {
   Index capacity() const noexcept { return ring_.capacity(); }
   bool empty() const noexcept { return ring_.empty(); }
   const Stats& stats() const noexcept { return stats_; }
+  OverflowPolicy policy() const noexcept { return policy_; }
+
+  /// Pop-and-discard everything queued; returns how many ops were lost.
+  /// The quarantine path: a faulted session's backlog is drained into loss
+  /// accounting (the caller charges the count), keeping the ledger intact.
+  Index drain_to_loss() {
+    StreamOp op;
+    Index n = 0;
+    while (pop(op)) ++n;
+    return n;
+  }
+
+  /// The conservation law every observation point must satisfy. Under
+  /// DropNewest a rejected op is never pushed, so pushed == popped + size
+  /// and `dropped` counts rejections on the side; under DropOldest the
+  /// evicted op *was* pushed, so pushed == popped + size + dropped.
+  bool ledger_consistent() const noexcept {
+    const std::int64_t accounted = stats_.popped + size();
+    return policy_ == OverflowPolicy::DropNewest
+               ? stats_.pushed == accounted
+               : stats_.pushed == accounted + stats_.dropped;
+  }
 
  private:
   RingBuffer<StreamOp> ring_;

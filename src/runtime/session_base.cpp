@@ -12,11 +12,13 @@ std::string labelled(const char* metric, const char* paradigm) {
 }  // namespace
 
 SessionBase::SessionBase(const SessionBaseConfig& config)
-    : arena_(config.arena_bytes), sink_(config.decision_retain) {
+    : arena_(config.arena_bytes),
+      sink_(config.decision_retain),
+      paradigm_(config.paradigm != nullptr ? config.paradigm : "unknown"),
+      checkpoint_max_bytes_(config.checkpoint_max_bytes) {
   // Instrument registration is open-time work (string building, registry
   // mutex), not hot-path work: repeated names return the same instruments.
-  const char* paradigm = config.paradigm != nullptr ? config.paradigm
-                                                    : "unknown";
+  const char* paradigm = paradigm_.c_str();
   events_counter_ =
       obs::counter(labelled("evd_events_fed_total", paradigm));
   decisions_counter_ =
@@ -24,6 +26,56 @@ SessionBase::SessionBase(const SessionBaseConfig& config)
   sink_.bind_obs(
       obs::counter(labelled("evd_sink_decisions_evicted_total", paradigm)),
       obs::counter(labelled("evd_sink_decisions_dropped_total", paradigm)));
+}
+
+bool SessionBase::save_state(std::vector<std::uint8_t>& out) const {
+  if (!checkpoint_supported()) return false;
+  fault::CheckpointWriter w(out, checkpoint_max_bytes_);
+  w.u32(fault::kCheckpointMagic);
+  w.u32(fault::kCheckpointVersion);
+  w.str(paradigm_);
+  w.i64(events_fed_);
+  w.i64(events_dropped_);
+  // Watermark guard only: arena contents are the paradigm spans, which
+  // on_save serializes explicitly. A mismatch at load means the restoring
+  // session carved a different layout — a config mismatch, not corruption.
+  w.i64(static_cast<std::int64_t>(arena_.used()));
+  sink_.save(w);
+  on_save(w);
+  return true;
+}
+
+bool SessionBase::load_state(std::span<const std::uint8_t> bytes) {
+  if (!checkpoint_supported()) return false;
+  fault::CheckpointReader r(bytes);
+  if (r.u32() != fault::kCheckpointMagic) {
+    throw Error(ErrorCode::CheckpointCorrupt, "bad checkpoint magic");
+  }
+  if (const auto version = r.u32(); version != fault::kCheckpointVersion) {
+    throw Error(ErrorCode::CheckpointMismatch,
+                "checkpoint version " + std::to_string(version) +
+                    ", this build writes " +
+                    std::to_string(fault::kCheckpointVersion));
+  }
+  if (const std::string paradigm = r.str(); paradigm != paradigm_) {
+    throw Error(ErrorCode::CheckpointMismatch,
+                "checkpoint from a '" + paradigm + "' session, this is '" +
+                    paradigm_ + "'");
+  }
+  const std::int64_t events_fed = r.i64();
+  const std::int64_t events_dropped = r.i64();
+  if (const std::int64_t used = r.i64();
+      used != static_cast<std::int64_t>(arena_.used())) {
+    throw Error(ErrorCode::CheckpointMismatch,
+                "arena watermark " + std::to_string(arena_.used()) +
+                    " vs checkpointed " + std::to_string(used));
+  }
+  sink_.load(r);
+  on_load(r);
+  r.expect_end();
+  events_fed_ = events_fed;
+  events_dropped_ = events_dropped;
+  return true;
 }
 
 void SessionBase::check_geometry(const std::string& who, Index width,

@@ -18,6 +18,7 @@
 #include <string>
 
 #include "core/pipeline.hpp"
+#include "fault/checkpoint.hpp"
 #include "runtime/arena.hpp"
 #include "runtime/decision_sink.hpp"
 
@@ -31,6 +32,10 @@ struct SessionBaseConfig {
   /// Paradigm label for the session's registry counters
   /// (evd_events_fed_total{paradigm=...} etc.). Must be a string literal.
   const char* paradigm = "unknown";
+  /// Upper bound on one serialized checkpoint (save_state throws
+  /// Error(CheckpointTooLarge) beyond it). 4 MiB comfortably holds the
+  /// largest session state the pipelines produce (GNN at stream_max_nodes).
+  std::size_t checkpoint_max_bytes = std::size_t{4} << 20;
 };
 
 class SessionBase : public core::StreamSession {
@@ -73,6 +78,18 @@ class SessionBase : public core::StreamSession {
   /// queue; the session just keeps the ledger.
   void note_events_dropped(std::int64_t n) { events_dropped_ += n; }
 
+  /// Checkpoint/restore (core::StreamSession contract). The chassis
+  /// serializes the shared state — magic/version header, paradigm label,
+  /// counters, arena watermark, full DecisionSink — and delegates the
+  /// paradigm payload to on_save/on_load. Sessions that do not override
+  /// checkpoint_supported() decline (save_state returns false) rather than
+  /// silently losing their paradigm state.
+  bool save_state(std::vector<std::uint8_t>& out) const final;
+  /// Restores into *this* session, whose arena layout and sink bound must
+  /// match the checkpoint (same pipeline config): header mismatches throw
+  /// Error(CheckpointMismatch), truncation Error(CheckpointCorrupt).
+  bool load_state(std::span<const std::uint8_t> bytes) final;
+
  protected:
   explicit SessionBase(const SessionBaseConfig& config);
 
@@ -80,6 +97,13 @@ class SessionBase : public core::StreamSession {
   /// advance_to mark.
   virtual void on_event(const events::Event& event) = 0;
   virtual void on_advance(TimeUs t) = 0;
+
+  /// Checkpoint hooks: override all three together. on_save writes the
+  /// paradigm's complete mutable state; on_load restores it (arena-backed
+  /// spans are overwritten in place — the arena itself is never rebuilt).
+  virtual bool checkpoint_supported() const { return false; }
+  virtual void on_save(fault::CheckpointWriter& w) const { (void)w; }
+  virtual void on_load(fault::CheckpointReader& r) { (void)r; }
 
   void emit(const core::Decision& d) {
     decisions_counter_.add(1);
@@ -92,6 +116,8 @@ class SessionBase : public core::StreamSession {
  private:
   ArenaAllocator arena_;
   DecisionSink sink_;
+  std::string paradigm_;
+  std::size_t checkpoint_max_bytes_;
   std::int64_t events_fed_ = 0;
   std::int64_t events_dropped_ = 0;
   obs::Counter events_counter_;     ///< evd_events_fed_total{paradigm=...}

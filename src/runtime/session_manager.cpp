@@ -1,12 +1,25 @@
 #include "runtime/session_manager.hpp"
 
+#include <exception>
 #include <optional>
-#include <stdexcept>
+#include <utility>
 
 #include "common/parallel.hpp"
 #include "obs/obs.hpp"
 
 namespace evd::runtime {
+namespace {
+
+// Named injection sites the manager visits (see fault/injector.hpp). All
+// keyed by session id, so an armed plan with `target` set pins the visit
+// counter to one submit caller / one pump worker.
+constexpr const char* kSiteMalformed = "runtime.submit.malformed";
+constexpr const char* kSiteOutOfOrder = "runtime.submit.out_of_order";
+constexpr const char* kSiteDuplicate = "runtime.submit.duplicate";
+constexpr const char* kSiteStorm = "runtime.submit.overflow_storm";
+constexpr const char* kSiteOpFault = "runtime.pump.op_fault";
+
+}  // namespace
 
 SessionManager::SessionManager(Index burst) : burst_(burst < 1 ? 1 : burst) {
   obs::init();  // wires the evd::par collector into snapshots
@@ -14,21 +27,52 @@ SessionManager::SessionManager(Index burst) : burst_(burst < 1 ? 1 : burst) {
   ops_processed_ = obs::counter("evd_runtime_ops_processed_total");
   pump_rounds_ = obs::counter("evd_runtime_pump_rounds_total");
   sessions_gauge_ = obs::gauge("evd_sessions_active");
+  faults_counter_ = obs::counter("evd_fault_session_faults_total");
+  restores_counter_ = obs::counter("evd_fault_restores_total");
+  shed_counter_ = obs::counter("evd_admission_shed_total");
+  overload_gauge_ = obs::gauge("evd_overload_level");
+  auto& injector = fault::Injector::instance();
+  site_malformed_ = injector.site(kSiteMalformed);
+  site_out_of_order_ = injector.site(kSiteOutOfOrder);
+  site_duplicate_ = injector.site(kSiteDuplicate);
+  site_storm_ = injector.site(kSiteStorm);
+  site_op_fault_ = injector.site(kSiteOpFault);
 }
 
 SessionId SessionManager::add(std::unique_ptr<core::StreamSession> session,
                               const ManagedSessionConfig& config) {
   if (!session) {
-    throw std::invalid_argument("SessionManager::add: null session");
+    throw Error(ErrorCode::InvalidArgument, "SessionManager::add: null session");
   }
-  auto slot = std::make_unique<Slot>(std::move(session),
-                                     config.queue_capacity, config.overflow);
+  if (admission_level() == fault::DegradationLevel::RejectAdmits) {
+    throw Error(ErrorCode::AdmissionRejected,
+                "SessionManager::add: overload ladder at RejectAdmits");
+  }
+  if (config.queue_capacity < 1) {
+    throw Error(ErrorCode::InvalidArgument,
+                "SessionManager::add: queue_capacity must be >= 1");
+  }
+  auto slot = std::make_unique<Slot>(std::move(session), config);
   const auto id = static_cast<SessionId>(slots_.size());
   // Per-session latency series plus the shared loss counter. Open-time
   // registration cost only; recording goes through per-thread shards.
   slot->latency = obs::histogram("evd_feed_to_decision_us{session=\"" +
                                  std::to_string(id) + "\"}");
   slot->queue.bind_obs(obs::counter("evd_queue_ops_dropped_total"));
+  slot->bucket.configure(config.rate_limit_eps, config.rate_limit_burst);
+  if (config.checkpoint_every > 0) {
+    // Initial checkpoint: a fault is recoverable from the very first op
+    // (worst case, back to the fresh-session state). Sessions that decline
+    // save_state() simply run without restore.
+    std::vector<std::uint8_t> buf;
+    if (slot->session->save_state(buf)) {
+      slot->checkpointing = true;
+      slot->checkpoint = std::move(buf);
+      slot->checkpoint_last_feed_t = slot->last_feed_t;
+      ++slot->checkpoints;
+    }
+  }
+  capacity_total_ += config.queue_capacity;
   slots_.push_back(std::move(slot));
   processed_.push_back(0);
   sessions_gauge_.set(static_cast<double>(slots_.size()));
@@ -37,47 +81,245 @@ SessionId SessionManager::add(std::unique_ptr<core::StreamSession> session,
 
 SessionManager::Slot& SessionManager::slot(SessionId id) {
   if (id < 0 || id >= session_count()) {
-    throw std::out_of_range("SessionManager: bad session id");
+    throw Error(ErrorCode::InvalidSessionId,
+                "SessionManager: session id " + std::to_string(id) +
+                    " out of range [0, " + std::to_string(session_count()) +
+                    ")");
   }
   return *slots_[static_cast<size_t>(id)];
 }
 
 const SessionManager::Slot& SessionManager::slot(SessionId id) const {
   if (id < 0 || id >= session_count()) {
-    throw std::out_of_range("SessionManager: bad session id");
+    throw Error(ErrorCode::InvalidSessionId,
+                "SessionManager: session id " + std::to_string(id) +
+                    " out of range [0, " + std::to_string(session_count()) +
+                    ")");
   }
   return *slots_[static_cast<size_t>(id)];
 }
 
-bool SessionManager::submit(SessionId id, const events::Event& event) {
-  Slot& s = slot(id);
-  StreamOp op = StreamOp::feed(event);
-  if (obs::enabled() &&
+double SessionManager::occupancy() const noexcept {
+  if (capacity_total_ <= 0) return 0.0;
+  const double queued =
+      static_cast<double>(queued_ops_.load(std::memory_order_relaxed));
+  const double occ = queued / static_cast<double>(capacity_total_);
+  return occ < 0.0 ? 0.0 : (occ > 1.0 ? 1.0 : occ);
+}
+
+fault::DegradationLevel SessionManager::admission_level() const noexcept {
+  return fault::degradation_level(admission_, occupancy());
+}
+
+bool SessionManager::push_op(Slot& s, const StreamOp& op) {
+  // Occupancy tracks queue *size*, which push() may not grow (DropNewest
+  // rejection, DropOldest eviction) — charge the delta, not the attempt.
+  const Index before = s.queue.size();
+  const bool ok = s.queue.push(op);
+  queued_ops_.fetch_add(s.queue.size() - before, std::memory_order_relaxed);
+  return ok;
+}
+
+bool SessionManager::admit(SessionId id, Slot& s, StreamOp op) {
+  if (s.state == SessionState::Faulted) {
+    ++s.shed.rejected_faulted;
+    shed_counter_.add(1);
+    return false;
+  }
+  const bool is_feed = op.kind == StreamOp::Kind::Feed;
+  // Ingress corruption sites: model a degraded sensor / transport by
+  // mutating the op before any admission logic sees it.
+  if (is_feed) {
+    if (site_malformed_.fire(id) == fault::FaultKind::MalformedEvent) {
+      op.event = fault::corrupt_malformed(op.event,
+                                          site_malformed_.plan().seed);
+    }
+    if (site_out_of_order_.fire(id) == fault::FaultKind::OutOfOrderEvent) {
+      op.event =
+          fault::corrupt_out_of_order(op.event,
+                                      site_out_of_order_.plan().time_skew_us);
+    }
+  }
+  // Per-session token bucket, refilled from stream time — deterministic.
+  if (is_feed && s.config.rate_limit_eps > 0.0 &&
+      !s.bucket.take(op.event.t)) {
+    ++s.shed.rate_limited;
+    shed_counter_.add(1);
+    return false;
+  }
+  // Global overload ladder (Nominal unless set_admission enabled it).
+  const fault::DegradationLevel level = admission_level();
+  if (is_feed && level == fault::DegradationLevel::RejectAdmits) {
+    ++s.shed.rejected_overload;
+    shed_counter_.add(1);
+    return false;  // Advances still flow: sessions can close windows.
+  }
+  if (is_feed && admission_.enabled) {
+    // The gate warms on every admitted feed so by the time the DropNoise
+    // rung engages it has a live activity map to classify against.
+    const bool supported =
+        s.noise_gate.observe(op.event, admission_.noise_support_window_us);
+    if (level >= fault::DegradationLevel::DropNoise &&
+        s.config.priority <= admission_.shed_priority_max && !supported) {
+      ++s.shed.shed_noise;
+      shed_counter_.add(1);
+      return false;
+    }
+  }
+  // Latency sampling is the first thing the ladder sheds: past ShedSampling
+  // no op is stamped, so pump() pays zero clock reads for this session.
+  if (level < fault::DegradationLevel::ShedSampling && obs::enabled() &&
       (s.queue.stats().pushed & (kLatencySampleEvery - 1)) == 0) {
     op.enqueue_ns = obs::Tracer::now_ns();
   }
-  return s.queue.push(op);
+  // Queue-pressure sites: a duplicate enqueues the op twice, a storm
+  // enqueues a burst of copies ahead of it (overflow-policy stress).
+  if (site_duplicate_.fire(id) == fault::FaultKind::DuplicateEvent) {
+    push_op(s, op);
+  }
+  if (site_storm_.fire(id) == fault::FaultKind::OverflowStorm) {
+    const Index extra = site_storm_.plan().storm_extra;
+    for (Index i = 0; i < extra; ++i) push_op(s, op);
+  }
+  return push_op(s, op);
+}
+
+bool SessionManager::submit(SessionId id, const events::Event& event) {
+  return admit(id, slot(id), StreamOp::feed(event));
 }
 
 bool SessionManager::submit_advance(SessionId id, TimeUs t) {
-  Slot& s = slot(id);
-  StreamOp op = StreamOp::advance(t);
-  if (obs::enabled() &&
-      (s.queue.stats().pushed & (kLatencySampleEvery - 1)) == 0) {
-    op.enqueue_ns = obs::Tracer::now_ns();
+  return admit(id, slot(id), StreamOp::advance(t));
+}
+
+void SessionManager::apply_op(SessionId id, Slot& s, const StreamOp& op) {
+  switch (site_op_fault_.fire(id)) {
+    case fault::FaultKind::SessionThrow:
+      throw Error(ErrorCode::InjectedFault,
+                  "injected op fault (session " + std::to_string(id) + ")");
+    case fault::FaultKind::ArenaExhaustion:
+      throw std::bad_alloc();
+    default:
+      break;
   }
-  return s.queue.push(op);
+  if (op.kind == StreamOp::Kind::Feed) {
+    const events::Event& e = op.event;
+    if (s.config.validate_width > 0 &&
+        (e.x < 0 || e.x >= s.config.validate_width || e.y < 0 ||
+         (s.config.validate_height > 0 && e.y >= s.config.validate_height))) {
+      throw Error(ErrorCode::MalformedEvent,
+                  "event (" + std::to_string(e.x) + "," + std::to_string(e.y) +
+                      ") outside " + std::to_string(s.config.validate_width) +
+                      "x" + std::to_string(s.config.validate_height));
+    }
+    if (s.config.validate_monotone_time && e.t < s.last_feed_t) {
+      throw Error(ErrorCode::OutOfOrderEvent,
+                  "event t=" + std::to_string(e.t) + " regresses below " +
+                      std::to_string(s.last_feed_t));
+    }
+    s.session->feed(e);
+    if (e.t > s.last_feed_t) s.last_feed_t = e.t;
+  } else {
+    s.session->advance_to(op.t);
+  }
+}
+
+bool SessionManager::take_checkpoint(Slot& s) {
+  if (!s.checkpointing) return false;
+  std::vector<std::uint8_t> buf;
+  if (!s.session->save_state(buf)) return false;
+  s.checkpoint = std::move(buf);
+  s.checkpoint_last_feed_t = s.last_feed_t;
+  s.replay_log.clear();
+  s.ops_since_checkpoint = 0;
+  ++s.checkpoints;
+  return true;
+}
+
+void SessionManager::note_applied(Slot& s, const StreamOp& op) {
+  if (!s.checkpointing) return;
+  StreamOp logged = op;
+  logged.enqueue_ns = 0;  // replay never re-measures latency
+  s.replay_log.push_back(logged);
+  ++s.ops_since_checkpoint;
+  if (s.ops_since_checkpoint >= s.config.checkpoint_every) {
+    try {
+      take_checkpoint(s);
+    } catch (const std::exception&) {
+      // A checkpoint that cannot be taken (e.g. CheckpointTooLarge) stops
+      // checkpointing for this session rather than growing the replay log
+      // without bound; the session keeps serving, restore just degrades to
+      // quarantine on the next fault.
+      s.checkpointing = false;
+      s.checkpoint.clear();
+      s.replay_log.clear();
+      s.ops_since_checkpoint = 0;
+    }
+  }
+}
+
+bool SessionManager::recover(SessionId id, Slot& s, const StreamOp& op) {
+  if (!s.checkpointing || !s.config.restore_on_fault || s.checkpoint.empty()) {
+    return false;
+  }
+  try {
+    if (!s.session->load_state(s.checkpoint)) return false;
+    s.last_feed_t = s.checkpoint_last_feed_t;
+    // Replay the ops applied since the checkpoint, then retry the faulting
+    // op. Injected faults with bounded max_fires have already spent their
+    // firing budget, so the retry passes; a deterministic fault (validation
+    // trip, genuine pipeline bug) rethrows and the caller quarantines.
+    for (const StreamOp& logged : s.replay_log) apply_op(id, s, logged);
+    apply_op(id, s, op);
+    note_applied(s, op);
+    ++s.restores;
+    restores_counter_.add(1);
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+void SessionManager::quarantine(SessionId id, Slot& s, const char* why) {
+  (void)id;
+  s.state = SessionState::Faulted;
+  s.fault_message = why;
+  // The faulting op was already popped; its backlog follows it into loss
+  // accounting so the queue ledger stays consistent.
+  const Index backlog = s.queue.drain_to_loss();
+  queued_ops_.fetch_sub(backlog, std::memory_order_relaxed);
+  s.quarantine_dropped += backlog + 1;
 }
 
 Index SessionManager::pump() {
   const Index n = session_count();
   if (n == 0) return 0;
+  const fault::DegradationLevel level = admission_level();
+  if (admission_.enabled) {
+    overload_gauge_.set(static_cast<double>(level));
+  }
+  Index burst = burst_;
+  if (level >= fault::DegradationLevel::CoarsenBursts) {
+    // Coarser bursts amortise scheduling under pressure. Per-session op
+    // order is untouched, so every decision stream is unchanged — this rung
+    // trades interleaving fairness, not output.
+    burst *= admission_.coarsen_factor < 1 ? 1 : admission_.coarsen_factor;
+    ++coarsened_rounds_;
+  }
   // Grain 1: session i is chunk i, so static assignment gives worker w
   // sessions w, w+W, ... — one worker per session per round, no sharing.
+  // The try/catch lives *inside* the per-session loop: a fault in session i
+  // recovers or quarantines i on the owning worker and never unwinds
+  // through the parallel region, so neighbors are untouched (the
+  // runtime.fault_isolation oracle holds this bitwise).
   par::parallel_for(0, n, 1, [&](Index begin, Index end) {
     for (Index i = begin; i < end; ++i) {
       Slot& s = *slots_[static_cast<size_t>(i)];
       Index done = 0;
+      if (s.state == SessionState::Faulted) {
+        processed_[static_cast<size_t>(i)] = 0;
+        continue;
+      }
       StreamOp op;
       // The span + latency instruments never touch the op stream, so the
       // decision sequence is identical with observability on or off (the
@@ -88,24 +330,30 @@ Index SessionManager::pump() {
       if (obs::enabled() && !s.queue.empty()) {
         span.emplace("runtime.session_burst");
       }
-      while (done < burst_ && s.queue.pop(op)) {
-        if (op.enqueue_ns > 0) {
-          const std::int64_t before = s.session->stats().decisions_emitted;
-          if (op.kind == StreamOp::Kind::Feed) {
-            s.session->feed(op.event);
+      while (done < burst && s.queue.pop(op)) {
+        queued_ops_.fetch_sub(1, std::memory_order_relaxed);
+        try {
+          if (op.enqueue_ns > 0) {
+            const std::int64_t before = s.session->stats().decisions_emitted;
+            apply_op(i, s, op);
+            if (s.session->stats().decisions_emitted > before) {
+              const std::int64_t us =
+                  (obs::Tracer::now_ns() - op.enqueue_ns) / 1000;
+              s.latency.record(us);
+              latency_all_.record(us);
+            }
           } else {
-            s.session->advance_to(op.t);
+            apply_op(i, s, op);
           }
-          if (s.session->stats().decisions_emitted > before) {
-            const std::int64_t us =
-                (obs::Tracer::now_ns() - op.enqueue_ns) / 1000;
-            s.latency.record(us);
-            latency_all_.record(us);
+          note_applied(s, op);
+        } catch (const std::exception& e) {
+          ++s.faults;
+          faults_counter_.add(1);
+          if (!recover(i, s, op)) {
+            quarantine(i, s, e.what());
+            ++done;
+            break;
           }
-        } else if (op.kind == StreamOp::Kind::Feed) {
-          s.session->feed(op.event);
-        } else {
-          s.session->advance_to(op.t);
         }
         ++done;
       }
@@ -124,28 +372,60 @@ void SessionManager::pump_all() {
   }
 }
 
+bool SessionManager::restore(SessionId id) {
+  Slot& s = slot(id);
+  if (s.state == SessionState::Active) return true;
+  if (!s.checkpointing || s.checkpoint.empty()) return false;
+  if (!s.session->load_state(s.checkpoint)) return false;
+  s.last_feed_t = s.checkpoint_last_feed_t;
+  for (const StreamOp& logged : s.replay_log) apply_op(id, s, logged);
+  s.state = SessionState::Active;
+  s.fault_message.clear();
+  ++s.restores;
+  restores_counter_.add(1);
+  return true;
+}
+
+bool SessionManager::checkpoint_now(SessionId id) {
+  return take_checkpoint(slot(id));
+}
+
 core::SessionStats SessionManager::stats(SessionId id) const {
   const Slot& s = slot(id);
   core::SessionStats stats = s.session->stats();
-  // The queue sits in front of the session, so its losses are part of the
-  // session's story even though the session never saw those ops.
-  stats.events_dropped += s.queue.stats().dropped;
+  // The queue and the admission gates sit in front of the session, so their
+  // losses are part of the session's story even though the session never
+  // saw those ops.
+  stats.events_dropped += s.queue.stats().dropped + s.shed.rate_limited +
+                          s.shed.shed_noise + s.shed.rejected_overload +
+                          s.shed.rejected_faulted + s.quarantine_dropped;
   return stats;
 }
 
 SessionManager::AggregateStats SessionManager::stats() const {
   AggregateStats agg;
   agg.sessions = session_count();
+  agg.shedding.coarsened_rounds = coarsened_rounds_;
   for (SessionId id = 0; id < agg.sessions; ++id) {
     const core::SessionStats s = stats(id);
     agg.totals.events_fed += s.events_fed;
     agg.totals.decisions_emitted += s.decisions_emitted;
     agg.totals.decisions_dropped += s.decisions_dropped;
     agg.totals.events_dropped += s.events_dropped;
-    const EventQueue::Stats& q = slot(id).queue.stats();
+    const Slot& sl = slot(id);
+    const EventQueue::Stats& q = sl.queue.stats();
     agg.queues.pushed += q.pushed;
     agg.queues.dropped += q.dropped;
     agg.queues.popped += q.popped;
+    agg.shedding.rate_limited += sl.shed.rate_limited;
+    agg.shedding.shed_noise += sl.shed.shed_noise;
+    agg.shedding.rejected_overload += sl.shed.rejected_overload;
+    agg.shedding.rejected_faulted += sl.shed.rejected_faulted;
+    agg.faults.faults += sl.faults;
+    agg.faults.restores += sl.restores;
+    agg.faults.checkpoints += sl.checkpoints;
+    agg.faults.quarantine_dropped += sl.quarantine_dropped;
+    if (sl.state == SessionState::Faulted) ++agg.faults.quarantined_sessions;
   }
   return agg;
 }

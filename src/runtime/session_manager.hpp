@@ -26,12 +26,31 @@
 // Back-pressure is explicit: submit() returns false when the session's
 // queue rejects/evicts (see EventQueue), and the loss is charged to the
 // session's events_dropped stat.
+//
+// Fault tolerance (DESIGN.md section 11):
+//   * A session whose op throws — injected fault, validation-guard trip, or
+//     a genuine pipeline exception — is either restored from its last
+//     checkpoint (replaying the ops applied since, then retrying the
+//     faulting op) or, failing that, quarantined: state -> Faulted, backlog
+//     drained to loss stats, no further admits. Either way every other
+//     session's decision stream is bit-for-bit unaffected (the
+//     runtime.fault_isolation oracle enforces this).
+//   * Admission control in front of every queue: per-session stream-time
+//     token buckets plus a global overload ladder (see fault/admission.hpp),
+//     both off by default, every shed accounted in stats().
 #pragma once
 
+#include <atomic>
+#include <cstdint>
+#include <limits>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "common/error.hpp"
 #include "core/pipeline.hpp"
+#include "fault/admission.hpp"
+#include "fault/injector.hpp"
 #include "obs/metrics.hpp"
 #include "runtime/event_queue.hpp"
 #include "runtime/session_base.hpp"
@@ -50,10 +69,34 @@ using SessionId = Index;
 /// sample schedule depends only on each queue's admit ledger.
 inline constexpr std::int64_t kLatencySampleEvery = 16;
 
+enum class SessionState : std::uint8_t { Active, Faulted };
+
 struct ManagedSessionConfig {
   /// Ingress queue capacity (ops: events + advances).
   Index queue_capacity = 4096;
   OverflowPolicy overflow = OverflowPolicy::DropNewest;
+  /// Checkpoint cadence in applied ops; 0 disables checkpoint/restore for
+  /// this session. When > 0 an initial checkpoint is taken at add() so a
+  /// fault is always recoverable (possibly to the fresh-session state).
+  Index checkpoint_every = 0;
+  /// On an op fault, restore the last checkpoint, replay the ops applied
+  /// since, and retry the faulting op before resorting to quarantine.
+  /// Requires checkpoint_every > 0 and a session that supports save_state.
+  bool restore_on_fault = true;
+  /// Ingress validation guard, applied as ops are popped in pump(): events
+  /// outside [0,w)x[0,h) raise Error(MalformedEvent). 0 disables.
+  Index validate_width = 0;
+  Index validate_height = 0;
+  /// Reject events whose timestamp regresses below the last applied feed
+  /// (Error(OutOfOrderEvent)). A validation trip faults the session.
+  bool validate_monotone_time = false;
+  /// Token-bucket admission: events/s of *stream time* (deterministic);
+  /// 0 disables. Advances are never rate-limited.
+  double rate_limit_eps = 0.0;
+  double rate_limit_burst = 256.0;
+  /// Overload-ladder priority: sessions with priority <= the ladder's
+  /// shed_priority_max shed noise-classified events first.
+  Index priority = 0;
 };
 
 class SessionManager {
@@ -65,17 +108,19 @@ class SessionManager {
   explicit SessionManager(Index burst = 256);
 
   /// Take ownership of a session opened by a pipeline. Returns its id
-  /// (dense, starting at 0).
+  /// (dense, starting at 0). Throws Error(AdmissionRejected) while the
+  /// overload ladder is at RejectAdmits.
   SessionId add(std::unique_ptr<core::StreamSession> session,
                 const ManagedSessionConfig& config = {});
 
-  /// Queue an event / advance mark for the session. False when the
-  /// overflow policy lost an op (the loss is already recorded in stats).
+  /// Queue an event / advance mark for the session. False when the op was
+  /// not admitted — overflow-policy loss, rate limit, overload shedding, or
+  /// a Faulted session (each accounted separately in stats()).
   bool submit(SessionId id, const events::Event& event);
   bool submit_advance(SessionId id, TimeUs t);
 
-  /// One scheduling round: every session with queued ops processes up to
-  /// `burst` of them, sessions running in parallel across the pool.
+  /// One scheduling round: every Active session with queued ops processes
+  /// up to `burst` of them, sessions running in parallel across the pool.
   /// Returns the total number of ops processed (0 == all queues empty).
   Index pump();
 
@@ -92,7 +137,35 @@ class SessionManager {
     return *slot(id).session;
   }
 
-  /// Session stats with ingress-queue drops folded in.
+  SessionState state(SessionId id) const { return slot(id).state; }
+  /// what() of the exception that faulted the session (empty while Active).
+  const std::string& fault_message(SessionId id) const {
+    return slot(id).fault_message;
+  }
+
+  /// Manually restore a Faulted session from its last checkpoint (replaying
+  /// the logged ops) and return it to Active. False when the session has no
+  /// checkpoint to restore from; throws if the restore itself fails.
+  bool restore(SessionId id);
+
+  /// Force a checkpoint now (also resets the replay log). False when the
+  /// session declines (no checkpoint support or checkpoint_every == 0).
+  bool checkpoint_now(SessionId id);
+
+  /// Install the global overload ladder (see fault/admission.hpp).
+  void set_admission(const fault::AdmissionConfig& config) {
+    admission_ = config;
+  }
+  const fault::AdmissionConfig& admission() const noexcept {
+    return admission_;
+  }
+  /// Current ladder rung, from aggregate queue occupancy.
+  fault::DegradationLevel admission_level() const noexcept;
+  /// Aggregate queued ops / aggregate queue capacity, in [0, 1].
+  double occupancy() const noexcept;
+
+  /// Session stats with ingress-queue drops, admission sheds and quarantine
+  /// losses folded in.
   core::SessionStats stats(SessionId id) const;
 
   /// The session's ingress-queue ledger (pushed / dropped / popped).
@@ -100,12 +173,34 @@ class SessionManager {
     return slot(id).queue.stats();
   }
 
+  /// Admission / degradation ledger: every op the manager refused or shed,
+  /// by reason. Summed across sessions in AggregateStats.
+  struct SheddingStats {
+    std::int64_t rate_limited = 0;     ///< Token-bucket rejections.
+    std::int64_t shed_noise = 0;       ///< DropNoise rung sheds.
+    std::int64_t rejected_overload = 0;///< RejectAdmits rung rejections.
+    std::int64_t rejected_faulted = 0; ///< Submits to quarantined sessions.
+    std::int64_t coarsened_rounds = 0; ///< pump() rounds at CoarsenBursts+.
+  };
+
+  /// Fault / recovery ledger.
+  struct FaultStats {
+    std::int64_t faults = 0;      ///< Op applications that threw.
+    std::int64_t restores = 0;    ///< Successful checkpoint recoveries.
+    std::int64_t checkpoints = 0; ///< Checkpoints taken.
+    std::int64_t quarantine_dropped = 0;  ///< Backlog ops lost to quarantine.
+    Index quarantined_sessions = 0;
+  };
+
   /// Everything the manager knows, summed across sessions — the serving
   /// dashboard numbers: totals include per-session events/decisions (with
-  /// ingress drops folded in) and the aggregated queue ledger.
+  /// ingress drops folded in), the aggregated queue ledger, and the
+  /// shedding / fault ledgers.
   struct AggregateStats {
     core::SessionStats totals;
     EventQueue::Stats queues;
+    SheddingStats shedding;
+    FaultStats faults;
     Index sessions = 0;
   };
   AggregateStats stats() const;
@@ -119,23 +214,81 @@ class SessionManager {
     std::unique_ptr<core::StreamSession> session;
     EventQueue queue;
     obs::Histogram latency;  ///< evd_feed_to_decision_us{session="N"}
-    Slot(std::unique_ptr<core::StreamSession> s, Index capacity,
-         OverflowPolicy policy)
-        : session(std::move(s)), queue(capacity, policy) {}
+    ManagedSessionConfig config;
+    SessionState state = SessionState::Active;
+    std::string fault_message;
+    TimeUs last_feed_t = std::numeric_limits<TimeUs>::min();
+    // Checkpoint/restore (active when config.checkpoint_every > 0 and the
+    // session supports save_state).
+    bool checkpointing = false;
+    std::vector<std::uint8_t> checkpoint;
+    std::vector<StreamOp> replay_log;  ///< Ops applied since the checkpoint.
+    Index ops_since_checkpoint = 0;
+    /// Monotone-guard watermark at checkpoint time (manager-side state the
+    /// session's own checkpoint cannot carry).
+    TimeUs checkpoint_last_feed_t = std::numeric_limits<TimeUs>::min();
+    // Admission.
+    fault::TokenBucket bucket;
+    fault::NoiseGate noise_gate;
+    // Per-slot ledgers (submit-side fields written by the submitting thread,
+    // pump-side fields by the one worker that owns the slot per round).
+    SheddingStats shed;
+    std::int64_t faults = 0;
+    std::int64_t restores = 0;
+    std::int64_t checkpoints = 0;
+    std::int64_t quarantine_dropped = 0;
+    Slot(std::unique_ptr<core::StreamSession> s,
+         const ManagedSessionConfig& cfg)
+        : session(std::move(s)),
+          queue(cfg.queue_capacity, cfg.overflow),
+          config(cfg) {}
   };
 
   Slot& slot(SessionId id);
   const Slot& slot(SessionId id) const;
 
+  /// Admission pipeline shared by submit/submit_advance. Returns false (and
+  /// accounts the shed) when the op is refused before reaching the queue.
+  bool admit(SessionId id, Slot& s, StreamOp op);
+  bool push_op(Slot& s, const StreamOp& op);
+
+  /// Apply one op to the session, running the injection site and the
+  /// validation guard. Throws on any fault.
+  void apply_op(SessionId id, Slot& s, const StreamOp& op);
+  /// Checkpoint-restore + replay + retry after apply_op threw. True when
+  /// the session recovered and the faulting op was applied.
+  bool recover(SessionId id, Slot& s, const StreamOp& op);
+  void quarantine(SessionId id, Slot& s, const char* why);
+  /// Log `op` against the current checkpoint; take a new checkpoint when
+  /// the cadence (or the replay-log bound) says so.
+  void note_applied(Slot& s, const StreamOp& op);
+  bool take_checkpoint(Slot& s);
+
   Index burst_;
   std::vector<std::unique_ptr<Slot>> slots_;
   std::vector<Index> processed_;  ///< Per-session scratch for pump().
+  fault::AdmissionConfig admission_;
+  std::atomic<std::int64_t> queued_ops_{0};
+  std::int64_t capacity_total_ = 0;
+  std::int64_t coarsened_rounds_ = 0;  ///< pump() rounds run coarsened.
+
+  // Injection sites (inert single-branch checks unless armed; see
+  // fault/injector.hpp). Keyed by session id.
+  fault::Site site_malformed_;
+  fault::Site site_out_of_order_;
+  fault::Site site_duplicate_;
+  fault::Site site_storm_;
+  fault::Site site_op_fault_;
 
   // Registry instruments (shared names — registering twice is a no-op).
   obs::Histogram latency_all_;    ///< Aggregate feed→decision latency, µs.
   obs::Counter ops_processed_;
   obs::Counter pump_rounds_;
   obs::Gauge sessions_gauge_;
+  obs::Counter faults_counter_;      ///< evd_fault_session_faults_total
+  obs::Counter restores_counter_;    ///< evd_fault_restores_total
+  obs::Counter shed_counter_;        ///< evd_admission_shed_total
+  obs::Gauge overload_gauge_;        ///< evd_overload_level
 };
 
 }  // namespace evd::runtime

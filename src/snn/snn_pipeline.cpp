@@ -1,5 +1,6 @@
 #include "snn/snn_pipeline.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -169,6 +170,53 @@ class SnnStreamSession : public runtime::SessionBase {
   }
 
   void on_advance(TimeUs t) override { tick_until(t); }
+
+  // Checkpoint payload: the full neuron state plus the timestep clock and
+  // the pending input spike set. The arena dedup bitmap is derived — it is
+  // exactly "index appears in pending_" — so on_load rebuilds it instead of
+  // serializing the whole (mostly zero) map.
+  bool checkpoint_supported() const override { return true; }
+
+  void on_save(fault::CheckpointWriter& w) const override {
+    w.i64(step_end_);
+    w.i64(state_.steps_seen);
+    w.i64(state_.step_hidden_spikes);
+    w.i64(static_cast<Index>(state_.membrane.size()));
+    for (const auto& layer : state_.membrane) w.pod_vector(layer);
+    w.pod_vector(state_.readout_sum);
+    w.pod_vector(pending_);
+  }
+
+  void on_load(fault::CheckpointReader& r) override {
+    step_end_ = r.i64();
+    state_.steps_seen = r.i64();
+    state_.step_hidden_spikes = r.i64();
+    if (const Index layers = r.i64();
+        layers != static_cast<Index>(state_.membrane.size())) {
+      throw Error(ErrorCode::CheckpointMismatch,
+                  "SnnStreamSession: checkpointed " + std::to_string(layers) +
+                      " membrane layers, net has " +
+                      std::to_string(state_.membrane.size()));
+    }
+    for (auto& layer : state_.membrane) {
+      const size_t expected = layer.size();
+      r.pod_vector(layer);
+      if (layer.size() != expected) {
+        throw Error(ErrorCode::CheckpointMismatch,
+                    "SnnStreamSession: membrane layer size changed");
+      }
+    }
+    r.pod_vector(state_.readout_sum);
+    std::fill(seen_.begin(), seen_.end(), 0);
+    r.pod_vector(pending_);
+    for (const Index i : pending_) {
+      if (i < 0 || i >= static_cast<Index>(seen_.size())) {
+        throw Error(ErrorCode::CheckpointCorrupt,
+                    "SnnStreamSession: pending spike index out of range");
+      }
+      seen_[static_cast<size_t>(i)] = 1;
+    }
+  }
 
   void tick_until(TimeUs now) {
     // net().step() allocates internally; that cost is bounded by the clock

@@ -27,7 +27,7 @@ class OracleTest : public ::testing::Test {
 
 TEST_F(OracleTest, RegistryHasAllBuiltinPairs) {
   register_builtin_oracles();  // second call must be a no-op
-  EXPECT_GE(registry().all().size(), 8u);
+  EXPECT_GE(registry().all().size(), 14u);
   for (const char* name :
        {"conv2d.direct_vs_gemm", "snn.clocked_vs_event_driven",
         "gnn.batch_vs_incremental", "par.cnn_conv_1_vs_4_threads",
@@ -35,7 +35,8 @@ TEST_F(OracleTest, RegistryHasAllBuiltinPairs) {
         "hw.systolic_vs_naive", "hw.zero_skip_vs_naive",
         "runtime.multiplex_vs_sequential.cnn",
         "runtime.multiplex_vs_sequential.snn",
-        "runtime.multiplex_vs_sequential.gnn", "runtime.obs_on_vs_off"}) {
+        "runtime.multiplex_vs_sequential.gnn", "runtime.obs_on_vs_off",
+        "runtime.fault_isolation", "runtime.checkpoint_replay"}) {
     const Oracle* oracle = registry().find(name);
     ASSERT_NE(oracle, nullptr) << name;
     EXPECT_FALSE(oracle->description().empty());
@@ -95,6 +96,14 @@ TEST_F(OracleTest, GnnMultiplexedServingMatchesSequential) {
 
 TEST_F(OracleTest, ObservabilityNeverPerturbsDecisions) {
   expect_passes("runtime.obs_on_vs_off", 25);
+}
+
+TEST_F(OracleTest, FaultedNeighborNeverPerturbsHealthySessions) {
+  expect_passes("runtime.fault_isolation", 25);
+}
+
+TEST_F(OracleTest, CheckpointRestoreReplayIsBitwiseTransparent) {
+  expect_passes("runtime.checkpoint_replay", 25);
 }
 
 // Forward-compatibility net: pairs added by later PRs are exercised even

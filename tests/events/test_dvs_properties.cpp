@@ -1,6 +1,10 @@
 // Parameterised property sweeps over the DVS simulator configuration.
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <tuple>
+#include <vector>
+
 #include "events/dvs_simulator.hpp"
 #include "events/scene.hpp"
 
@@ -81,6 +85,114 @@ TEST_P(NoiseSweep, NoiseAddsProportionally) {
 
 INSTANTIATE_TEST_SUITE_P(NoiseRates, NoiseSweep,
                          ::testing::Values(0.0, 1.0, 5.0, 20.0));
+
+// ---- degraded-sensor regimes: leak-noise bursts + HDR flicker -------------
+
+/// (leak_burst_rate_hz, flicker_hz) — every combination of the two failure
+/// modes, including each alone and both stacked.
+using DegradedParams = std::tuple<double, double>;
+
+class DegradedSweep : public ::testing::TestWithParam<DegradedParams> {
+ protected:
+  static DvsConfig degraded_config() {
+    DvsConfig config;
+    config.leak_burst_rate_hz = std::get<0>(GetParam());
+    config.leak_burst_length = 6;
+    config.leak_burst_spacing_us = 200;
+    config.flicker_hz = std::get<1>(GetParam());
+    config.flicker_amplitude = 0.25;
+    config.flicker_fraction = 0.3;
+    return config;
+  }
+};
+
+TEST_P(DegradedSweep, StreamsStaySortedInBoundsAndMonotonePerPixel) {
+  constexpr TimeUs kDuration = 200000;
+  DvsSimulator simulator(24, 24, degraded_config(), Rng(11));
+  const EventStream stream = simulator.simulate(sweep_scene(), kDuration);
+  ASSERT_GT(stream.size(), 0u);
+
+  // No degradation knob may break the stream contract: globally t-sorted
+  // (which implies per-pixel t-monotone), every coordinate on the sensor,
+  // every timestamp inside the simulated window.
+  std::vector<TimeUs> last_per_pixel(24 * 24,
+                                     std::numeric_limits<TimeUs>::min());
+  TimeUs last = std::numeric_limits<TimeUs>::min();
+  for (const Event& e : stream.events) {
+    ASSERT_GE(e.x, 0);
+    ASSERT_LT(e.x, 24);
+    ASSERT_GE(e.y, 0);
+    ASSERT_LT(e.y, 24);
+    ASSERT_GE(e.t, 0);
+    ASSERT_LE(e.t, kDuration);
+    ASSERT_GE(e.t, last) << "stream not t-sorted";
+    last = e.t;
+    TimeUs& pixel_last = last_per_pixel[static_cast<size_t>(e.y * 24 + e.x)];
+    ASSERT_GE(e.t, pixel_last) << "pixel (" << e.x << "," << e.y
+                               << ") time regressed";
+    pixel_last = e.t;
+  }
+}
+
+TEST_P(DegradedSweep, DegradationOnlyEverAddsEvents) {
+  DvsConfig clean;
+  DvsSimulator clean_simulator(24, 24, clean, Rng(12));
+  const auto baseline = clean_simulator.simulate(sweep_scene(), 200000).size();
+  DvsSimulator degraded_simulator(24, 24, degraded_config(), Rng(12));
+  const auto degraded =
+      degraded_simulator.simulate(sweep_scene(), 200000).size();
+  EXPECT_GE(degraded, baseline);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DegradedRegimes, DegradedSweep,
+    ::testing::Values(DegradedParams{0.0, 0.0}, DegradedParams{3000.0, 0.0},
+                      DegradedParams{0.0, 120.0},
+                      DegradedParams{3000.0, 120.0}));
+
+TEST(DvsDegraded, LeakBurstsFireOnPolarityRunsOnAStaticScene) {
+  Scene quiet(24, 24, 0.4f);  // static: every event is sensor pathology
+  DvsConfig config;
+  config.background_rate_hz = 0.0;
+  config.hot_pixel_fraction = 0.0;
+  config.threshold_mismatch = 0.0;
+  config.leak_burst_rate_hz = 2000.0;
+  config.leak_burst_length = 5;
+  config.leak_burst_spacing_us = 300;
+  DvsSimulator simulator(24, 24, config, Rng(13));
+  const EventStream stream = simulator.simulate(quiet, 300000);
+  ASSERT_GT(stream.size(), 0u);
+  for (const Event& e : stream.events) {
+    EXPECT_EQ(e.polarity, Polarity::On);  // leakage discharges one way
+  }
+}
+
+TEST(DvsDegraded, FlickerAloneGeneratesEventsOnAStaticScene) {
+  Scene quiet(24, 24, 0.4f);
+  DvsConfig config;
+  config.background_rate_hz = 0.0;
+  config.hot_pixel_fraction = 0.0;
+  config.threshold_mismatch = 0.0;
+  DvsSimulator silent(24, 24, config, Rng(14));
+  EXPECT_EQ(silent.simulate(quiet, 200000).size(), 0u);
+
+  config.flicker_hz = 100.0;
+  config.flicker_amplitude = 0.4;
+  config.flicker_fraction = 0.5;
+  DvsSimulator flickering(24, 24, config, Rng(14));
+  const EventStream stream = flickering.simulate(quiet, 200000);
+  // A 100 Hz, 0.4-amplitude modulation swings well past the default
+  // contrast threshold every half-period: the masked pixels must fire both
+  // polarities.
+  ASSERT_GT(stream.size(), 0u);
+  bool saw_on = false, saw_off = false;
+  for (const Event& e : stream.events) {
+    saw_on |= e.polarity == Polarity::On;
+    saw_off |= e.polarity == Polarity::Off;
+  }
+  EXPECT_TRUE(saw_on);
+  EXPECT_TRUE(saw_off);
+}
 
 }  // namespace
 }  // namespace evd::events

@@ -1,0 +1,357 @@
+// Checkpoint/restore: the byte-level writer/reader contract, the SessionBase
+// framing (magic / version / paradigm / watermark guards), and bitwise
+// save→load→continue transparency for all three paradigm sessions fed a
+// degraded-sensor stream (leak bursts + HDR flicker from the DvsSimulator).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cnn/cnn_pipeline.hpp"
+#include "events/dvs_simulator.hpp"
+#include "events/scene.hpp"
+#include "fault/checkpoint.hpp"
+#include "gnn/gnn_pipeline.hpp"
+#include "runtime/session_base.hpp"
+#include "snn/snn_pipeline.hpp"
+
+namespace evd::fault {
+namespace {
+
+// ---- writer / reader primitives -------------------------------------------
+
+TEST(CheckpointBytes, PrimitivesRoundTrip) {
+  std::vector<std::uint8_t> bytes;
+  struct Pod {
+    std::int32_t a;
+    float b;
+  };
+  {
+    CheckpointWriter w(bytes, 1 << 20);
+    w.u32(0xDEADBEEF);
+    w.i64(-42);
+    w.f64(2.5);
+    w.str("paradigm");
+    w.pod(Pod{7, 1.5f});
+    w.pod_vector(std::vector<std::int64_t>{1, 2, 3});
+    const float fixed[4] = {0.5f, 1.5f, 2.5f, 3.5f};
+    w.pod_span(std::span<const float>(fixed, 2));
+    EXPECT_EQ(w.bytes_written(), bytes.size());
+  }
+  CheckpointReader r(bytes);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_EQ(r.f64(), 2.5);
+  EXPECT_EQ(r.str(), "paradigm");
+  Pod p{};
+  r.pod(p);
+  EXPECT_EQ(p.a, 7);
+  EXPECT_EQ(p.b, 1.5f);
+  std::vector<std::int64_t> v;
+  r.pod_vector(v);
+  EXPECT_EQ(v, (std::vector<std::int64_t>{1, 2, 3}));
+  float target[4] = {};
+  EXPECT_EQ(r.pod_span_into(std::span<float>(target)), 2);
+  EXPECT_EQ(target[0], 0.5f);
+  EXPECT_EQ(target[1], 1.5f);
+  EXPECT_EQ(target[2], 0.0f);  // trailing elements untouched
+  EXPECT_NO_THROW(r.expect_end());
+}
+
+TEST(CheckpointBytes, WriterEnforcesTheSizeBound) {
+  std::vector<std::uint8_t> bytes;
+  CheckpointWriter w(bytes, 12);
+  w.i64(1);  // 8 bytes, fits
+  try {
+    w.i64(2);  // would be 16 > 12
+    FAIL() << "size bound must throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::CheckpointTooLarge);
+  }
+}
+
+TEST(CheckpointBytes, ReaderRejectsTruncationAndBadLengths) {
+  std::vector<std::uint8_t> bytes;
+  {
+    CheckpointWriter w(bytes, 1 << 20);
+    w.pod_vector(std::vector<std::int64_t>{1, 2, 3, 4});
+  }
+  // Truncated payload: the length prefix itself now exceeds what is left.
+  {
+    CheckpointReader r(std::span<const std::uint8_t>(bytes.data(), 16));
+    std::vector<std::int64_t> v;
+    try {
+      r.pod_vector(v);
+      FAIL() << "truncated vector must throw";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::CheckpointCorrupt);
+    }
+  }
+  // Negative length prefix.
+  {
+    std::vector<std::uint8_t> negative;
+    CheckpointWriter w(negative, 1 << 20);
+    w.i64(-1);
+    CheckpointReader r(negative);
+    std::vector<std::int64_t> v;
+    EXPECT_THROW(r.pod_vector(v), Error);
+  }
+  // A stored span wider than its fixed target buffer.
+  {
+    CheckpointReader r(bytes);
+    std::int64_t tiny[2] = {};
+    try {
+      r.pod_span_into(std::span<std::int64_t>(tiny));
+      FAIL() << "oversized span must throw";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::CheckpointCorrupt);
+    }
+  }
+  // Trailing garbage fails expect_end.
+  {
+    CheckpointReader r(bytes);
+    EXPECT_THROW(r.expect_end(), Error);
+  }
+}
+
+// ---- SessionBase framing ---------------------------------------------------
+
+class FramedSession final : public runtime::SessionBase {
+ public:
+  explicit FramedSession(const char* paradigm = "test",
+                         std::size_t max_bytes = std::size_t{4} << 20)
+      : runtime::SessionBase(
+            runtime::SessionBaseConfig{0, 64, paradigm, max_bytes}) {}
+
+  std::vector<TimeUs> seen;
+
+ private:
+  void on_event(const events::Event& event) override {
+    seen.push_back(event.t);
+  }
+  void on_advance(TimeUs t) override {
+    core::Decision d;
+    d.t = t;
+    d.label = static_cast<int>(seen.size());
+    d.confidence = 1.0;
+    emit(d);
+  }
+  bool checkpoint_supported() const override { return true; }
+  void on_save(CheckpointWriter& w) const override { w.pod_vector(seen); }
+  void on_load(CheckpointReader& r) override { r.pod_vector(seen); }
+};
+
+/// No checkpoint hooks: declines rather than silently losing state.
+class UnsupportedSession final : public runtime::SessionBase {
+ public:
+  UnsupportedSession()
+      : runtime::SessionBase(runtime::SessionBaseConfig{0, 64, "test"}) {}
+
+ private:
+  void on_event(const events::Event&) override {}
+  void on_advance(TimeUs) override {}
+};
+
+events::Event event_at(TimeUs t) {
+  events::Event e;
+  e.x = 1;
+  e.y = 1;
+  e.polarity = Polarity::On;
+  e.t = t;
+  return e;
+}
+
+TEST(CheckpointFraming, UnsupportedSessionsDecline) {
+  UnsupportedSession session;
+  std::vector<std::uint8_t> bytes;
+  EXPECT_FALSE(session.save_state(bytes));
+  EXPECT_FALSE(session.load_state(bytes));
+}
+
+TEST(CheckpointFraming, RoundTripRestoresStateAndCounters) {
+  FramedSession a;
+  for (TimeUs t = 0; t < 5; ++t) a.feed(event_at(t));
+  a.advance_to(10);
+  std::vector<std::uint8_t> bytes;
+  ASSERT_TRUE(a.save_state(bytes));
+
+  FramedSession b;
+  ASSERT_TRUE(b.load_state(bytes));
+  EXPECT_EQ(b.seen, a.seen);
+  EXPECT_EQ(b.stats().events_fed, 5);
+  EXPECT_EQ(b.stats().decisions_emitted, 1);
+  EXPECT_EQ(b.decisions(), a.decisions());
+}
+
+TEST(CheckpointFraming, TinyBoundThrowsTooLarge) {
+  FramedSession session("test", /*max_bytes=*/16);
+  std::vector<std::uint8_t> bytes;
+  try {
+    session.save_state(bytes);
+    FAIL() << "16-byte bound must throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::CheckpointTooLarge);
+  }
+}
+
+TEST(CheckpointFraming, HeaderGuardsRejectForeignBytes) {
+  FramedSession source;
+  source.feed(event_at(1));
+  std::vector<std::uint8_t> bytes;
+  ASSERT_TRUE(source.save_state(bytes));
+
+  {  // Corrupt magic.
+    std::vector<std::uint8_t> bad = bytes;
+    bad[0] ^= 0xFF;
+    FramedSession target;
+    try {
+      target.load_state(bad);
+      FAIL() << "bad magic must throw";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::CheckpointCorrupt);
+    }
+  }
+  {  // Future version: strict equality, no migration.
+    std::vector<std::uint8_t> bad = bytes;
+    bad[4] = static_cast<std::uint8_t>(kCheckpointVersion + 1);
+    FramedSession target;
+    try {
+      target.load_state(bad);
+      FAIL() << "version skew must throw";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::CheckpointMismatch);
+    }
+  }
+  {  // Wrong paradigm.
+    FramedSession target("other");
+    try {
+      target.load_state(bytes);
+      FAIL() << "paradigm mismatch must throw";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::CheckpointMismatch);
+    }
+  }
+  {  // Truncated tail.
+    std::vector<std::uint8_t> bad = bytes;
+    bad.resize(bad.size() - 4);
+    FramedSession target;
+    try {
+      target.load_state(bad);
+      FAIL() << "truncation must throw";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::CheckpointCorrupt);
+    }
+  }
+}
+
+// ---- paradigm sessions: save → load → continue is bitwise transparent -----
+
+constexpr Index kGeom = 16;
+constexpr TimeUs kDuration = 40000;
+
+/// A degraded sensor: moving shape + leak-noise bursts + HDR flicker. The
+/// stream checkpoints must survive is deliberately the ugly one.
+events::EventStream degraded_stream() {
+  events::Scene scene(kGeom, kGeom, 0.1f);
+  events::MovingShape shape;
+  shape.kind = events::ShapeKind::Square;
+  shape.x0 = 4.0;
+  shape.y0 = 8.0;
+  shape.vx = 150.0;
+  shape.radius = 3.0;
+  scene.add_shape(shape);
+
+  events::DvsConfig config;
+  config.leak_burst_rate_hz = 4000.0;
+  config.leak_burst_length = 4;
+  config.leak_burst_spacing_us = 150;
+  config.flicker_hz = 120.0;
+  config.flicker_amplitude = 0.3;
+  config.flicker_fraction = 0.25;
+  events::DvsSimulator sim(kGeom, kGeom, config, Rng(7));
+  return sim.simulate(scene, kDuration);
+}
+
+template <typename Pipeline>
+void expect_checkpoint_transparent(Pipeline& pipeline) {
+  const events::EventStream stream = degraded_stream();
+  ASSERT_GT(stream.events.size(), 20u);
+  const size_t split = stream.events.size() / 2;
+
+  auto feed_range = [&stream](core::StreamSession& s, size_t begin,
+                              size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      s.feed(stream.events[i]);
+      if ((i + 1) % 40 == 0) s.advance_to(stream.events[i].t);
+    }
+  };
+
+  // Reference: one uninterrupted session over the full stream.
+  auto continuous = pipeline.open_session(kGeom, kGeom);
+  feed_range(*continuous, 0, stream.events.size());
+  continuous->advance_to(kDuration + 10000);
+
+  // Checkpointed: first half, save, restore into a *fresh* session, second
+  // half there.
+  auto first_half = pipeline.open_session(kGeom, kGeom);
+  feed_range(*first_half, 0, split);
+  std::vector<std::uint8_t> bytes;
+  ASSERT_TRUE(first_half->save_state(bytes));
+
+  auto restored = pipeline.open_session(kGeom, kGeom);
+  ASSERT_TRUE(restored->load_state(bytes));
+  feed_range(*restored, split, stream.events.size());
+  restored->advance_to(kDuration + 10000);
+
+  const auto& want = continuous->decisions();
+  const auto& got = restored->decisions();
+  ASSERT_GT(want.size(), 0u);
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i], want[i]) << "decision " << i << ": {t=" << got[i].t
+                               << ", label=" << got[i].label
+                               << ", conf=" << got[i].confidence << "} vs {t="
+                               << want[i].t << ", label=" << want[i].label
+                               << ", conf=" << want[i].confidence << "}";
+  }
+  EXPECT_EQ(restored->stats().events_fed, continuous->stats().events_fed);
+}
+
+TEST(CheckpointParadigms, CnnSaveLoadContinueIsBitwiseTransparent) {
+  cnn::CnnPipelineConfig config;
+  config.width = kGeom;
+  config.height = kGeom;
+  config.num_classes = 2;
+  config.base_filters = 2;
+  config.frame_period_us = 10000;
+  cnn::CnnPipeline pipeline(config);
+  expect_checkpoint_transparent(pipeline);
+}
+
+TEST(CheckpointParadigms, SnnSaveLoadContinueIsBitwiseTransparent) {
+  snn::SnnPipelineConfig config;
+  config.width = kGeom;
+  config.height = kGeom;
+  config.num_classes = 2;
+  config.hidden = 16;
+  config.encoder.spatial_factor = 2;
+  config.timestep_us = 5000;
+  snn::SnnPipeline pipeline(config);
+  expect_checkpoint_transparent(pipeline);
+}
+
+TEST(CheckpointParadigms, GnnSaveLoadContinueIsBitwiseTransparent) {
+  gnn::GnnPipelineConfig config;
+  config.width = kGeom;
+  config.height = kGeom;
+  config.num_classes = 2;
+  config.model.hidden = 8;
+  config.model.layers = 2;
+  config.stream_stride = 2;
+  gnn::GnnPipeline pipeline(config);
+  expect_checkpoint_transparent(pipeline);
+}
+
+}  // namespace
+}  // namespace evd::fault

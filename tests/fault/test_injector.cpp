@@ -1,0 +1,158 @@
+// evd::fault::Injector: deterministic seed-driven fault schedules, the
+// inert-when-disabled contract, and the ingress corruption helpers.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fault/injector.hpp"
+
+namespace evd::fault {
+namespace {
+
+class InjectorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Injector::instance().reset();
+    set_enabled(false);
+  }
+  void TearDown() override {
+    Injector::instance().reset();
+    set_enabled(false);
+  }
+};
+
+TEST_F(InjectorTest, DisabledSitesNeverFire) {
+  Site site = Injector::instance().site("test.disabled");
+  FaultPlan plan;
+  plan.max_fires = 0;  // unlimited
+  Injector::instance().arm("test.disabled", plan);
+  // enabled() is still false: the site must short-circuit without even
+  // counting the visit.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(site.fire(), FaultKind::None);
+  }
+  EXPECT_EQ(Injector::instance().visits("test.disabled"), 0);
+  EXPECT_EQ(Injector::instance().fires("test.disabled"), 0);
+}
+
+TEST_F(InjectorTest, DefaultConstructedHandleIsInert) {
+  Site site;
+  set_enabled(true);
+  EXPECT_FALSE(site.valid());
+  EXPECT_EQ(site.fire(), FaultKind::None);
+}
+
+TEST_F(InjectorTest, UnarmedSiteIsInertEvenWhenEnabled) {
+  Site site = Injector::instance().site("test.unarmed");
+  set_enabled(true);
+  EXPECT_EQ(site.fire(), FaultKind::None);
+  EXPECT_EQ(Injector::instance().visits("test.unarmed"), 0);
+}
+
+TEST_F(InjectorTest, AfterAndMaxFiresBoundTheSchedule) {
+  Site site = Injector::instance().site("test.window");
+  FaultPlan plan;
+  plan.kind = FaultKind::SessionThrow;
+  plan.after = 3;
+  plan.max_fires = 2;
+  Injector::instance().arm("test.window", plan);
+  set_enabled(true);
+  std::vector<FaultKind> outcomes;
+  for (int i = 0; i < 10; ++i) outcomes.push_back(site.fire());
+  // Visits 0,1,2 are skipped; visits 3,4 fire; the fire budget is then spent.
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(outcomes[i], FaultKind::None) << i;
+  EXPECT_EQ(outcomes[3], FaultKind::SessionThrow);
+  EXPECT_EQ(outcomes[4], FaultKind::SessionThrow);
+  for (int i = 5; i < 10; ++i) EXPECT_EQ(outcomes[i], FaultKind::None) << i;
+  EXPECT_EQ(Injector::instance().visits("test.window"), 10);
+  EXPECT_EQ(Injector::instance().fires("test.window"), 2);
+}
+
+TEST_F(InjectorTest, TargetKeyFiltersVisits) {
+  Site site = Injector::instance().site("test.target");
+  FaultPlan plan;
+  plan.kind = FaultKind::ArenaExhaustion;
+  plan.target = 7;
+  plan.max_fires = 1;
+  Injector::instance().arm("test.target", plan);
+  set_enabled(true);
+  // Non-matching keys neither fire nor consume matching visits.
+  EXPECT_EQ(site.fire(3), FaultKind::None);
+  EXPECT_EQ(site.fire(-1), FaultKind::None);
+  EXPECT_EQ(Injector::instance().visits("test.target"), 0);
+  EXPECT_EQ(site.fire(7), FaultKind::ArenaExhaustion);
+  EXPECT_EQ(site.fire(7), FaultKind::None);  // budget spent
+  EXPECT_EQ(Injector::instance().visits("test.target"), 2);
+}
+
+TEST_F(InjectorTest, ProbabilityScheduleIsAPureFunctionOfSeed) {
+  FaultPlan plan;
+  plan.kind = FaultKind::DuplicateEvent;
+  plan.probability = 0.3;
+  plan.max_fires = 0;  // unlimited
+  plan.seed = 42;
+  auto run = [&plan](const char* name) {
+    Site site = Injector::instance().site(name);
+    Injector::instance().arm(name, plan);
+    std::vector<FaultKind> outcomes;
+    for (int i = 0; i < 200; ++i) outcomes.push_back(site.fire());
+    return outcomes;
+  };
+  set_enabled(true);
+  const auto first = run("test.prob");
+  const auto again = run("test.prob");  // re-arm resets the counters
+  const auto other = run("test.prob2");
+  EXPECT_EQ(first, again);
+  EXPECT_EQ(first, other);  // schedule depends on the plan, not the site
+  const auto fired = static_cast<size_t>(
+      std::count(first.begin(), first.end(), FaultKind::DuplicateEvent));
+  // 200 draws at p=0.3: a [20, 100] window is ~10 sigma on either side.
+  EXPECT_GT(fired, 20u);
+  EXPECT_LT(fired, 100u);
+  plan.seed = 43;
+  const auto reseeded = run("test.prob");
+  EXPECT_NE(first, reseeded);
+}
+
+TEST_F(InjectorTest, ScopedInjectionRestoresTheWorld) {
+  Site site = Injector::instance().site("test.scoped");
+  ASSERT_FALSE(enabled());
+  {
+    FaultPlan plan;
+    plan.kind = FaultKind::OverflowStorm;
+    plan.storm_extra = 5;
+    ScopedInjection injection("test.scoped", plan);
+    EXPECT_TRUE(enabled());
+    EXPECT_EQ(site.fire(), FaultKind::OverflowStorm);
+    EXPECT_EQ(site.plan().storm_extra, 5);
+  }
+  EXPECT_FALSE(enabled());
+  set_enabled(true);
+  EXPECT_EQ(site.fire(), FaultKind::None);  // disarmed on scope exit
+}
+
+TEST_F(InjectorTest, CorruptMalformedLeavesAnyPlausibleGeometry) {
+  events::Event e;
+  e.x = 5;
+  e.y = 9;
+  e.t = 1234;
+  for (std::uint64_t salt = 0; salt < 16; ++salt) {
+    const events::Event bad = corrupt_malformed(e, salt);
+    const bool out_of_bounds =
+        bad.x < 0 || bad.y < 0 || bad.x >= 0x7000 || bad.y >= 0x7000;
+    EXPECT_TRUE(out_of_bounds) << "salt " << salt;
+    EXPECT_EQ(bad.t, e.t);  // only coordinates are malformed
+  }
+}
+
+TEST_F(InjectorTest, CorruptOutOfOrderRegressesTime) {
+  events::Event e;
+  e.t = 50000;
+  EXPECT_EQ(corrupt_out_of_order(e, 10000).t, 40000);
+  e.t = 100;
+  EXPECT_EQ(corrupt_out_of_order(e, 10000).t, -1);  // floor, never underflow
+}
+
+}  // namespace
+}  // namespace evd::fault

@@ -130,6 +130,73 @@ TEST(EventQueue, DropOldestAccountsEveryDisplacedOpUnderSustainedOverflow) {
   EXPECT_EQ(churn.stats().pushed, 5 * 2 * kCapacity);
 }
 
+TEST(EventQueue, LedgerStaysConsistentThroughMixedTrafficDropNewest) {
+  // The conservation law (pushed == popped + size; rejections on the side)
+  // must hold at *every* observation point of a mixed feed/advance schedule
+  // that repeatedly overflows, not just at quiescence.
+  EventQueue queue(3, OverflowPolicy::DropNewest);
+  EXPECT_EQ(queue.policy(), OverflowPolicy::DropNewest);
+  ASSERT_TRUE(queue.ledger_consistent());  // empty queue: trivially balanced
+  TimeUs t = 0;
+  StreamOp out;
+  for (int round = 0; round < 20; ++round) {
+    for (Index i = 0; i < 5; ++i) {  // 2 of 5 rejected each full round
+      queue.push(i % 3 == 2 ? StreamOp::advance(t) : StreamOp::feed(event_at(t)));
+      ++t;
+      ASSERT_TRUE(queue.ledger_consistent()) << "round " << round;
+    }
+    for (Index i = 0; i < 2; ++i) {
+      queue.pop(out);
+      ASSERT_TRUE(queue.ledger_consistent()) << "round " << round;
+    }
+  }
+  while (queue.pop(out)) {
+    ASSERT_TRUE(queue.ledger_consistent());
+  }
+  // Fully drained: every admitted op was popped, every rejection counted.
+  EXPECT_EQ(queue.size(), 0);
+  EXPECT_EQ(queue.stats().pushed, queue.stats().popped);
+  EXPECT_EQ(queue.stats().pushed + queue.stats().dropped, 100);
+}
+
+TEST(EventQueue, LedgerStaysConsistentThroughMixedTrafficDropOldest) {
+  // Under DropOldest the evicted op *was* pushed, so the law gains the
+  // dropped term: pushed == popped + size + dropped, at every point.
+  EventQueue queue(3, OverflowPolicy::DropOldest);
+  EXPECT_EQ(queue.policy(), OverflowPolicy::DropOldest);
+  TimeUs t = 0;
+  StreamOp out;
+  for (int round = 0; round < 20; ++round) {
+    for (Index i = 0; i < 5; ++i) {
+      queue.push(i % 3 == 2 ? StreamOp::advance(t) : StreamOp::feed(event_at(t)));
+      ++t;
+      ASSERT_TRUE(queue.ledger_consistent()) << "round " << round;
+    }
+    queue.pop(out);
+    ASSERT_TRUE(queue.ledger_consistent()) << "round " << round;
+  }
+  while (queue.pop(out)) {
+    ASSERT_TRUE(queue.ledger_consistent());
+  }
+  EXPECT_EQ(queue.stats().pushed, 100);
+  EXPECT_EQ(queue.stats().popped + queue.stats().dropped, 100);
+}
+
+TEST(EventQueue, DrainToLossEmptiesAndKeepsTheLedger) {
+  for (const auto policy :
+       {OverflowPolicy::DropNewest, OverflowPolicy::DropOldest}) {
+    EventQueue queue(4, policy);
+    for (TimeUs t = 0; t < 6; ++t) queue.push(StreamOp::feed(event_at(t)));
+    ASSERT_TRUE(queue.ledger_consistent());
+    EXPECT_EQ(queue.drain_to_loss(), 4);  // full queue drained
+    EXPECT_TRUE(queue.empty());
+    EXPECT_EQ(queue.stats().popped, 4);
+    EXPECT_TRUE(queue.ledger_consistent());
+    EXPECT_EQ(queue.drain_to_loss(), 0);  // idempotent on empty
+    EXPECT_TRUE(queue.ledger_consistent());
+  }
+}
+
 TEST(EventQueue, CarriesAdvanceMarksInOrder) {
   EventQueue queue(4, OverflowPolicy::DropNewest);
   queue.push(StreamOp::feed(event_at(5)));

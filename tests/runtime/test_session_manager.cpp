@@ -188,7 +188,7 @@ TEST(SessionManager, QueueStatsExposeThePerSessionLedger) {
   EXPECT_EQ(q.pushed, 2);
   EXPECT_EQ(q.dropped, 1);
   EXPECT_EQ(q.popped, 2);
-  EXPECT_THROW(manager.queue_stats(7), std::out_of_range);
+  EXPECT_THROW(manager.queue_stats(7), Error);
 }
 
 TEST(SessionManager, AggregateStatsSumAcrossSessions) {
@@ -250,13 +250,58 @@ TEST(SessionManager, WiresLossCountersIntoTheMetricsRegistry) {
   EXPECT_EQ(latency->count, 1);  // the sampled, advance-triggered decision
 }
 
+/// Every public id-taking API raises a *typed* evd::Error — never UB, never
+/// an assert — and the code pins the reason.
 TEST(SessionManager, RejectsNullSessionsAndBadIds) {
   SessionManager manager;
-  EXPECT_THROW(manager.add(nullptr), std::invalid_argument);
-  EXPECT_THROW(manager.queued(0), std::out_of_range);
+  try {
+    manager.add(nullptr);
+    FAIL() << "add(nullptr) must throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::InvalidArgument);
+  }
+  EXPECT_THROW(manager.queued(0), Error);
   const SessionId id = manager.add(std::make_unique<RecordingSession>());
   EXPECT_EQ(id, 0);
-  EXPECT_THROW(manager.queued(1), std::out_of_range);
+  // Out-of-range on every accessor, both sides of the range, const included.
+  const SessionManager& cmanager = manager;
+  for (const SessionId bad : {SessionId{-1}, SessionId{1}, SessionId{1000}}) {
+    try {
+      manager.queued(bad);
+      FAIL() << "queued(" << bad << ") must throw";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::InvalidSessionId);
+      EXPECT_NE(std::string(e.what()).find("InvalidSessionId"),
+                std::string::npos);
+    }
+    EXPECT_THROW(manager.session(bad), Error);
+    EXPECT_THROW(cmanager.session(bad), Error);
+    EXPECT_THROW(manager.stats(bad), Error);
+    EXPECT_THROW(manager.queue_stats(bad), Error);
+    EXPECT_THROW(manager.state(bad), Error);
+    EXPECT_THROW(manager.fault_message(bad), Error);
+    EXPECT_THROW(manager.restore(bad), Error);
+    EXPECT_THROW(manager.checkpoint_now(bad), Error);
+    EXPECT_THROW(manager.submit(bad, event_at(1)), Error);
+    EXPECT_THROW(manager.submit_advance(bad, 1), Error);
+    std::vector<core::Decision> out;
+    EXPECT_THROW(manager.drain(bad, out), Error);
+  }
+  // The valid id still works after all that.
+  EXPECT_EQ(manager.queued(id), 0);
+  EXPECT_EQ(manager.state(id), SessionState::Active);
+}
+
+TEST(SessionManager, RejectsNonPositiveQueueCapacity) {
+  SessionManager manager;
+  ManagedSessionConfig config;
+  config.queue_capacity = 0;
+  try {
+    manager.add(std::make_unique<RecordingSession>(), config);
+    FAIL() << "queue_capacity=0 must throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::InvalidArgument);
+  }
 }
 
 }  // namespace
