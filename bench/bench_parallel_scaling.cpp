@@ -7,6 +7,9 @@
 // the single-thread output — the deterministic-partitioning contract that
 // makes EVD_THREADS a pure performance knob. A mismatch prints loudly and
 // the process exits non-zero.
+//
+// `--roofline` runs the single-core scalar-vs-vector sweep instead (see the
+// roofline section below); its JSON lines are committed as BENCH_simd.json.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -22,7 +25,9 @@
 #include "common/table.hpp"
 #include "events/dataset.hpp"
 #include "gnn/graph_builder.hpp"
+#include "gnn/graph_conv.hpp"
 #include "nn/conv2d.hpp"
+#include "simd/dispatch.hpp"
 #include "snn/snn_model.hpp"
 
 using namespace evd;
@@ -202,6 +207,142 @@ void sweep_snn_step() {
   print_sweep("SNN forward 1024-2048-2048-10, T=50, 5% input density", rows);
 }
 
+// ---- single-core roofline: scalar kernels vs the dispatched vector tier ----
+//
+// `--roofline` pins the pool to one thread and times the three vectorized
+// hot spans under EVD_SIMD=scalar and under the best tier the CPU supports,
+// so the reported speedup is pure vector-register win — no thread scaling
+// mixed in. Every vector run is also checked bitwise against its scalar
+// run: the kernels promise lane-for-lane identical arithmetic, so a
+// roofline that cheats on the contract fails loudly here.
+
+struct RooflineRow {
+  const char* span = "";
+  double scalar_ms = 0.0;
+  double vector_ms = 0.0;
+  bool identical = true;
+  double speedup() const { return scalar_ms / vector_ms; }
+};
+
+/// Time fn under both tiers and bitwise-compare the `count` floats that
+/// `data()` points at after each run (a getter, not a raw pointer, because
+/// runs that reassign a Tensor relocate its storage).
+RooflineRow roofline_span(const char* span, int reps, Index count,
+                          const std::function<void()>& fn,
+                          const std::function<const float*()>& data) {
+  RooflineRow row;
+  row.span = span;
+  std::vector<float> scalar_out;
+  {
+    simd::ScopedTier tier(simd::Tier::Scalar);
+    row.scalar_ms = time_ms(fn, reps);
+    scalar_out.assign(data(), data() + count);
+  }
+  {
+    simd::ScopedTier tier(simd::detect_best());
+    row.vector_ms = time_ms(fn, reps);
+    row.identical = std::memcmp(scalar_out.data(), data(),
+                                sizeof(float) *
+                                    static_cast<size_t>(count)) == 0;
+  }
+  return row;
+}
+
+RooflineRow roofline_conv() {
+  Rng rng(1);
+  nn::Conv2d conv(nn::Conv2dConfig{16, 32, 3, 1, 1, nn::ConvAlgo::Gemm}, rng);
+  Rng xrng(2);
+  const nn::Tensor x = nn::Tensor::randn({16, 64, 64}, xrng);
+  nn::Tensor out;
+  auto fn = [&] { out = conv.forward(x, false); };
+  fn();  // materialise `out` so numel() is known
+  return roofline_span("cnn.conv_forward", 20, out.numel(), fn,
+                       [&] { return out.data(); });
+}
+
+RooflineRow roofline_snn() {
+  snn::SpikingNetConfig config;
+  config.layer_sizes = {1024, 2048, 2048, 10};
+  Rng rng(3);
+  snn::SpikingNet net(config, rng);
+  const snn::SpikeTrain train = random_train(50, 1024, 0.05, 4);
+  nn::Tensor logits;
+  auto fn = [&] { logits = net.forward(train, false); };
+  fn();
+  return roofline_span("snn.step", 3, logits.numel(), fn,
+                       [&] { return logits.data(); });
+}
+
+RooflineRow roofline_gnn() {
+  constexpr Index kIn = 16, kOut = 16, kNodes = 2048, kDegree = 8;
+  Rng rng(5);
+  gnn::GraphConv conv(kIn, kOut, rng, gnn::Aggregation::Max);
+  // Synthetic node features + ring-neighbor references: the exact
+  // gathered-accumulate workload the incremental message pass runs per
+  // event, without graph-construction cost polluting the span.
+  std::vector<float> features(static_cast<size_t>(kNodes * kIn));
+  for (auto& f : features) f = static_cast<float>(rng.uniform(-1.0, 1.0));
+  std::vector<float> offsets(static_cast<size_t>(kNodes * kDegree * 3));
+  for (auto& o : offsets) o = static_cast<float>(rng.uniform(-3.0, 3.0));
+  std::vector<float> out(static_cast<size_t>(kNodes * kOut));
+  auto fn = [&] {
+    gnn::GraphConv::NeighborRef refs[kDegree];
+    for (Index i = 0; i < kNodes; ++i) {
+      for (Index j = 0; j < kDegree; ++j) {
+        const Index n = (i + 1 + j) % kNodes;
+        const float* o3 =
+            offsets.data() + static_cast<size_t>((i * kDegree + j) * 3);
+        refs[j] = {features.data() + static_cast<size_t>(n * kIn), o3[0],
+                   o3[1], o3[2]};
+      }
+      conv.apply_node(features.data() + static_cast<size_t>(i * kIn),
+                      std::span<const gnn::GraphConv::NeighborRef>(
+                          refs, static_cast<size_t>(kDegree)),
+                      out.data() + static_cast<size_t>(i * kOut));
+    }
+  };
+  return roofline_span("gnn.message_pass", 10, static_cast<Index>(out.size()),
+                       fn, [&] { return out.data(); });
+}
+
+int run_roofline() {
+  par::set_thread_count(1);
+  const simd::Tier best = simd::detect_best();
+  std::printf("== single-core roofline: scalar vs %s kernels ==\n",
+              simd::tier_name(best));
+  if (best == simd::Tier::Scalar) {
+    std::printf("no vector tier available on this CPU; nothing to compare.\n");
+    return 0;
+  }
+  const RooflineRow rows[] = {roofline_conv(), roofline_snn(),
+                              roofline_gnn()};
+  Table table({"span", "scalar [ms]",
+               std::to_string(simd::lane_width(best)) + "-lane [ms]",
+               "speedup", "== scalar output"});
+  for (const auto& row : rows) {
+    table.add_row({row.span, Table::num(row.scalar_ms, 3),
+                   Table::num(row.vector_ms, 3),
+                   Table::num(row.speedup(), 2) + "x",
+                   row.identical ? "yes" : "MISMATCH"});
+    if (!row.identical) g_checksum_failed = true;
+  }
+  table.print();
+  for (const auto& row : rows) {
+    std::printf(
+        "{\"bench\":\"simd_roofline\",\"span\":\"%s\",\"tier\":\"%s\","
+        "\"threads\":1,\"scalar_ms\":%.3f,\"vector_ms\":%.3f,"
+        "\"speedup\":%.2f,\"bitwise\":%s}\n",
+        row.span, simd::tier_name(best), row.scalar_ms, row.vector_ms,
+        row.speedup(), row.identical ? "true" : "false");
+  }
+  if (g_checksum_failed) {
+    std::fprintf(stderr,
+                 "FATAL: vector output diverged from the scalar kernels\n");
+    return 1;
+  }
+  return 0;
+}
+
 // ---- google-benchmark registrations (thread count as the sweep axis) ----
 
 void BM_Conv2dForwardThreads(benchmark::State& state) {
@@ -246,6 +387,9 @@ BENCHMARK(BM_SnnForwardThreads)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillis
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--roofline") == 0) {
+    return run_roofline();
+  }
   std::printf("== parallel scaling: CNN / GNN / SNN hot paths "
               "(hardware_concurrency = %u) ==\n",
               std::thread::hardware_concurrency());

@@ -333,30 +333,66 @@ bool gate_overload() {
 
 // ---- feed->decision latency (p50 / p99 from the obs histogram) ------------
 
-bool report_latency() {
+/// Serve 8 sessions of one paradigm with observability on and report the
+/// feed->decision latency distribution the SessionManager recorded. The
+/// registry is reset per paradigm so each histogram is uncontaminated by
+/// the previous pipeline's samples.
+template <typename Pipeline>
+bool report_latency(const char* paradigm, Pipeline& pipeline) {
   obs::MetricsRegistry::instance().reset();
   obs::set_enabled(true);
-  gnn::GnnPipeline pipeline(gnn_dense_config());
   serve(pipeline, 8);
   obs::set_enabled(false);
   const obs::MetricsSnapshot snap = obs::snapshot();
   const obs::HistogramSnapshot* latency =
       snap.histogram("evd_feed_to_decision_us");
   if (latency == nullptr || latency->count == 0) {
-    std::fprintf(stderr, "FATAL: no feed->decision latency samples\n");
+    std::fprintf(stderr, "FATAL: no %s feed->decision latency samples\n",
+                 paradigm);
     return false;
   }
   const double p50 = latency->quantile(0.50);
   const double p99 = latency->quantile(0.99);
   std::printf(
-      "\n-- feed->decision latency (8 GNN sessions, 1-in-16 sampled) --\n"
+      "\n-- %s feed->decision latency (8 sessions, 1-in-16 sampled) --\n"
       "   p50 %.0f us, p99 %.0f us, mean %.0f us over %lld samples\n",
-      p50, p99, latency->mean(), static_cast<long long>(latency->count));
+      paradigm, p50, p99, latency->mean(),
+      static_cast<long long>(latency->count));
   std::printf(
-      "{\"bench\":\"stream_latency\",\"paradigm\":\"gnn\",\"sessions\":8,"
+      "{\"bench\":\"stream_latency\",\"paradigm\":\"%s\",\"sessions\":8,"
       "\"samples\":%lld,\"p50_us\":%.1f,\"p99_us\":%.1f,\"mean_us\":%.1f}\n",
-      static_cast<long long>(latency->count), p50, p99, latency->mean());
+      paradigm, static_cast<long long>(latency->count), p50, p99,
+      latency->mean());
   return true;
+}
+
+bool report_all_latencies() {
+  bool ok = true;
+  {
+    cnn::CnnPipelineConfig config;
+    config.width = kWidth;
+    config.height = kHeight;
+    config.num_classes = 2;
+    config.base_filters = 4;
+    config.frame_period_us = 20000;
+    cnn::CnnPipeline pipeline(config);
+    ok = report_latency("cnn", pipeline) && ok;
+  }
+  {
+    snn::SnnPipelineConfig config;
+    config.width = kWidth;
+    config.height = kHeight;
+    config.num_classes = 2;
+    config.hidden = 64;
+    config.timestep_us = 5000;
+    snn::SnnPipeline pipeline(config);
+    ok = report_latency("snn", pipeline) && ok;
+  }
+  {
+    gnn::GnnPipeline pipeline(gnn_dense_config());
+    ok = report_latency("gnn", pipeline) && ok;
+  }
+  return ok;
 }
 
 }  // namespace
@@ -414,6 +450,6 @@ int main() {
     ok = gate_fault_overhead(ns_per_event) && ok;
   }
   ok = gate_overload() && ok;
-  ok = report_latency() && ok;
+  ok = report_all_latencies() && ok;
   return ok ? 0 : 1;
 }

@@ -3,13 +3,16 @@
 #include <algorithm>
 #include <sstream>
 
+#include "check/ulp.hpp"
 #include "cnn/cnn_pipeline.hpp"
 #include "fault/injector.hpp"
 #include "gnn/gnn_pipeline.hpp"
 #include "gnn/graph_builder.hpp"
+#include "gnn/graph_conv.hpp"
 #include "gnn/incremental.hpp"
 #include "gnn/kdtree.hpp"
 #include "obs/metrics.hpp"
+#include "simd/dispatch.hpp"
 #include "runtime/session_manager.hpp"
 #include "snn/snn_model.hpp"
 #include "snn/snn_pipeline.hpp"
@@ -356,11 +359,175 @@ std::optional<std::string> diff_gnn_build_serial_vs_threads(
   return std::nullopt;
 }
 
+// ---- simd: vector tiers vs the scalar reference kernels -------------------
+
+namespace {
+
+/// Run fn with the given SIMD tier active, restoring the previous tier.
+template <typename Fn>
+auto with_simd_tier(simd::Tier tier, Fn&& fn) {
+  simd::ScopedTier scoped(tier);
+  return fn();
+}
+
+std::string tier_pair_label(const std::string& what) {
+  return what + " (scalar vs " + simd::tier_name(simd::detect_best()) + ")";
+}
+
+}  // namespace
+
+std::optional<std::string> diff_simd_conv_vs_scalar(const ConvCase& c) {
+  auto run = [&c] {
+    nn::Conv2dConfig config = c.config;
+    config.algo = nn::ConvAlgo::Gemm;  // force the vectorized GEMM path
+    Rng rng(c.weight_seed);
+    nn::Conv2d conv(config, rng);
+    return conv.forward(c.input, false);
+  };
+  const nn::Tensor scalar = with_simd_tier(simd::Tier::Scalar, run);
+  const nn::Tensor vector = with_simd_tier(simd::detect_best(), run);
+  // He-normal weights are not dyadic, yet the bound is 0 ULPs: the vector
+  // lanes replay the scalar per-pixel accumulation order with unfused
+  // mul+add, so the agreement is bitwise, not merely close.
+  return diff_floats_ulp(tier_pair_label("conv gemm output"), scalar.data(),
+                         vector.data(), scalar.numel(), 0);
+}
+
+std::optional<std::string> diff_simd_snn_step_vs_scalar(const SnnNetCase& c) {
+  struct StepRun {
+    std::vector<nn::Tensor> logits;
+    snn::SnnState state;
+  };
+  auto run = [&c] {
+    snn::SpikingNetConfig config;
+    config.layer_sizes = c.layer_sizes;
+    Rng rng(c.weight_seed);
+    snn::SpikingNet net(config, rng);
+    StepRun r;
+    r.state = net.make_state();
+    for (Index t = 0; t < c.input.steps; ++t) {
+      r.logits.push_back(
+          net.step(r.state, c.input.active[static_cast<size_t>(t)]));
+    }
+    return r;
+  };
+  const StepRun scalar = with_simd_tier(simd::Tier::Scalar, run);
+  const StepRun vector = with_simd_tier(simd::detect_best(), run);
+  for (size_t t = 0; t < scalar.logits.size(); ++t) {
+    if (auto d = diff_floats_ulp(
+            tier_pair_label("snn step logits at t=" + std::to_string(t)),
+            scalar.logits[t].data(), vector.logits[t].data(),
+            scalar.logits[t].numel(), 0)) {
+      return d;
+    }
+  }
+  for (size_t l = 0; l < scalar.state.membrane.size(); ++l) {
+    if (auto d = diff_floats_ulp(
+            tier_pair_label("snn membrane layer " + std::to_string(l)),
+            scalar.state.membrane[l].data(), vector.state.membrane[l].data(),
+            static_cast<Index>(scalar.state.membrane[l].size()), 0)) {
+      return d;
+    }
+  }
+  if (auto d = diff_floats_ulp(
+          tier_pair_label("snn readout sum"), scalar.state.readout_sum.data(),
+          vector.state.readout_sum.data(),
+          static_cast<Index>(scalar.state.readout_sum.size()), 0)) {
+    return d;
+  }
+  // Bitwise membranes imply identical threshold crossings; the explicit
+  // spike-count check catches a kernel that fires the right membrane but
+  // emits the wrong ids.
+  return diff_scalar("snn hidden spikes in final step",
+                     static_cast<double>(scalar.state.step_hidden_spikes),
+                     static_cast<double>(vector.state.step_hidden_spikes));
+}
+
+Gen<GnnNodeCase> gnn_node_case_gen() {
+  Gen<GnnNodeCase> gen;
+  gen.sample = [](Rng& rng) {
+    GnnNodeCase c;
+    c.in = 1 + static_cast<Index>(rng.uniform_int(12));
+    // Spans one-or-more full vector widths plus every tail length.
+    c.out = 1 + static_cast<Index>(rng.uniform_int(20));
+    c.weight_seed = rng.next_u64();
+    c.max_aggregation = rng.bernoulli(0.5);
+    c.h_self.resize(static_cast<size_t>(c.in));
+    for (auto& x : c.h_self) {
+      x = rng.bernoulli(0.2) ? 0.0f
+                             : static_cast<float>(rng.uniform(-1.0, 1.0));
+    }
+    const Index degree = static_cast<Index>(rng.uniform_int(7));  // 0..6
+    c.neighbor_features.assign(static_cast<size_t>(degree), {});
+    c.offsets.assign(static_cast<size_t>(degree), {});
+    for (Index j = 0; j < degree; ++j) {
+      auto& feats = c.neighbor_features[static_cast<size_t>(j)];
+      feats.resize(static_cast<size_t>(c.in));
+      for (auto& x : feats) {
+        x = rng.bernoulli(0.2) ? 0.0f
+                               : static_cast<float>(rng.uniform(-1.0, 1.0));
+      }
+      for (auto& o : c.offsets[static_cast<size_t>(j)]) {
+        o = static_cast<float>(rng.uniform(-3.0, 3.0));
+      }
+    }
+    return c;
+  };
+  gen.shrink = [](const GnnNodeCase& c) {
+    std::vector<GnnNodeCase> out;
+    for (size_t j = 0; j < c.neighbor_features.size(); ++j) {
+      GnnNodeCase candidate = c;
+      candidate.neighbor_features.erase(candidate.neighbor_features.begin() +
+                                        static_cast<std::ptrdiff_t>(j));
+      candidate.offsets.erase(candidate.offsets.begin() +
+                              static_cast<std::ptrdiff_t>(j));
+      out.push_back(std::move(candidate));
+    }
+    return out;
+  };
+  gen.show = [](const GnnNodeCase& c) {
+    std::ostringstream os;
+    os << "gnn node in=" << c.in << " out=" << c.out
+       << " agg=" << (c.max_aggregation ? "max" : "mean")
+       << " degree=" << c.neighbor_features.size()
+       << " weight_seed=" << c.weight_seed;
+    return os.str();
+  };
+  return gen;
+}
+
+std::optional<std::string> diff_simd_gnn_accumulate_vs_scalar(
+    const GnnNodeCase& c) {
+  Rng rng(c.weight_seed);
+  gnn::GraphConv conv(c.in, c.out, rng,
+                      c.max_aggregation ? gnn::Aggregation::Max
+                                        : gnn::Aggregation::Mean);
+  std::vector<gnn::GraphConv::NeighborRef> refs(c.neighbor_features.size());
+  for (size_t j = 0; j < refs.size(); ++j) {
+    refs[j].features = c.neighbor_features[j].data();
+    refs[j].dx = c.offsets[j][0];
+    refs[j].dy = c.offsets[j][1];
+    refs[j].dz = c.offsets[j][2];
+  }
+  auto run = [&] {
+    std::vector<float> out(static_cast<size_t>(c.out));
+    conv.apply_node(c.h_self.data(), refs, out.data());
+    return out;
+  };
+  const std::vector<float> scalar = with_simd_tier(simd::Tier::Scalar, run);
+  const std::vector<float> vector = with_simd_tier(simd::detect_best(), run);
+  // In practice bitwise (distance 0); the 2-ULP bound is the documented
+  // slack for a future faithfully-rounded tier.
+  return diff_floats_ulp(tier_pair_label("gnn apply_node output"),
+                         scalar.data(), vector.data(), c.out, 2);
+}
+
 // ---- hw -------------------------------------------------------------------
 
 Gen<HwCase> hw_case_gen() {
   Gen<HwCase> gen;
   auto lanes = element_of<Index>({1, 16, 128, 256});
+  auto vec_lanes = element_of<Index>({1, 4, 8, 16});
   auto dims = element_of<Index>({4, 8, 16});
   auto freq = element_of<double>({100.0, 200.0, 800.0});
   auto efficiency = element_of<double>({0.0, 0.5, 0.8, 1.0});
@@ -385,12 +552,14 @@ Gen<HwCase> hw_case_gen() {
     c.systolic.frequency_mhz = freq.sample(rng);
     c.systolic.utilization = utilization.sample(rng);
     c.systolic.reuse_factor = reuse.sample(rng);
+    c.systolic.simd_lanes = vec_lanes.sample(rng);
     c.zero_skip.lanes = lanes.sample(rng);
     c.zero_skip.frequency_mhz = freq.sample(rng);
     c.zero_skip.skip_efficiency = efficiency.sample(rng);
     c.zero_skip.irregular_access_penalty = rng.bernoulli(0.5) ? 1.0 : 1.25;
     c.zero_skip.compression_overhead = rng.bernoulli(0.5) ? 0.0 : 0.10;
     c.zero_skip.reuse_factor = reuse.sample(rng);
+    c.zero_skip.simd_lanes = vec_lanes.sample(rng);
     return c;
   };
   gen.shrink = [](const HwCase& c) {
@@ -422,9 +591,11 @@ Gen<HwCase> hw_case_gen() {
        << " sbytes=" << c.workload.state_bytes_rw << "} systolic{"
        << c.systolic.rows << "x" << c.systolic.cols << " @"
        << c.systolic.frequency_mhz << "MHz util=" << c.systolic.utilization
+       << " vlanes=" << c.systolic.simd_lanes
        << "} zskip{lanes=" << c.zero_skip.lanes << " @"
        << c.zero_skip.frequency_mhz
-       << "MHz eff=" << c.zero_skip.skip_efficiency << "}";
+       << "MHz eff=" << c.zero_skip.skip_efficiency
+       << " vlanes=" << c.zero_skip.simd_lanes << "}";
     return os.str();
   };
   return gen;
@@ -438,8 +609,12 @@ std::optional<std::string> diff_systolic_vs_naive(const HwCase& c) {
   const auto& cfg = c.systolic;
   const double macs = static_cast<double>(std::min(w.mults, w.adds));
   const double latency =
-      macs / (static_cast<double>(cfg.rows * cfg.cols) * cfg.utilization) /
+      macs /
+      (static_cast<double>(cfg.rows * cfg.cols * cfg.simd_lanes) *
+       cfg.utilization) /
       cfg.frequency_mhz;
+  const std::int64_t vector_ops =
+      (std::min(w.mults, w.adds) + cfg.simd_lanes - 1) / cfg.simd_lanes;
   const double compute =
       macs * (cfg.table.add_pj + cfg.table.mult_pj) +
       static_cast<double>(w.comparisons) * cfg.table.compare_pj;
@@ -454,6 +629,11 @@ std::optional<std::string> diff_systolic_vs_naive(const HwCase& c) {
   }
   if (auto d =
           diff_scalar("systolic latency", report.latency_us, latency, 1e-12)) {
+    return d;
+  }
+  if (auto d = diff_scalar("systolic vector ops",
+                           static_cast<double>(report.vector_ops),
+                           static_cast<double>(vector_ops))) {
     return d;
   }
   return diff_scalar("systolic energy", report.energy.total_pj(),
@@ -471,8 +651,11 @@ std::optional<std::string> diff_zero_skip_vs_naive(const HwCase& c) {
   const double slots = static_cast<double>(executed) +
                        (1.0 - cfg.skip_efficiency) *
                            static_cast<double>(skipped);
-  const double latency =
-      slots / static_cast<double>(cfg.lanes) / cfg.frequency_mhz;
+  const double latency = slots /
+                         static_cast<double>(cfg.lanes * cfg.simd_lanes) /
+                         cfg.frequency_mhz;
+  const std::int64_t vector_ops =
+      (executed + cfg.simd_lanes - 1) / cfg.simd_lanes;
   const double density =
       macs > 0 ? static_cast<double>(executed) / static_cast<double>(macs)
                : 1.0;
@@ -494,6 +677,11 @@ std::optional<std::string> diff_zero_skip_vs_naive(const HwCase& c) {
   }
   if (auto d =
           diff_scalar("zero-skip latency", report.latency_us, latency, 1e-12)) {
+    return d;
+  }
+  if (auto d = diff_scalar("zero-skip vector ops",
+                           static_cast<double>(report.vector_ops),
+                           static_cast<double>(vector_ops))) {
     return d;
   }
   return diff_scalar("zero-skip energy", report.energy.total_pj(),
@@ -920,6 +1108,21 @@ void register_builtin_oracles() {
         "par.gnn_build_1_vs_4_threads",
         "Batch graph construction is bitwise identical at any EVD_THREADS",
         graph_case_gen(), diff_gnn_build_serial_vs_threads));
+    registry().add(make_diff_oracle<ConvCase>(
+        "simd.conv_vs_scalar",
+        "Vectorized GEMM microkernel vs the scalar reference kernel "
+        "(bitwise — 0 ULPs — under any EVD_SIMD tier)",
+        conv_case_gen(), diff_simd_conv_vs_scalar));
+    registry().add(make_diff_oracle<SnnNetCase>(
+        "simd.snn_step_vs_scalar",
+        "Vectorized LIF membrane update + compressed spike emit vs scalar: "
+        "bitwise per-step logits, membranes and spike counts",
+        snn_net_case_gen(), diff_simd_snn_step_vs_scalar));
+    registry().add(make_diff_oracle<GnnNodeCase>(
+        "simd.gnn_accumulate_vs_scalar",
+        "Gathered neighbor-accumulate (apply_node) vs scalar within 2 ULPs "
+        "(bitwise in practice)",
+        gnn_node_case_gen(), diff_simd_gnn_accumulate_vs_scalar));
     registry().add(make_diff_oracle<HwCase>(
         "hw.systolic_vs_naive",
         "Systolic-array model vs naive roll-up of the same counters",

@@ -10,6 +10,12 @@
 //   par.gnn_build_1_vs_4_threads     ... of batch graph construction
 //   hw.systolic_vs_naive         accelerator model vs naive counter roll-up
 //   hw.zero_skip_vs_naive        ditto for the zero-skipping model
+//   simd.conv_vs_scalar          vectorized GEMM microkernel vs the scalar
+//                                reference kernel (bitwise, any EVD_SIMD)
+//   simd.snn_step_vs_scalar      vectorized LIF update + spike scatter vs
+//                                scalar (bitwise logits/membranes/spikes)
+//   simd.gnn_accumulate_vs_scalar  gathered neighbor accumulate vs scalar
+//                                (bounded-ULP; bitwise in practice)
 //   runtime.multiplex_vs_sequential.{cnn,snn,gnn}
 //                                K sessions pumped through the
 //                                SessionManager on 4 workers vs the same op
@@ -27,6 +33,7 @@
 // shrinks the counterexample.
 #pragma once
 
+#include <array>
 #include <optional>
 
 #include "check/generators.hpp"
@@ -93,6 +100,36 @@ Gen<GraphCase> graph_case_gen();
 std::optional<std::string> diff_gnn_batch_vs_incremental(const GraphCase& c);
 /// Bitwise identity of the batch builder across thread counts.
 std::optional<std::string> diff_gnn_build_serial_vs_threads(const GraphCase& c);
+
+// ---- simd: vector tiers vs the scalar reference kernels -------------------
+
+/// Generated single-node graph-conv evaluation for the gathered
+/// neighbor-accumulate kernel (simd::gnn_apply_node): own feature vector,
+/// 0..N neighbors with feature vectors and spatiotemporal offsets, both
+/// aggregations, dims spanning full vector widths and scalar tails.
+struct GnnNodeCase {
+  Index in = 1;
+  Index out = 1;
+  std::uint64_t weight_seed = 1;
+  bool max_aggregation = true;
+  std::vector<float> h_self;                          ///< [in]
+  std::vector<std::vector<float>> neighbor_features;  ///< each [in]
+  std::vector<std::array<float, 3>> offsets;          ///< (dx, dy, dz)
+};
+
+Gen<GnnNodeCase> gnn_node_case_gen();
+/// Conv2d GEMM forward under the scalar tier vs the best vector tier —
+/// bitwise (ULP bound 0) even on non-dyadic He-normal weights, because the
+/// lanes replay the scalar accumulation order with unfused mul+add.
+std::optional<std::string> diff_simd_conv_vs_scalar(const ConvCase& c);
+/// SpikingNet::step driven over a whole spike train under both tiers:
+/// per-step logits, membranes and readout sums must match bitwise.
+std::optional<std::string> diff_simd_snn_step_vs_scalar(const SnnNetCase& c);
+/// GraphConv::apply_node under both tiers, compared within a small ULP
+/// bound (the implementation is bitwise; the bound documents the slack a
+/// future faithfully-rounded tier would be granted).
+std::optional<std::string> diff_simd_gnn_accumulate_vs_scalar(
+    const GnnNodeCase& c);
 
 // ---- hw: accelerator models vs naive counter roll-ups ---------------------
 

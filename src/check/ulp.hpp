@@ -1,0 +1,70 @@
+// ULP-distance comparison for the simd.* oracles.
+//
+// The vector kernels promise bitwise agreement with their scalar
+// references, but the oracle comparisons are written in ULPs so the
+// contract is stated in units that survive a future tier whose arithmetic
+// is merely faithfully rounded: a bound of 0 *is* bitwise (modulo ±0,
+// which compare equal — they are the same real number), and a small bound
+// documents exactly how much slack a kernel is granted.
+//
+// The mapping: a finite float's bit pattern, viewed as sign-magnitude, is
+// folded onto a single monotone integer line — non-negative floats map to
+// their pattern, negative floats to minus their magnitude bits — so
+// adjacent representable values are adjacent integers, +0 and -0 share the
+// origin, and ULP distance is plain integer subtraction. NaNs and
+// infinities are outside the ordered line and always rejected.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace evd::check {
+
+/// Monotone integer image of a finite float: ordered(a) <= ordered(b) iff
+/// a <= b, with ordered(+0) == ordered(-0) == 0. Meaningless for NaN.
+inline std::int64_t ulp_ordered(float f) noexcept {
+  std::int32_t i;
+  std::memcpy(&i, &f, sizeof i);
+  return i >= 0 ? static_cast<std::int64_t>(i)
+                : -static_cast<std::int64_t>(i & 0x7FFFFFFF);
+}
+
+/// Representable values strictly between a and b (plus one when a != b);
+/// 0 iff a == b as real numbers (so +0 vs -0 is 0). std::nullopt when
+/// either operand is NaN or infinite — those are outside the metric.
+inline std::optional<std::int64_t> ulp_distance(float a, float b) noexcept {
+  if (!std::isfinite(a) || !std::isfinite(b)) return std::nullopt;
+  const std::int64_t d = ulp_ordered(a) - ulp_ordered(b);
+  return d < 0 ? -d : d;
+}
+
+/// Element-wise comparison bounded by max_ulps, in the style of
+/// diff_floats: a mismatch description on the first violation (or a
+/// non-finite element on either side), std::nullopt when all elements
+/// agree within the bound.
+inline std::optional<std::string> diff_floats_ulp(const std::string& what,
+                                                  const float* a,
+                                                  const float* b, Index count,
+                                                  std::int64_t max_ulps) {
+  for (Index i = 0; i < count; ++i) {
+    const auto d = ulp_distance(a[i], b[i]);
+    if (d.has_value() && *d <= max_ulps) continue;
+    std::ostringstream os;
+    os << what << "[" << i << "]: " << a[i] << " vs " << b[i];
+    if (d.has_value()) {
+      os << " (" << *d << " ulps > bound " << max_ulps << ")";
+    } else {
+      os << " (non-finite)";
+    }
+    return os.str();
+  }
+  return std::nullopt;
+}
+
+}  // namespace evd::check

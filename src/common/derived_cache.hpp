@@ -1,0 +1,69 @@
+// Lazily-built cache of values derived from an object's primary state —
+// e.g. the transposed weight copies feeding the SIMD kernels' contiguous
+// paths. Semantics the owners rely on:
+//
+//   * ensure(build) is race-free for concurrent readers: the first caller
+//     builds under the mutex, the acquire/release flag pair publishes the
+//     result, later callers return it without locking.
+//   * mark_escaped() records that a mutable handle to the primary state has
+//     been handed out (params() and friends). The flag is sticky: escaped
+//     pointers can mutate the primary state at any time — the training
+//     optimizer does exactly that between forwards — so every subsequent
+//     ensure() re-derives. Serving paths never hand out mutable handles and
+//     keep the build-once fast path.
+//   * Copying or moving the OWNER must not clone synchronization state or
+//     derived data that may be mid-build, so every copy/move form resets
+//     the destination to "not built"; it re-derives from the (copied)
+//     primary state on next use.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+
+namespace evd {
+
+template <typename T>
+class DerivedCache {
+ public:
+  DerivedCache() = default;
+  DerivedCache(const DerivedCache&) noexcept {}
+  DerivedCache(DerivedCache&&) noexcept {}
+  DerivedCache& operator=(const DerivedCache&) noexcept { return reset(); }
+  DerivedCache& operator=(DerivedCache&&) noexcept { return reset(); }
+
+  /// A non-const handle to the primary state escaped; rebuild from now on.
+  void mark_escaped() noexcept {
+    escaped_.store(true, std::memory_order_release);
+  }
+
+  /// Build (or rebuild) via `build(T&)` when missing or potentially stale;
+  /// returns the derived value.
+  template <typename BuildFn>
+  const T& ensure(BuildFn&& build) {
+    if (!built_.load(std::memory_order_acquire) ||
+        escaped_.load(std::memory_order_acquire)) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!built_.load(std::memory_order_relaxed) ||
+          escaped_.load(std::memory_order_relaxed)) {
+        build(value_);
+        built_.store(true, std::memory_order_release);
+      }
+    }
+    return value_;
+  }
+
+ private:
+  DerivedCache& reset() noexcept {
+    value_ = T{};
+    built_.store(false, std::memory_order_relaxed);
+    escaped_.store(false, std::memory_order_relaxed);
+    return *this;
+  }
+
+  T value_{};
+  std::atomic<bool> built_{false};
+  std::atomic<bool> escaped_{false};
+  std::mutex mutex_;
+};
+
+}  // namespace evd

@@ -1,9 +1,11 @@
 #include "gnn/graph_conv.hpp"
 
+#include <cstddef>
 #include <stdexcept>
 
 #include "nn/counters.hpp"
 #include "nn/init.hpp"
+#include "simd/kernels.hpp"
 
 namespace evd::gnn {
 
@@ -156,37 +158,44 @@ nn::Tensor GraphConv::backward(const nn::Tensor& grad_output) {
   return grad_h;
 }
 
+const GraphConv::TransposedWeights& GraphConv::ensure_transposed() const {
+  return transposed_.ensure([this](TransposedWeights& t) {
+    t.self.resize(static_cast<size_t>(in_) * static_cast<size_t>(out_));
+    t.nbr.resize(static_cast<size_t>(in_ + 3) * static_cast<size_t>(out_));
+    const float* ws = w_self_.value.data();
+    const float* wn = w_nbr_.value.data();
+    for (Index o = 0; o < out_; ++o) {
+      for (Index f = 0; f < in_; ++f) {
+        t.self[static_cast<size_t>(f * out_ + o)] = ws[o * in_ + f];
+      }
+      for (Index f = 0; f < in_ + 3; ++f) {
+        t.nbr[static_cast<size_t>(f * out_ + o)] = wn[o * (in_ + 3) + f];
+      }
+    }
+  });
+}
+
 void GraphConv::apply_node(const float* h_self,
                            std::span<const NeighborRef> neighbors,
                            float* out) const {
+  // NeighborRef and simd::GnnNeighbor are layout twins so the neighbor
+  // array can be handed to the dispatched kernel without repacking.
+  static_assert(sizeof(simd::GnnNeighbor) == sizeof(NeighborRef));
+  static_assert(offsetof(simd::GnnNeighbor, features) ==
+                offsetof(NeighborRef, features));
+  static_assert(offsetof(simd::GnnNeighbor, dx) == offsetof(NeighborRef, dx));
+  static_assert(offsetof(simd::GnnNeighbor, dy) == offsetof(NeighborRef, dy));
+  static_assert(offsetof(simd::GnnNeighbor, dz) == offsetof(NeighborRef, dz));
   const float inv_deg =
       neighbors.empty() ? 0.0f : 1.0f / static_cast<float>(neighbors.size());
-  for (Index o = 0; o < out_; ++o) {
-    float acc = bias_.value[o];
-    const float* ws = w_self_.value.data() + o * in_;
-    for (Index f = 0; f < in_; ++f) acc += ws[f] * h_self[f];
-    float msg = 0.0f;
-    bool has_msg = false;
-    const float* wn = w_nbr_.value.data() + o * (in_ + 3);
-    for (const auto& nb : neighbors) {
-      float contrib = 0.0f;
-      for (Index f = 0; f < in_; ++f) contrib += wn[f] * nb.features[f];
-      contrib += wn[in_ + 0] * nb.dx + wn[in_ + 1] * nb.dy +
-                 wn[in_ + 2] * nb.dz;
-      if (aggregation_ == Aggregation::Max) {
-        if (!has_msg || contrib > msg) {
-          msg = contrib;
-          has_msg = true;
-        }
-      } else {
-        msg += contrib;
-      }
-    }
-    const float pre = aggregation_ == Aggregation::Max
-                          ? acc + (has_msg ? msg : 0.0f)
-                          : acc + inv_deg * msg;
-    out[o] = pre > 0.0f ? pre : 0.0f;
-  }
+  const TransposedWeights& t = ensure_transposed();
+  simd::gnn_apply_node(w_self_.value.data(), t.self.data(),
+                       w_nbr_.value.data(), t.nbr.data(),
+                       bias_.value.data(), in_, out_, h_self,
+                       reinterpret_cast<const simd::GnnNeighbor*>(
+                           neighbors.data()),
+                       static_cast<Index>(neighbors.size()),
+                       aggregation_ == Aggregation::Max, inv_deg, out);
 }
 
 }  // namespace evd::gnn

@@ -14,7 +14,9 @@
 #pragma once
 
 #include <span>
+#include <vector>
 
+#include "common/derived_cache.hpp"
 #include "common/rng.hpp"
 #include "gnn/graph.hpp"
 #include "nn/layer.hpp"
@@ -46,7 +48,10 @@ class GraphConv {
   void apply_node(const float* h_self, std::span<const NeighborRef> neighbors,
                   float* out) const;
 
-  std::vector<nn::Param*> params() { return {&w_self_, &w_nbr_, &bias_}; }
+  std::vector<nn::Param*> params() {
+    transposed_.mark_escaped();
+    return {&w_self_, &w_nbr_, &bias_};
+  }
   Index in_features() const noexcept { return in_; }
   Index out_features() const noexcept { return out_; }
 
@@ -63,6 +68,21 @@ class GraphConv {
   nn::Param w_self_;  ///< [out, in]
   nn::Param w_nbr_;   ///< [out, in + 3]
   nn::Param bias_;    ///< [out]
+
+  struct TransposedWeights {
+    std::vector<float> self;  ///< [in][out]
+    std::vector<float> nbr;   ///< [in+3][out]
+  };
+
+  /// Build/refresh and return the transposed weight copies.
+  const TransposedWeights& ensure_transposed() const;
+
+  // Transposed weight copies feeding the per-event kernel's contiguous path
+  // (simd::gnn_apply_node's w_*_t): per-feature weight columns become
+  // sequential row reads instead of strided gathers. mutable because
+  // apply_node() is const and may run from concurrent sessions; see
+  // DerivedCache for the build-once / escaped-handle rebuild protocol.
+  mutable DerivedCache<TransposedWeights> transposed_;
 
   const EventGraph* cached_graph_ = nullptr;
   nn::Tensor cached_input_;

@@ -6,15 +6,18 @@ namespace evd::hw {
 
 AcceleratorReport run_systolic(const nn::OpCounter& workload,
                                const SystolicConfig& config) {
-  if (config.rows <= 0 || config.cols <= 0 || config.frequency_mhz <= 0.0) {
+  if (config.rows <= 0 || config.cols <= 0 || config.frequency_mhz <= 0.0 ||
+      config.simd_lanes <= 0) {
     throw std::invalid_argument("run_systolic: bad config");
   }
   AcceleratorReport report;
   const std::int64_t macs = workload.macs();
   report.effective_macs = macs;  // dense: everything executes
   report.skipped_macs = 0;
+  report.vector_ops = (macs + config.simd_lanes - 1) / config.simd_lanes;
 
   const double pe_throughput = static_cast<double>(config.rows * config.cols) *
+                               static_cast<double>(config.simd_lanes) *
                                config.utilization;
   const double cycles = static_cast<double>(macs) / pe_throughput;
   report.latency_us = cycles / config.frequency_mhz;  // cycles / (MHz) = us

@@ -18,6 +18,10 @@ struct SystolicConfig {
   double frequency_mhz = 200.0;
   double utilization = 0.85;   ///< Fraction of PE-cycles doing real work.
   double reuse_factor = 16.0;  ///< On-chip reuse: bytes cross SRAM 1/reuse.
+  /// MAC values each PE retires per cycle (SIMD width of one PE datapath,
+  /// mirroring the host kernels' vector lanes). 1 = the classic scalar-PE
+  /// array; latency divides by this, energy per MAC does not.
+  Index simd_lanes = 1;
   EnergyTable table = EnergyTable::digital_45nm_int8();
 };
 
@@ -26,6 +30,10 @@ struct AcceleratorReport {
   EnergyBreakdown energy;
   std::int64_t effective_macs = 0;  ///< MACs actually executed.
   std::int64_t skipped_macs = 0;    ///< MACs elided (zero-skipping only).
+  /// Vector instructions issued for the executed MACs:
+  /// ceil(effective_macs / simd_lanes). Equals effective_macs when
+  /// simd_lanes == 1.
+  std::int64_t vector_ops = 0;
 };
 
 /// Evaluate a workload (an OpCounter captured from a pipeline) on the array.

@@ -7,7 +7,8 @@ namespace evd::hw {
 
 AcceleratorReport run_zero_skip(const nn::OpCounter& workload,
                                 const ZeroSkipConfig& config) {
-  if (config.lanes <= 0 || config.frequency_mhz <= 0.0) {
+  if (config.lanes <= 0 || config.frequency_mhz <= 0.0 ||
+      config.simd_lanes <= 0) {
     throw std::invalid_argument("run_zero_skip: bad config");
   }
   AcceleratorReport report;
@@ -16,14 +17,17 @@ AcceleratorReport run_zero_skip(const nn::OpCounter& workload,
       std::min(workload.zero_skippable_mults, total_macs);
   report.skipped_macs = skippable;
   report.effective_macs = total_macs - skippable;
+  report.vector_ops =
+      (report.effective_macs + config.simd_lanes - 1) / config.simd_lanes;
 
   // Cycles: executed MACs plus the fraction of skipped slots the scheduler
-  // could not reclaim.
+  // could not reclaim, spread over lanes * simd_lanes values per cycle.
   const double effective_slots =
       static_cast<double>(report.effective_macs) +
       (1.0 - config.skip_efficiency) * static_cast<double>(skippable);
   report.latency_us = effective_slots /
-                      static_cast<double>(config.lanes) /
+                      (static_cast<double>(config.lanes) *
+                       static_cast<double>(config.simd_lanes)) /
                       config.frequency_mhz;
 
   report.energy.compute_pj =

@@ -23,6 +23,10 @@ struct ZeroSkipConfig {
   double irregular_access_penalty = 1.25;  ///< Energy factor on compressed reads.
   double compression_overhead = 0.10;      ///< Index/mask bytes per data byte.
   double reuse_factor = 16.0;    ///< On-chip reuse, same as the systolic array.
+  /// MAC values each lane retires per cycle (per-lane SIMD width). Latency
+  /// divides by this; skipped-slot accounting is unchanged — a vector slot
+  /// the scheduler fails to reclaim wastes all of its lanes.
+  Index simd_lanes = 1;
   EnergyTable table = EnergyTable::digital_45nm_int8();
 };
 

@@ -7,6 +7,7 @@
 #include "common/parallel.hpp"
 #include "nn/counters.hpp"
 #include "nn/init.hpp"
+#include "simd/kernels.hpp"
 
 namespace evd::nn {
 
@@ -144,31 +145,33 @@ Tensor Conv2d::forward_gemm(const Tensor& input, Index oh, Index ow) const {
     }
   });
 
-  // Cache-blocked GEMM: out[oc] = bias[oc] + W[oc] . col, output channels in
-  // parallel, pixel blocks sized to keep a col row slice resident in L1.
-  constexpr Index kPixelBlock = 1024;
+  // Blocked GEMM microkernel: out[oc] = bias[oc] + W[oc] . col. The pixel
+  // dimension is blocked OUTSIDE the output-channel loop so one col block
+  // (rows * px_block floats, sized to roughly half of a typical L2) stays
+  // cache-resident while every output channel crosses it — without this the
+  // full col matrix is re-streamed from L3 once per channel tile. Within a
+  // block, output channels run in parallel. The kernel dispatches on the
+  // SIMD tier (EVD_SIMD); every tier accumulates each output pixel over r in
+  // the same ascending order — the direct loop's (ic, ky, kx) order — so
+  // neither the blocking nor the tier ever affects bits. Grain 4 hands each
+  // chunk a full register tile of output channels; block and chunk
+  // boundaries stay a pure function of the shape, preserving the
+  // thread-count determinism contract.
   Tensor output({config_.out_channels, oh, ow});
   const float* wts = weight_.value.data();
   float* out = output.data();
-  par::parallel_for(0, config_.out_channels, 1, [&](Index oc_begin,
-                                                    Index oc_end) {
-    for (Index oc = oc_begin; oc < oc_end; ++oc) {
-      const float* w_oc = wts + oc * rows;  // hoisted weight-row pointer
-      const float bias = bias_.value[oc];
-      float* out_oc = out + oc * cols;
-      for (Index p0 = 0; p0 < cols; p0 += kPixelBlock) {
-        const Index p1 = std::min(cols, p0 + kPixelBlock);
-        std::fill(out_oc + p0, out_oc + p1, bias);
-        for (Index r = 0; r < rows; ++r) {
-          const float wv = w_oc[r];
-          const float* c_row = col.data() + r * cols;
-          for (Index p = p0; p < p1; ++p) {
-            out_oc[p] += wv * c_row[p];
-          }
-        }
-      }
-    }
-  });
+  constexpr Index kColBlockBytes = 1 << 20;
+  constexpr Index kPxAlign = 16;
+  Index px_block = kColBlockBytes / (static_cast<Index>(sizeof(float)) * rows);
+  px_block = std::max<Index>(kPxAlign, px_block - px_block % kPxAlign);
+  for (Index px = 0; px < cols; px += px_block) {
+    const Index px_end = std::min(cols, px + px_block);
+    par::parallel_for(0, config_.out_channels, 4, [&](Index oc_begin,
+                                                      Index oc_end) {
+      simd::conv_gemm_block(wts, bias_.value.data(), col.data(), out,
+                            oc_begin, oc_end, rows, cols, px, px_end);
+    });
+  }
   return output;
 }
 

@@ -1,6 +1,7 @@
 #include "runtime/arena.hpp"
 
 #include <new>
+#include <stdexcept>
 
 namespace evd::runtime {
 
@@ -8,17 +9,23 @@ ArenaAllocator::ArenaAllocator(std::size_t capacity_bytes)
     : capacity_(capacity_bytes) {
   if (capacity_ > 0) {
     base_ = static_cast<std::byte*>(
-        ::operator new(capacity_, std::align_val_t{alignof(std::max_align_t)}));
+        ::operator new(capacity_, std::align_val_t{kBaseAlignment}));
   }
 }
 
 ArenaAllocator::~ArenaAllocator() {
   if (base_ != nullptr) {
-    ::operator delete(base_, std::align_val_t{alignof(std::max_align_t)});
+    ::operator delete(base_, std::align_val_t{kBaseAlignment});
   }
 }
 
 void* ArenaAllocator::allocate(std::size_t bytes, std::size_t alignment) {
+  if (alignment == 0 || (alignment & (alignment - 1)) != 0 ||
+      alignment > kBaseAlignment) {
+    throw std::invalid_argument(
+        "ArenaAllocator::allocate: alignment must be a power of two "
+        "no larger than kBaseAlignment");
+  }
   const std::size_t aligned = (used_ + alignment - 1) & ~(alignment - 1);
   if (aligned + bytes > capacity_ || aligned + bytes < aligned) {
     throw std::bad_alloc();

@@ -31,20 +31,33 @@ class ArenaAllocator {
   ArenaAllocator(const ArenaAllocator&) = delete;
   ArenaAllocator& operator=(const ArenaAllocator&) = delete;
 
-  /// Bump-allocate `bytes` at `alignment` (power of two). Throws
-  /// std::bad_alloc when the arena is exhausted — sized-at-open means this
-  /// can only happen during session construction, not on the feed path.
-  void* allocate(std::size_t bytes, std::size_t alignment = alignof(std::max_align_t));
+  /// Alignment of the arena's backing block: one cache line, which also
+  /// satisfies any vector-register alignment the simd kernels could want.
+  /// Offset-based alignment below is exact because every request divides it.
+  static constexpr std::size_t kBaseAlignment = 64;
+  /// Default per-allocation alignment: one full AVX2 vector register, so
+  /// float buffers handed to the evd::simd kernels start on a lane boundary
+  /// without callers having to ask.
+  static constexpr std::size_t kDefaultAlignment = 32;
 
-  /// Typed span of `count` default-constructed T. T must be trivially
+  /// Bump-allocate `bytes` at `alignment` (power of two, at most
+  /// kBaseAlignment). Throws std::bad_alloc when the arena is exhausted —
+  /// sized-at-open means this can only happen during session construction,
+  /// not on the feed path.
+  void* allocate(std::size_t bytes, std::size_t alignment = kDefaultAlignment);
+
+  /// Typed span of `count` default-constructed T at the default (vector)
+  /// alignment — never less than alignof(T). T must be trivially
   /// destructible: the arena never runs destructors.
   template <typename T>
   std::span<T> allocate_span(Index count) {
     static_assert(std::is_trivially_destructible_v<T>,
                   "arena memory is reclaimed without running destructors");
     if (count <= 0) return {};
+    constexpr std::size_t align =
+        alignof(T) > kDefaultAlignment ? alignof(T) : kDefaultAlignment;
     T* data = static_cast<T*>(
-        allocate(static_cast<std::size_t>(count) * sizeof(T), alignof(T)));
+        allocate(static_cast<std::size_t>(count) * sizeof(T), align));
     for (Index i = 0; i < count; ++i) new (data + i) T{};
     return {data, static_cast<std::size_t>(count)};
   }

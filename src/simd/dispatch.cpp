@@ -1,0 +1,112 @@
+#include "simd/dispatch.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.hpp"
+
+namespace evd::simd {
+namespace {
+
+bool cpu_has_avx2() noexcept {
+#if defined(EVD_SIMD_HAVE_AVX2)
+  // GCC/Clang resolve this via CPUID (cached after the first call), so an
+  // AVX2-capable binary still runs — scalar tier — on older x86 parts.
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+bool cpu_has_neon() noexcept {
+#if defined(EVD_SIMD_HAVE_NEON)
+  return true;  // Advanced SIMD is baseline on AArch64.
+#else
+  return false;
+#endif
+}
+
+std::atomic<int>& active_tier_slot() noexcept {
+  // Initialised from EVD_SIMD exactly once; relaxed loads on the hot path
+  // (the tier only changes between batches, via set_active_tier).
+  static std::atomic<int> tier{static_cast<int>(
+      parse_tier(std::getenv("EVD_SIMD"), detect_best()))};
+  return tier;
+}
+
+}  // namespace
+
+const char* tier_name(Tier tier) noexcept {
+  switch (tier) {
+    case Tier::Scalar: return "scalar";
+    case Tier::Avx2: return "avx2";
+    case Tier::Neon: return "neon";
+  }
+  return "scalar";
+}
+
+Index lane_width(Tier tier) noexcept {
+  switch (tier) {
+    case Tier::Scalar: return 1;
+    case Tier::Avx2: return 8;
+    case Tier::Neon: return 4;
+  }
+  return 1;
+}
+
+bool tier_supported(Tier tier) noexcept {
+  switch (tier) {
+    case Tier::Scalar: return true;
+    case Tier::Avx2: return cpu_has_avx2();
+    case Tier::Neon: return cpu_has_neon();
+  }
+  return false;
+}
+
+Tier detect_best() noexcept {
+  if (cpu_has_avx2()) return Tier::Avx2;
+  if (cpu_has_neon()) return Tier::Neon;
+  return Tier::Scalar;
+}
+
+Tier parse_tier(const char* value, Tier fallback) noexcept {
+  // Unset / empty is not an error — the default is simply in effect.
+  if (value == nullptr || *value == '\0') return fallback;
+  const auto is = [value](const char* s) { return std::strcmp(value, s) == 0; };
+  if (is("native") || is("NATIVE")) return detect_best();
+  Tier requested = fallback;
+  if (is("scalar") || is("SCALAR")) {
+    requested = Tier::Scalar;
+  } else if (is("avx2") || is("AVX2")) {
+    requested = Tier::Avx2;
+  } else if (is("neon") || is("NEON")) {
+    requested = Tier::Neon;
+  } else {
+    log_warn(
+        "EVD_SIMD='%s' is not one of native|avx2|neon|scalar; falling back "
+        "to %s",
+        value, tier_name(fallback));
+    return fallback;
+  }
+  if (!tier_supported(requested)) {
+    const Tier best = detect_best();
+    log_warn("EVD_SIMD=%s is not supported on this CPU/build; using %s",
+             tier_name(requested), tier_name(best));
+    return best;
+  }
+  return requested;
+}
+
+Tier active_tier() noexcept {
+  return static_cast<Tier>(
+      active_tier_slot().load(std::memory_order_relaxed));
+}
+
+Tier set_active_tier(Tier tier) noexcept {
+  if (!tier_supported(tier)) tier = Tier::Scalar;
+  return static_cast<Tier>(active_tier_slot().exchange(
+      static_cast<int>(tier), std::memory_order_relaxed));
+}
+
+}  // namespace evd::simd

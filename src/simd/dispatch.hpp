@@ -1,0 +1,65 @@
+// Runtime SIMD tier selection for the vectorized hot-path kernels.
+//
+// The kernels in evd::simd ship in up to three builds of the same
+// arithmetic — scalar (the reference), AVX2 (x86-64) and NEON (aarch64) —
+// and every dispatching entry point picks one at call time from a single
+// process-wide tier. The tier is chosen once at startup from CPU feature
+// detection, overridable by the `EVD_SIMD` environment variable
+// (native|avx2|neon|scalar, parsed with the same warn-and-fall-back
+// discipline as EVD_THREADS) and, for tests and oracles, by the ScopedTier
+// RAII guard.
+//
+// Equivalence contract: every tier produces bit-identical outputs for the
+// kernels in kernels.hpp (see DESIGN.md §12) — vector lanes evaluate
+// independent outputs with unfused multiply+add in the same per-output
+// order as the scalar reference, so switching tiers never changes results,
+// only speed.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace evd::simd {
+
+enum class Tier : int { Scalar = 0, Avx2 = 1, Neon = 2 };
+
+/// Human-readable tier name ("scalar", "avx2", "neon").
+const char* tier_name(Tier tier) noexcept;
+
+/// Vector lanes (floats per register) for a tier: 8, 4 or 1.
+Index lane_width(Tier tier) noexcept;
+
+/// True when this build carries the tier's kernels AND the running CPU can
+/// execute them (CPUID on x86, baseline on aarch64, scalar everywhere).
+bool tier_supported(Tier tier) noexcept;
+
+/// Best supported tier on this machine (what EVD_SIMD=native resolves to).
+Tier detect_best() noexcept;
+
+/// Parse an EVD_SIMD-style value. Unset/empty selects `fallback`; an
+/// unknown spelling or an unsupported tier warns and falls back, mirroring
+/// parse_thread_count's handling of EVD_THREADS.
+Tier parse_tier(const char* value, Tier fallback) noexcept;
+
+/// The process-wide tier consulted by every kernel dispatch. Initialised
+/// on first use from EVD_SIMD (default: detect_best()).
+Tier active_tier() noexcept;
+
+/// Override the active tier (an unsupported request installs Scalar, which
+/// every build carries). Returns the previously active tier. Not
+/// thread-safe against in-flight kernels — call between inference batches,
+/// as the oracles and benches do.
+Tier set_active_tier(Tier tier) noexcept;
+
+/// RAII tier override for oracles/benches comparing tiers in-process.
+class ScopedTier {
+ public:
+  explicit ScopedTier(Tier tier) : saved_(set_active_tier(tier)) {}
+  ~ScopedTier() { set_active_tier(saved_); }
+  ScopedTier(const ScopedTier&) = delete;
+  ScopedTier& operator=(const ScopedTier&) = delete;
+
+ private:
+  Tier saved_;
+};
+
+}  // namespace evd::simd

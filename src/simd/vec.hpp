@@ -1,0 +1,170 @@
+// The vector-register abstraction behind the evd::simd kernels: one small
+// value type (VecF) with load/store, broadcast, unfused mul/add/sub, fused
+// fma, max, compare/blend, strided gather and horizontal reduce, backed by
+// AVX2 (__m256, 8 lanes) or NEON (float32x4_t, 4 lanes).
+//
+// This header is included only by the per-tier kernel TUs, which define
+// EVD_SIMD_VEC_AVX2 or EVD_SIMD_VEC_NEON before inclusion; the shared
+// kernel bodies in kernels_vec_impl.hpp are written against this interface
+// once and compiled per tier. The scalar reference kernels do NOT go
+// through this abstraction — they are the plain loops the oracles compare
+// against.
+//
+// Bitwise discipline: kernels that must match the scalar reference use
+// mul()+add() (two correctly-rounded IEEE-754 ops per lane, exactly what
+// the scalar code does) rather than fma(); fma() is provided for callers
+// that opt into fused rounding. The per-tier TUs are compiled with
+// -ffp-contract=off so the compiler cannot re-fuse the unfused ops.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+#if defined(EVD_SIMD_VEC_AVX2)
+
+#include <immintrin.h>
+
+namespace evd::simd {
+
+/// Comparison result: one all-ones/all-zeros float lane per input lane.
+struct VecM {
+  __m256 raw;
+  /// Bit b set iff lane b's predicate held.
+  int movemask() const noexcept { return _mm256_movemask_ps(raw); }
+  bool any() const noexcept { return movemask() != 0; }
+};
+
+/// Per-lane int32 offsets for strided gathers.
+struct VecI {
+  __m256i raw;
+  /// {0, stride, 2*stride, ..., 7*stride}; stride must fit int32 after
+  /// multiplication (the dispatchers guard this).
+  static VecI lane_stride(Index stride) noexcept {
+    const auto s = static_cast<std::int32_t>(stride);
+    return {_mm256_setr_epi32(0, s, 2 * s, 3 * s, 4 * s, 5 * s, 6 * s,
+                              7 * s)};
+  }
+};
+
+struct VecF {
+  static constexpr Index kWidth = 8;
+  __m256 raw;
+
+  static VecF load(const float* p) noexcept { return {_mm256_loadu_ps(p)}; }
+  void store(float* p) const noexcept { _mm256_storeu_ps(p, raw); }
+  static VecF broadcast(float x) noexcept { return {_mm256_set1_ps(x)}; }
+  static VecF zero() noexcept { return {_mm256_setzero_ps()}; }
+  /// lanes[i] = base[offsets.lane(i)].
+  static VecF gather(const float* base, VecI offsets) noexcept {
+    return {_mm256_i32gather_ps(base, offsets.raw, 4)};
+  }
+
+  static VecF add(VecF a, VecF b) noexcept {
+    return {_mm256_add_ps(a.raw, b.raw)};
+  }
+  static VecF sub(VecF a, VecF b) noexcept {
+    return {_mm256_sub_ps(a.raw, b.raw)};
+  }
+  static VecF mul(VecF a, VecF b) noexcept {
+    return {_mm256_mul_ps(a.raw, b.raw)};
+  }
+  /// Fused a*b + c (single rounding). NOT bitwise-equal to mul+add.
+  static VecF fma(VecF a, VecF b, VecF c) noexcept {
+    return {_mm256_fmadd_ps(a.raw, b.raw, c.raw)};
+  }
+  static VecF max(VecF a, VecF b) noexcept {
+    return {_mm256_max_ps(a.raw, b.raw)};
+  }
+
+  static VecM cmp_ge(VecF a, VecF b) noexcept {
+    return {_mm256_cmp_ps(a.raw, b.raw, _CMP_GE_OQ)};
+  }
+  static VecM cmp_gt(VecF a, VecF b) noexcept {
+    return {_mm256_cmp_ps(a.raw, b.raw, _CMP_GT_OQ)};
+  }
+  /// m ? a : b, per lane.
+  static VecF blend(VecM m, VecF a, VecF b) noexcept {
+    return {_mm256_blendv_ps(b.raw, a.raw, m.raw)};
+  }
+
+  /// Horizontal sum of all lanes (pairwise tree order).
+  float hsum() const noexcept {
+    const __m128 lo = _mm256_castps256_ps128(raw);
+    const __m128 hi = _mm256_extractf128_ps(raw, 1);
+    __m128 s = _mm_add_ps(lo, hi);
+    s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+    s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
+    return _mm_cvtss_f32(s);
+  }
+};
+
+}  // namespace evd::simd
+
+#elif defined(EVD_SIMD_VEC_NEON)
+
+#include <arm_neon.h>
+
+namespace evd::simd {
+
+struct VecM {
+  uint32x4_t raw;
+  int movemask() const noexcept {
+    // Narrow each lane to its sign bit: lane i contributes bit i.
+    const uint32x4_t bits = {1u, 2u, 4u, 8u};
+    return static_cast<int>(vaddvq_u32(vandq_u32(raw, bits)));
+  }
+  bool any() const noexcept { return vmaxvq_u32(raw) != 0; }
+};
+
+struct VecI {
+  std::int32_t idx[4];
+  static VecI lane_stride(Index stride) noexcept {
+    const auto s = static_cast<std::int32_t>(stride);
+    return {{0, s, 2 * s, 3 * s}};
+  }
+};
+
+struct VecF {
+  static constexpr Index kWidth = 4;
+  float32x4_t raw;
+
+  static VecF load(const float* p) noexcept { return {vld1q_f32(p)}; }
+  void store(float* p) const noexcept { vst1q_f32(p, raw); }
+  static VecF broadcast(float x) noexcept { return {vdupq_n_f32(x)}; }
+  static VecF zero() noexcept { return {vdupq_n_f32(0.0f)}; }
+  static VecF gather(const float* base, VecI offsets) noexcept {
+    float32x4_t v = vdupq_n_f32(0.0f);
+    v = vld1q_lane_f32(base + offsets.idx[0], v, 0);
+    v = vld1q_lane_f32(base + offsets.idx[1], v, 1);
+    v = vld1q_lane_f32(base + offsets.idx[2], v, 2);
+    v = vld1q_lane_f32(base + offsets.idx[3], v, 3);
+    return {v};
+  }
+
+  static VecF add(VecF a, VecF b) noexcept { return {vaddq_f32(a.raw, b.raw)}; }
+  static VecF sub(VecF a, VecF b) noexcept { return {vsubq_f32(a.raw, b.raw)}; }
+  static VecF mul(VecF a, VecF b) noexcept { return {vmulq_f32(a.raw, b.raw)}; }
+  static VecF fma(VecF a, VecF b, VecF c) noexcept {
+    return {vfmaq_f32(c.raw, a.raw, b.raw)};
+  }
+  static VecF max(VecF a, VecF b) noexcept { return {vmaxq_f32(a.raw, b.raw)}; }
+
+  static VecM cmp_ge(VecF a, VecF b) noexcept {
+    return {vcgeq_f32(a.raw, b.raw)};
+  }
+  static VecM cmp_gt(VecF a, VecF b) noexcept {
+    return {vcgtq_f32(a.raw, b.raw)};
+  }
+  static VecF blend(VecM m, VecF a, VecF b) noexcept {
+    return {vbslq_f32(m.raw, a.raw, b.raw)};
+  }
+
+  float hsum() const noexcept { return vaddvq_f32(raw); }
+};
+
+}  // namespace evd::simd
+
+#else
+#error "vec.hpp: define EVD_SIMD_VEC_AVX2 or EVD_SIMD_VEC_NEON before including"
+#endif

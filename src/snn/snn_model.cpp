@@ -7,6 +7,7 @@
 
 #include "common/parallel.hpp"
 #include "nn/counters.hpp"
+#include "simd/kernels.hpp"
 #include "nn/init.hpp"
 #include "nn/optimizer.hpp"
 #include "nn/softmax.hpp"
@@ -41,6 +42,7 @@ SpikingNet::SpikingNet(SpikingNetConfig config, Rng& rng)
 }
 
 std::vector<nn::Param*> SpikingNet::params() {
+  weights_t_.mark_escaped();
   std::vector<nn::Param*> all;
   for (auto& w : weights_) all.push_back(&w);
   for (auto& b : biases_) all.push_back(&b);
@@ -49,8 +51,28 @@ std::vector<nn::Param*> SpikingNet::params() {
 
 Index SpikingNet::param_count() {
   Index n = 0;
-  for (auto* p : params()) n += p->value.numel();
+  for (const auto& w : weights_) n += w.value.numel();
+  for (const auto& b : biases_) n += b.value.numel();
   return n;
+}
+
+const std::vector<std::vector<float>>& SpikingNet::ensure_transposed() {
+  return weights_t_.ensure([this](std::vector<std::vector<float>>& all) {
+    all.resize(weights_.size());
+    for (size_t l = 0; l < weights_.size(); ++l) {
+      const Index in = config_.layer_sizes[l];
+      const Index out = config_.layer_sizes[l + 1];
+      auto& wt = all[l];
+      wt.resize(static_cast<size_t>(in) * static_cast<size_t>(out));
+      const float* w = weights_[l].value.data();
+      for (Index o = 0; o < out; ++o) {
+        for (Index i = 0; i < in; ++i) {
+          wt[static_cast<size_t>(i) * static_cast<size_t>(out) +
+             static_cast<size_t>(o)] = w[o * in + i];
+        }
+      }
+    }
+  });
 }
 
 nn::Tensor SpikingNet::forward(const SpikeTrain& input, bool train) {
@@ -89,6 +111,7 @@ nn::Tensor SpikingNet::forward(const SpikeTrain& input, bool train) {
   last_hidden_spikes_ = 0;
   const bool counting = nn::active_counter() != nullptr;
   std::vector<Index> spikes_in, spikes_next;
+  const auto& weights_t = ensure_transposed();
 
   for (Index t = 0; t < T; ++t) {
     spikes_in = input.active[static_cast<size_t>(t)];
@@ -99,27 +122,27 @@ nn::Tensor SpikingNet::forward(const SpikeTrain& input, bool train) {
       const float* w = weights_[static_cast<size_t>(l)].value.data();
       const float* b = biases_[static_cast<size_t>(l)].value.data();
       // Fused leak + bias + event-driven synaptic accumulation + threshold,
-      // parallel over neuron chunks. Per neuron the addition order (bias,
-      // then spikes in arrival order) matches the serial reference; chunk
-      // spike lists concatenate in chunk order, preserving ascending ids.
+      // parallel over neuron chunks; the per-chunk body dispatches on the
+      // SIMD tier (EVD_SIMD). Per neuron the addition order (bias, then
+      // spikes in arrival order) matches the serial reference in every
+      // tier; chunk spike lists concatenate in chunk order, preserving
+      // ascending ids. Membrane is cached pre-reset (for the surrogate
+      // gradient) when training.
       const Index nchunks = par::chunk_count(0, n, kNeuronGrain);
       std::vector<std::vector<Index>> chunk_spikes(
           static_cast<size_t>(nchunks));
+      float* membrane_row =
+          train ? &cached_membrane_[static_cast<size_t>(l)].at2(t, 0)
+                : nullptr;
+      const float* w_t = weights_t[static_cast<size_t>(l)].data();
       par::parallel_for_chunks(0, n, kNeuronGrain, [&](Index chunk, Index nb,
                                                        Index ne) {
-        auto& local = chunk_spikes[static_cast<size_t>(chunk)];
-        for (Index o = nb; o < ne; ++o) {
-          float vo = beta * vl[static_cast<size_t>(o)] + b[o];
-          const float* w_row = w + o * in_dim;
-          for (const Index i : spikes_in) vo += w_row[i];
-          // Membrane cached pre-reset for the surrogate gradient.
-          if (train) cached_membrane_[static_cast<size_t>(l)].at2(t, o) = vo;
-          if (vo >= theta) {
-            local.push_back(o);
-            vo = config_.lif.reset_to_zero ? 0.0f : vo - theta;
-          }
-          vl[static_cast<size_t>(o)] = vo;
-        }
+        simd::lif_step_block(vl.data(), b, w, w_t, in_dim, n,
+                             spikes_in.data(),
+                             static_cast<Index>(spikes_in.size()), nb, ne,
+                             beta, theta, config_.lif.reset_to_zero,
+                             membrane_row,
+                             chunk_spikes[static_cast<size_t>(chunk)]);
       });
       spikes_next.clear();
       for (const auto& local : chunk_spikes) {
@@ -312,27 +335,24 @@ nn::Tensor SpikingNet::step(SnnState& state,
   // Spike accounting lives in the state, not the net: step() must stay
   // const-safe on `this` so concurrent sessions can share one network.
   state.step_hidden_spikes = 0;
+  const auto& weights_t = ensure_transposed();
   for (Index l = 0; l < hidden_layers; ++l) {
     auto& vl = state.membrane[static_cast<size_t>(l)];
     const Index n = static_cast<Index>(vl.size());
     const Index in_dim = config_.layer_sizes[static_cast<size_t>(l)];
     const float* w = weights_[static_cast<size_t>(l)].value.data();
     const float* b = biases_[static_cast<size_t>(l)].value.data();
+    // SIMD-dispatched LIF chunk update; spike order and membrane bits are
+    // tier-invariant (see simd::lif_step_block).
     const Index nchunks = par::chunk_count(0, n, kNeuronGrain);
     std::vector<std::vector<Index>> chunk_spikes(static_cast<size_t>(nchunks));
+    const float* w_t = weights_t[static_cast<size_t>(l)].data();
     par::parallel_for_chunks(0, n, kNeuronGrain, [&](Index chunk, Index nb,
                                                      Index ne) {
-      auto& local = chunk_spikes[static_cast<size_t>(chunk)];
-      for (Index o = nb; o < ne; ++o) {
-        float vo = beta * vl[static_cast<size_t>(o)] + b[o];
-        const float* w_row = w + o * in_dim;
-        for (const Index i : spikes_in) vo += w_row[i];
-        if (vo >= theta) {
-          local.push_back(o);
-          vo = config_.lif.reset_to_zero ? 0.0f : vo - theta;
-        }
-        vl[static_cast<size_t>(o)] = vo;
-      }
+      simd::lif_step_block(vl.data(), b, w, w_t, in_dim, n, spikes_in.data(),
+                           static_cast<Index>(spikes_in.size()), nb, ne, beta,
+                           theta, config_.lif.reset_to_zero, nullptr,
+                           chunk_spikes[static_cast<size_t>(chunk)]);
     });
     spikes_next.clear();
     for (const auto& local : chunk_spikes) {

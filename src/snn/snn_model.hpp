@@ -15,6 +15,7 @@
 
 #include <vector>
 
+#include "common/derived_cache.hpp"
 #include "common/rng.hpp"
 #include "nn/layer.hpp"
 #include "snn/encoding.hpp"
@@ -72,13 +73,29 @@ class SpikingNet {
   Index layer_count() const noexcept {
     return static_cast<Index>(weights_.size());
   }
-  nn::Param& weight(Index l) { return weights_.at(static_cast<size_t>(l)); }
-  nn::Param& bias(Index l) { return biases_.at(static_cast<size_t>(l)); }
+  nn::Param& weight(Index l) {
+    weights_t_.mark_escaped();
+    return weights_.at(static_cast<size_t>(l));
+  }
+  nn::Param& bias(Index l) {
+    weights_t_.mark_escaped();
+    return biases_.at(static_cast<size_t>(l));
+  }
 
  private:
   SpikingNetConfig config_;
   std::vector<nn::Param> weights_;
   std::vector<nn::Param> biases_;
+
+  /// Build/refresh and return the transposed weight copies.
+  const std::vector<std::vector<float>>& ensure_transposed();
+
+  // Per-layer transposed ([in][out]) weight copies feeding the LIF kernel's
+  // contiguous-streaming path (simd::lif_step_block's w_t): the per-spike
+  // synapse fetch becomes a sequential row read instead of a strided gather
+  // through the row-major matrix. See DerivedCache for the build-once /
+  // escaped-handle rebuild protocol.
+  DerivedCache<std::vector<std::vector<float>>> weights_t_;
 
   // Training caches (valid after forward(train=true)).
   Index cached_steps_ = 0;

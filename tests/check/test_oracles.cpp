@@ -27,13 +27,14 @@ class OracleTest : public ::testing::Test {
 
 TEST_F(OracleTest, RegistryHasAllBuiltinPairs) {
   register_builtin_oracles();  // second call must be a no-op
-  EXPECT_GE(registry().all().size(), 14u);
+  EXPECT_GE(registry().all().size(), 17u);
   for (const char* name :
        {"conv2d.direct_vs_gemm", "snn.clocked_vs_event_driven",
         "gnn.batch_vs_incremental", "par.cnn_conv_1_vs_4_threads",
         "par.snn_forward_1_vs_4_threads", "par.gnn_build_1_vs_4_threads",
-        "hw.systolic_vs_naive", "hw.zero_skip_vs_naive",
-        "runtime.multiplex_vs_sequential.cnn",
+        "simd.conv_vs_scalar", "simd.snn_step_vs_scalar",
+        "simd.gnn_accumulate_vs_scalar", "hw.systolic_vs_naive",
+        "hw.zero_skip_vs_naive", "runtime.multiplex_vs_sequential.cnn",
         "runtime.multiplex_vs_sequential.snn",
         "runtime.multiplex_vs_sequential.gnn", "runtime.obs_on_vs_off",
         "runtime.fault_isolation", "runtime.checkpoint_replay"}) {
@@ -72,6 +73,18 @@ TEST_F(OracleTest, SnnForwardIsBitwiseDeterministicAcrossThreads) {
 
 TEST_F(OracleTest, GnnBuildIsBitwiseDeterministicAcrossThreads) {
   expect_passes("par.gnn_build_1_vs_4_threads", 30);
+}
+
+TEST_F(OracleTest, SimdConvGemmIsBitwiseVsScalar) {
+  expect_passes("simd.conv_vs_scalar", 40);
+}
+
+TEST_F(OracleTest, SimdSnnStepIsBitwiseVsScalar) {
+  expect_passes("simd.snn_step_vs_scalar", 40);
+}
+
+TEST_F(OracleTest, SimdGnnAccumulateMatchesScalar) {
+  expect_passes("simd.gnn_accumulate_vs_scalar", 60);
 }
 
 TEST_F(OracleTest, SystolicModelMatchesNaiveRollup) {

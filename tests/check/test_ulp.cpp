@@ -1,0 +1,102 @@
+// The ULP metric underneath the simd.* oracles. The properties that make a
+// bound of 0 mean "bitwise modulo ±0" and a bound of k mean "k representable
+// steps apart": exact at zero, symmetric, monotone across exponent
+// boundaries, and undefined (rejected) for NaN / infinity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "check/ulp.hpp"
+
+namespace evd::check {
+namespace {
+
+TEST(UlpDistance, ExactAtZeroAndForEqualValues) {
+  EXPECT_EQ(ulp_distance(0.0f, 0.0f), 0);
+  EXPECT_EQ(ulp_distance(1.5f, 1.5f), 0);
+  EXPECT_EQ(ulp_distance(-2.25f, -2.25f), 0);
+  // ±0 are the same real number: distance 0, not 2^31.
+  EXPECT_EQ(ulp_distance(0.0f, -0.0f), 0);
+  EXPECT_EQ(ulp_distance(-0.0f, 0.0f), 0);
+}
+
+TEST(UlpDistance, AdjacentRepresentablesAreOneApart) {
+  const float one_up = std::nextafter(1.0f, 2.0f);
+  EXPECT_EQ(ulp_distance(1.0f, one_up), 1);
+  const float denorm = std::numeric_limits<float>::denorm_min();
+  EXPECT_EQ(ulp_distance(0.0f, denorm), 1);
+  // Straddling zero: one step down from +denorm_min to -denorm_min is two
+  // representable steps (through the shared ±0 origin).
+  EXPECT_EQ(ulp_distance(denorm, -denorm), 2);
+}
+
+TEST(UlpDistance, Symmetric) {
+  const float a = 3.14159f;
+  const float b = std::nextafter(std::nextafter(a, 10.0f), 10.0f);
+  EXPECT_EQ(ulp_distance(a, b), ulp_distance(b, a));
+  EXPECT_EQ(ulp_distance(-a, -b), ulp_distance(a, b));
+}
+
+TEST(UlpDistance, MonotoneAcrossExponentBoundary) {
+  // Walking up from just-below a power of two to just-above must grow the
+  // distance by exactly 1 per step even though the exponent field changes
+  // and the mantissa wraps.
+  float x = 2.0f;
+  for (int i = 0; i < 4; ++i) x = std::nextafter(x, 0.0f);  // 2.0 - 4 ulps
+  std::int64_t prev = -1;
+  for (int i = 0; i < 9; ++i) {
+    const auto d = ulp_distance(x, 2.0f);
+    ASSERT_TRUE(d.has_value());
+    if (prev >= 0) {
+      EXPECT_EQ(std::abs(*d - prev), 1) << "step " << i;
+    }
+    prev = *d;
+    x = std::nextafter(x, 4.0f);
+  }
+}
+
+TEST(UlpDistance, OrderedImageIsMonotone) {
+  const float samples[] = {-3.5f, -1.0f, -std::numeric_limits<float>::denorm_min(),
+                           -0.0f, 0.0f,  std::numeric_limits<float>::denorm_min(),
+                           0.5f,  1.0f,  100.25f};
+  for (size_t i = 1; i < std::size(samples); ++i) {
+    EXPECT_LE(ulp_ordered(samples[i - 1]), ulp_ordered(samples[i]))
+        << samples[i - 1] << " vs " << samples[i];
+  }
+}
+
+TEST(UlpDistance, RejectsNanAndInfinity) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_FALSE(ulp_distance(nan, 1.0f).has_value());
+  EXPECT_FALSE(ulp_distance(1.0f, nan).has_value());
+  EXPECT_FALSE(ulp_distance(nan, nan).has_value());
+  EXPECT_FALSE(ulp_distance(inf, inf).has_value());
+  EXPECT_FALSE(ulp_distance(-inf, 1.0f).has_value());
+  EXPECT_FALSE(ulp_distance(std::numeric_limits<float>::max(), inf).has_value());
+}
+
+TEST(DiffFloatsUlp, PassesWithinBoundFailsBeyond) {
+  const float a[] = {1.0f, -0.0f, 2.0f};
+  float b[] = {1.0f, 0.0f, 2.0f};
+  EXPECT_FALSE(diff_floats_ulp("x", a, b, 3, 0).has_value());
+
+  b[2] = std::nextafter(2.0f, 3.0f);
+  const auto strict = diff_floats_ulp("x", a, b, 3, 0);
+  ASSERT_TRUE(strict.has_value());
+  EXPECT_NE(strict->find("x[2]"), std::string::npos);
+  EXPECT_NE(strict->find("1 ulps > bound 0"), std::string::npos);
+  EXPECT_FALSE(diff_floats_ulp("x", a, b, 3, 1).has_value());
+}
+
+TEST(DiffFloatsUlp, NonFiniteElementsAlwaysFail) {
+  const float a[] = {std::numeric_limits<float>::infinity()};
+  const float b[] = {std::numeric_limits<float>::infinity()};
+  const auto d = diff_floats_ulp("y", a, b, 1, 1'000'000);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_NE(d->find("non-finite"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace evd::check

@@ -41,6 +41,29 @@ TEST(Systolic, LatencyFormula) {
   EXPECT_NEAR(report.latency_us, 100.0, 1e-6);
 }
 
+TEST(Systolic, SimdLanesDivideLatencyNotEnergy) {
+  SystolicConfig scalar_pe;
+  scalar_pe.utilization = 1.0;
+  SystolicConfig vector_pe = scalar_pe;
+  vector_pe.simd_lanes = 8;
+  nn::OpCounter counter;
+  counter.mults = counter.adds = 1000000;
+  const auto s = run_systolic(counter, scalar_pe);
+  const auto v = run_systolic(counter, vector_pe);
+  EXPECT_NEAR(v.latency_us * 8.0, s.latency_us, 1e-9);
+  EXPECT_NEAR(v.energy.total_pj(), s.energy.total_pj(), 1e-9);
+  EXPECT_EQ(s.vector_ops, 1000000);
+  EXPECT_EQ(v.vector_ops, 125000);
+}
+
+TEST(Systolic, VectorOpsRoundUpPartialVectors) {
+  SystolicConfig config;
+  config.simd_lanes = 8;
+  nn::OpCounter counter;
+  counter.mults = counter.adds = 17;
+  EXPECT_EQ(run_systolic(counter, config).vector_ops, 3);  // ceil(17 / 8)
+}
+
 TEST(Systolic, ReuseReducesMemoryEnergy) {
   SystolicConfig high_reuse;
   high_reuse.reuse_factor = 32.0;
@@ -55,6 +78,26 @@ TEST(Systolic, BadConfigThrows) {
   SystolicConfig config;
   config.rows = 0;
   EXPECT_THROW(run_systolic(nn::OpCounter{}, config), std::invalid_argument);
+  SystolicConfig bad_lanes;
+  bad_lanes.simd_lanes = 0;
+  EXPECT_THROW(run_systolic(nn::OpCounter{}, bad_lanes),
+               std::invalid_argument);
+}
+
+TEST(ZeroSkip, SimdLanesDivideLatencyIncludingUnreclaimedSlots) {
+  ZeroSkipConfig scalar_lane;
+  scalar_lane.skip_efficiency = 0.5;
+  ZeroSkipConfig vector_lane = scalar_lane;
+  vector_lane.simd_lanes = 4;
+  nn::OpCounter counter;
+  counter.mults = counter.adds = 1000000;
+  counter.zero_skippable_mults = 400000;
+  const auto s = run_zero_skip(counter, scalar_lane);
+  const auto v = run_zero_skip(counter, vector_lane);
+  EXPECT_NEAR(v.latency_us * 4.0, s.latency_us, 1e-9);
+  EXPECT_NEAR(v.energy.total_pj(), s.energy.total_pj(), 1e-9);
+  // Vector ops cover executed MACs only — skipped ones issue nothing.
+  EXPECT_EQ(v.vector_ops, 150000);  // ceil(600000 / 4)
 }
 
 TEST(ZeroSkip, SkipsExactlyTheSkippableMacs) {

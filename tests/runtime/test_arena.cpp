@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <new>
+#include <stdexcept>
 
 #include "runtime/arena.hpp"
 
@@ -39,6 +40,40 @@ TEST(ArenaAllocator, RespectsAlignment) {
   void* r = arena.allocate(16, 16);
   EXPECT_NE(q, nullptr);
   EXPECT_EQ(reinterpret_cast<std::uintptr_t>(r) % 16, 0u);
+}
+
+TEST(ArenaAllocator, DefaultAlignmentIsVectorWidth) {
+  ArenaAllocator arena(1024);
+  (void)arena.allocate(1, 1);  // misalign the bump pointer
+  // Defaulted-alignment allocations land on 32-byte (AVX2 register)
+  // boundaries so float scratch can feed aligned vector loads.
+  void* p = arena.allocate(40);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) %
+                ArenaAllocator::kDefaultAlignment,
+            0u);
+  auto floats = arena.allocate_span<float>(7);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(floats.data()) %
+                ArenaAllocator::kDefaultAlignment,
+            0u);
+}
+
+TEST(ArenaAllocator, SupportsUpToBaseAlignment) {
+  ArenaAllocator arena(1024);
+  (void)arena.allocate(3, 1);
+  void* p = arena.allocate(64, ArenaAllocator::kBaseAlignment);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) %
+                ArenaAllocator::kBaseAlignment,
+            0u);
+}
+
+TEST(ArenaAllocator, RejectsUnsatisfiableAlignment) {
+  ArenaAllocator arena(1024);
+  EXPECT_THROW(arena.allocate(8, ArenaAllocator::kBaseAlignment * 2),
+               std::invalid_argument);
+  EXPECT_THROW(arena.allocate(8, 3), std::invalid_argument);  // not pow2
+  EXPECT_THROW(arena.allocate(8, 0), std::invalid_argument);
+  // Rejection must not consume arena space.
+  EXPECT_EQ(arena.used(), 0u);
 }
 
 TEST(ArenaAllocator, ExhaustionThrowsBadAlloc) {

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "simd/dispatch.hpp"
+
+namespace evd::simd {
+namespace {
+
+TEST(SimdDispatch, TierNamesAreStable) {
+  EXPECT_STREQ(tier_name(Tier::Scalar), "scalar");
+  EXPECT_STREQ(tier_name(Tier::Avx2), "avx2");
+  EXPECT_STREQ(tier_name(Tier::Neon), "neon");
+}
+
+TEST(SimdDispatch, LaneWidthsMatchRegisterSizes) {
+  EXPECT_EQ(lane_width(Tier::Scalar), 1);
+  EXPECT_EQ(lane_width(Tier::Avx2), 8);   // 256-bit / f32
+  EXPECT_EQ(lane_width(Tier::Neon), 4);   // 128-bit / f32
+}
+
+TEST(SimdDispatch, ScalarIsAlwaysSupported) {
+  EXPECT_TRUE(tier_supported(Tier::Scalar));
+}
+
+TEST(SimdDispatch, DetectBestReturnsASupportedTier) {
+  EXPECT_TRUE(tier_supported(detect_best()));
+}
+
+TEST(SimdDispatch, ParseTierHandlesTheEvdSimdSpellings) {
+  // Unset / empty -> fallback, like parse_thread_count.
+  EXPECT_EQ(parse_tier(nullptr, Tier::Scalar), Tier::Scalar);
+  EXPECT_EQ(parse_tier("", detect_best()), detect_best());
+  // Explicit spellings.
+  EXPECT_EQ(parse_tier("scalar", detect_best()), Tier::Scalar);
+  EXPECT_EQ(parse_tier("native", Tier::Scalar), detect_best());
+  // Unknown spellings warn and fall back rather than abort.
+  EXPECT_EQ(parse_tier("sse9000", Tier::Scalar), Tier::Scalar);
+}
+
+TEST(SimdDispatch, ParseTierRejectsUnsupportedTiers) {
+  // Whichever of avx2/neon this machine has must parse to itself; whichever
+  // it lacks warns and resolves to the best supported tier instead.
+  for (const Tier t : {Tier::Avx2, Tier::Neon}) {
+    const Tier parsed = parse_tier(tier_name(t), Tier::Scalar);
+    EXPECT_EQ(parsed, tier_supported(t) ? t : detect_best());
+  }
+}
+
+TEST(SimdDispatch, ScopedTierOverridesAndRestores) {
+  const Tier before = active_tier();
+  {
+    ScopedTier guard(Tier::Scalar);
+    EXPECT_EQ(active_tier(), Tier::Scalar);
+    {
+      ScopedTier inner(detect_best());
+      EXPECT_EQ(active_tier(), detect_best());
+    }
+    EXPECT_EQ(active_tier(), Tier::Scalar);
+  }
+  EXPECT_EQ(active_tier(), before);
+}
+
+TEST(SimdDispatch, SetActiveTierReturnsPrevious) {
+  const Tier before = active_tier();
+  const Tier prev = set_active_tier(Tier::Scalar);
+  EXPECT_EQ(prev, before);
+  set_active_tier(before);
+}
+
+}  // namespace
+}  // namespace evd::simd
