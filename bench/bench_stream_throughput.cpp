@@ -12,6 +12,8 @@
 //   {"bench":"stream_throughput","paradigm":"gnn","sessions":16,...}
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -26,6 +28,7 @@
 #include "gnn/gnn_pipeline.hpp"
 #include "obs/metrics.hpp"
 #include "runtime/session_manager.hpp"
+#include "sched/planner.hpp"
 #include "snn/snn_pipeline.hpp"
 
 using namespace evd;
@@ -331,6 +334,261 @@ bool gate_overload() {
   return true;
 }
 
+// ---- execution-planner gate (ISSUE 8 acceptance) --------------------------
+//
+// A mixed-paradigm population arranged adversarially for the legacy s % W
+// deal: the two expensive dense-GNN sessions sit at ids 0 and 4, so on a
+// 4-worker pool the blind round-robin pump stacks both onto worker 0 every
+// round while the SNN workers idle. The annealed plan re-partitions the
+// regions by modeled cost.
+//
+// Three gates, in decreasing order of portability:
+//   1. Equivalence (every host): the planned pump's per-session decision
+//      streams are bitwise identical to the round-robin pump's — the plan
+//      equivalence contract, re-checked on real runs, not just in the
+//      oracle suite.
+//   2. Modeled serving makespan (every host): the chosen plan must beat the
+//      modeled cost of the exact legacy schedule — Plan::round_robin(8, 4,
+//      256) is the s % 4 deal, burst 256, default placements, i.e. what the
+//      blind pump actually executes — by >= 10% under the same evd::hw cost
+//      models the paper's Table I comparisons rest on.
+//   3. Wall clock: the plan only redistributes *visits* across workers
+//      (the equivalence contract forbids it changing any executed op), so
+//      its wall-time effect is purely a parallel-makespan effect. That is
+//      only physically expressible when the host can actually run the 4
+//      regions concurrently: on < 4 hardware threads every partition
+//      serialises onto the same cores and all schedules cost the same wall
+//      time by construction. So the >= 1.10x wall gate arms when
+//      hardware_concurrency >= 4; below that the wall leg is reported and
+//      only sanity-checked (planned must not be materially slower).
+
+struct PlannerRow {
+  double wall_ms = 0.0;
+  std::int64_t events = 0;
+  std::vector<std::vector<core::Decision>> streams;
+  double events_per_s() const {
+    return 1e3 * static_cast<double>(events) / wall_ms;
+  }
+};
+
+/// The mixed population, in session-id order. Paradigm pattern
+/// gnn,cnn,snn,snn — repeating at ids 4..7, so each paradigm's sessions
+/// collide on a worker under the legacy deal at W = 4.
+struct MixedPopulation {
+  gnn::GnnPipeline gnn;
+  cnn::CnnPipeline cnn;
+  snn::SnnPipeline snn;
+  std::vector<const char*> paradigms;
+
+  MixedPopulation()
+      : gnn(gnn_dense_config()),
+        cnn([] {
+          cnn::CnnPipelineConfig config;
+          config.width = kWidth;
+          config.height = kHeight;
+          config.num_classes = 2;
+          config.base_filters = 4;
+          config.frame_period_us = 20000;
+          return config;
+        }()),
+        snn([] {
+          snn::SnnPipelineConfig config;
+          config.width = kWidth;
+          config.height = kHeight;
+          config.num_classes = 2;
+          config.hidden = 64;
+          config.timestep_us = 5000;
+          return config;
+        }()),
+        paradigms{"gnn", "cnn", "snn", "snn", "gnn", "cnn", "snn", "snn"} {}
+
+  std::unique_ptr<core::StreamSession> open(size_t i) {
+    if (std::strcmp(paradigms[i], "gnn") == 0) {
+      return gnn.open_session(kWidth, kHeight);
+    }
+    if (std::strcmp(paradigms[i], "cnn") == 0) {
+      return cnn.open_session(kWidth, kHeight);
+    }
+    return snn.open_session(kWidth, kHeight);
+  }
+
+  sched::SessionProfile profile(size_t i, Index queued_ops) {
+    if (std::strcmp(paradigms[i], "gnn") == 0) {
+      return sched::profile_for(gnn, "gnn", queued_ops);
+    }
+    if (std::strcmp(paradigms[i], "cnn") == 0) {
+      return sched::profile_for(cnn, "cnn", queued_ops);
+    }
+    return sched::profile_for(snn, "snn", queued_ops);
+  }
+};
+
+PlannerRow serve_mixed(MixedPopulation& population, const sched::Plan* plan) {
+  const auto session_count = static_cast<Index>(population.paradigms.size());
+  runtime::SessionManager manager(/*burst=*/256);
+  std::vector<runtime::SessionId> ids;
+  std::vector<std::vector<events::Event>> streams;
+  for (Index s = 0; s < session_count; ++s) {
+    ids.push_back(manager.add(population.open(static_cast<size_t>(s))));
+    streams.push_back(session_stream(900 + static_cast<std::uint64_t>(s)));
+  }
+  if (plan != nullptr) manager.set_plan(*plan);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  Index cursor = 0;
+  while (cursor < kEventsPerSession) {
+    const Index until = std::min<Index>(cursor + 2048, kEventsPerSession);
+    for (Index s = 0; s < session_count; ++s) {
+      for (Index i = cursor; i < until; ++i) {
+        manager.submit(ids[s], streams[static_cast<size_t>(s)]
+                                      [static_cast<size_t>(i)]);
+      }
+    }
+    manager.pump_all();
+    cursor = until;
+  }
+  for (Index s = 0; s < session_count; ++s) {
+    manager.submit_advance(ids[s], kDuration);
+  }
+  manager.pump_all();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  PlannerRow row;
+  row.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  for (const auto id : ids) {
+    row.events += manager.stats(id).events_fed;
+    std::vector<core::Decision> out;
+    manager.drain(id, out);
+    row.streams.push_back(std::move(out));
+  }
+  return row;
+}
+
+bool decision_streams_identical(const PlannerRow& a, const PlannerRow& b) {
+  if (a.streams.size() != b.streams.size()) return false;
+  for (size_t s = 0; s < a.streams.size(); ++s) {
+    const auto& da = a.streams[s];
+    const auto& db = b.streams[s];
+    if (da.size() != db.size()) return false;
+    for (size_t i = 0; i < da.size(); ++i) {
+      if (da[i].label != db[i].label || da[i].t != db[i].t ||
+          std::memcmp(&da[i].confidence, &db[i].confidence,
+                      sizeof(da[i].confidence)) != 0) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool gate_planner() {
+  // The adversarial deal needs W = 4 exactly (the ISSUE's >= 4 threads);
+  // region_count above matches. Restore the full pool afterwards.
+  const Index previous_threads = par::thread_count();
+  par::set_thread_count(4);
+  const bool sched_was_enabled = sched::enabled();
+  sched::set_enabled(true);
+
+  MixedPopulation population;
+  std::vector<sched::SessionProfile> profiles;
+  for (size_t s = 0; s < population.paradigms.size(); ++s) {
+    profiles.push_back(population.profile(s, 2048));
+  }
+  sched::AnnealerConfig config;
+  config.seed = 11;
+  config.iterations = 900;
+  config.region_count = 4;
+  config.burst_cap = 256;
+  const sched::Plan plan = sched::Planner::instance().plan_for(profiles, config);
+  // Modeled baseline = the schedule the legacy pump actually runs: the
+  // s % 4 deal at the manager's burst (256), default placements, unfused.
+  const sched::CostModels models;
+  sched::Plan legacy_schedule = sched::Plan::round_robin(8, 4, 256);
+  const double legacy_modeled_us =
+      sched::plan_cost_us(legacy_schedule, profiles, models);
+  const double modeled_speedup = legacy_modeled_us / plan.modeled_cost_us;
+  std::printf("\n-- execution planner: chosen plan --\n%s\n",
+              plan.describe().c_str());
+  std::printf(
+      "   modeled drain: round-robin %.0f us, planned %.0f us (%.2fx)\n",
+      legacy_modeled_us, plan.modeled_cost_us, modeled_speedup);
+
+  // Interleave modes and keep the best of two runs each, so a one-off
+  // scheduler hiccup cannot decide the gate either way.
+  PlannerRow round_robin = serve_mixed(population, nullptr);
+  PlannerRow planned = serve_mixed(population, &plan);
+  {
+    PlannerRow rr2 = serve_mixed(population, nullptr);
+    if (rr2.wall_ms < round_robin.wall_ms) round_robin = std::move(rr2);
+    PlannerRow planned2 = serve_mixed(population, &plan);
+    if (planned2.wall_ms < planned.wall_ms) planned = std::move(planned2);
+  }
+  sched::set_enabled(sched_was_enabled);
+  par::set_thread_count(previous_threads);
+
+  const bool identical = decision_streams_identical(round_robin, planned);
+  const double speedup = planned.events_per_s() / round_robin.events_per_s();
+  const unsigned cores = std::thread::hardware_concurrency();
+  const bool wall_gated = cores >= 4;
+  Table table({"pump", "wall [ms]", "events/s", "vs round-robin"});
+  table.add_row({"round-robin", Table::num(round_robin.wall_ms, 1),
+                 Table::num(round_robin.events_per_s(), 0), "1.00x"});
+  table.add_row({"planned", Table::num(planned.wall_ms, 1),
+                 Table::num(planned.events_per_s(), 0),
+                 Table::num(speedup, 2) + "x"});
+  std::printf(
+      "\n-- execution planner: mixed 8-session population, 4 workers --\n");
+  table.print();
+  std::printf("   decision streams bitwise identical: %s\n",
+              identical ? "yes" : "NO");
+  if (!wall_gated) {
+    std::printf(
+        "   host has %u hardware thread(s): all partitions serialise, so "
+        "the wall leg is\n   reported but gated on the modeled makespan "
+        "(wall sanity bound: >= 0.85x)\n",
+        cores);
+  }
+  std::printf(
+      "{\"bench\":\"stream_planner\",\"sessions\":8,\"threads\":4,"
+      "\"cores\":%u,\"round_robin_wall_ms\":%.3f,\"planned_wall_ms\":%.3f,"
+      "\"speedup\":%.3f,\"modeled_round_robin_us\":%.1f,"
+      "\"modeled_plan_us\":%.1f,\"modeled_speedup\":%.3f,"
+      "\"wall_gated\":%s,\"streams_identical\":%s}\n",
+      cores, round_robin.wall_ms, planned.wall_ms, speedup, legacy_modeled_us,
+      plan.modeled_cost_us, modeled_speedup, wall_gated ? "true" : "false",
+      identical ? "true" : "false");
+
+  if (!identical) {
+    std::fprintf(stderr,
+                 "FATAL: planned pump changed a decision stream (the plan "
+                 "equivalence contract is bitwise)\n");
+    return false;
+  }
+  if (modeled_speedup < 1.10) {
+    std::fprintf(stderr,
+                 "FATAL: planner modeled improvement %.2fx on the "
+                 "adversarial mixed workload (gate: >= 1.10x over the "
+                 "legacy round-robin schedule)\n",
+                 modeled_speedup);
+    return false;
+  }
+  if (wall_gated && speedup < 1.10) {
+    std::fprintf(stderr,
+                 "FATAL: planner wall speedup %.2fx on %u-core host "
+                 "(gate: >= 1.10x over round-robin)\n",
+                 speedup, cores);
+    return false;
+  }
+  if (!wall_gated && speedup < 0.85) {
+    std::fprintf(stderr,
+                 "FATAL: planned pump is materially slower (%.2fx) than "
+                 "round-robin on a serialised host (sanity bound: 0.85x)\n",
+                 speedup);
+    return false;
+  }
+  return true;
+}
+
 // ---- feed->decision latency (p50 / p99 from the obs histogram) ------------
 
 /// Serve 8 sessions of one paradigm with observability on and report the
@@ -450,6 +708,7 @@ int main() {
     ok = gate_fault_overhead(ns_per_event) && ok;
   }
   ok = gate_overload() && ok;
+  ok = gate_planner() && ok;
   ok = report_all_latencies() && ok;
   return ok ? 0 : 1;
 }

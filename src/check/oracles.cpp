@@ -12,6 +12,8 @@
 #include "gnn/incremental.hpp"
 #include "gnn/kdtree.hpp"
 #include "obs/metrics.hpp"
+#include "sched/annealer.hpp"
+#include "sched/planner.hpp"
 #include "simd/dispatch.hpp"
 #include "runtime/session_manager.hpp"
 #include "snn/snn_model.hpp"
@@ -1078,6 +1080,124 @@ std::optional<std::string> diff_checkpoint_replay(
                                "restored", "sequential reference");
 }
 
+// ---- sched: plan-driven pump vs sequential reference ----------------------
+
+namespace {
+
+/// Sequential reference, then the same ops served under an annealer-chosen
+/// plan. The plan is derived deterministically from the schedule (seeded by
+/// its total op count), so every generated case exercises a different plan
+/// and a shrunk schedule carries a correspondingly shrunk witness plan.
+template <typename Pipeline>
+std::optional<std::string> diff_planned(Pipeline& pipeline,
+                                        const std::string& paradigm,
+                                        const MultiSessionSchedule& c) {
+  std::vector<std::vector<core::Decision>> reference;
+  reference.reserve(c.sessions.size());
+  std::uint64_t schedule_seed = 0x9E3779B97F4A7C15ULL;
+  for (const auto& ops : c.sessions) {
+    const auto session = pipeline.open_session(c.width, c.height);
+    for (const auto& op : ops) apply_op(*session, op);
+    reference.push_back(session->decisions());
+    schedule_seed = schedule_seed * 0x100000001B3ULL + ops.size();
+  }
+  return with_thread_count(
+      kThreadedCount, [&]() -> std::optional<std::string> {
+        struct RestoreSched {
+          bool previous;
+          ~RestoreSched() { sched::set_enabled(previous); }
+        } restore{sched::enabled()};
+        sched::set_enabled(true);
+        runtime::SessionManager manager(/*burst=*/3);
+        std::vector<runtime::SessionId> ids;
+        ids.reserve(c.sessions.size());
+        for (size_t s = 0; s < c.sessions.size(); ++s) {
+          ids.push_back(manager.add(pipeline.open_session(c.width, c.height)));
+        }
+        // Anneal a plan for this population: fused stages, re-drawn bursts,
+        // re-partitioned regions — whatever the search likes for this seed.
+        std::vector<sched::SessionProfile> profiles(
+            c.sessions.size(), sched::profile_for(pipeline, paradigm, 16));
+        sched::AnnealerConfig search;
+        search.seed = schedule_seed;
+        search.iterations = 120;
+        search.region_count = 2;
+        search.burst_cap = 4;
+        const sched::AnnealResult annealed =
+            sched::anneal_plan(profiles, sched::CostModels{}, search);
+        manager.set_plan(annealed.plan);
+        size_t cursor = 0;
+        bool more = true;
+        while (more) {
+          more = false;
+          for (size_t s = 0; s < c.sessions.size(); ++s) {
+            if (cursor >= c.sessions[s].size()) continue;
+            more = true;
+            const auto& op = c.sessions[s][cursor];
+            if (op.kind == SessionOp::Kind::Feed) {
+              manager.submit(ids[s], op.event);
+            } else {
+              manager.submit_advance(ids[s], op.t);
+            }
+          }
+          ++cursor;
+          if (cursor % 5 == 0) manager.pump();
+        }
+        manager.pump_all();
+        std::vector<std::vector<core::Decision>> planned;
+        planned.reserve(ids.size());
+        for (const auto id : ids) {
+          planned.push_back(manager.session(id).decisions());
+        }
+        if (auto d = diff_decision_streams(planned, reference,
+                                           c.sessions.size(), "planned",
+                                           "sequential reference")) {
+          return "under plan " + manager.plan().describe() + "\n" + *d;
+        }
+        return std::nullopt;
+      });
+}
+
+}  // namespace
+
+std::optional<std::string> diff_cnn_plan_vs_sequential(
+    const MultiSessionSchedule& c) {
+  cnn::CnnPipelineConfig config;
+  config.width = kMuxGeometry;
+  config.height = kMuxGeometry;
+  config.num_classes = 2;
+  config.base_filters = 2;
+  config.frame_period_us = 10000;
+  cnn::CnnPipeline pipeline(config);
+  return diff_planned(pipeline, "cnn", c);
+}
+
+std::optional<std::string> diff_snn_plan_vs_sequential(
+    const MultiSessionSchedule& c) {
+  snn::SnnPipelineConfig config;
+  config.width = kMuxGeometry;
+  config.height = kMuxGeometry;
+  config.num_classes = 2;
+  config.hidden = 16;
+  config.encoder.spatial_factor = 2;
+  config.timestep_us = 5000;
+  snn::SnnPipeline pipeline(config);
+  return diff_planned(pipeline, "snn", c);
+}
+
+std::optional<std::string> diff_gnn_plan_vs_sequential(
+    const MultiSessionSchedule& c) {
+  gnn::GnnPipelineConfig config;
+  config.width = kMuxGeometry;
+  config.height = kMuxGeometry;
+  config.num_classes = 2;
+  config.model.hidden = 8;
+  config.model.layers = 2;
+  config.stream_stride = 2;
+  gnn::GnnPipeline pipeline(config);
+  return diff_planned(pipeline, "gnn", c);
+}
+
 // ---- registration ---------------------------------------------------------
 
 void register_builtin_oracles() {
@@ -1161,6 +1281,21 @@ void register_builtin_oracles() {
         "A session that faults, restores from its checkpoint and replays "
         "emits the exact decision stream of a never-faulted run",
         multiplex_case_gen(), diff_checkpoint_replay));
+    registry().add(make_diff_oracle<MultiSessionSchedule>(
+        "sched.plan_vs_sequential.cnn",
+        "CNN sessions pumped under an annealer-chosen execution plan emit "
+        "the exact decision stream of sequential feeding",
+        multiplex_case_gen(), diff_cnn_plan_vs_sequential));
+    registry().add(make_diff_oracle<MultiSessionSchedule>(
+        "sched.plan_vs_sequential.snn",
+        "SNN sessions pumped under an annealer-chosen execution plan emit "
+        "the exact decision stream of sequential feeding",
+        multiplex_case_gen(), diff_snn_plan_vs_sequential));
+    registry().add(make_diff_oracle<MultiSessionSchedule>(
+        "sched.plan_vs_sequential.gnn",
+        "GNN sessions pumped under an annealer-chosen execution plan emit "
+        "the exact decision stream of sequential feeding",
+        multiplex_case_gen(), diff_gnn_plan_vs_sequential));
     return true;
   }();
   (void)registered;

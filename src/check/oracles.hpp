@@ -27,6 +27,13 @@
 //   runtime.checkpoint_replay    a session that faults, restores from its
 //                                checkpoint and replays must emit the exact
 //                                decision stream of a never-faulted run
+//   sched.plan_vs_sequential.{cnn,snn,gnn}
+//                                sessions pumped under an annealer-chosen
+//                                execution plan (fused stages, per-entry
+//                                bursts, re-partitioned worker regions) vs
+//                                direct sequential feeding — decision
+//                                streams must match bitwise (the planner's
+//                                equivalence contract)
 //
 // Case structs and diff properties are public so the fault-injection
 // self-test can perturb one side and verify the harness catches it and
@@ -181,6 +188,22 @@ std::optional<std::string> diff_fault_isolation(const MultiSessionSchedule& c);
 /// restore from its last checkpoint, replay, retry, and end with a decision
 /// stream bitwise identical to the never-faulted reference.
 std::optional<std::string> diff_checkpoint_replay(const MultiSessionSchedule& c);
+
+// ---- sched: plan-driven pump vs sequential reference ----------------------
+
+/// Feed every session's ops directly and sequentially, then serve the same
+/// schedule through a SessionManager on 4 workers with an execution plan
+/// installed — annealed from the schedule itself (seeded by its op count,
+/// so shrinking the schedule shrinks the witness plan with it) — and
+/// require bitwise-identical per-session decision streams. A plan may
+/// re-partition sessions across workers, reorder visits and change bursts,
+/// but must never change a single emitted bit.
+std::optional<std::string> diff_cnn_plan_vs_sequential(
+    const MultiSessionSchedule& c);
+std::optional<std::string> diff_snn_plan_vs_sequential(
+    const MultiSessionSchedule& c);
+std::optional<std::string> diff_gnn_plan_vs_sequential(
+    const MultiSessionSchedule& c);
 
 /// Run fn at the given pool size, restoring the previous size afterwards.
 template <typename Fn>

@@ -49,6 +49,49 @@ int CnnPipeline::classify(const events::EventStream& stream) {
   return static_cast<int>(nn::predict(model_, frame_for(stream)));
 }
 
+std::vector<core::StageInfo> CnnPipeline::stream_stages() const {
+  // Planning estimates for the evd::sched cost models (see core/stages.hpp):
+  // analytic per-op work derived from the configured geometry, not measured
+  // counters. The frame-rate stages amortise over a nominal 256 events per
+  // frame period — the density the serving benches run at.
+  constexpr std::int64_t kOpsPerFrame = 256;
+  const Index channels = representation_channels(config_.frame.repr);
+  const Index hw = config_.height * config_.width;
+  const Index bf = config_.base_filters;
+
+  core::StageInfo accumulate;
+  accumulate.name = "cnn.accumulate";
+  accumulate.per_op.adds = 2;  // window append + surface-map update
+  accumulate.per_op.act_bytes_written = sizeof(events::Event);
+
+  core::StageInfo repr;
+  repr.name = "cnn.representation_build";
+  repr.duty = 1.0 / static_cast<double>(kOpsPerFrame);
+  repr.per_op.adds = 4 * kOpsPerFrame + channels * hw;  // binning + clear
+  repr.per_op.act_bytes_read =
+      kOpsPerFrame * static_cast<std::int64_t>(sizeof(events::Event));
+  repr.per_op.act_bytes_written = channels * hw * 4;
+  repr.fusable_with_next = true;  // the frame could stream into the conv stem
+
+  core::StageInfo conv;
+  conv.name = "cnn.conv_forward";
+  conv.duty = repr.duty;
+  // make_event_cnn stem: 3x3 convs at full / half / quarter resolution plus
+  // the GAP head's linear.
+  const std::int64_t macs =
+      static_cast<std::int64_t>(hw) * bf * channels * 9 +
+      static_cast<std::int64_t>(hw / 4) * (2 * bf) * bf * 9 +
+      static_cast<std::int64_t>(hw / 16) * (4 * bf) * (2 * bf) * 9 +
+      static_cast<std::int64_t>(4 * bf) * config_.num_classes;
+  conv.per_op.mults = macs;
+  conv.per_op.adds = macs;
+  conv.per_op.param_bytes_read = param_count() * 4;
+  conv.per_op.act_bytes_read = channels * hw * 4;
+  conv.per_op.act_bytes_written = (bf * hw + config_.num_classes) * 4;
+
+  return {accumulate, repr, conv};
+}
+
 Index CnnPipeline::param_count() const {
   Index n = 0;
   for (auto* p : const_cast<nn::Sequential&>(model_).params()) {

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "core/stages.hpp"
 #include "events/dataset.hpp"
 #include "events/event.hpp"
 #include "nn/counters.hpp"
@@ -126,6 +127,12 @@ class EventPipeline {
   /// Open an event-driven session over a stream geometry.
   virtual std::unique_ptr<StreamSession> open_session(Index width,
                                                       Index height) = 0;
+
+  /// Declared streaming-stage structure for the execution planner (see
+  /// core/stages.hpp). The default — no stages — makes the pipeline opaque
+  /// to the planner: it is scheduled as a single unfusable unit of unknown
+  /// cost. All three built-in paradigms override this.
+  virtual std::vector<StageInfo> stream_stages() const { return {}; }
 
   /// Learnable parameter count.
   virtual Index param_count() const = 0;

@@ -1,0 +1,47 @@
+// Declared streaming-stage structure of an EventPipeline — the planning
+// surface the execution planner (evd::sched) searches over.
+//
+// A pipeline's streaming path is a short linear dataflow of stages (the same
+// ones its sessions wrap in obs spans: accumulate -> representation -> conv
+// for the CNN, encode -> lif step for the SNN, graph insert -> message pass
+// for the GNN). The planner needs two things from each stage:
+//
+//   * a *planning estimate* of the work one queued op causes there, as an
+//     nn::OpCounter the evd::hw cost models can price. These are analytic
+//     estimates derived from the pipeline's configuration — dimensions,
+//     hidden sizes, neighbour caps — not measured counters: the planner
+//     ranks candidate plans, it does not predict wall time;
+//   * whether the stage's output may stay on-chip when the next stage is
+//     fused with it (fusable_with_next), which is what gives stage fusion a
+//     modeled payoff (the intermediate activation traffic disappears).
+//
+// Stages never constrain *execution semantics*: every session applies its
+// ops in submission order through the same code path whatever the plan says.
+// Fusion and ordering decisions change the modeled cost and the obs span
+// labelling, not the arithmetic — that is the planner's equivalence
+// contract, enforced bitwise by the sched.plan_vs_sequential oracles.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/counters.hpp"
+
+namespace evd::core {
+
+struct StageInfo {
+  /// Stable stage name, prefixed with the paradigm ("cnn.conv_forward") —
+  /// matches the obs span the stage runs under where one exists.
+  std::string name;
+  /// Modeled work per op that *reaches* the stage (see duty).
+  nn::OpCounter per_op;
+  /// Fraction of queued ops that actually run the stage. Amortised stages
+  /// (a frame close, a timestep tick) declare the nominal ops-per-firing
+  /// the pipeline expects, e.g. duty = 1/256 for "fires every ~256 events".
+  double duty = 1.0;
+  /// True when the stage's output can stay resident if the next stage is
+  /// fused into the same group (saves the boundary activation traffic).
+  bool fusable_with_next = false;
+};
+
+}  // namespace evd::core

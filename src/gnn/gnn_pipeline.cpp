@@ -44,6 +44,51 @@ int GnnPipeline::classify(const events::EventStream& stream) {
   return static_cast<int>(model_.forward(graph, false).argmax());
 }
 
+std::vector<core::StageInfo> GnnPipeline::stream_stages() const {
+  // Planning estimates for the evd::sched cost models (see core/stages.hpp).
+  // Fully event-driven: every stride-surviving event pays graph insertion
+  // plus a causal message-pass, so duty is 1/stream_stride for all stages.
+  const double duty =
+      1.0 / static_cast<double>(std::max<Index>(1, config_.stream_stride));
+  const Index hidden = config_.model.hidden;
+  const Index layers = config_.model.layers;
+  const Index classes = config_.num_classes;
+  const Index nbrs = config_.graph.max_neighbors;
+
+  core::StageInfo build;
+  build.name = "gnn.graph_update";
+  build.duty = duty;
+  build.per_op.comparisons = 64;  // grid-hash probes for radius neighbours
+  build.per_op.adds = nbrs;       // adjacency splices
+  build.per_op.state_bytes_rw = nbrs * 16;  // node + edge-list touches
+  build.fusable_with_next = true;  // features can stream off the fresh edges
+
+  core::StageInfo message;
+  message.name = "gnn.message_pass";
+  message.duty = duty;
+  // Causal update: the inserted node and its neighbours re-aggregate at
+  // every layer, then the readout head scores the pooled embedding.
+  const std::int64_t macs =
+      static_cast<std::int64_t>(layers) * (nbrs + 1) * hidden * hidden +
+      static_cast<std::int64_t>(hidden) * classes;
+  message.per_op.mults = macs;
+  message.per_op.adds = macs;
+  message.per_op.param_bytes_read = param_count() * 4;
+  message.per_op.act_bytes_read =
+      static_cast<std::int64_t>(layers) * (nbrs + 1) * hidden * 4;
+  message.per_op.act_bytes_written = hidden * 4;
+  message.fusable_with_next = true;
+
+  core::StageInfo readout;
+  readout.name = "gnn.readout";
+  readout.duty = duty;
+  readout.per_op.mults = 2 * static_cast<std::int64_t>(hidden) * classes;
+  readout.per_op.comparisons = classes;  // argmax
+  readout.per_op.act_bytes_read = 2 * hidden * 4;
+
+  return {build, message, readout};
+}
+
 Index GnnPipeline::param_count() const {
   return const_cast<EventGnn&>(model_).param_count();
 }

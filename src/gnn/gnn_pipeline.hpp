@@ -47,6 +47,7 @@ class GnnPipeline : public core::EventPipeline {
   int classify(const events::EventStream& stream) override;
   std::unique_ptr<core::StreamSession> open_session(Index width,
                                                     Index height) override;
+  std::vector<core::StageInfo> stream_stages() const override;
   Index param_count() const override;
   Index state_bytes() const override;
   Index input_preparation_bytes() const override;

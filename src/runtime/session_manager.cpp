@@ -31,6 +31,7 @@ SessionManager::SessionManager(Index burst) : burst_(burst < 1 ? 1 : burst) {
   restores_counter_ = obs::counter("evd_fault_restores_total");
   shed_counter_ = obs::counter("evd_admission_shed_total");
   overload_gauge_ = obs::gauge("evd_overload_level");
+  planned_rounds_ = obs::counter("evd_sched_planned_rounds_total");
   auto& injector = fault::Injector::instance();
   site_malformed_ = injector.site(kSiteMalformed);
   site_out_of_order_ = injector.site(kSiteOutOfOrder);
@@ -291,6 +292,55 @@ void SessionManager::quarantine(SessionId id, Slot& s, const char* why) {
   s.quarantine_dropped += backlog + 1;
 }
 
+Index SessionManager::pump_session(Index i, Index burst,
+                                   const char* span_name) {
+  Slot& s = *slots_[static_cast<size_t>(i)];
+  if (s.state == SessionState::Faulted) return 0;
+  Index done = 0;
+  StreamOp op;
+  // The span + latency instruments never touch the op stream, so the
+  // decision sequence is identical with observability on or off (the
+  // runtime.obs_on_vs_off oracle holds this bitwise). Only sampled ops
+  // (enqueue_ns stamped at submit) pay for clock reads here; the rest
+  // cross a single branch.
+  std::optional<obs::Span> span;
+  if (obs::enabled() && !s.queue.empty()) {
+    span.emplace(span_name);
+  }
+  // The try/catch lives *inside* the per-session loop: a fault in session i
+  // recovers or quarantines i on the owning worker and never unwinds
+  // through the parallel region, so neighbors are untouched (the
+  // runtime.fault_isolation oracle holds this bitwise).
+  while (done < burst && s.queue.pop(op)) {
+    queued_ops_.fetch_sub(1, std::memory_order_relaxed);
+    try {
+      if (op.enqueue_ns > 0) {
+        const std::int64_t before = s.session->stats().decisions_emitted;
+        apply_op(i, s, op);
+        if (s.session->stats().decisions_emitted > before) {
+          const std::int64_t us =
+              (obs::Tracer::now_ns() - op.enqueue_ns) / 1000;
+          s.latency.record(us);
+          latency_all_.record(us);
+        }
+      } else {
+        apply_op(i, s, op);
+      }
+      note_applied(s, op);
+    } catch (const std::exception& e) {
+      ++s.faults;
+      faults_counter_.add(1);
+      if (!recover(i, s, op)) {
+        quarantine(i, s, e.what());
+        ++done;
+        break;
+      }
+    }
+    ++done;
+  }
+  return done;
+}
+
 Index SessionManager::pump() {
   const Index n = session_count();
   if (n == 0) return 0;
@@ -298,68 +348,48 @@ Index SessionManager::pump() {
   if (admission_.enabled) {
     overload_gauge_.set(static_cast<double>(level));
   }
-  Index burst = burst_;
+  Index coarsen = 1;
   if (level >= fault::DegradationLevel::CoarsenBursts) {
     // Coarser bursts amortise scheduling under pressure. Per-session op
     // order is untouched, so every decision stream is unchanged — this rung
     // trades interleaving fairness, not output.
-    burst *= admission_.coarsen_factor < 1 ? 1 : admission_.coarsen_factor;
+    coarsen = admission_.coarsen_factor < 1 ? 1 : admission_.coarsen_factor;
     ++coarsened_rounds_;
   }
-  // Grain 1: session i is chunk i, so static assignment gives worker w
-  // sessions w, w+W, ... — one worker per session per round, no sharing.
-  // The try/catch lives *inside* the per-session loop: a fault in session i
-  // recovers or quarantines i on the owning worker and never unwinds
-  // through the parallel region, so neighbors are untouched (the
-  // runtime.fault_isolation oracle holds this bitwise).
-  par::parallel_for(0, n, 1, [&](Index begin, Index end) {
-    for (Index i = begin; i < end; ++i) {
-      Slot& s = *slots_[static_cast<size_t>(i)];
-      Index done = 0;
-      if (s.state == SessionState::Faulted) {
-        processed_[static_cast<size_t>(i)] = 0;
-        continue;
-      }
-      StreamOp op;
-      // The span + latency instruments never touch the op stream, so the
-      // decision sequence is identical with observability on or off (the
-      // runtime.obs_on_vs_off oracle holds this bitwise). Only sampled ops
-      // (enqueue_ns stamped at submit) pay for clock reads here; the rest
-      // cross a single branch.
-      std::optional<obs::Span> span;
-      if (obs::enabled() && !s.queue.empty()) {
-        span.emplace("runtime.session_burst");
-      }
-      while (done < burst && s.queue.pop(op)) {
-        queued_ops_.fetch_sub(1, std::memory_order_relaxed);
-        try {
-          if (op.enqueue_ns > 0) {
-            const std::int64_t before = s.session->stats().decisions_emitted;
-            apply_op(i, s, op);
-            if (s.session->stats().decisions_emitted > before) {
-              const std::int64_t us =
-                  (obs::Tracer::now_ns() - op.enqueue_ns) / 1000;
-              s.latency.record(us);
-              latency_all_.record(us);
-            }
-          } else {
-            apply_op(i, s, op);
-          }
-          note_applied(s, op);
-        } catch (const std::exception& e) {
-          ++s.faults;
-          faults_counter_.add(1);
-          if (!recover(i, s, op)) {
-            quarantine(i, s, e.what());
-            ++done;
-            break;
-          }
+  // EVD_SCHED=off (or no installed / stale plan) runs the legacy blind
+  // round-robin byte-identically to a build without the planner.
+  const bool planned =
+      plan_ != nullptr && sched::enabled() && plan_->session_count == n;
+  if (planned) {
+    // Grain 1 over *regions*: region r is chunk r, one worker per region
+    // per round. Plan::validate() guarantees each session sits in exactly
+    // one region, so no session is ever touched by two workers — the same
+    // single-writer argument as the legacy path, with the plan choosing
+    // the partition, visit order and per-visit bursts.
+    const auto nregions = static_cast<Index>(plan_->regions.size());
+    par::parallel_for(0, nregions, 1, [&](Index begin, Index end) {
+      for (Index r = begin; r < end; ++r) {
+        const sched::PlanRegion& region =
+            plan_->regions[static_cast<size_t>(r)];
+        for (const sched::PlanEntry& e : region.entries) {
+          processed_[static_cast<size_t>(e.session)] =
+              pump_session(e.session, e.burst * coarsen,
+                           region.label.c_str());
         }
-        ++done;
       }
-      processed_[static_cast<size_t>(i)] = done;
-    }
-  });
+    });
+    planned_rounds_.add(1);
+  } else {
+    const Index burst = burst_ * coarsen;
+    // Grain 1: session i is chunk i, so static assignment gives worker w
+    // sessions w, w+W, ... — one worker per session per round, no sharing.
+    par::parallel_for(0, n, 1, [&](Index begin, Index end) {
+      for (Index i = begin; i < end; ++i) {
+        processed_[static_cast<size_t>(i)] =
+            pump_session(i, burst, "runtime.session_burst");
+      }
+    });
+  }
   Index total = 0;
   for (Index i = 0; i < n; ++i) total += processed_[static_cast<size_t>(i)];
   ops_processed_.add(total);
@@ -370,6 +400,39 @@ Index SessionManager::pump() {
 void SessionManager::pump_all() {
   while (pump() > 0) {
   }
+}
+
+void SessionManager::set_plan(sched::Plan plan) {
+  if (std::string why; !plan.validate(&why)) {
+    throw Error(ErrorCode::InvalidArgument,
+                "SessionManager::set_plan: invalid plan: " + why);
+  }
+  if (plan.session_count != session_count()) {
+    throw Error(ErrorCode::InvalidArgument,
+                "SessionManager::set_plan: plan covers " +
+                    std::to_string(plan.session_count) + " sessions, manager " +
+                    "has " + std::to_string(session_count()));
+  }
+  plan.refresh_labels();  // span labels must be present and stable
+  plan.serialize(plan_bytes_);
+  plan_ = std::make_unique<sched::Plan>(std::move(plan));
+}
+
+void SessionManager::clear_plan() noexcept {
+  plan_.reset();
+  plan_bytes_.clear();
+}
+
+const sched::Plan& SessionManager::plan() const {
+  if (!plan_) {
+    throw Error(ErrorCode::InvalidArgument,
+                "SessionManager::plan: no plan installed");
+  }
+  return *plan_;
+}
+
+void SessionManager::install_plan_bytes(std::span<const std::uint8_t> bytes) {
+  set_plan(sched::Plan::deserialize(bytes));
 }
 
 bool SessionManager::restore(SessionId id) {

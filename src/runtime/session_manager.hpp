@@ -54,6 +54,7 @@
 #include "obs/metrics.hpp"
 #include "runtime/event_queue.hpp"
 #include "runtime/session_base.hpp"
+#include "sched/plan.hpp"
 
 namespace evd::runtime {
 
@@ -119,10 +120,31 @@ class SessionManager {
   bool submit(SessionId id, const events::Event& event);
   bool submit_advance(SessionId id, TimeUs t);
 
-  /// One scheduling round: every Active session with queued ops processes
-  /// up to `burst` of them, sessions running in parallel across the pool.
+  /// One scheduling round. Without an installed plan (or with EVD_SCHED
+  /// off): every Active session with queued ops processes up to `burst` of
+  /// them, sessions running in parallel across the pool. With a plan: each
+  /// plan region is pumped by one worker, visiting its sessions in plan
+  /// order with per-entry bursts. Either way every session applies its own
+  /// ops in FIFO order on a single worker per round, so the decision
+  /// streams are bitwise identical (sched.plan_vs_sequential oracles).
   /// Returns the total number of ops processed (0 == all queues empty).
   Index pump();
+
+  /// Install an execution plan (see sched/plan.hpp). The plan must be
+  /// structurally valid and cover exactly the current session count;
+  /// throws Error(InvalidArgument) otherwise. The serialized form is kept
+  /// alongside (plan_bytes()) so checkpoint/restore flows can carry the
+  /// plan with the session state.
+  void set_plan(sched::Plan plan);
+  void clear_plan() noexcept;
+  bool has_plan() const noexcept { return plan_ != nullptr; }
+  const sched::Plan& plan() const;
+  /// Checkpoint-framed bytes of the installed plan (empty when none).
+  const std::vector<std::uint8_t>& plan_bytes() const noexcept {
+    return plan_bytes_;
+  }
+  /// Deserialize + install — the restore-side counterpart of plan_bytes().
+  void install_plan_bytes(std::span<const std::uint8_t> bytes);
 
   /// pump() until every queue is empty.
   void pump_all();
@@ -264,7 +286,14 @@ class SessionManager {
   void note_applied(Slot& s, const StreamOp& op);
   bool take_checkpoint(Slot& s);
 
+  /// One session's slice of a pump round: up to `burst` queued ops under
+  /// the named obs span. Shared by the legacy round-robin path and the
+  /// planned path — both execute ops through exactly this code.
+  Index pump_session(Index i, Index burst, const char* span_name);
+
   Index burst_;
+  std::unique_ptr<sched::Plan> plan_;   ///< Installed execution plan.
+  std::vector<std::uint8_t> plan_bytes_;  ///< Serialized form of plan_.
   std::vector<std::unique_ptr<Slot>> slots_;
   std::vector<Index> processed_;  ///< Per-session scratch for pump().
   fault::AdmissionConfig admission_;
@@ -289,6 +318,7 @@ class SessionManager {
   obs::Counter restores_counter_;    ///< evd_fault_restores_total
   obs::Counter shed_counter_;        ///< evd_admission_shed_total
   obs::Gauge overload_gauge_;        ///< evd_overload_level
+  obs::Counter planned_rounds_;      ///< evd_sched_planned_rounds_total
 };
 
 }  // namespace evd::runtime

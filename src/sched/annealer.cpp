@@ -1,0 +1,243 @@
+#include "sched/annealer.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace evd::sched {
+namespace {
+
+/// e^-r approximated with +,*,/ only (2nd-order Padé-style denominator):
+/// monotone decreasing in r on [0, inf), 1 at r = 0 — the properties the
+/// Metropolis rule needs — and bitwise identical on every platform, which
+/// std::exp is not required to be.
+double accept_probability(double delta, double temperature) {
+  if (delta <= 0.0) return 1.0;
+  if (temperature <= 0.0) return 0.0;
+  const double r = delta / temperature;
+  return 1.0 / (1.0 + r + 0.5 * r * r);
+}
+
+/// Deduplicated paradigms of `profiles`, in first-appearance order, with
+/// default placements (first allowed model, identity fusion groups).
+std::vector<ParadigmPlacement> default_placements(
+    std::span<const SessionProfile> profiles) {
+  std::vector<ParadigmPlacement> placements;
+  for (const SessionProfile& profile : profiles) {
+    bool known = false;
+    for (const ParadigmPlacement& p : placements) {
+      if (p.paradigm == profile.paradigm) {
+        known = true;
+        break;
+      }
+    }
+    if (known) continue;
+    ParadigmPlacement p;
+    p.paradigm = profile.paradigm;
+    p.hw = allowed_models(profile.paradigm).first;
+    p.fuse_group.resize(profile.stages.size());
+    for (size_t i = 0; i < p.fuse_group.size(); ++i) {
+      p.fuse_group[i] = static_cast<Index>(i);  // nothing fused
+    }
+    placements.push_back(std::move(p));
+  }
+  return placements;
+}
+
+/// Stage chain a placement's fuse decisions refer to (first profile with
+/// that paradigm — all sessions of a paradigm share the pipeline config in
+/// a planning quantum).
+const SessionProfile* profile_for_paradigm(
+    std::span<const SessionProfile> profiles, const std::string& paradigm) {
+  for (const SessionProfile& p : profiles) {
+    if (p.paradigm == paradigm) return &p;
+  }
+  return nullptr;
+}
+
+/// Renumber a fuse grouping so it is contiguous and 0-based again after a
+/// merge/split edit expressed as "boundary b fused yes/no".
+void rebuild_groups(std::vector<Index>& groups,
+                    const std::vector<bool>& fused_boundary) {
+  Index g = 0;
+  for (size_t i = 0; i < groups.size(); ++i) {
+    if (i > 0 && !fused_boundary[i - 1]) ++g;
+    groups[i] = g;
+  }
+}
+
+struct MoveContext {
+  Plan& plan;
+  std::span<const SessionProfile> profiles;
+  Rng& rng;
+};
+
+/// Move kind 0: relocate one entry to another region (at a drawn position).
+bool move_relocate(MoveContext& ctx) {
+  if (ctx.plan.regions.size() < 2) return false;
+  const auto from =
+      static_cast<size_t>(ctx.rng.uniform_int(ctx.plan.regions.size()));
+  auto& src = ctx.plan.regions[from].entries;
+  if (src.size() < 2) return false;  // regions must stay non-empty
+  auto to = static_cast<size_t>(ctx.rng.uniform_int(ctx.plan.regions.size() - 1));
+  if (to >= from) ++to;  // uniform over the *other* regions
+  auto& dst = ctx.plan.regions[to].entries;
+  const auto at = static_cast<size_t>(ctx.rng.uniform_int(src.size()));
+  const PlanEntry entry = src[at];
+  src.erase(src.begin() + static_cast<std::ptrdiff_t>(at));
+  const auto pos = static_cast<size_t>(ctx.rng.uniform_int(dst.size() + 1));
+  dst.insert(dst.begin() + static_cast<std::ptrdiff_t>(pos), entry);
+  return true;
+}
+
+/// Move kind 1: swap two visit positions within one region.
+bool move_swap_within(MoveContext& ctx) {
+  if (ctx.plan.regions.empty()) return false;
+  auto& entries =
+      ctx.plan.regions[static_cast<size_t>(
+                           ctx.rng.uniform_int(ctx.plan.regions.size()))]
+          .entries;
+  if (entries.size() < 2) return false;
+  const auto a = static_cast<size_t>(ctx.rng.uniform_int(entries.size()));
+  auto b = static_cast<size_t>(ctx.rng.uniform_int(entries.size() - 1));
+  if (b >= a) ++b;
+  std::swap(entries[a], entries[b]);
+  return true;
+}
+
+/// Move kind 2: swap two entries across two regions (balances load without
+/// changing region sizes).
+bool move_swap_across(MoveContext& ctx) {
+  if (ctx.plan.regions.size() < 2) return false;
+  const auto ra =
+      static_cast<size_t>(ctx.rng.uniform_int(ctx.plan.regions.size()));
+  auto rb =
+      static_cast<size_t>(ctx.rng.uniform_int(ctx.plan.regions.size() - 1));
+  if (rb >= ra) ++rb;
+  auto& ea = ctx.plan.regions[ra].entries;
+  auto& eb = ctx.plan.regions[rb].entries;
+  const auto a = static_cast<size_t>(ctx.rng.uniform_int(ea.size()));
+  const auto b = static_cast<size_t>(ctx.rng.uniform_int(eb.size()));
+  std::swap(ea[a], eb[b]);
+  return true;
+}
+
+/// Move kind 3: re-draw one entry's burst in [1, burst_cap].
+bool move_burst(MoveContext& ctx) {
+  if (ctx.plan.regions.empty() || ctx.plan.burst_cap < 2) return false;
+  auto& entries =
+      ctx.plan.regions[static_cast<size_t>(
+                           ctx.rng.uniform_int(ctx.plan.regions.size()))]
+          .entries;
+  auto& entry = entries[static_cast<size_t>(ctx.rng.uniform_int(entries.size()))];
+  const Index burst =
+      1 + static_cast<Index>(
+              ctx.rng.uniform_int(static_cast<std::uint64_t>(ctx.plan.burst_cap)));
+  if (burst == entry.burst) return false;
+  entry.burst = burst;
+  return true;
+}
+
+/// Move kind 4: flip one paradigm's hardware placement to its alternative.
+bool move_placement(MoveContext& ctx) {
+  if (ctx.plan.placements.empty()) return false;
+  auto& p = ctx.plan.placements[static_cast<size_t>(
+      ctx.rng.uniform_int(ctx.plan.placements.size()))];
+  const auto [first, second] = allowed_models(p.paradigm);
+  if (first == second) return false;
+  p.hw = (p.hw == first) ? second : first;
+  return true;
+}
+
+/// Move kind 5: toggle fusion at one *legal* stage boundary (the stage
+/// before the boundary must declare fusable_with_next).
+bool move_fusion(MoveContext& ctx) {
+  if (ctx.plan.placements.empty()) return false;
+  auto& p = ctx.plan.placements[static_cast<size_t>(
+      ctx.rng.uniform_int(ctx.plan.placements.size()))];
+  const SessionProfile* profile =
+      profile_for_paradigm(ctx.profiles, p.paradigm);
+  if (profile == nullptr || p.fuse_group.size() != profile->stages.size() ||
+      p.fuse_group.size() < 2) {
+    return false;
+  }
+  std::vector<size_t> legal;
+  for (size_t b = 0; b + 1 < p.fuse_group.size(); ++b) {
+    if (profile->stages[b].fusable_with_next) legal.push_back(b);
+  }
+  if (legal.empty()) return false;
+  const size_t boundary =
+      legal[static_cast<size_t>(ctx.rng.uniform_int(legal.size()))];
+  std::vector<bool> fused(p.fuse_group.size() - 1);
+  for (size_t b = 0; b + 1 < p.fuse_group.size(); ++b) {
+    fused[b] = p.fuse_group[b] == p.fuse_group[b + 1];
+  }
+  fused[boundary] = !fused[boundary];
+  rebuild_groups(p.fuse_group, fused);
+  return true;
+}
+
+}  // namespace
+
+AnnealResult anneal_plan(std::span<const SessionProfile> profiles,
+                         const CostModels& models,
+                         const AnnealerConfig& config) {
+  const auto n = static_cast<Index>(profiles.size());
+  AnnealResult result;
+  // Start from exactly the legacy schedule so the search can only improve
+  // on what the blind pump would do.
+  Plan current = Plan::round_robin(
+      n, config.region_count,
+      std::clamp<Index>(3, 1, std::max<Index>(1, config.burst_cap)));
+  current.burst_cap = std::max<Index>(1, config.burst_cap);
+  current.placements = default_placements(profiles);
+  current.seed = config.seed;
+  if (std::string why; !current.validate(&why)) {
+    throw Error(ErrorCode::InvalidArgument, "anneal_plan: seed plan: " + why);
+  }
+  double current_cost = plan_cost_us(current, profiles, models);
+  result.initial_cost_us = current_cost;
+
+  Plan best = current;
+  double best_cost = current_cost;
+
+  Rng rng(config.seed);
+  double temperature = config.initial_temperature * std::max(current_cost, 1e-9);
+  for (Index it = 0; it < config.iterations; ++it, temperature *= config.cooling) {
+    Plan candidate = current;
+    MoveContext ctx{candidate, profiles, rng};
+    bool changed = false;
+    switch (rng.uniform_int(6)) {
+      case 0: changed = move_relocate(ctx); break;
+      case 1: changed = move_swap_within(ctx); break;
+      case 2: changed = move_swap_across(ctx); break;
+      case 3: changed = move_burst(ctx); break;
+      case 4: changed = move_placement(ctx); break;
+      case 5: changed = move_fusion(ctx); break;
+    }
+    if (!changed) continue;
+    ++result.proposed;
+    const double candidate_cost = plan_cost_us(candidate, profiles, models);
+    const double p =
+        accept_probability(candidate_cost - current_cost, temperature);
+    if (p >= 1.0 || rng.uniform() < p) {
+      current = std::move(candidate);
+      current_cost = candidate_cost;
+      ++result.accepted;
+      if (current_cost < best_cost) {
+        best = current;
+        best_cost = current_cost;
+      }
+      result.trajectory.push_back(best_cost);
+    }
+  }
+  best.modeled_cost_us = best_cost;
+  best.seed = config.seed;
+  best.refresh_labels();
+  result.plan = std::move(best);
+  return result;
+}
+
+}  // namespace evd::sched

@@ -1,0 +1,174 @@
+#include "sched/cost.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace evd::sched {
+namespace {
+
+/// Scale a stage's per-op counter by its duty cycle. Counters are integral;
+/// the planner works in expected ops, so scale in double and round to
+/// nearest — the models only see aggregated counts.
+nn::OpCounter scaled(const nn::OpCounter& c, double duty) {
+  const auto s = [duty](std::int64_t v) {
+    return static_cast<std::int64_t>(static_cast<double>(v) * duty + 0.5);
+  };
+  nn::OpCounter out;
+  out.mults = s(c.mults);
+  out.adds = s(c.adds);
+  out.comparisons = s(c.comparisons);
+  out.zero_skippable_mults = s(c.zero_skippable_mults);
+  out.param_bytes_read = s(c.param_bytes_read);
+  out.act_bytes_read = s(c.act_bytes_read);
+  out.act_bytes_written = s(c.act_bytes_written);
+  out.state_bytes_rw = s(c.state_bytes_rw);
+  return out;
+}
+
+}  // namespace
+
+CostModels::CostModels() {
+  snn_digital.analog = false;
+  snn_analog.analog = true;
+  snn_analog.table = hw::EnergyTable::analog_neuromorphic();
+  gnn_small.mac_lanes = 16;
+  gnn_large.mac_lanes = 64;
+  // The large engine buys lanes with a bigger, slightly slower array and a
+  // better neighbour cache — so small-vs-large is geometry-dependent, not
+  // a dominated choice.
+  gnn_large.frequency_mhz = 150.0;
+  gnn_large.cache_hit_rate = 0.85;
+  zero_skip.lanes = 64;
+}
+
+double model_latency_us(const nn::OpCounter& work, HwModel hw,
+                        const CostModels& models) {
+  switch (hw) {
+    case HwModel::Systolic:
+      return hw::run_systolic(work, models.systolic).latency_us;
+    case HwModel::ZeroSkip:
+      return hw::run_zero_skip(work, models.zero_skip).latency_us;
+    case HwModel::SnnCoreDigital:
+      return hw::run_snn_core(work, models.snn_digital).latency_us;
+    case HwModel::SnnCoreAnalog:
+      return hw::run_snn_core(work, models.snn_analog).latency_us;
+    case HwModel::GnnAccelSmall:
+    case HwModel::GnnAccelLarge: {
+      const auto& cfg =
+          hw == HwModel::GnnAccelSmall ? models.gnn_small : models.gnn_large;
+      // Map the aggregated counter onto the gather/apply/scatter engine:
+      // reads are neighbour gathers, writes the scatter, comparisons the
+      // grid-hash construction probes.
+      return hw::run_gnn_accel(work.macs(), work.act_bytes_read,
+                               work.act_bytes_written, work.comparisons, cfg)
+          .latency_us_per_event;
+    }
+  }
+  return 0.0;
+}
+
+double per_op_cost_us(const SessionProfile& profile,
+                      const ParadigmPlacement* placement,
+                      const CostModels& models) {
+  if (profile.stages.empty()) {
+    // Opaque pipeline: charge a nominal dense op so the planner still
+    // balances it across regions rather than treating it as free.
+    nn::OpCounter nominal;
+    nominal.mults = nominal.adds = 1024;
+    nominal.act_bytes_read = 256;
+    return model_latency_us(nominal, HwModel::Systolic, models);
+  }
+  const HwModel hw = placement != nullptr
+                         ? placement->hw
+                         : allowed_models(profile.paradigm).first;
+  const std::vector<Index>* groups =
+      placement != nullptr && placement->fuse_group.size() ==
+                                  profile.stages.size()
+          ? &placement->fuse_group
+          : nullptr;
+
+  double total = 0.0;
+  size_t i = 0;
+  while (i < profile.stages.size()) {
+    // Collect the fused group starting at stage i (a single stage when no
+    // placement or the identity grouping applies).
+    size_t j = i + 1;
+    if (groups != nullptr) {
+      while (j < profile.stages.size() && (*groups)[j] == (*groups)[i]) ++j;
+    }
+    nn::OpCounter work;
+    double group_bytes = 0.0;
+    for (size_t k = i; k < j; ++k) {
+      const core::StageInfo& stage = profile.stages[k];
+      work += scaled(stage.per_op, stage.duty);
+      group_bytes += static_cast<double>(stage.per_op.act_bytes_written) *
+                     stage.duty;
+    }
+    double group_us = model_latency_us(work, hw, models);
+    // A fused group must hold every member's output resident; past the
+    // SRAM budget it spills and the fusion win turns into a penalty.
+    if (j - i > 1 && group_bytes > models.fused_sram_budget_bytes) {
+      group_us *= models.spill_penalty;
+    }
+    total += group_us;
+    // Boundary to the next group: the intermediate activations cross SRAM.
+    if (j < profile.stages.size()) {
+      const core::StageInfo& last = profile.stages[j - 1];
+      const double boundary_bytes =
+          static_cast<double>(last.per_op.act_bytes_written) * last.duty;
+      total += boundary_bytes / models.sram_bytes_per_us;
+    }
+    i = j;
+  }
+  return total;
+}
+
+double plan_cost_us(const Plan& plan,
+                    std::span<const SessionProfile> profiles,
+                    const CostModels& models) {
+  if (static_cast<Index>(profiles.size()) != plan.session_count) {
+    throw Error(ErrorCode::InvalidArgument,
+                "plan_cost_us: profiles/session_count mismatch");
+  }
+  // Per-session op price under the plan's placements.
+  std::vector<double> op_us(profiles.size(), 0.0);
+  std::vector<std::int64_t> backlog(profiles.size(), 0);
+  for (size_t s = 0; s < profiles.size(); ++s) {
+    const ParadigmPlacement* placement = nullptr;
+    for (const ParadigmPlacement& p : plan.placements) {
+      if (p.paradigm == profiles[s].paradigm) {
+        placement = &p;
+        break;
+      }
+    }
+    op_us[s] = per_op_cost_us(profiles[s], placement, models);
+    backlog[s] = std::max<Index>(0, profiles[s].queued_ops);
+  }
+  // Simulate the pump: rounds barrier on the slowest region.
+  double total_us = 0.0;
+  std::int64_t remaining = 0;
+  for (std::int64_t b : backlog) remaining += b;
+  while (remaining > 0) {
+    double makespan = 0.0;
+    for (const PlanRegion& region : plan.regions) {
+      double region_us = 0.0;
+      for (const PlanEntry& e : region.entries) {
+        std::int64_t& left = backlog[static_cast<size_t>(e.session)];
+        if (left <= 0) continue;
+        const std::int64_t served = std::min<std::int64_t>(left, e.burst);
+        region_us += models.visit_overhead_us +
+                     static_cast<double>(served) *
+                         op_us[static_cast<size_t>(e.session)];
+        left -= served;
+        remaining -= served;
+      }
+      makespan = std::max(makespan, region_us);
+    }
+    if (makespan <= 0.0) break;  // nothing servable: plan misses sessions
+    total_us += models.round_overhead_us + makespan;
+  }
+  return total_us;
+}
+
+}  // namespace evd::sched

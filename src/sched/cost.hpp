@@ -1,0 +1,87 @@
+// Plan objective: modeled serving makespan of one backlog drain, priced
+// through the evd::hw accelerator models.
+//
+// The planner does not predict wall time — it *ranks* candidate plans on
+// the same hardware cost models the paper's Table I comparisons rest on.
+// The objective simulates the pump loop's structure exactly:
+//
+//   round time(region) = sum over entries with backlog of
+//                          visit_overhead_us + served_ops * per_op_cost_us
+//   round makespan     = max over regions      (workers run regions in
+//                                               parallel, rounds barrier)
+//   plan cost          = sum over rounds of (round_overhead_us + makespan)
+//                        until every backlog drains
+//
+// per_op_cost_us prices a session's declared stage chain (core/stages.hpp)
+// on the paradigm's placed HwModel, duty-weighted. Unfused stage
+// boundaries additionally pay their intermediate activation traffic
+// through SRAM at `sram_bytes_per_us`; fusing removes that charge but a
+// fused group whose working set exceeds `fused_sram_budget_bytes` spills
+// and pays `spill_penalty` on its compute instead — which is what makes
+// fusion a genuine search decision rather than a free win.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/stages.hpp"
+#include "hw/gnn_accel.hpp"
+#include "hw/snn_core.hpp"
+#include "hw/systolic.hpp"
+#include "hw/zero_skip.hpp"
+#include "sched/plan.hpp"
+
+namespace evd::sched {
+
+/// What the planner knows about one managed session: its paradigm label,
+/// the pipeline's declared stage chain, and the expected backlog (ops per
+/// planning quantum) — the workload-mix axis of the plan cache key.
+struct SessionProfile {
+  std::string paradigm;  ///< "cnn" / "snn" / "gnn" (SessionBaseConfig label).
+  std::vector<core::StageInfo> stages;
+  Index queued_ops = 64;
+};
+
+/// Cost-model parameter set: one config per placeable HwModel plus the
+/// boundary-traffic / fusion constants. Defaults model a single edge SoC
+/// hosting all three accelerator families.
+struct CostModels {
+  hw::SystolicConfig systolic;
+  hw::ZeroSkipConfig zero_skip;
+  hw::SnnCoreConfig snn_digital;
+  hw::SnnCoreConfig snn_analog;
+  hw::GnnAccelConfig gnn_small;
+  hw::GnnAccelConfig gnn_large;
+  double sram_bytes_per_us = 8192.0;  ///< Boundary activation drain rate.
+  double visit_overhead_us = 0.5;     ///< Scheduling cost per region visit.
+  /// Fork-join cost of one pump() round (the pool dispatch + barrier every
+  /// round pays regardless of how little it serves). This is what makes
+  /// burst size a real decision: tiny bursts minimise per-round makespan
+  /// imbalance but multiply the round count, and the round overhead is how
+  /// the model sees that trade.
+  double round_overhead_us = 10.0;
+  double fused_sram_budget_bytes = 65536.0;  ///< On-chip working-set cap.
+  double spill_penalty = 2.0;  ///< Compute factor once a fused group spills.
+
+  CostModels();  ///< Fills the paradigm-specific defaults.
+};
+
+/// Price `work` (an aggregated, duty-weighted OpCounter) on one model.
+double model_latency_us(const nn::OpCounter& work, HwModel hw,
+                        const CostModels& models);
+
+/// Modeled cost of one op flowing through `profile`'s stage chain under
+/// `placement` (hw choice + fusion groups). Sessions whose paradigm has no
+/// placement use the first allowed model, unfused.
+double per_op_cost_us(const SessionProfile& profile,
+                      const ParadigmPlacement* placement,
+                      const CostModels& models);
+
+/// The plan objective (see file comment). `profiles[i]` describes session
+/// i; profiles.size() must equal plan.session_count.
+double plan_cost_us(const Plan& plan,
+                    std::span<const SessionProfile> profiles,
+                    const CostModels& models);
+
+}  // namespace evd::sched

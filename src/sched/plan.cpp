@@ -1,0 +1,275 @@
+#include "sched/plan.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/env.hpp"
+#include "common/error.hpp"
+#include "fault/checkpoint.hpp"
+
+namespace evd::sched {
+namespace {
+
+constexpr std::uint32_t kPlanMagic = 0x53434845u;  // "SCHE"
+constexpr std::uint32_t kPlanVersion = 1;
+constexpr std::size_t kPlanMaxBytes = 1u << 20;
+
+std::atomic<bool>& enabled_state() {
+  static std::atomic<bool> state{env_flag("EVD_SCHED", true)};
+  return state;
+}
+
+}  // namespace
+
+bool enabled() noexcept {
+  return enabled_state().load(std::memory_order_relaxed);
+}
+
+void set_enabled(bool on) noexcept {
+  enabled_state().store(on, std::memory_order_relaxed);
+}
+
+const char* hw_model_name(HwModel hw) noexcept {
+  switch (hw) {
+    case HwModel::Systolic: return "systolic";
+    case HwModel::ZeroSkip: return "zero_skip";
+    case HwModel::SnnCoreDigital: return "snn_core_digital";
+    case HwModel::SnnCoreAnalog: return "snn_core_analog";
+    case HwModel::GnnAccelSmall: return "gnn_accel_small";
+    case HwModel::GnnAccelLarge: return "gnn_accel_large";
+  }
+  return "unknown";
+}
+
+std::pair<HwModel, HwModel> allowed_models(const std::string& paradigm) {
+  if (paradigm == "cnn") return {HwModel::Systolic, HwModel::ZeroSkip};
+  if (paradigm == "snn") return {HwModel::SnnCoreDigital, HwModel::SnnCoreAnalog};
+  if (paradigm == "gnn") return {HwModel::GnnAccelSmall, HwModel::GnnAccelLarge};
+  return {HwModel::Systolic, HwModel::Systolic};
+}
+
+bool Plan::validate(std::string* why) const {
+  const auto fail = [why](std::string msg) {
+    if (why) *why = std::move(msg);
+    return false;
+  };
+  if (session_count < 0) return fail("negative session_count");
+  if (burst_cap < 1) return fail("burst_cap must be >= 1");
+  if (session_count > 0 && regions.empty()) {
+    return fail("sessions exist but no regions");
+  }
+  std::vector<Index> seen(static_cast<size_t>(session_count), 0);
+  for (size_t r = 0; r < regions.size(); ++r) {
+    const PlanRegion& region = regions[r];
+    if (region.entries.empty()) {
+      return fail("region " + std::to_string(r) + " is empty");
+    }
+    for (const PlanEntry& e : region.entries) {
+      if (e.session < 0 || e.session >= session_count) {
+        return fail("entry session " + std::to_string(e.session) +
+                    " out of range [0, " + std::to_string(session_count) + ")");
+      }
+      if (e.burst < 1 || e.burst > burst_cap) {
+        return fail("entry burst " + std::to_string(e.burst) +
+                    " outside [1, " + std::to_string(burst_cap) + "]");
+      }
+      ++seen[static_cast<size_t>(e.session)];
+    }
+  }
+  for (Index s = 0; s < session_count; ++s) {
+    if (seen[static_cast<size_t>(s)] != 1) {
+      return fail("session " + std::to_string(s) + " scheduled " +
+                  std::to_string(seen[static_cast<size_t>(s)]) +
+                  " times (want exactly 1)");
+    }
+  }
+  for (const ParadigmPlacement& p : placements) {
+    if (p.paradigm.empty()) return fail("placement with empty paradigm");
+    Index prev = -1;
+    for (size_t i = 0; i < p.fuse_group.size(); ++i) {
+      const Index g = p.fuse_group[i];
+      const Index expected_min = prev;
+      const Index expected_max = prev + 1;
+      if (i == 0 ? g != 0 : (g < expected_min || g > expected_max)) {
+        return fail("placement '" + p.paradigm +
+                    "' fuse_group is not a contiguous non-decreasing "
+                    "grouping starting at 0");
+      }
+      prev = g;
+    }
+  }
+  return true;
+}
+
+std::uint64_t Plan::fingerprint() const {
+  std::vector<std::uint8_t> bytes;
+  serialize(bytes);
+  std::uint64_t h = 0xCBF29CE484222325ULL;  // FNV-1a 64-bit offset basis
+  for (std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+namespace {
+std::string hex8(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string s(8, '0');
+  for (int i = 7; i >= 0; --i) {
+    s[static_cast<size_t>(i)] = digits[v & 0xF];
+    v >>= 4;
+  }
+  return s;
+}
+}  // namespace
+
+void Plan::refresh_labels() {
+  // Fingerprint without the labels themselves (serialize skips them), so
+  // the label is a pure function of the plan's decisions.
+  const std::string fp = hex8(fingerprint());
+  for (size_t r = 0; r < regions.size(); ++r) {
+    regions[r].label = "sched.r" + std::to_string(r) + ".p" + fp;
+  }
+}
+
+std::string Plan::describe() const {
+  std::string s = "plan{sessions=" + std::to_string(session_count) +
+                  " regions=" + std::to_string(regions.size()) +
+                  " cost_us=" + std::to_string(modeled_cost_us) + "\n";
+  for (size_t r = 0; r < regions.size(); ++r) {
+    s += "  r" + std::to_string(r) + ":";
+    for (const PlanEntry& e : regions[r].entries) {
+      s += " s" + std::to_string(e.session) + "x" + std::to_string(e.burst);
+    }
+    s += "\n";
+  }
+  for (const ParadigmPlacement& p : placements) {
+    s += "  " + p.paradigm + " -> " + hw_model_name(p.hw) + " fuse=[";
+    for (size_t i = 0; i < p.fuse_group.size(); ++i) {
+      if (i) s += ",";
+      s += std::to_string(p.fuse_group[i]);
+    }
+    s += "]\n";
+  }
+  s += "}";
+  return s;
+}
+
+void Plan::serialize(std::vector<std::uint8_t>& out) const {
+  fault::CheckpointWriter w(out, kPlanMaxBytes);
+  w.u32(kPlanMagic);
+  w.u32(kPlanVersion);
+  w.i64(session_count);
+  w.i64(burst_cap);
+  w.i64(static_cast<std::int64_t>(seed));
+  w.f64(modeled_cost_us);
+  w.i64(static_cast<std::int64_t>(regions.size()));
+  for (const PlanRegion& region : regions) {
+    // Labels are derived (refresh_labels), not stored.
+    w.pod_vector(region.entries);
+  }
+  w.i64(static_cast<std::int64_t>(placements.size()));
+  for (const ParadigmPlacement& p : placements) {
+    w.str(p.paradigm);
+    w.u32(static_cast<std::uint32_t>(p.hw));
+    w.pod_vector(p.fuse_group);
+  }
+}
+
+Plan Plan::deserialize(std::span<const std::uint8_t> bytes) {
+  fault::CheckpointReader r(bytes);
+  if (r.u32() != kPlanMagic) {
+    throw Error(ErrorCode::CheckpointMismatch,
+                "Plan::deserialize: bad magic (not a serialized plan)");
+  }
+  if (const auto version = r.u32(); version != kPlanVersion) {
+    throw Error(ErrorCode::CheckpointMismatch,
+                "Plan::deserialize: unsupported version " +
+                    std::to_string(version));
+  }
+  Plan plan;
+  plan.session_count = r.i64();
+  plan.burst_cap = r.i64();
+  plan.seed = static_cast<std::uint64_t>(r.i64());
+  plan.modeled_cost_us = r.f64();
+  const std::int64_t nregions = r.i64();
+  if (nregions < 0 || nregions > plan.session_count) {
+    throw Error(ErrorCode::CheckpointCorrupt,
+                "Plan::deserialize: implausible region count");
+  }
+  plan.regions.resize(static_cast<size_t>(nregions));
+  for (PlanRegion& region : plan.regions) {
+    r.pod_vector(region.entries);
+  }
+  const std::int64_t nplacements = r.i64();
+  if (nplacements < 0 || nplacements > 64) {
+    throw Error(ErrorCode::CheckpointCorrupt,
+                "Plan::deserialize: implausible placement count");
+  }
+  plan.placements.resize(static_cast<size_t>(nplacements));
+  for (ParadigmPlacement& p : plan.placements) {
+    p.paradigm = r.str();
+    const std::uint32_t hw = r.u32();
+    if (hw > static_cast<std::uint32_t>(HwModel::GnnAccelLarge)) {
+      throw Error(ErrorCode::CheckpointCorrupt,
+                  "Plan::deserialize: unknown hw model " + std::to_string(hw));
+    }
+    p.hw = static_cast<HwModel>(hw);
+    r.pod_vector(p.fuse_group);
+  }
+  r.expect_end();
+  if (std::string why; !plan.validate(&why)) {
+    throw Error(ErrorCode::CheckpointCorrupt,
+                "Plan::deserialize: decoded plan invalid: " + why);
+  }
+  plan.refresh_labels();
+  return plan;
+}
+
+Plan Plan::round_robin(Index session_count, Index region_count, Index burst) {
+  Plan plan;
+  plan.session_count = session_count;
+  plan.burst_cap = burst < 1 ? 1 : burst;
+  if (session_count <= 0) return plan;
+  if (region_count < 1) region_count = 1;
+  if (region_count > session_count) region_count = session_count;
+  plan.regions.resize(static_cast<size_t>(region_count));
+  // session s -> region s % W in id order: exactly the visit pattern the
+  // legacy grain-1 parallel_for produces with W workers.
+  for (Index s = 0; s < session_count; ++s) {
+    plan.regions[static_cast<size_t>(s % region_count)].entries.push_back(
+        PlanEntry{s, plan.burst_cap});
+  }
+  plan.refresh_labels();
+  return plan;
+}
+
+bool operator==(const Plan& a, const Plan& b) {
+  if (a.session_count != b.session_count || a.burst_cap != b.burst_cap ||
+      a.regions.size() != b.regions.size() ||
+      a.placements.size() != b.placements.size()) {
+    return false;
+  }
+  for (size_t r = 0; r < a.regions.size(); ++r) {
+    const auto& ra = a.regions[r].entries;
+    const auto& rb = b.regions[r].entries;
+    if (ra.size() != rb.size()) return false;
+    for (size_t i = 0; i < ra.size(); ++i) {
+      if (ra[i].session != rb[i].session || ra[i].burst != rb[i].burst) {
+        return false;
+      }
+    }
+  }
+  for (size_t p = 0; p < a.placements.size(); ++p) {
+    const auto& pa = a.placements[p];
+    const auto& pb = b.placements[p];
+    if (pa.paradigm != pb.paradigm || pa.hw != pb.hw ||
+        pa.fuse_group != pb.fuse_group) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace evd::sched

@@ -1,0 +1,132 @@
+// Execution-plan representation for the cost-model-driven planner
+// (`evd::sched`, DESIGN.md section 13).
+//
+// A Plan answers the four scheduling questions the SessionManager's blind
+// round-robin never asks:
+//
+//   * thread-region assignment — which worker region owns which sessions
+//     (one region is pumped by exactly one worker per round, preserving the
+//     one-worker-per-session determinism contract);
+//   * visit order — the order a region's worker visits its sessions within
+//     a round;
+//   * per-visit burst — how many queued ops each visit processes before
+//     yielding (per session, replacing the single global burst);
+//   * paradigm placement — which evd::hw cost model each paradigm is priced
+//     on (systolic vs. zero-skip for the CNN, digital vs. analogue core for
+//     the SNN, small vs. large gather-apply engine for the GNN) and which
+//     adjacent declared stages are fused (intermediate activations stay
+//     on-chip, see core/stages.hpp).
+//
+// The equivalence contract — enforced bitwise by the
+// sched.plan_vs_sequential oracles: a Plan redistributes and re-orders
+// *visits*, never ops. Every session still applies its own ops in FIFO
+// submission order on a single worker per round, so each session's decision
+// stream is bit-for-bit the stream direct sequential feeding produces,
+// whatever plan runs it. Placement and fusion exist purely on the modeled
+// side: they change the plan's cost and the obs span labels, not the host
+// arithmetic.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace evd::sched {
+
+/// Hardware cost model a paradigm's stages are priced on (paper §III-§IV
+/// families; two placement choices per paradigm).
+enum class HwModel : std::uint8_t {
+  Systolic = 0,        ///< Dense weight-stationary PE array (CNN).
+  ZeroSkip = 1,        ///< Sparsity-exploiting CNN accelerator.
+  SnnCoreDigital = 2,  ///< Time-multiplexed digital neuromorphic core.
+  SnnCoreAnalog = 3,   ///< Analogue in-memory neuromorphic core.
+  GnnAccelSmall = 4,   ///< Gather-apply engine, 16 MAC lanes.
+  GnnAccelLarge = 5,   ///< Gather-apply engine, 64 MAC lanes.
+};
+
+const char* hw_model_name(HwModel hw) noexcept;
+
+/// The two models a paradigm label ("cnn" / "snn" / "gnn") may be placed
+/// on. Unknown paradigms get the dense default {Systolic, Systolic}.
+std::pair<HwModel, HwModel> allowed_models(const std::string& paradigm);
+
+/// One scheduled visit: session `session` processes up to `burst` queued
+/// ops when its region's worker reaches this entry.
+struct PlanEntry {
+  Index session = 0;
+  Index burst = 1;
+};
+
+/// The sessions one worker pumps each round, in visit order. `label` is the
+/// obs span every visit in this region runs under — owned by the plan so
+/// the const char* handed to obs::Span stays valid for the plan's lifetime.
+struct PlanRegion {
+  std::vector<PlanEntry> entries;
+  std::string label;
+};
+
+/// Modeled placement of one paradigm's declared stage chain.
+struct ParadigmPlacement {
+  std::string paradigm;  ///< SessionBaseConfig.paradigm label ("cnn", ...).
+  HwModel hw = HwModel::Systolic;
+  /// fuse_group[i] is the fusion group of declared stage i: non-decreasing,
+  /// starts at 0, steps by at most 1. Stages sharing a group are fused —
+  /// their boundary activation traffic is not charged by the cost model.
+  std::vector<Index> fuse_group;
+};
+
+struct Plan {
+  Index session_count = 0;
+  Index burst_cap = 1;  ///< Upper bound every entry's burst respects.
+  std::vector<PlanRegion> regions;
+  std::vector<ParadigmPlacement> placements;
+  double modeled_cost_us = 0.0;  ///< Objective value of the chosen plan.
+  std::uint64_t seed = 0;        ///< Annealer seed that produced it.
+
+  /// Structural validity: every session 0..session_count-1 scheduled
+  /// exactly once, every burst in [1, burst_cap], at least one region when
+  /// any session exists, no empty region, fuse groups well-formed. On
+  /// failure returns false and (when `why` is non-null) says what broke.
+  bool validate(std::string* why = nullptr) const;
+
+  /// FNV-1a over the serialized bytes — stable across platforms, used as
+  /// the planner cache key component and in span labels.
+  std::uint64_t fingerprint() const;
+
+  /// Human-readable one-plan summary (tests, golden snapshots, logs).
+  std::string describe() const;
+
+  /// Rebuild each region's obs span label ("sched.r<k>.p<fp>"). Call after
+  /// any structural mutation; serialize()/deserialize() and the annealer do
+  /// so themselves.
+  void refresh_labels();
+
+  /// Checkpoint-framed serialization (fault/checkpoint.hpp writer/reader,
+  /// own magic + version) so a plan rides inside the existing
+  /// checkpoint/restore machinery and restored managers resume under the
+  /// same plan. deserialize() throws Error(CheckpointMismatch/Corrupt) on
+  /// bad bytes and re-validates the decoded plan.
+  void serialize(std::vector<std::uint8_t>& out) const;
+  static Plan deserialize(std::span<const std::uint8_t> bytes);
+
+  /// The do-nothing-clever baseline: sessions dealt round-robin across
+  /// `regions` regions (session s -> region s % regions, preserving id
+  /// order within each region), every burst = `burst`, default placements,
+  /// no fusion. This is exactly the schedule the legacy pump executes.
+  static Plan round_robin(Index session_count, Index region_count,
+                          Index burst);
+};
+
+bool operator==(const Plan& a, const Plan& b);
+inline bool operator!=(const Plan& a, const Plan& b) { return !(a == b); }
+
+/// EVD_SCHED kill-switch (default on, mirrors EVD_OBS / EVD_SIMD): when
+/// off, the SessionManager ignores any installed plan and runs the legacy
+/// round-robin pump byte-identically to a build without this subsystem.
+bool enabled() noexcept;
+void set_enabled(bool on) noexcept;
+
+}  // namespace evd::sched

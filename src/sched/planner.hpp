@@ -1,0 +1,57 @@
+// Plan selection front door: profile extraction, the annealing search, and
+// a process-wide cache keyed by (paradigm mix + geometry-derived stage
+// counters + workload mix + search config).
+//
+// open_session-time planning must not cost an anneal per session: serving
+// front-ends describe their session population once (profiles_key), and
+// identical populations — same paradigms, same declared stage counters
+// (which encode the pipeline geometry), same queued-op mix, same search
+// config — get the cached plan back. The cache is thread-safe and bounded.
+//
+// Everything here is deterministic: the key is an FNV-1a fingerprint of
+// the profile bytes, the search is the seeded annealer, so the same inputs
+// return the same plan object on every platform and thread count.
+#pragma once
+
+#include <mutex>
+#include <span>
+#include <unordered_map>
+
+#include "sched/annealer.hpp"
+
+namespace evd::core {
+class EventPipeline;
+}
+
+namespace evd::sched {
+
+/// Deterministic fingerprint of a session population + search config — the
+/// plan cache key.
+std::uint64_t profiles_key(std::span<const SessionProfile> profiles,
+                           const AnnealerConfig& config);
+
+/// Build a session profile from a pipeline's declared stages. `paradigm`
+/// is the SessionBaseConfig label ("cnn"/"snn"/"gnn"); `queued_ops` the
+/// expected backlog per planning quantum (the workload-mix axis).
+SessionProfile profile_for(const core::EventPipeline& pipeline,
+                           const std::string& paradigm, Index queued_ops);
+
+class Planner {
+ public:
+  static Planner& instance();
+
+  /// The plan for this session population: cached when seen before,
+  /// annealed (and cached) otherwise.
+  Plan plan_for(std::span<const SessionProfile> profiles,
+                const AnnealerConfig& config = {});
+
+  void clear_cache();
+  Index cache_size() const;
+
+ private:
+  Planner();
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, Plan> cache_;
+};
+
+}  // namespace evd::sched

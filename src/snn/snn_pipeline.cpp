@@ -74,6 +74,46 @@ int SnnPipeline::classify(const events::EventStream& stream) {
   return static_cast<int>(net_.forward(train, false).argmax());
 }
 
+std::vector<core::StageInfo> SnnPipeline::stream_stages() const {
+  // Planning estimates for the evd::sched cost models (see core/stages.hpp).
+  // The clocked stages amortise over a nominal 64 events per timestep — the
+  // density the serving benches run at with a 5 ms timestep.
+  constexpr std::int64_t kOpsPerStep = 64;
+  const Index in = encoded_size(config_.width, config_.height, config_.encoder);
+  const Index hidden = config_.hidden;
+  const Index classes = config_.num_classes;
+
+  core::StageInfo encode;
+  encode.name = "snn.encode";
+  encode.per_op.adds = 2;        // spatial pool + polarity bin
+  encode.per_op.comparisons = 1; // dedup against the current bin
+  encode.per_op.act_bytes_written = 8;  // index-coded spike
+
+  core::StageInfo step;
+  step.name = "snn.step";
+  step.duty = 1.0 / static_cast<double>(kOpsPerStep);
+  // One LIF sweep: input->hidden and hidden->readout matmuls plus leak,
+  // threshold compare and reset on every neuron.
+  const std::int64_t macs = static_cast<std::int64_t>(in) * hidden +
+                            static_cast<std::int64_t>(hidden) * classes;
+  step.per_op.mults = macs + hidden + classes;  // + leak multiplies
+  step.per_op.adds = macs;
+  step.per_op.comparisons = hidden + classes;  // threshold checks
+  step.per_op.zero_skippable_mults = static_cast<std::int64_t>(in) * hidden;
+  step.per_op.param_bytes_read = param_count() * 4;
+  step.per_op.state_bytes_rw = state_bytes() * 2;  // read + write membranes
+  step.fusable_with_next = true;  // readout can ride the same sweep
+
+  core::StageInfo readout;
+  readout.name = "snn.readout";
+  readout.duty = step.duty;
+  readout.per_op.mults = classes;  // softmax-ish normalisation
+  readout.per_op.comparisons = classes;  // argmax
+  readout.per_op.act_bytes_read = classes * 4;
+
+  return {encode, step, readout};
+}
+
 Index SnnPipeline::param_count() const {
   return const_cast<SpikingNet&>(net_).param_count();
 }

@@ -37,7 +37,9 @@ TEST_F(OracleTest, RegistryHasAllBuiltinPairs) {
         "hw.zero_skip_vs_naive", "runtime.multiplex_vs_sequential.cnn",
         "runtime.multiplex_vs_sequential.snn",
         "runtime.multiplex_vs_sequential.gnn", "runtime.obs_on_vs_off",
-        "runtime.fault_isolation", "runtime.checkpoint_replay"}) {
+        "runtime.fault_isolation", "runtime.checkpoint_replay",
+        "sched.plan_vs_sequential.cnn", "sched.plan_vs_sequential.snn",
+        "sched.plan_vs_sequential.gnn"}) {
     const Oracle* oracle = registry().find(name);
     ASSERT_NE(oracle, nullptr) << name;
     EXPECT_FALSE(oracle->description().empty());
@@ -117,6 +119,18 @@ TEST_F(OracleTest, FaultedNeighborNeverPerturbsHealthySessions) {
 
 TEST_F(OracleTest, CheckpointRestoreReplayIsBitwiseTransparent) {
   expect_passes("runtime.checkpoint_replay", 25);
+}
+
+TEST_F(OracleTest, CnnPlannedServingMatchesSequential) {
+  expect_passes("sched.plan_vs_sequential.cnn", 20);
+}
+
+TEST_F(OracleTest, SnnPlannedServingMatchesSequential) {
+  expect_passes("sched.plan_vs_sequential.snn", 20);
+}
+
+TEST_F(OracleTest, GnnPlannedServingMatchesSequential) {
+  expect_passes("sched.plan_vs_sequential.gnn", 20);
 }
 
 // Forward-compatibility net: pairs added by later PRs are exercised even

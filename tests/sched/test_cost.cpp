@@ -1,0 +1,164 @@
+// Plan objective: hw-model pricing of stage chains, fusion economics
+// (boundary traffic vs spill penalty) and the round-simulation makespan.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "sched/cost.hpp"
+
+namespace evd::sched {
+namespace {
+
+/// Two-stage chain with a fat activation boundary: the raw material for the
+/// fusion-economics tests.
+SessionProfile boundary_profile(std::int64_t boundary_bytes) {
+  SessionProfile profile;
+  profile.paradigm = "cnn";
+  core::StageInfo produce;
+  produce.name = "produce";
+  produce.per_op.mults = produce.per_op.adds = 512;
+  produce.per_op.act_bytes_written = boundary_bytes;
+  produce.fusable_with_next = true;
+  core::StageInfo consume;
+  consume.name = "consume";
+  consume.per_op.mults = consume.per_op.adds = 512;
+  consume.per_op.act_bytes_read = boundary_bytes;
+  profile.stages = {produce, consume};
+  return profile;
+}
+
+ParadigmPlacement placement_for(const SessionProfile& profile, HwModel hw,
+                                bool fused) {
+  ParadigmPlacement p;
+  p.paradigm = profile.paradigm;
+  p.hw = hw;
+  for (size_t i = 0; i < profile.stages.size(); ++i) {
+    p.fuse_group.push_back(fused ? 0 : static_cast<Index>(i));
+  }
+  return p;
+}
+
+TEST(Cost, EveryModelPricesWorkPositively) {
+  const CostModels models;
+  nn::OpCounter work;
+  work.mults = work.adds = 4096;
+  work.comparisons = 128;
+  work.act_bytes_read = 2048;
+  work.act_bytes_written = 512;
+  work.param_bytes_read = 4096;
+  for (HwModel hw : {HwModel::Systolic, HwModel::ZeroSkip,
+                     HwModel::SnnCoreDigital, HwModel::SnnCoreAnalog,
+                     HwModel::GnnAccelSmall, HwModel::GnnAccelLarge}) {
+    EXPECT_GT(model_latency_us(work, hw, models), 0.0) << hw_model_name(hw);
+  }
+}
+
+TEST(Cost, ZeroSkipBeatsSystolicOnSparseWork) {
+  const CostModels models;
+  nn::OpCounter sparse;
+  sparse.mults = sparse.adds = 1 << 16;
+  sparse.zero_skippable_mults = (1 << 16) * 9 / 10;  // 90% skippable
+  EXPECT_LT(model_latency_us(sparse, HwModel::ZeroSkip, models),
+            model_latency_us(sparse, HwModel::Systolic, models));
+}
+
+TEST(Cost, OpaqueProfilesStillCostSomething) {
+  // A session whose pipeline declares no stages must not look free to the
+  // planner, or every plan would pile opaque sessions onto one region.
+  const CostModels models;
+  SessionProfile opaque;
+  opaque.paradigm = "cnn";
+  EXPECT_GT(per_op_cost_us(opaque, nullptr, models), 0.0);
+}
+
+TEST(Cost, FusionRemovesTheBoundaryCharge) {
+  const CostModels models;
+  const SessionProfile profile = boundary_profile(/*boundary_bytes=*/4096);
+  const ParadigmPlacement unfused =
+      placement_for(profile, HwModel::Systolic, /*fused=*/false);
+  const ParadigmPlacement fused =
+      placement_for(profile, HwModel::Systolic, /*fused=*/true);
+  const double unfused_us = per_op_cost_us(profile, &unfused, models);
+  const double fused_us = per_op_cost_us(profile, &fused, models);
+  EXPECT_LT(fused_us, unfused_us);
+  // The gap is exactly the boundary traffic through SRAM.
+  EXPECT_NEAR(unfused_us - fused_us, 4096.0 / models.sram_bytes_per_us,
+              1e-9);
+}
+
+TEST(Cost, OversizedFusedGroupsPayTheSpillPenalty) {
+  CostModels within_budget;
+  CostModels over_budget = within_budget;
+  over_budget.fused_sram_budget_bytes = 64.0;  // force the spill
+  const SessionProfile profile = boundary_profile(/*boundary_bytes=*/128);
+  const ParadigmPlacement fused =
+      placement_for(profile, HwModel::Systolic, /*fused=*/true);
+  const ParadigmPlacement unfused =
+      placement_for(profile, HwModel::Systolic, /*fused=*/false);
+  // A spilled group pays spill_penalty on its whole compute.
+  const double clean_us = per_op_cost_us(profile, &fused, within_budget);
+  const double spilled_us = per_op_cost_us(profile, &fused, over_budget);
+  EXPECT_NEAR(spilled_us, over_budget.spill_penalty * clean_us, 1e-9);
+  // With a boundary this small, staying unfused beats spilled fusion —
+  // fusion is a genuine search decision, not a free win.
+  EXPECT_GT(spilled_us, per_op_cost_us(profile, &unfused, over_budget));
+}
+
+TEST(Cost, DutyScalesTheChargedWork) {
+  const CostModels models;
+  SessionProfile full = boundary_profile(0);
+  SessionProfile rare = full;
+  rare.stages[1].duty = 1.0 / 64.0;  // consume fires every 64th op
+  EXPECT_LT(per_op_cost_us(rare, nullptr, models),
+            per_op_cost_us(full, nullptr, models));
+}
+
+TEST(Cost, PlanCostMatchesAHandSimulatedDrain) {
+  const CostModels models;
+  SessionProfile profile = boundary_profile(0);
+  profile.queued_ops = 5;
+  const std::vector<SessionProfile> profiles(1, profile);
+  Plan plan = Plan::round_robin(1, 1, /*burst=*/2);
+  // One session, burst 2, backlog 5: rounds serve 2+2+1 ops, each round
+  // paying the fork-join overhead plus one visit overhead plus served ops
+  // at the session's op price.
+  const double op_us = per_op_cost_us(profile, nullptr, models);
+  const double expected =
+      3 * (models.round_overhead_us + models.visit_overhead_us) + 5 * op_us;
+  EXPECT_NEAR(plan_cost_us(plan, profiles, models), expected, 1e-9);
+}
+
+TEST(Cost, ParallelRegionsBarrierOnTheSlowest) {
+  const CostModels models;
+  SessionProfile profile = boundary_profile(0);
+  profile.queued_ops = 4;
+  const std::vector<SessionProfile> profiles(2, profile);
+  // Two identical sessions: two regions drain them in parallel (makespan =
+  // one session's drain); one region drains them back-to-back (the sum).
+  const Plan wide = Plan::round_robin(2, 2, /*burst=*/4);
+  const Plan narrow = Plan::round_robin(2, 1, /*burst=*/4);
+  const double wide_us = plan_cost_us(wide, profiles, models);
+  const double narrow_us = plan_cost_us(narrow, profiles, models);
+  EXPECT_LT(wide_us, narrow_us);
+  const double one_session_us =
+      models.visit_overhead_us +
+      4 * per_op_cost_us(profile, nullptr, models);
+  EXPECT_NEAR(wide_us, models.round_overhead_us + one_session_us, 1e-9);
+  EXPECT_NEAR(narrow_us, models.round_overhead_us + 2 * one_session_us, 1e-9);
+}
+
+TEST(Cost, PlanCostRejectsProfileCountMismatch) {
+  const CostModels models;
+  const std::vector<SessionProfile> profiles(3, boundary_profile(0));
+  const Plan plan = Plan::round_robin(2, 2, 1);
+  try {
+    plan_cost_us(plan, profiles, models);
+    FAIL() << "expected InvalidArgument";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::InvalidArgument);
+  }
+}
+
+}  // namespace
+}  // namespace evd::sched
