@@ -18,6 +18,7 @@
 #include <thread>
 #include <vector>
 
+#include "check/oracles.hpp"
 #include "cnn/cnn_pipeline.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
@@ -27,7 +28,9 @@
 #include "fault/injector.hpp"
 #include "gnn/gnn_pipeline.hpp"
 #include "obs/metrics.hpp"
+#include "route/route.hpp"
 #include "runtime/session_manager.hpp"
+#include "sched/cost.hpp"
 #include "sched/planner.hpp"
 #include "snn/snn_pipeline.hpp"
 
@@ -421,16 +424,21 @@ struct MixedPopulation {
     }
     return sched::profile_for(snn, "snn", queued_ops);
   }
+
+  std::vector<events::Event> stream(size_t i) const {
+    return session_stream(900 + static_cast<std::uint64_t>(i));
+  }
 };
 
-PlannerRow serve_mixed(MixedPopulation& population, const sched::Plan* plan) {
+template <typename Population>
+PlannerRow serve_mixed(Population& population, const sched::Plan* plan) {
   const auto session_count = static_cast<Index>(population.paradigms.size());
   runtime::SessionManager manager(/*burst=*/256);
   std::vector<runtime::SessionId> ids;
   std::vector<std::vector<events::Event>> streams;
   for (Index s = 0; s < session_count; ++s) {
     ids.push_back(manager.add(population.open(static_cast<size_t>(s))));
-    streams.push_back(session_stream(900 + static_cast<std::uint64_t>(s)));
+    streams.push_back(population.stream(static_cast<size_t>(s)));
   }
   if (plan != nullptr) manager.set_plan(*plan);
 
@@ -589,6 +597,259 @@ bool gate_planner() {
   return true;
 }
 
+// ---- execution-routing gate (ISSUE 9 acceptance) --------------------------
+//
+// A sparse adversarial population: four CNN and four SNN sessions whose
+// streams live entirely in an 8x8 corner of the 32x32 sensor, so the live
+// fraction of the declared dense work is ~6% — the regime where the
+// paper's event-driven side of the dichotomy wins. The session profiles
+// carry that measured activity, and the planner — searching only over
+// *proved* execution paths — must route the CNN placement onto cnn.sparse
+// and the SNN placement onto snn.event_driven.
+//
+// Four legs:
+//   1. Path choice (every host): the annealed plan routes cnn -> cnn.sparse
+//      and snn -> snn.event_driven.
+//   2. Equivalence (every host): serving through the routed plan produces
+//      decision streams bitwise identical to serving the same schedule
+//      with every path forced back to Default — the routing equivalence
+//      contract re-checked on a real run, not just in the oracle suite.
+//   3. Modeled serving makespan (every host): the routed plan must beat
+//      the same plan with default paths by >= 1.10x under the same cost
+//      models — isolating the routing win from the partitioning win
+//      gate_planner already holds.
+//   4. Wall clock: routing changes per-op cost, not parallelism, so the
+//      wall win is expressible on any core count — but its size depends on
+//      how much of the serving loop the routed hot stage is, and on small
+//      hosts queue/pump overhead compresses it. The >= 1.10x wall gate
+//      arms on >= 4 hardware threads (where CI measures it reliably);
+//      below that the leg is reported and sanity-bounded (>= 0.85x).
+
+/// Sparse-corner stream: session_stream's temporal density, all activity
+/// confined to an 8x8 patch of the sensor.
+std::vector<events::Event> sparse_corner_stream(std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<events::Event> stream;
+  stream.reserve(static_cast<size_t>(kEventsPerSession));
+  for (Index i = 0; i < kEventsPerSession; ++i) {
+    events::Event e;
+    e.x = static_cast<std::int16_t>(rng.uniform_int(8));
+    e.y = static_cast<std::int16_t>(rng.uniform_int(8));
+    e.polarity = rng.bernoulli(0.5) ? Polarity::On : Polarity::Off;
+    e.t = (i * kDuration) / kEventsPerSession;
+    stream.push_back(e);
+  }
+  return stream;
+}
+
+/// Measured live fraction: mean distinct-pixel occupancy per frame period
+/// — what the activity-scaled execution paths are priced against.
+double stream_activity(const std::vector<events::Event>& stream,
+                       TimeUs period) {
+  std::vector<char> touched(static_cast<size_t>(kWidth * kHeight), 0);
+  double occupancy_sum = 0.0;
+  Index windows = 0;
+  Index live = 0;
+  TimeUs window_end = period;
+  const auto flush = [&] {
+    occupancy_sum +=
+        static_cast<double>(live) / static_cast<double>(kWidth * kHeight);
+    ++windows;
+    live = 0;
+    std::fill(touched.begin(), touched.end(), 0);
+  };
+  for (const events::Event& e : stream) {
+    while (e.t >= window_end) {
+      flush();
+      window_end += period;
+    }
+    char& cell = touched[static_cast<size_t>(e.y) * kWidth +
+                         static_cast<size_t>(e.x)];
+    live += cell == 0 ? 1 : 0;
+    cell = 1;
+  }
+  flush();
+  return windows > 0 ? occupancy_sum / static_cast<double>(windows) : 1.0;
+}
+
+/// The sparse population, paradigm pattern cnn,snn repeating over 8 ids.
+struct SparsePopulation {
+  cnn::CnnPipeline cnn;
+  snn::SnnPipeline snn;
+  std::vector<const char*> paradigms;
+  double activity = 1.0;
+
+  SparsePopulation()
+      : cnn([] {
+          cnn::CnnPipelineConfig config;
+          config.width = kWidth;
+          config.height = kHeight;
+          config.num_classes = 2;
+          config.base_filters = 4;
+          config.frame_period_us = 20000;
+          return config;
+        }()),
+        snn([] {
+          snn::SnnPipelineConfig config;
+          config.width = kWidth;
+          config.height = kHeight;
+          config.num_classes = 2;
+          config.hidden = 64;
+          config.timestep_us = 5000;
+          return config;
+        }()),
+        paradigms{"cnn", "snn", "cnn", "snn", "cnn", "snn", "cnn", "snn"},
+        activity(stream_activity(stream(0), 20000)) {}
+
+  std::unique_ptr<core::StreamSession> open(size_t i) {
+    if (std::strcmp(paradigms[i], "cnn") == 0) {
+      return cnn.open_session(kWidth, kHeight);
+    }
+    return snn.open_session(kWidth, kHeight);
+  }
+
+  sched::SessionProfile profile(size_t i, Index queued_ops) {
+    if (std::strcmp(paradigms[i], "cnn") == 0) {
+      return sched::profile_for(cnn, "cnn", queued_ops, activity);
+    }
+    return sched::profile_for(snn, "snn", queued_ops, activity);
+  }
+
+  std::vector<events::Event> stream(size_t i) const {
+    return sparse_corner_stream(1300 + static_cast<std::uint64_t>(i));
+  }
+};
+
+bool gate_routing() {
+  const Index previous_threads = par::thread_count();
+  par::set_thread_count(4);
+  const bool sched_was_enabled = sched::enabled();
+  sched::set_enabled(true);
+  // Proved-gating: the planner may only route onto oracle-backed paths,
+  // and registering the route.* oracles is what marks them proved — the
+  // same entitlement step a serving binary performs at startup.
+  check::register_builtin_oracles();
+
+  SparsePopulation population;
+  std::vector<sched::SessionProfile> profiles;
+  for (size_t s = 0; s < population.paradigms.size(); ++s) {
+    profiles.push_back(population.profile(s, 2048));
+  }
+  sched::AnnealerConfig config;
+  config.seed = 23;
+  config.iterations = 1200;
+  config.region_count = 4;
+  config.burst_cap = 256;
+  const sched::Plan plan = sched::Planner::instance().plan_for(profiles, config);
+
+  const auto placement_path = [&plan](const char* paradigm) {
+    for (const sched::ParadigmPlacement& p : plan.placements) {
+      if (p.paradigm == paradigm) return p.path;
+    }
+    return route::PathId::Default;
+  };
+  const route::PathId cnn_path = placement_path("cnn");
+  const route::PathId snn_path = placement_path("snn");
+
+  // The routing win in isolation: the same annealed schedule with every
+  // placement forced back to the default path, priced by the same models.
+  sched::Plan unrouted = plan;
+  for (sched::ParadigmPlacement& p : unrouted.placements) {
+    p.path = route::PathId::Default;
+  }
+  unrouted.refresh_labels();
+  const sched::CostModels models;
+  const double unrouted_modeled_us =
+      sched::plan_cost_us(unrouted, profiles, models);
+  const double routed_modeled_us = sched::plan_cost_us(plan, profiles, models);
+  const double modeled_speedup = unrouted_modeled_us / routed_modeled_us;
+  std::printf(
+      "\n-- execution routing: chosen plan (measured activity %.3f) --\n%s\n",
+      population.activity, plan.describe().c_str());
+  std::printf(
+      "   modeled drain: default paths %.0f us, routed %.0f us (%.2fx)\n",
+      unrouted_modeled_us, routed_modeled_us, modeled_speedup);
+
+  // Best of two runs each, interleaved, as in gate_planner.
+  PlannerRow default_paths = serve_mixed(population, &unrouted);
+  PlannerRow routed = serve_mixed(population, &plan);
+  {
+    PlannerRow default2 = serve_mixed(population, &unrouted);
+    if (default2.wall_ms < default_paths.wall_ms) {
+      default_paths = std::move(default2);
+    }
+    PlannerRow routed2 = serve_mixed(population, &plan);
+    if (routed2.wall_ms < routed.wall_ms) routed = std::move(routed2);
+  }
+  sched::set_enabled(sched_was_enabled);
+  par::set_thread_count(previous_threads);
+
+  const bool identical = decision_streams_identical(default_paths, routed);
+  const double speedup = routed.events_per_s() / default_paths.events_per_s();
+  const unsigned cores = std::thread::hardware_concurrency();
+  const bool wall_gated = cores >= 4;
+  Table table({"paths", "wall [ms]", "events/s", "vs default"});
+  table.add_row({"default", Table::num(default_paths.wall_ms, 1),
+                 Table::num(default_paths.events_per_s(), 0), "1.00x"});
+  table.add_row({"routed", Table::num(routed.wall_ms, 1),
+                 Table::num(routed.events_per_s(), 0),
+                 Table::num(speedup, 2) + "x"});
+  std::printf(
+      "\n-- execution routing: sparse 8-session population, 4 workers --\n");
+  table.print();
+  std::printf("   decision streams bitwise identical: %s\n",
+              identical ? "yes" : "NO");
+  std::printf(
+      "{\"bench\":\"stream_routing\",\"sessions\":8,\"threads\":4,"
+      "\"cores\":%u,\"activity\":%.4f,\"cnn_path\":\"%s\","
+      "\"snn_path\":\"%s\",\"default_wall_ms\":%.3f,\"routed_wall_ms\":%.3f,"
+      "\"speedup\":%.3f,\"modeled_default_us\":%.1f,"
+      "\"modeled_routed_us\":%.1f,\"modeled_speedup\":%.3f,"
+      "\"wall_gated\":%s,\"streams_identical\":%s}\n",
+      cores, population.activity, route::path_name(cnn_path),
+      route::path_name(snn_path), default_paths.wall_ms, routed.wall_ms,
+      speedup, unrouted_modeled_us, routed_modeled_us, modeled_speedup,
+      wall_gated ? "true" : "false", identical ? "true" : "false");
+
+  if (cnn_path != route::PathId::CnnSparse ||
+      snn_path != route::PathId::SnnEventDriven) {
+    std::fprintf(stderr,
+                 "FATAL: planner did not route the sparse population onto "
+                 "the event-driven paths (cnn -> %s, snn -> %s)\n",
+                 route::path_name(cnn_path), route::path_name(snn_path));
+    return false;
+  }
+  if (!identical) {
+    std::fprintf(stderr,
+                 "FATAL: routed pump changed a decision stream (the routing "
+                 "equivalence contract is bitwise)\n");
+    return false;
+  }
+  if (modeled_speedup < 1.10) {
+    std::fprintf(stderr,
+                 "FATAL: routing modeled improvement %.2fx on the sparse "
+                 "population (gate: >= 1.10x over default paths on the "
+                 "same schedule)\n",
+                 modeled_speedup);
+    return false;
+  }
+  if (wall_gated && speedup < 1.10) {
+    std::fprintf(stderr,
+                 "FATAL: routing wall speedup %.2fx on %u-core host "
+                 "(gate: >= 1.10x over default paths)\n",
+                 speedup, cores);
+    return false;
+  }
+  if (!wall_gated && speedup < 0.85) {
+    std::fprintf(stderr,
+                 "FATAL: routed pump is materially slower (%.2fx) than "
+                 "default paths (sanity bound: 0.85x)\n",
+                 speedup);
+    return false;
+  }
+  return true;
+}
+
 // ---- feed->decision latency (p50 / p99 from the obs histogram) ------------
 
 /// Serve 8 sessions of one paradigm with observability on and report the
@@ -709,6 +970,7 @@ int main() {
   }
   ok = gate_overload() && ok;
   ok = gate_planner() && ok;
+  ok = gate_routing() && ok;
   ok = report_all_latencies() && ok;
   return ok ? 0 : 1;
 }

@@ -12,6 +12,7 @@
 #include "gnn/incremental.hpp"
 #include "gnn/kdtree.hpp"
 #include "obs/metrics.hpp"
+#include "route/route.hpp"
 #include "sched/annealer.hpp"
 #include "sched/planner.hpp"
 #include "simd/dispatch.hpp"
@@ -1198,6 +1199,112 @@ std::optional<std::string> diff_gnn_plan_vs_sequential(
   return diff_planned(pipeline, "gnn", c);
 }
 
+// ---- route: forced execution paths vs the default path --------------------
+
+namespace {
+
+/// Default-path sequential reference, then the same ops through sessions
+/// pinned to `forced` (route::PathId) and served on 4 workers. This is the
+/// per-placement equivalence proof behind PathRegistry::mark_proved: a
+/// plan may re-route a paradigm's hot stage onto this variant only because
+/// this oracle holds the decision streams bitwise identical (ULP 0).
+template <typename Pipeline>
+std::optional<std::string> diff_route(Pipeline& pipeline, route::PathId forced,
+                                      const MultiSessionSchedule& c) {
+  std::vector<std::vector<core::Decision>> reference;
+  reference.reserve(c.sessions.size());
+  for (const auto& ops : c.sessions) {
+    const auto session = pipeline.open_session(c.width, c.height);
+    for (const auto& op : ops) apply_op(*session, op);
+    reference.push_back(session->decisions());
+  }
+  return with_thread_count(
+      kThreadedCount, [&]() -> std::optional<std::string> {
+        struct RestoreRoute {
+          bool previous;
+          ~RestoreRoute() { route::set_enabled(previous); }
+        } restore{route::enabled()};
+        route::set_enabled(true);
+        runtime::SessionManager manager(/*burst=*/3);
+        std::vector<runtime::SessionId> ids;
+        ids.reserve(c.sessions.size());
+        for (size_t s = 0; s < c.sessions.size(); ++s) {
+          auto session = pipeline.open_session(c.width, c.height);
+          if (!session->set_execution_path(forced)) {
+            return std::string("session declined execution path ") +
+                   route::path_name(forced);
+          }
+          ids.push_back(manager.add(std::move(session)));
+        }
+        size_t cursor = 0;
+        bool more = true;
+        while (more) {
+          more = false;
+          for (size_t s = 0; s < c.sessions.size(); ++s) {
+            if (cursor >= c.sessions[s].size()) continue;
+            more = true;
+            const auto& op = c.sessions[s][cursor];
+            if (op.kind == SessionOp::Kind::Feed) {
+              manager.submit(ids[s], op.event);
+            } else {
+              manager.submit_advance(ids[s], op.t);
+            }
+          }
+          ++cursor;
+          if (cursor % 5 == 0) manager.pump();
+        }
+        manager.pump_all();
+        std::vector<std::vector<core::Decision>> routed;
+        routed.reserve(ids.size());
+        for (const auto id : ids) {
+          routed.push_back(manager.session(id).decisions());
+        }
+        return diff_decision_streams(routed, reference, c.sessions.size(),
+                                     route::path_name(forced),
+                                     "default path");
+      });
+}
+
+}  // namespace
+
+std::optional<std::string> diff_route_cnn_sparse_vs_dense(
+    const MultiSessionSchedule& c) {
+  cnn::CnnPipelineConfig config;
+  config.width = kMuxGeometry;
+  config.height = kMuxGeometry;
+  config.num_classes = 2;
+  config.base_filters = 2;
+  config.frame_period_us = 10000;
+  cnn::CnnPipeline pipeline(config);
+  return diff_route(pipeline, route::PathId::CnnSparse, c);
+}
+
+std::optional<std::string> diff_route_snn_clocked_vs_event(
+    const MultiSessionSchedule& c) {
+  snn::SnnPipelineConfig config;
+  config.width = kMuxGeometry;
+  config.height = kMuxGeometry;
+  config.num_classes = 2;
+  config.hidden = 16;
+  config.encoder.spatial_factor = 2;
+  config.timestep_us = 5000;
+  snn::SnnPipeline pipeline(config);
+  return diff_route(pipeline, route::PathId::SnnEventDriven, c);
+}
+
+std::optional<std::string> diff_route_gnn_batch_vs_incremental(
+    const MultiSessionSchedule& c) {
+  gnn::GnnPipelineConfig config;
+  config.width = kMuxGeometry;
+  config.height = kMuxGeometry;
+  config.num_classes = 2;
+  config.model.hidden = 8;
+  config.model.layers = 2;
+  config.stream_stride = 2;
+  gnn::GnnPipeline pipeline(config);
+  return diff_route(pipeline, route::PathId::GnnBatch, c);
+}
+
 // ---- registration ---------------------------------------------------------
 
 void register_builtin_oracles() {
@@ -1296,6 +1403,27 @@ void register_builtin_oracles() {
         "GNN sessions pumped under an annealer-chosen execution plan emit "
         "the exact decision stream of sequential feeding",
         multiplex_case_gen(), diff_gnn_plan_vs_sequential));
+    registry().add(make_diff_oracle<MultiSessionSchedule>(
+        "route.cnn_sparse_vs_dense",
+        "CNN sessions routed onto the zero-skipping sparse conv path emit "
+        "the exact decision stream of the default path",
+        multiplex_case_gen(), diff_route_cnn_sparse_vs_dense));
+    registry().add(make_diff_oracle<MultiSessionSchedule>(
+        "route.snn_clocked_vs_event",
+        "SNN sessions routed onto event-driven stepping emit the exact "
+        "decision stream of the default clocked path",
+        multiplex_case_gen(), diff_route_snn_clocked_vs_event));
+    registry().add(make_diff_oracle<MultiSessionSchedule>(
+        "route.gnn_batch_vs_incremental",
+        "GNN sessions routed onto the full-sweep batch message pass emit "
+        "the exact decision stream of the default incremental path",
+        multiplex_case_gen(), diff_route_gnn_batch_vs_incremental));
+    // Registering the route.* oracles is what entitles the planner to
+    // choose these variants: the suite runs them in CI, so the proved
+    // marks below are never ahead of an actual equivalence proof.
+    route::PathRegistry::instance().mark_proved(route::PathId::CnnSparse);
+    route::PathRegistry::instance().mark_proved(route::PathId::SnnEventDriven);
+    route::PathRegistry::instance().mark_proved(route::PathId::GnnBatch);
     return true;
   }();
   (void)registered;

@@ -34,6 +34,15 @@
 //                                direct sequential feeding — decision
 //                                streams must match bitwise (the planner's
 //                                equivalence contract)
+//   route.cnn_sparse_vs_dense    CNN sessions pinned to the sparse conv
+//                                path vs the default path — bitwise
+//   route.snn_clocked_vs_event   SNN sessions pinned to event-driven
+//                                stepping vs default clocked — bitwise
+//   route.gnn_batch_vs_incremental
+//                                GNN sessions pinned to the full-sweep
+//                                batch message pass vs default incremental
+//                                — bitwise (registration of these three is
+//                                what marks the paths proved/routable)
 //
 // Case structs and diff properties are public so the fault-injection
 // self-test can perturb one side and verify the harness catches it and
@@ -203,6 +212,22 @@ std::optional<std::string> diff_cnn_plan_vs_sequential(
 std::optional<std::string> diff_snn_plan_vs_sequential(
     const MultiSessionSchedule& c);
 std::optional<std::string> diff_gnn_plan_vs_sequential(
+    const MultiSessionSchedule& c);
+
+// ---- route: forced execution paths vs the default path --------------------
+
+/// Feed every session's ops directly on the default path (sequential
+/// reference), then serve the same schedule on 4 workers with every
+/// session pinned to the named variant via set_execution_path, and require
+/// bitwise-identical decision streams (ULP 0). These are the per-placement
+/// equivalence proofs that make a path routable: register_builtin_oracles
+/// marks CnnSparse / SnnEventDriven / GnnBatch proved exactly because it
+/// registers these oracles into the CI-run suite.
+std::optional<std::string> diff_route_cnn_sparse_vs_dense(
+    const MultiSessionSchedule& c);
+std::optional<std::string> diff_route_snn_clocked_vs_event(
+    const MultiSessionSchedule& c);
+std::optional<std::string> diff_route_gnn_batch_vs_incremental(
     const MultiSessionSchedule& c);
 
 /// Run fn at the given pool size, restoring the previous size afterwards.

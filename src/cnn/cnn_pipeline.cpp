@@ -2,8 +2,10 @@
 
 #include <stdexcept>
 
+#include "nn/conv2d.hpp"
 #include "nn/softmax.hpp"
 #include "obs/trace.hpp"
+#include "route/route.hpp"
 #include "runtime/session_base.hpp"
 
 namespace evd::cnn {
@@ -223,6 +225,12 @@ class CnnStreamSession : public runtime::SessionBase {
                          FrameScratch{last_on_, last_off_});
       }
       obs::Span span("cnn.conv_forward");
+      // Routed conv-algo selection: the installed execution path (if any)
+      // is translated into a thread-local ConvAlgo override for exactly
+      // this forward. The model is shared across sessions and threads, so
+      // its Conv2dConfig is never mutated; layers whose config pins an
+      // algo explicitly ignore the override.
+      const nn::ScopedConvAlgo algo_scope(conv_algo_for_path());
       const nn::Tensor logits = pipeline_.model().forward(frame_, false);
       const nn::Tensor probs = nn::softmax(logits);
       decision.label = static_cast<int>(probs.argmax());
@@ -230,6 +238,20 @@ class CnnStreamSession : public runtime::SessionBase {
     }
     emit(decision);
     window_count_ = 0;
+  }
+
+  nn::ConvAlgo conv_algo_for_path() const {
+    if (!route::enabled()) return nn::ConvAlgo::Auto;
+    switch (execution_path()) {
+      case route::PathId::CnnDirect:
+        return nn::ConvAlgo::Direct;
+      case route::PathId::CnnGemm:
+        return nn::ConvAlgo::Gemm;
+      case route::PathId::CnnSparse:
+        return nn::ConvAlgo::Sparse;
+      default:
+        return nn::ConvAlgo::Auto;  // Default path = the shape heuristic.
+    }
   }
 
   CnnPipeline& pipeline_;

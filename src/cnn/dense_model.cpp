@@ -19,8 +19,9 @@ nn::Sequential make_event_cnn(const CnnModelConfig& config, Rng& rng) {
   // translation-invariant, which matters because event recordings place the
   // object along an arbitrary trajectory.
   nn::Sequential model;
-  model.emplace<nn::Conv2d>(
-      nn::Conv2dConfig{config.in_channels, config.base_filters, 3, 1, 1}, rng);
+  nn::Conv2dConfig stem{config.in_channels, config.base_filters, 3, 1, 1};
+  stem.frame_input = true;  // fed the event frame: the sparse route's target
+  model.emplace<nn::Conv2d>(stem, rng);
   model.emplace<nn::ReLU>();
   model.emplace<nn::MaxPool2d>(2);
   model.emplace<nn::Conv2d>(

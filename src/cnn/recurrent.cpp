@@ -26,9 +26,9 @@ RecurrentCnn::RecurrentCnn(RecurrentCnnConfig config)
                                    config.hidden, config.hidden, rng_)),
       bias_("bias", nn::Tensor({config.hidden})),
       head_(config.hidden, config.num_classes, rng_) {
-  stem_.emplace<nn::Conv2d>(
-      nn::Conv2dConfig{config.in_channels, config.base_filters, 3, 1, 1},
-      rng_);
+  nn::Conv2dConfig stem_conv{config.in_channels, config.base_filters, 3, 1, 1};
+  stem_conv.frame_input = true;  // fed the event frame directly
+  stem_.emplace<nn::Conv2d>(stem_conv, rng_);
   stem_.emplace<nn::ReLU>();
   stem_.emplace<nn::MaxPool2d>(2);
   stem_.emplace<nn::Conv2d>(

@@ -11,12 +11,14 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/stages.hpp"
 #include "events/dataset.hpp"
 #include "events/event.hpp"
 #include "nn/counters.hpp"
+#include "route/route.hpp"
 
 namespace evd::core {
 
@@ -105,6 +107,22 @@ class StreamSession {
   virtual bool load_state(std::span<const std::uint8_t> bytes) {
     (void)bytes;
     return false;
+  }
+
+  /// Execution routing (see route/route.hpp). A routable session reports its
+  /// paradigm tag and accepts an ExecutionPath id selecting one of the
+  /// proved-equivalent execution variants for that paradigm; every variant
+  /// must produce a bitwise-identical decision stream (the route.* oracles
+  /// enforce this), so routing is a performance decision, never a semantic
+  /// one. The defaults make legacy sessions unroutable: empty paradigm,
+  /// set_execution_path declines, execution_path reports Default.
+  virtual std::string_view paradigm() const { return {}; }
+  virtual bool set_execution_path(route::PathId path) {
+    (void)path;
+    return false;
+  }
+  virtual route::PathId execution_path() const {
+    return route::PathId::Default;
   }
 
  private:

@@ -16,10 +16,14 @@
 //     modeled payoff (the intermediate activation traffic disappears).
 //
 // Stages never constrain *execution semantics*: every session applies its
-// ops in submission order through the same code path whatever the plan says.
-// Fusion and ordering decisions change the modeled cost and the obs span
-// labelling, not the arithmetic — that is the planner's equivalence
-// contract, enforced bitwise by the sched.plan_vs_sequential oracles.
+// ops in submission order whatever the plan says. Fusion and ordering
+// decisions change the modeled cost and the obs span labelling, not the
+// arithmetic — that is the planner's equivalence contract, enforced bitwise
+// by the sched.plan_vs_sequential oracles. The one degree of freedom a plan
+// DOES exercise inside a session is the execution path (route/route.hpp):
+// a placement may select among proved-equivalent kernel variants for the
+// session's paradigm, and the route.* oracles hold those to the same
+// bitwise bar, so the contract survives routing unchanged.
 #pragma once
 
 #include <string>

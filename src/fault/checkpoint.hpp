@@ -37,6 +37,7 @@ class CheckpointWriter {
     out_.clear();
   }
 
+  void u8(std::uint8_t v) { raw(&v, sizeof(v)); }
   void u32(std::uint32_t v) { raw(&v, sizeof(v)); }
   void i64(std::int64_t v) { raw(&v, sizeof(v)); }
   void f64(double v) { raw(&v, sizeof(v)); }
@@ -87,6 +88,7 @@ class CheckpointReader {
   explicit CheckpointReader(std::span<const std::uint8_t> bytes)
       : bytes_(bytes) {}
 
+  std::uint8_t u8() { return read_as<std::uint8_t>(); }
   std::uint32_t u32() { return read_as<std::uint32_t>(); }
   std::int64_t i64() { return read_as<std::int64_t>(); }
   double f64() { return read_as<double>(); }

@@ -5,6 +5,7 @@
 
 #include "nn/softmax.hpp"
 #include "obs/trace.hpp"
+#include "route/route.hpp"
 #include "runtime/session_base.hpp"
 
 namespace evd::gnn {
@@ -195,7 +196,16 @@ class GnnStreamSession : public runtime::SessionBase {
       node.t = event.t;
     }
     obs::Span span("gnn.message_pass");
-    async_.insert(node, neighbors_);
+    // Routed message-pass discipline: the batch path sweeps the whole graph
+    // per event instead of the incremental frontier — bitwise-identical
+    // decisions (route.gnn_batch_vs_incremental), O(N) modeled cost.
+    // GnnIncremental and Default both name the built-in frontier path.
+    if (route::enabled() &&
+        execution_path() == route::PathId::GnnBatch) {
+      async_.insert_batch(node, neighbors_);
+    } else {
+      async_.insert(node, neighbors_);
+    }
 
     async_.logits_into(logits_);
     nn::softmax_into(logits_, probs_);

@@ -10,6 +10,20 @@
 #include "simd/kernels.hpp"
 
 namespace evd::nn {
+namespace {
+
+thread_local ConvAlgo t_conv_algo = ConvAlgo::Auto;
+
+}  // namespace
+
+ConvAlgo thread_conv_algo() noexcept { return t_conv_algo; }
+
+ScopedConvAlgo::ScopedConvAlgo(ConvAlgo algo) noexcept
+    : previous_(t_conv_algo) {
+  t_conv_algo = algo;
+}
+
+ScopedConvAlgo::~ScopedConvAlgo() { t_conv_algo = previous_; }
 
 Conv2d::Conv2d(Conv2dConfig config, Rng& rng)
     : config_(config),
@@ -26,11 +40,6 @@ Conv2d::Conv2d(Conv2dConfig config, Rng& rng)
 }
 
 bool Conv2d::use_gemm(Index oh, Index ow) const noexcept {
-  switch (config_.algo) {
-    case ConvAlgo::Direct: return false;
-    case ConvAlgo::Gemm: return true;
-    case ConvAlgo::Auto: break;
-  }
   // Amortise the im2col materialisation: worthwhile once the patch matrix
   // carries a few thousand multiplies. Shape-only, so the choice (and hence
   // the output bits) never depends on the thread count.
@@ -52,8 +61,26 @@ Tensor Conv2d::forward(const Tensor& input, bool train) {
   }
   if (train) cached_input_ = input;
 
-  Tensor output = use_gemm(oh, ow) ? forward_gemm(input, oh, ow)
-                                   : forward_direct(input, oh, ow);
+  // Kernel selection: an explicit config wins; a config of Auto defers to
+  // the thread-local routing override (evd::route installs one around a
+  // routed session's forward call); Auto with no override falls back to the
+  // shape heuristic. All four kernels produce bit-identical outputs.
+  ConvAlgo algo = config_.algo;
+  if (algo == ConvAlgo::Auto) {
+    algo = thread_conv_algo();
+    // The sparse route targets event-frame sparsity; layers fed by dense
+    // deeper activations fall back to the shape heuristic (see
+    // Conv2dConfig::frame_input).
+    if (algo == ConvAlgo::Sparse && !config_.frame_input) {
+      algo = ConvAlgo::Auto;
+    }
+  }
+  if (algo == ConvAlgo::Auto) {
+    algo = use_gemm(oh, ow) ? ConvAlgo::Gemm : ConvAlgo::Direct;
+  }
+  Tensor output = algo == ConvAlgo::Gemm     ? forward_gemm(input, oh, ow)
+                  : algo == ConvAlgo::Sparse ? forward_sparse(input, oh, ow)
+                                             : forward_direct(input, oh, ow);
   if (active_counter() != nullptr) count_forward(input, oh, ow);
   return output;
 }
@@ -96,6 +123,97 @@ Tensor Conv2d::forward_direct(const Tensor& input, Index oh, Index ow) const {
               const float* in_row = in_ic + (base_y + ky) * iw + base_x;
               for (Index kx = kx0; kx < kx1; ++kx) {
                 acc += w_row[kx] * in_row[kx];
+              }
+            }
+          }
+          out_oc[oy * ow + ox] = acc;
+        }
+      }
+    }
+  });
+  return output;
+}
+
+Tensor Conv2d::forward_sparse(const Tensor& input, Index oh, Index ow) const {
+  // The direct loop nest with a zero-skip gate on the activation operand —
+  // the software mirror of the zero-skip accelerator the hw models price.
+  // Bitwise contract: skipping `acc += w * 0.0f` leaves acc unchanged for
+  // every finite acc except -0.0 (where the dense path may flush to +0.0);
+  // acc starts at the bias, and -0.0 parameters do not arise from He-normal
+  // init or zero-init biases. Tap order over the *surviving* taps is the
+  // direct path's (ic, ky, kx) ascending order, so the partial sums visit
+  // the same values in the same order. The route.cnn_sparse_vs_dense oracle
+  // holds the equality at ULP 0 on generated event frames.
+  const Index ih = input.dim(1);
+  const Index iw = input.dim(2);
+  const Index k = config_.kernel;
+  const Index ic_count = config_.in_channels;
+  const Index stride = config_.stride;
+  const Index padding = config_.padding;
+
+  Tensor output({config_.out_channels, oh, ow});
+  const float* in = input.data();
+  const float* wts = weight_.value.data();
+  float* out = output.data();
+
+  // Live-pixel integral image over all input channels: 2-D prefix sums of
+  // the any-channel-nonzero mask let every output pixel test its whole
+  // receptive field in O(1). On an event frame most receptive fields are
+  // entirely dead, and a dead window short-circuits straight to the bias —
+  // bitwise what the tap loop computes when every tap is skipped. Built
+  // once (input-only), shared read-only by the channel workers.
+  std::vector<std::int32_t> live(
+      static_cast<size_t>((ih + 1) * (iw + 1)), 0);
+  for (Index y = 0; y < ih; ++y) {
+    std::int32_t row = 0;
+    for (Index x = 0; x < iw; ++x) {
+      bool any = false;
+      for (Index ic = 0; ic < ic_count && !any; ++ic) {
+        any = in[(ic * ih + y) * iw + x] != 0.0f;
+      }
+      row += any ? 1 : 0;
+      live[static_cast<size_t>((y + 1) * (iw + 1) + (x + 1))] =
+          live[static_cast<size_t>(y * (iw + 1) + (x + 1))] + row;
+    }
+  }
+  // Live pixels in the half-open, pre-clamped window [y0,y1) x [x0,x1).
+  const auto window_live = [&live, iw](Index y0, Index y1, Index x0,
+                                       Index x1) {
+    const auto at = [&live, iw](Index y, Index x) {
+      return live[static_cast<size_t>(y * (iw + 1) + x)];
+    };
+    return at(y1, x1) - at(y0, x1) - at(y1, x0) + at(y0, x0);
+  };
+
+  par::parallel_for(0, config_.out_channels, 1, [&](Index oc_begin,
+                                                    Index oc_end) {
+    for (Index oc = oc_begin; oc < oc_end; ++oc) {
+      const float* w_oc = wts + oc * ic_count * k * k;
+      const float bias = bias_.value[oc];
+      float* out_oc = out + oc * oh * ow;
+      for (Index oy = 0; oy < oh; ++oy) {
+        const Index base_y = oy * stride - padding;
+        const Index ky0 = base_y < 0 ? -base_y : 0;
+        const Index ky1 = std::min(k, ih - base_y);
+        for (Index ox = 0; ox < ow; ++ox) {
+          const Index base_x = ox * stride - padding;
+          const Index kx0 = base_x < 0 ? -base_x : 0;
+          const Index kx1 = std::min(k, iw - base_x);
+          if (window_live(base_y + ky0, base_y + ky1, base_x + kx0,
+                          base_x + kx1) == 0) {
+            out_oc[oy * ow + ox] = bias;
+            continue;
+          }
+          float acc = bias;
+          for (Index ic = 0; ic < ic_count; ++ic) {
+            const float* w_ic = w_oc + ic * k * k;
+            const float* in_ic = in + ic * ih * iw;
+            for (Index ky = ky0; ky < ky1; ++ky) {
+              const float* w_row = w_ic + ky * k;
+              const float* in_row = in_ic + (base_y + ky) * iw + base_x;
+              for (Index kx = kx0; kx < kx1; ++kx) {
+                const float v = in_row[kx];
+                if (v != 0.0f) acc += w_row[kx] * v;
               }
             }
           }

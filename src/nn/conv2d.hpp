@@ -24,8 +24,32 @@ namespace evd::nn {
 
 /// Forward kernel selection. Auto picks Gemm once the patch matrix is big
 /// enough to amortise im2col, Direct otherwise (a pure function of shapes,
-/// never of thread count).
-enum class ConvAlgo { Auto, Direct, Gemm };
+/// never of thread count). Sparse runs the direct loop nest but skips taps
+/// whose activation is exactly zero — bitwise-identical on event-frame
+/// inputs (adding w*0.0f to a finite accumulator cannot change its bits
+/// unless the accumulator is -0.0, which He-normal/zero-init parameters
+/// never produce; the route.cnn_sparse_vs_dense oracle enforces this).
+enum class ConvAlgo { Auto, Direct, Gemm, Sparse };
+
+/// Thread-local ConvAlgo override consulted by Conv2d::forward when the
+/// layer's own config says Auto. This is how a routed CNN session forces a
+/// path through a *shared* model without mutating it: sessions share one
+/// Sequential across worker threads, so the override must be per-thread and
+/// scoped exactly around the session's forward call.
+ConvAlgo thread_conv_algo() noexcept;
+
+/// RAII scope installing a thread-local ConvAlgo override (Auto = none).
+/// Restores the previous override on destruction; nests correctly.
+class ScopedConvAlgo {
+ public:
+  explicit ScopedConvAlgo(ConvAlgo algo) noexcept;
+  ~ScopedConvAlgo();
+  ScopedConvAlgo(const ScopedConvAlgo&) = delete;
+  ScopedConvAlgo& operator=(const ScopedConvAlgo&) = delete;
+
+ private:
+  ConvAlgo previous_;
+};
 
 struct Conv2dConfig {
   Index in_channels = 1;
@@ -34,6 +58,12 @@ struct Conv2dConfig {
   Index stride = 1;
   Index padding = 1;
   ConvAlgo algo = ConvAlgo::Auto;
+  /// This layer consumes the (sparse) event frame. Only such layers honor a
+  /// thread-local Sparse override: deeper layers see dense post-ReLU
+  /// activations, where the zero-skip gate pays a test per tap for nothing
+  /// and would displace the SIMD GEMM kernel. An explicit config algo of
+  /// Sparse is always honored regardless.
+  bool frame_input = false;
 };
 
 class Conv2d : public Layer {
@@ -58,6 +88,7 @@ class Conv2d : public Layer {
  private:
   bool use_gemm(Index oh, Index ow) const noexcept;
   Tensor forward_direct(const Tensor& input, Index oh, Index ow) const;
+  Tensor forward_sparse(const Tensor& input, Index oh, Index ow) const;
   Tensor forward_gemm(const Tensor& input, Index oh, Index ow) const;
   void count_forward(const Tensor& input, Index oh, Index ow) const;
 

@@ -90,6 +90,23 @@ class SessionBase : public core::StreamSession {
   /// Error(CheckpointMismatch), truncation Error(CheckpointCorrupt).
   bool load_state(std::span<const std::uint8_t> bytes) final;
 
+  /// Execution routing (core::StreamSession contract). The chassis stores
+  /// the installed path; set_execution_path accepts Default plus any path
+  /// registered for this session's paradigm and declines everything else
+  /// without changing state. Subclasses consult execution_path() at their
+  /// dispatch points — an installed path changes which proved-equivalent
+  /// kernel runs, never what it computes.
+  std::string_view paradigm() const final { return paradigm_; }
+  bool set_execution_path(route::PathId path) final {
+    if (path != route::PathId::Default &&
+        !route::path_valid_for(path, paradigm_)) {
+      return false;
+    }
+    path_ = path;
+    return true;
+  }
+  route::PathId execution_path() const final { return path_; }
+
  protected:
   explicit SessionBase(const SessionBaseConfig& config);
 
@@ -117,6 +134,7 @@ class SessionBase : public core::StreamSession {
   ArenaAllocator arena_;
   DecisionSink sink_;
   std::string paradigm_;
+  route::PathId path_ = route::PathId::Default;
   std::size_t checkpoint_max_bytes_;
   std::int64_t events_fed_ = 0;
   std::int64_t events_dropped_ = 0;

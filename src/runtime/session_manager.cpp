@@ -1,5 +1,6 @@
 #include "runtime/session_manager.hpp"
 
+#include <algorithm>
 #include <exception>
 #include <optional>
 #include <utility>
@@ -341,9 +342,54 @@ Index SessionManager::pump_session(Index i, Index burst,
   return done;
 }
 
+void SessionManager::set_replan(ReplanHook hook, Index window) {
+  replan_hook_ = std::move(hook);
+  replan_window_ = window < 1 ? 1 : window;
+  replan_rounds_ = 0;
+  backlog_accum_.assign(slots_.size(), 0);
+  workload_fp_ = 0;
+}
+
+void SessionManager::maybe_replan(Index n) {
+  if (static_cast<Index>(backlog_accum_.size()) != n) {
+    // Population changed mid-window: restart the estimate.
+    backlog_accum_.assign(static_cast<size_t>(n), 0);
+    replan_rounds_ = 0;
+  }
+  for (Index i = 0; i < n; ++i) {
+    backlog_accum_[static_cast<size_t>(i)] +=
+        slots_[static_cast<size_t>(i)]->queue.size();
+  }
+  if (++replan_rounds_ < replan_window_) return;
+  // Windowed per-session backlog averages, bucketed to log2 before
+  // fingerprinting so round-to-round jitter inside one power of two can
+  // never thrash the plan — only a real workload-mix drift re-plans.
+  std::vector<Index> backlog(static_cast<size_t>(n), 0);
+  std::uint64_t fp = 0xCBF29CE484222325ULL;  // FNV-1a offset basis
+  for (Index i = 0; i < n; ++i) {
+    const std::int64_t avg =
+        backlog_accum_[static_cast<size_t>(i)] / replan_window_;
+    backlog[static_cast<size_t>(i)] = static_cast<Index>(avg);
+    std::uint8_t bucket = 0;
+    for (std::int64_t v = avg; v > 0; v >>= 1) ++bucket;
+    fp ^= bucket;
+    fp *= 0x100000001B3ULL;
+  }
+  replan_rounds_ = 0;
+  std::fill(backlog_accum_.begin(), backlog_accum_.end(), 0);
+  if (fp == workload_fp_) return;
+  workload_fp_ = fp;
+  if (auto plan = replan_hook_(std::span<const Index>(backlog))) {
+    // A stale hook result (population changed under it) is dropped rather
+    // than tripping set_plan's count check mid-serving.
+    if (plan->session_count == n) set_plan(std::move(*plan));
+  }
+}
+
 Index SessionManager::pump() {
   const Index n = session_count();
   if (n == 0) return 0;
+  if (replan_hook_) maybe_replan(n);
   const fault::DegradationLevel level = admission_level();
   if (admission_.enabled) {
     overload_gauge_.set(static_cast<double>(level));
@@ -416,11 +462,35 @@ void SessionManager::set_plan(sched::Plan plan) {
   plan.refresh_labels();  // span labels must be present and stable
   plan.serialize(plan_bytes_);
   plan_ = std::make_unique<sched::Plan>(std::move(plan));
+  // Every validation has passed: routing is the last step, so a rejected
+  // plan can never leave sessions half-routed.
+  apply_routes();
 }
 
 void SessionManager::clear_plan() noexcept {
   plan_.reset();
   plan_bytes_.clear();
+  apply_routes();  // back to every paradigm's Default path
+}
+
+void SessionManager::apply_routes() noexcept {
+  for (const auto& sl : slots_) {
+    route::PathId path = route::PathId::Default;
+    if (plan_ != nullptr) {
+      const std::string_view paradigm = sl->session->paradigm();
+      if (!paradigm.empty()) {
+        for (const sched::ParadigmPlacement& p : plan_->placements) {
+          if (p.paradigm == paradigm) {
+            path = p.path;
+            break;
+          }
+        }
+      }
+    }
+    // Legacy sessions (no SessionBase chassis) decline; validate() already
+    // pinned each placed path to its paradigm, so routable sessions accept.
+    (void)sl->session->set_execution_path(path);
+  }
 }
 
 const sched::Plan& SessionManager::plan() const {

@@ -42,8 +42,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -132,10 +134,16 @@ class SessionManager {
 
   /// Install an execution plan (see sched/plan.hpp). The plan must be
   /// structurally valid and cover exactly the current session count;
-  /// throws Error(InvalidArgument) otherwise. The serialized form is kept
-  /// alongside (plan_bytes()) so checkpoint/restore flows can carry the
-  /// plan with the session state.
+  /// throws Error(InvalidArgument) otherwise — and a rejected plan leaves
+  /// the previous plan, its bytes, and every session's execution path
+  /// untouched. On success the plan's placements are applied to the live
+  /// sessions: each routable session (SessionBase) gets its paradigm's
+  /// placed execution path, sessions of unplaced paradigms fall back to
+  /// Default. The serialized form is kept alongside (plan_bytes()) so
+  /// checkpoint/restore flows carry the plan — and therefore the routes —
+  /// with the session state.
   void set_plan(sched::Plan plan);
+  /// Drop the plan and reset every session's execution path to Default.
   void clear_plan() noexcept;
   bool has_plan() const noexcept { return plan_ != nullptr; }
   const sched::Plan& plan() const;
@@ -145,6 +153,22 @@ class SessionManager {
   }
   /// Deserialize + install — the restore-side counterpart of plan_bytes().
   void install_plan_bytes(std::span<const std::uint8_t> bytes);
+
+  /// Online re-planning. The hook is invoked from pump() when the manager's
+  /// windowed workload fingerprint drifts: every `window` rounds the
+  /// per-session backlog averages are bucketed (log2) and fingerprinted,
+  /// and a changed fingerprint hands the averaged backlog (ops per round,
+  /// one entry per session) to the hook. A returned plan is installed via
+  /// set_plan (routes included); nullopt keeps the current plan. The hook
+  /// runs on the pumping thread, outside the parallel region — callers
+  /// typically close over their pipelines and delegate to the fingerprint-
+  /// keyed Planner cache, so a repeated mix costs one lookup, not an
+  /// anneal. The hook must return a valid plan for the current population.
+  using ReplanHook =
+      std::function<std::optional<sched::Plan>(std::span<const Index>)>;
+  void set_replan(ReplanHook hook, Index window = 16);
+  /// Last windowed workload fingerprint (0 until the first full window).
+  std::uint64_t workload_fingerprint() const noexcept { return workload_fp_; }
 
   /// pump() until every queue is empty.
   void pump_all();
@@ -291,12 +315,24 @@ class SessionManager {
   /// planned path — both execute ops through exactly this code.
   Index pump_session(Index i, Index burst, const char* span_name);
 
+  /// Push the installed plan's placements (or Default, with no plan) into
+  /// every session's execution path.
+  void apply_routes() noexcept;
+  /// Windowed backlog bookkeeping + drift-triggered hook invocation.
+  void maybe_replan(Index n);
+
   Index burst_;
   std::unique_ptr<sched::Plan> plan_;   ///< Installed execution plan.
   std::vector<std::uint8_t> plan_bytes_;  ///< Serialized form of plan_.
   std::vector<std::unique_ptr<Slot>> slots_;
   std::vector<Index> processed_;  ///< Per-session scratch for pump().
   fault::AdmissionConfig admission_;
+  // Online re-planning state (all touched only by the pumping thread).
+  ReplanHook replan_hook_;
+  Index replan_window_ = 16;
+  Index replan_rounds_ = 0;
+  std::vector<std::int64_t> backlog_accum_;  ///< Per-session window sums.
+  std::uint64_t workload_fp_ = 0;
   std::atomic<std::int64_t> queued_ops_{0};
   std::int64_t capacity_total_ = 0;
   std::int64_t coarsened_rounds_ = 0;  ///< pump() rounds run coarsened.

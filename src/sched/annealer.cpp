@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "route/route.hpp"
 
 namespace evd::sched {
 namespace {
@@ -37,6 +38,7 @@ std::vector<ParadigmPlacement> default_placements(
     ParadigmPlacement p;
     p.paradigm = profile.paradigm;
     p.hw = allowed_models(profile.paradigm).first;
+    p.path = route::PathId::Default;  // the legacy pump's behavior
     p.fuse_group.resize(profile.stages.size());
     for (size_t i = 0; i < p.fuse_group.size(); ++i) {
       p.fuse_group[i] = static_cast<Index>(i);  // nothing fused
@@ -151,6 +153,25 @@ bool move_placement(MoveContext& ctx) {
   return true;
 }
 
+/// Move kind 6: re-draw one paradigm's execution path among its routable
+/// set — Default plus the variants whose route.* equivalence oracle has
+/// marked them proved (PathRegistry). The annealer can therefore explore
+/// the paper's dense-vs-event-driven dichotomy, but only over paths whose
+/// decision streams are pinned bitwise-identical to the default.
+bool move_path(MoveContext& ctx) {
+  if (ctx.plan.placements.empty()) return false;
+  auto& p = ctx.plan.placements[static_cast<size_t>(
+      ctx.rng.uniform_int(ctx.plan.placements.size()))];
+  const std::vector<route::PathId> routable =
+      route::PathRegistry::instance().routable(p.paradigm);
+  if (routable.size() < 2) return false;  // only Default: nothing to draw
+  const route::PathId drawn =
+      routable[static_cast<size_t>(ctx.rng.uniform_int(routable.size()))];
+  if (drawn == p.path) return false;
+  p.path = drawn;
+  return true;
+}
+
 /// Move kind 5: toggle fusion at one *legal* stage boundary (the stage
 /// before the boundary must declare fusable_with_next).
 bool move_fusion(MoveContext& ctx) {
@@ -197,41 +218,78 @@ AnnealResult anneal_plan(std::span<const SessionProfile> profiles,
   if (std::string why; !current.validate(&why)) {
     throw Error(ErrorCode::InvalidArgument, "anneal_plan: seed plan: " + why);
   }
-  double current_cost = plan_cost_us(current, profiles, models);
-  result.initial_cost_us = current_cost;
+  const double initial_cost = plan_cost_us(current, profiles, models);
+  result.initial_cost_us = initial_cost;
 
   Plan best = current;
-  double best_cost = current_cost;
+  double best_cost = initial_cost;
 
-  Rng rng(config.seed);
-  double temperature = config.initial_temperature * std::max(current_cost, 1e-9);
-  for (Index it = 0; it < config.iterations; ++it, temperature *= config.cooling) {
-    Plan candidate = current;
-    MoveContext ctx{candidate, profiles, rng};
-    bool changed = false;
-    switch (rng.uniform_int(6)) {
-      case 0: changed = move_relocate(ctx); break;
-      case 1: changed = move_swap_within(ctx); break;
-      case 2: changed = move_swap_across(ctx); break;
-      case 3: changed = move_burst(ctx); break;
-      case 4: changed = move_placement(ctx); break;
-      case 5: changed = move_fusion(ctx); break;
-    }
-    if (!changed) continue;
-    ++result.proposed;
-    const double candidate_cost = plan_cost_us(candidate, profiles, models);
-    const double p =
-        accept_probability(candidate_cost - current_cost, temperature);
-    if (p >= 1.0 || rng.uniform() < p) {
-      current = std::move(candidate);
-      current_cost = candidate_cost;
-      ++result.accepted;
-      if (current_cost < best_cost) {
-        best = current;
-        best_cost = current_cost;
+  // The cooling schedule is effectively greedy once the temperature has
+  // decayed (0.985^300 ~ 1%), so each walk freezes into whichever basin its
+  // early accepted moves picked. Independent restarts — each a fresh walk
+  // from the round-robin start with a decorrelated rng — turn "one walk got
+  // stuck" from a plan-quality cliff into a per-walk coin toss the best-of
+  // reduction absorbs. Walk 0 uses config.seed itself, so restarts = 1 is
+  // bit-for-bit the historical single-walk search.
+  const Index restarts = std::max<Index>(1, config.restarts);
+  for (Index walk = 0; walk < restarts; ++walk) {
+    Plan current_walk = current;
+    double current_cost = initial_cost;
+    Rng rng(config.seed +
+            0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(walk));
+    double temperature =
+        config.initial_temperature * std::max(initial_cost, 1e-9);
+    for (Index it = 0; it < config.iterations;
+         ++it, temperature *= config.cooling) {
+      Plan candidate = current_walk;
+      MoveContext ctx{candidate, profiles, rng};
+      bool changed = false;
+      switch (rng.uniform_int(7)) {
+        case 0: changed = move_relocate(ctx); break;
+        case 1: changed = move_swap_within(ctx); break;
+        case 2: changed = move_swap_across(ctx); break;
+        case 3: changed = move_burst(ctx); break;
+        case 4: changed = move_placement(ctx); break;
+        case 5: changed = move_fusion(ctx); break;
+        case 6: changed = move_path(ctx); break;
       }
-      result.trajectory.push_back(best_cost);
+      if (!changed) continue;
+      ++result.proposed;
+      const double candidate_cost = plan_cost_us(candidate, profiles, models);
+      const double p =
+          accept_probability(candidate_cost - current_cost, temperature);
+      if (p >= 1.0 || rng.uniform() < p) {
+        current_walk = std::move(candidate);
+        current_cost = candidate_cost;
+        ++result.accepted;
+        if (current_cost < best_cost) {
+          best = current_walk;
+          best_cost = current_cost;
+        }
+        result.trajectory.push_back(best_cost);
+      }
     }
+  }
+  // A non-default execution path must pay for itself: the cost model prices
+  // AsDeclared variants identically to Default, so the Metropolis walk can
+  // leave cost-tied flips (e.g. cnn.direct) in the winning plan. At runtime
+  // the default path is the one the pipeline's own heuristics optimize, so
+  // any placement whose path does not strictly beat Default reverts.
+  for (ParadigmPlacement& p : best.placements) {
+    if (p.path == route::PathId::Default) continue;
+    const route::PathId routed = p.path;
+    p.path = route::PathId::Default;
+    const double default_cost = plan_cost_us(best, profiles, models);
+    if (default_cost <= best_cost) {
+      best_cost = default_cost;
+    } else {
+      p.path = routed;
+    }
+  }
+  // Keep the documented trajectory invariants (monotone non-increasing,
+  // last element == modeled_cost_us) if the revert lowered the cost.
+  if (!result.trajectory.empty() && result.trajectory.back() != best_cost) {
+    result.trajectory.push_back(best_cost);
   }
   best.modeled_cost_us = best_cost;
   best.seed = config.seed;

@@ -13,7 +13,11 @@
 //     decision and restructure a golden plan across platforms;
 //   * geometric cooling — T *= cooling each iteration from
 //     initial_temperature (a fraction of the starting cost, so acceptance
-//     behaves identically across workloads of different magnitude).
+//     behaves identically across workloads of different magnitude);
+//   * deterministic restarts — `restarts` independent walks from the same
+//     round-robin start, seeds derived from config.seed by a golden-ratio
+//     stride; the best plan across walks wins, which keeps one frozen walk
+//     from dictating the answer.
 //
 // Neighbour moves (uniformly chosen): move a session to another region,
 // swap two visit positions within a region, swap two entries across
@@ -37,6 +41,13 @@ struct AnnealerConfig {
   double cooling = 0.985;             ///< Geometric per-iteration factor.
   Index region_count = 4;  ///< Worker regions to plan for (pool size).
   Index burst_cap = 8;     ///< Largest per-visit burst the search may pick.
+  /// Independent Metropolis walks; the best plan across all of them wins.
+  /// The geometric cooling schedule is effectively greedy after a few
+  /// hundred iterations, so a single walk can freeze into a poor local
+  /// optimum on lopsided populations — restarts decorrelate the walks
+  /// (each gets its own seed derived from `seed`) while staying fully
+  /// deterministic. Walk 0 reproduces the single-walk trajectory exactly.
+  Index restarts = 4;
 };
 
 struct AnnealResult {

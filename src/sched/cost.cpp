@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "route/route.hpp"
 
 namespace evd::sched {
 namespace {
@@ -24,6 +26,66 @@ nn::OpCounter scaled(const nn::OpCounter& c, double duty) {
   out.act_bytes_written = s(c.act_bytes_written);
   out.state_bytes_rw = s(c.state_bytes_rw);
   return out;
+}
+
+/// Re-price a group's aggregated work for the placement's execution path.
+/// The declared counters describe the paradigm's default path; the other
+/// routable paths are the paper's dichotomy made searchable:
+///
+///   * ActivityScaled (sparse conv, event-driven stepping) — compute and
+///     parameter traffic shrink to the live fraction of the input, but
+///     every skipped operand still pays its zero test (one comparison per
+///     declared mult), so dense inputs price *worse* than the default.
+///   * FullSweep (batch message pass) — everything the declared counters
+///     touch is re-touched for the whole state, modeled as a constant
+///     factor over the frontier counters.
+nn::OpCounter shape_for_path(const nn::OpCounter& c, route::CostShape shape,
+                             double activity, const CostModels& models) {
+  const auto s = [](double v) {
+    return static_cast<std::int64_t>(v + 0.5);
+  };
+  switch (shape) {
+    case route::CostShape::AsDeclared:
+      return c;
+    case route::CostShape::ActivityScaled: {
+      const double a = std::clamp(activity, 0.05, 1.0);
+      nn::OpCounter out = c;
+      out.mults = s(static_cast<double>(c.mults) * a);
+      out.adds = s(static_cast<double>(c.adds) * a);
+      out.zero_skippable_mults =
+          s(static_cast<double>(c.zero_skippable_mults) * a);
+      out.param_bytes_read = s(static_cast<double>(c.param_bytes_read) * a);
+      out.act_bytes_read = s(static_cast<double>(c.act_bytes_read) * a);
+      out.comparisons = c.comparisons + c.mults;  // per-operand zero tests
+      return out;
+    }
+    case route::CostShape::FullSweep: {
+      const double f = std::max(1.0, models.full_sweep_factor);
+      nn::OpCounter out = c;
+      out.mults = s(static_cast<double>(c.mults) * f);
+      out.adds = s(static_cast<double>(c.adds) * f);
+      out.zero_skippable_mults =
+          s(static_cast<double>(c.zero_skippable_mults) * f);
+      out.param_bytes_read = s(static_cast<double>(c.param_bytes_read) * f);
+      out.act_bytes_read = s(static_cast<double>(c.act_bytes_read) * f);
+      out.act_bytes_written = s(static_cast<double>(c.act_bytes_written) * f);
+      out.state_bytes_rw = s(static_cast<double>(c.state_bytes_rw) * f);
+      return out;
+    }
+  }
+  return c;
+}
+
+route::CostShape placement_shape(const ParadigmPlacement* placement) {
+  if (placement == nullptr || placement->path == route::PathId::Default) {
+    return route::CostShape::AsDeclared;
+  }
+  const route::ExecutionPath* path =
+      route::PathRegistry::instance().find(placement->path);
+  // is_default variants alias the built-in behavior, so their descriptors
+  // carry AsDeclared; unknown ids (never produced by validate()d plans)
+  // price as declared too.
+  return path != nullptr ? path->cost : route::CostShape::AsDeclared;
 }
 
 }  // namespace
@@ -105,6 +167,8 @@ double per_op_cost_us(const SessionProfile& profile,
       group_bytes += static_cast<double>(stage.per_op.act_bytes_written) *
                      stage.duty;
     }
+    work = shape_for_path(work, placement_shape(placement), profile.activity,
+                          models);
     double group_us = model_latency_us(work, hw, models);
     // A fused group must hold every member's output resident; past the
     // SRAM budget it spills and the fusion win turns into a penalty.
@@ -145,15 +209,27 @@ double plan_cost_us(const Plan& plan,
     op_us[s] = per_op_cost_us(profiles[s], placement, models);
     backlog[s] = std::max<Index>(0, profiles[s].queued_ops);
   }
-  // Simulate the pump: rounds barrier on the slowest region.
+  // Simulate the pump: rounds barrier on the slowest WORKER, not the
+  // slowest region. The executor's grain-1 parallel_for deals region r to
+  // worker r % W, so a host with fewer workers than regions serializes
+  // several regions onto one core — pretending every region owns a core
+  // would make the annealer buy region counts the host cannot pay for.
+  const Index resolved_workers =
+      models.host_workers > 0 ? models.host_workers : par::thread_count();
+  const auto workers = static_cast<size_t>(
+      std::clamp<Index>(resolved_workers, 1,
+                        std::max<Index>(1, static_cast<Index>(
+                                               plan.regions.size()))));
+  std::vector<double> worker_us(workers, 0.0);
   double total_us = 0.0;
   std::int64_t remaining = 0;
   for (std::int64_t b : backlog) remaining += b;
   while (remaining > 0) {
+    std::fill(worker_us.begin(), worker_us.end(), 0.0);
     double makespan = 0.0;
-    for (const PlanRegion& region : plan.regions) {
+    for (size_t r = 0; r < plan.regions.size(); ++r) {
       double region_us = 0.0;
-      for (const PlanEntry& e : region.entries) {
+      for (const PlanEntry& e : plan.regions[r].entries) {
         std::int64_t& left = backlog[static_cast<size_t>(e.session)];
         if (left <= 0) continue;
         const std::int64_t served = std::min<std::int64_t>(left, e.burst);
@@ -163,8 +239,9 @@ double plan_cost_us(const Plan& plan,
         left -= served;
         remaining -= served;
       }
-      makespan = std::max(makespan, region_us);
+      worker_us[r % workers] += region_us;
     }
+    for (const double w : worker_us) makespan = std::max(makespan, w);
     if (makespan <= 0.0) break;  // nothing servable: plan misses sessions
     total_us += models.round_overhead_us + makespan;
   }

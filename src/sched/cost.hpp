@@ -41,6 +41,12 @@ struct SessionProfile {
   std::string paradigm;  ///< "cnn" / "snn" / "gnn" (SessionBaseConfig label).
   std::vector<core::StageInfo> stages;
   Index queued_ops = 64;
+  /// Fraction of the paradigm's nominal dense work that is live on this
+  /// session's input (1.0 = fully dense). Activity-scaled execution paths
+  /// (sparse conv, event-driven stepping — route::CostShape) price their
+  /// compute and parameter traffic against this; clamped to [0.05, 1] so a
+  /// silent stream can never model a free path.
+  double activity = 1.0;
 };
 
 /// Cost-model parameter set: one config per placeable HwModel plus the
@@ -63,6 +69,18 @@ struct CostModels {
   double round_overhead_us = 10.0;
   double fused_sram_budget_bytes = 65536.0;  ///< On-chip working-set cap.
   double spill_penalty = 2.0;  ///< Compute factor once a fused group spills.
+  /// Host workers available to pump regions. plan_cost_us models the
+  /// executor's static region->worker assignment (region r on worker
+  /// r % W, W = min(regions, host_workers)) instead of assuming every
+  /// region gets its own core. 0 = resolve from the live pool
+  /// (par::thread_count()) at costing time; tests and golden snapshots pin
+  /// an explicit value so fingerprints do not depend on the build host.
+  Index host_workers = 0;
+  /// Compute/traffic multiplier a FullSweep path (route::CostShape) pays
+  /// relative to the declared per-op counters: the batch message pass
+  /// re-touches the whole graph per event where the declared counters
+  /// describe the incremental frontier.
+  double full_sweep_factor = 8.0;
 
   CostModels();  ///< Fills the paradigm-specific defaults.
 };

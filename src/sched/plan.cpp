@@ -11,7 +11,10 @@ namespace evd::sched {
 namespace {
 
 constexpr std::uint32_t kPlanMagic = 0x53434845u;  // "SCHE"
-constexpr std::uint32_t kPlanVersion = 1;
+// v2: each placement carries an execution-path byte (route::PathId) after
+// its hw model. Reads are strict v2-only — a v1 plan predates routing and
+// re-planning is cheaper than a migration path nothing would exercise.
+constexpr std::uint32_t kPlanVersion = 2;
 constexpr std::size_t kPlanMaxBytes = 1u << 20;
 
 std::atomic<bool>& enabled_state() {
@@ -85,6 +88,11 @@ bool Plan::validate(std::string* why) const {
   }
   for (const ParadigmPlacement& p : placements) {
     if (p.paradigm.empty()) return fail("placement with empty paradigm");
+    if (p.path != route::PathId::Default &&
+        !route::path_valid_for(p.path, p.paradigm)) {
+      return fail("placement '" + p.paradigm + "' routes to path '" +
+                  route::path_name(p.path) + "' owned by another paradigm");
+    }
     Index prev = -1;
     for (size_t i = 0; i < p.fuse_group.size(); ++i) {
       const Index g = p.fuse_group[i];
@@ -145,7 +153,8 @@ std::string Plan::describe() const {
     s += "\n";
   }
   for (const ParadigmPlacement& p : placements) {
-    s += "  " + p.paradigm + " -> " + hw_model_name(p.hw) + " fuse=[";
+    s += "  " + p.paradigm + " -> " + hw_model_name(p.hw) + " path=" +
+         route::path_name(p.path) + " fuse=[";
     for (size_t i = 0; i < p.fuse_group.size(); ++i) {
       if (i) s += ",";
       s += std::to_string(p.fuse_group[i]);
@@ -173,6 +182,7 @@ void Plan::serialize(std::vector<std::uint8_t>& out) const {
   for (const ParadigmPlacement& p : placements) {
     w.str(p.paradigm);
     w.u32(static_cast<std::uint32_t>(p.hw));
+    w.u8(static_cast<std::uint8_t>(p.path));
     w.pod_vector(p.fuse_group);
   }
 }
@@ -190,6 +200,16 @@ Plan Plan::deserialize(std::span<const std::uint8_t> bytes) {
   }
   Plan plan;
   plan.session_count = r.i64();
+  // Bound before anything sizes off it: validate() allocates a seen-count
+  // per session, so a corrupt count must die here as a typed error, not as
+  // a multi-terabyte allocation. A 1 MiB frame cannot describe more
+  // sessions than it has PlanEntry bytes.
+  if (plan.session_count < 0 ||
+      plan.session_count >
+          static_cast<Index>(kPlanMaxBytes / sizeof(PlanEntry))) {
+    throw Error(ErrorCode::CheckpointCorrupt,
+                "Plan::deserialize: implausible session count");
+  }
   plan.burst_cap = r.i64();
   plan.seed = static_cast<std::uint64_t>(r.i64());
   plan.modeled_cost_us = r.f64();
@@ -216,6 +236,14 @@ Plan Plan::deserialize(std::span<const std::uint8_t> bytes) {
                   "Plan::deserialize: unknown hw model " + std::to_string(hw));
     }
     p.hw = static_cast<HwModel>(hw);
+    const std::uint8_t path_byte = r.u8();
+    const auto path = route::path_from_byte(path_byte);
+    if (!path) {
+      throw Error(ErrorCode::CheckpointCorrupt,
+                  "Plan::deserialize: unknown execution path " +
+                      std::to_string(path_byte));
+    }
+    p.path = *path;
     r.pod_vector(p.fuse_group);
   }
   r.expect_end();
@@ -264,7 +292,7 @@ bool operator==(const Plan& a, const Plan& b) {
   for (size_t p = 0; p < a.placements.size(); ++p) {
     const auto& pa = a.placements[p];
     const auto& pb = b.placements[p];
-    if (pa.paradigm != pb.paradigm || pa.hw != pb.hw ||
+    if (pa.paradigm != pb.paradigm || pa.hw != pb.hw || pa.path != pb.path ||
         pa.fuse_group != pb.fuse_group) {
       return false;
     }

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "route/route.hpp"
 
 namespace evd::sched {
 
@@ -72,6 +73,14 @@ struct PlanRegion {
 struct ParadigmPlacement {
   std::string paradigm;  ///< SessionBaseConfig.paradigm label ("cnn", ...).
   HwModel hw = HwModel::Systolic;
+  /// Execution path this paradigm's sessions run under the plan (see
+  /// route/route.hpp). Unlike hw/fuse_group — which exist only on the
+  /// modeled side — the path IS applied to live sessions by
+  /// SessionManager::set_plan; the route.* oracles hold every routable
+  /// path to the bitwise decision-stream contract, so the placement still
+  /// never changes what a session computes. Default = the paradigm's
+  /// built-in behavior.
+  route::PathId path = route::PathId::Default;
   /// fuse_group[i] is the fusion group of declared stage i: non-decreasing,
   /// starts at 0, steps by at most 1. Stages sharing a group are fused —
   /// their boundary activation traffic is not charged by the cost model.

@@ -1,7 +1,9 @@
 #include "sched/planner.hpp"
 
+#include "common/parallel.hpp"
 #include "core/pipeline.hpp"
 #include "obs/metrics.hpp"
+#include "route/route.hpp"
 
 namespace evd::sched {
 namespace {
@@ -26,6 +28,7 @@ std::uint64_t profiles_key(std::span<const SessionProfile> profiles,
   for (const SessionProfile& profile : profiles) {
     fnv_bytes(h, profile.paradigm.data(), profile.paradigm.size());
     fnv_i64(h, profile.queued_ops);
+    fnv_bytes(h, &profile.activity, sizeof(profile.activity));
     for (const core::StageInfo& stage : profile.stages) {
       fnv_bytes(h, stage.name.data(), stage.name.size());
       fnv_bytes(h, &stage.per_op, sizeof(stage.per_op));
@@ -39,15 +42,28 @@ std::uint64_t profiles_key(std::span<const SessionProfile> profiles,
   fnv_bytes(h, &config.cooling, sizeof(config.cooling));
   fnv_i64(h, config.region_count);
   fnv_i64(h, config.burst_cap);
+  fnv_i64(h, config.restarts);
+  // Axes outside the profiles that still change the annealed plan: the
+  // host parallelism the default CostModels resolves (satellite of the
+  // worker-aware makespan) and the set of proved execution paths the path
+  // move may draw from (grows as route.* oracles register).
+  fnv_i64(h, par::thread_count());
+  for (const route::ExecutionPath& path :
+       route::PathRegistry::instance().paths()) {
+    fnv_i64(h, static_cast<std::int64_t>(path.id));
+    fnv_i64(h, route::PathRegistry::instance().proved(path.id) ? 1 : 0);
+  }
   return h;
 }
 
 SessionProfile profile_for(const core::EventPipeline& pipeline,
-                           const std::string& paradigm, Index queued_ops) {
+                           const std::string& paradigm, Index queued_ops,
+                           double activity) {
   SessionProfile profile;
   profile.paradigm = paradigm;
   profile.stages = pipeline.stream_stages();
   profile.queued_ops = queued_ops < 1 ? 1 : queued_ops;
+  profile.activity = activity;
   return profile;
 }
 

@@ -32,9 +32,13 @@ std::uint64_t profiles_key(std::span<const SessionProfile> profiles,
 
 /// Build a session profile from a pipeline's declared stages. `paradigm`
 /// is the SessionBaseConfig label ("cnn"/"snn"/"gnn"); `queued_ops` the
-/// expected backlog per planning quantum (the workload-mix axis).
+/// expected backlog per planning quantum (the workload-mix axis);
+/// `activity` the live fraction of the paradigm's nominal dense work on
+/// this population's input (see SessionProfile.activity — what the
+/// activity-scaled execution paths are priced against).
 SessionProfile profile_for(const core::EventPipeline& pipeline,
-                           const std::string& paradigm, Index queued_ops);
+                           const std::string& paradigm, Index queued_ops,
+                           double activity = 1.0);
 
 class Planner {
  public:

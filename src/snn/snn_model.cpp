@@ -370,6 +370,55 @@ nn::Tensor SpikingNet::step(SnnState& state,
     spikes_in = spikes_next;
   }
 
+  return readout(state, spikes_in);
+}
+
+nn::Tensor SpikingNet::step_event(SnnState& state,
+                                  const std::vector<Index>& input_spikes) {
+  // One spike-driven kernel call per layer on the calling thread — see the
+  // header for the bitwise-equivalence argument against step(). The op
+  // counting below is deliberately identical to step()'s: both paths do
+  // the same arithmetic, so the analytic ledgers must agree too (the
+  // modeled cost difference between the paths lives in the planner's
+  // per-path profiles, not here).
+  const Index hidden_layers = layer_count() - 1;
+  const float theta = config_.lif.threshold;
+  const float beta = config_.lif.beta;
+  const bool counting = nn::active_counter() != nullptr;
+
+  std::vector<Index> spikes_in = input_spikes;
+  std::vector<Index> spikes_next;
+  state.step_hidden_spikes = 0;
+  const auto& weights_t = ensure_transposed();
+  for (Index l = 0; l < hidden_layers; ++l) {
+    auto& vl = state.membrane[static_cast<size_t>(l)];
+    const Index n = static_cast<Index>(vl.size());
+    const Index in_dim = config_.layer_sizes[static_cast<size_t>(l)];
+    const float* w = weights_[static_cast<size_t>(l)].value.data();
+    const float* b = biases_[static_cast<size_t>(l)].value.data();
+    const float* w_t = weights_t[static_cast<size_t>(l)].data();
+    spikes_next.clear();
+    simd::lif_step_block(vl.data(), b, w, w_t, in_dim, n, spikes_in.data(),
+                         static_cast<Index>(spikes_in.size()), 0, n, beta,
+                         theta, config_.lif.reset_to_zero, nullptr,
+                         spikes_next);
+    if (counting) {
+      nn::count_mult(n);
+      nn::count_add(static_cast<std::int64_t>(spikes_in.size() + 1) * n);
+      nn::count_compare(n);
+      nn::count_state_rw(n * 8);
+      nn::count_param_read(
+          (static_cast<std::int64_t>(spikes_in.size()) * n + n) * 4);
+    }
+    state.step_hidden_spikes += static_cast<Index>(spikes_next.size());
+    spikes_in = spikes_next;
+  }
+  return readout(state, spikes_in);
+}
+
+nn::Tensor SpikingNet::readout(SnnState& state,
+                               const std::vector<Index>& spikes_in) {
+  const Index L = layer_count();
   auto& v_out = state.membrane.back();
   const Index out_size = static_cast<Index>(v_out.size());
   const Index in_dim = config_.layer_sizes[static_cast<size_t>(L - 1)];

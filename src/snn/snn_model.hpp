@@ -69,6 +69,20 @@ class SpikingNet {
   /// current running logits (time-averaged readout membrane).
   nn::Tensor step(SnnState& state, const std::vector<Index>& input_spikes);
 
+  /// Event-driven stepping: the same timestep arithmetic as step(), but
+  /// each layer runs as ONE spike-driven kernel call on the calling thread
+  /// instead of a fork-join over neuron chunks with per-chunk spike-list
+  /// concatenation. Bitwise-identical to step() by construction — neurons
+  /// are independent, the kernel's full-range spike emission equals the
+  /// chunked emission concatenated in ascending order, and the readout is
+  /// shared code — which the route.snn_clocked_vs_event oracle enforces at
+  /// ULP 0. The win is scheduling, not arithmetic: no pool dispatch or
+  /// barrier per layer and no per-chunk vector churn, which is what makes
+  /// it the right path for sparse, latency-sensitive streams (the paper's
+  /// event-driven execution style).
+  nn::Tensor step_event(SnnState& state,
+                        const std::vector<Index>& input_spikes);
+
   const SpikingNetConfig& config() const noexcept { return config_; }
   Index layer_count() const noexcept {
     return static_cast<Index>(weights_.size());
@@ -89,6 +103,10 @@ class SpikingNet {
 
   /// Build/refresh and return the transposed weight copies.
   const std::vector<std::vector<float>>& ensure_transposed();
+
+  /// Shared readout tail of step()/step_event(): leaky output-membrane
+  /// update from the last hidden layer's spikes, running-average logits.
+  nn::Tensor readout(SnnState& state, const std::vector<Index>& spikes_in);
 
   // Per-layer transposed ([in][out]) weight copies feeding the LIF kernel's
   // contiguous-streaming path (simd::lif_step_block's w_t): the per-spike

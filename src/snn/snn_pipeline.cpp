@@ -6,6 +6,7 @@
 
 #include "nn/softmax.hpp"
 #include "obs/trace.hpp"
+#include "route/route.hpp"
 #include "runtime/session_base.hpp"
 
 namespace evd::snn {
@@ -263,7 +264,17 @@ class SnnStreamSession : public runtime::SessionBase {
     // (one step per timestep_us), not by the event rate.
     while (now >= step_end_) {
       obs::Span span("snn.step");
-      const nn::Tensor logits = pipeline_.net().step(state_, pending_);
+      // Routed stepping discipline: the event-driven path runs each layer
+      // as one spike-driven kernel call instead of the chunked fork-join —
+      // bitwise-identical logits (route.snn_clocked_vs_event), different
+      // scheduling cost. SnnClocked and Default both name the built-in
+      // clocked path.
+      const bool event_driven =
+          route::enabled() &&
+          execution_path() == route::PathId::SnnEventDriven;
+      const nn::Tensor logits = event_driven
+                                    ? pipeline_.net().step_event(state_, pending_)
+                                    : pipeline_.net().step(state_, pending_);
       for (const Index i : pending_) seen_[static_cast<size_t>(i)] = 0;
       pending_.clear();
       core::Decision decision;

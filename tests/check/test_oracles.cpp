@@ -5,9 +5,11 @@
 // minimal input and the seeds to reproduce it.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "check/oracles.hpp"
+#include "route/route.hpp"
 
 namespace evd::check {
 namespace {
@@ -39,7 +41,8 @@ TEST_F(OracleTest, RegistryHasAllBuiltinPairs) {
         "runtime.multiplex_vs_sequential.gnn", "runtime.obs_on_vs_off",
         "runtime.fault_isolation", "runtime.checkpoint_replay",
         "sched.plan_vs_sequential.cnn", "sched.plan_vs_sequential.snn",
-        "sched.plan_vs_sequential.gnn"}) {
+        "sched.plan_vs_sequential.gnn", "route.cnn_sparse_vs_dense",
+        "route.snn_clocked_vs_event", "route.gnn_batch_vs_incremental"}) {
     const Oracle* oracle = registry().find(name);
     ASSERT_NE(oracle, nullptr) << name;
     EXPECT_FALSE(oracle->description().empty());
@@ -131,6 +134,37 @@ TEST_F(OracleTest, SnnPlannedServingMatchesSequential) {
 
 TEST_F(OracleTest, GnnPlannedServingMatchesSequential) {
   expect_passes("sched.plan_vs_sequential.gnn", 20);
+}
+
+TEST_F(OracleTest, CnnSparseRouteMatchesDefaultPath) {
+  expect_passes("route.cnn_sparse_vs_dense", 15);
+}
+
+TEST_F(OracleTest, SnnEventDrivenRouteMatchesDefaultPath) {
+  expect_passes("route.snn_clocked_vs_event", 25);
+}
+
+TEST_F(OracleTest, GnnBatchRouteMatchesDefaultPath) {
+  expect_passes("route.gnn_batch_vs_incremental", 25);
+}
+
+TEST_F(OracleTest, RegisteringRouteOraclesProvesTheirPaths) {
+  // The proved marks ride on oracle registration (SetUpTestSuite above), so
+  // by now every variant with a route.* oracle must be routable and every
+  // paradigm's routable set must be Default + its proved variants.
+  auto& paths = route::PathRegistry::instance();
+  EXPECT_TRUE(paths.proved(route::PathId::CnnSparse));
+  EXPECT_TRUE(paths.proved(route::PathId::SnnEventDriven));
+  EXPECT_TRUE(paths.proved(route::PathId::GnnBatch));
+  const auto cnn = paths.routable("cnn");
+  EXPECT_NE(std::find(cnn.begin(), cnn.end(), route::PathId::CnnSparse),
+            cnn.end());
+  const auto snn = paths.routable("snn");
+  EXPECT_NE(std::find(snn.begin(), snn.end(), route::PathId::SnnEventDriven),
+            snn.end());
+  const auto gnn = paths.routable("gnn");
+  EXPECT_NE(std::find(gnn.begin(), gnn.end(), route::PathId::GnnBatch),
+            gnn.end());
 }
 
 // Forward-compatibility net: pairs added by later PRs are exercised even

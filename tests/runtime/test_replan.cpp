@@ -1,0 +1,156 @@
+// Online re-planning (ISSUE satellite): the SessionManager keeps a
+// windowed per-session backlog estimate, fingerprints its log2 buckets,
+// and invokes the replan hook only when the workload mix actually drifts.
+// A returned plan is installed through the normal set_plan gate (routes
+// included); a stale plan for the wrong population is dropped.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "route/route.hpp"
+#include "runtime/session_manager.hpp"
+#include "sched/plan.hpp"
+
+namespace evd::runtime {
+namespace {
+
+events::Event event_at(TimeUs t) {
+  events::Event e;
+  e.x = static_cast<std::int16_t>(t % 7);
+  e.y = 3;
+  e.polarity = Polarity::On;
+  e.t = t;
+  return e;
+}
+
+class ParadigmSession final : public SessionBase {
+ public:
+  explicit ParadigmSession(const char* paradigm)
+      : SessionBase(SessionBaseConfig{0, 8192, paradigm}) {}
+
+ private:
+  void on_event(const events::Event&) override {}
+  void on_advance(TimeUs t) override {
+    core::Decision d;
+    d.t = t;
+    emit(d);
+  }
+};
+
+/// Two sessions, burst 1, hook window 2. Each call to `round` tops the
+/// queues back up before pumping, so the backlog the estimator sees stays
+/// wherever the test parks it.
+struct ReplanRig {
+  SessionManager manager{/*burst=*/1};
+  std::vector<SessionId> ids;
+  TimeUs now = 0;
+
+  ReplanRig() {
+    ids.push_back(manager.add(std::make_unique<ParadigmSession>("cnn")));
+    ids.push_back(manager.add(std::make_unique<ParadigmSession>("cnn")));
+  }
+
+  /// Refill each session's queue to `backlog` events, then pump once.
+  void round(Index backlog0, Index backlog1) {
+    const Index want[2] = {backlog0, backlog1};
+    for (size_t s = 0; s < ids.size(); ++s) {
+      for (Index i = manager.queued(ids[s]); i < want[s]; ++i) {
+        manager.submit(ids[s], event_at(++now));
+      }
+    }
+    manager.pump();
+  }
+};
+
+TEST(Replan, HookFiresOnMixDriftNotOnSteadyState) {
+  ReplanRig rig;
+  Index calls = 0;
+  std::vector<Index> last_backlog;
+  rig.manager.set_replan(
+      [&](std::span<const Index> backlog) -> std::optional<sched::Plan> {
+        ++calls;
+        last_backlog.assign(backlog.begin(), backlog.end());
+        return std::nullopt;
+      },
+      /*window=*/2);
+  EXPECT_EQ(rig.manager.workload_fingerprint(), 0u);
+
+  // First completed window: fingerprint moves off its empty-history zero,
+  // so the hook sees the initial mix once.
+  rig.round(4, 4);
+  EXPECT_EQ(calls, 0);  // mid-window: still accumulating
+  rig.round(4, 4);
+  EXPECT_EQ(calls, 1);
+  EXPECT_NE(rig.manager.workload_fingerprint(), 0u);
+  const std::uint64_t steady_fp = rig.manager.workload_fingerprint();
+  ASSERT_EQ(last_backlog.size(), 2u);
+
+  // Steady mix: same buckets, same fingerprint, no re-plan.
+  for (int w = 0; w < 3; ++w) {
+    rig.round(4, 4);
+    rig.round(4, 4);
+  }
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(rig.manager.workload_fingerprint(), steady_fp);
+
+  // Session 0's backlog jumps two powers of two: that is a mix drift.
+  rig.round(40, 4);
+  rig.round(40, 4);
+  EXPECT_EQ(calls, 2);
+  EXPECT_NE(rig.manager.workload_fingerprint(), steady_fp);
+  EXPECT_GT(last_backlog[0], last_backlog[1]);
+}
+
+TEST(Replan, ReturnedPlanIsInstalledWithItsRoutes) {
+  ReplanRig rig;
+  rig.manager.set_replan(
+      [&](std::span<const Index>) -> std::optional<sched::Plan> {
+        sched::Plan plan = sched::Plan::round_robin(2, 1, 3);
+        sched::ParadigmPlacement cnn;
+        cnn.paradigm = "cnn";
+        cnn.hw = sched::HwModel::ZeroSkip;
+        cnn.path = route::PathId::CnnSparse;
+        plan.placements = {cnn};
+        plan.refresh_labels();
+        return plan;
+      },
+      /*window=*/2);
+  EXPECT_FALSE(rig.manager.has_plan());
+  rig.round(4, 4);
+  rig.round(4, 4);
+  ASSERT_TRUE(rig.manager.has_plan());
+  EXPECT_EQ(rig.manager.plan().placements.size(), 1u);
+  // set_plan applied the placement's route to both cnn sessions.
+  for (const auto id : rig.ids) {
+    EXPECT_EQ(rig.manager.session(id).execution_path(),
+              route::PathId::CnnSparse);
+  }
+}
+
+TEST(Replan, StalePlanForTheWrongPopulationIsDropped) {
+  ReplanRig rig;
+  Index calls = 0;
+  rig.manager.set_replan(
+      [&](std::span<const Index>) -> std::optional<sched::Plan> {
+        ++calls;
+        return sched::Plan::round_robin(5, 2, 2);  // population changed
+      },
+      /*window=*/2);
+  rig.round(4, 4);
+  rig.round(4, 4);
+  EXPECT_EQ(calls, 1);
+  EXPECT_FALSE(rig.manager.has_plan());  // dropped, not thrown
+}
+
+TEST(Replan, NullHookKeepsThePumpUntouched) {
+  ReplanRig rig;
+  rig.round(4, 4);
+  rig.round(4, 4);
+  EXPECT_EQ(rig.manager.workload_fingerprint(), 0u);
+  EXPECT_FALSE(rig.manager.has_plan());
+}
+
+}  // namespace
+}  // namespace evd::runtime

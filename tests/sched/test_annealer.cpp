@@ -60,7 +60,11 @@ AnnealerConfig search_config(std::uint64_t seed) {
 
 TEST(Annealer, SameSeedSamePlanAtAnyThreadCount) {
   const auto profiles = mixed_profiles();
-  const CostModels models;
+  CostModels models;
+  // Pin the modeled host so the search itself is what's under test: with
+  // host_workers = 0 the cost model deliberately resolves the live pool
+  // size, which would (correctly) steer the two legs to different plans.
+  models.host_workers = 4;
   const auto run = [&](Index threads) {
     const Index previous = par::thread_count();
     par::set_thread_count(threads);

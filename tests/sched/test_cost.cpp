@@ -130,7 +130,8 @@ TEST(Cost, PlanCostMatchesAHandSimulatedDrain) {
 }
 
 TEST(Cost, ParallelRegionsBarrierOnTheSlowest) {
-  const CostModels models;
+  CostModels models;
+  models.host_workers = 2;  // one worker per region, whatever the host has
   SessionProfile profile = boundary_profile(0);
   profile.queued_ops = 4;
   const std::vector<SessionProfile> profiles(2, profile);
@@ -146,6 +147,43 @@ TEST(Cost, ParallelRegionsBarrierOnTheSlowest) {
       4 * per_op_cost_us(profile, nullptr, models);
   EXPECT_NEAR(wide_us, models.round_overhead_us + one_session_us, 1e-9);
   EXPECT_NEAR(narrow_us, models.round_overhead_us + 2 * one_session_us, 1e-9);
+}
+
+TEST(Cost, FewerWorkersSerializeRegionsOntoTheHost) {
+  // The executor deals region r to worker r % W, so a two-region plan on a
+  // one-worker host drains the regions back-to-back: the modeled makespan
+  // must say so instead of pretending every region owns a core.
+  CostModels two_workers;
+  two_workers.host_workers = 2;
+  CostModels one_worker = two_workers;
+  one_worker.host_workers = 1;
+  SessionProfile profile = boundary_profile(0);
+  profile.queued_ops = 4;
+  const std::vector<SessionProfile> profiles(2, profile);
+  const Plan wide = Plan::round_robin(2, 2, /*burst=*/4);
+  const double one_session_us =
+      two_workers.visit_overhead_us +
+      4 * per_op_cost_us(profile, nullptr, two_workers);
+  EXPECT_NEAR(plan_cost_us(wide, profiles, two_workers),
+              two_workers.round_overhead_us + one_session_us, 1e-9);
+  // Same plan, starved host: both regions land on worker 0 and serialize.
+  EXPECT_NEAR(plan_cost_us(wide, profiles, one_worker),
+              one_worker.round_overhead_us + 2 * one_session_us, 1e-9);
+}
+
+TEST(Cost, ExcessWorkersCannotSplitARegion) {
+  // Workers clamp to the region count: a single-region plan costs the same
+  // on a 1-worker and a 16-worker host — regions are the parallelism unit.
+  CostModels narrow;
+  narrow.host_workers = 1;
+  CostModels lavish = narrow;
+  lavish.host_workers = 16;
+  SessionProfile profile = boundary_profile(0);
+  profile.queued_ops = 4;
+  const std::vector<SessionProfile> profiles(2, profile);
+  const Plan plan = Plan::round_robin(2, 1, /*burst=*/4);
+  EXPECT_NEAR(plan_cost_us(plan, profiles, narrow),
+              plan_cost_us(plan, profiles, lavish), 1e-12);
 }
 
 TEST(Cost, PlanCostRejectsProfileCountMismatch) {

@@ -11,6 +11,7 @@
 #include "check/golden.hpp"
 #include "cnn/cnn_pipeline.hpp"
 #include "gnn/gnn_pipeline.hpp"
+#include "route/route.hpp"
 #include "sched/annealer.hpp"
 #include "sched/planner.hpp"
 #include "snn/snn_pipeline.hpp"
@@ -55,8 +56,11 @@ std::string render(const std::string& title,
   config.iterations = 500;
   config.region_count = 4;
   config.burst_cap = 8;
-  const AnnealResult result =
-      anneal_plan(profiles, CostModels{}, config);
+  CostModels models;
+  // Pin the modeled host: with host_workers = 0 plan_cost_us resolves the
+  // live pool size and the snapshot would depend on the machine.
+  models.host_workers = 4;
+  const AnnealResult result = anneal_plan(profiles, models, config);
   EXPECT_TRUE(result.plan.validate()) << title;
   std::string out = "== " + title + " ==\n";
   out += "round_robin_cost_us=" + std::to_string(result.initial_cost_us) +
@@ -66,6 +70,12 @@ std::string render(const std::string& title,
 }
 
 TEST(GoldenPlans, ChosenPlansMatchTheSnapshot) {
+  // The path move only draws proved variants, and proving is process-wide
+  // and sticky (route.* oracle registration). Pin the full proved set here
+  // so the snapshot does not depend on which suites ran before this one.
+  route::PathRegistry::instance().mark_proved(route::PathId::CnnSparse);
+  route::PathRegistry::instance().mark_proved(route::PathId::SnnEventDriven);
+  route::PathRegistry::instance().mark_proved(route::PathId::GnnBatch);
   std::string actual;
   actual += render("cnn_heavy",
                    {cnn_profile(96), cnn_profile(96), cnn_profile(64),
