@@ -10,7 +10,9 @@
 // Output: one human table per paradigm plus one machine-readable JSON line
 // per (paradigm, session count) config on stdout, e.g.
 //   {"bench":"stream_throughput","paradigm":"gnn","sessions":16,...}
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -32,6 +34,7 @@
 #include "runtime/session_manager.hpp"
 #include "sched/cost.hpp"
 #include "sched/planner.hpp"
+#include "shard/shard_manager.hpp"
 #include "snn/snn_pipeline.hpp"
 
 using namespace evd;
@@ -472,11 +475,13 @@ PlannerRow serve_mixed(Population& population, const sched::Plan* plan) {
   return row;
 }
 
-bool decision_streams_identical(const PlannerRow& a, const PlannerRow& b) {
-  if (a.streams.size() != b.streams.size()) return false;
-  for (size_t s = 0; s < a.streams.size(); ++s) {
-    const auto& da = a.streams[s];
-    const auto& db = b.streams[s];
+bool streams_bitwise_identical(
+    const std::vector<std::vector<core::Decision>>& a,
+    const std::vector<std::vector<core::Decision>>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t s = 0; s < a.size(); ++s) {
+    const auto& da = a[s];
+    const auto& db = b[s];
     if (da.size() != db.size()) return false;
     for (size_t i = 0; i < da.size(); ++i) {
       if (da[i].label != db[i].label || da[i].t != db[i].t ||
@@ -487,6 +492,10 @@ bool decision_streams_identical(const PlannerRow& a, const PlannerRow& b) {
     }
   }
   return true;
+}
+
+bool decision_streams_identical(const PlannerRow& a, const PlannerRow& b) {
+  return streams_bitwise_identical(a.streams, b.streams);
 }
 
 bool gate_planner() {
@@ -850,6 +859,285 @@ bool gate_routing() {
   return true;
 }
 
+// ---- sharded-ingestion gate (evd::shard acceptance) -----------------------
+//
+// A tenant population at serving scale: 10^4 sessions (the ISSUE's floor)
+// with Zipf(1.1) hot-key tenant weights and two-state MMPP (Markov-
+// modulated Poisson) bursty arrivals — the skewed, bursty workload shape
+// consistent-hash sharding exists for. One deterministic arrival tape is
+// served twice through a ShardManager — at shards = 1 (the legacy
+// single-manager collapse: no ring, no placement) and at 4 shards — and
+// three legs are held:
+//   1. Equivalence (every host, always gated): per-session decision
+//      streams bitwise identical between the two runs, and neither run
+//      sheds an event — sharding is replay-transparent at population
+//      scale, not just on oracle-sized schedules.
+//   2. Throughput: shard pumps fan out over evd::par, so the win is a
+//      parallel-makespan effect exactly like the planner wall leg — the
+//      >= 1.5x gate arms on >= 4 hardware threads; below that the ratio
+//      is reported and sanity-bounded (>= 0.75x: ring + placement overhead
+//      must stay in the noise even when every shard serialises onto one
+//      core).
+//   3. p99 feed->decision latency from the obs histogram on a separate
+//      instrumented 4-shard run (reported and recorded in the JSON, so
+//      BENCH_stream.json tracks the tail SLO over time).
+
+constexpr Index kShardSessions = 10000;
+constexpr Index kShardArrivals = 150000;
+constexpr Index kShardGeometry = 16;
+constexpr Index kShardCount = 4;
+
+struct Arrival {
+  Index session = 0;
+  events::Event event;
+};
+
+/// The shared arrival tape. Tenant of each event ~ Zipf(1.1) over the 10^4
+/// sessions (rank-1 tenant takes ~10% of all traffic); inter-arrival gaps
+/// are exponential with the rate modulated by a two-state Markov chain
+/// (quiet ~40 us mean gap, burst ~4 us), switching with a small per-arrival
+/// hazard — sustained bursts hammering one hot shard, exactly the adversary
+/// of the placement design.
+std::vector<Arrival> shard_arrival_tape() {
+  Rng rng(4242);
+  std::vector<double> cdf(static_cast<size_t>(kShardSessions));
+  double total = 0.0;
+  for (Index s = 0; s < kShardSessions; ++s) {
+    total += 1.0 / std::pow(static_cast<double>(s) + 1.0, 1.1);
+    cdf[static_cast<size_t>(s)] = total;
+  }
+  std::vector<Arrival> tape;
+  tape.reserve(static_cast<size_t>(kShardArrivals));
+  double now_us = 0.0;
+  bool burst = false;
+  for (Index i = 0; i < kShardArrivals; ++i) {
+    if (rng.bernoulli(burst ? 0.05 : 0.02)) burst = !burst;
+    const double mean_gap = burst ? 4.0 : 40.0;
+    now_us += -mean_gap * std::log(1.0 - rng.uniform());
+    Arrival a;
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(),
+                                     rng.uniform() * total);
+    a.session = static_cast<Index>(it - cdf.begin());
+    a.event.x = static_cast<std::int16_t>(
+        rng.uniform_int(static_cast<std::uint64_t>(kShardGeometry)));
+    a.event.y = static_cast<std::int16_t>(
+        rng.uniform_int(static_cast<std::uint64_t>(kShardGeometry)));
+    a.event.polarity = rng.bernoulli(0.5) ? Polarity::On : Polarity::Off;
+    a.event.t = static_cast<TimeUs>(now_us);
+    tape.push_back(a);
+  }
+  return tape;
+}
+
+/// Light GNN tenants: a decision every 4th event with no advance ops, so
+/// 10^4 mostly-idle sessions cost nothing until traffic reaches them.
+gnn::GnnPipelineConfig shard_tenant_config() {
+  gnn::GnnPipelineConfig config;
+  config.width = kShardGeometry;
+  config.height = kShardGeometry;
+  config.num_classes = 2;
+  config.model.hidden = 8;
+  config.model.layers = 2;
+  config.stream_stride = 4;
+  config.stream_max_nodes = 64;    // hot tenants recycle, deterministically
+  config.decision_retain = 4096;   // > max decisions of the hottest tenant
+  return config;
+}
+
+struct ShardRow {
+  Index shards = 1;
+  double wall_ms = 0.0;
+  std::int64_t events = 0;
+  std::int64_t decisions = 0;
+  std::int64_t dropped = 0;
+  std::vector<std::vector<core::Decision>> streams;
+  double events_per_s() const {
+    return 1e3 * static_cast<double>(events) / wall_ms;
+  }
+};
+
+ShardRow serve_tape_sharded(gnn::GnnPipeline& pipeline,
+                            const std::vector<Arrival>& tape, Index shards) {
+  shard::ShardManagerConfig cfg;
+  cfg.shards = shards;
+  cfg.burst = 256;
+  cfg.ingress_capacity = 8192;
+  shard::ShardManager manager(cfg);
+  std::vector<shard::ShardManager::SessionId> ids;
+  ids.reserve(static_cast<size_t>(kShardSessions));
+  for (Index s = 0; s < kShardSessions; ++s) {
+    ids.push_back(manager.add([&] {
+      return pipeline.open_session(kShardGeometry, kShardGeometry);
+    }));
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  // Drain every 2048 arrivals: even if a burst lands entirely on one
+  // tenant, no ingress ring (8192) or inner queue (4096) can overflow, so
+  // the two runs shed nothing and stay comparable event for event.
+  Index since_pump = 0;
+  for (const Arrival& a : tape) {
+    while (!manager.submit(ids[static_cast<size_t>(a.session)], a.event)) {
+      manager.pump();
+    }
+    if (++since_pump == 2048) {
+      manager.pump_all();
+      since_pump = 0;
+    }
+  }
+  manager.pump_all();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  ShardRow row;
+  row.shards = shards;
+  row.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  const shard::ShardManager::Stats stats = manager.stats();
+  row.events = stats.totals.events_fed;
+  row.decisions = stats.totals.decisions_emitted;
+  row.dropped = stats.totals.events_dropped;
+  row.streams.reserve(ids.size());
+  for (const auto id : ids) {
+    std::vector<core::Decision> out;
+    manager.drain(id, out);
+    row.streams.push_back(std::move(out));
+  }
+  return row;
+}
+
+void print_sharded_json(const ShardRow& row) {
+  std::printf(
+      "{\"bench\":\"stream_sharded\",\"sessions\":%lld,\"shards\":%lld,"
+      "\"events\":%lld,\"decisions\":%lld,\"dropped\":%lld,"
+      "\"wall_ms\":%.3f,\"events_per_s\":%.0f}\n",
+      static_cast<long long>(kShardSessions),
+      static_cast<long long>(row.shards), static_cast<long long>(row.events),
+      static_cast<long long>(row.decisions),
+      static_cast<long long>(row.dropped), row.wall_ms, row.events_per_s());
+}
+
+bool gate_sharding() {
+  const std::vector<Arrival> tape = shard_arrival_tape();
+  gnn::GnnPipeline pipeline(shard_tenant_config());
+
+  // Interleave modes, best of two each, as in gate_planner.
+  ShardRow unsharded = serve_tape_sharded(pipeline, tape, 1);
+  ShardRow sharded = serve_tape_sharded(pipeline, tape, kShardCount);
+  {
+    ShardRow un2 = serve_tape_sharded(pipeline, tape, 1);
+    const bool identical_un = streams_bitwise_identical(unsharded.streams,
+                                                        un2.streams);
+    if (!identical_un) {
+      std::fprintf(stderr,
+                   "FATAL: two shards=1 runs of the same tape disagree — "
+                   "serving is not deterministic\n");
+      return false;
+    }
+    if (un2.wall_ms < unsharded.wall_ms) unsharded = std::move(un2);
+    ShardRow sh2 = serve_tape_sharded(pipeline, tape, kShardCount);
+    if (sh2.wall_ms < sharded.wall_ms) sharded = std::move(sh2);
+  }
+
+  const bool identical =
+      streams_bitwise_identical(unsharded.streams, sharded.streams);
+  const double speedup = sharded.events_per_s() / unsharded.events_per_s();
+  const unsigned cores = std::thread::hardware_concurrency();
+  const bool wall_gated = cores >= 4;
+
+  // Tail latency of the sharded plane, from a separate instrumented run so
+  // the throughput numbers above stay unperturbed.
+  obs::MetricsRegistry::instance().reset();
+  obs::set_enabled(true);
+  serve_tape_sharded(pipeline, tape, kShardCount);
+  obs::set_enabled(false);
+  const obs::MetricsSnapshot snap = obs::snapshot();
+  // Each shard's inner manager records its own labeled histogram
+  // (evd_feed_to_decision_us{shard="k"}); the population tail is the
+  // bucket-wise merge across shards.
+  obs::HistogramSnapshot latency;
+  for (const auto& [name, h] : snap.histograms) {
+    if (name.rfind("evd_feed_to_decision_us", 0) != 0) continue;
+    if (latency.buckets.empty()) latency.buckets.resize(h.buckets.size(), 0);
+    for (size_t b = 0; b < h.buckets.size(); ++b) {
+      latency.buckets[b] += h.buckets[b];
+    }
+    latency.count += h.count;
+    latency.sum += h.sum;
+  }
+  if (latency.count == 0) {
+    std::fprintf(stderr,
+                 "FATAL: no feed->decision latency samples from the "
+                 "sharded run\n");
+    return false;
+  }
+  const double p50 = latency.quantile(0.50);
+  const double p99 = latency.quantile(0.99);
+
+  Table table({"shards", "wall [ms]", "events/s", "vs 1 shard"});
+  table.add_row({"1", Table::num(unsharded.wall_ms, 1),
+                 Table::num(unsharded.events_per_s(), 0), "1.00x"});
+  table.add_row({std::to_string(kShardCount), Table::num(sharded.wall_ms, 1),
+                 Table::num(sharded.events_per_s(), 0),
+                 Table::num(speedup, 2) + "x"});
+  std::printf(
+      "\n-- sharded ingestion: %lld Zipf/MMPP tenants, %lld arrivals --\n",
+      static_cast<long long>(kShardSessions),
+      static_cast<long long>(kShardArrivals));
+  table.print();
+  std::printf("   decision streams bitwise identical: %s\n",
+              identical ? "yes" : "NO");
+  std::printf(
+      "   sharded feed->decision latency: p50 %.0f us, p99 %.0f us over "
+      "%lld samples\n",
+      p50, p99, static_cast<long long>(latency.count));
+  if (!wall_gated) {
+    std::printf(
+        "   host has %u hardware thread(s): shard pumps serialise, so the "
+        "1.5x leg is\n   reported but only sanity-bounded (>= 0.75x)\n",
+        cores);
+  }
+  print_sharded_json(unsharded);
+  print_sharded_json(sharded);
+  std::printf(
+      "{\"bench\":\"stream_sharded_gate\",\"sessions\":%lld,"
+      "\"shards\":%lld,\"cores\":%u,\"speedup\":%.3f,\"wall_gated\":%s,"
+      "\"streams_identical\":%s,\"p50_us\":%.1f,\"p99_us\":%.1f}\n",
+      static_cast<long long>(kShardSessions),
+      static_cast<long long>(kShardCount), cores, speedup,
+      wall_gated ? "true" : "false", identical ? "true" : "false", p50, p99);
+
+  if (unsharded.dropped != 0 || sharded.dropped != 0) {
+    std::fprintf(stderr,
+                 "FATAL: the tape should never shed (%lld dropped at 1 "
+                 "shard, %lld at %lld)\n",
+                 static_cast<long long>(unsharded.dropped),
+                 static_cast<long long>(sharded.dropped),
+                 static_cast<long long>(kShardCount));
+    return false;
+  }
+  if (!identical) {
+    std::fprintf(stderr,
+                 "FATAL: sharding changed a decision stream (the "
+                 "replay-transparency contract is bitwise)\n");
+    return false;
+  }
+  if (wall_gated && speedup < 1.5) {
+    std::fprintf(stderr,
+                 "FATAL: sharded throughput %.2fx vs the single-manager "
+                 "path on %u-core host (gate: >= 1.5x)\n",
+                 speedup, cores);
+    return false;
+  }
+  if (!wall_gated && speedup < 0.75) {
+    std::fprintf(stderr,
+                 "FATAL: sharding is materially slower (%.2fx) than the "
+                 "single-manager path on a serialised host (sanity bound: "
+                 "0.75x)\n",
+                 speedup);
+    return false;
+  }
+  return true;
+}
+
 // ---- feed->decision latency (p50 / p99 from the obs histogram) ------------
 
 /// Serve 8 sessions of one paradigm with observability on and report the
@@ -971,6 +1259,7 @@ int main() {
   ok = gate_overload() && ok;
   ok = gate_planner() && ok;
   ok = gate_routing() && ok;
+  ok = gate_sharding() && ok;
   ok = report_all_latencies() && ok;
   return ok ? 0 : 1;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <utility>
 
 namespace evd::check {
 namespace {
@@ -339,6 +340,111 @@ Gen<MultiSessionSchedule> multi_schedule_gen(Index width, Index height,
     }
     os << "]";
     return os.str();
+  };
+  return gen;
+}
+
+namespace {
+
+/// Leak-burst regime: one hot pixel, several same-polarity bursts. Mirrors
+/// events::DvsConfig's junction-leak model at the op-schedule level.
+std::vector<SessionOp> leak_burst_ops(Rng& rng,
+                                      const MultiScheduleGenConfig& cfg) {
+  std::vector<SessionOp> ops;
+  const auto hx = static_cast<std::int16_t>(
+      rng.uniform_int(static_cast<std::uint64_t>(cfg.width)));
+  const auto hy = static_cast<std::int16_t>(
+      rng.uniform_int(static_cast<std::uint64_t>(cfg.height)));
+  const Index bursts = 2 + static_cast<Index>(rng.uniform_int(4));
+  for (Index b = 0; b < bursts; ++b) {
+    TimeUs t = static_cast<TimeUs>(
+        rng.uniform_int(static_cast<std::uint64_t>(cfg.duration_us)));
+    const Index len = 4 + static_cast<Index>(rng.uniform_int(9));
+    for (Index i = 0; i < len; ++i) {
+      SessionOp op;
+      op.kind = SessionOp::Kind::Feed;
+      op.event.x = hx;
+      op.event.y = hy;
+      op.event.polarity = Polarity::On;  // leakage fires ON, always
+      op.event.t = t;
+      ops.push_back(op);
+      t += 50 + static_cast<TimeUs>(rng.uniform_int(151));
+    }
+  }
+  // A couple of advance marks so frame/timestep paradigms still tick.
+  for (int i = 0; i < 2; ++i) {
+    SessionOp op;
+    op.kind = SessionOp::Kind::Advance;
+    op.t = static_cast<TimeUs>(
+        rng.uniform_int(static_cast<std::uint64_t>(cfg.duration_us)));
+    ops.push_back(op);
+  }
+  std::stable_sort(ops.begin(), ops.end(),
+                   [](const SessionOp& a, const SessionOp& b) {
+                     const TimeUs ta =
+                         a.kind == SessionOp::Kind::Feed ? a.event.t : a.t;
+                     const TimeUs tb =
+                         b.kind == SessionOp::Kind::Feed ? b.event.t : b.t;
+                     return ta < tb;
+                   });
+  return ops;
+}
+
+/// HDR-flicker regime: a handful of pixels alternating polarity in lockstep
+/// at a fixed period — the fluorescent-lighting stream that floods
+/// frame-free paradigms with perfectly periodic, low-information events.
+std::vector<SessionOp> hdr_flicker_ops(Rng& rng,
+                                       const MultiScheduleGenConfig& cfg) {
+  std::vector<SessionOp> ops;
+  const Index pixels = 2 + static_cast<Index>(rng.uniform_int(5));
+  std::vector<std::pair<std::int16_t, std::int16_t>> flicker;
+  flicker.reserve(static_cast<size_t>(pixels));
+  for (Index p = 0; p < pixels; ++p) {
+    flicker.emplace_back(
+        static_cast<std::int16_t>(
+            rng.uniform_int(static_cast<std::uint64_t>(cfg.width))),
+        static_cast<std::int16_t>(
+            rng.uniform_int(static_cast<std::uint64_t>(cfg.height))));
+  }
+  const TimeUs period = 2000 + static_cast<TimeUs>(rng.uniform_int(8001));
+  const size_t cap =
+      static_cast<size_t>(cfg.max_ops_per_session) * 2;  // bounded flood
+  Index tick = 0;
+  for (TimeUs t = period / 2; t < cfg.duration_us && ops.size() < cap;
+       t += period, ++tick) {
+    for (const auto& [x, y] : flicker) {
+      if (ops.size() >= cap) break;
+      SessionOp op;
+      op.kind = SessionOp::Kind::Feed;
+      op.event.x = x;
+      op.event.y = y;
+      op.event.polarity = (tick % 2 == 0) ? Polarity::On : Polarity::Off;
+      op.event.t = t;
+      ops.push_back(op);
+    }
+  }
+  return ops;
+}
+
+}  // namespace
+
+Gen<MultiSessionSchedule> multi_schedule_gen(
+    const MultiScheduleGenConfig& config) {
+  // Same shrinker and show as the uniform generator — a degraded session
+  // shrinks by structural op deletion like any other.
+  Gen<MultiSessionSchedule> gen =
+      multi_schedule_gen(config.width, config.height, config.max_sessions,
+                         config.max_ops_per_session, config.duration_us);
+  if (config.degraded_fraction <= 0.0) return gen;
+  const auto base_sample = gen.sample;
+  gen.sample = [config, base_sample](Rng& rng) {
+    MultiSessionSchedule multi = base_sample(rng);
+    for (auto& ops : multi.sessions) {
+      if (!rng.bernoulli(config.degraded_fraction)) continue;
+      ops = rng.bernoulli(0.5) ? leak_burst_ops(rng, config)
+                               : hdr_flicker_ops(rng, config);
+    }
+    return multi;
   };
   return gen;
 }

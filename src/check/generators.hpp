@@ -75,6 +75,30 @@ Gen<MultiSessionSchedule> multi_schedule_gen(Index width, Index height,
                                              Index max_ops_per_session = 30,
                                              TimeUs duration_us = 100000);
 
+/// multi_schedule_gen with degraded-sensor regimes mixed in: each generated
+/// session is, with probability `degraded_fraction`, replaced by one of the
+/// pathological streams real DVS hardware produces (the PR 6 fault-recovery
+/// scenarios, promoted to first-class generator regimes) —
+///
+///   leak-burst  a hot pixel firing same-polarity bursts (junction leakage):
+///               4..12 events 50..200 us apart, several bursts per schedule;
+///   HDR flicker a block of pixels alternating polarity in lockstep at a
+///               2..10 ms period (fluorescent / PWM lighting).
+///
+/// Both regimes stay in-geometry and time-monotone, so every downstream
+/// oracle (multiplex, obs, plan, route, shard) serves them unmodified; the
+/// shrinker is the plain structural one — a failing degraded stream shrinks
+/// to the fewest ops that still fail, regime shape not preserved.
+struct MultiScheduleGenConfig {
+  Index width = 16, height = 16;
+  Index max_sessions = 4;
+  Index max_ops_per_session = 30;
+  TimeUs duration_us = 100000;
+  double degraded_fraction = 0.0;  ///< P(session runs a degraded regime).
+};
+Gen<MultiSessionSchedule> multi_schedule_gen(
+    const MultiScheduleGenConfig& config);
+
 // Re-usable shrinkers for composite case types (oracles wrap a stream or a
 // tensor in a larger struct and shrink just that member).
 std::vector<nn::Tensor> shrink_tensor(const nn::Tensor& t);

@@ -15,6 +15,7 @@
 #include "route/route.hpp"
 #include "sched/annealer.hpp"
 #include "sched/planner.hpp"
+#include "shard/shard_manager.hpp"
 #include "simd/dispatch.hpp"
 #include "runtime/session_manager.hpp"
 #include "snn/snn_model.hpp"
@@ -777,9 +778,19 @@ std::optional<std::string> diff_multiplex(Pipeline& pipeline,
 }  // namespace
 
 Gen<MultiSessionSchedule> multiplex_case_gen() {
-  return multi_schedule_gen(kMuxGeometry, kMuxGeometry, /*max_sessions=*/4,
-                            /*max_ops_per_session=*/30,
-                            /*duration_us=*/60000);
+  // Degraded-sensor regimes (leak bursts, HDR flicker) are mixed into the
+  // shared schedule generator, so every serving-plane oracle downstream of
+  // this gen — multiplex, obs, fault, plan, route, shard — is exercised on
+  // the pathological streams real DVS hardware produces, not only on
+  // uniform noise.
+  MultiScheduleGenConfig config;
+  config.width = kMuxGeometry;
+  config.height = kMuxGeometry;
+  config.max_sessions = 4;
+  config.max_ops_per_session = 30;
+  config.duration_us = 60000;
+  config.degraded_fraction = 0.3;
+  return multi_schedule_gen(config);
 }
 
 std::optional<std::string> diff_cnn_multiplex_vs_sequential(
@@ -1305,6 +1316,154 @@ std::optional<std::string> diff_route_gnn_batch_vs_incremental(
   return diff_route(pipeline, route::PathId::GnnBatch, c);
 }
 
+// ---- shard: sharded serving vs the sequential reference -------------------
+
+namespace {
+
+/// The shard analogue of diff_multiplex: the same sequential reference,
+/// then the same ops served through a ShardManager — 3 shard groups, each a
+/// private SessionManager behind its lock-free ingress ring — pumped at
+/// kThreadedCount workers with a tiny per-shard burst so sessions interleave
+/// across many rounds and shards drain concurrently. Replay transparency
+/// demands the partitioning never shows in the decision streams.
+///
+/// With `migrate_midway`, every session is additionally checkpoint-migrated
+/// to the next shard around the ring at its schedule midpoint and once more
+/// before the final drain — decisions recorded before the move, across it
+/// and after it must still match the never-migrated reference exactly.
+template <typename Pipeline>
+std::optional<std::string> diff_sharded(Pipeline& pipeline,
+                                        const MultiSessionSchedule& c,
+                                        bool migrate_midway) {
+  std::vector<std::vector<core::Decision>> reference;
+  reference.reserve(c.sessions.size());
+  for (const auto& ops : c.sessions) {
+    const auto session = pipeline.open_session(c.width, c.height);
+    for (const auto& op : ops) apply_op(*session, op);
+    reference.push_back(session->decisions());
+  }
+  return with_thread_count(
+      kThreadedCount, [&]() -> std::optional<std::string> {
+        shard::ShardManagerConfig cfg;
+        cfg.shards = 3;
+        cfg.burst = 3;
+        shard::ShardManager manager(cfg);
+        std::vector<shard::ShardManager::SessionId> ids;
+        ids.reserve(c.sessions.size());
+        size_t longest = 0;
+        for (size_t s = 0; s < c.sessions.size(); ++s) {
+          ids.push_back(manager.add(
+              [&] { return pipeline.open_session(c.width, c.height); }));
+          longest = std::max(longest, c.sessions[s].size());
+        }
+        const auto rotate_all = [&] {
+          for (const auto id : ids) {
+            manager.migrate(
+                id, (manager.shard_of(id) + 1) % manager.shard_count());
+          }
+        };
+        // Round-robin submission with mid-stream pumps, as in the multiplex
+        // oracle. A full ingress ring pumps and retries: the oracle asserts
+        // equality of complete streams, so shedding here would be noise.
+        size_t cursor = 0;
+        bool more = true;
+        while (more) {
+          more = false;
+          for (size_t s = 0; s < c.sessions.size(); ++s) {
+            if (cursor >= c.sessions[s].size()) continue;
+            more = true;
+            const auto& op = c.sessions[s][cursor];
+            if (op.kind == SessionOp::Kind::Feed) {
+              while (!manager.submit(ids[s], op.event)) manager.pump();
+            } else {
+              while (!manager.submit_advance(ids[s], op.t)) manager.pump();
+            }
+          }
+          ++cursor;
+          if (cursor % 5 == 0) manager.pump();
+          if (migrate_midway && cursor == (longest + 1) / 2) rotate_all();
+        }
+        if (migrate_midway) rotate_all();
+        manager.pump_all();
+        for (size_t s = 0; s < c.sessions.size(); ++s) {
+          const auto& got = manager.session(ids[s]).decisions();
+          const auto& ref = reference[s];
+          if (got.size() != ref.size()) {
+            return "session " + std::to_string(s) + ": " +
+                   std::to_string(got.size()) + " decisions sharded vs " +
+                   std::to_string(ref.size()) + " sequential";
+          }
+          for (size_t i = 0; i < ref.size(); ++i) {
+            if (!(got[i] == ref[i])) {
+              std::ostringstream os;
+              os << "session " << s << " decision " << i << ": sharded {t="
+                 << got[i].t << ", label=" << got[i].label
+                 << ", conf=" << got[i].confidence << "} vs sequential {t="
+                 << ref[i].t << ", label=" << ref[i].label
+                 << ", conf=" << ref[i].confidence << "}";
+              return os.str();
+            }
+          }
+        }
+        return std::nullopt;
+      });
+}
+
+}  // namespace
+
+std::optional<std::string> diff_cnn_sharded_vs_sequential(
+    const MultiSessionSchedule& c) {
+  cnn::CnnPipelineConfig config;
+  config.width = kMuxGeometry;
+  config.height = kMuxGeometry;
+  config.num_classes = 2;
+  config.base_filters = 2;
+  config.frame_period_us = 10000;
+  cnn::CnnPipeline pipeline(config);
+  return diff_sharded(pipeline, c, /*migrate_midway=*/false);
+}
+
+std::optional<std::string> diff_snn_sharded_vs_sequential(
+    const MultiSessionSchedule& c) {
+  snn::SnnPipelineConfig config;
+  config.width = kMuxGeometry;
+  config.height = kMuxGeometry;
+  config.num_classes = 2;
+  config.hidden = 16;
+  config.encoder.spatial_factor = 2;
+  config.timestep_us = 5000;
+  snn::SnnPipeline pipeline(config);
+  return diff_sharded(pipeline, c, /*migrate_midway=*/false);
+}
+
+std::optional<std::string> diff_gnn_sharded_vs_sequential(
+    const MultiSessionSchedule& c) {
+  gnn::GnnPipelineConfig config;
+  config.width = kMuxGeometry;
+  config.height = kMuxGeometry;
+  config.num_classes = 2;
+  config.model.hidden = 8;
+  config.model.layers = 2;
+  config.stream_stride = 2;
+  gnn::GnnPipeline pipeline(config);
+  return diff_sharded(pipeline, c, /*migrate_midway=*/false);
+}
+
+std::optional<std::string> diff_shard_migration_replay(
+    const MultiSessionSchedule& c) {
+  // GNN sessions: a decision on every surviving event, the densest stream
+  // of the three paradigms — the strictest witness for migration replay.
+  gnn::GnnPipelineConfig config;
+  config.width = kMuxGeometry;
+  config.height = kMuxGeometry;
+  config.num_classes = 2;
+  config.model.hidden = 8;
+  config.model.layers = 2;
+  config.stream_stride = 2;
+  gnn::GnnPipeline pipeline(config);
+  return diff_sharded(pipeline, c, /*migrate_midway=*/true);
+}
+
 // ---- registration ---------------------------------------------------------
 
 void register_builtin_oracles() {
@@ -1418,6 +1577,27 @@ void register_builtin_oracles() {
         "GNN sessions routed onto the full-sweep batch message pass emit "
         "the exact decision stream of the default incremental path",
         multiplex_case_gen(), diff_route_gnn_batch_vs_incremental));
+    registry().add(make_diff_oracle<MultiSessionSchedule>(
+        "shard.sharded_vs_sequential.cnn",
+        "CNN sessions spread over 3 shards (private managers behind "
+        "lock-free ingress rings) pumped on 4 workers emit the exact "
+        "decision stream of sequential feeding",
+        multiplex_case_gen(), diff_cnn_sharded_vs_sequential));
+    registry().add(make_diff_oracle<MultiSessionSchedule>(
+        "shard.sharded_vs_sequential.snn",
+        "SNN sessions spread over 3 shards pumped on 4 workers emit the "
+        "exact decision stream of sequential feeding",
+        multiplex_case_gen(), diff_snn_sharded_vs_sequential));
+    registry().add(make_diff_oracle<MultiSessionSchedule>(
+        "shard.sharded_vs_sequential.gnn",
+        "GNN sessions spread over 3 shards pumped on 4 workers emit the "
+        "exact decision stream of sequential feeding",
+        multiplex_case_gen(), diff_gnn_sharded_vs_sequential));
+    registry().add(make_diff_oracle<MultiSessionSchedule>(
+        "shard.migration_replay",
+        "Sessions checkpoint-migrated between shards mid-stream emit the "
+        "exact decision stream of a never-migrated run",
+        multiplex_case_gen(), diff_shard_migration_replay));
     // Registering the route.* oracles is what entitles the planner to
     // choose these variants: the suite runs them in CI, so the proved
     // marks below are never ahead of an actual equivalence proof.

@@ -43,6 +43,15 @@
 //                                batch message pass vs default incremental
 //                                — bitwise (registration of these three is
 //                                what marks the paths proved/routable)
+//   shard.sharded_vs_sequential.{cnn,snn,gnn}
+//                                sessions spread over N shard groups (each
+//                                its own manager + lock-free ingress ring)
+//                                pumped on 4 workers vs direct sequential
+//                                feeding — decision streams must match
+//                                bitwise at any shard/thread count
+//   shard.migration_replay       sessions checkpoint-migrated between
+//                                shards mid-stream must emit the exact
+//                                decision stream of a never-migrated run
 //
 // Case structs and diff properties are public so the fault-injection
 // self-test can perturb one side and verify the harness catches it and
@@ -228,6 +237,27 @@ std::optional<std::string> diff_route_cnn_sparse_vs_dense(
 std::optional<std::string> diff_route_snn_clocked_vs_event(
     const MultiSessionSchedule& c);
 std::optional<std::string> diff_route_gnn_batch_vs_incremental(
+    const MultiSessionSchedule& c);
+
+// ---- shard: sharded serving vs the sequential reference -------------------
+
+/// Feed every session's ops directly and sequentially, then serve the same
+/// schedule through a ShardManager (3 shard groups, each with its private
+/// SessionManager and MPSC ingress ring) pumped on 4 workers, and require
+/// bitwise-identical per-session decision streams — the replay-transparency
+/// contract of evd::shard: partitioning the serving plane may change *where*
+/// and *when* ops execute, never what they compute.
+std::optional<std::string> diff_cnn_sharded_vs_sequential(
+    const MultiSessionSchedule& c);
+std::optional<std::string> diff_snn_sharded_vs_sequential(
+    const MultiSessionSchedule& c);
+std::optional<std::string> diff_gnn_sharded_vs_sequential(
+    const MultiSessionSchedule& c);
+/// Same setup (GNN sessions — decisions on every surviving event), but every
+/// session is checkpoint-migrated to another shard midway through its
+/// schedule and again before the final drain: the moved sessions must emit
+/// the exact decision stream of a never-migrated sequential run.
+std::optional<std::string> diff_shard_migration_replay(
     const MultiSessionSchedule& c);
 
 /// Run fn at the given pool size, restoring the previous size afterwards.

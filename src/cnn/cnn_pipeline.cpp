@@ -147,6 +147,10 @@ runtime::SessionBaseConfig cnn_session_config(const CnnPipelineConfig& c) {
       256;  // alignment slack
   sc.decision_retain = c.decision_retain;
   sc.paradigm = "cnn";
+  // Windowed activity estimator over the configured sensor plane, so the
+  // re-plan hook can re-price cnn.sparse when a stream turns dense.
+  sc.width = c.width;
+  sc.height = c.height;
   return sc;
 }
 

@@ -1,10 +1,14 @@
 // Tiny environment-flag helpers shared by the kill-switch consumers
 // (evd::obs and the evd::par instrumentation both honour EVD_OBS without
-// depending on each other).
+// depending on each other), plus the count-knob parser EVD_THREADS and
+// EVD_SHARDS share.
 #pragma once
 
 #include <cstdlib>
 #include <cstring>
+
+#include "common/logging.hpp"
+#include "common/types.hpp"
 
 namespace evd {
 
@@ -23,6 +27,31 @@ inline bool env_flag(const char* name, bool fallback) {
     return true;
   }
   return fallback;
+}
+
+/// Shared parser for positive-count knobs (EVD_THREADS, EVD_SHARDS): a
+/// strictly positive integer, clamped to `cap`. Zero, negative or garbage
+/// values warn and fall back; unset / empty is not an error — the default
+/// is simply in effect. `name` and `fallback_what` only shape the warning
+/// ("EVD_THREADS='x' ... falling back to 8 (hardware concurrency)").
+inline Index env_count(const char* name, const char* value, Index fallback,
+                       Index cap, const char* fallback_what) {
+  if (fallback < 1) fallback = 1;
+  if (fallback > cap) fallback = cap;
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || parsed < 1) {
+    log_warn("%s='%s' is not a positive integer; falling back to %lld (%s)",
+             name, value, static_cast<long long>(fallback), fallback_what);
+    return fallback;
+  }
+  if (parsed > static_cast<long>(cap)) {
+    log_warn("%s=%ld exceeds the %lld cap; clamping", name, parsed,
+             static_cast<long long>(cap));
+    return cap;
+  }
+  return static_cast<Index>(parsed);
 }
 
 }  // namespace evd

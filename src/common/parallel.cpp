@@ -7,7 +7,7 @@
 #include <mutex>
 #include <thread>
 
-#include "common/logging.hpp"
+#include "common/env.hpp"
 
 namespace evd::par {
 namespace {
@@ -181,25 +181,11 @@ class Pool {
 }  // namespace
 
 Index parse_thread_count(const char* value, Index fallback) {
-  if (fallback < 1) fallback = 1;
-  // Unset / empty is not an error — the default is simply in effect.
-  if (value == nullptr || *value == '\0') return fallback;
-  char* end = nullptr;
-  const long parsed = std::strtol(value, &end, 10);
-  if (end == value || *end != '\0' || parsed < 1) {
-    log_warn(
-        "EVD_THREADS='%s' is not a positive integer; falling back to %lld "
-        "threads (hardware concurrency)",
-        value, static_cast<long long>(fallback));
-    return fallback;
-  }
-  constexpr long kMaxThreads = 512;
-  if (parsed > kMaxThreads) {
-    log_warn("EVD_THREADS=%ld exceeds the %ld-thread cap; clamping", parsed,
-             kMaxThreads);
-    return static_cast<Index>(kMaxThreads);
-  }
-  return static_cast<Index>(parsed);
+  // The actual parse lives in env_count (common/env.hpp) so EVD_SHARDS can
+  // share the exact reject/warn/clamp behaviour instead of duplicating it.
+  constexpr Index kMaxThreads = 512;
+  return env_count("EVD_THREADS", value, fallback, kMaxThreads,
+                   "hardware concurrency");
 }
 
 Index thread_count() { return Pool::instance().size(); }

@@ -109,6 +109,15 @@ class StreamSession {
     return false;
   }
 
+  /// Windowed online activity estimate in [0, 1]: the fraction of the
+  /// sensor plane this session's recent events actually touch (the live
+  /// share of its nominal dense work). Feeds sched::SessionProfile.activity
+  /// through the SessionManager's re-plan hook so a stream that turns dense
+  /// mid-run re-prices — and re-routes off — the sparse execution paths.
+  /// Purely observational: the estimate never changes what a session
+  /// computes. The default (no estimator) reports fully dense.
+  virtual double activity_estimate() const { return 1.0; }
+
   /// Execution routing (see route/route.hpp). A routable session reports its
   /// paradigm tag and accepts an ExecutionPath id selecting one of the
   /// proved-equivalent execution variants for that paradigm; every variant

@@ -153,6 +153,10 @@ runtime::SessionBaseConfig gnn_session_config(const GnnPipelineConfig& c) {
   sc.arena_bytes = 256;
   sc.decision_retain = c.decision_retain;
   sc.paradigm = "gnn";
+  // Windowed activity estimator over the configured sensor plane (feeds the
+  // re-plan hook's per-session activity; observational only).
+  sc.width = c.width;
+  sc.height = c.height;
   return sc;
 }
 

@@ -1,5 +1,6 @@
 #include "runtime/session_base.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace evd::runtime {
@@ -16,6 +17,14 @@ SessionBase::SessionBase(const SessionBaseConfig& config)
       sink_(config.decision_retain),
       paradigm_(config.paradigm != nullptr ? config.paradigm : "unknown"),
       checkpoint_max_bytes_(config.checkpoint_max_bytes) {
+  if (config.width > 0 && config.height > 0 &&
+      config.activity_window_us > 0) {
+    act_width_ = config.width;
+    act_height_ = config.height;
+    act_window_us_ = config.activity_window_us;
+    act_touched_.assign(
+        static_cast<size_t>((config.width * config.height + 7) / 8), 0);
+  }
   // Instrument registration is open-time work (string building, registry
   // mutex), not hot-path work: repeated names return the same instruments.
   const char* paradigm = paradigm_.c_str();
@@ -26,6 +35,37 @@ SessionBase::SessionBase(const SessionBaseConfig& config)
   sink_.bind_obs(
       obs::counter(labelled("evd_sink_decisions_evicted_total", paradigm)),
       obs::counter(labelled("evd_sink_decisions_dropped_total", paradigm)));
+}
+
+void SessionBase::note_activity(const events::Event& event) {
+  // Out-of-geometry events are someone else's problem (the manager's
+  // validation guard); the estimator just ignores them.
+  if (event.x < 0 || event.x >= act_width_ || event.y < 0 ||
+      event.y >= act_height_) {
+    return;
+  }
+  if (act_window_start_ == std::numeric_limits<TimeUs>::min()) {
+    act_window_start_ = event.t;  // windows are anchored to the first event
+  }
+  if (event.t - act_window_start_ >= act_window_us_) {
+    const double occupancy =
+        static_cast<double>(act_touched_count_) /
+        static_cast<double>(act_width_ * act_height_);
+    act_ewma_ = 0.5 * act_ewma_ + 0.5 * occupancy;
+    // A long silent gap is sparse evidence in itself: decay once more so a
+    // stream that went quiet does not keep its old dense estimate.
+    if (event.t - act_window_start_ >= 2 * act_window_us_) act_ewma_ *= 0.5;
+    std::fill(act_touched_.begin(), act_touched_.end(), std::uint8_t{0});
+    act_touched_count_ = 0;
+    act_window_start_ = event.t;
+  }
+  const Index idx = event.y * act_width_ + event.x;
+  std::uint8_t& byte = act_touched_[static_cast<size_t>(idx >> 3)];
+  const auto mask = static_cast<std::uint8_t>(1u << (idx & 7));
+  if ((byte & mask) == 0) {
+    byte = static_cast<std::uint8_t>(byte | mask);
+    ++act_touched_count_;
+  }
 }
 
 bool SessionBase::save_state(std::vector<std::uint8_t>& out) const {
@@ -41,6 +81,16 @@ bool SessionBase::save_state(std::vector<std::uint8_t>& out) const {
   // session carved a different layout — a config mismatch, not corruption.
   w.i64(static_cast<std::int64_t>(arena_.used()));
   sink_.save(w);
+  // Activity estimator: mutable chassis state, so restore+replay re-derives
+  // the exact estimate a never-faulted run would hold (replayed feeds pass
+  // through note_activity again, starting from this snapshot).
+  w.u8(act_touched_.empty() ? 0 : 1);
+  if (!act_touched_.empty()) {
+    w.i64(act_window_start_);
+    w.f64(act_ewma_);
+    w.i64(act_touched_count_);
+    w.pod_vector(act_touched_);
+  }
   on_save(w);
   return true;
 }
@@ -71,10 +121,38 @@ bool SessionBase::load_state(std::span<const std::uint8_t> bytes) {
                     " vs checkpointed " + std::to_string(used));
   }
   sink_.load(r);
+  const bool ckpt_activity = r.u8() != 0;
+  if (ckpt_activity != !act_touched_.empty()) {
+    throw Error(ErrorCode::CheckpointMismatch,
+                "checkpoint activity estimator state does not match this "
+                "session's configuration");
+  }
+  TimeUs act_window_start = act_window_start_;
+  double act_ewma = act_ewma_;
+  std::int64_t act_touched_count = act_touched_count_;
+  std::vector<std::uint8_t> act_touched;
+  if (ckpt_activity) {
+    act_window_start = r.i64();
+    act_ewma = r.f64();
+    act_touched_count = r.i64();
+    r.pod_vector(act_touched);
+    if (act_touched.size() != act_touched_.size()) {
+      throw Error(ErrorCode::CheckpointMismatch,
+                  "activity bitmap " + std::to_string(act_touched.size()) +
+                      " bytes vs this session's " +
+                      std::to_string(act_touched_.size()));
+    }
+  }
   on_load(r);
   r.expect_end();
   events_fed_ = events_fed;
   events_dropped_ = events_dropped;
+  if (ckpt_activity) {
+    act_window_start_ = act_window_start;
+    act_ewma_ = act_ewma;
+    act_touched_count_ = static_cast<Index>(act_touched_count);
+    act_touched_ = std::move(act_touched);
+  }
   return true;
 }
 

@@ -15,7 +15,9 @@
 // Subclasses implement only the paradigm: on_event() and on_advance().
 #pragma once
 
+#include <limits>
 #include <string>
+#include <vector>
 
 #include "core/pipeline.hpp"
 #include "fault/checkpoint.hpp"
@@ -36,6 +38,16 @@ struct SessionBaseConfig {
   /// Error(CheckpointTooLarge) beyond it). 4 MiB comfortably holds the
   /// largest session state the pipelines produce (GNN at stream_max_nodes).
   std::size_t checkpoint_max_bytes = std::size_t{4} << 20;
+  /// Sensor geometry for the windowed activity estimator (see
+  /// activity_estimate()). 0 disables the estimator — the session then
+  /// reports the fully-dense default. The pipelines pass their configured
+  /// geometry; the bitmap costs ceil(w*h/8) heap bytes per session, outside
+  /// the arena so exactly-sized paradigm arenas are untouched.
+  Index width = 0;
+  Index height = 0;
+  /// Stream-time window over which pixel occupancy is folded into the
+  /// estimate (EWMA, half-weight per window).
+  TimeUs activity_window_us = 20000;
 };
 
 class SessionBase : public core::StreamSession {
@@ -49,6 +61,7 @@ class SessionBase : public core::StreamSession {
   void feed(const events::Event& event) final {
     ++events_fed_;
     events_counter_.add(1);
+    if (!act_touched_.empty()) note_activity(event);
     on_event(event);
   }
 
@@ -96,6 +109,17 @@ class SessionBase : public core::StreamSession {
   /// without changing state. Subclasses consult execution_path() at their
   /// dispatch points — an installed path changes which proved-equivalent
   /// kernel runs, never what it computes.
+  /// Windowed pixel-occupancy activity (StreamSession contract): an EWMA
+  /// over event-anchored stream-time windows of |distinct pixels touched| /
+  /// |sensor plane|, folded half-weight per completed window. Deterministic
+  /// in the fed op sequence (it is checkpointed with the chassis state, so
+  /// restore+replay re-derives the identical estimate). Reports 1.0 (dense)
+  /// until the first window completes or when the estimator is disabled.
+  double activity_estimate() const final {
+    if (act_touched_.empty()) return 1.0;
+    return act_ewma_ < 0.0 ? 0.0 : (act_ewma_ > 1.0 ? 1.0 : act_ewma_);
+  }
+
   std::string_view paradigm() const final { return paradigm_; }
   bool set_execution_path(route::PathId path) final {
     if (path != route::PathId::Default &&
@@ -131,6 +155,8 @@ class SessionBase : public core::StreamSession {
   const ArenaAllocator& arena() const { return arena_; }
 
  private:
+  void note_activity(const events::Event& event);
+
   ArenaAllocator arena_;
   DecisionSink sink_;
   std::string paradigm_;
@@ -138,6 +164,14 @@ class SessionBase : public core::StreamSession {
   std::size_t checkpoint_max_bytes_;
   std::int64_t events_fed_ = 0;
   std::int64_t events_dropped_ = 0;
+  // Activity estimator state (empty bitmap == disabled).
+  Index act_width_ = 0;
+  Index act_height_ = 0;
+  TimeUs act_window_us_ = 20000;
+  std::vector<std::uint8_t> act_touched_;  ///< w*h bits, current window.
+  Index act_touched_count_ = 0;
+  TimeUs act_window_start_ = std::numeric_limits<TimeUs>::min();
+  double act_ewma_ = 1.0;  ///< Dense until evidence says otherwise.
   obs::Counter events_counter_;     ///< evd_events_fed_total{paradigm=...}
   obs::Counter decisions_counter_;  ///< evd_decisions_emitted_total{...}
 };

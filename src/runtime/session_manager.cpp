@@ -20,19 +20,29 @@ constexpr const char* kSiteDuplicate = "runtime.submit.duplicate";
 constexpr const char* kSiteStorm = "runtime.submit.overflow_storm";
 constexpr const char* kSiteOpFault = "runtime.pump.op_fault";
 
+/// "name" -> "name{label}" (or "name" untouched when the label is empty) —
+/// how a sharded manager's instruments become per-shard series.
+std::string labelled(const char* name, const std::string& label) {
+  if (label.empty()) return name;
+  return std::string(name) + "{" + label + "}";
+}
+
 }  // namespace
 
-SessionManager::SessionManager(Index burst) : burst_(burst < 1 ? 1 : burst) {
+SessionManager::SessionManager(Index burst, std::string instrument_label)
+    : burst_(burst < 1 ? 1 : burst),
+      instrument_label_(std::move(instrument_label)) {
   obs::init();  // wires the evd::par collector into snapshots
-  latency_all_ = obs::histogram("evd_feed_to_decision_us");
-  ops_processed_ = obs::counter("evd_runtime_ops_processed_total");
-  pump_rounds_ = obs::counter("evd_runtime_pump_rounds_total");
-  sessions_gauge_ = obs::gauge("evd_sessions_active");
-  faults_counter_ = obs::counter("evd_fault_session_faults_total");
-  restores_counter_ = obs::counter("evd_fault_restores_total");
-  shed_counter_ = obs::counter("evd_admission_shed_total");
-  overload_gauge_ = obs::gauge("evd_overload_level");
-  planned_rounds_ = obs::counter("evd_sched_planned_rounds_total");
+  const std::string& l = instrument_label_;
+  latency_all_ = obs::histogram(labelled("evd_feed_to_decision_us", l));
+  ops_processed_ = obs::counter(labelled("evd_runtime_ops_processed_total", l));
+  pump_rounds_ = obs::counter(labelled("evd_runtime_pump_rounds_total", l));
+  sessions_gauge_ = obs::gauge(labelled("evd_sessions_active", l));
+  faults_counter_ = obs::counter(labelled("evd_fault_session_faults_total", l));
+  restores_counter_ = obs::counter(labelled("evd_fault_restores_total", l));
+  shed_counter_ = obs::counter(labelled("evd_admission_shed_total", l));
+  overload_gauge_ = obs::gauge(labelled("evd_overload_level", l));
+  planned_rounds_ = obs::counter(labelled("evd_sched_planned_rounds_total", l));
   auto& injector = fault::Injector::instance();
   site_malformed_ = injector.site(kSiteMalformed);
   site_out_of_order_ = injector.site(kSiteOutOfOrder);
@@ -57,9 +67,13 @@ SessionId SessionManager::add(std::unique_ptr<core::StreamSession> session,
   auto slot = std::make_unique<Slot>(std::move(session), config);
   const auto id = static_cast<SessionId>(slots_.size());
   // Per-session latency series plus the shared loss counter. Open-time
-  // registration cost only; recording goes through per-thread shards.
-  slot->latency = obs::histogram("evd_feed_to_decision_us{session=\"" +
-                                 std::to_string(id) + "\"}");
+  // registration cost only; recording goes through per-thread shards. Under
+  // a labelled (sharded) manager the session label nests inside the shard
+  // label so inner ids, which restart at 0 per shard, stay distinct series.
+  slot->latency = obs::histogram(
+      "evd_feed_to_decision_us{" +
+      (instrument_label_.empty() ? "" : instrument_label_ + ",") +
+      "session=\"" + std::to_string(id) + "\"}");
   slot->queue.bind_obs(obs::counter("evd_queue_ops_dropped_total"));
   slot->bucket.configure(config.rate_limit_eps, config.rate_limit_burst);
   if (config.checkpoint_every > 0) {
@@ -77,7 +91,11 @@ SessionId SessionManager::add(std::unique_ptr<core::StreamSession> session,
   capacity_total_ += config.queue_capacity;
   slots_.push_back(std::move(slot));
   processed_.push_back(0);
-  sessions_gauge_.set(static_cast<double>(slots_.size()));
+  Index active = 0;
+  for (const auto& sl : slots_) {
+    if (sl->state != SessionState::Retired) ++active;
+  }
+  sessions_gauge_.set(static_cast<double>(active));
   return id;
 }
 
@@ -123,8 +141,14 @@ bool SessionManager::push_op(Slot& s, const StreamOp& op) {
 }
 
 bool SessionManager::admit(SessionId id, Slot& s, StreamOp op) {
-  if (s.state == SessionState::Faulted) {
-    ++s.shed.rejected_faulted;
+  if (s.state != SessionState::Active) {
+    // Retired slots keep the charge on the manager (their own ledgers were
+    // handed out at retire()); quarantined slots keep it on the slot.
+    if (s.state == SessionState::Retired) {
+      ++rejected_retired_;
+    } else {
+      ++s.shed.rejected_faulted;
+    }
     shed_counter_.add(1);
     return false;
   }
@@ -296,7 +320,7 @@ void SessionManager::quarantine(SessionId id, Slot& s, const char* why) {
 Index SessionManager::pump_session(Index i, Index burst,
                                    const char* span_name) {
   Slot& s = *slots_[static_cast<size_t>(i)];
-  if (s.state == SessionState::Faulted) return 0;
+  if (s.state != SessionState::Active) return 0;
   Index done = 0;
   StreamOp op;
   // The span + latency instruments never touch the op stream, so the
@@ -363,23 +387,37 @@ void SessionManager::maybe_replan(Index n) {
   if (++replan_rounds_ < replan_window_) return;
   // Windowed per-session backlog averages, bucketed to log2 before
   // fingerprinting so round-to-round jitter inside one power of two can
-  // never thrash the plan — only a real workload-mix drift re-plans.
+  // never thrash the plan — only a real workload-mix drift re-plans. The
+  // sessions' windowed activity estimates join the fingerprint bucketed to
+  // eighths for the same reason: a stream crossing from sparse to dense is
+  // a mix drift (the sparse-path pricing is stale) even when its backlog
+  // holds steady.
   std::vector<Index> backlog(static_cast<size_t>(n), 0);
+  std::vector<double> activity(static_cast<size_t>(n), 1.0);
   std::uint64_t fp = 0xCBF29CE484222325ULL;  // FNV-1a offset basis
   for (Index i = 0; i < n; ++i) {
+    const Slot& sl = *slots_[static_cast<size_t>(i)];
     const std::int64_t avg =
         backlog_accum_[static_cast<size_t>(i)] / replan_window_;
     backlog[static_cast<size_t>(i)] = static_cast<Index>(avg);
+    const double act = sl.session ? sl.session->activity_estimate() : 0.0;
+    activity[static_cast<size_t>(i)] = act;
     std::uint8_t bucket = 0;
     for (std::int64_t v = avg; v > 0; v >>= 1) ++bucket;
     fp ^= bucket;
+    fp *= 0x100000001B3ULL;
+    // Tag the activity byte's domain so (backlog 3, activity 5/8) can never
+    // collide with (backlog 5, activity 3/8).
+    fp ^= static_cast<std::uint8_t>(0x40u +
+                                    static_cast<unsigned>(act * 8.0 + 0.5));
     fp *= 0x100000001B3ULL;
   }
   replan_rounds_ = 0;
   std::fill(backlog_accum_.begin(), backlog_accum_.end(), 0);
   if (fp == workload_fp_) return;
   workload_fp_ = fp;
-  if (auto plan = replan_hook_(std::span<const Index>(backlog))) {
+  if (auto plan = replan_hook_(std::span<const Index>(backlog),
+                               std::span<const double>(activity))) {
     // A stale hook result (population changed under it) is dropped rather
     // than tripping set_plan's count check mid-serving.
     if (plan->session_count == n) set_plan(std::move(*plan));
@@ -475,6 +513,7 @@ void SessionManager::clear_plan() noexcept {
 
 void SessionManager::apply_routes() noexcept {
   for (const auto& sl : slots_) {
+    if (!sl->session) continue;  // retired (migrated-out) tombstone
     route::PathId path = route::PathId::Default;
     if (plan_ != nullptr) {
       const std::string_view paradigm = sl->session->paradigm();
@@ -507,6 +546,7 @@ void SessionManager::install_plan_bytes(std::span<const std::uint8_t> bytes) {
 
 bool SessionManager::restore(SessionId id) {
   Slot& s = slot(id);
+  if (s.state == SessionState::Retired) return false;  // moved, not faulted
   if (s.state == SessionState::Active) return true;
   if (!s.checkpointing || s.checkpoint.empty()) return false;
   if (!s.session->load_state(s.checkpoint)) return false;
@@ -523,8 +563,52 @@ bool SessionManager::checkpoint_now(SessionId id) {
   return take_checkpoint(slot(id));
 }
 
+SessionManager::RetiredLedger SessionManager::retire(SessionId id) {
+  Slot& s = slot(id);
+  if (s.state == SessionState::Retired) {
+    throw Error(ErrorCode::InvalidSessionId,
+                "SessionManager::retire: session " + std::to_string(id) +
+                    " is already retired");
+  }
+  // Unflushed backlog follows the slot into the queue's loss ledger — the
+  // caller (migration) is expected to have flushed, but an unflushed retire
+  // must still conserve every op somewhere visible.
+  const Index backlog = s.queue.drain_to_loss();
+  queued_ops_.fetch_sub(backlog, std::memory_order_relaxed);
+  RetiredLedger ledger;
+  ledger.queue = s.queue.stats();
+  ledger.shed = s.shed;
+  ledger.faults = s.faults;
+  ledger.restores = s.restores;
+  ledger.checkpoints = s.checkpoints;
+  ledger.quarantine_dropped = s.quarantine_dropped;
+  s.state = SessionState::Retired;
+  s.session.reset();
+  s.fault_message.clear();
+  s.checkpointing = false;
+  s.checkpoint.clear();
+  s.replay_log.clear();
+  s.ops_since_checkpoint = 0;
+  // Zero the slot ledgers: their story now lives in the returned ledger
+  // (and stats() skips the tombstone anyway).
+  s.shed = {};
+  s.faults = s.restores = s.checkpoints = s.quarantine_dropped = 0;
+  // The tombstone's queue stops counting toward occupancy, so the overload
+  // ladder keeps seeing real capacity.
+  capacity_total_ -= s.config.queue_capacity;
+  Index active = 0;
+  for (const auto& sl : slots_) {
+    if (sl->state != SessionState::Retired) ++active;
+  }
+  sessions_gauge_.set(static_cast<double>(active));
+  return ledger;
+}
+
 core::SessionStats SessionManager::stats(SessionId id) const {
   const Slot& s = slot(id);
+  // A retired slot's contribution left with its RetiredLedger; reporting it
+  // here too would double-count across a migration.
+  if (s.state == SessionState::Retired) return {};
   core::SessionStats stats = s.session->stats();
   // The queue and the admission gates sit in front of the session, so their
   // losses are part of the session's story even though the session never
@@ -537,15 +621,17 @@ core::SessionStats SessionManager::stats(SessionId id) const {
 
 SessionManager::AggregateStats SessionManager::stats() const {
   AggregateStats agg;
-  agg.sessions = session_count();
   agg.shedding.coarsened_rounds = coarsened_rounds_;
-  for (SessionId id = 0; id < agg.sessions; ++id) {
+  agg.shedding.rejected_faulted += rejected_retired_;
+  for (SessionId id = 0; id < session_count(); ++id) {
+    const Slot& sl = slot(id);
+    if (sl.state == SessionState::Retired) continue;  // ledger moved out
+    ++agg.sessions;
     const core::SessionStats s = stats(id);
     agg.totals.events_fed += s.events_fed;
     agg.totals.decisions_emitted += s.decisions_emitted;
     agg.totals.decisions_dropped += s.decisions_dropped;
     agg.totals.events_dropped += s.events_dropped;
-    const Slot& sl = slot(id);
     const EventQueue::Stats& q = sl.queue.stats();
     agg.queues.pushed += q.pushed;
     agg.queues.dropped += q.dropped;

@@ -72,7 +72,11 @@ using SessionId = Index;
 /// sample schedule depends only on each queue's admit ledger.
 inline constexpr std::int64_t kLatencySampleEvery = 16;
 
-enum class SessionState : std::uint8_t { Active, Faulted };
+/// Retired slots are the sharded runtime's migration tombstones: the session
+/// object has moved to another manager (evd::shard checkpoints it out), the
+/// slot keeps its id so existing ids stay dense, and it never pumps or
+/// admits again.
+enum class SessionState : std::uint8_t { Active, Faulted, Retired };
 
 struct ManagedSessionConfig {
   /// Ingress queue capacity (ops: events + advances).
@@ -108,7 +112,13 @@ class SessionManager {
   /// bursts interleave sessions more fairly; large bursts amortise
   /// scheduling. Either way the per-session op order — and therefore every
   /// decision stream — is unchanged.
-  explicit SessionManager(Index burst = 256);
+  ///
+  /// `instrument_label` is an optional obs label fragment (e.g. `shard="2"`)
+  /// spliced into every registry instrument this manager owns, so the
+  /// sharded runtime gets per-shard counter / histogram series instead of
+  /// all shards folding into one shared name. Empty (the default) keeps the
+  /// legacy unlabeled names byte-for-byte.
+  explicit SessionManager(Index burst = 256, std::string instrument_label = "");
 
   /// Take ownership of a session opened by a pipeline. Returns its id
   /// (dense, starting at 0). Throws Error(AdmissionRejected) while the
@@ -156,16 +166,21 @@ class SessionManager {
 
   /// Online re-planning. The hook is invoked from pump() when the manager's
   /// windowed workload fingerprint drifts: every `window` rounds the
-  /// per-session backlog averages are bucketed (log2) and fingerprinted,
-  /// and a changed fingerprint hands the averaged backlog (ops per round,
-  /// one entry per session) to the hook. A returned plan is installed via
+  /// per-session backlog averages are bucketed (log2), combined with each
+  /// session's windowed activity estimate (StreamSession::activity_estimate,
+  /// bucketed to eighths), and fingerprinted; a changed fingerprint hands
+  /// the averaged backlog (ops per round) and the live activity (both one
+  /// entry per session) to the hook. A returned plan is installed via
   /// set_plan (routes included); nullopt keeps the current plan. The hook
   /// runs on the pumping thread, outside the parallel region — callers
-  /// typically close over their pipelines and delegate to the fingerprint-
-  /// keyed Planner cache, so a repeated mix costs one lookup, not an
-  /// anneal. The hook must return a valid plan for the current population.
-  using ReplanHook =
-      std::function<std::optional<sched::Plan>(std::span<const Index>)>;
+  /// typically close over their pipelines, fold the activity into each
+  /// session's sched::SessionProfile, and delegate to the fingerprint-keyed
+  /// Planner cache, so a repeated mix costs one lookup, not an anneal. A
+  /// stream that turns dense mid-run therefore re-plans off the sparse /
+  /// event-driven paths the old mix priced as cheap. The hook must return a
+  /// valid plan for the current population.
+  using ReplanHook = std::function<std::optional<sched::Plan>(
+      std::span<const Index>, std::span<const double>)>;
   void set_replan(ReplanHook hook, Index window = 16);
   /// Last windowed workload fingerprint (0 until the first full window).
   std::uint64_t workload_fingerprint() const noexcept { return workload_fp_; }
@@ -193,6 +208,17 @@ class SessionManager {
   /// the logged ops) and return it to Active. False when the session has no
   /// checkpoint to restore from; throws if the restore itself fails.
   bool restore(SessionId id);
+
+  /// Monotone-guard watermark (highest applied feed timestamp) — manager
+  /// state the session's own checkpoint cannot carry. Migration reads it at
+  /// the source and seeds it at the target so validate_monotone_time keeps
+  /// rejecting regressions across the move.
+  TimeUs last_feed_time(SessionId id) const { return slot(id).last_feed_t; }
+  void seed_feed_watermark(SessionId id, TimeUs t) {
+    Slot& s = slot(id);
+    s.last_feed_t = t;
+    s.checkpoint_last_feed_t = t;
+  }
 
   /// Force a checkpoint now (also resets the replay log). False when the
   /// session declines (no checkpoint support or checkpoint_every == 0).
@@ -250,6 +276,27 @@ class SessionManager {
     Index sessions = 0;
   };
   AggregateStats stats() const;
+
+  /// Everything a retired slot had charged against this manager — the
+  /// manager-side half of a migration's ledger. Session-level counters
+  /// (events fed, decisions) travel inside the session's checkpoint; these
+  /// slot-side ledgers cannot, so retire() hands them to the caller and the
+  /// sharded runtime keeps the sum conserved across the move.
+  struct RetiredLedger {
+    EventQueue::Stats queue;
+    SheddingStats shed;
+    std::int64_t faults = 0;
+    std::int64_t restores = 0;
+    std::int64_t checkpoints = 0;
+    std::int64_t quarantine_dropped = 0;
+  };
+
+  /// Tombstone the slot after its session has been checkpointed out
+  /// (evd::shard migration). Any unflushed backlog is drained to the queue's
+  /// loss ledger first, so nothing vanishes silently; the returned ledger is
+  /// the slot's complete contribution, which stats() stops reporting from
+  /// this manager. Throws Error(InvalidSessionId) on an already-retired id.
+  RetiredLedger retire(SessionId id);
 
   Index drain(SessionId id, std::vector<core::Decision>& out) {
     return slot(id).session->drain(out);
@@ -322,6 +369,8 @@ class SessionManager {
   void maybe_replan(Index n);
 
   Index burst_;
+  std::string instrument_label_;  ///< Obs label fragment, e.g. `shard="2"`.
+  std::int64_t rejected_retired_ = 0;  ///< Submits to retired (migrated) ids.
   std::unique_ptr<sched::Plan> plan_;   ///< Installed execution plan.
   std::vector<std::uint8_t> plan_bytes_;  ///< Serialized form of plan_.
   std::vector<std::unique_ptr<Slot>> slots_;

@@ -1,0 +1,64 @@
+#include "shard/hash_ring.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace evd::shard {
+
+std::uint64_t HashRing::point_hash(std::uint64_t seed, Index shard,
+                                   Index replica) noexcept {
+  // Mix (seed, shard, replica) through two splitmix64 rounds. The odd
+  // multiplier keeps distinct (shard, replica) pairs in distinct states for
+  // any realistic replica count; two rounds decorrelate the low bits that a
+  // single round leaves structured for small inputs. Deliberately
+  // independent of the shard *count* — see the header's consistency note.
+  std::uint64_t state = seed ^ (static_cast<std::uint64_t>(shard) *
+                                0x632BE59BD9B4E019ULL) ^
+                        static_cast<std::uint64_t>(replica);
+  (void)splitmix64(state);
+  return splitmix64(state);
+}
+
+std::uint64_t HashRing::key_hash(std::uint64_t seed,
+                                 std::uint64_t key) noexcept {
+  // Different pre-mix than point_hash so keys and virtual nodes occupy
+  // decorrelated streams of the same circle.
+  std::uint64_t state = key + (seed ^ 0x9E3779B97F4A7C15ULL);
+  (void)splitmix64(state);
+  return splitmix64(state);
+}
+
+HashRing::HashRing(Index shards, Index vnodes_per_shard, std::uint64_t seed)
+    : shards_(shards), vnodes_(vnodes_per_shard), seed_(seed) {
+  if (shards < 1 || vnodes_per_shard < 1) {
+    throw Error(ErrorCode::InvalidArgument,
+                "HashRing: shards and vnodes_per_shard must be >= 1 (got " +
+                    std::to_string(shards) + ", " +
+                    std::to_string(vnodes_per_shard) + ")");
+  }
+  points_.reserve(static_cast<size_t>(shards) *
+                  static_cast<size_t>(vnodes_per_shard));
+  for (Index s = 0; s < shards; ++s) {
+    for (Index r = 0; r < vnodes_per_shard; ++r) {
+      points_.push_back(Point{point_hash(seed, s, r), s});
+    }
+  }
+  // Hash ties (astronomically rare, but the placement must be a function)
+  // break toward the lower shard id, deterministically.
+  std::sort(points_.begin(), points_.end(), [](const Point& a, const Point& b) {
+    return a.hash != b.hash ? a.hash < b.hash : a.shard < b.shard;
+  });
+}
+
+Index HashRing::shard_of(std::uint64_t key) const noexcept {
+  const std::uint64_t h = key_hash(seed_, key);
+  // First point at or clockwise of h, wrapping to the circle's start.
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(), h,
+      [](const Point& p, std::uint64_t value) { return p.hash < value; });
+  return it != points_.end() ? it->shard : points_.front().shard;
+}
+
+}  // namespace evd::shard

@@ -1,0 +1,322 @@
+#include "shard/shard_manager.hpp"
+
+#include <string>
+#include <utility>
+
+#include "common/env.hpp"
+#include "common/parallel.hpp"
+
+namespace evd::shard {
+
+Index resolve_shard_count(Index configured) {
+  if (configured > 0) {
+    return configured > kMaxShards ? kMaxShards : configured;
+  }
+  // Default 1: sharding is opt-in, and EVD_SHARDS=1 is the kill switch back
+  // to the byte-identical single-manager path.
+  return env_count("EVD_SHARDS", std::getenv("EVD_SHARDS"), 1, kMaxShards,
+                   "single-manager serving");
+}
+
+ShardManager::ShardManager(ShardManagerConfig config)
+    : config_(config),
+      ring_(resolve_shard_count(config.shards),
+            config.vnodes_per_shard < 1 ? kDefaultVnodesPerShard
+                                        : config.vnodes_per_shard,
+            config.placement_seed) {
+  const Index n = ring_.shards();
+  config_.shards = n;
+  shards_.reserve(static_cast<size_t>(n));
+  for (Index s = 0; s < n; ++s) {
+    // One shard keeps the legacy unlabeled instruments (and no ring): the
+    // facade must be indistinguishable from a bare SessionManager.
+    std::string label =
+        n > 1 ? "shard=\"" + std::to_string(s) + "\"" : std::string();
+    auto state = std::make_unique<ShardState>(config_.burst, label);
+    if (n > 1) {
+      state->arena = std::make_unique<runtime::ArenaAllocator>(
+          MpscRing<IngressOp>::bytes_for(config_.ingress_capacity));
+      state->ring = std::make_unique<MpscRing<IngressOp>>(
+          config_.ingress_capacity, state->arena.get());
+      state->ingress_ops =
+          obs::counter("evd_shard_ingress_ops_total{" + label + "}");
+      state->ingress_dropped =
+          obs::counter("evd_shard_ingress_dropped_total{" + label + "}");
+    }
+    shards_.push_back(std::move(state));
+  }
+  if (n > 1) {
+    migrations_counter_ = obs::counter("evd_shard_migrations_total");
+    round_ops_.assign(static_cast<size_t>(n), 0);
+  }
+}
+
+ShardManager::Entry& ShardManager::entry(SessionId id) {
+  if (id < 0 || id >= static_cast<Index>(entries_.size())) {
+    throw Error(ErrorCode::InvalidSessionId,
+                "ShardManager: session " + std::to_string(id) +
+                    " outside [0, " + std::to_string(entries_.size()) + ")");
+  }
+  return entries_[static_cast<size_t>(id)];
+}
+
+const ShardManager::Entry& ShardManager::entry(SessionId id) const {
+  return const_cast<ShardManager*>(this)->entry(id);
+}
+
+ShardManager::ShardState& ShardManager::shard_at(Index s) {
+  if (s < 0 || s >= shard_count()) {
+    throw Error(ErrorCode::InvalidArgument,
+                "ShardManager: shard " + std::to_string(s) + " outside [0, " +
+                    std::to_string(shard_count()) + ")");
+  }
+  return *shards_[static_cast<size_t>(s)];
+}
+
+const ShardManager::ShardState& ShardManager::shard_at(Index s) const {
+  return const_cast<ShardManager*>(this)->shard_at(s);
+}
+
+ShardManager::SessionId ShardManager::add(
+    SessionFactory factory, const runtime::ManagedSessionConfig& config) {
+  if (!factory) {
+    throw Error(ErrorCode::InvalidArgument,
+                "ShardManager::add: null session factory");
+  }
+  std::unique_ptr<core::StreamSession> session = factory();
+  if (!session) {
+    throw Error(ErrorCode::InvalidArgument,
+                "ShardManager::add: factory produced no session");
+  }
+  const auto id = static_cast<SessionId>(entries_.size());
+  Entry e;
+  e.key = static_cast<std::uint64_t>(id);
+  e.shard = shard_count() > 1 ? ring_.shard_of(e.key) : 0;
+  e.factory = std::move(factory);
+  e.config = config;
+  e.inner = shards_[static_cast<size_t>(e.shard)]->manager.add(
+      std::move(session), config);
+  entries_.push_back(std::move(e));
+  return id;
+}
+
+bool ShardManager::submit_op(SessionId id, const runtime::StreamOp& op) {
+  const Entry& e = entry(id);
+  ShardState& st = *shards_[static_cast<size_t>(e.shard)];
+  if (!st.ring) {
+    // shards == 1: the legacy direct path, admission and all.
+    return op.kind == runtime::StreamOp::Kind::Feed
+               ? st.manager.submit(e.inner, op.event)
+               : st.manager.submit_advance(e.inner, op.t);
+  }
+  if (!st.ring->try_push(IngressOp{id, op})) {
+    st.ops_dropped.fetch_add(1, std::memory_order_relaxed);
+    st.ingress_dropped.add(1);
+    return false;
+  }
+  st.ops_accepted.fetch_add(1, std::memory_order_relaxed);
+  st.ingress_ops.add(1);
+  return true;
+}
+
+bool ShardManager::submit(SessionId id, const events::Event& event) {
+  return submit_op(id, runtime::StreamOp::feed(event));
+}
+
+bool ShardManager::submit_advance(SessionId id, TimeUs t) {
+  return submit_op(id, runtime::StreamOp::advance(t));
+}
+
+Index ShardManager::drain_ring(Index s) {
+  ShardState& st = *shards_[static_cast<size_t>(s)];
+  if (!st.ring) return 0;
+  Index drained = 0;
+  IngressOp in;
+  while (st.ring->try_pop(in)) {
+    // Resolve the entry at drain time: after a migration a straggler op can
+    // sit on the old shard's ring, and it must follow its session rather
+    // than hit a retired slot. Forwarding re-enqueues (multi-producer push
+    // is safe from here); a full target ring accounts the loss like any
+    // other ring rejection.
+    const Entry& e = entries_[static_cast<size_t>(in.global)];
+    if (e.shard != s) {
+      ShardState& home = *shards_[static_cast<size_t>(e.shard)];
+      if (home.ring && !home.ring->try_push(in)) {
+        home.ops_dropped.fetch_add(1, std::memory_order_relaxed);
+        home.ingress_dropped.add(1);
+      }
+      ++drained;
+      continue;
+    }
+    // Inner submit runs admission / stamping exactly as the direct path
+    // would; a refusal is already accounted in the inner manager's ledgers.
+    if (in.op.kind == runtime::StreamOp::Kind::Feed) {
+      (void)st.manager.submit(e.inner, in.op.event);
+    } else {
+      (void)st.manager.submit_advance(e.inner, in.op.t);
+    }
+    ++drained;
+  }
+  return drained;
+}
+
+Index ShardManager::pump() {
+  const Index n = shard_count();
+  if (n == 1) return shards_[0]->manager.pump();
+  // Grain 1 over shards: shard s is chunk s, so one worker owns a shard's
+  // entire drain + inner pump per round (static chunk assignment, the same
+  // single-owner argument the SessionManager makes per session). The inner
+  // pump's own parallel_for nests inside a region and therefore runs
+  // inline on this worker — per-shard pumps stay strictly serial per shard.
+  par::parallel_for(0, n, 1, [&](Index begin, Index end) {
+    for (Index s = begin; s < end; ++s) {
+      const Index drained = drain_ring(s);
+      const Index processed = shards_[static_cast<size_t>(s)]->manager.pump();
+      round_ops_[static_cast<size_t>(s)] = drained + processed;
+    }
+  });
+  Index total = 0;
+  for (const Index ops : round_ops_) total += ops;
+  return total;
+}
+
+void ShardManager::pump_all() {
+  while (pump() > 0) {
+  }
+}
+
+void ShardManager::flush_shard(Index s) {
+  ShardState& st = *shards_[static_cast<size_t>(s)];
+  // Ring first, then queues; repeat in case the drain refilled a queue the
+  // pump had already passed. Stops when a full round moves nothing.
+  for (;;) {
+    Index moved = drain_ring(s);
+    st.manager.pump_all();
+    if (moved == 0) break;
+  }
+}
+
+void ShardManager::migrate(SessionId id, Index target_shard) {
+  Entry& e = entry(id);
+  ShardState& dst = shard_at(target_shard);
+  if (target_shard == e.shard) return;
+  ShardState& src = *shards_[static_cast<size_t>(e.shard)];
+  if (src.manager.state(e.inner) == runtime::SessionState::Faulted) {
+    throw Error(ErrorCode::SessionFaulted,
+                "ShardManager::migrate: session " + std::to_string(id) +
+                    " is quarantined on shard " + std::to_string(e.shard) +
+                    "; quarantine is shard-local and does not migrate");
+  }
+  // Flush everything in flight, then re-check: the flush itself can fault
+  // the session (that is the point of applying the backlog before moving).
+  flush_shard(e.shard);
+  if (src.manager.state(e.inner) == runtime::SessionState::Faulted) {
+    throw Error(ErrorCode::SessionFaulted,
+                "ShardManager::migrate: session " + std::to_string(id) +
+                    " faulted while flushing for migration");
+  }
+  std::vector<std::uint8_t> bytes;
+  if (!src.manager.session(e.inner).save_state(bytes)) {
+    throw Error(ErrorCode::CheckpointUnsupported,
+                "ShardManager::migrate: session " + std::to_string(id) +
+                    " cannot serialize its state");
+  }
+  std::unique_ptr<core::StreamSession> fresh = e.factory();
+  if (!fresh) {
+    throw Error(ErrorCode::InvalidArgument,
+                "ShardManager::migrate: factory produced no session");
+  }
+  fresh->load_state(bytes);
+  const TimeUs watermark = src.manager.last_feed_time(e.inner);
+  // Add at the target *before* retiring the source: if the target refuses
+  // (overload ladder at RejectAdmits) the session is still live where it
+  // was and the migration simply failed.
+  const runtime::SessionId new_inner =
+      dst.manager.add(std::move(fresh), e.config);
+  dst.manager.seed_feed_watermark(new_inner, watermark);
+  const runtime::SessionManager::RetiredLedger ledger =
+      src.manager.retire(e.inner);
+  retired_queues_.pushed += ledger.queue.pushed;
+  retired_queues_.dropped += ledger.queue.dropped;
+  retired_queues_.popped += ledger.queue.popped;
+  retired_shed_.rate_limited += ledger.shed.rate_limited;
+  retired_shed_.shed_noise += ledger.shed.shed_noise;
+  retired_shed_.rejected_overload += ledger.shed.rejected_overload;
+  retired_shed_.rejected_faulted += ledger.shed.rejected_faulted;
+  retired_faults_ += ledger.faults;
+  retired_restores_ += ledger.restores;
+  retired_checkpoints_ += ledger.checkpoints;
+  retired_quarantine_dropped_ += ledger.quarantine_dropped;
+  e.shard = target_shard;
+  e.inner = new_inner;
+  ++migrations_;
+  migrations_counter_.add(1);
+}
+
+Index ShardManager::rebalance() {
+  Index moved = 0;
+  for (SessionId id = 0; id < session_count(); ++id) {
+    const Entry& e = entries_[static_cast<size_t>(id)];
+    const Index planned = ring_.shard_of(e.key);
+    if (planned == e.shard) continue;
+    if (shards_[static_cast<size_t>(e.shard)]->manager.state(e.inner) ==
+        runtime::SessionState::Faulted) {
+      continue;  // quarantine is shard-local; the tombstone stays put
+    }
+    migrate(id, planned);
+    ++moved;
+  }
+  return moved;
+}
+
+ShardManager::Stats ShardManager::stats() const {
+  Stats out;
+  out.shards = shard_count();
+  out.migrations = migrations_;
+  for (const auto& st : shards_) {
+    const runtime::SessionManager::AggregateStats a = st->manager.stats();
+    out.totals.events_fed += a.totals.events_fed;
+    out.totals.decisions_emitted += a.totals.decisions_emitted;
+    out.totals.decisions_dropped += a.totals.decisions_dropped;
+    out.totals.events_dropped += a.totals.events_dropped;
+    out.queues.pushed += a.queues.pushed;
+    out.queues.dropped += a.queues.dropped;
+    out.queues.popped += a.queues.popped;
+    out.shedding.rate_limited += a.shedding.rate_limited;
+    out.shedding.shed_noise += a.shedding.shed_noise;
+    out.shedding.rejected_overload += a.shedding.rejected_overload;
+    out.shedding.rejected_faulted += a.shedding.rejected_faulted;
+    out.shedding.coarsened_rounds += a.shedding.coarsened_rounds;
+    out.faults.faults += a.faults.faults;
+    out.faults.restores += a.faults.restores;
+    out.faults.checkpoints += a.faults.checkpoints;
+    out.faults.quarantine_dropped += a.faults.quarantine_dropped;
+    out.faults.quarantined_sessions += a.faults.quarantined_sessions;
+    out.sessions += a.sessions;
+    out.ingress_ops += st->ops_accepted.load(std::memory_order_relaxed);
+    out.ingress_dropped += st->ops_dropped.load(std::memory_order_relaxed);
+  }
+  // Fold every retired slot's carried-over ledger back in, mirroring how
+  // the inner managers fold the same fields for live slots — a migration
+  // therefore never changes any aggregate.
+  out.queues.pushed += retired_queues_.pushed;
+  out.queues.dropped += retired_queues_.dropped;
+  out.queues.popped += retired_queues_.popped;
+  out.shedding.rate_limited += retired_shed_.rate_limited;
+  out.shedding.shed_noise += retired_shed_.shed_noise;
+  out.shedding.rejected_overload += retired_shed_.rejected_overload;
+  out.shedding.rejected_faulted += retired_shed_.rejected_faulted;
+  out.faults.faults += retired_faults_;
+  out.faults.restores += retired_restores_;
+  out.faults.checkpoints += retired_checkpoints_;
+  out.faults.quarantine_dropped += retired_quarantine_dropped_;
+  out.totals.events_dropped +=
+      retired_queues_.dropped + retired_shed_.rate_limited +
+      retired_shed_.shed_noise + retired_shed_.rejected_overload +
+      retired_shed_.rejected_faulted + retired_quarantine_dropped_;
+  // Ring rejections are losses in front of everything else.
+  out.totals.events_dropped += out.ingress_dropped;
+  return out;
+}
+
+}  // namespace evd::shard

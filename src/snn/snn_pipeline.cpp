@@ -174,6 +174,10 @@ runtime::SessionBaseConfig snn_session_config(const SnnPipelineConfig& c) {
       256;  // alignment slack
   sc.decision_retain = c.decision_retain;
   sc.paradigm = "snn";
+  // Windowed activity estimator over the configured sensor plane, so the
+  // re-plan hook can re-price snn.event_driven when a stream turns dense.
+  sc.width = c.width;
+  sc.height = c.height;
   return sc;
 }
 

@@ -42,7 +42,9 @@ TEST_F(OracleTest, RegistryHasAllBuiltinPairs) {
         "runtime.fault_isolation", "runtime.checkpoint_replay",
         "sched.plan_vs_sequential.cnn", "sched.plan_vs_sequential.snn",
         "sched.plan_vs_sequential.gnn", "route.cnn_sparse_vs_dense",
-        "route.snn_clocked_vs_event", "route.gnn_batch_vs_incremental"}) {
+        "route.snn_clocked_vs_event", "route.gnn_batch_vs_incremental",
+        "shard.sharded_vs_sequential.cnn", "shard.sharded_vs_sequential.snn",
+        "shard.sharded_vs_sequential.gnn", "shard.migration_replay"}) {
     const Oracle* oracle = registry().find(name);
     ASSERT_NE(oracle, nullptr) << name;
     EXPECT_FALSE(oracle->description().empty());
@@ -146,6 +148,22 @@ TEST_F(OracleTest, SnnEventDrivenRouteMatchesDefaultPath) {
 
 TEST_F(OracleTest, GnnBatchRouteMatchesDefaultPath) {
   expect_passes("route.gnn_batch_vs_incremental", 25);
+}
+
+TEST_F(OracleTest, CnnShardedServingMatchesSequential) {
+  expect_passes("shard.sharded_vs_sequential.cnn", 15);
+}
+
+TEST_F(OracleTest, SnnShardedServingMatchesSequential) {
+  expect_passes("shard.sharded_vs_sequential.snn", 25);
+}
+
+TEST_F(OracleTest, GnnShardedServingMatchesSequential) {
+  expect_passes("shard.sharded_vs_sequential.gnn", 25);
+}
+
+TEST_F(OracleTest, ShardMigrationReplayIsBitwiseTransparent) {
+  expect_passes("shard.migration_replay", 25);
 }
 
 TEST_F(OracleTest, RegisteringRouteOraclesProvesTheirPaths) {

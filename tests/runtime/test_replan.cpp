@@ -68,8 +68,11 @@ TEST(Replan, HookFiresOnMixDriftNotOnSteadyState) {
   ReplanRig rig;
   Index calls = 0;
   std::vector<Index> last_backlog;
+  std::vector<double> last_activity;
   rig.manager.set_replan(
-      [&](std::span<const Index> backlog) -> std::optional<sched::Plan> {
+      [&](std::span<const Index> backlog,
+          std::span<const double> activity) -> std::optional<sched::Plan> {
+        last_activity.assign(activity.begin(), activity.end());
         ++calls;
         last_backlog.assign(backlog.begin(), backlog.end());
         return std::nullopt;
@@ -94,6 +97,11 @@ TEST(Replan, HookFiresOnMixDriftNotOnSteadyState) {
   }
   EXPECT_EQ(calls, 1);
   EXPECT_EQ(rig.manager.workload_fingerprint(), steady_fp);
+  // ParadigmSession configures no sensor geometry, so the estimator is off
+  // and the hook sees the fully-dense default for both sessions.
+  ASSERT_EQ(last_activity.size(), 2u);
+  EXPECT_EQ(last_activity[0], 1.0);
+  EXPECT_EQ(last_activity[1], 1.0);
 
   // Session 0's backlog jumps two powers of two: that is a mix drift.
   rig.round(40, 4);
@@ -106,7 +114,8 @@ TEST(Replan, HookFiresOnMixDriftNotOnSteadyState) {
 TEST(Replan, ReturnedPlanIsInstalledWithItsRoutes) {
   ReplanRig rig;
   rig.manager.set_replan(
-      [&](std::span<const Index>) -> std::optional<sched::Plan> {
+      [&](std::span<const Index>,
+          std::span<const double>) -> std::optional<sched::Plan> {
         sched::Plan plan = sched::Plan::round_robin(2, 1, 3);
         sched::ParadigmPlacement cnn;
         cnn.paradigm = "cnn";
@@ -133,7 +142,8 @@ TEST(Replan, StalePlanForTheWrongPopulationIsDropped) {
   ReplanRig rig;
   Index calls = 0;
   rig.manager.set_replan(
-      [&](std::span<const Index>) -> std::optional<sched::Plan> {
+      [&](std::span<const Index>,
+          std::span<const double>) -> std::optional<sched::Plan> {
         ++calls;
         return sched::Plan::round_robin(5, 2, 2);  // population changed
       },
@@ -142,6 +152,92 @@ TEST(Replan, StalePlanForTheWrongPopulationIsDropped) {
   rig.round(4, 4);
   EXPECT_EQ(calls, 1);
   EXPECT_FALSE(rig.manager.has_plan());  // dropped, not thrown
+}
+
+/// A session with the windowed activity estimator armed (8x8 plane, 1 ms
+/// windows) — the unit stand-in for a pipeline session whose stream turns
+/// dense.
+class ActivitySession final : public SessionBase {
+ public:
+  ActivitySession() : SessionBase(activity_config()) {}
+
+ private:
+  static SessionBaseConfig activity_config() {
+    SessionBaseConfig cfg{0, 8192, "cnn"};
+    cfg.width = 8;
+    cfg.height = 8;
+    cfg.activity_window_us = 1000;
+    return cfg;
+  }
+  void on_event(const events::Event&) override {}
+  void on_advance(TimeUs) override {}
+};
+
+// The activity satellite end to end: a sparse-then-dense switching stream
+// drifts the windowed activity estimate, the estimate drifts the workload
+// fingerprint (even at steady backlog), the hook re-fires with the live
+// activity, and the plan it returns routes the session off the sparse path.
+TEST(Replan, ActivityDriftReroutesOffTheSparsePath) {
+  SessionManager manager;  // default burst: each pump drains the round
+  const SessionId id = manager.add(std::make_unique<ActivitySession>());
+  std::vector<double> last_activity;
+  manager.set_replan(
+      [&](std::span<const Index>,
+          std::span<const double> activity) -> std::optional<sched::Plan> {
+        last_activity.assign(activity.begin(), activity.end());
+        sched::Plan plan = sched::Plan::round_robin(1, 1, 3);
+        if (activity[0] < 0.5) {
+          // The sparse-conv pricing still holds: keep the sparse path.
+          sched::ParadigmPlacement cnn;
+          cnn.paradigm = "cnn";
+          cnn.hw = sched::HwModel::ZeroSkip;
+          cnn.path = route::PathId::CnnSparse;
+          plan.placements = {cnn};
+        }
+        // No placement when dense: set_plan falls the session back to
+        // Default — dense frames stopped paying for sparse gather.
+        plan.refresh_labels();
+        return plan;
+      },
+      /*window=*/2);
+
+  TimeUs now = 0;
+  // Sparse phase: 10 events per 1 ms window, all inside one 2x2 corner —
+  // occupancy 4/64, EWMA sinks below 0.5 after two window closes.
+  for (int round = 0; round < 6; ++round) {
+    for (int i = 0; i < 10; ++i) {
+      events::Event e;
+      e.x = static_cast<std::int16_t>(i % 2);
+      e.y = static_cast<std::int16_t>((i / 2) % 2);
+      e.polarity = Polarity::On;
+      e.t = now += 100;
+      manager.submit(id, e);
+    }
+    manager.pump();
+  }
+  manager.pump_all();
+  EXPECT_LT(manager.session(id).activity_estimate(), 0.2);
+  ASSERT_EQ(last_activity.size(), 1u);
+  EXPECT_LT(last_activity[0], 0.5);
+  EXPECT_EQ(manager.session(id).execution_path(), route::PathId::CnnSparse);
+
+  // Dense phase: the same event rate in time but sweeping the full plane —
+  // 100 events per window touch all 64 pixels, EWMA climbs past 0.5.
+  for (int round = 0; round < 6; ++round) {
+    for (int i = 0; i < 100; ++i) {
+      events::Event e;
+      e.x = static_cast<std::int16_t>(i % 8);
+      e.y = static_cast<std::int16_t>((i / 8) % 8);
+      e.polarity = Polarity::On;
+      e.t = now += 10;
+      manager.submit(id, e);
+    }
+    manager.pump();
+  }
+  manager.pump_all();
+  EXPECT_GT(manager.session(id).activity_estimate(), 0.8);
+  EXPECT_GT(last_activity[0], 0.5);
+  EXPECT_EQ(manager.session(id).execution_path(), route::PathId::Default);
 }
 
 TEST(Replan, NullHookKeepsThePumpUntouched) {

@@ -1,0 +1,246 @@
+// Checkpoint-driven rebalance: migration preserves decision streams and
+// session state bitwise, conserves every ledger exactly (losses included),
+// refuses quarantined sessions with the typed error, and rebalance()
+// restores hash-ring placement for the Active population only.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/error.hpp"
+#include "runtime/session_base.hpp"
+#include "shard/shard_manager.hpp"
+
+namespace evd::shard {
+namespace {
+
+events::Event event_at(TimeUs t, std::int16_t x = 1) {
+  events::Event e;
+  e.x = x;
+  e.y = 2;
+  e.polarity = Polarity::On;
+  e.t = t;
+  return e;
+}
+
+class RecordingSession final : public runtime::SessionBase {
+ public:
+  RecordingSession()
+      : runtime::SessionBase(runtime::SessionBaseConfig{64, 32, "unknown"}) {}
+
+  std::vector<TimeUs> seen;
+
+ private:
+  void on_event(const events::Event& event) override {
+    seen.push_back(event.t);
+  }
+  void on_advance(TimeUs t) override {
+    core::Decision d;
+    d.t = t;
+    d.label = static_cast<int>(seen.size());
+    d.confidence = 1.0;
+    emit(d);
+  }
+  bool checkpoint_supported() const override { return true; }
+  void on_save(fault::CheckpointWriter& w) const override {
+    w.pod_vector(seen);
+  }
+  void on_load(fault::CheckpointReader& r) override { r.pod_vector(seen); }
+};
+
+/// Throws on the poisoned x coordinate — the quarantine trigger.
+class FaultableSession final : public runtime::SessionBase {
+ public:
+  FaultableSession()
+      : runtime::SessionBase(runtime::SessionBaseConfig{64, 32, "unknown"}) {}
+
+ private:
+  void on_event(const events::Event& event) override {
+    if (event.x == 13) throw std::runtime_error("poisoned event");
+  }
+  void on_advance(TimeUs) override {}
+};
+
+ShardManager two_shards() {
+  ShardManagerConfig cfg;
+  cfg.shards = 2;
+  return ShardManager(cfg);
+}
+
+TEST(ShardMigration, PreservesStateAndDecisionStreamAcrossTheMove) {
+  ShardManager sharded = two_shards();
+  runtime::SessionManager reference;
+  const auto id = sharded.add([] { return std::make_unique<RecordingSession>(); });
+  const auto ref = reference.add(std::make_unique<RecordingSession>());
+
+  for (TimeUs t = 0; t < 20; ++t) {
+    sharded.submit(id, event_at(t * 10));
+    reference.submit(ref, event_at(t * 10));
+  }
+  sharded.submit_advance(id, 500);
+  reference.submit_advance(ref, 500);
+  sharded.pump();  // partially applied: migration must flush the rest
+
+  const Index from = sharded.shard_of(id);
+  const Index to = 1 - from;
+  sharded.migrate(id, to);
+  EXPECT_EQ(sharded.shard_of(id), to);
+  EXPECT_EQ(sharded.migrations(), 1);
+
+  // The session keeps serving at the target; the combined stream must be
+  // exactly the never-migrated stream.
+  for (TimeUs t = 20; t < 30; ++t) {
+    sharded.submit(id, event_at(t * 10));
+    reference.submit(ref, event_at(t * 10));
+  }
+  sharded.submit_advance(id, 1000);
+  reference.submit_advance(ref, 1000);
+  sharded.pump_all();
+  reference.pump_all();
+
+  const auto& got = sharded.session(id).decisions();
+  const auto& want = reference.session(ref).decisions();
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].t, want[i].t);
+    EXPECT_EQ(got[i].label, want[i].label);
+    EXPECT_EQ(got[i].confidence, want[i].confidence);
+  }
+  EXPECT_EQ(sharded.stats(id).events_fed, reference.stats(ref).events_fed);
+}
+
+TEST(ShardMigration, MigrationKeepsTheMonotoneGuardWatermark) {
+  ShardManager sharded = two_shards();
+  runtime::ManagedSessionConfig cfg;
+  cfg.validate_monotone_time = true;
+  const auto id =
+      sharded.add([] { return std::make_unique<RecordingSession>(); }, cfg);
+  sharded.submit(id, event_at(1000));
+  sharded.pump_all();
+
+  sharded.migrate(id, 1 - sharded.shard_of(id));
+  // A regressing event after the move must still trip the guard: the
+  // watermark was seeded at the target, not reset to "never fed".
+  sharded.submit(id, event_at(10));
+  sharded.pump_all();
+  EXPECT_EQ(sharded.state(id), runtime::SessionState::Faulted);
+}
+
+// The ledger-exact loss accounting property: drive real losses (inner
+// queue overflow + ring overflow), then migrate and compare the aggregate
+// stats field by field. A migration may not change any total.
+TEST(ShardMigration, ConservesEveryAggregateLedgerExactly) {
+  ShardManagerConfig mcfg;
+  mcfg.shards = 2;
+  mcfg.ingress_capacity = 16;  // 20 un-pumped submits: 4 ring rejections
+  ShardManager sharded{mcfg};
+  runtime::ManagedSessionConfig cfg;
+  cfg.queue_capacity = 8;  // DropNewest: the 16-op drain sheds 8 more
+  const auto id =
+      sharded.add([] { return std::make_unique<RecordingSession>(); }, cfg);
+
+  for (TimeUs t = 0; t < 20; ++t) sharded.submit(id, event_at(t));
+  sharded.pump_all();
+  const ShardManager::Stats before = sharded.stats();
+  // Both loss sites really fired: this test is about *conserving* non-zero
+  // ledgers, not comparing zeros.
+  EXPECT_EQ(before.ingress_dropped, 4);
+  EXPECT_EQ(before.queues.dropped, 8);
+  EXPECT_EQ(before.totals.events_fed, 8);
+  EXPECT_EQ(before.totals.events_dropped, 12);
+
+  sharded.migrate(id, 1 - sharded.shard_of(id));
+  const ShardManager::Stats after = sharded.stats();
+
+  EXPECT_EQ(after.totals.events_fed, before.totals.events_fed);
+  EXPECT_EQ(after.totals.events_dropped, before.totals.events_dropped);
+  EXPECT_EQ(after.totals.decisions_emitted, before.totals.decisions_emitted);
+  EXPECT_EQ(after.queues.pushed, before.queues.pushed);
+  EXPECT_EQ(after.queues.dropped, before.queues.dropped);
+  EXPECT_EQ(after.queues.popped, before.queues.popped);
+  EXPECT_EQ(after.shedding.rate_limited, before.shedding.rate_limited);
+  EXPECT_EQ(after.shedding.rejected_faulted, before.shedding.rejected_faulted);
+  EXPECT_EQ(after.faults.faults, before.faults.faults);
+  EXPECT_EQ(after.faults.checkpoints, before.faults.checkpoints);
+  EXPECT_EQ(after.faults.quarantine_dropped, before.faults.quarantine_dropped);
+  EXPECT_EQ(after.sessions, before.sessions);
+  EXPECT_EQ(after.migrations, before.migrations + 1);
+
+  // And the ledgers survive a *second* hop (carryover accumulates, not
+  // overwrites).
+  sharded.migrate(id, 1 - sharded.shard_of(id));
+  const ShardManager::Stats again = sharded.stats();
+  EXPECT_EQ(again.totals.events_fed, before.totals.events_fed);
+  EXPECT_EQ(again.queues.pushed, before.queues.pushed);
+  EXPECT_EQ(again.queues.dropped, before.queues.dropped);
+}
+
+TEST(ShardMigration, QuarantinedSessionsRefuseToMigrate) {
+  ShardManager sharded = two_shards();
+  const auto id =
+      sharded.add([] { return std::make_unique<FaultableSession>(); });
+  sharded.submit(id, event_at(5, /*x=*/13));  // poison
+  sharded.pump_all();
+  ASSERT_EQ(sharded.state(id), runtime::SessionState::Faulted);
+
+  const Index home = sharded.shard_of(id);
+  try {
+    sharded.migrate(id, 1 - home);
+    FAIL() << "expected Error(SessionFaulted)";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::SessionFaulted);
+  }
+  // Refused means untouched: still quarantined, still on its home shard,
+  // and no migration was recorded.
+  EXPECT_EQ(sharded.shard_of(id), home);
+  EXPECT_EQ(sharded.state(id), runtime::SessionState::Faulted);
+  EXPECT_EQ(sharded.migrations(), 0);
+}
+
+TEST(ShardMigration, RebalanceRestoresRingPlacementAndSkipsFaulted) {
+  ShardManagerConfig cfg;
+  cfg.shards = 4;
+  ShardManager sharded{cfg};
+  std::vector<ShardManager::SessionId> ids;
+  for (int s = 0; s < 8; ++s) {
+    ids.push_back(
+        sharded.add([] { return std::make_unique<RecordingSession>(); }));
+  }
+  const auto faulty =
+      sharded.add([] { return std::make_unique<FaultableSession>(); });
+  sharded.submit(faulty, event_at(5, /*x=*/13));
+  sharded.pump_all();
+  ASSERT_EQ(sharded.state(faulty), runtime::SessionState::Faulted);
+  const Index faulty_home = sharded.shard_of(faulty);
+
+  // Freshly placed population is already balanced: nothing to do.
+  EXPECT_EQ(sharded.rebalance(), 0);
+
+  // Displace two sessions by hand; rebalance must move exactly those two
+  // back (minimal movement), and leave the quarantined session where its
+  // fault happened even though hand-displacement could never apply to it.
+  sharded.migrate(ids[0], (sharded.planned_shard_of(ids[0]) + 1) % 4);
+  sharded.migrate(ids[3], (sharded.planned_shard_of(ids[3]) + 2) % 4);
+  EXPECT_NE(sharded.shard_of(ids[0]), sharded.planned_shard_of(ids[0]));
+  EXPECT_EQ(sharded.rebalance(), 2);
+  for (const auto id : ids) {
+    EXPECT_EQ(sharded.shard_of(id), sharded.planned_shard_of(id));
+  }
+  EXPECT_EQ(sharded.shard_of(faulty), faulty_home);
+}
+
+TEST(ShardMigration, SessionsWithoutCheckpointSupportAreTypedErrors) {
+  ShardManager sharded = two_shards();
+  // FaultableSession never overrides checkpoint_supported.
+  const auto id =
+      sharded.add([] { return std::make_unique<FaultableSession>(); });
+  try {
+    sharded.migrate(id, 1 - sharded.shard_of(id));
+    FAIL() << "expected Error(CheckpointUnsupported)";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::CheckpointUnsupported);
+  }
+}
+
+}  // namespace
+}  // namespace evd::shard
